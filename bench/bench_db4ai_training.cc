@@ -1,0 +1,160 @@
+// E14 — DB4AI declarative training + training acceleration (survey §3):
+// in-database vs export-train pipelines, thread-parallel speedup,
+// materialization-accelerated feature selection, model-selection throughput
+// (sequential vs successive halving vs parallel).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "db4ai/training/feature_selection.h"
+#include "db4ai/training/model_selection.h"
+#include "db4ai/training/parallel_trainer.h"
+#include "exec/database.h"
+
+namespace {
+
+using namespace aidb;
+using namespace aidb::db4ai;
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+
+  // --- In-DB vs export training; thread scaling. ---
+  {
+    Database db;
+    (void)db.Execute("CREATE TABLE samples (a DOUBLE, b DOUBLE, c DOUBLE, y DOUBLE)");
+    Table* t = db.catalog().GetTable("samples").ValueOrDie();
+    Rng rng(5);
+    for (int i = 0; i < 30000; ++i) {
+      double a = rng.UniformDouble(-1, 1), b = rng.UniformDouble(-1, 1),
+             c = rng.UniformDouble(-1, 1);
+      (void)t->Insert({Value(a), Value(b), Value(c),
+                       Value(2 * a - b + 0.5 * c + rng.Gaussian(0, 0.01))});
+    }
+    ParallelTrainer trainer;
+    auto exported = trainer.TrainViaExport(db.catalog(), "samples", "y");
+    for (size_t threads : {1, 2, 4, 8}) {
+      auto indb = trainer.TrainInDatabase(db.catalog(), "samples", "y", threads);
+      if (exported.ok() && indb.ok()) {
+        std::printf(
+            "E14,training,export_vs_indb_t%zu,wall_seconds,%.3f,%.3f,%.2f\n",
+            threads, exported.ValueOrDie().wall_seconds,
+            indb.ValueOrDie().wall_seconds,
+            exported.ValueOrDie().wall_seconds /
+                std::max(indb.ValueOrDie().wall_seconds, 1e-9));
+      }
+    }
+    if (exported.ok()) {
+      std::printf("E14,training,export_overhead,seconds,%.3f,%.3f,%.2f\n",
+                  exported.ValueOrDie().wall_seconds,
+                  exported.ValueOrDie().export_seconds,
+                  exported.ValueOrDie().export_seconds /
+                      std::max(exported.ValueOrDie().wall_seconds, 1e-9));
+    }
+  }
+
+  // --- Feature selection: naive vs materialized. ---
+  {
+    Rng rng(6);
+    ml::Dataset data;
+    size_t n = 20000, d = 10;
+    data.x = ml::Matrix(n, d);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < d; ++c) data.x.At(i, c) = rng.UniformDouble(-1, 1);
+      data.y.push_back(data.x.At(i, 2) - 2 * data.x.At(i, 7) + rng.Gaussian(0, 0.05));
+    }
+    FeatureSelectionEngine engine(&data);
+    auto subsets = AllSubsetsOfSize(d, 3);  // 120 candidate sets
+    Timer t_naive;
+    auto naive = engine.EvaluateNaive(subsets);
+    double naive_s = t_naive.ElapsedSeconds();
+    Timer t_mat;
+    engine.Materialize();
+    auto fast = engine.EvaluateMaterialized(subsets);
+    double mat_s = t_mat.ElapsedSeconds();
+    std::printf("E14,feature_selection,subsets=%zu,seconds,%.3f,%.3f,%.1f\n",
+                subsets.size(), naive_s, mat_s, naive_s / std::max(mat_s, 1e-9));
+    // Same best subset either way.
+    auto best_of = [](const std::vector<FeatureSetScore>& v) {
+      size_t b = 0;
+      for (size_t i = 1; i < v.size(); ++i)
+        if (v[i].train_mse < v[b].train_mse) b = i;
+      return b;
+    };
+    std::printf("E14,feature_selection,agreement,best_subset_index,%zu,%zu,%s\n",
+                best_of(naive), best_of(fast),
+                best_of(naive) == best_of(fast) ? "1.00" : "0.00");
+  }
+
+  // --- Model selection throughput. ---
+  {
+    Rng rng(7);
+    ml::Dataset train, valid;
+    size_t n = 600;
+    train.x = ml::Matrix(n, 2);
+    valid.x = ml::Matrix(150, 2);
+    for (size_t i = 0; i < n; ++i) {
+      double a = rng.UniformDouble(-1, 1), b = rng.UniformDouble(-1, 1);
+      train.x.At(i, 0) = a;
+      train.x.At(i, 1) = b;
+      train.y.push_back(a * b);
+    }
+    for (size_t i = 0; i < 150; ++i) {
+      double a = rng.UniformDouble(-1, 1), b = rng.UniformDouble(-1, 1);
+      valid.x.At(i, 0) = a;
+      valid.x.At(i, 1) = b;
+      valid.y.push_back(a * b);
+    }
+    ModelSelector selector(&train, &valid);
+    auto grid = ModelSelector::DefaultGrid();
+
+    Timer t_seq;
+    auto seq = selector.SequentialFull(grid, 40);
+    double seq_s = t_seq.ElapsedSeconds();
+    Timer t_halving;
+    auto halving = selector.SuccessiveHalving(grid, 5, 40);
+    double halving_s = t_halving.ElapsedSeconds();
+    Timer t_par;
+    auto par = selector.ParallelFull(grid, 40, 8);
+    double par_s = t_par.ElapsedSeconds();
+
+    std::printf("E14,model_selection,seq_vs_halving,epochs_spent,%zu,%zu,%.2f\n",
+                seq.total_epochs_spent, halving.total_epochs_spent,
+                static_cast<double>(seq.total_epochs_spent) /
+                    halving.total_epochs_spent);
+    std::printf("E14,model_selection,seq_vs_halving,seconds,%.2f,%.2f,%.2f\n",
+                seq_s, halving_s, seq_s / std::max(halving_s, 1e-9));
+    std::printf("E14,model_selection,seq_vs_parallel8,seconds,%.2f,%.2f,%.2f\n",
+                seq_s, par_s, seq_s / std::max(par_s, 1e-9));
+    std::printf("E14,model_selection,quality,validation_mse,%.4f,%.4f,%.2f\n",
+                seq.best_validation_mse, halving.best_validation_mse,
+                halving.best_validation_mse /
+                    std::max(seq.best_validation_mse, 1e-9));
+  }
+}
+
+void BM_GramMaterialize(benchmark::State& state) {
+  Rng rng(8);
+  ml::Dataset data;
+  data.x = ml::Matrix(5000, 10);
+  for (auto& v : data.x.data()) v = rng.NextDouble();
+  data.y.assign(5000, 1.0);
+  for (auto _ : state) {
+    FeatureSelectionEngine engine(&data);
+    engine.Materialize();
+    benchmark::DoNotOptimize(engine.materialized());
+  }
+}
+BENCHMARK(BM_GramMaterialize);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E8 — End-to-end learned optimizer, Neo-lite (survey §2.2, Marcus et al.).
+// Shape: after a bootstrap phase the value network's plan choices track or
+// beat the classical cost-based optimizer on *executed* work, because
+// latency feedback corrects cardinality-estimation errors the classical
+// path inherits. Early (warmup) vs late windows show the learning effect.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "learned/optimizer/neo_optimizer.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace aidb;
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+
+  Database db;
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 12000;
+  schema.dim_rows = 400;
+  schema.correlation = 0.9;  // break the classical estimator
+  if (!workload::BuildStarSchema(&db, schema).ok()) return;
+  workload::QueryGenOptions qopts;
+  qopts.num_queries = 80;
+  qopts.max_joins = 3;
+  auto queries = workload::GenerateQueries(schema, qopts);
+
+  learned::NeoOptimizer::Options nopts;
+  nopts.warmup_queries = 10;
+  nopts.retrain_interval = 8;
+  learned::NeoOptimizer neo(&db, nopts);
+
+  double early_neo = 0, early_classical = 0;
+  double late_neo = 0, late_classical = 0;
+  size_t non_classical_picks = 0;
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto outcome = neo.OptimizeAndExecute(*queries[i].stmt);
+    if (!outcome.ok()) continue;
+    double neo_work = outcome.ValueOrDie().executed_work;
+    if (outcome.ValueOrDie().chosen_source != "dp" &&
+        outcome.ValueOrDie().chosen_source != "single")
+      ++non_classical_picks;
+
+    auto classical = db.Execute(queries[i].text);
+    double classical_work =
+        classical.ok() ? static_cast<double>(classical.ValueOrDie().operator_work)
+                       : 0.0;
+    if (i < queries.size() / 2) {
+      early_neo += neo_work;
+      early_classical += classical_work;
+    } else {
+      late_neo += neo_work;
+      late_classical += classical_work;
+    }
+  }
+
+  std::printf("E8,e2e_optimizer,early_half,executed_work,%.0f,%.0f,%.3f\n",
+              early_classical, early_neo, early_neo / early_classical);
+  std::printf("E8,e2e_optimizer,late_half,executed_work,%.0f,%.0f,%.3f\n",
+              late_classical, late_neo, late_neo / late_classical);
+  std::printf("E8,e2e_optimizer,exploration,non_classical_picks,%zu,%zu,%.2f\n",
+              queries.size(), non_classical_picks,
+              static_cast<double>(non_classical_picks) / queries.size());
+  std::printf("E8,e2e_optimizer,experience,training_examples,%zu,%zu,1.00\n",
+              neo.experience_size(), neo.experience_size());
+}
+
+void BM_NeoOptimizeAndExecute(benchmark::State& state) {
+  Database db;
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 4000;
+  (void)workload::BuildStarSchema(&db, schema);
+  workload::QueryGenOptions qopts;
+  qopts.num_queries = 10;
+  auto queries = workload::GenerateQueries(schema, qopts);
+  learned::NeoOptimizer::Options nopts;
+  nopts.warmup_queries = 2;
+  learned::NeoOptimizer neo(&db, nopts);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(neo.OptimizeAndExecute(*queries[i % queries.size()].stmt));
+    ++i;
+  }
+}
+BENCHMARK(BM_NeoOptimizeAndExecute)->Unit(benchmark::kMillisecond);
+
+void BM_ClassicalExecute(benchmark::State& state) {
+  Database db;
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 4000;
+  (void)workload::BuildStarSchema(&db, schema);
+  workload::QueryGenOptions qopts;
+  qopts.num_queries = 10;
+  auto queries = workload::GenerateQueries(schema, qopts);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Execute(queries[i % queries.size()].text));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassicalExecute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E7 — Learned join-order selection (survey §2.2, SkinnerDB / ReJOIN).
+// Shape: DP is optimal but its enumeration time explodes with relation
+// count; greedy is fast but can pick poor plans; MCTS and RL land near DP's
+// plan quality at a fraction of DP's optimization time on larger graphs.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+#include "common/timer.h"
+#include "learned/joinorder/learned_joinorder.h"
+
+namespace {
+
+using namespace aidb;
+using namespace aidb::learned;
+
+QueryGraph MakeGraph(size_t n, const char* shape, uint64_t seed) {
+  Rng rng(seed);
+  QueryGraph g;
+  for (size_t i = 0; i < n; ++i) {
+    RelationInfo r;
+    r.table = "t" + std::to_string(i);
+    r.name = r.table;
+    r.base_rows = std::pow(10.0, 2 + rng.NextDouble() * 3);
+    g.rels.push_back(r);
+  }
+  auto edge = [&](size_t a, size_t b) {
+    JoinEdgeInfo e;
+    e.left_rel = a;
+    e.right_rel = b;
+    e.selectivity = std::pow(10.0, -1 - rng.NextDouble() * 3);
+    g.edges.push_back(e);
+  };
+  std::string s = shape;
+  if (s == "chain") {
+    for (size_t i = 0; i + 1 < n; ++i) edge(i, i + 1);
+  } else if (s == "star") {
+    for (size_t i = 1; i < n; ++i) edge(0, i);
+  } else {  // clique
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i + 1; j < n; ++j) edge(i, j);
+  }
+  return g;
+}
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+  for (const char* shape : {"chain", "star", "clique"}) {
+    for (size_t n : {4, 6, 8, 10, 12}) {
+      double dp_cost = 0, greedy_cost = 0, mcts_cost = 0, rl_cost = 0;
+      double dp_ms = 0, mcts_ms = 0;
+      const size_t kGraphs = 5;
+      for (uint64_t seed = 1; seed <= kGraphs; ++seed) {
+        QueryGraph g = MakeGraph(n, shape, seed * 100);
+        JoinCostModel model(&g);
+        DpJoinEnumerator dp;
+        GreedyJoinEnumerator greedy;
+        MctsJoinEnumerator::Options mopts;
+        mopts.iterations = 1200;
+        mopts.seed = seed;
+        MctsJoinEnumerator mcts(mopts);
+        RlJoinEnumerator::Options ropts;
+        ropts.seed = seed;
+        RlJoinEnumerator rl(ropts);
+
+        Timer t_dp;
+        auto p_dp = dp.Enumerate(model);
+        dp_ms += t_dp.ElapsedMillis();
+        auto p_greedy = greedy.Enumerate(model);
+        Timer t_mcts;
+        auto p_mcts = mcts.Enumerate(model);
+        mcts_ms += t_mcts.ElapsedMillis();
+        auto p_rl = rl.Enumerate(model);
+
+        dp_cost += std::log10(p_dp->cost + 1);
+        greedy_cost += std::log10(p_greedy->cost + 1);
+        mcts_cost += std::log10(p_mcts->cost + 1);
+        rl_cost += std::log10(p_rl->cost + 1);
+      }
+      std::printf("E7,join_order,%s/n=%zu/dp_vs_mcts,log10_plan_cost,%.2f,%.2f,%.3f\n",
+                  shape, n, dp_cost / kGraphs, mcts_cost / kGraphs,
+                  mcts_cost / dp_cost);
+      std::printf("E7,join_order,%s/n=%zu/greedy_vs_rl,log10_plan_cost,%.2f,%.2f,%.3f\n",
+                  shape, n, greedy_cost / kGraphs, rl_cost / kGraphs,
+                  rl_cost / greedy_cost);
+      std::printf("E7,join_order,%s/n=%zu/dp_vs_mcts,opt_time_ms,%.2f,%.2f,%.3f\n",
+                  shape, n, dp_ms / kGraphs, mcts_ms / kGraphs,
+                  mcts_ms / std::max(dp_ms, 1e-6));
+    }
+  }
+}
+
+void BM_DpEnumerate(benchmark::State& state) {
+  QueryGraph g = MakeGraph(static_cast<size_t>(state.range(0)), "chain", 7);
+  JoinCostModel model(&g);
+  for (auto _ : state) {
+    DpJoinEnumerator dp;
+    benchmark::DoNotOptimize(dp.Enumerate(model));
+  }
+}
+BENCHMARK(BM_DpEnumerate)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_MctsEnumerate(benchmark::State& state) {
+  QueryGraph g = MakeGraph(static_cast<size_t>(state.range(0)), "chain", 7);
+  JoinCostModel model(&g);
+  for (auto _ : state) {
+    MctsJoinEnumerator mcts;
+    benchmark::DoNotOptimize(mcts.Enumerate(model));
+  }
+}
+BENCHMARK(BM_MctsEnumerate)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_GreedyEnumerate(benchmark::State& state) {
+  QueryGraph g = MakeGraph(static_cast<size_t>(state.range(0)), "chain", 7);
+  JoinCostModel model(&g);
+  for (auto _ : state) {
+    GreedyJoinEnumerator greedy;
+    benchmark::DoNotOptimize(greedy.Enumerate(model));
+  }
+}
+BENCHMARK(BM_GreedyEnumerate)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,171 @@
+// E9 — Learned indexes (survey §2.3 design, Kraska et al. / ALEX).
+// Shape: on learnable key distributions the RMI is both faster per lookup
+// and orders of magnitude smaller (model bytes vs inner-node bytes) than a
+// B+tree; ALEX keeps learned-index lookups under inserts.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "design/learned_index/alex.h"
+#include "design/learned_index/rmi.h"
+#include "storage/btree.h"
+
+namespace {
+
+using namespace aidb;
+using namespace aidb::design;
+
+std::vector<int64_t> MakeKeys(size_t n, const char* dist, uint64_t seed) {
+  Rng rng(seed);
+  std::set<int64_t> keys;
+  std::string d = dist;
+  while (keys.size() < n) {
+    if (d == "sequential") {
+      // Dense with occasional gaps.
+      keys.insert(static_cast<int64_t>(keys.size()) * 4 +
+                  static_cast<int64_t>(rng.Uniform(3)));
+    } else if (d == "uniform") {
+      keys.insert(rng.UniformInt(0, 1LL << 40));
+    } else {  // lognormal
+      double v = std::exp(rng.Gaussian(20.0, 1.5));
+      keys.insert(static_cast<int64_t>(v));
+    }
+  }
+  return {keys.begin(), keys.end()};
+}
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+  const size_t kN = 2000000;
+  for (const char* dist : {"sequential", "uniform", "lognormal"}) {
+    auto keys = MakeKeys(kN, dist, 11);
+    std::vector<std::pair<int64_t, uint64_t>> pairs;
+    pairs.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i)
+      pairs.emplace_back(keys[i], static_cast<uint64_t>(i));
+
+    BTree btree;
+    btree.BulkLoad(pairs);
+    RmiIndex rmi(4096);
+    rmi.Build(keys);
+
+    // Lookup throughput (present keys, shuffled probes).
+    Rng rng(13);
+    std::vector<int64_t> probes;
+    for (size_t i = 0; i < 200000; ++i) probes.push_back(keys[rng.Uniform(keys.size())]);
+
+    Timer t_b;
+    size_t hits_b = 0;
+    for (int64_t k : probes) hits_b += btree.Contains(k);
+    double btree_ns = t_b.ElapsedMicros() * 1000.0 / probes.size();
+
+    Timer t_r;
+    size_t hits_r = 0;
+    for (int64_t k : probes) hits_r += rmi.Contains(k);
+    double rmi_ns = t_r.ElapsedMicros() * 1000.0 / probes.size();
+    if (hits_b != probes.size() || hits_r != probes.size()) {
+      std::printf("# WARNING: lookup misses (btree %zu rmi %zu of %zu)\n", hits_b,
+                  hits_r, probes.size());
+    }
+
+    // Index overhead: structure bytes beyond the key payload.
+    double btree_overhead =
+        static_cast<double>(btree.MemoryBytes()) - static_cast<double>(kN) * 16.0;
+    double rmi_overhead = static_cast<double>(rmi.ModelBytes());
+
+    std::printf("E9,learned_index,%s/n=%zu,lookup_ns,%.1f,%.1f,%.2f\n", dist, kN,
+                btree_ns, rmi_ns, btree_ns / rmi_ns);
+    std::printf("E9,learned_index,%s/n=%zu,index_overhead_bytes,%.0f,%.0f,%.1f\n",
+                dist, kN, btree_overhead, rmi_overhead,
+                btree_overhead / rmi_overhead);
+    std::printf("E9,learned_index,%s/n=%zu,rmi_avg_error,%.2f,%.2f,1.00\n", dist,
+                kN, rmi.avg_error(), rmi.avg_error());
+  }
+
+  // Updatable comparison: ALEX vs B+tree on an insert+lookup mix.
+  {
+    const size_t kBase = 500000, kOps = 300000;
+    auto keys = MakeKeys(kBase, "uniform", 17);
+    std::vector<std::pair<int64_t, uint64_t>> pairs;
+    for (size_t i = 0; i < keys.size(); ++i)
+      pairs.emplace_back(keys[i], static_cast<uint64_t>(i));
+
+    BTree btree;
+    btree.BulkLoad(pairs);
+    AlexIndex alex;
+    alex.BulkLoad(pairs);
+
+    Rng rng(19);
+    Timer t_b;
+    for (size_t i = 0; i < kOps; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        btree.Insert(rng.UniformInt(0, 1LL << 40), i);
+      } else {
+        benchmark::DoNotOptimize(btree.Contains(keys[rng.Uniform(keys.size())]));
+      }
+    }
+    double btree_mix_ns = t_b.ElapsedMicros() * 1000.0 / kOps;
+
+    Rng rng2(19);
+    Timer t_a;
+    for (size_t i = 0; i < kOps; ++i) {
+      if (rng2.Bernoulli(0.5)) {
+        alex.Insert(rng2.UniformInt(0, 1LL << 40), i);
+      } else {
+        benchmark::DoNotOptimize(alex.Find(keys[rng2.Uniform(keys.size())]));
+      }
+    }
+    double alex_mix_ns = t_a.ElapsedMicros() * 1000.0 / kOps;
+    std::printf("E9,learned_index,mixed_rw/n=%zu,op_ns,%.1f,%.1f,%.2f\n", kBase,
+                btree_mix_ns, alex_mix_ns, btree_mix_ns / alex_mix_ns);
+    std::printf("E9,learned_index,alex_segments,count,%zu,%zu,1.00\n",
+                alex.num_segments(), alex.num_segments());
+  }
+}
+
+void BM_BTreeLookup(benchmark::State& state) {
+  auto keys = MakeKeys(1000000, "uniform", 3);
+  std::vector<std::pair<int64_t, uint64_t>> pairs;
+  for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i);
+  BTree btree;
+  btree.BulkLoad(pairs);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(btree.Contains(keys[rng.Uniform(keys.size())]));
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_RmiLookup(benchmark::State& state) {
+  auto keys = MakeKeys(1000000, "uniform", 3);
+  RmiIndex rmi(4096);
+  rmi.Build(keys);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmi.Contains(keys[rng.Uniform(keys.size())]));
+  }
+}
+BENCHMARK(BM_RmiLookup);
+
+void BM_AlexInsert(benchmark::State& state) {
+  AlexIndex alex;
+  Rng rng(5);
+  for (auto _ : state) {
+    alex.Insert(rng.UniformInt(0, 1LL << 40), 1);
+  }
+}
+BENCHMARK(BM_AlexInsert);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E10 — Learned data structure design / LSM design continuum (survey §2.3,
+// Idreos et al.). Shape: the cost-model-guided tuner adapts the LSM design
+// (leveling/tiering, memtable, size ratio, bloom bits) to the read/write
+// mix, beating the one-size-fits-all default both on the analytic model and
+// on the measured substrate (write/read amplification, wall time).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "design/lsm_tuner/lsm_tuner.h"
+#include "storage/lsm.h"
+
+namespace {
+
+using namespace aidb;
+using namespace aidb::design;
+
+double MeasureWallSeconds(const LsmOptions& opts, const LsmWorkload& w,
+                          uint64_t seed) {
+  LsmTree lsm(opts);
+  Rng rng(seed);
+  ZipfGenerator zipf(w.key_space, 0.8, seed ^ 0x55);
+  Timer t;
+  size_t writes = w.num_writes, reads = w.num_point_reads;
+  double write_frac = w.WriteFraction();
+  for (size_t op = 0; op < writes + reads; ++op) {
+    if (rng.Bernoulli(write_frac)) {
+      lsm.Put(static_cast<int64_t>(zipf.Next()), "v");
+    } else {
+      benchmark::DoNotOptimize(lsm.Get(static_cast<int64_t>(zipf.Next())));
+    }
+  }
+  return t.ElapsedSeconds();
+}
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+  LsmCostModel model;
+  LsmDesignTuner tuner;
+
+  struct Mix {
+    const char* name;
+    size_t writes, reads;
+  };
+  for (const Mix& mix : {Mix{"write_heavy", 160000, 20000},
+                         Mix{"balanced", 90000, 90000},
+                         Mix{"read_heavy", 20000, 160000}}) {
+    LsmWorkload w;
+    w.num_writes = mix.writes;
+    w.num_point_reads = mix.reads;
+    w.key_space = 50000;
+    w.read_hit_fraction = 0.5;
+
+    LsmOptions def = LsmDesignTuner::DefaultDesign();
+    auto tuned = tuner.Tune(w);
+
+    double model_def = model.TotalCost(def, w);
+    double model_tuned = tuned.model_cost;
+    std::printf("E10,lsm_design,%s,model_cost,%.1f,%.1f,%.2f\n", mix.name,
+                model_def, model_tuned, model_def / model_tuned);
+    std::printf("E10,lsm_design,%s,tuned_design,ratio=%zu bloom=%zu %s mem=%zu,,%zu\n",
+                mix.name, tuned.options.size_ratio,
+                tuned.options.bloom_bits_per_key,
+                tuned.options.leveling ? "leveling" : "tiering",
+                tuned.options.memtable_capacity, tuned.steps);
+
+    double wall_def = MeasureWallSeconds(def, w, 3);
+    double wall_tuned = MeasureWallSeconds(tuned.options, w, 3);
+    std::printf("E10,lsm_design,%s,measured_seconds,%.3f,%.3f,%.2f\n", mix.name,
+                wall_def, wall_tuned, wall_def / std::max(wall_tuned, 1e-9));
+
+    // Amplification diagnostics on the measured runs.
+    LsmTree a(def), b(tuned.options);
+    Rng rng(9);
+    for (size_t i = 0; i < mix.writes; ++i)
+      a.Put(static_cast<int64_t>(rng.Uniform(w.key_space)), "v");
+    Rng rng2(9);
+    for (size_t i = 0; i < mix.writes; ++i)
+      b.Put(static_cast<int64_t>(rng2.Uniform(w.key_space)), "v");
+    std::printf("E10,lsm_design,%s,write_amplification,%.2f,%.2f,%.2f\n", mix.name,
+                a.stats().WriteAmplification(), b.stats().WriteAmplification(),
+                a.stats().WriteAmplification() /
+                    std::max(b.stats().WriteAmplification(), 1e-9));
+  }
+}
+
+void BM_LsmPut(benchmark::State& state) {
+  LsmOptions opts;
+  opts.memtable_capacity = static_cast<size_t>(state.range(0));
+  LsmTree lsm(opts);
+  Rng rng(5);
+  for (auto _ : state) {
+    lsm.Put(rng.UniformInt(0, 1000000), "v");
+  }
+}
+BENCHMARK(BM_LsmPut)->Arg(1024)->Arg(8192);
+
+void BM_LsmGet(benchmark::State& state) {
+  LsmOptions opts;
+  opts.bloom_bits_per_key = static_cast<size_t>(state.range(0));
+  LsmTree lsm(opts);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) lsm.Put(rng.UniformInt(0, 1000000), "v");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsm.Get(rng.UniformInt(0, 2000000)));
+  }
+}
+BENCHMARK(BM_LsmGet)->Arg(0)->Arg(10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E12 — Learning-based database monitoring (survey §2.4): workload
+// forecasting, root-cause diagnosis, bandit activity auditing, concurrent
+// performance prediction. Shape: each learned monitor beats its static
+// baseline on the metric its literature reports.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "monitor/activity.h"
+#include "monitor/diagnose.h"
+#include "monitor/forecast.h"
+#include "monitor/perf_pred.h"
+
+namespace {
+
+using namespace aidb::monitor;
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+
+  // --- Workload forecasting (QueryBot-style). ---
+  {
+    TraceOptions topts;
+    topts.length = 2000;
+    auto trace = GenerateArrivalTrace(topts);
+    LastValueForecaster last;
+    MovingAverageForecaster ma;
+    LinearArForecaster linear(48);
+    MlpForecaster mlp(48);
+    double e_last = EvaluateForecaster(&last, trace, 1400);
+    double e_ma = EvaluateForecaster(&ma, trace, 1400);
+    double e_lin = EvaluateForecaster(&linear, trace, 1400);
+    double e_mlp = EvaluateForecaster(&mlp, trace, 1400);
+    std::printf("E12,forecast,last_value_vs_linear_ar,mape,%.3f,%.3f,%.2f\n",
+                e_last, e_lin, e_last / e_lin);
+    std::printf("E12,forecast,moving_avg_vs_linear_ar,mape,%.3f,%.3f,%.2f\n", e_ma,
+                e_lin, e_ma / e_lin);
+    std::printf("E12,forecast,moving_avg_vs_mlp_ar,mape,%.3f,%.3f,%.2f\n", e_ma,
+                e_mlp, e_ma / e_mlp);
+  }
+
+  // --- Root-cause diagnosis (iSQUAD-style). ---
+  for (double noise : {0.1, 0.2}) {
+    auto train = GenerateIncidents(800, 1, noise);
+    auto test = GenerateIncidents(400, 2, noise);
+    ClusterDiagnoser::Options copts;
+    copts.clusters = 10;
+    ClusterDiagnoser learned(copts);
+    learned.Fit(train);
+    RuleDiagnoser rules;
+    std::printf("E12,diagnose,noise=%.1f,accuracy,%.3f,%.3f,%.2f\n", noise,
+                rules.Accuracy(test), learned.Accuracy(test),
+                learned.Accuracy(test) / rules.Accuracy(test));
+    std::printf("E12,diagnose,noise=%.1f,dba_labels_needed,%zu,%zu,%.3f\n", noise,
+                train.size(), learned.dba_labels_used(),
+                static_cast<double>(learned.dba_labels_used()) / train.size());
+  }
+
+  // --- Activity monitoring (MAB). ---
+  {
+    ActivityStreamOptions aopts;
+    aopts.steps = 5000;
+    RandomActivitySelector rnd(1);
+    RoundRobinActivitySelector rr;
+    BanditActivitySelector bandit;
+    auto r_rnd = RunActivityMonitor(aopts, &rnd);
+    auto r_rr = RunActivityMonitor(aopts, &rr);
+    auto r_bandit = RunActivityMonitor(aopts, &bandit);
+    std::printf("E12,activity,random_vs_bandit,risk_capture,%.3f,%.3f,%.2f\n",
+                r_rnd.CaptureRate(), r_bandit.CaptureRate(),
+                r_bandit.CaptureRate() / r_rnd.CaptureRate());
+    std::printf("E12,activity,round_robin_vs_bandit,risk_capture,%.3f,%.3f,%.2f\n",
+                r_rr.CaptureRate(), r_bandit.CaptureRate(),
+                r_bandit.CaptureRate() / r_rr.CaptureRate());
+  }
+
+  // --- Concurrent performance prediction (graph embedding). ---
+  {
+    auto mixes = GenerateMixes(1600, 6, 5);
+    std::vector<WorkloadMix> train(mixes.begin(), mixes.begin() + 1200);
+    std::vector<WorkloadMix> test(mixes.begin() + 1200, mixes.end());
+    AdditivePerfPredictor additive;
+    GraphPerfPredictor graph;
+    graph.Fit(train);
+    double e_add = EvaluatePredictor(additive, test);
+    double e_graph = EvaluatePredictor(graph, test);
+    std::printf("E12,perf_pred,additive_vs_graph,mape,%.3f,%.3f,%.2f\n", e_add,
+                e_graph, e_add / e_graph);
+  }
+}
+
+void BM_ForecastPredict(benchmark::State& state) {
+  TraceOptions topts;
+  auto trace = GenerateArrivalTrace(topts);
+  MlpForecaster mlp(48);
+  std::vector<double> history(trace.begin(), trace.begin() + 1500);
+  mlp.Fit(history);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Predict(history));
+  }
+}
+BENCHMARK(BM_ForecastPredict);
+
+void BM_Diagnose(benchmark::State& state) {
+  auto train = GenerateIncidents(600, 1);
+  ClusterDiagnoser learned;
+  learned.Fit(train);
+  auto test = GenerateIncidents(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learned.Diagnose(test[0].kpis));
+  }
+}
+BENCHMARK(BM_Diagnose);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

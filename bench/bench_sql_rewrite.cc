@@ -1,0 +1,81 @@
+// E4 — Learned SQL rewriter (survey §2.1).
+// Shape: MCTS-chosen rule order matches or beats the fixed top-down pass on
+// every query and strictly wins where rule interactions matter (DeMorgan
+// must precede NOT-elimination before range merging exposes contradictions).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "advisor/rewrite/rewriter.h"
+
+namespace {
+
+using namespace aidb;
+using namespace aidb::advisor;
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+  Rng rng(77);
+
+  for (size_t depth : {2, 3, 4}) {
+    double fixed_total = 0, fixed2_total = 0, mcts_total = 0, original_total = 0;
+    size_t wins = 0, folded_to_false = 0;
+    const size_t kQueries = 40;
+    FixedOrderRewriter fixed(1);
+    FixedOrderRewriter fixed2(2);
+    MctsRewriter mcts;
+    for (size_t i = 0; i < kQueries; ++i) {
+      auto pred = GenerateRedundantPredicate(&rng, depth);
+      original_total += ExpressionCost(*pred);
+      auto f = fixed.Rewrite(*pred);
+      auto f2 = fixed2.Rewrite(*pred);
+      auto m = mcts.Rewrite(*pred);
+      fixed_total += f.cost;
+      fixed2_total += f2.cost;
+      mcts_total += m.cost;
+      if (m.cost < f.cost - 1e-9) ++wins;
+      if (m.cost <= 0.2) ++folded_to_false;
+    }
+    std::printf("E4,sql_rewrite,depth=%zu/fixed1_vs_mcts,pred_cost,%.1f,%.1f,%.2f\n",
+                depth, fixed_total, mcts_total, fixed_total / mcts_total);
+    std::printf("E4,sql_rewrite,depth=%zu/fixed2_vs_mcts,pred_cost,%.1f,%.1f,%.2f\n",
+                depth, fixed2_total, mcts_total, fixed2_total / mcts_total);
+    std::printf("E4,sql_rewrite,depth=%zu/original_vs_mcts,pred_cost,%.1f,%.1f,%.2f\n",
+                depth, original_total, mcts_total, original_total / mcts_total);
+    std::printf("E4,sql_rewrite,depth=%zu,mcts_strict_wins,%zu,%zu,%.2f\n", depth,
+                kQueries, wins, static_cast<double>(wins) / kQueries);
+    std::printf("E4,sql_rewrite,depth=%zu,folded_to_constant,%zu,%zu,%.2f\n",
+                depth, kQueries, folded_to_false,
+                static_cast<double>(folded_to_false) / kQueries);
+  }
+}
+
+void BM_FixedOrderRewrite(benchmark::State& state) {
+  Rng rng(5);
+  auto pred = GenerateRedundantPredicate(&rng, 3);
+  FixedOrderRewriter fixed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixed.Rewrite(*pred));
+  }
+}
+BENCHMARK(BM_FixedOrderRewrite);
+
+void BM_MctsRewrite(benchmark::State& state) {
+  Rng rng(5);
+  auto pred = GenerateRedundantPredicate(&rng, 3);
+  MctsRewriter mcts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcts.Rewrite(*pred));
+  }
+}
+BENCHMARK(BM_MctsRewrite);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E11 — Learned transaction scheduling (survey §2.3, Sheng et al.).
+// Shape: under hotspot contention the learned conflict predictor cuts abort
+// rates versus FIFO and approaches the lock-oracle upper bound; under low
+// contention all schedulers converge (no tax when learning has nothing to
+// offer).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "design/txn_sched/learned_scheduler.h"
+#include "txn/simulator.h"
+
+namespace {
+
+using namespace aidb;
+using namespace aidb::txn;
+using namespace aidb::design;
+
+void PrintExperimentTable() {
+  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+
+  struct Contention {
+    const char* name;
+    size_t keyspace;
+    double theta;
+  };
+  for (const Contention& c : {Contention{"low", 100000, 0.2},
+                              Contention{"medium", 2000, 0.9},
+                              Contention{"high", 300, 1.1}}) {
+    TxnWorkloadOptions wopts;
+    wopts.num_txns = 2000;
+    wopts.keyspace = c.keyspace;
+    wopts.zipf_theta = c.theta;
+    wopts.write_fraction = 0.6;
+    auto workload = GenerateTxnWorkload(wopts);
+
+    TxnSimulator sim;
+    FifoScheduler fifo;
+    auto r_fifo = sim.Run(workload, &fifo);
+    LearnedTxnScheduler learned;
+    auto r_learned = sim.Run(workload, &learned);
+    OracleTxnScheduler oracle;
+    auto r_oracle = sim.Run(workload, &oracle);
+
+    std::printf("E11,txn_sched,%s/fifo_vs_learned,aborts,%zu,%zu,%.2f\n", c.name,
+                r_fifo.aborted, r_learned.aborted,
+                static_cast<double>(r_fifo.aborted) /
+                    std::max<size_t>(r_learned.aborted, 1));
+    std::printf("E11,txn_sched,%s/fifo_vs_learned,throughput,%.2f,%.2f,%.2f\n",
+                c.name, r_fifo.Throughput(), r_learned.Throughput(),
+                r_learned.Throughput() / r_fifo.Throughput());
+    std::printf("E11,txn_sched,%s/learned_vs_oracle,aborts,%zu,%zu,%.2f\n", c.name,
+                r_learned.aborted, r_oracle.aborted,
+                static_cast<double>(r_learned.aborted) /
+                    std::max<size_t>(r_oracle.aborted, 1));
+  }
+
+  // Write-fraction sweep at high contention.
+  for (double wf : {0.2, 0.5, 0.8}) {
+    TxnWorkloadOptions wopts;
+    wopts.num_txns = 1500;
+    wopts.keyspace = 300;
+    wopts.zipf_theta = 1.1;
+    wopts.write_fraction = wf;
+    auto workload = GenerateTxnWorkload(wopts);
+    TxnSimulator sim;
+    FifoScheduler fifo;
+    LearnedTxnScheduler learned;
+    auto r_fifo = sim.Run(workload, &fifo);
+    auto r_learned = sim.Run(workload, &learned);
+    std::printf("E11,txn_sched,write_frac=%.1f,abort_rate,%.3f,%.3f,%.2f\n", wf,
+                r_fifo.AbortRate(), r_learned.AbortRate(),
+                r_fifo.AbortRate() / std::max(r_learned.AbortRate(), 1e-9));
+  }
+}
+
+void BM_FifoSimulation(benchmark::State& state) {
+  TxnWorkloadOptions wopts;
+  wopts.num_txns = 500;
+  wopts.keyspace = 500;
+  wopts.zipf_theta = 1.0;
+  auto workload = GenerateTxnWorkload(wopts);
+  for (auto _ : state) {
+    TxnSimulator sim;
+    FifoScheduler fifo;
+    benchmark::DoNotOptimize(sim.Run(workload, &fifo));
+  }
+}
+BENCHMARK(BM_FifoSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_LearnedSimulation(benchmark::State& state) {
+  TxnWorkloadOptions wopts;
+  wopts.num_txns = 500;
+  wopts.keyspace = 500;
+  wopts.zipf_theta = 1.0;
+  auto workload = GenerateTxnWorkload(wopts);
+  for (auto _ : state) {
+    TxnSimulator sim;
+    LearnedTxnScheduler learned;
+    benchmark::DoNotOptimize(sim.Run(workload, &learned));
+  }
+}
+BENCHMARK(BM_LearnedSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

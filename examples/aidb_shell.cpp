@@ -1,0 +1,113 @@
+// Interactive AIDB shell: type SQL (including the DB4AI extensions) against
+// an in-memory engine. Ships with an optional demo dataset.
+//
+//   ./build/examples/example_aidb_shell            # empty database
+//   ./build/examples/example_aidb_shell --demo     # preloaded star schema
+//
+// Meta-commands: \tables  \indexes  \models  \help  \quit
+// Everything else is SQL:  CREATE TABLE / INSERT / SELECT / EXPLAIN SELECT /
+// UPDATE / DELETE / ANALYZE / CREATE INDEX / CREATE MODEL / SHOW MODELS ...
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "exec/database.h"
+#include "workload/generator.h"
+
+using namespace aidb;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "SQL statements end at the newline. Examples:\n"
+      "  CREATE TABLE t (a INT, b DOUBLE, c STRING)\n"
+      "  INSERT INTO t VALUES (1, 2.5, 'x'), (2, 3.5, 'y')\n"
+      "  SELECT c, COUNT(*), AVG(b) FROM t GROUP BY c ORDER BY c\n"
+      "  EXPLAIN SELECT a FROM t WHERE a = 1\n"
+      "  CREATE INDEX i ON t(a)\n"
+      "  ANALYZE t\n"
+      "  CREATE MODEL m TYPE linear PREDICT b ON t FEATURES (a)\n"
+      "  SELECT PREDICT(m, a) FROM t LIMIT 5\n"
+      "Meta: \\tables \\indexes \\models \\help \\quit\n");
+}
+
+void LoadDemo(Database* db) {
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 10000;
+  schema.dim_rows = 300;
+  if (workload::BuildStarSchema(db, schema).ok()) {
+    std::printf("demo loaded: fact(id, d0_id..d2_id, a, b, c) x %zu rows, "
+                "dim0..dim2(id, attr, grp) x %zu rows, ANALYZEd.\n",
+                schema.fact_rows, schema.dim_rows);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--demo") LoadDemo(&db);
+  }
+  std::printf("AIDB shell — \\help for help, \\quit to exit.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("aidb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t");
+    line = line.substr(b, e - b + 1);
+
+    if (line == "\\quit" || line == "\\q" || line == "exit") break;
+    if (line == "\\help" || line == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == "\\tables") {
+      for (const auto& name : db.catalog().TableNames()) {
+        auto t = db.catalog().GetTable(name);
+        std::printf("  %-16s %s  (%zu rows)\n", name.c_str(),
+                    t.ValueOrDie()->schema().ToString().c_str(),
+                    t.ValueOrDie()->NumRows());
+      }
+      continue;
+    }
+    if (line == "\\indexes") {
+      for (const auto& name : db.catalog().TableNames()) {
+        for (const auto* idx : db.catalog().IndexesOn(name)) {
+          std::printf("  %-16s ON %s(%s) %s\n", idx->name.c_str(),
+                      idx->table.c_str(), idx->column.c_str(),
+                      idx->is_btree ? "BTREE" : "HASH");
+        }
+      }
+      continue;
+    }
+    if (line == "\\models") {
+      for (const auto& m : db.models().ListModels()) {
+        std::printf("  %-16s %-8s v%zu  target=%s table=%s rows=%zu\n",
+                    m.name.c_str(), m.type.c_str(), m.version, m.target.c_str(),
+                    m.table.c_str(), m.train_rows);
+      }
+      continue;
+    }
+
+    auto result = db.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const QueryResult& r = result.ValueOrDie();
+    std::printf("%s", r.ToString(40).c_str());
+    if (!r.rows.empty() || !r.columns.empty()) {
+      std::printf("(%zu rows, %.2f ms)\n", r.rows.size(), r.elapsed_ms);
+    }
+  }
+  std::printf("bye.\n");
+  return 0;
+}

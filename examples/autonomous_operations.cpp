@@ -1,0 +1,100 @@
+// Scenario: autonomous database operations (the survey's monitoring +
+// security sections as one on-call stack). A simulated fleet produces
+// arrival-rate traces, slow-query incidents, audit streams and a query log;
+// learned monitors forecast load, diagnose root causes, focus the audit
+// budget, and screen queries for injections — each next to its traditional
+// baseline.
+//
+//   ./build/examples/example_autonomous_operations
+
+#include <cstdio>
+
+#include "design/txn_sched/learned_scheduler.h"
+#include "monitor/activity.h"
+#include "monitor/diagnose.h"
+#include "monitor/forecast.h"
+#include "monitor/perf_pred.h"
+#include "security/injection.h"
+#include "txn/simulator.h"
+
+using namespace aidb;
+using namespace aidb::monitor;
+
+int main() {
+  // 1. Capacity planning: forecast tomorrow's arrival rates.
+  TraceOptions topts;
+  topts.length = 2000;
+  auto trace = GenerateArrivalTrace(topts);
+  MovingAverageForecaster ma;
+  MlpForecaster mlp(48);
+  double e_ma = EvaluateForecaster(&ma, trace, 1400);
+  double e_mlp = EvaluateForecaster(&mlp, trace, 1400);
+  std::printf("[forecast] one-step MAPE: moving-average %.1f%%, learned %.1f%%\n",
+              100 * e_ma, 100 * e_mlp);
+
+  // 2. Slow-query diagnosis with a handful of DBA labels.
+  auto history = GenerateIncidents(800, 1);
+  auto tonight = GenerateIncidents(200, 2);
+  ClusterDiagnoser diagnoser;
+  diagnoser.Fit(history);
+  RuleDiagnoser runbook;
+  std::printf("[diagnose] accuracy: runbook %.1f%%, clustered %.1f%% "
+              "(using %zu DBA labels for %zu incidents)\n",
+              100 * runbook.Accuracy(tonight), 100 * diagnoser.Accuracy(tonight),
+              diagnoser.dba_labels_used(), history.size());
+  // Triage one live incident.
+  std::printf("[diagnose] incident kpis -> %s\n",
+              RootCauseName(diagnoser.Diagnose(tonight[0].kpis)));
+
+  // 3. Audit budget: 2 of 12 activity classes per tick.
+  ActivityStreamOptions aopts;
+  aopts.steps = 4000;
+  RandomActivitySelector spot_check(1);
+  BanditActivitySelector bandit;
+  auto r_spot = RunActivityMonitor(aopts, &spot_check);
+  auto r_bandit = RunActivityMonitor(aopts, &bandit);
+  std::printf("[audit] risky events caught: spot-check %.1f%%, bandit %.1f%%\n",
+              100 * r_spot.CaptureRate(), 100 * r_bandit.CaptureRate());
+
+  // 4. Admission control: predict whether a concurrent mix will blow the SLA.
+  auto mixes = GenerateMixes(1500, 6, 5);
+  std::vector<WorkloadMix> train(mixes.begin(), mixes.begin() + 1100);
+  std::vector<WorkloadMix> live(mixes.begin() + 1100, mixes.end());
+  AdditivePerfPredictor additive;
+  GraphPerfPredictor graph;
+  graph.Fit(train);
+  std::printf("[perf] latency prediction MAPE: additive %.1f%%, graph %.1f%%\n",
+              100 * EvaluatePredictor(additive, live),
+              100 * EvaluatePredictor(graph, live));
+
+  // 5. OLTP hotspot: learned transaction scheduling.
+  txn::TxnWorkloadOptions wopts;
+  wopts.num_txns = 1500;
+  wopts.keyspace = 300;
+  wopts.zipf_theta = 1.1;
+  auto txns = txn::GenerateTxnWorkload(wopts);
+  txn::TxnSimulator sim;
+  txn::FifoScheduler fifo;
+  design::LearnedTxnScheduler learned_sched;
+  auto r_fifo = sim.Run(txns, &fifo);
+  auto r_learned = sim.Run(txns, &learned_sched);
+  std::printf("[txn] aborts under hotspot: fifo %zu, learned %zu "
+              "(throughput %.2f -> %.2f)\n",
+              r_fifo.aborted, r_learned.aborted, r_fifo.Throughput(),
+              r_learned.Throughput());
+
+  // 6. Perimeter: screen the incoming query log for injections.
+  auto corpus = security::GenerateInjectionCorpus(1200, 7, 0.4);
+  security::LearnedInjectionDetector detector;
+  detector.Fit(corpus);
+  auto live_log = security::GenerateInjectionCorpus(400, 9, 0.9);
+  auto [tpr, fpr] = detector.Evaluate(live_log);
+  std::printf("[security] obfuscated injection screen: TPR %.1f%%, FPR %.1f%%\n",
+              100 * tpr, 100 * fpr);
+  const char* probe = "SELECT * FROM users WHERE id = '1' oR ''='' --";
+  std::printf("[security] probe \"%s\" -> %s\n", probe,
+              detector.IsAttack(probe) ? "BLOCKED" : "allowed");
+
+  std::printf("autonomous operations scenario complete.\n");
+  return 0;
+}

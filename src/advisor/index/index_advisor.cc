@@ -1,0 +1,206 @@
+#include "advisor/index/index_advisor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "exec/planner.h"
+#include "ml/qlearning.h"
+#include "optimizer/cardinality.h"
+
+namespace aidb::advisor {
+
+IndexWhatIfModel::IndexWhatIfModel(
+    const Database* db, const std::vector<workload::GeneratedQuery>* queries) {
+  HistogramEstimator est(&db->catalog());
+
+  auto candidate_id = [&](const std::string& table,
+                          const std::string& column) -> size_t {
+    IndexCandidate c{table, column};
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      if (candidates_[i] == c) return i;
+    }
+    candidates_.push_back(c);
+    freq_.push_back(0);
+    return candidates_.size() - 1;
+  };
+
+  for (const auto& gq : *queries) {
+    std::vector<TableAccess> per_table;
+    // Map effective name -> catalog table for this query.
+    std::vector<std::pair<std::string, std::string>> rels;  // (eff, table)
+    for (const auto& f : gq.stmt->from) rels.emplace_back(f.EffectiveName(), f.table);
+    for (const auto& j : gq.stmt->joins)
+      rels.emplace_back(j.table.EffectiveName(), j.table.table);
+
+    std::vector<const sql::Expr*> conjuncts;
+    exec::SplitConjuncts(gq.stmt->where.get(), &conjuncts);
+
+    for (const auto& [eff, table] : rels) {
+      auto table_res = db->catalog().GetTable(table);
+      if (!table_res.ok()) continue;
+      const Table* t = table_res.ValueOrDie();
+      TableAccess access;
+      access.full_rows = static_cast<double>(t->NumRows());
+      for (const sql::Expr* c : conjuncts) {
+        // Indexable: col op literal where col belongs to this relation and is
+        // an INT column.
+        if (c->kind != sql::Expr::Kind::kBinary) continue;
+        const sql::Expr* colref = nullptr;
+        if (c->lhs->kind == sql::Expr::Kind::kColumnRef &&
+            c->rhs->kind == sql::Expr::Kind::kLiteral) {
+          colref = c->lhs.get();
+        } else if (c->rhs->kind == sql::Expr::Kind::kColumnRef &&
+                   c->lhs->kind == sql::Expr::Kind::kLiteral) {
+          colref = c->rhs.get();
+        } else {
+          continue;
+        }
+        if (!colref->table.empty() && colref->table != eff) continue;
+        int ci = t->schema().IndexOf(colref->column);
+        if (ci < 0) continue;
+        if (colref->table.empty()) {
+          // Unqualified: only attribute if unique across relations; the
+          // generator always qualifies, so skip ambiguity handling.
+        }
+        if (t->schema().column(static_cast<size_t>(ci)).type != ValueType::kInt)
+          continue;
+        double sel = est.PredicateSelectivity(table, *c);
+        size_t cid = candidate_id(table, colref->column);
+        ++freq_[cid];
+        access.usable.emplace_back(cid, sel);
+      }
+      per_table.push_back(std::move(access));
+    }
+    accesses_.push_back(std::move(per_table));
+  }
+}
+
+double IndexWhatIfModel::WorkloadCost(const std::set<size_t>& chosen) const {
+  double total = 0.0;
+  for (const auto& per_table : accesses_) {
+    for (const auto& access : per_table) {
+      double best = access.full_rows;  // seq scan
+      for (const auto& [cid, sel] : access.usable) {
+        if (chosen.count(cid)) {
+          // Index scan: rows*sel plus a per-probe overhead factor.
+          best = std::min(best, access.full_rows * sel + 10.0);
+        }
+      }
+      total += best;
+    }
+  }
+  // Maintenance charge per chosen index (writes, space).
+  total += 50.0 * static_cast<double>(chosen.size());
+  return total;
+}
+
+std::set<size_t> FrequencyIndexAdvisor::Recommend(const IndexWhatIfModel& model,
+                                                  size_t budget) {
+  std::vector<std::pair<size_t, size_t>> by_freq;  // (freq, candidate)
+  for (size_t i = 0; i < model.candidates().size(); ++i)
+    by_freq.emplace_back(model.PredicateFrequency(i), i);
+  std::sort(by_freq.rbegin(), by_freq.rend());
+  std::set<size_t> chosen;
+  for (size_t i = 0; i < by_freq.size() && chosen.size() < budget; ++i)
+    chosen.insert(by_freq[i].second);
+  return chosen;
+}
+
+std::set<size_t> GreedyIndexAdvisor::Recommend(const IndexWhatIfModel& model,
+                                               size_t budget) {
+  std::set<size_t> chosen;
+  double cur_cost = model.WorkloadCost(chosen);
+  while (chosen.size() < budget) {
+    double best_cost = cur_cost;
+    int best = -1;
+    for (size_t i = 0; i < model.candidates().size(); ++i) {
+      if (chosen.count(i)) continue;
+      auto trial = chosen;
+      trial.insert(i);
+      double cost = model.WorkloadCost(trial);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // no improving index
+    chosen.insert(static_cast<size_t>(best));
+    cur_cost = best_cost;
+  }
+  return chosen;
+}
+
+std::set<size_t> ExhaustiveIndexAdvisor::Recommend(const IndexWhatIfModel& model,
+                                                   size_t budget) {
+  size_t n = model.candidates().size();
+  std::set<size_t> best;
+  double best_cost = model.WorkloadCost(best);
+  // Enumerate all subsets up to `budget` (n is small in experiments).
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    if (static_cast<size_t>(__builtin_popcountll(mask)) > budget) continue;
+    std::set<size_t> s;
+    for (size_t i = 0; i < n; ++i)
+      if (mask & (1ULL << i)) s.insert(i);
+    double cost = model.WorkloadCost(s);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(s);
+    }
+  }
+  return best;
+}
+
+std::set<size_t> RlIndexAdvisor::Recommend(const IndexWhatIfModel& model,
+                                           size_t budget) {
+  size_t n = model.candidates().size();
+  if (n == 0) return {};
+  // Actions: add candidate i, or stop (action n).
+  ml::QLearner::Options qopts;
+  qopts.epsilon = 0.4;
+  qopts.epsilon_decay = 0.995;
+  qopts.alpha = 0.3;
+  qopts.seed = opts_.seed;
+  ml::QLearner q(n + 1, qopts);
+
+  double base_cost = model.WorkloadCost({});
+  std::set<size_t> best;
+  double best_cost = base_cost;
+
+  auto state_of = [](uint64_t mask) { return ml::HashCombine(0xfeed, mask); };
+
+  for (size_t ep = 0; ep < opts_.episodes; ++ep) {
+    std::set<size_t> chosen;
+    uint64_t mask = 0;
+    double prev_cost = base_cost;
+    for (size_t step = 0; step <= budget; ++step) {
+      uint64_t state = state_of(mask);
+      size_t action = q.SelectAction(state);
+      if (action == n || chosen.size() >= budget) {
+        q.Update(state, action, 0.0, state, /*terminal=*/true);
+        break;
+      }
+      if (chosen.count(action)) {
+        // Re-adding is wasted; small penalty, stay in place.
+        q.Update(state, action, -0.05, state);
+        continue;
+      }
+      chosen.insert(action);
+      uint64_t next_mask = mask | (1ULL << action);
+      double cost = model.WorkloadCost(chosen);
+      // Reward: normalized marginal cost reduction.
+      double reward = (prev_cost - cost) / std::max(base_cost, 1.0);
+      q.Update(state, action, reward, state_of(next_mask),
+               chosen.size() >= budget);
+      mask = next_mask;
+      prev_cost = cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = chosen;
+      }
+    }
+    q.EndEpisode();
+  }
+  return best;
+}
+
+}  // namespace aidb::advisor

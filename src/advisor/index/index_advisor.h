@@ -1,0 +1,107 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/database.h"
+#include "workload/generator.h"
+
+namespace aidb::advisor {
+
+/// A candidate secondary index.
+struct IndexCandidate {
+  std::string table;
+  std::string column;
+
+  bool operator==(const IndexCandidate& o) const {
+    return table == o.table && column == o.column;
+  }
+};
+
+/// \brief What-if cost model for index selection.
+///
+/// Extracts, per query and per table, the most selective indexable predicate
+/// (col op literal over an INT column) using catalog histograms; a chosen
+/// index on that column turns the full scan into an index scan of
+/// rows * selectivity. The same model serves every advisor so comparisons
+/// isolate the *search strategy* — which is the survey's point.
+class IndexWhatIfModel {
+ public:
+  IndexWhatIfModel(const Database* db,
+                   const std::vector<workload::GeneratedQuery>* queries);
+
+  /// Candidate indexes mined from the workload's predicates.
+  const std::vector<IndexCandidate>& candidates() const { return candidates_; }
+
+  /// Estimated total workload scan cost (rows touched) with `chosen` indexes
+  /// (indices into candidates()).
+  double WorkloadCost(const std::set<size_t>& chosen) const;
+
+  /// How often candidate i's column appears in predicates (for the frequency
+  /// baseline).
+  size_t PredicateFrequency(size_t candidate) const { return freq_[candidate]; }
+
+ private:
+  struct TableAccess {
+    double full_rows;             ///< table cardinality
+    std::vector<std::pair<size_t, double>> usable;  ///< (candidate, selectivity)
+  };
+  // Per query, per referenced table.
+  std::vector<std::vector<TableAccess>> accesses_;
+  std::vector<IndexCandidate> candidates_;
+  std::vector<size_t> freq_;
+};
+
+/// \brief Strategy interface for index selection under a budget of k indexes.
+class IndexAdvisor {
+ public:
+  virtual ~IndexAdvisor() = default;
+  virtual std::set<size_t> Recommend(const IndexWhatIfModel& model,
+                                     size_t budget) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Picks the columns most frequently referenced in predicates (the naive
+/// DBA rule of thumb).
+class FrequencyIndexAdvisor : public IndexAdvisor {
+ public:
+  std::set<size_t> Recommend(const IndexWhatIfModel& model, size_t budget) override;
+  std::string name() const override { return "frequency"; }
+};
+
+/// Classic greedy what-if advisor: repeatedly adds the index with the
+/// largest marginal cost reduction.
+class GreedyIndexAdvisor : public IndexAdvisor {
+ public:
+  std::set<size_t> Recommend(const IndexWhatIfModel& model, size_t budget) override;
+  std::string name() const override { return "greedy_whatif"; }
+};
+
+/// Exact optimum by exhaustive enumeration (small candidate sets only).
+class ExhaustiveIndexAdvisor : public IndexAdvisor {
+ public:
+  std::set<size_t> Recommend(const IndexWhatIfModel& model, size_t budget) override;
+  std::string name() const override { return "exhaustive"; }
+};
+
+/// \brief Sadri-style RL index advisor: MDP whose state is the chosen index
+/// set, actions add one candidate, episode reward is the negative workload
+/// cost. Q-learning with episode restarts.
+class RlIndexAdvisor : public IndexAdvisor {
+ public:
+  struct Options {
+    size_t episodes = 400;
+    uint64_t seed = 42;
+  };
+  RlIndexAdvisor() : RlIndexAdvisor(Options()) {}
+  explicit RlIndexAdvisor(const Options& opts) : opts_(opts) {}
+
+  std::set<size_t> Recommend(const IndexWhatIfModel& model, size_t budget) override;
+  std::string name() const override { return "rl_mdp"; }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace aidb::advisor

@@ -1,0 +1,105 @@
+#include "advisor/knob/knob_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb::advisor {
+
+const char* KnobName(size_t knob) {
+  switch (knob) {
+    case kBufferPool: return "buffer_pool";
+    case kWorkMem: return "work_mem";
+    case kMaxConnections: return "max_connections";
+    case kIoConcurrency: return "io_concurrency";
+    case kWalSync: return "wal_sync";
+    case kCheckpointInterval: return "checkpoint_interval";
+    case kVacuumAggressiveness: return "vacuum";
+    case kParallelWorkers: return "parallel_workers";
+  }
+  return "?";
+}
+
+WorkloadProfile WorkloadProfile::Oltp() {
+  return {0.6, 0.05, 0.9, "oltp"};
+}
+WorkloadProfile WorkloadProfile::Olap() {
+  return {0.95, 0.9, 0.2, "olap"};
+}
+WorkloadProfile WorkloadProfile::Hybrid() {
+  return {0.75, 0.4, 0.5, "hybrid"};
+}
+
+double KnobEnvironment::TrueThroughput(const KnobConfig& c) const {
+  const WorkloadProfile& w = workload_;
+  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+
+  // --- Memory model: buffer pool and per-connection work_mem share a fixed
+  // physical budget; overcommit causes a swap cliff.
+  double connections = 0.1 + 0.9 * c[kMaxConnections];  // fraction of max clients
+  double mem_used = 0.55 * c[kBufferPool] + 0.9 * c[kWorkMem] * connections;
+  double swap_penalty = mem_used > 0.8 ? std::exp(-10.0 * (mem_used - 0.8)) : 1.0;
+
+  // --- Buffer pool: saturating read hit-rate benefit.
+  double hit_rate = 1.0 - std::exp(-4.0 * c[kBufferPool]);
+  double read_speed = 0.3 + 0.7 * hit_rate +
+                      0.25 * c[kIoConcurrency] * (1.0 - hit_rate);
+
+  // --- work_mem: analytic operators spill below a workload-dependent need.
+  double mem_need = 0.15 + 0.55 * w.analytic_fraction;
+  double spill = c[kWorkMem] >= mem_need
+                     ? 1.0
+                     : 0.3 + 0.7 * std::pow(c[kWorkMem] / mem_need, 1.5);
+
+  // --- Parallel workers: helps analytics, real OLTP coordination overhead.
+  double parallel_gain =
+      1.0 + 0.8 * w.analytic_fraction * std::sqrt(c[kParallelWorkers]) -
+      0.35 * (1.0 - w.analytic_fraction) * c[kParallelWorkers];
+
+  // --- Connections: throughput peaks sharply at offered demand, then
+  // thrashes (context switching, lock convoys).
+  double demand = w.concurrency_demand;
+  double conn_util = connections >= demand
+                         ? 1.0 - 2.5 * (connections - demand)
+                         : 0.2 + 0.8 * connections / demand;
+  conn_util = clamp01(conn_util) * 0.85 + 0.15;
+
+  // --- Writes: WAL sync costs writers; checkpoints smooth write stalls.
+  double write_fraction = 1.0 - w.read_fraction;
+  double wal_cost = 1.0 - 0.45 * c[kWalSync] * write_fraction;
+  double checkpoint = 1.0 - 0.5 * write_fraction *
+                                std::fabs(c[kCheckpointInterval] - 0.7);
+
+  // --- Vacuum: mid-range optimum (too little bloats, too much steals CPU).
+  double vacuum = 1.0 - 0.5 * std::pow(c[kVacuumAggressiveness] - 0.5, 2) * 4.0 *
+                            (0.5 + 0.5 * write_fraction);
+
+  double read_term = w.read_fraction * read_speed * spill * parallel_gain;
+  double write_term = write_fraction * (0.5 + 0.5 * c[kIoConcurrency]) * wal_cost;
+  double base = 1000.0 * (read_term + write_term);
+  return base * conn_util * swap_penalty * checkpoint * vacuum;
+}
+
+double KnobEnvironment::Evaluate(const KnobConfig& config) {
+  ++evaluations_;
+  double t = TrueThroughput(config);
+  if (noise_ > 0) t *= 1.0 + rng_.Gaussian(0.0, noise_);
+  return std::max(t, 0.0);
+}
+
+KnobConfig KnobEnvironment::DefaultConfig() {
+  // Conservative shipped defaults (small memory, sync on, low parallelism).
+  return {0.15, 0.1, 0.5, 0.2, 1.0, 0.5, 0.5, 0.1};
+}
+
+double KnobEnvironment::ApproxOptimum(size_t probes, uint64_t seed) const {
+  Rng rng(seed);
+  double best = 0.0;
+  for (size_t i = 0; i < probes; ++i) {
+    KnobConfig c;
+    for (double& v : c) v = rng.NextDouble();
+    best = std::max(best, TrueThroughput(c));
+  }
+  return best;
+}
+
+}  // namespace aidb::advisor

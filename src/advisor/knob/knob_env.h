@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aidb::advisor {
+
+/// Number of tunable knobs in the simulated engine.
+inline constexpr size_t kNumKnobs = 8;
+
+/// A configuration: each knob normalized to [0, 1].
+using KnobConfig = std::array<double, kNumKnobs>;
+
+/// Knob identities (modeled on documented PostgreSQL semantics).
+enum KnobId : size_t {
+  kBufferPool = 0,      ///< shared_buffers: hit-rate saturation + swap cliff
+  kWorkMem = 1,         ///< work_mem: sort/hash spill cliff, per-connection
+  kMaxConnections = 2,  ///< admission: throughput then thrashing
+  kIoConcurrency = 3,   ///< effective_io_concurrency
+  kWalSync = 4,         ///< synchronous_commit (continuous relaxation)
+  kCheckpointInterval = 5,
+  kVacuumAggressiveness = 6,
+  kParallelWorkers = 7,
+};
+
+const char* KnobName(size_t knob);
+
+/// Workload mix the environment responds to.
+struct WorkloadProfile {
+  double read_fraction = 0.5;      ///< reads vs writes
+  double analytic_fraction = 0.2;  ///< big scans/sorts vs point ops
+  double concurrency_demand = 0.5; ///< offered parallel clients (normalized)
+  std::string name = "hybrid";
+
+  static WorkloadProfile Oltp();
+  static WorkloadProfile Olap();
+  static WorkloadProfile Hybrid();
+};
+
+/// \brief Analytic knob-response surface standing in for a real DBMS.
+///
+/// Substitution (see DESIGN.md): knob tuners treat the DBMS as a black box
+/// `config -> throughput`; this surface reproduces the qualitative features
+/// that make tuning hard — interactions (work_mem x connections memory
+/// overcommit), saturation (buffer pool), cliffs (spills, thrashing) and
+/// workload dependence — with optional measurement noise.
+class KnobEnvironment {
+ public:
+  explicit KnobEnvironment(const WorkloadProfile& workload, double noise = 0.0,
+                           uint64_t seed = 42)
+      : workload_(workload), noise_(noise), rng_(seed) {}
+
+  /// Measured throughput (higher is better). Counts one evaluation.
+  double Evaluate(const KnobConfig& config);
+
+  /// Noise-free surface value (for regret computation in benchmarks).
+  double TrueThroughput(const KnobConfig& config) const;
+
+  /// Default (shipped) configuration.
+  static KnobConfig DefaultConfig();
+
+  size_t evaluations() const { return evaluations_; }
+  void ResetCounter() { evaluations_ = 0; }
+  const WorkloadProfile& workload() const { return workload_; }
+
+  /// Best throughput found by dense random probing (approximate optimum for
+  /// normalizing experiment results).
+  double ApproxOptimum(size_t probes = 20000, uint64_t seed = 7) const;
+
+ private:
+  WorkloadProfile workload_;
+  double noise_;
+  Rng rng_;
+  size_t evaluations_ = 0;
+};
+
+}  // namespace aidb::advisor

@@ -1,0 +1,257 @@
+#include "advisor/knob/knob_tuner.h"
+
+#include <algorithm>
+
+namespace aidb::advisor {
+
+namespace {
+
+void Record(TuningResult* r, const KnobConfig& c, double perf) {
+  ++r->evaluations;
+  if (perf > r->best_throughput) {
+    r->best_throughput = perf;
+    r->best_config = c;
+  }
+  r->trajectory.push_back(r->best_throughput);
+}
+
+KnobConfig LevelsToConfig(const std::array<size_t, kNumKnobs>& levels, size_t grid) {
+  KnobConfig c;
+  for (size_t i = 0; i < kNumKnobs; ++i) {
+    c[i] = grid > 1 ? static_cast<double>(levels[i]) / static_cast<double>(grid - 1)
+                    : 0.5;
+  }
+  return c;
+}
+
+}  // namespace
+
+TuningResult DefaultConfigTuner::Tune(KnobEnvironment* env, size_t budget) {
+  TuningResult r;
+  KnobConfig c = KnobEnvironment::DefaultConfig();
+  for (size_t i = 0; i < std::max<size_t>(budget, 1); ++i) {
+    Record(&r, c, env->Evaluate(c));
+  }
+  return r;
+}
+
+TuningResult RandomSearchTuner::Tune(KnobEnvironment* env, size_t budget) {
+  TuningResult r;
+  Rng rng(seed_);
+  for (size_t i = 0; i < budget; ++i) {
+    KnobConfig c;
+    for (double& v : c) v = rng.NextDouble();
+    Record(&r, c, env->Evaluate(c));
+  }
+  return r;
+}
+
+TuningResult CoordinateDescentTuner::Tune(KnobEnvironment* env, size_t budget) {
+  TuningResult r;
+  KnobConfig cur = KnobEnvironment::DefaultConfig();
+  Record(&r, cur, env->Evaluate(cur));
+  size_t knob = 0;
+  while (r.evaluations < budget) {
+    KnobConfig best_c = cur;
+    double best_p = -1.0;
+    for (size_t s = 0; s < steps_ && r.evaluations < budget; ++s) {
+      KnobConfig c = cur;
+      c[knob] = steps_ > 1 ? static_cast<double>(s) / static_cast<double>(steps_ - 1)
+                           : 0.5;
+      double p = env->Evaluate(c);
+      Record(&r, c, p);
+      if (p > best_p) {
+        best_p = p;
+        best_c = c;
+      }
+    }
+    cur = best_c;
+    knob = (knob + 1) % kNumKnobs;
+  }
+  return r;
+}
+
+uint64_t RlKnobTuner::StateOf(const std::array<size_t, kNumKnobs>& levels,
+                              uint64_t workload_tag) const {
+  // Coarse state aggregation (3 buckets per knob): tabular Q-values then
+  // generalize across nearby configurations, standing in for the actor
+  // network's generalization in CDBTune.
+  uint64_t h = workload_tag * 1000003 + 17;
+  for (size_t l : levels) h = ml::HashCombine(h, l * 3 / opts_.grid);
+  return h;
+}
+
+TuningResult RlKnobTuner::Tune(KnobEnvironment* env, size_t budget) {
+  TuningResult r;
+  const size_t num_actions = 2 * kNumKnobs;
+  ml::QLearner::Options qopts = opts_.q;
+  qopts.seed = opts_.seed;
+  ml::QLearner q(num_actions, qopts);
+  Rng rng(opts_.seed ^ 0x1234);
+
+  // Episodes start from the shipped defaults and, after the first, restart
+  // from the best configuration found so far with one knob perturbed —
+  // CDBTune's "tune from the current config" loop, not random restarts.
+  std::array<size_t, kNumKnobs> levels{};
+  std::array<size_t, kNumKnobs> best_levels{};
+  double best_perf = -1.0;
+  {
+    KnobConfig def = KnobEnvironment::DefaultConfig();
+    for (size_t i = 0; i < kNumKnobs; ++i) {
+      best_levels[i] = static_cast<size_t>(
+          def[i] * static_cast<double>(opts_.grid - 1) + 0.5);
+    }
+  }
+  auto reset = [&] {
+    levels = best_levels;
+    size_t knob = rng.Uniform(kNumKnobs);
+    levels[knob] = rng.Uniform(opts_.grid);
+  };
+  double prev_perf = env->Evaluate(LevelsToConfig(levels, opts_.grid));
+  Record(&r, LevelsToConfig(levels, opts_.grid), prev_perf);
+  best_perf = prev_perf;
+  best_levels = levels;
+
+  size_t step_in_episode = 0;
+  while (r.evaluations < budget) {
+    uint64_t state = StateOf(levels, 0);
+    size_t action = q.SelectAction(state);
+    size_t knob = action / 2;
+    bool inc = action % 2 == 0;
+    auto next_levels = levels;
+    if (inc && next_levels[knob] + 1 < opts_.grid) ++next_levels[knob];
+    if (!inc && next_levels[knob] > 0) --next_levels[knob];
+
+    KnobConfig c = LevelsToConfig(next_levels, opts_.grid);
+    double perf = env->Evaluate(c);
+    Record(&r, c, perf);
+    if (perf > best_perf) {
+      best_perf = perf;
+      best_levels = next_levels;
+    }
+    // CDBTune-style reward: normalized performance delta.
+    double reward = (perf - prev_perf) / std::max(prev_perf, 1.0);
+    q.Update(state, action, reward, StateOf(next_levels, 0));
+    levels = next_levels;
+    prev_perf = perf;
+
+    if (++step_in_episode >= opts_.episode_len) {
+      step_in_episode = 0;
+      q.EndEpisode();
+      reset();
+      if (r.evaluations < budget) {
+        prev_perf = env->Evaluate(LevelsToConfig(levels, opts_.grid));
+        Record(&r, LevelsToConfig(levels, opts_.grid), prev_perf);
+        if (prev_perf > best_perf) {
+          best_perf = prev_perf;
+          best_levels = levels;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+uint64_t QueryAwareKnobTuner::WorkloadTag(const WorkloadProfile& w) {
+  // Coarse featurization of the query mix (QTune's query2vec, reduced).
+  auto bucket = [](double x) { return static_cast<uint64_t>(x * 4.999); };
+  return 1 + bucket(w.read_fraction) * 25 + bucket(w.analytic_fraction) * 5 +
+         bucket(w.concurrency_demand);
+}
+
+void QueryAwareKnobTuner::Pretrain(const std::vector<WorkloadProfile>& mixes,
+                                   size_t budget_per_mix, double noise,
+                                   uint64_t seed) {
+  if (!shared_q_) {
+    ml::QLearner::Options qopts = opts_.q;
+    qopts.seed = opts_.seed;
+    shared_q_ = std::make_unique<ml::QLearner>(2 * kNumKnobs, qopts);
+  }
+  for (size_t i = 0; i < mixes.size(); ++i) {
+    KnobEnvironment env(mixes[i], noise, seed + i);
+    TuneInternal(&env, budget_per_mix);
+  }
+}
+
+TuningResult QueryAwareKnobTuner::Tune(KnobEnvironment* env, size_t budget) {
+  if (!shared_q_) {
+    ml::QLearner::Options qopts = opts_.q;
+    qopts.seed = opts_.seed;
+    shared_q_ = std::make_unique<ml::QLearner>(2 * kNumKnobs, qopts);
+  }
+  return TuneInternal(env, budget);
+}
+
+TuningResult QueryAwareKnobTuner::TuneInternal(KnobEnvironment* env,
+                                               size_t budget) {
+  TuningResult r;
+  ml::QLearner& q = *shared_q_;
+  Rng rng(opts_.seed ^ 0x9876);
+  uint64_t tag = WorkloadTag(env->workload());
+
+  std::array<size_t, kNumKnobs> levels{};
+  auto state_of = [&](const std::array<size_t, kNumKnobs>& lv) {
+    uint64_t h = tag * 1000003 + 17;
+    for (size_t l : lv) h = ml::HashCombine(h, l * 3 / opts_.grid);
+    return h;
+  };
+  auto remember = [&](double perf) {
+    auto it = best_by_tag_.find(tag);
+    if (it == best_by_tag_.end() || perf > it->second.first) {
+      best_by_tag_[tag] = {perf, levels};
+    }
+  };
+  auto reset = [&] {
+    auto it = best_by_tag_.find(tag);
+    if (it != best_by_tag_.end() && rng.Bernoulli(0.8)) {
+      // Warm start: resume from the best configuration known for this
+      // workload signature, with a small perturbation to keep exploring.
+      levels = it->second.second;
+    } else {
+      KnobConfig def = KnobEnvironment::DefaultConfig();
+      for (size_t i = 0; i < kNumKnobs; ++i) {
+        levels[i] = static_cast<size_t>(def[i] * static_cast<double>(opts_.grid - 1) + 0.5);
+      }
+    }
+    size_t knob = rng.Uniform(kNumKnobs);
+    levels[knob] = rng.Uniform(opts_.grid);
+  };
+  reset();
+  double prev_perf = env->Evaluate(LevelsToConfig(levels, opts_.grid));
+  Record(&r, LevelsToConfig(levels, opts_.grid), prev_perf);
+  remember(prev_perf);
+
+  size_t step_in_episode = 0;
+  while (r.evaluations < budget) {
+    uint64_t state = state_of(levels);
+    size_t action = q.SelectAction(state);
+    size_t knob = action / 2;
+    bool inc = action % 2 == 0;
+    auto next_levels = levels;
+    if (inc && next_levels[knob] + 1 < opts_.grid) ++next_levels[knob];
+    if (!inc && next_levels[knob] > 0) --next_levels[knob];
+
+    KnobConfig c = LevelsToConfig(next_levels, opts_.grid);
+    double perf = env->Evaluate(c);
+    Record(&r, c, perf);
+    double reward = (perf - prev_perf) / std::max(prev_perf, 1.0);
+    q.Update(state, action, reward, state_of(next_levels));
+    levels = next_levels;
+    prev_perf = perf;
+    remember(perf);
+
+    if (++step_in_episode >= opts_.episode_len) {
+      step_in_episode = 0;
+      q.EndEpisode();
+      reset();
+      if (r.evaluations < budget) {
+        prev_perf = env->Evaluate(LevelsToConfig(levels, opts_.grid));
+        Record(&r, LevelsToConfig(levels, opts_.grid), prev_perf);
+        remember(prev_perf);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace aidb::advisor

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "advisor/knob/knob_env.h"
+#include "ml/qlearning.h"
+
+namespace aidb::advisor {
+
+/// Result of a tuning session.
+struct TuningResult {
+  KnobConfig best_config{};
+  double best_throughput = 0.0;
+  size_t evaluations = 0;
+  std::vector<double> trajectory;  ///< best-so-far after each evaluation
+};
+
+/// \brief Strategy interface for automatic knob tuning. Implementations:
+/// CDBTune-style RL, QTune-style query-aware RL, random search, grid/manual
+/// heuristic — exactly the lineup the survey's configuration section covers.
+class KnobTuner {
+ public:
+  virtual ~KnobTuner() = default;
+  /// Tunes with at most `budget` environment evaluations.
+  virtual TuningResult Tune(KnobEnvironment* env, size_t budget) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Keeps the shipped defaults (the "no DBA" floor).
+class DefaultConfigTuner : public KnobTuner {
+ public:
+  TuningResult Tune(KnobEnvironment* env, size_t budget) override;
+  std::string name() const override { return "default"; }
+};
+
+/// Uniform random search (the classic black-box baseline).
+class RandomSearchTuner : public KnobTuner {
+ public:
+  explicit RandomSearchTuner(uint64_t seed = 42) : seed_(seed) {}
+  TuningResult Tune(KnobEnvironment* env, size_t budget) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Coordinate-descent "manual DBA" heuristic: sweeps one knob at a time.
+class CoordinateDescentTuner : public KnobTuner {
+ public:
+  explicit CoordinateDescentTuner(size_t steps_per_knob = 5)
+      : steps_(steps_per_knob) {}
+  TuningResult Tune(KnobEnvironment* env, size_t budget) override;
+  std::string name() const override { return "coordinate"; }
+
+ private:
+  size_t steps_;
+};
+
+/// \brief CDBTune-style deep-RL tuner, reduced to tabular Q-learning over a
+/// discretized configuration lattice.
+///
+/// State: current config discretized to `grid` levels per knob (hashed).
+/// Actions: {increase, decrease} x knob by one level. Reward: throughput
+/// delta, as in CDBTune's performance-difference reward shaping.
+class RlKnobTuner : public KnobTuner {
+ public:
+  struct Options {
+    size_t grid = 9;           ///< levels per knob
+    size_t episode_len = 24;   ///< steps before restarting from best-so-far
+    ml::QLearner::Options q;
+    uint64_t seed = 42;
+
+    Options() {
+      q.epsilon = 0.35;
+      q.epsilon_decay = 0.9;
+      q.min_epsilon = 0.08;
+      q.alpha = 0.3;
+    }
+  };
+
+  RlKnobTuner() : RlKnobTuner(Options()) {}
+  explicit RlKnobTuner(const Options& opts) : opts_(opts) {}
+  TuningResult Tune(KnobEnvironment* env, size_t budget) override;
+  std::string name() const override { return "rl_cdbtune"; }
+
+ protected:
+  uint64_t StateOf(const std::array<size_t, kNumKnobs>& levels,
+                   uint64_t workload_tag) const;
+
+  Options opts_;
+};
+
+/// \brief QTune-style query-aware tuner: like RlKnobTuner but the RL state
+/// also encodes the workload profile features, so one agent generalizes
+/// across workload mixes and warm-starts tuning of a new mix.
+class QueryAwareKnobTuner : public KnobTuner {
+ public:
+  using Options = RlKnobTuner::Options;
+  QueryAwareKnobTuner() : QueryAwareKnobTuner(Options()) {}
+  explicit QueryAwareKnobTuner(const Options& opts) : opts_(opts) {}
+
+  TuningResult Tune(KnobEnvironment* env, size_t budget) override;
+  /// Pre-trains on other workload mixes; subsequent Tune() calls reuse the
+  /// learned Q-table (this is QTune's query-feature transfer claim).
+  void Pretrain(const std::vector<WorkloadProfile>& mixes, size_t budget_per_mix,
+                double noise, uint64_t seed);
+  std::string name() const override { return "rl_qtune"; }
+
+ private:
+  TuningResult TuneInternal(KnobEnvironment* env, size_t budget);
+  static uint64_t WorkloadTag(const WorkloadProfile& w);
+
+  Options opts_;
+  std::unique_ptr<ml::QLearner> shared_q_;
+  /// Best (throughput, levels) seen per workload tag — episodes warm-start
+  /// here, which is the transfer QTune gets from query featurization.
+  std::map<uint64_t, std::pair<double, std::array<size_t, kNumKnobs>>> best_by_tag_;
+};
+
+}  // namespace aidb::advisor

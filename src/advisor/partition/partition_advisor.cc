@@ -1,0 +1,154 @@
+#include "advisor/partition/partition_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/qlearning.h"
+
+namespace aidb::advisor {
+
+double PartitionCostModel::Cost(const PartitionAssignment& assign) const {
+  const PartitionProblem& p = *p_;
+  double n = static_cast<double>(p.num_nodes);
+  double cost = 0.0;
+
+  for (size_t t = 0; t < p.tables.size(); ++t) {
+    const PartitionTable& table = p.tables[t];
+    size_t key = assign[t];
+    // Load imbalance on the partition key: a skewed key concentrates rows on
+    // one shard, so per-node work scales by the imbalance factor.
+    double imbalance = 1.0 + 3.0 * table.skew[key];
+    for (size_t c = 0; c < table.num_columns; ++c) {
+      double freq = table.eq_filter_freq[c];
+      // Equality filter on the partition key: routed to a single shard;
+      // otherwise scatter-gather over all nodes.
+      double nodes_touched = (c == key) ? 1.0 : n;
+      cost += freq * nodes_touched * (table.rows / n) * imbalance * 1e-3;
+    }
+  }
+  for (const auto& j : p.joins) {
+    bool co_partitioned = assign[j.table_a] == j.col_a && assign[j.table_b] == j.col_b;
+    double small = std::min(p.tables[j.table_a].rows, p.tables[j.table_b].rows);
+    // Local join vs full repartition shuffle of the smaller side.
+    double shuffle = co_partitioned ? 0.0 : small * 2.0;
+    double local = small / n;
+    cost += j.freq * (local + shuffle) * 1e-3;
+  }
+  return cost;
+}
+
+PartitionProblem GeneratePartitionProblem(size_t num_tables, size_t num_nodes,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  PartitionProblem p;
+  p.num_nodes = num_nodes;
+  for (size_t t = 0; t < num_tables; ++t) {
+    PartitionTable table;
+    table.name = "t" + std::to_string(t);
+    table.num_columns = 4;
+    table.rows = std::pow(10.0, 4 + rng.NextDouble() * 2);
+    for (size_t c = 0; c < table.num_columns; ++c) {
+      table.eq_filter_freq.push_back(rng.NextDouble());
+      table.skew.push_back(rng.Bernoulli(0.4) ? rng.UniformDouble(0.5, 0.95)
+                                              : rng.UniformDouble(0.0, 0.2));
+    }
+    // Make the most-filtered column skewed half the time — this is the trap
+    // the frequency heuristic falls into.
+    size_t hottest = 0;
+    for (size_t c = 1; c < table.num_columns; ++c)
+      if (table.eq_filter_freq[c] > table.eq_filter_freq[hottest]) hottest = c;
+    if (rng.Bernoulli(0.5)) table.skew[hottest] = rng.UniformDouble(0.6, 0.95);
+    p.tables.push_back(std::move(table));
+  }
+  // Join chain + random extra joins.
+  for (size_t t = 0; t + 1 < num_tables; ++t) {
+    PartitionJoin j;
+    j.table_a = t;
+    j.table_b = t + 1;
+    j.col_a = rng.Uniform(4);
+    j.col_b = rng.Uniform(4);
+    j.freq = rng.UniformDouble(0.5, 3.0);
+    p.joins.push_back(j);
+  }
+  return p;
+}
+
+PartitionAssignment FrequencyPartitionAdvisor::Recommend(
+    const PartitionCostModel& model) {
+  PartitionAssignment assign;
+  for (const auto& table : model.problem().tables) {
+    size_t best = 0;
+    for (size_t c = 1; c < table.num_columns; ++c)
+      if (table.eq_filter_freq[c] > table.eq_filter_freq[best]) best = c;
+    assign.push_back(best);
+  }
+  return assign;
+}
+
+PartitionAssignment ExhaustivePartitionAdvisor::Recommend(
+    const PartitionCostModel& model) {
+  const auto& tables = model.problem().tables;
+  PartitionAssignment cur(tables.size(), 0), best(tables.size(), 0);
+  double best_cost = std::numeric_limits<double>::max();
+  // Odometer enumeration over all assignments.
+  for (;;) {
+    double cost = model.Cost(cur);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = cur;
+    }
+    size_t i = 0;
+    for (; i < cur.size(); ++i) {
+      if (++cur[i] < tables[i].num_columns) break;
+      cur[i] = 0;
+    }
+    if (i == cur.size()) break;
+  }
+  return best;
+}
+
+PartitionAssignment RlPartitionAdvisor::Recommend(const PartitionCostModel& model) {
+  const auto& tables = model.problem().tables;
+  size_t max_cols = 0;
+  for (const auto& t : tables) max_cols = std::max(max_cols, t.num_columns);
+
+  ml::QLearner::Options qopts;
+  qopts.epsilon = 0.4;
+  qopts.epsilon_decay = 0.995;
+  qopts.alpha = 0.3;
+  qopts.seed = opts_.seed;
+  ml::QLearner q(max_cols, qopts);
+
+  PartitionAssignment best(tables.size(), 0);
+  double best_cost = model.Cost(best);
+
+  for (size_t ep = 0; ep < opts_.episodes; ++ep) {
+    PartitionAssignment assign;
+    uint64_t state = 0xfade0001;  // root
+    std::vector<std::pair<uint64_t, size_t>> path;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      size_t action = q.SelectAction(state);
+      if (action >= tables[t].num_columns) action = action % tables[t].num_columns;
+      assign.push_back(action);
+      path.emplace_back(state, action);
+      state = ml::HashCombine(state, action + 1);
+    }
+    double cost = model.Cost(assign);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = assign;
+    }
+    // Terminal reward shared along the trajectory (episodic return).
+    double reward = 1.0 / (1.0 + cost);
+    for (size_t i = path.size(); i-- > 0;) {
+      uint64_t next = i + 1 < path.size() ? path[i + 1].first : 0;
+      q.Update(path[i].first, path[i].second, i + 1 == path.size() ? reward : 0.0,
+               next, i + 1 == path.size());
+    }
+    q.EndEpisode();
+  }
+  return best;
+}
+
+}  // namespace aidb::advisor

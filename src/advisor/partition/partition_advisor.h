@@ -1,0 +1,100 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aidb::advisor {
+
+/// One table in the partitioning problem.
+struct PartitionTable {
+  std::string name;
+  size_t num_columns = 4;
+  double rows = 1e6;
+  /// Per-column equality-filter frequency in the workload (normalized).
+  std::vector<double> eq_filter_freq;
+  /// Per-column value skew in [0,1): 0 uniform (balanced shards), near 1
+  /// hot-key imbalance.
+  std::vector<double> skew;
+};
+
+/// Join between two tables on specific columns, with workload frequency.
+struct PartitionJoin {
+  size_t table_a, table_b;
+  size_t col_a, col_b;
+  double freq = 1.0;
+};
+
+/// Problem instance: tables + join workload on a simulated shared-nothing
+/// cluster of `num_nodes`.
+struct PartitionProblem {
+  std::vector<PartitionTable> tables;
+  std::vector<PartitionJoin> joins;
+  size_t num_nodes = 4;
+};
+
+/// Partition-key assignment: one column index per table.
+using PartitionAssignment = std::vector<size_t>;
+
+/// \brief Analytic cost of an assignment on the simulated cluster:
+///  - equality filters on the partition key touch 1 node, others all nodes;
+///  - co-partitioned joins are local, otherwise a full shuffle;
+///  - skewed partition keys pay a load-imbalance factor.
+/// This is the environment the Hilprecht-style RL advisor learns against.
+class PartitionCostModel {
+ public:
+  explicit PartitionCostModel(const PartitionProblem* problem) : p_(problem) {}
+
+  double Cost(const PartitionAssignment& assign) const;
+  const PartitionProblem& problem() const { return *p_; }
+
+ private:
+  const PartitionProblem* p_;
+};
+
+/// Generates random partitioning problem instances.
+PartitionProblem GeneratePartitionProblem(size_t num_tables, size_t num_nodes,
+                                          uint64_t seed);
+
+/// \brief Strategy interface for choosing partition keys.
+class PartitionAdvisor {
+ public:
+  virtual ~PartitionAdvisor() = default;
+  virtual PartitionAssignment Recommend(const PartitionCostModel& model) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Classic heuristic: partition each table on its most-filtered column
+/// (ignores joins and skew — the failure mode the survey calls out).
+class FrequencyPartitionAdvisor : public PartitionAdvisor {
+ public:
+  PartitionAssignment Recommend(const PartitionCostModel& model) override;
+  std::string name() const override { return "most_filtered"; }
+};
+
+/// Exhaustive optimum (small instances).
+class ExhaustivePartitionAdvisor : public PartitionAdvisor {
+ public:
+  PartitionAssignment Recommend(const PartitionCostModel& model) override;
+  std::string name() const override { return "exhaustive"; }
+};
+
+/// \brief Hilprecht-style RL advisor: episodes assign keys table-by-table,
+/// Q-learning over (table, partial assignment) states with cost-delta reward.
+class RlPartitionAdvisor : public PartitionAdvisor {
+ public:
+  struct Options {
+    size_t episodes = 600;
+    uint64_t seed = 42;
+  };
+  RlPartitionAdvisor() : RlPartitionAdvisor(Options()) {}
+  explicit RlPartitionAdvisor(const Options& opts) : opts_(opts) {}
+  PartitionAssignment Recommend(const PartitionCostModel& model) override;
+  std::string name() const override { return "rl"; }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace aidb::advisor

@@ -1,0 +1,445 @@
+#include "advisor/rewrite/rewriter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "ml/mcts.h"
+
+namespace aidb::advisor {
+
+using sql::Expr;
+using sql::OpType;
+
+const char* RuleName(RewriteRule rule) {
+  switch (rule) {
+    case RewriteRule::kConstantFold: return "constant_fold";
+    case RewriteRule::kDoubleNegation: return "double_negation";
+    case RewriteRule::kDeMorgan: return "de_morgan";
+    case RewriteRule::kNotComparison: return "not_comparison";
+    case RewriteRule::kBoolAbsorb: return "bool_absorb";
+    case RewriteRule::kRangeMerge: return "range_merge";
+    case RewriteRule::kContradiction: return "contradiction";
+    case RewriteRule::kTautology: return "tautology";
+    case RewriteRule::kNumRules: break;
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsLiteral(const Expr& e) { return e.kind == Expr::Kind::kLiteral; }
+bool IsTrue(const Expr& e) {
+  return IsLiteral(e) && !e.literal.is_null() && e.literal.AsFeature() != 0.0;
+}
+bool IsFalse(const Expr& e) {
+  return IsLiteral(e) && !e.literal.is_null() && e.literal.AsFeature() == 0.0;
+}
+
+std::unique_ptr<Expr> True() {
+  return Expr::MakeLiteral(Value(static_cast<int64_t>(1)));
+}
+std::unique_ptr<Expr> False() {
+  return Expr::MakeLiteral(Value(static_cast<int64_t>(0)));
+}
+
+bool IsComparison(OpType op) {
+  switch (op) {
+    case OpType::kEq: case OpType::kNe: case OpType::kLt:
+    case OpType::kLe: case OpType::kGt: case OpType::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+OpType NegateComparison(OpType op) {
+  switch (op) {
+    case OpType::kEq: return OpType::kNe;
+    case OpType::kNe: return OpType::kEq;
+    case OpType::kLt: return OpType::kGe;
+    case OpType::kLe: return OpType::kGt;
+    case OpType::kGt: return OpType::kLe;
+    case OpType::kGe: return OpType::kLt;
+    default: return op;
+  }
+}
+
+/// col-op-literal pattern match.
+bool MatchColLit(const Expr& e, std::string* col, OpType* op, double* lit) {
+  if (e.kind != Expr::Kind::kBinary || !IsComparison(e.op)) return false;
+  if (e.lhs->kind == Expr::Kind::kColumnRef && IsLiteral(*e.rhs) &&
+      !e.rhs->literal.is_null()) {
+    *col = (e.lhs->table.empty() ? "" : e.lhs->table + ".") + e.lhs->column;
+    *op = e.op;
+    *lit = e.rhs->literal.AsFeature();
+    return true;
+  }
+  return false;
+}
+
+/// Lower/upper bound implied by a col-op-lit predicate (closed bounds,
+/// +-inf when unbounded). Equality gives both.
+void BoundsOf(OpType op, double lit, double* lo, double* hi) {
+  *lo = -1e300;
+  *hi = 1e300;
+  switch (op) {
+    case OpType::kEq: *lo = *hi = lit; break;
+    case OpType::kLt: *hi = lit - 1e-9; break;
+    case OpType::kLe: *hi = lit; break;
+    case OpType::kGt: *lo = lit + 1e-9; break;
+    case OpType::kGe: *lo = lit; break;
+    default: break;
+  }
+}
+
+using RuleFn = std::unique_ptr<Expr> (*)(const Expr&, bool*);
+
+std::unique_ptr<Expr> Recurse(const Expr& e, RuleFn fn, bool* changed) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->table = e.table;
+  out->column = e.column;
+  out->op = e.op;
+  out->agg = e.agg;
+  out->model = e.model;
+  if (e.lhs) out->lhs = fn(*e.lhs, changed);
+  if (e.rhs) out->rhs = fn(*e.rhs, changed);
+  for (const auto& a : e.args) out->args.push_back(fn(*a, changed));
+  return out;
+}
+
+std::unique_ptr<Expr> FoldRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kBinary && IsLiteral(*e.lhs) && IsLiteral(*e.rhs) &&
+      !e.lhs->literal.is_null() && !e.rhs->literal.is_null() &&
+      e.op != OpType::kAnd && e.op != OpType::kOr) {
+    double a = e.lhs->literal.AsFeature(), b = e.rhs->literal.AsFeature();
+    *changed = true;
+    switch (e.op) {
+      case OpType::kAdd: return Expr::MakeLiteral(Value(a + b));
+      case OpType::kSub: return Expr::MakeLiteral(Value(a - b));
+      case OpType::kMul: return Expr::MakeLiteral(Value(a * b));
+      case OpType::kDiv:
+        if (b == 0) { *changed = false; break; }
+        return Expr::MakeLiteral(Value(a / b));
+      case OpType::kEq: return a == b ? True() : False();
+      case OpType::kNe: return a != b ? True() : False();
+      case OpType::kLt: return a < b ? True() : False();
+      case OpType::kLe: return a <= b ? True() : False();
+      case OpType::kGt: return a > b ? True() : False();
+      case OpType::kGe: return a >= b ? True() : False();
+      default: *changed = false; break;
+    }
+  }
+  if (e.kind == Expr::Kind::kUnary && e.op == OpType::kNot && IsLiteral(*e.lhs) &&
+      !e.lhs->literal.is_null()) {
+    *changed = true;
+    return IsTrue(*e.lhs) ? False() : True();
+  }
+  return Recurse(e, &FoldRule, changed);
+}
+
+std::unique_ptr<Expr> DoubleNegationRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kUnary && e.op == OpType::kNot &&
+      e.lhs->kind == Expr::Kind::kUnary && e.lhs->op == OpType::kNot) {
+    *changed = true;
+    return DoubleNegationRule(*e.lhs->lhs, changed);
+  }
+  return Recurse(e, &DoubleNegationRule, changed);
+}
+
+std::unique_ptr<Expr> DeMorganRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kUnary && e.op == OpType::kNot &&
+      e.lhs->kind == Expr::Kind::kBinary &&
+      (e.lhs->op == OpType::kAnd || e.lhs->op == OpType::kOr)) {
+    *changed = true;
+    OpType dual = e.lhs->op == OpType::kAnd ? OpType::kOr : OpType::kAnd;
+    return Expr::MakeBinary(dual,
+                            DeMorganRule(*Expr::MakeUnary(OpType::kNot,
+                                                          e.lhs->lhs->Clone()),
+                                         changed),
+                            DeMorganRule(*Expr::MakeUnary(OpType::kNot,
+                                                          e.lhs->rhs->Clone()),
+                                         changed));
+  }
+  return Recurse(e, &DeMorganRule, changed);
+}
+
+std::unique_ptr<Expr> NotComparisonRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kUnary && e.op == OpType::kNot &&
+      e.lhs->kind == Expr::Kind::kBinary && IsComparison(e.lhs->op)) {
+    *changed = true;
+    return Expr::MakeBinary(NegateComparison(e.lhs->op),
+                            NotComparisonRule(*e.lhs->lhs, changed),
+                            NotComparisonRule(*e.lhs->rhs, changed));
+  }
+  return Recurse(e, &NotComparisonRule, changed);
+}
+
+std::unique_ptr<Expr> BoolAbsorbRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kBinary &&
+      (e.op == OpType::kAnd || e.op == OpType::kOr)) {
+    auto l = BoolAbsorbRule(*e.lhs, changed);
+    auto r = BoolAbsorbRule(*e.rhs, changed);
+    if (e.op == OpType::kAnd) {
+      if (IsTrue(*l)) { *changed = true; return r; }
+      if (IsTrue(*r)) { *changed = true; return l; }
+      if (IsFalse(*l) || IsFalse(*r)) { *changed = true; return False(); }
+    } else {
+      if (IsFalse(*l)) { *changed = true; return r; }
+      if (IsFalse(*r)) { *changed = true; return l; }
+      if (IsTrue(*l) || IsTrue(*r)) { *changed = true; return True(); }
+    }
+    return Expr::MakeBinary(e.op, std::move(l), std::move(r));
+  }
+  return Recurse(e, &BoolAbsorbRule, changed);
+}
+
+std::unique_ptr<Expr> RangeMergeRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kBinary && e.op == OpType::kAnd) {
+    std::string cl, cr;
+    OpType ol, orr;
+    double ll, lr;
+    if (MatchColLit(*e.lhs, &cl, &ol, &ll) && MatchColLit(*e.rhs, &cr, &orr, &lr) &&
+        cl == cr) {
+      // Same-direction comparisons merge to the tighter literal.
+      bool l_lower = ol == OpType::kGt || ol == OpType::kGe;
+      bool r_lower = orr == OpType::kGt || orr == OpType::kGe;
+      bool l_upper = ol == OpType::kLt || ol == OpType::kLe;
+      bool r_upper = orr == OpType::kLt || orr == OpType::kLe;
+      if (l_lower && r_lower) {
+        *changed = true;
+        return ll >= lr ? e.lhs->Clone() : e.rhs->Clone();
+      }
+      if (l_upper && r_upper) {
+        *changed = true;
+        return ll <= lr ? e.lhs->Clone() : e.rhs->Clone();
+      }
+    }
+  }
+  return Recurse(e, &RangeMergeRule, changed);
+}
+
+std::unique_ptr<Expr> ContradictionRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kBinary && e.op == OpType::kAnd) {
+    std::string cl, cr;
+    OpType ol, orr;
+    double ll, lr;
+    if (MatchColLit(*e.lhs, &cl, &ol, &ll) && MatchColLit(*e.rhs, &cr, &orr, &lr) &&
+        cl == cr) {
+      double lo1, hi1, lo2, hi2;
+      BoundsOf(ol, ll, &lo1, &hi1);
+      BoundsOf(orr, lr, &lo2, &hi2);
+      if (std::max(lo1, lo2) > std::min(hi1, hi2)) {
+        *changed = true;
+        return False();
+      }
+    }
+  }
+  return Recurse(e, &ContradictionRule, changed);
+}
+
+std::unique_ptr<Expr> TautologyRule(const Expr& e, bool* changed) {
+  if (e.kind == Expr::Kind::kBinary && IsComparison(e.op) &&
+      e.lhs->kind == Expr::Kind::kColumnRef &&
+      e.rhs->kind == Expr::Kind::kColumnRef && e.lhs->table == e.rhs->table &&
+      e.lhs->column == e.rhs->column) {
+    *changed = true;
+    switch (e.op) {
+      case OpType::kEq: case OpType::kLe: case OpType::kGe: return True();
+      default: return False();
+    }
+  }
+  return Recurse(e, &TautologyRule, changed);
+}
+
+}  // namespace
+
+std::unique_ptr<Expr> ApplyRewriteRule(const Expr& expr, RewriteRule rule,
+                                       bool* changed) {
+  bool local = false;
+  std::unique_ptr<Expr> out;
+  switch (rule) {
+    case RewriteRule::kConstantFold: out = FoldRule(expr, &local); break;
+    case RewriteRule::kDoubleNegation: out = DoubleNegationRule(expr, &local); break;
+    case RewriteRule::kDeMorgan: out = DeMorganRule(expr, &local); break;
+    case RewriteRule::kNotComparison: out = NotComparisonRule(expr, &local); break;
+    case RewriteRule::kBoolAbsorb: out = BoolAbsorbRule(expr, &local); break;
+    case RewriteRule::kRangeMerge: out = RangeMergeRule(expr, &local); break;
+    case RewriteRule::kContradiction: out = ContradictionRule(expr, &local); break;
+    case RewriteRule::kTautology: out = TautologyRule(expr, &local); break;
+    case RewriteRule::kNumRules: out = expr.Clone(); break;
+  }
+  if (changed) *changed = local;
+  return out;
+}
+
+size_t CountNodes(const Expr& e) {
+  size_t n = 1;
+  if (e.lhs) n += CountNodes(*e.lhs);
+  if (e.rhs) n += CountNodes(*e.rhs);
+  for (const auto& a : e.args) n += CountNodes(*a);
+  return n;
+}
+
+double ExpressionCost(const Expr& e) {
+  if (IsFalse(e)) return 0.1;  // whole scan can be skipped
+  if (IsTrue(e)) return 0.5;   // filter dropped
+  return static_cast<double>(CountNodes(e));
+}
+
+RewriteResult FixedOrderRewriter::Rewrite(const Expr& expr) {
+  RewriteResult r;
+  r.expr = expr.Clone();
+  for (size_t pass = 0; pass < passes_; ++pass) {
+    for (size_t i = 0; i < kNumRewriteRules; ++i) {
+      bool changed = false;
+      auto next = ApplyRewriteRule(*r.expr, static_cast<RewriteRule>(i), &changed);
+      if (changed) {
+        r.expr = std::move(next);
+        r.applied.push_back(static_cast<RewriteRule>(i));
+      }
+    }
+  }
+  r.cost = ExpressionCost(*r.expr);
+  return r;
+}
+
+namespace {
+
+/// MCTS environment over rule sequences. States index a growing vector of
+/// expression snapshots.
+class RewriteEnv : public ml::MctsEnv {
+ public:
+  RewriteEnv(const Expr& root, size_t max_depth) : max_depth_(max_depth) {
+    exprs_.push_back(root.Clone());
+    depths_.push_back(0);
+    base_cost_ = ExpressionCost(root);
+  }
+
+  State Root() const override { return 0; }
+
+  std::vector<int> Actions(State s) override {
+    if (depths_[s] >= max_depth_) return {};
+    std::vector<int> out;
+    for (size_t i = 0; i < kNumRewriteRules; ++i) out.push_back(static_cast<int>(i));
+    return out;
+  }
+
+  State Step(State s, int action) override {
+    bool changed = false;
+    auto next =
+        ApplyRewriteRule(*exprs_[s], static_cast<RewriteRule>(action), &changed);
+    if (!changed) {
+      // No-op transitions burn depth so rollouts terminate.
+      exprs_.push_back(exprs_[s]->Clone());
+    } else {
+      exprs_.push_back(std::move(next));
+    }
+    depths_.push_back(depths_[s] + 1);
+    return exprs_.size() - 1;
+  }
+
+  double TerminalReward(State s) override {
+    double cost = ExpressionCost(*exprs_[s]);
+    // Normalize: 1 when fully collapsed, ->0 as cost approaches base.
+    return std::max(0.0, 1.0 - cost / std::max(base_cost_, 1.0));
+  }
+
+  const Expr& ExprAt(State s) const { return *exprs_[s]; }
+
+ private:
+  size_t max_depth_;
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  std::vector<size_t> depths_;
+  double base_cost_;
+};
+
+}  // namespace
+
+RewriteResult MctsRewriter::Rewrite(const Expr& expr) {
+  RewriteEnv env(expr, opts_.max_depth);
+  ml::Mcts::Options mopts;
+  mopts.iterations = opts_.iterations;
+  mopts.seed = opts_.seed;
+  ml::Mcts mcts(&env, mopts);
+  double reward = 0.0;
+  std::vector<int> actions = mcts.Search(&reward);
+
+  RewriteResult r;
+  r.expr = expr.Clone();
+  for (int a : actions) {
+    bool changed = false;
+    auto next = ApplyRewriteRule(*r.expr, static_cast<RewriteRule>(a), &changed);
+    if (changed) {
+      r.expr = std::move(next);
+      r.applied.push_back(static_cast<RewriteRule>(a));
+    }
+  }
+  r.cost = ExpressionCost(*r.expr);
+  return r;
+}
+
+std::unique_ptr<Expr> GenerateRedundantPredicate(Rng* rng, size_t depth) {
+  // Leaves: col-op-lit over a small column set with planted contradictions /
+  // redundant ranges / constant arithmetic.
+  auto col = [&](const char* name) { return Expr::MakeColumn("", name); };
+  auto lit = [&](double v) { return Expr::MakeLiteral(Value(v)); };
+  const char* names[] = {"x", "y", "z"};
+
+  std::function<std::unique_ptr<Expr>(size_t)> gen =
+      [&](size_t d) -> std::unique_ptr<Expr> {
+    if (d == 0) {
+      switch (rng->Uniform(4)) {
+        case 0: {  // contradiction seed: c > a AND c < b with a >= b
+          double a = 50 + static_cast<double>(rng->Uniform(40));
+          double b = static_cast<double>(rng->Uniform(40));
+          const char* n = names[rng->Uniform(3)];
+          return Expr::MakeBinary(
+              OpType::kAnd, Expr::MakeBinary(OpType::kGt, col(n), lit(a)),
+              Expr::MakeBinary(OpType::kLt, col(n), lit(b)));
+        }
+        case 1: {  // redundant range: c > a AND c > b
+          double a = static_cast<double>(rng->Uniform(100));
+          double b = static_cast<double>(rng->Uniform(100));
+          const char* n = names[rng->Uniform(3)];
+          return Expr::MakeBinary(
+              OpType::kAnd, Expr::MakeBinary(OpType::kGt, col(n), lit(a)),
+              Expr::MakeBinary(OpType::kGe, col(n), lit(b)));
+        }
+        case 2: {  // constant arithmetic comparison
+          double a = static_cast<double>(rng->Uniform(10));
+          double b = static_cast<double>(rng->Uniform(10));
+          return Expr::MakeBinary(
+              rng->Bernoulli(0.5) ? OpType::kLt : OpType::kGe,
+              Expr::MakeBinary(OpType::kAdd, lit(a), lit(b)),
+              lit(static_cast<double>(rng->Uniform(25))));
+        }
+        default: {  // plain predicate
+          const char* n = names[rng->Uniform(3)];
+          return Expr::MakeBinary(rng->Bernoulli(0.5) ? OpType::kLe : OpType::kGt,
+                                  col(n),
+                                  lit(static_cast<double>(rng->Uniform(100))));
+        }
+      }
+    }
+    auto l = gen(d - 1);
+    auto r = gen(d - 1);
+    auto node = Expr::MakeBinary(rng->Bernoulli(0.7) ? OpType::kAnd : OpType::kOr,
+                                 std::move(l), std::move(r));
+    // Wrap in NOT sometimes so DeMorgan/NOT-elimination are required before
+    // the range rules can see the comparisons.
+    if (rng->Bernoulli(0.4)) {
+      node = Expr::MakeUnary(OpType::kNot, std::move(node));
+    }
+    if (rng->Bernoulli(0.2)) {
+      node = Expr::MakeUnary(OpType::kNot,
+                             Expr::MakeUnary(OpType::kNot, std::move(node)));
+    }
+    return node;
+  };
+  return gen(depth);
+}
+
+}  // namespace aidb::advisor

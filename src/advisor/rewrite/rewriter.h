@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/ast.h"
+
+namespace aidb::advisor {
+
+/// Rewrite rules over predicate expressions. Rules interact: one rule's
+/// output is another's trigger (DeMorgan exposes comparisons for NOT-
+/// elimination; folding exposes ranges for merging; merging exposes
+/// contradictions) — which is exactly why application *order* matters and a
+/// learned ordering beats a fixed pass (survey §2.1 "SQL rewriter").
+enum class RewriteRule : int {
+  kConstantFold = 0,   ///< 1 + 2 -> 3; 3 < 5 -> TRUE
+  kDoubleNegation,     ///< NOT NOT x -> x
+  kDeMorgan,           ///< NOT (a AND b) -> NOT a OR NOT b
+  kNotComparison,      ///< NOT (a < b) -> a >= b
+  kBoolAbsorb,         ///< x AND TRUE -> x; x OR TRUE -> TRUE; duals
+  kRangeMerge,         ///< col > 3 AND col > 7 -> col > 7
+  kContradiction,      ///< col > 7 AND col < 3 -> FALSE
+  kTautology,          ///< col = col -> TRUE; x OR NOT x stays (not handled)
+  kNumRules,
+};
+
+const char* RuleName(RewriteRule rule);
+inline constexpr size_t kNumRewriteRules = static_cast<size_t>(RewriteRule::kNumRules);
+
+/// Applies `rule` exhaustively over the tree; sets *changed if anything fired.
+std::unique_ptr<sql::Expr> ApplyRewriteRule(const sql::Expr& expr, RewriteRule rule,
+                                            bool* changed);
+
+/// Evaluation-cost proxy for a predicate: node count, with a large discount
+/// when the predicate folded to a constant (the scan can be skipped or the
+/// filter dropped entirely).
+double ExpressionCost(const sql::Expr& expr);
+
+size_t CountNodes(const sql::Expr& expr);
+
+/// Result of a rewrite session.
+struct RewriteResult {
+  std::unique_ptr<sql::Expr> expr;
+  double cost = 0.0;
+  std::vector<RewriteRule> applied;
+};
+
+/// \brief Strategy interface for choosing the rule-application order.
+class Rewriter {
+ public:
+  virtual ~Rewriter() = default;
+  virtual RewriteResult Rewrite(const sql::Expr& expr) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Classic heuristic rewriter: one pass applying every rule once in a fixed
+/// (enum) order — the "top-down fixed order" baseline the survey critiques.
+class FixedOrderRewriter : public Rewriter {
+ public:
+  /// `passes` > 1 gives the baseline extra chances (still a fixed order).
+  explicit FixedOrderRewriter(size_t passes = 1) : passes_(passes) {}
+  RewriteResult Rewrite(const sql::Expr& expr) override;
+  std::string name() const override {
+    return passes_ == 1 ? "fixed_order" : "fixed_order_x" + std::to_string(passes_);
+  }
+
+ private:
+  size_t passes_;
+};
+
+/// \brief Learned rewriter: MCTS over rule-application sequences, as the
+/// survey's "judiciously select the appropriate rules and apply the rules in
+/// a good order" with Monte-Carlo search standing in for the policy model.
+class MctsRewriter : public Rewriter {
+ public:
+  struct Options {
+    size_t iterations = 300;
+    size_t max_depth = 10;  ///< max rules applied in sequence
+    uint64_t seed = 42;
+  };
+  MctsRewriter() : MctsRewriter(Options()) {}
+  explicit MctsRewriter(const Options& opts) : opts_(opts) {}
+  RewriteResult Rewrite(const sql::Expr& expr) override;
+  std::string name() const override { return "mcts"; }
+
+ private:
+  Options opts_;
+};
+
+/// Generates predicate expressions with planted redundancies whose full
+/// simplification requires a specific rule chain (workload for E4).
+std::unique_ptr<sql::Expr> GenerateRedundantPredicate(Rng* rng, size_t depth = 3);
+
+}  // namespace aidb::advisor

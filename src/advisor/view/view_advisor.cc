@@ -1,0 +1,212 @@
+#include "advisor/view/view_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "ml/qlearning.h"
+#include "optimizer/cardinality.h"
+
+namespace aidb::advisor {
+
+ViewWhatIfModel::ViewWhatIfModel(
+    const Database* db, const std::vector<workload::GeneratedQuery>* queries) {
+  // Signature: the set of joined relations + aggregation flag. Queries with
+  // the same signature can share one materialized join/aggregate.
+  std::map<uint64_t, size_t> sig_to_candidate;
+
+  for (size_t qi = 0; qi < queries->size(); ++qi) {
+    const auto& gq = (*queries)[qi];
+    // Query cost estimate: product of join sizes approximated by fact rows x
+    // join count + scan costs.
+    double cost = 0.0;
+    uint64_t sig = 1469598103934665603ULL;
+    bool has_join = false;
+    std::string desc;
+    double view_rows = 0.0;
+
+    auto add_rel = [&](const std::string& table) {
+      auto t = db->catalog().GetTable(table);
+      double rows = t.ok() ? static_cast<double>(t.ValueOrDie()->NumRows()) : 1000.0;
+      cost += rows;
+      view_rows = std::max(view_rows, rows);
+      sig = (sig ^ std::hash<std::string>{}(table)) * 1099511628211ULL;
+      if (!desc.empty()) desc += "+";
+      desc += table;
+    };
+    for (const auto& f : gq.stmt->from) add_rel(f.table);
+    for (const auto& j : gq.stmt->joins) {
+      add_rel(j.table.table);
+      has_join = true;
+      cost += 0.3 * view_rows;  // join probe work
+    }
+    bool agg = false;
+    for (const auto& item : gq.stmt->items) {
+      if (item.expr && item.expr->kind == sql::Expr::Kind::kAggregate) agg = true;
+    }
+    sig = (sig ^ (agg ? 0x9e37ULL : 0x79b9ULL)) * 1099511628211ULL;
+
+    query_costs_.push_back(cost);
+    base_cost_ += cost;
+    if (!has_join) continue;  // single-table queries don't get MV candidates
+
+    size_t cid;
+    auto it = sig_to_candidate.find(sig);
+    if (it == sig_to_candidate.end()) {
+      ViewCandidate cand;
+      cand.signature = sig;
+      cand.description = desc + (agg ? " [agg]" : "");
+      // Aggregated views are small; join views carry fact-side rows.
+      cand.space = agg ? view_rows * 0.05 : view_rows * 0.6;
+      cand.build_cost = cost;
+      cid = candidates_.size();
+      sig_to_candidate[sig] = cid;
+      candidates_.push_back(std::move(cand));
+    } else {
+      cid = it->second;
+    }
+    // Savings: answering from the view costs a scan of the view.
+    double probe_cost = agg ? candidates_[cid].space : candidates_[cid].space * 0.5;
+    double saving = std::max(0.0, cost - probe_cost);
+    candidates_[cid].matching_queries.push_back(qi);
+    candidates_[cid].per_query_saving.push_back(saving);
+  }
+}
+
+double ViewWhatIfModel::TotalSpace(const std::set<size_t>& chosen) const {
+  double s = 0.0;
+  for (size_t i : chosen) s += candidates_[i].space;
+  return s;
+}
+
+double ViewWhatIfModel::WorkloadCost(const std::set<size_t>& chosen,
+                                     double space_budget) const {
+  if (TotalSpace(chosen) > space_budget) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Best saving per query across chosen views.
+  std::vector<double> best_saving(query_costs_.size(), 0.0);
+  for (size_t i : chosen) {
+    const ViewCandidate& c = candidates_[i];
+    for (size_t k = 0; k < c.matching_queries.size(); ++k) {
+      size_t q = c.matching_queries[k];
+      best_saving[q] = std::max(best_saving[q], c.per_query_saving[k]);
+    }
+  }
+  double total = 0.0;
+  for (size_t q = 0; q < query_costs_.size(); ++q)
+    total += query_costs_[q] - best_saving[q];
+  // Maintenance: proportional to total space.
+  total += 0.01 * TotalSpace(chosen);
+  return total;
+}
+
+std::set<size_t> FrequencyViewAdvisor::Recommend(const ViewWhatIfModel& model,
+                                                 double space_budget) {
+  std::vector<std::pair<size_t, size_t>> by_freq;
+  for (size_t i = 0; i < model.candidates().size(); ++i)
+    by_freq.emplace_back(model.candidates()[i].matching_queries.size(), i);
+  std::sort(by_freq.rbegin(), by_freq.rend());
+  std::set<size_t> chosen;
+  double space = 0.0;
+  for (auto& [f, i] : by_freq) {
+    if (space + model.candidates()[i].space > space_budget) continue;
+    chosen.insert(i);
+    space += model.candidates()[i].space;
+  }
+  return chosen;
+}
+
+std::set<size_t> GreedyViewAdvisor::Recommend(const ViewWhatIfModel& model,
+                                              double space_budget) {
+  std::set<size_t> chosen;
+  double cur = model.WorkloadCost(chosen, space_budget);
+  for (;;) {
+    int best = -1;
+    double best_ratio = 0.0;
+    for (size_t i = 0; i < model.candidates().size(); ++i) {
+      if (chosen.count(i)) continue;
+      auto trial = chosen;
+      trial.insert(i);
+      double cost = model.WorkloadCost(trial, space_budget);
+      if (std::isinf(cost)) continue;
+      double ratio = (cur - cost) / std::max(1.0, model.candidates()[i].space);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    chosen.insert(static_cast<size_t>(best));
+    cur = model.WorkloadCost(chosen, space_budget);
+  }
+  return chosen;
+}
+
+std::set<size_t> RlViewAdvisor::Recommend(const ViewWhatIfModel& model,
+                                          double space_budget) {
+  size_t n = model.candidates().size();
+  if (n == 0) return {};
+  ml::QLearner::Options qopts;
+  qopts.epsilon = 0.4;
+  qopts.epsilon_decay = 0.993;
+  qopts.alpha = 0.3;
+  qopts.seed = opts_.seed;
+  ml::QLearner q(n + 1, qopts);  // action n = stop
+
+  double base = model.WorkloadCost({}, space_budget);
+  std::set<size_t> best;
+  double best_cost = base;
+  // Expert-demonstration bootstrap (as in DRL view advisors): seed the best
+  // set with the greedy solution so exploration only has to improve on it.
+  {
+    GreedyViewAdvisor greedy;
+    auto seed_set = greedy.Recommend(model, space_budget);
+    double seed_cost = model.WorkloadCost(seed_set, space_budget);
+    if (seed_cost < best_cost) {
+      best_cost = seed_cost;
+      best = std::move(seed_set);
+    }
+  }
+  auto state_of = [](uint64_t mask) { return ml::HashCombine(0x5eed, mask); };
+
+  for (size_t ep = 0; ep < opts_.episodes; ++ep) {
+    std::set<size_t> chosen;
+    uint64_t mask = 0;
+    double prev = base;
+    for (size_t step = 0; step < n; ++step) {
+      uint64_t state = state_of(mask);
+      size_t action = q.SelectAction(state);
+      if (action == n) {
+        q.Update(state, action, 0.0, state, true);
+        break;
+      }
+      if (chosen.count(action)) {
+        q.Update(state, action, -0.02, state);
+        continue;
+      }
+      auto trial = chosen;
+      trial.insert(action);
+      double cost = model.WorkloadCost(trial, space_budget);
+      if (std::isinf(cost)) {  // over budget: forbidden
+        q.Update(state, action, -0.2, state, true);
+        break;
+      }
+      double reward = (prev - cost) / std::max(base, 1.0);
+      chosen = std::move(trial);
+      uint64_t next_mask = mask | (1ULL << action);
+      q.Update(state, action, reward, state_of(next_mask));
+      mask = next_mask;
+      prev = cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = chosen;
+      }
+    }
+    q.EndEpisode();
+  }
+  return best;
+}
+
+}  // namespace aidb::advisor

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/database.h"
+#include "workload/generator.h"
+
+namespace aidb::advisor {
+
+/// A materialized-view candidate: a join+aggregation signature shared by a
+/// set of workload queries.
+struct ViewCandidate {
+  uint64_t signature = 0;   ///< hash of join pattern + agg shape
+  std::string description;
+  double space = 0.0;       ///< materialization size (rows)
+  double build_cost = 0.0;  ///< one-time cost to materialize
+  std::vector<size_t> matching_queries;
+  std::vector<double> per_query_saving;  ///< parallel to matching_queries
+};
+
+/// \brief What-if model for materialized view selection (space-for-time):
+/// mines candidates from repeated join signatures in the workload, estimates
+/// per-query savings from answering out of the view, and charges space.
+class ViewWhatIfModel {
+ public:
+  ViewWhatIfModel(const Database* db,
+                  const std::vector<workload::GeneratedQuery>* queries);
+
+  const std::vector<ViewCandidate>& candidates() const { return candidates_; }
+
+  /// Total workload cost with the chosen views materialized (each query uses
+  /// its single best applicable view). Views over budget are invalid: returns
+  /// +inf so search treats them as infeasible.
+  double WorkloadCost(const std::set<size_t>& chosen, double space_budget) const;
+  double TotalSpace(const std::set<size_t>& chosen) const;
+  double BaseCost() const { return base_cost_; }
+  size_t num_queries() const { return query_costs_.size(); }
+
+ private:
+  std::vector<ViewCandidate> candidates_;
+  std::vector<double> query_costs_;  ///< cost without views
+  double base_cost_ = 0.0;
+};
+
+/// \brief Strategy interface for view selection under a space budget.
+class ViewAdvisor {
+ public:
+  virtual ~ViewAdvisor() = default;
+  virtual std::set<size_t> Recommend(const ViewWhatIfModel& model,
+                                     double space_budget) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Materializes the most frequently matching signatures first (naive DBA).
+class FrequencyViewAdvisor : public ViewAdvisor {
+ public:
+  std::set<size_t> Recommend(const ViewWhatIfModel& model,
+                             double space_budget) override;
+  std::string name() const override { return "frequency"; }
+};
+
+/// Greedy benefit-per-space (classic knapsack heuristic).
+class GreedyViewAdvisor : public ViewAdvisor {
+ public:
+  std::set<size_t> Recommend(const ViewWhatIfModel& model,
+                             double space_budget) override;
+  std::string name() const override { return "greedy"; }
+};
+
+/// \brief Han-style RL view advisor: episodes build a view set under the
+/// budget; Q-learning learns which additions pay off jointly (greedy's blind
+/// spot: overlapping candidates).
+class RlViewAdvisor : public ViewAdvisor {
+ public:
+  struct Options {
+    size_t episodes = 500;
+    uint64_t seed = 42;
+  };
+  RlViewAdvisor() : RlViewAdvisor(Options()) {}
+  explicit RlViewAdvisor(const Options& opts) : opts_(opts) {}
+  std::set<size_t> Recommend(const ViewWhatIfModel& model,
+                             double space_budget) override;
+  std::string name() const override { return "rl_drl"; }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace aidb::advisor

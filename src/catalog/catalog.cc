@@ -1,0 +1,163 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace aidb {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name)) return Status::AlreadyExists("table " + name);
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (!tables_.erase(name)) return Status::NotFound("table " + name);
+  // Drop dependent indexes.
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (it->second->table == name) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (auto& [n, t] : tables_) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
+                                        const std::string& table,
+                                        const std::string& column, bool btree) {
+  if (indexes_.count(index_name)) return Status::AlreadyExists("index " + index_name);
+  Table* t = nullptr;
+  AIDB_ASSIGN_OR_RETURN(t, GetTable(table));
+  int col = t->schema().IndexOf(column);
+  if (col < 0) return Status::NotFound("column " + column + " in " + table);
+  ValueType type = t->schema().column(static_cast<size_t>(col)).type;
+  if (btree && type == ValueType::kString) {
+    return Status::InvalidArgument("btree indexes require numeric columns");
+  }
+
+  auto info = std::make_unique<IndexInfo>();
+  info->name = index_name;
+  info->table = table;
+  info->column = column;
+  info->is_btree = btree;
+  if (btree) {
+    info->btree = std::make_unique<BTree>();
+  } else {
+    info->hash = std::make_unique<HashIndex>();
+  }
+  // Backfill.
+  t->ForEach([&](RowId id, const Tuple& row) {
+    const Value& v = row[static_cast<size_t>(col)];
+    if (v.is_null()) return;
+    if (btree) {
+      info->btree->Insert(BtreeKey(v), id);
+    } else {
+      info->hash->Insert(v, id);
+    }
+  });
+  IndexInfo* ptr = info.get();
+  indexes_[index_name] = std::move(info);
+  return ptr;
+}
+
+Status Catalog::DropIndex(const std::string& index_name) {
+  if (!indexes_.erase(index_name)) return Status::NotFound("index " + index_name);
+  return Status::OK();
+}
+
+IndexInfo* Catalog::FindIndex(const std::string& table,
+                              const std::string& column) const {
+  IndexInfo* best = nullptr;
+  for (auto& [n, info] : indexes_) {
+    if (info->table == table && info->column == column) {
+      if (info->is_btree) return info.get();  // range-capable preferred
+      best = info.get();
+    }
+  }
+  return best;
+}
+
+std::vector<IndexInfo*> Catalog::IndexesOn(const std::string& table) const {
+  std::vector<IndexInfo*> out;
+  for (auto& [n, info] : indexes_)
+    if (info->table == table) out.push_back(info.get());
+  std::sort(out.begin(), out.end(),
+            [](IndexInfo* a, IndexInfo* b) { return a->name < b->name; });
+  return out;
+}
+
+Status Catalog::Analyze(const std::string& table) {
+  Table* t = nullptr;
+  AIDB_ASSIGN_OR_RETURN(t, GetTable(table));
+  for (size_t c = 0; c < t->schema().NumColumns(); ++c) {
+    std::vector<double> values;
+    size_t nulls = 0;
+    t->ForEach([&](RowId, const Tuple& row) {
+      if (row[c].is_null()) {
+        ++nulls;
+      } else {
+        values.push_back(row[c].AsFeature());
+      }
+    });
+    ColumnStats cs;
+    cs.histogram = Histogram::Build(std::move(values));
+    cs.num_nulls = nulls;
+    stats_[table + "." + t->schema().column(c).name] = std::move(cs);
+  }
+  return Status::OK();
+}
+
+const ColumnStats* Catalog::GetStats(const std::string& table,
+                                     const std::string& column) const {
+  auto it = stats_.find(table + "." + column);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void Catalog::OnInsert(const std::string& table, RowId id, const Tuple& row) {
+  for (auto& [n, info] : indexes_) {
+    if (info->table != table) continue;
+    auto table_res = GetTable(table);
+    if (!table_res.ok()) continue;
+    int col = table_res.ValueOrDie()->schema().IndexOf(info->column);
+    if (col < 0) continue;
+    const Value& v = row[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (info->is_btree) {
+      info->btree->Insert(BtreeKey(v), id);
+    } else {
+      info->hash->Insert(v, id);
+    }
+  }
+}
+
+void Catalog::OnDelete(const std::string& table, RowId id, const Tuple& row) {
+  for (auto& [n, info] : indexes_) {
+    if (info->table != table || info->is_btree) continue;
+    // B+tree deletions are handled lazily: the executor re-checks liveness.
+    auto table_res = GetTable(table);
+    if (!table_res.ok()) continue;
+    int col = table_res.ValueOrDie()->schema().IndexOf(info->column);
+    if (col < 0) continue;
+    const Value& v = row[static_cast<size_t>(col)];
+    if (!v.is_null()) info->hash->Erase(v, id);
+  }
+}
+
+}  // namespace aidb

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/stats.h"
+#include "common/result.h"
+#include "storage/btree.h"
+#include "storage/hash_index.h"
+#include "storage/table.h"
+
+namespace aidb {
+
+/// A secondary index registered on a table column.
+struct IndexInfo {
+  std::string name;
+  std::string table;
+  std::string column;
+  /// B+tree supports ranges; hash supports equality only.
+  bool is_btree = true;
+  std::unique_ptr<BTree> btree;
+  std::unique_ptr<HashIndex> hash;
+};
+
+/// \brief System catalog: tables, indexes, and per-column statistics.
+///
+/// The single registry the binder, optimizer, advisors and DB4AI layer all
+/// consult. Owns table and index storage.
+class Catalog {
+ public:
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  /// Builds a secondary index over an existing INT or DOUBLE column and
+  /// backfills it from current rows. DOUBLEs are keyed by their integer cast
+  /// in the B+tree (documented engine restriction).
+  Result<IndexInfo*> CreateIndex(const std::string& index_name,
+                                 const std::string& table,
+                                 const std::string& column, bool btree = true);
+  Status DropIndex(const std::string& index_name);
+  /// The index on (table, column) if one exists; range-capable preferred.
+  IndexInfo* FindIndex(const std::string& table, const std::string& column) const;
+  std::vector<IndexInfo*> IndexesOn(const std::string& table) const;
+  size_t NumIndexes() const { return indexes_.size(); }
+
+  /// Recomputes histograms and distinct counts for every column of `table`
+  /// (ANALYZE). String columns get feature-hash histograms.
+  Status Analyze(const std::string& table);
+  /// Stats for table.column; nullptr when ANALYZE has not run.
+  const ColumnStats* GetStats(const std::string& table,
+                              const std::string& column) const;
+
+  /// Keeps indexes in sync after a row insert (call from the executor).
+  void OnInsert(const std::string& table, RowId id, const Tuple& row);
+  void OnDelete(const std::string& table, RowId id, const Tuple& row);
+
+ private:
+  static int64_t BtreeKey(const Value& v) {
+    return v.type() == ValueType::kInt ? v.AsInt()
+                                       : static_cast<int64_t>(v.AsDouble());
+  }
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<IndexInfo>> indexes_;
+  std::unordered_map<std::string, ColumnStats> stats_;  // "table.column"
+};
+
+}  // namespace aidb

@@ -1,0 +1,77 @@
+#include "catalog/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb {
+
+Histogram Histogram::Build(std::vector<double> values, size_t num_buckets) {
+  Histogram h;
+  h.num_rows_ = values.size();
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end());
+  h.distinct_ = 1;
+  for (size_t i = 1; i < values.size(); ++i)
+    if (values[i] != values[i - 1]) ++h.distinct_;
+
+  num_buckets = std::min(num_buckets, values.size());
+  h.bounds_.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    size_t end = (b + 1) * values.size() / num_buckets;
+    if (end <= start) continue;
+    size_t distinct = 1;
+    for (size_t i = start + 1; i < end; ++i)
+      if (values[i] != values[i - 1]) ++distinct;
+    h.counts_.push_back(end - start);
+    h.distinct_per_bucket_.push_back(distinct);
+    h.bounds_.push_back(values[end - 1]);
+    start = end;
+  }
+  return h;
+}
+
+double Histogram::EstimateLt(double x) const {
+  if (num_rows_ == 0 || counts_.empty()) return 0.0;
+  if (x <= bounds_.front()) return 0.0;
+  if (x > bounds_.back()) return 1.0;
+  double acc = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double lo = bounds_[b], hi = bounds_[b + 1];
+    if (x > hi) {
+      acc += static_cast<double>(counts_[b]);
+    } else {
+      double frac = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+      acc += frac * static_cast<double>(counts_[b]);
+      break;
+    }
+  }
+  return acc / static_cast<double>(num_rows_);
+}
+
+double Histogram::EstimateLe(double x) const { return EstimateLt(x) + EstimateEq(x); }
+
+double Histogram::EstimateEq(double x) const {
+  if (num_rows_ == 0 || counts_.empty()) return 0.0;
+  if (x < bounds_.front() || x > bounds_.back()) return 0.0;
+  // A hot value can span several equi-depth buckets (each containing only
+  // that value), so accumulate the per-bucket uniform estimate over every
+  // bucket whose range covers x.
+  double acc = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double lo = bounds_[b], hi = bounds_[b + 1];
+    if (x < lo) break;
+    if (x > hi) continue;
+    double d = std::max<size_t>(1, distinct_per_bucket_[b]);
+    acc += static_cast<double>(counts_[b]) / d;
+  }
+  return acc / static_cast<double>(num_rows_);
+}
+
+double Histogram::EstimateRange(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  double p = EstimateLe(hi) - EstimateLt(lo);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace aidb

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace aidb {
+
+/// \brief Equi-depth histogram over a numeric column.
+///
+/// This is the classical cardinality-estimation substrate: per-column
+/// selectivity with the attribute-value-independence assumption. The learned
+/// estimator (E6) competes against exactly this.
+class Histogram {
+ public:
+  /// Builds `num_buckets` equi-depth buckets from (unsorted) values.
+  static Histogram Build(std::vector<double> values, size_t num_buckets = 32);
+
+  /// Estimated selectivity of `col op literal`.
+  double EstimateLt(double x) const;   ///< P(col <  x)
+  double EstimateLe(double x) const;   ///< P(col <= x)
+  double EstimateGt(double x) const { return 1.0 - EstimateLe(x); }
+  double EstimateGe(double x) const { return 1.0 - EstimateLt(x); }
+  double EstimateEq(double x) const;
+  /// P(lo <= col <= hi).
+  double EstimateRange(double lo, double hi) const;
+
+  size_t num_rows() const { return num_rows_; }
+  double min() const { return bounds_.empty() ? 0 : bounds_.front(); }
+  double max() const { return bounds_.empty() ? 0 : bounds_.back(); }
+  size_t distinct_estimate() const { return distinct_; }
+
+ private:
+  // bounds_[i]..bounds_[i+1] delimit bucket i; each bucket holds
+  // counts_[i] rows and distinct_per_bucket_[i] distinct values.
+  std::vector<double> bounds_;
+  std::vector<size_t> counts_;
+  std::vector<size_t> distinct_per_bucket_;
+  size_t num_rows_ = 0;
+  size_t distinct_ = 0;
+};
+
+/// Statistics for one column.
+struct ColumnStats {
+  Histogram histogram;
+  size_t num_nulls = 0;
+};
+
+}  // namespace aidb

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace aidb {
+
+/// \brief Value-or-status holder, the return type for fallible producers.
+///
+/// Usage:
+/// \code
+///   Result<Plan> r = optimizer.Optimize(query);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from non-OK status (failure). Passing an OK status is a bug.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the unwrapped value of a `Result` expression to `lhs`, or
+/// propagates its error status.
+#define AIDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define AIDB_ASSIGN_OR_RETURN(lhs, expr) \
+  AIDB_ASSIGN_OR_RETURN_IMPL(AIDB_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define AIDB_CONCAT_(a, b) AIDB_CONCAT_IMPL_(a, b)
+#define AIDB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace aidb

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace aidb {
+
+/// \brief Deterministic, fast PRNG (xorshift128+) used everywhere the engine
+/// needs randomness, so experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 seeding to avoid poor states from small seeds.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+    auto next = [&z]() {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      return x ^ (x >> 31);
+    };
+    s_[0] = next();
+    s_[1] = next();
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box–Muller.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+/// \brief Zipfian sampler over {0, ..., n-1} with exponent `theta`.
+///
+/// Uses the precomputed-CDF method; O(n) setup, O(log n) sample. Skewed key
+/// and access distributions in workload generators all come from here.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Draws one rank (0 is the hottest item).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace aidb

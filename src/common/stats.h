@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace aidb {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Sample container with quantile queries; used for latency and
+/// q-error distributions in the benchmark harness.
+class Samples {
+ public:
+  void Add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return data_.size(); }
+
+  double Mean() const {
+    if (data_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : data_) s += x;
+    return s / static_cast<double>(data_.size());
+  }
+
+  /// Quantile in [0,1] with linear interpolation. Returns 0 when empty.
+  double Quantile(double q) {
+    if (data_.empty()) return 0.0;
+    EnsureSorted();
+    double pos = q * static_cast<double>(data_.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, data_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+  }
+
+  double Median() { return Quantile(0.5); }
+  double Max() { return data_.empty() ? 0.0 : (EnsureSorted(), data_.back()); }
+  double Min() { return data_.empty() ? 0.0 : (EnsureSorted(), data_.front()); }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> data_;
+  bool sorted_ = false;
+};
+
+/// Q-error between a cardinality estimate and the truth: max(est/true,
+/// true/est) with both clamped to >= 1 (the standard learned-cardinality
+/// metric).
+inline double QError(double estimate, double truth) {
+  double e = std::max(estimate, 1.0);
+  double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+}  // namespace aidb

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace aidb {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
+    case StatusCode::kParseError: return "ParseError";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace aidb

@@ -1,0 +1,116 @@
+#include "db4ai/governance/active_clean.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace aidb::db4ai {
+
+DirtyDataset MakeDirtyDataset(size_t n, double dirty_fraction, uint64_t seed) {
+  Rng rng(seed);
+  DirtyDataset out;
+  out.clean.x = ml::Matrix(n, 3);
+  out.clean.y.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-2, 2);
+    double x1 = rng.UniformDouble(-2, 2);
+    double x2 = rng.Gaussian(0, 1);
+    out.clean.x.At(i, 0) = x0;
+    out.clean.x.At(i, 1) = x1;
+    out.clean.x.At(i, 2) = x2;
+    out.clean.y.push_back(x0 + 0.5 * x1 > 0 ? 1.0 : 0.0);
+  }
+  out.dirty = out.clean;
+  out.is_dirty.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (!rng.Bernoulli(dirty_fraction)) continue;
+    out.is_dirty[i] = true;
+    // Systematic corruption: labels flipped and the informative feature
+    // rescaled (e.g. unit mismatch).
+    out.dirty.y[i] = 1.0 - out.dirty.y[i];
+    out.dirty.x.At(i, 0) *= 3.0;
+  }
+  return out;
+}
+
+std::vector<CleaningPoint> CleaningSession::Run(Order order, size_t budget,
+                                                size_t batch,
+                                                const ml::Dataset& test) {
+  size_t n = data_.dirty.NumRows();
+  ml::Dataset working = data_.dirty;
+  std::vector<bool> cleaned(n, false);
+  std::vector<CleaningPoint> curve;
+
+  ml::SgdOptions sopts;
+  sopts.epochs = 60;
+  sopts.learning_rate = 0.1;
+
+  // Retrains with feature standardization (the corrupted feature is scaled
+  // 10x, which would otherwise destabilize SGD); evaluation shares the
+  // scaler.
+  ml::StandardScaler scaler;
+  auto retrain = [&](ml::LogisticRegression* model) {
+    scaler.Fit(working.x);
+    ml::Dataset scaled;
+    scaled.x = scaler.Transform(working.x);
+    scaled.y = working.y;
+    *model = ml::LogisticRegression();
+    model->Fit(scaled, sopts);
+  };
+  auto test_accuracy = [&](const ml::LogisticRegression& model) {
+    return ml::Accuracy(model.Predict(scaler.Transform(test.x)), test.y);
+  };
+
+  ml::LogisticRegression model;
+  retrain(&model);
+  curve.push_back({0, test_accuracy(model)});
+
+  size_t total_cleaned = 0;
+  while (total_cleaned < budget) {
+    std::vector<size_t> order_idx;
+    for (size_t i = 0; i < n; ++i)
+      if (!cleaned[i]) order_idx.push_back(i);
+    if (order_idx.empty()) break;
+
+    if (order == Order::kRandom) {
+      rng_.Shuffle(&order_idx);
+    } else {
+      // ActiveClean sampling weight: |gradient| of the current model's loss
+      // on the (scaled) dirty record.
+      size_t d = working.NumFeatures();
+      std::vector<std::pair<double, size_t>> scored;
+      scored.reserve(order_idx.size());
+      for (size_t i : order_idx) {
+        std::vector<double> row(d);
+        for (size_t c = 0; c < d; ++c) {
+          row[c] = (working.x.At(i, c) - scaler.mean()[c]) / scaler.stddev()[c];
+        }
+        double p = model.PredictProba(row.data(), d);
+        double residual = std::fabs(p - working.y[i]);
+        double norm = 0.0;
+        for (double v : row) norm += v * v;
+        scored.emplace_back(residual * std::sqrt(norm), i);
+      }
+      std::sort(scored.rbegin(), scored.rend());
+      order_idx.clear();
+      for (auto& [s, i] : scored) order_idx.push_back(i);
+    }
+
+    size_t take = std::min({batch, budget - total_cleaned, order_idx.size()});
+    for (size_t k = 0; k < take; ++k) {
+      size_t i = order_idx[k];
+      cleaned[i] = true;
+      // The expert reveals the clean record.
+      for (size_t c = 0; c < working.NumFeatures(); ++c)
+        working.x.At(i, c) = data_.clean.x.At(i, c);
+      working.y[i] = data_.clean.y[i];
+    }
+    total_cleaned += take;
+
+    retrain(&model);
+    curve.push_back({total_cleaned, test_accuracy(model)});
+  }
+  return curve;
+}
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/linear.h"
+
+namespace aidb::db4ai {
+
+/// A dataset with injected dirt: some rows carry corrupted features/labels;
+/// the clean versions are known to the oracle (the "crowd"/expert cleaner).
+struct DirtyDataset {
+  ml::Dataset dirty;
+  ml::Dataset clean;            ///< ground truth
+  std::vector<bool> is_dirty;   ///< per row
+};
+
+/// Makes a binary-classification dataset where `dirty_fraction` of rows have
+/// flipped labels and scaled features (systematic dirt, as in ActiveClean's
+/// motivating examples).
+DirtyDataset MakeDirtyDataset(size_t n, double dirty_fraction, uint64_t seed);
+
+/// One point on a cleaning curve: after cleaning `cleaned` records, the model
+/// retrained on the partially cleaned data scores `test_accuracy`.
+struct CleaningPoint {
+  size_t cleaned = 0;
+  double test_accuracy = 0.0;
+};
+
+/// \brief Cleaning-order strategies for iterative clean-and-retrain.
+/// ActiveClean prioritizes records by estimated model impact (gradient
+/// magnitude under the current model); the baseline cleans in random order.
+class CleaningSession {
+ public:
+  enum class Order { kRandom, kActiveClean };
+
+  CleaningSession(DirtyDataset data, uint64_t seed)
+      : data_(std::move(data)), rng_(seed) {}
+
+  /// Cleans in batches of `batch` until `budget` records are cleaned,
+  /// retraining after each batch; returns the accuracy curve measured on
+  /// `test`.
+  std::vector<CleaningPoint> Run(Order order, size_t budget, size_t batch,
+                                 const ml::Dataset& test);
+
+ private:
+  DirtyDataset data_;
+  Rng rng_;
+};
+
+}  // namespace aidb::db4ai

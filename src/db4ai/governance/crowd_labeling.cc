@@ -1,0 +1,48 @@
+#include "db4ai/governance/crowd_labeling.h"
+
+namespace aidb::db4ai {
+
+CrowdResult RunCrowdCampaign(const CrowdOptions& opts) {
+  Rng rng(opts.seed);
+  CrowdResult out;
+  out.truth.resize(opts.num_items);
+  for (auto& t : out.truth) t = rng.Uniform(opts.num_classes);
+
+  std::vector<double> accuracy(opts.num_workers);
+  for (auto& a : accuracy) {
+    a = rng.Bernoulli(opts.good_worker_fraction) ? opts.good_accuracy
+                                                 : opts.bad_accuracy;
+  }
+
+  for (size_t item = 0; item < opts.num_items; ++item) {
+    // Draw distinct workers for this item.
+    std::vector<size_t> workers(opts.num_workers);
+    for (size_t w = 0; w < opts.num_workers; ++w) workers[w] = w;
+    rng.Shuffle(&workers);
+    size_t k = std::min(opts.labels_per_item, opts.num_workers);
+    for (size_t j = 0; j < k; ++j) {
+      size_t w = workers[j];
+      size_t label;
+      if (rng.Bernoulli(accuracy[w])) {
+        label = out.truth[item];
+      } else {
+        label = rng.Uniform(opts.num_classes - 1);
+        if (label >= out.truth[item]) ++label;  // uniform over wrong classes
+      }
+      out.labels.push_back({item, w, label});
+      ++out.total_labels;
+    }
+  }
+  return out;
+}
+
+double LabelAccuracy(const std::vector<size_t>& inferred,
+                     const std::vector<size_t>& truth) {
+  if (inferred.empty()) return 0.0;
+  size_t hit = 0;
+  for (size_t i = 0; i < inferred.size(); ++i)
+    if (inferred[i] == truth[i]) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(inferred.size());
+}
+
+}  // namespace aidb::db4ai

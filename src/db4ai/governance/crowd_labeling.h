@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dawid_skene.h"
+
+namespace aidb::db4ai {
+
+/// Configuration of the simulated crowdsourcing platform (the MTurk
+/// substitution described in DESIGN.md).
+struct CrowdOptions {
+  size_t num_items = 500;
+  size_t num_workers = 20;
+  size_t num_classes = 3;
+  size_t labels_per_item = 5;       ///< redundancy (cost knob)
+  double good_worker_fraction = 0.4;
+  double good_accuracy = 0.92;
+  double bad_accuracy = 0.45;       ///< near-random / careless workers
+  uint64_t seed = 42;
+};
+
+/// Result of one labeling campaign.
+struct CrowdResult {
+  std::vector<size_t> truth;
+  std::vector<ml::CrowdLabel> labels;
+  size_t total_labels = 0;  ///< campaign cost in worker answers
+};
+
+/// Simulates a labeling campaign: per-worker accuracy, uniform confusion
+/// among wrong classes, labels_per_item workers drawn per item.
+CrowdResult RunCrowdCampaign(const CrowdOptions& opts);
+
+/// Accuracy of an inferred label vector against the truth.
+double LabelAccuracy(const std::vector<size_t>& inferred,
+                     const std::vector<size_t>& truth);
+
+}  // namespace aidb::db4ai

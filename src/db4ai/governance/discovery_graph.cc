@@ -1,0 +1,115 @@
+#include "db4ai/governance/discovery_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace aidb::db4ai {
+
+namespace {
+uint64_t MixHash(uint64_t x, uint64_t salt) {
+  x ^= salt;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Status DiscoveryGraph::Build(const Catalog& catalog) {
+  nodes_.clear();
+  adj_.clear();
+  num_edges_ = 0;
+
+  for (const auto& table_name : catalog.TableNames()) {
+    const Table* t = nullptr;
+    AIDB_ASSIGN_OR_RETURN(t, catalog.GetTable(table_name));
+    for (size_t c = 0; c < t->schema().NumColumns(); ++c) {
+      Signature sig;
+      sig.node = {table_name, t->schema().column(c).name};
+      sig.minhash.assign(opts_.minhash_size,
+                         std::numeric_limits<uint64_t>::max());
+      size_t seen = 0;
+      t->ForEach([&](RowId, const Tuple& row) {
+        if (seen >= opts_.sample_rows) return;
+        ++seen;
+        if (row[c].is_null()) return;
+        uint64_t h = row[c].Hash();
+        for (size_t s = 0; s < opts_.minhash_size; ++s) {
+          sig.minhash[s] = std::min(sig.minhash[s], MixHash(h, s * 0x9E3779B9 + 1));
+        }
+      });
+      nodes_.push_back(std::move(sig));
+    }
+  }
+
+  adj_.assign(nodes_.size(), {});
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (nodes_[i].node.table == nodes_[j].node.table) continue;
+      double sim = EstimateJaccard(nodes_[i].minhash, nodes_[j].minhash);
+      if (sim >= opts_.similarity_threshold) {
+        adj_[i].emplace_back(j, sim);
+        adj_[j].emplace_back(i, sim);
+        ++num_edges_;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double DiscoveryGraph::EstimateJaccard(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b) {
+  size_t match = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i]) ++match;
+  return a.empty() ? 0.0 : static_cast<double>(match) / static_cast<double>(a.size());
+}
+
+int DiscoveryGraph::FindNode(const std::string& table,
+                             const std::string& column) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].node.table == table && nodes_[i].node.column == column)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::pair<EkgNode, double>> DiscoveryGraph::SimilarColumns(
+    const std::string& table, const std::string& column, size_t k) const {
+  int idx = FindNode(table, column);
+  if (idx < 0) return {};
+  auto edges = adj_[static_cast<size_t>(idx)];
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::pair<EkgNode, double>> out;
+  for (size_t i = 0; i < edges.size() && i < k; ++i) {
+    out.emplace_back(nodes_[edges[i].first].node, edges[i].second);
+  }
+  return out;
+}
+
+std::vector<std::string> DiscoveryGraph::RelatedTables(
+    const std::string& table) const {
+  std::set<std::string> related;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].node.table != table) continue;
+    for (const auto& [j, sim] : adj_[i]) {
+      related.insert(nodes_[j].node.table);
+    }
+  }
+  related.erase(table);
+  return {related.begin(), related.end()};
+}
+
+double DiscoveryGraph::Similarity(const std::string& ta, const std::string& ca,
+                                  const std::string& tb,
+                                  const std::string& cb) const {
+  int a = FindNode(ta, ca), b = FindNode(tb, cb);
+  if (a < 0 || b < 0) return 0.0;
+  return EstimateJaccard(nodes_[static_cast<size_t>(a)].minhash,
+                         nodes_[static_cast<size_t>(b)].minhash);
+}
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace aidb::db4ai {
+
+/// A node in the enterprise knowledge graph: one table column.
+struct EkgNode {
+  std::string table;
+  std::string column;
+  std::string Id() const { return table + "." + column; }
+};
+
+/// \brief Aurum-lite enterprise knowledge graph: column nodes connected by
+/// content-similarity edges (MinHash over value samples) and schema
+/// hyper-edges (columns of the same table). Supports the discovery queries
+/// Aurum motivates: "what joins with X", "what is similar to X".
+class DiscoveryGraph {
+ public:
+  struct Options {
+    size_t minhash_size = 32;
+    double similarity_threshold = 0.5;
+    size_t sample_rows = 512;
+  };
+  DiscoveryGraph() : DiscoveryGraph(Options()) {}
+  explicit DiscoveryGraph(const Options& opts) : opts_(opts) {}
+
+  /// Builds the graph over every table in the catalog.
+  Status Build(const Catalog& catalog);
+
+  /// Columns content-similar to `table.column`, best first.
+  std::vector<std::pair<EkgNode, double>> SimilarColumns(
+      const std::string& table, const std::string& column, size_t k = 5) const;
+
+  /// Tables reachable from `table` through similarity edges (the "related
+  /// datasets" discovery query).
+  std::vector<std::string> RelatedTables(const std::string& table) const;
+
+  /// Estimated Jaccard similarity between two columns' value sets.
+  double Similarity(const std::string& ta, const std::string& ca,
+                    const std::string& tb, const std::string& cb) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+ private:
+  struct Signature {
+    EkgNode node;
+    std::vector<uint64_t> minhash;
+  };
+
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+  int FindNode(const std::string& table, const std::string& column) const;
+
+  Options opts_;
+  std::vector<Signature> nodes_;
+  std::vector<std::vector<std::pair<size_t, double>>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,83 @@
+#include "db4ai/governance/lineage.h"
+
+#include <deque>
+
+namespace aidb::db4ai {
+
+void LineageGraph::AddArtifact(const std::string& name, LineageKind kind) {
+  kinds_.emplace(name, kind);
+}
+
+void LineageGraph::RecordDerivation(const std::vector<std::string>& inputs,
+                                    const std::string& output,
+                                    const std::string& operation) {
+  for (const auto& in : inputs) {
+    kinds_.emplace(in, LineageKind::kSource);
+    edges_.push_back({in, output, operation});
+  }
+  kinds_.emplace(output, LineageKind::kTable);
+}
+
+std::vector<std::string> LineageGraph::Upstream(const std::string& name) const {
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{name};
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& e : edges_) {
+      if (e.to == cur && !seen.count(e.from)) {
+        seen.insert(e.from);
+        frontier.push_back(e.from);
+      }
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<std::string> LineageGraph::Downstream(const std::string& name) const {
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{name};
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& e : edges_) {
+      if (e.from == cur && !seen.count(e.to)) {
+        seen.insert(e.to);
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<std::string> LineageGraph::PathOperations(
+    const std::string& source, const std::string& target) const {
+  // BFS tracking the operation labels along the path.
+  std::map<std::string, std::pair<std::string, std::string>> parent;  // node -> (prev, op)
+  std::deque<std::string> frontier{source};
+  std::set<std::string> seen{source};
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    if (cur == target) {
+      std::vector<std::string> ops;
+      for (std::string node = target; node != source;) {
+        auto it = parent.find(node);
+        if (it == parent.end()) break;
+        ops.push_back(it->second.second);
+        node = it->second.first;
+      }
+      return {ops.rbegin(), ops.rend()};
+    }
+    for (const auto& e : edges_) {
+      if (e.from == cur && !seen.count(e.to)) {
+        seen.insert(e.to);
+        parent[e.to] = {cur, e.operation};
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace aidb::db4ai

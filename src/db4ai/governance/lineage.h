@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aidb::db4ai {
+
+/// Node kinds in the coarse-grained lineage graph.
+enum class LineageKind { kSource, kTable, kModel, kReport };
+
+/// \brief Dataset/model-level provenance graph: which artifacts were derived
+/// from which, through which operations. Answers the governance questions
+/// the survey lists under data lineage: "what fed this model?" (backward)
+/// and "what breaks if this source is bad?" (forward/impact).
+class LineageGraph {
+ public:
+  /// Registers an artifact (idempotent).
+  void AddArtifact(const std::string& name, LineageKind kind);
+
+  /// Records that `output` was produced from `inputs` by `operation`.
+  void RecordDerivation(const std::vector<std::string>& inputs,
+                        const std::string& output, const std::string& operation);
+
+  /// Every artifact `name` transitively depends on (backward lineage).
+  std::vector<std::string> Upstream(const std::string& name) const;
+  /// Every artifact transitively derived from `name` (impact analysis).
+  std::vector<std::string> Downstream(const std::string& name) const;
+  /// The operation chain from `source` to `target`, empty if unrelated.
+  std::vector<std::string> PathOperations(const std::string& source,
+                                          const std::string& target) const;
+
+  bool Contains(const std::string& name) const { return kinds_.count(name) > 0; }
+  LineageKind KindOf(const std::string& name) const { return kinds_.at(name); }
+  size_t NumArtifacts() const { return kinds_.size(); }
+
+ private:
+  struct Edge {
+    std::string from, to, operation;
+  };
+
+  std::map<std::string, LineageKind> kinds_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,131 @@
+#include "db4ai/inference/inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/timer.h"
+
+namespace aidb::db4ai {
+
+const char* KernelName(InferenceKernel k) {
+  switch (k) {
+    case InferenceKernel::kRowWise: return "row_wise";
+    case InferenceKernel::kBatched: return "batched";
+    case InferenceKernel::kCached: return "cached";
+  }
+  return "?";
+}
+
+InferenceStats InferenceEngine::RunRowWise(const ml::Matrix& x,
+                                           std::vector<double>* out) const {
+  Timer timer;
+  out->resize(x.rows());
+  std::vector<double> row(x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) row[c] = x.At(r, c);
+    (*out)[r] = model_->Predict1(row);
+  }
+  return {timer.ElapsedSeconds(), x.rows(), 0, InferenceKernel::kRowWise};
+}
+
+InferenceStats InferenceEngine::RunBatched(const ml::Matrix& x,
+                                           std::vector<double>* out) const {
+  Timer timer;
+  // Cache-sized blocks: one matrix pass per block keeps activations resident
+  // while still amortizing weight traversal across rows.
+  constexpr size_t kBlock = 256;
+  out->resize(x.rows());
+  for (size_t start = 0; start < x.rows(); start += kBlock) {
+    size_t end = std::min(start + kBlock, x.rows());
+    ml::Matrix block(end - start, x.cols());
+    for (size_t r = start; r < end; ++r) {
+      for (size_t c = 0; c < x.cols(); ++c) block.At(r - start, c) = x.At(r, c);
+    }
+    std::vector<double> preds = model_->Predict(block);
+    for (size_t r = start; r < end; ++r) (*out)[r] = preds[r - start];
+  }
+  return {timer.ElapsedSeconds(), x.rows(), 0, InferenceKernel::kBatched};
+}
+
+InferenceStats InferenceEngine::RunCached(const ml::Matrix& x,
+                                          std::vector<double>* out) const {
+  Timer timer;
+  out->resize(x.rows());
+  std::unordered_map<uint64_t, double> memo;
+  std::vector<double> row(x.cols());
+  size_t hits = 0;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      row[c] = x.At(r, c);
+      uint64_t bits;
+      static_assert(sizeof(double) == sizeof(uint64_t));
+      __builtin_memcpy(&bits, &row[c], sizeof(bits));
+      h = (h ^ bits) * 1099511628211ULL;
+    }
+    auto it = memo.find(h);
+    if (it != memo.end()) {
+      (*out)[r] = it->second;
+      ++hits;
+      continue;
+    }
+    double v = model_->Predict1(row);
+    memo.emplace(h, v);
+    (*out)[r] = v;
+  }
+  return {timer.ElapsedSeconds(), x.rows(), hits, InferenceKernel::kCached};
+}
+
+double InferenceEngine::EstimateDistinctFraction(const ml::Matrix& x,
+                                                 size_t sample) {
+  size_t n = std::min(sample, x.rows());
+  if (n == 0) return 1.0;
+  std::set<uint64_t> distinct;
+  for (size_t r = 0; r < n; ++r) {
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      uint64_t bits;
+      double v = x.At(r, c);
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      h = (h ^ bits) * 1099511628211ULL;
+    }
+    distinct.insert(h);
+  }
+  return static_cast<double>(distinct.size()) / static_cast<double>(n);
+}
+
+InferenceStats InferenceEngine::RunAuto(const ml::Matrix& x,
+                                        std::vector<double>* out) const {
+  // Cost-based kernel selection: heavy repetition -> cached; batches big
+  // enough to amortize -> batched; tiny inputs -> row-wise.
+  double distinct = EstimateDistinctFraction(x);
+  if (distinct < 0.5) return RunCached(x, out);
+  if (x.rows() >= 64) return RunBatched(x, out);
+  return RunRowWise(x, out);
+}
+
+CascadeResult RunCascade(size_t n, const std::vector<CascadeStage>& stages) {
+  CascadeResult result;
+  for (const auto& s : stages) result.order.push_back(s.name);
+  for (size_t row = 0; row < n; ++row) {
+    bool alive = true;
+    for (const auto& s : stages) {
+      if (!alive) break;
+      result.total_cost += s.cost_per_row;
+      alive = s.pass(row);
+    }
+    if (alive) ++result.rows_out;
+  }
+  return result;
+}
+
+std::vector<CascadeStage> OptimizeCascadeOrder(std::vector<CascadeStage> stages) {
+  std::sort(stages.begin(), stages.end(),
+            [](const CascadeStage& a, const CascadeStage& b) {
+              return (a.selectivity - 1.0) / a.cost_per_row <
+                     (b.selectivity - 1.0) / b.cost_per_row;
+            });
+  return stages;
+}
+
+}  // namespace aidb::db4ai

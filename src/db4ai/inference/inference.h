@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/mlp.h"
+
+namespace aidb::db4ai {
+
+/// \brief Physical implementations of the in-database inference operator
+/// (the survey's "operator support": the same logical PREDICT has several
+/// physical kernels with different cost profiles).
+enum class InferenceKernel {
+  kRowWise,   ///< one forward pass per row (low latency, poor throughput)
+  kBatched,   ///< matrix-at-a-time forward pass (amortizes weight traversal)
+  kCached,    ///< row-wise + memo table (wins on repetitive inputs)
+};
+const char* KernelName(InferenceKernel k);
+
+/// Execution statistics for one inference run.
+struct InferenceStats {
+  double wall_seconds = 0.0;
+  size_t rows = 0;
+  size_t cache_hits = 0;
+  InferenceKernel kernel = InferenceKernel::kRowWise;
+};
+
+/// \brief Inference executor over an MLP with selectable physical kernels
+/// plus a cost-based kernel selector.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(const ml::Mlp* model) : model_(model) {}
+
+  InferenceStats RunRowWise(const ml::Matrix& x, std::vector<double>* out) const;
+  InferenceStats RunBatched(const ml::Matrix& x, std::vector<double>* out) const;
+  InferenceStats RunCached(const ml::Matrix& x, std::vector<double>* out) const;
+
+  /// Cost-based operator selection: picks the kernel from batch size and an
+  /// estimated input-repetition rate (sampled from the data), then runs it.
+  InferenceStats RunAuto(const ml::Matrix& x, std::vector<double>* out) const;
+
+  /// Estimated distinct-input fraction from a sample of rows.
+  static double EstimateDistinctFraction(const ml::Matrix& x, size_t sample = 256);
+
+ private:
+  const ml::Mlp* model_;
+};
+
+/// One stage of a prediction cascade: a predicate with a per-row cost and a
+/// selectivity. Expensive ML predicates should run after cheap selective
+/// relational ones — the survey's hybrid DB&AI "patients > 3 days" example.
+struct CascadeStage {
+  std::string name;
+  double cost_per_row = 1.0;
+  double selectivity = 0.5;
+  std::function<bool(size_t)> pass;  ///< row id -> passes?
+};
+
+/// Result of executing a predicate cascade.
+struct CascadeResult {
+  size_t rows_out = 0;
+  double total_cost = 0.0;  ///< sum over rows of per-stage costs actually paid
+  std::vector<std::string> order;
+};
+
+/// Executes stages over rows [0, n) in the given order, short-circuiting.
+CascadeResult RunCascade(size_t n, const std::vector<CascadeStage>& stages);
+
+/// Orders stages by the classical predicate-ranking rule
+/// rank = (selectivity - 1) / cost (most negative first): cheap, selective
+/// predicates run first, pushing the expensive model invocation last.
+std::vector<CascadeStage> OptimizeCascadeOrder(std::vector<CascadeStage> stages);
+
+}  // namespace aidb::db4ai

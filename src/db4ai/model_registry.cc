@@ -1,0 +1,166 @@
+#include "db4ai/model_registry.h"
+
+#include <memory>
+
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
+
+namespace aidb::db4ai {
+
+Result<ml::Dataset> ModelRegistry::ExtractDataset(
+    const Catalog& catalog, const std::string& table, const std::string& target,
+    const std::vector<std::string>& features) {
+  const Table* t = nullptr;
+  AIDB_ASSIGN_OR_RETURN(t, catalog.GetTable(table));
+  const Schema& schema = t->schema();
+
+  int target_idx = schema.IndexOf(target);
+  if (target_idx < 0) return Status::NotFound("target column " + target);
+
+  std::vector<size_t> feat_idx;
+  if (features.empty()) {
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      if (static_cast<int>(c) == target_idx) continue;
+      if (schema.column(c).type == ValueType::kString) continue;
+      feat_idx.push_back(c);
+    }
+  } else {
+    for (const auto& f : features) {
+      int idx = schema.IndexOf(f);
+      if (idx < 0) return Status::NotFound("feature column " + f);
+      feat_idx.push_back(static_cast<size_t>(idx));
+    }
+  }
+  if (feat_idx.empty()) return Status::InvalidArgument("no usable feature columns");
+
+  ml::Dataset data;
+  data.x = ml::Matrix(t->NumRows(), feat_idx.size());
+  data.y.reserve(t->NumRows());
+  size_t r = 0;
+  t->ForEach([&](RowId, const Tuple& row) {
+    for (size_t j = 0; j < feat_idx.size(); ++j)
+      data.x.At(r, j) = row[feat_idx[j]].AsFeature();
+    data.y.push_back(row[static_cast<size_t>(target_idx)].AsFeature());
+    ++r;
+  });
+  return data;
+}
+
+Status ModelRegistry::Train(const Catalog& catalog,
+                            const sql::CreateModelStatement& stmt) {
+  ml::Dataset data;
+  AIDB_ASSIGN_OR_RETURN(
+      data, ExtractDataset(catalog, stmt.table, stmt.target, stmt.features));
+  if (data.NumRows() == 0) return Status::InvalidArgument("training table is empty");
+
+  auto scaler = std::make_shared<ml::StandardScaler>();
+  scaler->Fit(data.x);
+  ml::Dataset scaled;
+  scaled.x = scaler->Transform(data.x);
+  scaled.y = data.y;
+
+  Entry entry;
+  entry.info.name = stmt.model;
+  entry.info.type = stmt.model_type;
+  entry.info.table = stmt.table;
+  entry.info.target = stmt.target;
+  entry.info.features = stmt.features;
+  entry.info.train_rows = data.NumRows();
+
+  size_t d = data.NumFeatures();
+  auto scale_row = [scaler](const std::vector<double>& raw) {
+    std::vector<double> out(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i)
+      out[i] = (raw[i] - scaler->mean()[i]) / scaler->stddev()[i];
+    return out;
+  };
+
+  if (stmt.model_type == "linear") {
+    auto model = std::make_shared<ml::LinearRegression>();
+    model->FitClosedForm(scaled);
+    entry.info.train_mse = ml::Mse(model->Predict(scaled.x), scaled.y);
+    entry.fn = [model, scale_row, d](const std::vector<double>& raw) {
+      auto x = scale_row(raw);
+      return model->Predict(x.data(), d);
+    };
+  } else if (stmt.model_type == "logistic") {
+    auto model = std::make_shared<ml::LogisticRegression>();
+    ml::SgdOptions opts;
+    opts.epochs = 150;
+    opts.learning_rate = 0.3;
+    model->Fit(scaled, opts);
+    entry.info.train_accuracy = ml::Accuracy(model->Predict(scaled.x), scaled.y);
+    entry.fn = [model, scale_row, d](const std::vector<double>& raw) {
+      auto x = scale_row(raw);
+      return model->PredictProba(x.data(), d);
+    };
+  } else if (stmt.model_type == "mlp") {
+    ml::MlpOptions opts;
+    opts.hidden = {32, 16};
+    opts.epochs = 80;
+    auto model = std::make_shared<ml::Mlp>(d, 1, opts);
+    model->Fit(scaled);
+    entry.info.train_mse = ml::Mse(model->Predict(scaled.x), scaled.y);
+    entry.fn = [model, scale_row](const std::vector<double>& raw) {
+      return model->Predict1(scale_row(raw));
+    };
+  } else if (stmt.model_type == "forest") {
+    ml::TreeOptions topts;
+    topts.regression = true;
+    auto model = std::make_shared<ml::RandomForest>(20, topts);
+    model->Fit(scaled);
+    {
+      ml::Matrix& x = scaled.x;
+      std::vector<double> preds = model->Predict(x);
+      entry.info.train_mse = ml::Mse(preds, scaled.y);
+    }
+    entry.fn = [model, scale_row](const std::vector<double>& raw) {
+      auto x = scale_row(raw);
+      return model->Predict(x.data());
+    };
+  } else {
+    return Status::InvalidArgument("unknown model type '" + stmt.model_type +
+                                   "' (linear|logistic|mlp|forest)");
+  }
+
+  auto it = models_.find(stmt.model);
+  if (it != models_.end()) entry.info.version = it->second.info.version + 1;
+  models_[stmt.model] = std::move(entry);
+  return Status::OK();
+}
+
+void ModelRegistry::RegisterExternal(const std::string& name, exec::PredictFn fn) {
+  Entry entry;
+  entry.info.name = name;
+  entry.info.type = "external";
+  entry.fn = std::move(fn);
+  auto it = models_.find(name);
+  if (it != models_.end()) entry.info.version = it->second.info.version + 1;
+  models_[name] = std::move(entry);
+}
+
+Result<exec::PredictFn> ModelRegistry::Resolve(const std::string& model_name) const {
+  auto it = models_.find(model_name);
+  if (it == models_.end()) return Status::NotFound("model " + model_name);
+  return it->second.fn;
+}
+
+Result<const ModelInfo*> ModelRegistry::GetInfo(const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) return Status::NotFound("model " + name);
+  return &it->second.info;
+}
+
+std::vector<ModelInfo> ModelRegistry::ListModels() const {
+  std::vector<ModelInfo> out;
+  for (const auto& [n, e] : models_) out.push_back(e.info);
+  return out;
+}
+
+Status ModelRegistry::Drop(const std::string& name) {
+  if (!models_.erase(name)) return Status::NotFound("model " + name);
+  return Status::OK();
+}
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/expr.h"
+#include "ml/dataset.h"
+#include "sql/ast.h"
+
+namespace aidb::db4ai {
+
+/// Metadata for one trained, versioned model (ModelDB-style management:
+/// every retrain creates a new version; lineage records the training data).
+struct ModelInfo {
+  std::string name;
+  std::string type;     ///< linear | logistic | mlp | forest
+  std::string table;    ///< training table (lineage)
+  std::string target;
+  std::vector<std::string> features;
+  size_t version = 1;
+  size_t train_rows = 0;
+  double train_mse = 0.0;
+  double train_accuracy = 0.0;  ///< classifiers only
+};
+
+/// \brief In-database model store: trains models from catalog tables
+/// (CREATE MODEL ...) and serves row-level inference for PREDICT(...).
+///
+/// Implements the executor's ModelResolver interface, which is the only
+/// coupling between the execution engine and the DB4AI layer.
+class ModelRegistry : public exec::ModelResolver {
+ public:
+  /// Trains a model per the statement and registers it (bumping the version
+  /// if the name exists). Features default to every numeric non-target
+  /// column of the table.
+  Status Train(const Catalog& catalog, const sql::CreateModelStatement& stmt);
+
+  /// Registers an externally trained predictor (used by learned components
+  /// that want SQL-level access to their models).
+  void RegisterExternal(const std::string& name, exec::PredictFn fn);
+
+  Result<exec::PredictFn> Resolve(const std::string& model_name) const override;
+
+  Result<const ModelInfo*> GetInfo(const std::string& name) const;
+  std::vector<ModelInfo> ListModels() const;
+  bool Contains(const std::string& name) const { return models_.count(name) > 0; }
+  Status Drop(const std::string& name);
+
+  /// Extracts a supervised dataset (numeric features + target) from a table.
+  static Result<ml::Dataset> ExtractDataset(const Catalog& catalog,
+                                            const std::string& table,
+                                            const std::string& target,
+                                            const std::vector<std::string>& features);
+
+ private:
+  struct Entry {
+    ModelInfo info;
+    exec::PredictFn fn;
+  };
+  std::map<std::string, Entry> models_;
+};
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,146 @@
+#include "db4ai/training/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "ml/linear.h"
+
+namespace aidb::db4ai {
+
+FeatureSelectionEngine::FeatureSelectionEngine(const ml::Dataset* data)
+    : data_(data) {}
+
+std::vector<FeatureSetScore> FeatureSelectionEngine::EvaluateNaive(
+    const std::vector<std::vector<size_t>>& subsets) const {
+  std::vector<FeatureSetScore> out;
+  out.reserve(subsets.size());
+  for (const auto& subset : subsets) {
+    // Project (full data copy — the cost the materialized path avoids).
+    ml::Dataset proj;
+    proj.x = ml::Matrix(data_->NumRows(), subset.size());
+    proj.y = data_->y;
+    for (size_t r = 0; r < data_->NumRows(); ++r)
+      for (size_t j = 0; j < subset.size(); ++j)
+        proj.x.At(r, j) = data_->x.At(r, subset[j]);
+    ml::LinearRegression lr;
+    lr.FitClosedForm(proj, 1e-6);
+    out.push_back({subset, ml::Mse(lr.Predict(proj.x), proj.y)});
+  }
+  return out;
+}
+
+void FeatureSelectionEngine::Materialize() {
+  size_t d = data_->NumFeatures();
+  size_t da = d + 1;  // + bias
+  gram_.assign(da, std::vector<double>(da, 0.0));
+  xty_.assign(da, 0.0);
+  yty_ = 0.0;
+  for (size_t r = 0; r < data_->NumRows(); ++r) {
+    const double* row = data_->x.RowPtr(r);
+    auto feat = [&](size_t j) { return j < d ? row[j] : 1.0; };
+    for (size_t i = 0; i < da; ++i) {
+      for (size_t j = i; j < da; ++j) gram_[i][j] += feat(i) * feat(j);
+      xty_[i] += feat(i) * data_->y[r];
+    }
+    yty_ += data_->y[r] * data_->y[r];
+  }
+  for (size_t i = 0; i < da; ++i)
+    for (size_t j = 0; j < i; ++j) gram_[i][j] = gram_[j][i];
+  materialized_ = true;
+}
+
+double FeatureSelectionEngine::SolveFromGram(
+    const std::vector<size_t>& features) const {
+  size_t d = data_->NumFeatures();
+  size_t k = features.size();
+  size_t ka = k + 1;
+  // Assemble sub-Gram (features + bias at position k).
+  std::vector<std::vector<double>> a(ka, std::vector<double>(ka + 1, 0.0));
+  auto gidx = [&](size_t j) { return j < k ? features[j] : d; };
+  for (size_t i = 0; i < ka; ++i) {
+    for (size_t j = 0; j < ka; ++j) a[i][j] = gram_[gidx(i)][gidx(j)];
+    a[i][ka] = xty_[gidx(i)];
+  }
+  for (size_t i = 0; i < k; ++i) a[i][i] += 1e-6;
+  // Gaussian elimination.
+  for (size_t col = 0; col < ka; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < ka; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[piv][col])) piv = r;
+    std::swap(a[col], a[piv]);
+    if (std::fabs(a[col][col]) < 1e-12) a[col][col] = 1e-12;
+    for (size_t r = 0; r < ka; ++r) {
+      if (r == col) continue;
+      double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (size_t c = col; c <= ka; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  std::vector<double> w(ka);
+  for (size_t i = 0; i < ka; ++i) w[i] = a[i][ka] / a[i][i];
+  // Train MSE from sufficient statistics:
+  //   SSE = y'y - 2 w'X'y + w'X'Xw.
+  double wxty = 0.0, wxxw = 0.0;
+  for (size_t i = 0; i < ka; ++i) {
+    wxty += w[i] * xty_[gidx(i)];
+    for (size_t j = 0; j < ka; ++j) wxxw += w[i] * gram_[gidx(i)][gidx(j)] * w[j];
+  }
+  double sse = yty_ - 2 * wxty + wxxw;
+  return std::max(0.0, sse / static_cast<double>(data_->NumRows()));
+}
+
+std::vector<FeatureSetScore> FeatureSelectionEngine::EvaluateMaterialized(
+    const std::vector<std::vector<size_t>>& subsets) const {
+  std::vector<FeatureSetScore> out;
+  out.reserve(subsets.size());
+  for (const auto& subset : subsets) {
+    out.push_back({subset, SolveFromGram(subset)});
+  }
+  return out;
+}
+
+FeatureSetScore FeatureSelectionEngine::ForwardSelect(size_t max_features) {
+  if (!materialized_) Materialize();
+  size_t d = data_->NumFeatures();
+  std::vector<size_t> chosen;
+  double best_mse = SolveFromGram({});
+  while (chosen.size() < max_features) {
+    int best_f = -1;
+    double round_best = best_mse;
+    for (size_t f = 0; f < d; ++f) {
+      if (std::find(chosen.begin(), chosen.end(), f) != chosen.end()) continue;
+      auto trial = chosen;
+      trial.push_back(f);
+      double mse = SolveFromGram(trial);
+      if (mse < round_best - 1e-12) {
+        round_best = mse;
+        best_f = static_cast<int>(f);
+      }
+    }
+    if (best_f < 0) break;
+    chosen.push_back(static_cast<size_t>(best_f));
+    best_mse = round_best;
+  }
+  return {chosen, best_mse};
+}
+
+std::vector<std::vector<size_t>> AllSubsetsOfSize(size_t d, size_t k) {
+  std::vector<std::vector<size_t>> out;
+  std::vector<size_t> cur;
+  std::function<void(size_t)> rec = [&](size_t start) {
+    if (cur.size() == k) {
+      out.push_back(cur);
+      return;
+    }
+    for (size_t f = start; f < d; ++f) {
+      cur.push_back(f);
+      rec(f + 1);
+      cur.pop_back();
+    }
+  };
+  rec(0);
+  return out;
+}
+
+}  // namespace aidb::db4ai

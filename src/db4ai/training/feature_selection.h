@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace aidb::db4ai {
+
+/// Result of evaluating one candidate feature subset.
+struct FeatureSetScore {
+  std::vector<size_t> features;
+  double train_mse = 0.0;
+};
+
+/// \brief Feature-selection evaluation engine, with and without the
+/// materialization optimization of Zhang/Kumar/Ré.
+///
+/// Naive path: for each candidate subset, project the data and solve the
+/// least-squares fit from scratch — O(n d²) per subset.
+/// Materialized path: precompute the full Gram matrix X'X and X'y once
+/// (one data scan); every subset then solves from the cached sub-Gram in
+/// O(d³) independent of n — the "batching + materialization" speedup.
+class FeatureSelectionEngine {
+ public:
+  explicit FeatureSelectionEngine(const ml::Dataset* data);
+
+  /// Evaluates subsets the naive way (scans data per subset).
+  std::vector<FeatureSetScore> EvaluateNaive(
+      const std::vector<std::vector<size_t>>& subsets) const;
+
+  /// One-time materialization of sufficient statistics.
+  void Materialize();
+  /// Evaluates subsets from the materialized Gram (Materialize() required).
+  std::vector<FeatureSetScore> EvaluateMaterialized(
+      const std::vector<std::vector<size_t>>& subsets) const;
+
+  /// Greedy forward selection up to `max_features` using the materialized
+  /// path; returns the best subset found.
+  FeatureSetScore ForwardSelect(size_t max_features);
+
+  bool materialized() const { return materialized_; }
+
+ private:
+  /// Solves ridge LS on the sub-Gram for `features`; returns train MSE.
+  double SolveFromGram(const std::vector<size_t>& features) const;
+
+  const ml::Dataset* data_;
+  bool materialized_ = false;
+  // Sufficient statistics over [features..., bias]: gram_ = X'X, xty_ = X'y.
+  std::vector<std::vector<double>> gram_;
+  std::vector<double> xty_;
+  double yty_ = 0.0;
+};
+
+/// Enumerates all subsets of size `k` from `d` features (used by benches).
+std::vector<std::vector<size_t>> AllSubsetsOfSize(size_t d, size_t k);
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,76 @@
+#include "db4ai/training/model_manager.h"
+
+#include <algorithm>
+
+namespace aidb::db4ai {
+
+size_t ModelManager::Record(const std::string& name,
+                            const std::string& hyperparameters,
+                            const std::string& training_table,
+                            const std::map<std::string, double>& metrics,
+                            const std::string& parent) {
+  ModelVersion v;
+  v.name = name;
+  v.version = ++latest_version_[name];
+  v.hyperparameters = hyperparameters;
+  v.training_table = training_table;
+  v.metrics = metrics;
+  v.sequence = ++sequence_;
+  v.parent = parent;
+  all_.push_back(std::move(v));
+  return latest_version_[name];
+}
+
+std::optional<ModelVersion> ModelManager::Get(const std::string& name,
+                                              size_t version) const {
+  for (const auto& v : all_) {
+    if (v.name == name && v.version == version) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<ModelVersion> ModelManager::Latest(const std::string& name) const {
+  auto it = latest_version_.find(name);
+  if (it == latest_version_.end()) return std::nullopt;
+  return Get(name, it->second);
+}
+
+std::vector<ModelVersion> ModelManager::History(const std::string& name) const {
+  std::vector<ModelVersion> out;
+  for (const auto& v : all_) {
+    if (v.name == name) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ModelVersion& a, const ModelVersion& b) {
+              return a.version < b.version;
+            });
+  return out;
+}
+
+std::optional<ModelVersion> ModelManager::BestByMetric(const std::string& metric,
+                                                       bool minimize) const {
+  std::optional<ModelVersion> best;
+  for (const auto& v : all_) {
+    auto it = v.metrics.find(metric);
+    if (it == v.metrics.end()) continue;
+    if (!best) {
+      best = v;
+      continue;
+    }
+    double cur = best->metrics.at(metric);
+    if ((minimize && it->second < cur) || (!minimize && it->second > cur)) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<ModelVersion> ModelManager::TrainedOn(const std::string& table) const {
+  std::vector<ModelVersion> out;
+  for (const auto& v : all_) {
+    if (v.training_table == table) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace aidb::db4ai

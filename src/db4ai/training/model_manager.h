@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aidb::db4ai {
+
+/// One tracked model version (ModelDB-style record).
+struct ModelVersion {
+  std::string name;
+  size_t version = 1;
+  std::string hyperparameters;
+  std::string training_table;
+  std::map<std::string, double> metrics;  ///< e.g. {"mse": ..., "acc": ...}
+  size_t sequence = 0;                    ///< global creation order
+  std::string parent;                     ///< "" or "name:version" it derives from
+};
+
+/// \brief ModelDB-lite: the trial-and-error tracker the survey's model-
+/// management section calls for — every (re)train is recorded, versions are
+/// immutable, and the store answers "best run", "history of m", and
+/// "everything trained on table T".
+class ModelManager {
+ public:
+  /// Records a new version of `name`; returns the assigned version number.
+  size_t Record(const std::string& name, const std::string& hyperparameters,
+                const std::string& training_table,
+                const std::map<std::string, double>& metrics,
+                const std::string& parent = "");
+
+  std::optional<ModelVersion> Get(const std::string& name, size_t version) const;
+  std::optional<ModelVersion> Latest(const std::string& name) const;
+  /// All versions of `name`, oldest first.
+  std::vector<ModelVersion> History(const std::string& name) const;
+
+  /// The version minimizing `metric` across all models (e.g. best "mse").
+  std::optional<ModelVersion> BestByMetric(const std::string& metric,
+                                           bool minimize = true) const;
+  /// Every version trained on `table` (governance: impact of bad data).
+  std::vector<ModelVersion> TrainedOn(const std::string& table) const;
+
+  size_t TotalVersions() const { return all_.size(); }
+
+ private:
+  std::vector<ModelVersion> all_;
+  std::map<std::string, size_t> latest_version_;
+  size_t sequence_ = 0;
+};
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,121 @@
+#include "db4ai/training/model_selection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace aidb::db4ai {
+
+std::string ModelConfig::ToString() const {
+  std::string s = "mlp[";
+  for (size_t i = 0; i < hidden.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(hidden[i]);
+  }
+  s += "] lr=" + std::to_string(learning_rate) + " bs=" + std::to_string(batch_size);
+  return s;
+}
+
+std::vector<ModelConfig> ModelSelector::DefaultGrid() {
+  std::vector<ModelConfig> grid;
+  for (std::vector<size_t> hidden :
+       std::vector<std::vector<size_t>>{{8}, {32}, {64}, {32, 32}, {64, 32}}) {
+    for (double lr : {1e-2, 2e-3, 5e-4}) {
+      for (size_t bs : {16u, 64u}) {
+        grid.push_back({hidden, lr, bs});
+      }
+    }
+  }
+  return grid;
+}
+
+double ModelSelector::TrainAndScore(const ModelConfig& cfg, size_t epochs,
+                                    uint64_t seed) const {
+  ml::MlpOptions opts;
+  opts.hidden = cfg.hidden;
+  opts.learning_rate = cfg.learning_rate;
+  opts.batch_size = cfg.batch_size;
+  opts.epochs = epochs;
+  opts.seed = seed;
+  ml::Mlp net(train_->NumFeatures(), 1, opts);
+  net.Fit(*train_);
+  return ml::Mse(net.Predict(valid_->x), valid_->y);
+}
+
+SelectionResult ModelSelector::SequentialFull(const std::vector<ModelConfig>& grid,
+                                              size_t full_epochs) const {
+  SelectionResult r;
+  r.best_validation_mse = 1e300;
+  for (const auto& cfg : grid) {
+    double mse = TrainAndScore(cfg, full_epochs, 42);
+    r.total_epochs_spent += full_epochs;
+    ++r.configs_evaluated;
+    if (mse < r.best_validation_mse) {
+      r.best_validation_mse = mse;
+      r.best = cfg;
+    }
+  }
+  return r;
+}
+
+SelectionResult ModelSelector::SuccessiveHalving(
+    const std::vector<ModelConfig>& grid, size_t initial_epochs,
+    size_t full_epochs) const {
+  SelectionResult r;
+  r.best_validation_mse = 1e300;
+  std::vector<size_t> alive(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) alive[i] = i;
+  size_t epochs = initial_epochs;
+
+  while (!alive.empty()) {
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t i : alive) {
+      double mse = TrainAndScore(grid[i], epochs, 42);
+      r.total_epochs_spent += epochs;
+      ++r.configs_evaluated;
+      scored.emplace_back(mse, i);
+      if (epochs >= full_epochs && mse < r.best_validation_mse) {
+        r.best_validation_mse = mse;
+        r.best = grid[i];
+      }
+    }
+    std::sort(scored.begin(), scored.end());
+    if (epochs >= full_epochs) {
+      if (r.best_validation_mse == 1e300 && !scored.empty()) {
+        r.best_validation_mse = scored[0].first;
+        r.best = grid[scored[0].second];
+      }
+      break;
+    }
+    // Keep the best half, double the budget.
+    alive.clear();
+    for (size_t k = 0; k < std::max<size_t>(1, scored.size() / 2); ++k) {
+      alive.push_back(scored[k].second);
+    }
+    epochs = std::min(epochs * 2, full_epochs);
+  }
+  return r;
+}
+
+SelectionResult ModelSelector::ParallelFull(const std::vector<ModelConfig>& grid,
+                                            size_t full_epochs,
+                                            size_t threads) const {
+  SelectionResult r;
+  r.best_validation_mse = 1e300;
+  std::vector<double> scores(grid.size(), 0.0);
+  ThreadPool pool(threads);
+  pool.ParallelFor(grid.size(), [&](size_t i) {
+    scores[i] = TrainAndScore(grid[i], full_epochs, 42);
+  });
+  for (size_t i = 0; i < grid.size(); ++i) {
+    r.total_epochs_spent += full_epochs;
+    ++r.configs_evaluated;
+    if (scores[i] < r.best_validation_mse) {
+      r.best_validation_mse = scores[i];
+      r.best = grid[i];
+    }
+  }
+  return r;
+}
+
+}  // namespace aidb::db4ai

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ml/dataset.h"
+#include "ml/mlp.h"
+
+namespace aidb::db4ai {
+
+/// One hyperparameter configuration in the search space.
+struct ModelConfig {
+  std::vector<size_t> hidden;
+  double learning_rate = 1e-3;
+  size_t batch_size = 32;
+
+  std::string ToString() const;
+};
+
+/// Outcome of a model-selection search.
+struct SelectionResult {
+  ModelConfig best;
+  double best_validation_mse = 0.0;
+  size_t total_epochs_spent = 0;  ///< search cost in training epochs
+  size_t configs_evaluated = 0;
+};
+
+/// \brief Model-selection strategies over a config grid, validating on a
+/// held-out split. The survey's levers: throughput via parallelism (thread
+/// pool == "task parallel") and early termination (successive halving).
+class ModelSelector {
+ public:
+  ModelSelector(const ml::Dataset* train, const ml::Dataset* valid)
+      : train_(train), valid_(valid) {}
+
+  /// Trains every config for `full_epochs` sequentially (the naive loop a
+  /// data scientist writes).
+  SelectionResult SequentialFull(const std::vector<ModelConfig>& grid,
+                                 size_t full_epochs) const;
+
+  /// Successive halving: starts all configs at few epochs, repeatedly keeps
+  /// the best half and doubles the budget — far fewer total epochs.
+  SelectionResult SuccessiveHalving(const std::vector<ModelConfig>& grid,
+                                    size_t initial_epochs, size_t full_epochs) const;
+
+  /// Task-parallel full training across `threads` workers (parameter-server-
+  /// flavoured throughput scaling; results identical to SequentialFull).
+  SelectionResult ParallelFull(const std::vector<ModelConfig>& grid,
+                               size_t full_epochs, size_t threads) const;
+
+  /// Default config grid for the experiments.
+  static std::vector<ModelConfig> DefaultGrid();
+
+ private:
+  double TrainAndScore(const ModelConfig& cfg, size_t epochs, uint64_t seed) const;
+
+  const ml::Dataset* train_;
+  const ml::Dataset* valid_;
+};
+
+}  // namespace aidb::db4ai

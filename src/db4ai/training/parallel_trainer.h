@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "ml/linear.h"
+
+namespace aidb::db4ai {
+
+/// Result of one training run, for the in-DB vs export comparison (E14).
+struct TrainingRunStats {
+  double wall_seconds = 0.0;
+  double export_seconds = 0.0;  ///< time spent copying data out (export path)
+  double final_mse = 0.0;
+  size_t rows = 0;
+  size_t threads = 1;
+};
+
+/// \brief Training-pipeline substrate for the "hardware acceleration /
+/// in-database training" experiments (DAnA-flavoured, CPU-parallel).
+///
+/// Export path: copy the table row-by-row into an external staging buffer
+/// with per-value conversion overhead (what a client-side trainer pays),
+/// then train single-threaded.
+/// In-DB path: train directly over the table storage with a data-parallel
+/// minibatch pipeline (thread pool = the accelerator's parallel lanes;
+/// parameter averaging per epoch).
+class ParallelTrainer {
+ public:
+  struct Options {
+    size_t epochs = 20;
+    double learning_rate = 0.05;
+    size_t batch_size = 64;
+    /// Simulated per-value serialization cost of the export path (network /
+    /// driver marshalling), in relative work units.
+    size_t export_overhead_reps = 40;
+    uint64_t seed = 42;
+  };
+  ParallelTrainer() : ParallelTrainer(Options()) {}
+  explicit ParallelTrainer(const Options& opts) : opts_(opts) {}
+
+  /// Classic client-side loop: export then train (1 thread).
+  Result<TrainingRunStats> TrainViaExport(const Catalog& catalog,
+                                          const std::string& table,
+                                          const std::string& target) const;
+
+  /// In-database pipeline with `threads` parallel lanes.
+  Result<TrainingRunStats> TrainInDatabase(const Catalog& catalog,
+                                           const std::string& table,
+                                           const std::string& target,
+                                           size_t threads) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace aidb::db4ai

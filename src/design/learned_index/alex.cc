@@ -1,0 +1,279 @@
+#include "design/learned_index/alex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aidb::design {
+
+size_t AlexIndex::Segment::PredictSlot(int64_t key) const {
+  double pos = slope * static_cast<double>(key) + intercept;
+  if (pos < 0) return 0;
+  if (pos >= static_cast<double>(slots.size())) {
+    return slots.empty() ? 0 : slots.size() - 1;
+  }
+  return static_cast<size_t>(pos);
+}
+
+size_t AlexIndex::SegmentFor(int64_t key) const {
+  // Last segment whose min_key <= key.
+  size_t lo = 0, hi = segments_.size();
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (segments_[mid].min_key <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<std::pair<int64_t, uint64_t>> AlexIndex::Drain(const Segment& seg) {
+  std::vector<std::pair<int64_t, uint64_t>> out;
+  out.reserve(seg.num_keys);
+  for (const Slot& s : seg.slots) {
+    if (s.occupied) out.emplace_back(s.key, s.value);
+  }
+  return out;  // slots are kept key-ordered, so this is sorted
+}
+
+void AlexIndex::RetrainSegment(Segment* seg) {
+  auto entries = Drain(*seg);
+  size_t n = entries.size();
+  size_t capacity =
+      std::max<size_t>(8, static_cast<size_t>(std::ceil(n / opts_.fill_factor)));
+  seg->slots.assign(capacity, Slot{});
+  seg->num_keys = n;
+  if (n == 0) {
+    seg->slope = 0;
+    seg->intercept = 0;
+    return;
+  }
+  // Fit model key -> equally spaced slot.
+  double mean_x = 0, mean_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += static_cast<double>(entries[i].first);
+    mean_y += static_cast<double>(i) * capacity / n;
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double sxy = 0, sxx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = static_cast<double>(entries[i].first) - mean_x;
+    sxy += dx * (static_cast<double>(i) * capacity / n - mean_y);
+    sxx += dx * dx;
+  }
+  seg->slope = sxx > 0 ? sxy / sxx : 0.0;
+  seg->intercept = mean_y - seg->slope * mean_x;
+
+  // Model-based placement preserving order: walk entries, place each at
+  // max(predicted, last+1).
+  size_t last = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t want = seg->PredictSlot(entries[i].first);
+    size_t slot = std::max(want, i == 0 ? size_t{0} : last + 1);
+    slot = std::min(slot, capacity - (n - i));  // leave room for the rest
+    seg->slots[slot] = {entries[i].first, entries[i].second, true};
+    last = slot;
+  }
+}
+
+void AlexIndex::SplitSegment(size_t index) {
+  auto entries = Drain(segments_[index]);
+  size_t half = entries.size() / 2;
+  Segment right;
+  right.min_key = entries[half].first;
+
+  Segment& left = segments_[index];
+  std::vector<std::pair<int64_t, uint64_t>> left_entries(entries.begin(),
+                                                         entries.begin() + half);
+  std::vector<std::pair<int64_t, uint64_t>> right_entries(entries.begin() + half,
+                                                          entries.end());
+  // Rebuild both sides.
+  left.slots.clear();
+  left.num_keys = 0;
+  for (auto& [k, v] : left_entries) {
+    left.slots.push_back({k, v, true});
+  }
+  left.num_keys = left_entries.size();
+  RetrainSegment(&left);
+
+  right.num_keys = 0;
+  for (auto& [k, v] : right_entries) right.slots.push_back({k, v, true});
+  right.num_keys = right_entries.size();
+  RetrainSegment(&right);
+
+  segments_.insert(segments_.begin() + static_cast<long>(index) + 1,
+                   std::move(right));
+}
+
+namespace {
+
+/// Nearest occupied slot at or before i (-1 if none).
+template <typename Slots>
+long PrevOcc(const Slots& slots, long i) {
+  while (i >= 0 && !slots[static_cast<size_t>(i)].occupied) --i;
+  return i;
+}
+
+/// Nearest occupied slot at or after i (-1 if none).
+template <typename Slots>
+long NextOcc(const Slots& slots, size_t i) {
+  size_t n = slots.size();
+  while (i < n && !slots[i].occupied) ++i;
+  return i < n ? static_cast<long>(i) : -1;
+}
+
+/// Nearest gap at or after i (-1 if none).
+template <typename Slots>
+long NextGap(const Slots& slots, size_t i) {
+  size_t n = slots.size();
+  while (i < n && slots[i].occupied) ++i;
+  return i < n ? static_cast<long>(i) : -1;
+}
+
+/// Nearest gap at or before i (-1 if none).
+template <typename Slots>
+long PrevGap(const Slots& slots, long i) {
+  while (i >= 0 && slots[static_cast<size_t>(i)].occupied) --i;
+  return i;
+}
+
+}  // namespace
+
+void AlexIndex::Insert(int64_t key, uint64_t value) {
+  if (segments_.empty()) {
+    Segment seg;
+    seg.min_key = key;
+    segments_.push_back(std::move(seg));
+    RetrainSegment(&segments_[0]);
+  }
+  size_t si = SegmentFor(key);
+  Segment& seg = segments_[si];
+  if (key < seg.min_key) seg.min_key = key;
+
+  size_t n = seg.slots.size();
+  if (seg.num_keys >= n) {  // full: grow and retry
+    RetrainSegment(&seg);
+    Insert(key, value);
+    return;
+  }
+
+  // Converge to the ordered position: every occupied slot before `pos` holds
+  // a smaller key, every occupied slot at/after holds a larger one. The
+  // order invariant spans gaps, so bracket with nearest-occupied scans.
+  size_t pos = std::min(seg.PredictSlot(key), n);
+  for (;;) {
+    long p = PrevOcc(seg.slots, static_cast<long>(pos) - 1);
+    if (p >= 0 && seg.slots[static_cast<size_t>(p)].key >= key) {
+      if (seg.slots[static_cast<size_t>(p)].key == key) {
+        seg.slots[static_cast<size_t>(p)].value = value;  // upsert
+        return;
+      }
+      pos = static_cast<size_t>(p);
+      continue;
+    }
+    long q = NextOcc(seg.slots, pos);
+    if (q >= 0 && seg.slots[static_cast<size_t>(q)].key <= key) {
+      if (seg.slots[static_cast<size_t>(q)].key == key) {
+        seg.slots[static_cast<size_t>(q)].value = value;
+        return;
+      }
+      pos = static_cast<size_t>(q) + 1;
+      continue;
+    }
+    break;
+  }
+
+  if (pos < n && !seg.slots[pos].occupied) {
+    seg.slots[pos] = {key, value, true};
+  } else {
+    // pos is occupied (by the next-larger key) or == n: shift toward the
+    // nearest gap. Shifting copies slots verbatim, preserving order.
+    long gap_right = pos < n ? NextGap(seg.slots, pos) : -1;
+    if (gap_right >= 0) {
+      for (size_t i = static_cast<size_t>(gap_right); i > pos; --i) {
+        seg.slots[i] = seg.slots[i - 1];
+        ++total_shifts_;
+      }
+      seg.slots[pos] = {key, value, true};
+    } else {
+      long gap_left = PrevGap(seg.slots, static_cast<long>(pos) - 1);
+      // num_keys < n guarantees some gap exists.
+      for (size_t i = static_cast<size_t>(gap_left); i + 1 < pos; ++i) {
+        seg.slots[i] = seg.slots[i + 1];
+        ++total_shifts_;
+      }
+      seg.slots[pos - 1] = {key, value, true};
+    }
+  }
+  ++seg.num_keys;
+  ++size_;
+
+  // Retrain only when fill gets well past the target fill factor; the
+  // retrain re-establishes fill_factor, leaving headroom before the next
+  // retrain (otherwise every insert would retrain).
+  if (seg.num_keys > opts_.max_segment_keys) {
+    SplitSegment(si);
+  } else if (static_cast<double>(seg.num_keys) >
+             0.9 * static_cast<double>(seg.slots.size())) {
+    RetrainSegment(&seg);
+  }
+}
+
+std::optional<uint64_t> AlexIndex::Find(int64_t key) const {
+  if (segments_.empty()) return std::nullopt;
+  const Segment& seg = segments_[SegmentFor(key)];
+  if (seg.slots.empty()) return std::nullopt;
+  size_t n = seg.slots.size();
+  size_t pos = std::min(seg.PredictSlot(key), n);
+  // Same convergence walk as Insert; equality is detected at the brackets.
+  for (;;) {
+    long p = PrevOcc(seg.slots, static_cast<long>(pos) - 1);
+    if (p >= 0 && seg.slots[static_cast<size_t>(p)].key >= key) {
+      if (seg.slots[static_cast<size_t>(p)].key == key) {
+        return seg.slots[static_cast<size_t>(p)].value;
+      }
+      pos = static_cast<size_t>(p);
+      continue;
+    }
+    long q = NextOcc(seg.slots, pos);
+    if (q >= 0 && seg.slots[static_cast<size_t>(q)].key <= key) {
+      if (seg.slots[static_cast<size_t>(q)].key == key) {
+        return seg.slots[static_cast<size_t>(q)].value;
+      }
+      pos = static_cast<size_t>(q) + 1;
+      continue;
+    }
+    return std::nullopt;
+  }
+}
+
+void AlexIndex::BulkLoad(const std::vector<std::pair<int64_t, uint64_t>>& sorted) {
+  segments_.clear();
+  size_ = 0;
+  for (size_t start = 0; start < sorted.size(); start += opts_.max_segment_keys / 2) {
+    size_t end = std::min(start + opts_.max_segment_keys / 2, sorted.size());
+    Segment seg;
+    seg.min_key = start == 0 ? std::numeric_limits<int64_t>::min()
+                             : sorted[start].first;
+    for (size_t i = start; i < end; ++i) {
+      seg.slots.push_back({sorted[i].first, sorted[i].second, true});
+    }
+    seg.num_keys = end - start;
+    RetrainSegment(&seg);
+    segments_.push_back(std::move(seg));
+  }
+  size_ = sorted.size();
+}
+
+size_t AlexIndex::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& seg : segments_) {
+    bytes += sizeof(Segment) + seg.slots.capacity() * sizeof(Slot);
+  }
+  return bytes;
+}
+
+}  // namespace aidb::design

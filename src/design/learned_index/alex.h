@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace aidb::design {
+
+/// \brief ALEX-lite: an updatable learned index (Ding et al.).
+///
+/// Keys live in model-ordered segments; each segment holds a gapped array
+/// sized at 1/`fill_factor` of its keys and a linear model predicting slots.
+/// Inserts go to the model-predicted slot (shifting to the nearest gap);
+/// a segment splits and retrains when it exceeds its fill bound. This keeps
+/// the learned-index lookup advantage under updates — the extension the
+/// survey highlights beyond the original read-only learned index.
+class AlexIndex {
+ public:
+  struct Options {
+    size_t max_segment_keys = 4096;
+    double fill_factor = 0.7;  ///< keys / slots after retrain
+  };
+
+  AlexIndex() : AlexIndex(Options()) {}
+  explicit AlexIndex(const Options& opts) : opts_(opts) {}
+
+  void Insert(int64_t key, uint64_t value);
+  std::optional<uint64_t> Find(int64_t key) const;
+  bool Contains(int64_t key) const { return Find(key).has_value(); }
+
+  /// Bulk construction from sorted (key, value) pairs.
+  void BulkLoad(const std::vector<std::pair<int64_t, uint64_t>>& sorted);
+
+  size_t size() const { return size_; }
+  size_t num_segments() const { return segments_.size(); }
+  size_t MemoryBytes() const;
+  /// Total slot shifts performed by inserts (cost-of-updates metric).
+  uint64_t total_shifts() const { return total_shifts_; }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    uint64_t value = 0;
+    bool occupied = false;
+  };
+
+  struct Segment {
+    int64_t min_key = 0;     ///< routing boundary
+    double slope = 0.0;
+    double intercept = 0.0;  ///< model: slot = slope*key + intercept
+    std::vector<Slot> slots;
+    size_t num_keys = 0;
+
+    size_t PredictSlot(int64_t key) const;
+  };
+
+  size_t SegmentFor(int64_t key) const;
+  void RetrainSegment(Segment* seg);
+  void SplitSegment(size_t index);
+  static std::vector<std::pair<int64_t, uint64_t>> Drain(const Segment& seg);
+
+  Options opts_;
+  std::vector<Segment> segments_;  ///< sorted by min_key
+  size_t size_ = 0;
+  uint64_t total_shifts_ = 0;
+};
+
+}  // namespace aidb::design

@@ -1,0 +1,142 @@
+#include "design/learned_index/rmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb::design {
+
+namespace {
+
+/// Least-squares fit of position = slope * key + intercept over
+/// keys[start, end).
+void FitLinear(const std::vector<int64_t>& keys, size_t start, size_t end,
+               double* slope, double* intercept) {
+  size_t n = end - start;
+  if (n == 0) {
+    *slope = 0;
+    *intercept = 0;
+    return;
+  }
+  if (n == 1) {
+    *slope = 0;
+    *intercept = static_cast<double>(start);
+    return;
+  }
+  double mean_x = 0, mean_y = 0;
+  for (size_t i = start; i < end; ++i) {
+    mean_x += static_cast<double>(keys[i]);
+    mean_y += static_cast<double>(i);
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double sxy = 0, sxx = 0;
+  for (size_t i = start; i < end; ++i) {
+    double dx = static_cast<double>(keys[i]) - mean_x;
+    sxy += dx * (static_cast<double>(i) - mean_y);
+    sxx += dx * dx;
+  }
+  *slope = sxx > 0 ? sxy / sxx : 0.0;
+  *intercept = mean_y - *slope * mean_x;
+}
+
+}  // namespace
+
+size_t RmiIndex::LinearModel::Predict(int64_t key, size_t n) const {
+  double pos = slope * static_cast<double>(key) + intercept;
+  if (pos < 0) return 0;
+  if (pos >= static_cast<double>(n)) return n == 0 ? 0 : n - 1;
+  return static_cast<size_t>(pos);
+}
+
+void RmiIndex::Build(std::vector<int64_t> sorted_keys) {
+  keys_ = std::move(sorted_keys);
+  size_t n = keys_.size();
+  leaves_.assign(num_leaf_models_, LinearModel{});
+  leaf_ranges_.assign(num_leaf_models_, {0, 0});
+  max_error_ = 0;
+  avg_error_ = 0.0;
+  if (n == 0) return;
+
+  // Root model maps key -> leaf id (scaled position).
+  double slope, intercept;
+  FitLinear(keys_, 0, n, &slope, &intercept);
+  double scale = static_cast<double>(num_leaf_models_) / static_cast<double>(n);
+  root_.slope = slope * scale;
+  root_.intercept = intercept * scale;
+
+  // Partition keys by root-predicted leaf (monotone, so contiguous ranges).
+  std::vector<size_t> leaf_of(n);
+  for (size_t i = 0; i < n; ++i) leaf_of[i] = LeafFor(keys_[i]);
+  // Enforce monotonicity (root model is linear, so it already is).
+  size_t start = 0;
+  for (size_t leaf = 0; leaf < num_leaf_models_; ++leaf) {
+    size_t end = start;
+    while (end < n && leaf_of[end] == leaf) ++end;
+    leaf_ranges_[leaf] = {start, end};
+    FitLinear(keys_, start, end, &leaves_[leaf].slope, &leaves_[leaf].intercept);
+    // Record max error over this leaf's keys.
+    size_t err = 0;
+    for (size_t i = start; i < end; ++i) {
+      size_t pred = leaves_[leaf].Predict(keys_[i], n);
+      size_t diff = pred > i ? pred - i : i - pred;
+      err = std::max(err, diff);
+    }
+    leaves_[leaf].error = err;
+    start = end;
+  }
+  // Aggregate stats.
+  double total_err = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const LinearModel& m = leaves_[leaf_of[i]];
+    size_t pred = m.Predict(keys_[i], n);
+    size_t diff = pred > i ? pred - i : i - pred;
+    total_err += static_cast<double>(diff);
+    max_error_ = std::max(max_error_, diff);
+  }
+  avg_error_ = total_err / static_cast<double>(n);
+}
+
+size_t RmiIndex::LeafFor(int64_t key) const {
+  double pos = root_.slope * static_cast<double>(key) + root_.intercept;
+  if (pos < 0) return 0;
+  if (pos >= static_cast<double>(num_leaf_models_)) return num_leaf_models_ - 1;
+  return static_cast<size_t>(pos);
+}
+
+std::optional<size_t> RmiIndex::SearchWindow(int64_t key, size_t lo,
+                                             size_t hi) const {
+  auto begin = keys_.begin() + static_cast<long>(lo);
+  auto end = keys_.begin() + static_cast<long>(std::min(hi + 1, keys_.size()));
+  auto it = std::lower_bound(begin, end, key);
+  if (it != end && *it == key) {
+    return static_cast<size_t>(it - keys_.begin());
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> RmiIndex::Lookup(int64_t key) const {
+  if (keys_.empty()) return std::nullopt;
+  const LinearModel& m = leaves_[LeafFor(key)];
+  size_t pred = m.Predict(key, keys_.size());
+  size_t lo = pred > m.error ? pred - m.error : 0;
+  size_t hi = std::min(pred + m.error, keys_.size() - 1);
+  // Guard: the key may fall just outside the leaf's own range when the root
+  // misroutes boundary keys; widen by one slot each side.
+  if (lo > 0) --lo;
+  if (hi + 1 < keys_.size()) ++hi;
+  return SearchWindow(key, lo, hi);
+}
+
+std::pair<size_t, size_t> RmiIndex::RangeBounds(int64_t lo, int64_t hi) const {
+  auto first = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto last = std::upper_bound(keys_.begin(), keys_.end(), hi);
+  return {static_cast<size_t>(first - keys_.begin()),
+          static_cast<size_t>(last - keys_.begin())};
+}
+
+size_t RmiIndex::ModelBytes() const {
+  return sizeof(LinearModel) * (1 + leaves_.size()) +
+         sizeof(std::pair<size_t, size_t>) * leaf_ranges_.size();
+}
+
+}  // namespace aidb::design

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace aidb::design {
+
+/// \brief Two-stage Recursive Model Index (Kraska et al.): a root linear
+/// model routes each key to one of `num_leaf_models` second-stage linear
+/// models; each leaf model predicts a position with a recorded max error, and
+/// lookup binary-searches only the error window.
+///
+/// Read-only (build once over sorted keys) — the original learned-index
+/// setting. Compare against BTree::BulkLoad (E9).
+class RmiIndex {
+ public:
+  explicit RmiIndex(size_t num_leaf_models = 1024)
+      : num_leaf_models_(num_leaf_models) {}
+
+  /// Builds from strictly sorted keys (duplicates allowed).
+  void Build(std::vector<int64_t> sorted_keys);
+
+  /// Position of `key` in the key array, or nullopt.
+  std::optional<size_t> Lookup(int64_t key) const;
+  bool Contains(int64_t key) const { return Lookup(key).has_value(); }
+
+  /// Positions in [lo, hi] as a (first, last) index range (empty if none).
+  std::pair<size_t, size_t> RangeBounds(int64_t lo, int64_t hi) const;
+
+  size_t size() const { return keys_.size(); }
+  /// Model + key storage overhead excluding the key array itself (for a fair
+  /// size comparison with a B+tree's internal nodes).
+  size_t ModelBytes() const;
+  size_t max_error() const { return max_error_; }
+  double avg_error() const { return avg_error_; }
+  const std::vector<int64_t>& keys() const { return keys_; }
+
+ private:
+  struct LinearModel {
+    double slope = 0.0;
+    double intercept = 0.0;
+    size_t error = 0;  ///< max |predicted - true| within this model
+
+    size_t Predict(int64_t key, size_t n) const;
+  };
+
+  size_t LeafFor(int64_t key) const;
+  /// Position search within [lo, hi] (inclusive), classic last-mile search.
+  std::optional<size_t> SearchWindow(int64_t key, size_t lo, size_t hi) const;
+
+  size_t num_leaf_models_;
+  std::vector<int64_t> keys_;
+  LinearModel root_;
+  std::vector<LinearModel> leaves_;
+  std::vector<std::pair<size_t, size_t>> leaf_ranges_;  ///< [start, end) per leaf
+  size_t max_error_ = 0;
+  double avg_error_ = 0.0;
+};
+
+}  // namespace aidb::design

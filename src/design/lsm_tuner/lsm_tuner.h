@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+
+#include "storage/lsm.h"
+
+namespace aidb::design {
+
+/// Workload description for LSM design tuning.
+struct LsmWorkload {
+  size_t num_writes = 100000;
+  size_t num_point_reads = 100000;
+  size_t key_space = 100000;
+  /// Fraction of reads that hit existing keys (misses are where blooms pay).
+  double read_hit_fraction = 0.5;
+
+  double WriteFraction() const {
+    size_t total = num_writes + num_point_reads;
+    return total ? static_cast<double>(num_writes) / total : 0.0;
+  }
+};
+
+/// \brief Analytic LSM cost model over the design continuum (Idreos et al.:
+/// "design continuums and the path toward self-designing key-value stores").
+///
+/// Standard amortized I/O algebra: leveling rewrites each entry ~T/2 times
+/// per level; tiering once per level; point reads probe one run per level
+/// (leveling) or T runs (tiering), discounted by the bloom false-positive
+/// rate for misses.
+class LsmCostModel {
+ public:
+  double WriteCost(const LsmOptions& opts, const LsmWorkload& w) const;
+  double ReadCost(const LsmOptions& opts, const LsmWorkload& w) const;
+  double MemoryCost(const LsmOptions& opts, const LsmWorkload& w) const;
+  /// Weighted total the tuner minimizes.
+  double TotalCost(const LsmOptions& opts, const LsmWorkload& w) const {
+    return WriteCost(opts, w) + ReadCost(opts, w) + 0.1 * MemoryCost(opts, w);
+  }
+
+  double NumLevels(const LsmOptions& opts, const LsmWorkload& w) const;
+  static double BloomFalsePositiveRate(size_t bits_per_key);
+};
+
+/// \brief Self-designing tuner: hill-climbs the discrete design space
+/// (memtable budget, size ratio, bloom bits, leveling/tiering) along the
+/// cost model's steepest-descent direction — the paper's "tweak different
+/// knobs in one direction until reaching the cost boundary" procedure.
+class LsmDesignTuner {
+ public:
+  struct Result {
+    LsmOptions options;
+    double model_cost = 0.0;
+    size_t steps = 0;
+  };
+
+  Result Tune(const LsmWorkload& workload, const LsmOptions& start = {}) const;
+
+  /// The shipped one-size-fits-all configuration (baseline for E10).
+  static LsmOptions DefaultDesign() { return LsmOptions{}; }
+};
+
+}  // namespace aidb::design

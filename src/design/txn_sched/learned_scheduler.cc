@@ -1,0 +1,107 @@
+#include "design/txn_sched/learned_scheduler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace aidb::design {
+
+std::vector<double> LearnedTxnScheduler::Featurize(
+    const txn::TxnSpec& txn, const std::vector<txn::TxnSpec>& running) {
+  std::unordered_set<txn::KeyId> running_writes, running_reads;
+  for (const auto& r : running) {
+    for (const auto& [key, mode] : r.accesses) {
+      if (mode == txn::LockMode::kExclusive) {
+        running_writes.insert(key);
+      } else {
+        running_reads.insert(key);
+      }
+    }
+  }
+  double ww = 0, wr = 0, rw = 0;
+  for (const auto& [key, mode] : txn.accesses) {
+    bool is_write = mode == txn::LockMode::kExclusive;
+    if (is_write && running_writes.count(key)) ++ww;
+    if (is_write && running_reads.count(key)) ++wr;
+    if (!is_write && running_writes.count(key)) ++rw;
+  }
+  return {ww,
+          wr,
+          rw,
+          static_cast<double>(running.size()),
+          static_cast<double>(txn.accesses.size()),
+          txn.duration};
+}
+
+int LearnedTxnScheduler::PickNext(const std::deque<txn::TxnSpec>& queue,
+                                  const std::vector<txn::TxnSpec>& running,
+                                  const txn::LockManager& /*locks*/) {
+  if (queue.empty()) return -1;
+  if (!model_ready_) return 0;  // FIFO until the predictor has data
+  size_t horizon = std::min(queue.size(), opts_.lookahead);
+  int best = -1;
+  double best_p = 2.0;
+  for (size_t i = 0; i < horizon; ++i) {
+    auto f = Featurize(queue[i], running);
+    double p = model_.PredictProba(f.data(), f.size());
+    if (p < opts_.conflict_threshold) return static_cast<int>(i);  // first safe
+    if (p < best_p) {
+      best_p = p;
+      best = static_cast<int>(i);
+    }
+  }
+  // Nothing predicted safe: admit the least-risky unless even that looks
+  // doomed, in which case idle — a completion will free locks. Never idle an
+  // empty system (nothing would ever complete).
+  if (best_p >= opts_.idle_threshold && !running.empty()) return -1;
+  return best;
+}
+
+void LearnedTxnScheduler::OnOutcome(const txn::TxnSpec& txn,
+                                    const std::vector<txn::TxnSpec>& running,
+                                    bool aborted) {
+  xs_.push_back(Featurize(txn, running));
+  ys_.push_back(aborted ? 1.0 : 0.0);
+  if (xs_.size() > opts_.max_examples) {
+    xs_.erase(xs_.begin(), xs_.begin() + static_cast<long>(xs_.size() / 4));
+    ys_.erase(ys_.begin(), ys_.begin() + static_cast<long>(ys_.size() / 4));
+  }
+  ++examples_seen_;
+  MaybeRetrain();
+}
+
+void LearnedTxnScheduler::MaybeRetrain() {
+  if (examples_seen_ - trained_at_ < opts_.retrain_interval) return;
+  if (xs_.size() < 32) return;
+  // Need both classes represented.
+  bool has_pos = false, has_neg = false;
+  for (double y : ys_) (y > 0.5 ? has_pos : has_neg) = true;
+  if (!has_pos || !has_neg) return;
+
+  ml::Dataset data;
+  data.x = ml::Matrix(xs_.size(), xs_[0].size());
+  for (size_t i = 0; i < xs_.size(); ++i)
+    for (size_t c = 0; c < xs_[i].size(); ++c) data.x.At(i, c) = xs_[i][c];
+  data.y = ys_;
+  ml::SgdOptions sopts;
+  sopts.epochs = 40;
+  sopts.learning_rate = 0.1;
+  sopts.seed = opts_.seed;
+  model_.Fit(data, sopts);
+  model_ready_ = true;
+  trained_at_ = examples_seen_;
+}
+
+int OracleTxnScheduler::PickNext(const std::deque<txn::TxnSpec>& queue,
+                                 const std::vector<txn::TxnSpec>& /*running*/,
+                                 const txn::LockManager& locks) {
+  if (queue.empty()) return -1;
+  size_t horizon = std::min(queue.size(), lookahead_);
+  for (size_t i = 0; i < horizon; ++i) {
+    if (locks.WouldGrantAll(queue[i].id, queue[i].accesses)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;  // nothing admissible: idle the slot (aborts cost work)
+}
+
+}  // namespace aidb::design

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ml/linear.h"
+#include "txn/simulator.h"
+
+namespace aidb::design {
+
+/// \brief Sheng-style learned transaction scheduler: a logistic conflict
+/// predictor, trained online from dispatch outcomes, scores each queued
+/// transaction's abort probability against the currently running set; the
+/// scheduler admits the front-most transaction predicted safe (bounded
+/// lookahead so nothing starves).
+class LearnedTxnScheduler : public txn::TxnScheduler {
+ public:
+  struct Options {
+    size_t lookahead = 12;        ///< queue prefix scanned per decision
+    double conflict_threshold = 0.5;
+    /// When even the least-risky candidate exceeds this probability, idle
+    /// the slot instead of burning an abort (the oracle's behaviour).
+    double idle_threshold = 0.85;
+    size_t retrain_interval = 64; ///< outcomes between refits
+    size_t max_examples = 4000;
+    uint64_t seed = 42;
+  };
+  LearnedTxnScheduler() : LearnedTxnScheduler(Options()) {}
+  explicit LearnedTxnScheduler(const Options& opts) : opts_(opts) {}
+
+  int PickNext(const std::deque<txn::TxnSpec>& queue,
+               const std::vector<txn::TxnSpec>& running,
+               const txn::LockManager& locks) override;
+  void OnOutcome(const txn::TxnSpec& txn, const std::vector<txn::TxnSpec>& running,
+                 bool aborted) override;
+  std::string name() const override { return "learned_conflict"; }
+
+  size_t examples_seen() const { return examples_seen_; }
+
+ private:
+  /// Features of dispatching `txn` against `running`: write-write overlap,
+  /// read-write overlap, running count, txn size/duration, hot-key mass.
+  static std::vector<double> Featurize(const txn::TxnSpec& txn,
+                                       const std::vector<txn::TxnSpec>& running);
+
+  void MaybeRetrain();
+
+  Options opts_;
+  ml::LogisticRegression model_;
+  bool model_ready_ = false;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+  size_t examples_seen_ = 0;
+  size_t trained_at_ = 0;
+};
+
+/// Oracle-style baseline: dispatches the first queued txn whose locks would
+/// all be granted right now (perfect conflict knowledge — the upper bound
+/// the learned scheduler approaches).
+class OracleTxnScheduler : public txn::TxnScheduler {
+ public:
+  explicit OracleTxnScheduler(size_t lookahead = 12) : lookahead_(lookahead) {}
+  int PickNext(const std::deque<txn::TxnSpec>& queue,
+               const std::vector<txn::TxnSpec>& running,
+               const txn::LockManager& locks) override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  size_t lookahead_;
+};
+
+}  // namespace aidb::design

@@ -1,0 +1,209 @@
+#include "exec/database.h"
+
+#include <sstream>
+
+#include "common/timer.h"
+#include "sql/parser.h"
+
+namespace aidb {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  if (!message.empty()) os << message << "\n";
+  if (!columns.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) os << " | ";
+      os << columns[i];
+    }
+    os << "\n";
+    for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+      for (size_t c = 0; c < rows[r].size(); ++c) {
+        if (c) os << " | ";
+        os << rows[r][c].ToString();
+      }
+      os << "\n";
+    }
+    if (rows.size() > max_rows) {
+      os << "... (" << rows.size() << " rows total)\n";
+    }
+  }
+  return os.str();
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  Timer timer;
+  std::unique_ptr<sql::Statement> stmt;
+  AIDB_ASSIGN_OR_RETURN(stmt, sql::Parser::Parse(sql));
+
+  QueryResult result;
+  switch (stmt->kind()) {
+    case sql::StatementKind::kSelect: {
+      AIDB_ASSIGN_OR_RETURN(
+          result, ExecuteSelect(static_cast<const sql::SelectStatement&>(*stmt)));
+      break;
+    }
+    case sql::StatementKind::kCreateTable: {
+      auto& s = static_cast<const sql::CreateTableStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(catalog_.CreateTable(s.table, s.schema).status());
+      result.message = "CREATE TABLE " + s.table;
+      break;
+    }
+    case sql::StatementKind::kDropTable: {
+      auto& s = static_cast<const sql::DropTableStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(catalog_.DropTable(s.table));
+      result.message = "DROP TABLE " + s.table;
+      break;
+    }
+    case sql::StatementKind::kCreateIndex: {
+      auto& s = static_cast<const sql::CreateIndexStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(
+          catalog_.CreateIndex(s.index, s.table, s.column, s.is_btree).status());
+      result.message = "CREATE INDEX " + s.index;
+      break;
+    }
+    case sql::StatementKind::kDropIndex: {
+      auto& s = static_cast<const sql::DropIndexStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(catalog_.DropIndex(s.index));
+      result.message = "DROP INDEX " + s.index;
+      break;
+    }
+    case sql::StatementKind::kInsert: {
+      auto& s = static_cast<const sql::InsertStatement&>(*stmt);
+      Table* table = nullptr;
+      AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
+      for (const auto& row : s.rows) {
+        RowId id = 0;
+        AIDB_ASSIGN_OR_RETURN(id, table->Insert(row));
+        catalog_.OnInsert(s.table, id, row);
+      }
+      result.affected_rows = s.rows.size();
+      result.message = "INSERT " + std::to_string(s.rows.size());
+      break;
+    }
+    case sql::StatementKind::kUpdate: {
+      auto& s = static_cast<const sql::UpdateStatement&>(*stmt);
+      Table* table = nullptr;
+      AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
+      // Bind against the table schema.
+      std::vector<exec::OutputCol> schema;
+      for (const auto& col : table->schema().columns())
+        schema.push_back({s.table, col.name, col.type});
+      std::optional<exec::BoundExpr> where;
+      if (s.where) {
+        exec::BoundExpr b;
+        AIDB_ASSIGN_OR_RETURN(b, exec::BoundExpr::Bind(*s.where, schema, &models_));
+        where = std::move(b);
+      }
+      struct Assign {
+        size_t column;
+        exec::BoundExpr expr;
+      };
+      std::vector<Assign> assigns;
+      for (const auto& [col, e] : s.assignments) {
+        int idx = table->schema().IndexOf(col);
+        if (idx < 0) return Status::NotFound("column " + col);
+        exec::BoundExpr b;
+        AIDB_ASSIGN_OR_RETURN(b, exec::BoundExpr::Bind(*e, schema, &models_));
+        assigns.push_back({static_cast<size_t>(idx), std::move(b)});
+      }
+      size_t updated = 0;
+      std::vector<std::pair<RowId, Tuple>> changes;
+      table->ForEach([&](RowId id, const Tuple& row) {
+        if (where && !where->EvalBool(row)) return;
+        Tuple updated_row = row;
+        for (const auto& a : assigns) updated_row[a.column] = a.expr.Eval(row);
+        changes.emplace_back(id, std::move(updated_row));
+      });
+      for (auto& [id, row] : changes) {
+        AIDB_RETURN_NOT_OK(table->Update(id, std::move(row)));
+        ++updated;
+      }
+      result.affected_rows = updated;
+      result.message = "UPDATE " + std::to_string(updated);
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      auto& s = static_cast<const sql::DeleteStatement&>(*stmt);
+      Table* table = nullptr;
+      AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
+      std::vector<exec::OutputCol> schema;
+      for (const auto& col : table->schema().columns())
+        schema.push_back({s.table, col.name, col.type});
+      std::optional<exec::BoundExpr> where;
+      if (s.where) {
+        exec::BoundExpr b;
+        AIDB_ASSIGN_OR_RETURN(b, exec::BoundExpr::Bind(*s.where, schema, &models_));
+        where = std::move(b);
+      }
+      std::vector<std::pair<RowId, Tuple>> victims;
+      table->ForEach([&](RowId id, const Tuple& row) {
+        if (where && !where->EvalBool(row)) return;
+        victims.emplace_back(id, row);
+      });
+      for (auto& [id, row] : victims) {
+        AIDB_RETURN_NOT_OK(table->Delete(id));
+        catalog_.OnDelete(s.table, id, row);
+      }
+      result.affected_rows = victims.size();
+      result.message = "DELETE " + std::to_string(victims.size());
+      break;
+    }
+    case sql::StatementKind::kAnalyze: {
+      auto& s = static_cast<const sql::AnalyzeStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(catalog_.Analyze(s.table));
+      result.message = "ANALYZE " + s.table;
+      break;
+    }
+    case sql::StatementKind::kCreateModel: {
+      auto& s = static_cast<const sql::CreateModelStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(models_.Train(catalog_, s));
+      const db4ai::ModelInfo* info = nullptr;
+      AIDB_ASSIGN_OR_RETURN(info, models_.GetInfo(s.model));
+      result.message = "CREATE MODEL " + s.model + " v" +
+                       std::to_string(info->version) + " (rows=" +
+                       std::to_string(info->train_rows) + ")";
+      break;
+    }
+    case sql::StatementKind::kShowModels: {
+      result.columns = {"name", "type", "table", "target", "version", "rows"};
+      for (const auto& m : models_.ListModels()) {
+        result.rows.push_back({Value(m.name), Value(m.type), Value(m.table),
+                               Value(m.target),
+                               Value(static_cast<int64_t>(m.version)),
+                               Value(static_cast<int64_t>(m.train_rows))});
+      }
+      break;
+    }
+  }
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt) {
+  exec::PhysicalPlan plan;
+  AIDB_ASSIGN_OR_RETURN(plan, planner_.Plan(stmt, planner_options_));
+
+  QueryResult result;
+  for (const auto& col : plan.root->output()) {
+    result.columns.push_back(col.table.empty() ? col.name
+                                               : col.table + "." + col.name);
+  }
+  if (stmt.explain) {
+    result.message = plan.root->Describe();
+    if (plan.join_plan) {
+      result.message += "join order: " + plan.join_plan->ToString(plan.graph) +
+                        " (est_cost=" + std::to_string(plan.join_plan->cost) + ")\n";
+    }
+    return result;
+  }
+
+  plan.root->Open();
+  Tuple row;
+  while (plan.root->Next(&row)) result.rows.push_back(row);
+  plan.root->Close();
+  result.operator_work = plan.root->TotalWork();
+  total_work_ += result.operator_work;
+  return result;
+}
+
+}  // namespace aidb

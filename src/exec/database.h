@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "db4ai/model_registry.h"
+#include "exec/planner.h"
+
+namespace aidb {
+
+/// Result of executing one statement.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;
+  std::string message;       ///< DDL/DML acknowledgment or EXPLAIN text
+  size_t affected_rows = 0;  ///< INSERT/UPDATE/DELETE
+  double elapsed_ms = 0.0;
+  size_t operator_work = 0;  ///< total rows produced across the plan (work proxy)
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// \brief The embeddable AIDB engine facade: parse -> plan -> execute.
+///
+/// Owns the catalog and the DB4AI model registry. Learned optimizer
+/// components are swapped in through mutable_planner_options().
+class Database {
+ public:
+  Database() : planner_(&catalog_, &models_) {}
+
+  /// Executes one SQL statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Plans a SELECT without running it (used by advisors for what-if costing).
+  Result<exec::PhysicalPlan> PlanQuery(const sql::SelectStatement& stmt) {
+    return planner_.Plan(stmt, planner_options_);
+  }
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  db4ai::ModelRegistry& models() { return models_; }
+  exec::Planner& planner() { return planner_; }
+  exec::PlannerOptions& mutable_planner_options() { return planner_options_; }
+
+  /// Cumulative rows produced by all executed plans (cheap work counter the
+  /// monitoring stack samples).
+  uint64_t total_work() const { return total_work_; }
+
+ private:
+  Result<QueryResult> ExecuteSelect(const sql::SelectStatement& stmt);
+
+  Catalog catalog_;
+  db4ai::ModelRegistry models_;
+  exec::Planner planner_;
+  exec::PlannerOptions planner_options_;
+  uint64_t total_work_ = 0;
+};
+
+}  // namespace aidb

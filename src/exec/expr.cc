@@ -1,0 +1,162 @@
+#include "exec/expr.h"
+
+namespace aidb::exec {
+
+bool ValueIsTrue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return false;
+    case ValueType::kInt: return v.AsInt() != 0;
+    case ValueType::kDouble: return v.AsDouble() != 0.0;
+    case ValueType::kString: return !v.AsString().empty();
+  }
+  return false;
+}
+
+namespace {
+
+/// Finds the index of [table.]name in the schema; ambiguity is an error.
+Result<int> ResolveColumn(const std::vector<OutputCol>& schema,
+                          const std::string& table, const std::string& name) {
+  int found = -1;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name != name) continue;
+    if (!table.empty() && schema[i].table != table) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference '" + name + "'");
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::NotFound("column '" + (table.empty() ? name : table + "." + name) +
+                            "' not in scope");
+  }
+  return found;
+}
+
+Value ApplyBinary(sql::OpType op, const Value& l, const Value& r) {
+  using sql::OpType;
+  switch (op) {
+    case OpType::kAnd:
+      return Value(static_cast<int64_t>(ValueIsTrue(l) && ValueIsTrue(r)));
+    case OpType::kOr:
+      return Value(static_cast<int64_t>(ValueIsTrue(l) || ValueIsTrue(r)));
+    default:
+      break;
+  }
+  if (l.is_null() || r.is_null()) return Value::Null();
+  switch (op) {
+    case OpType::kEq: return Value(static_cast<int64_t>(l.Compare(r) == 0));
+    case OpType::kNe: return Value(static_cast<int64_t>(l.Compare(r) != 0));
+    case OpType::kLt: return Value(static_cast<int64_t>(l.Compare(r) < 0));
+    case OpType::kLe: return Value(static_cast<int64_t>(l.Compare(r) <= 0));
+    case OpType::kGt: return Value(static_cast<int64_t>(l.Compare(r) > 0));
+    case OpType::kGe: return Value(static_cast<int64_t>(l.Compare(r) >= 0));
+    case OpType::kAdd:
+      if (l.type() == ValueType::kInt && r.type() == ValueType::kInt)
+        return Value(l.AsInt() + r.AsInt());
+      return Value(l.AsDouble() + r.AsDouble());
+    case OpType::kSub:
+      if (l.type() == ValueType::kInt && r.type() == ValueType::kInt)
+        return Value(l.AsInt() - r.AsInt());
+      return Value(l.AsDouble() - r.AsDouble());
+    case OpType::kMul:
+      if (l.type() == ValueType::kInt && r.type() == ValueType::kInt)
+        return Value(l.AsInt() * r.AsInt());
+      return Value(l.AsDouble() * r.AsDouble());
+    case OpType::kDiv: {
+      double d = r.AsDouble();
+      if (d == 0.0) return Value::Null();
+      return Value(l.AsDouble() / d);
+    }
+    default: return Value::Null();
+  }
+}
+
+}  // namespace
+
+Result<BoundExpr> BoundExpr::Bind(const sql::Expr& expr,
+                                  const std::vector<OutputCol>& schema,
+                                  const ModelResolver* models) {
+  BoundExpr b;
+  switch (expr.kind) {
+    case sql::Expr::Kind::kLiteral:
+      b.kind_ = Kind::kLiteral;
+      b.literal_ = expr.literal;
+      return b;
+    case sql::Expr::Kind::kColumnRef: {
+      b.kind_ = Kind::kColumn;
+      AIDB_ASSIGN_OR_RETURN(b.column_, ResolveColumn(schema, expr.table, expr.column));
+      return b;
+    }
+    case sql::Expr::Kind::kBinary: {
+      b.kind_ = Kind::kBinary;
+      b.op_ = expr.op;
+      BoundExpr l, r;
+      AIDB_ASSIGN_OR_RETURN(l, Bind(*expr.lhs, schema, models));
+      AIDB_ASSIGN_OR_RETURN(r, Bind(*expr.rhs, schema, models));
+      b.lhs_ = std::make_shared<BoundExpr>(std::move(l));
+      b.rhs_ = std::make_shared<BoundExpr>(std::move(r));
+      return b;
+    }
+    case sql::Expr::Kind::kUnary: {
+      b.kind_ = Kind::kUnary;
+      b.op_ = expr.op;
+      BoundExpr l;
+      AIDB_ASSIGN_OR_RETURN(l, Bind(*expr.lhs, schema, models));
+      b.lhs_ = std::make_shared<BoundExpr>(std::move(l));
+      return b;
+    }
+    case sql::Expr::Kind::kPredict: {
+      b.kind_ = Kind::kPredict;
+      if (models == nullptr) {
+        return Status::InvalidArgument("PREDICT not available in this context");
+      }
+      AIDB_ASSIGN_OR_RETURN(b.predict_, models->Resolve(expr.model));
+      for (const auto& arg : expr.args) {
+        BoundExpr a;
+        AIDB_ASSIGN_OR_RETURN(a, Bind(*arg, schema, models));
+        b.args_.push_back(std::move(a));
+      }
+      return b;
+    }
+    case sql::Expr::Kind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate expression outside of aggregation context");
+    case sql::Expr::Kind::kStar:
+      return Status::InvalidArgument("* is not a scalar expression");
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Value BoundExpr::Eval(const Tuple& row) const {
+  switch (kind_) {
+    case Kind::kLiteral: return literal_;
+    case Kind::kColumn: return row[static_cast<size_t>(column_)];
+    case Kind::kBinary:
+      return ApplyBinary(op_, lhs_->Eval(row), rhs_->Eval(row));
+    case Kind::kUnary: {
+      Value v = lhs_->Eval(row);
+      if (op_ == sql::OpType::kNot) {
+        return Value(static_cast<int64_t>(!ValueIsTrue(v)));
+      }
+      if (v.is_null()) return v;
+      if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+      return Value(-v.AsDouble());
+    }
+    case Kind::kPredict: {
+      std::vector<double> features;
+      features.reserve(args_.size());
+      for (const auto& a : args_) features.push_back(a.Eval(row).AsFeature());
+      return Value(predict_(features));
+    }
+  }
+  return Value::Null();
+}
+
+bool BoundExpr::EvalBool(const Tuple& row) const { return ValueIsTrue(Eval(row)); }
+
+int BoundExpr::AsColumnIndex() const {
+  return kind_ == Kind::kColumn ? column_ : -1;
+}
+
+}  // namespace aidb::exec

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/schema.h"
+
+namespace aidb::exec {
+
+/// One column of an operator's output: qualified by the producing relation's
+/// effective (aliased) name.
+struct OutputCol {
+  std::string table;  ///< effective relation name ("" for computed columns)
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+/// Row-level inference hook: maps a numeric feature vector to a prediction.
+/// The DB4AI model registry supplies these for PREDICT(...) expressions.
+using PredictFn = std::function<double(const std::vector<double>&)>;
+
+/// Resolves model names to inference callbacks (implemented by the DB4AI
+/// layer; the executor depends only on this interface).
+class ModelResolver {
+ public:
+  virtual ~ModelResolver() = default;
+  virtual Result<PredictFn> Resolve(const std::string& model_name) const = 0;
+};
+
+/// \brief Expression compiled against a fixed input schema.
+///
+/// Column references are resolved to tuple indices at bind time, so Eval is
+/// allocation-free on the hot path and cannot fail on name errors.
+class BoundExpr {
+ public:
+  /// Binds `expr` against `schema`. Unqualified column names must be
+  /// unambiguous. `models` may be null when PREDICT is not used.
+  static Result<BoundExpr> Bind(const sql::Expr& expr,
+                                const std::vector<OutputCol>& schema,
+                                const ModelResolver* models = nullptr);
+
+  Value Eval(const Tuple& row) const;
+  /// Convenience: evaluates as a boolean predicate (NULL/0 is false).
+  bool EvalBool(const Tuple& row) const;
+
+  /// The column index if this is a bare column reference, else -1.
+  int AsColumnIndex() const;
+
+ private:
+  enum class Kind { kLiteral, kColumn, kBinary, kUnary, kPredict };
+
+  Kind kind_ = Kind::kLiteral;
+  Value literal_;
+  int column_ = -1;
+  sql::OpType op_ = sql::OpType::kEq;
+  std::shared_ptr<BoundExpr> lhs_, rhs_;
+  std::vector<BoundExpr> args_;
+  PredictFn predict_;
+};
+
+/// True when two values compare as SQL booleans would.
+bool ValueIsTrue(const Value& v);
+
+}  // namespace aidb::exec

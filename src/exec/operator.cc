@@ -1,0 +1,442 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+
+namespace aidb::exec {
+
+std::string Operator::Describe(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Name();
+  out += " [rows=" + std::to_string(rows_produced_) + "]\n";
+  for (const auto& c : children_) out += c->Describe(indent + 1);
+  return out;
+}
+
+size_t Operator::TotalWork() const {
+  size_t w = rows_produced_;
+  for (const auto& c : children_) w += c->TotalWork();
+  return w;
+}
+
+// ----- SeqScan -----
+
+SeqScanOp::SeqScanOp(const Table* table, std::string effective_name)
+    : table_(table), label_(std::move(effective_name)) {
+  for (const auto& col : table->schema().columns()) {
+    output_.push_back({label_, col.name, col.type});
+  }
+}
+
+bool SeqScanOp::Next(Tuple* out) {
+  while (cursor_ < table_->NumSlots()) {
+    RowId id = cursor_++;
+    if (!table_->IsLive(id)) continue;
+    *out = table_->RowAt(id);
+    ++rows_produced_;
+    return true;
+  }
+  return false;
+}
+
+// ----- IndexScan -----
+
+IndexScanOp::IndexScanOp(const Table* table, const BTree* index,
+                         std::string effective_name, int64_t lo, int64_t hi)
+    : table_(table), index_(index), label_(std::move(effective_name)), lo_(lo), hi_(hi) {
+  for (const auto& col : table->schema().columns()) {
+    output_.push_back({label_, col.name, col.type});
+  }
+}
+
+void IndexScanOp::Open() {
+  matches_ = index_->RangeScan(lo_, hi_);
+  cursor_ = 0;
+}
+
+bool IndexScanOp::Next(Tuple* out) {
+  while (cursor_ < matches_.size()) {
+    RowId id = matches_[cursor_++];
+    if (!table_->IsLive(id)) continue;  // lazy-deleted entries skipped here
+    *out = table_->RowAt(id);
+    ++rows_produced_;
+    return true;
+  }
+  return false;
+}
+
+std::string IndexScanOp::Name() const {
+  return "IndexScan(" + label_ + " [" + std::to_string(lo_) + "," +
+         std::to_string(hi_) + "])";
+}
+
+// ----- Filter -----
+
+FilterOp::FilterOp(std::unique_ptr<Operator> child, BoundExpr predicate,
+                   std::string predicate_text)
+    : predicate_(std::move(predicate)), text_(std::move(predicate_text)) {
+  output_ = child->output();
+  children_.push_back(std::move(child));
+}
+
+bool FilterOp::Next(Tuple* out) {
+  while (children_[0]->Next(out)) {
+    if (predicate_.EvalBool(*out)) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----- Project -----
+
+ProjectOp::ProjectOp(std::unique_ptr<Operator> child, std::vector<BoundExpr> exprs,
+                     std::vector<OutputCol> out_schema)
+    : exprs_(std::move(exprs)) {
+  output_ = std::move(out_schema);
+  children_.push_back(std::move(child));
+}
+
+bool ProjectOp::Next(Tuple* out) {
+  Tuple in;
+  if (!children_[0]->Next(&in)) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const auto& e : exprs_) out->push_back(e.Eval(in));
+  ++rows_produced_;
+  return true;
+}
+
+// ----- NestedLoopJoin -----
+
+NestedLoopJoinOp::NestedLoopJoinOp(std::unique_ptr<Operator> left,
+                                   std::unique_ptr<Operator> right,
+                                   std::optional<BoundExpr> condition)
+    : condition_(std::move(condition)) {
+  output_ = left->output();
+  for (const auto& c : right->output()) output_.push_back(c);
+  children_.push_back(std::move(left));
+  children_.push_back(std::move(right));
+}
+
+void NestedLoopJoinOp::Open() {
+  children_[0]->Open();
+  children_[1]->Open();
+  inner_rows_.clear();
+  Tuple row;
+  while (children_[1]->Next(&row)) inner_rows_.push_back(row);
+  outer_valid_ = false;
+  inner_cursor_ = 0;
+}
+
+bool NestedLoopJoinOp::Next(Tuple* out) {
+  for (;;) {
+    if (!outer_valid_) {
+      if (!children_[0]->Next(&outer_row_)) return false;
+      outer_valid_ = true;
+      inner_cursor_ = 0;
+    }
+    while (inner_cursor_ < inner_rows_.size()) {
+      const Tuple& inner = inner_rows_[inner_cursor_++];
+      *out = outer_row_;
+      out->insert(out->end(), inner.begin(), inner.end());
+      if (!condition_ || condition_->EvalBool(*out)) {
+        ++rows_produced_;
+        return true;
+      }
+    }
+    outer_valid_ = false;
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  children_[0]->Close();
+  children_[1]->Close();
+  inner_rows_.clear();
+}
+
+// ----- HashJoin -----
+
+namespace {
+uint64_t JoinKeyHash(const Value& v) {
+  // Numeric values that compare equal must hash equal across INT/DOUBLE.
+  if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
+    return std::hash<double>{}(v.AsDouble());
+  }
+  return v.Hash();
+}
+}  // namespace
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> left,
+                       std::unique_ptr<Operator> right, size_t left_key,
+                       size_t right_key)
+    : left_key_(left_key), right_key_(right_key) {
+  output_ = left->output();
+  for (const auto& c : right->output()) output_.push_back(c);
+  children_.push_back(std::move(left));
+  children_.push_back(std::move(right));
+}
+
+void HashJoinOp::Open() {
+  children_[0]->Open();
+  children_[1]->Open();
+  build_.clear();
+  Tuple row;
+  while (children_[1]->Next(&row)) {
+    const Value& key = row[right_key_];
+    if (key.is_null()) continue;
+    build_[JoinKeyHash(key)].push_back(row);
+  }
+  matches_ = nullptr;
+  match_cursor_ = 0;
+}
+
+bool HashJoinOp::Next(Tuple* out) {
+  for (;;) {
+    if (matches_ != nullptr) {
+      while (match_cursor_ < matches_->size()) {
+        const Tuple& inner = (*matches_)[match_cursor_++];
+        // Re-check equality (hash collisions).
+        if (inner[right_key_].Compare(probe_row_[left_key_]) != 0) continue;
+        *out = probe_row_;
+        out->insert(out->end(), inner.begin(), inner.end());
+        ++rows_produced_;
+        return true;
+      }
+      matches_ = nullptr;
+    }
+    if (!children_[0]->Next(&probe_row_)) return false;
+    const Value& key = probe_row_[left_key_];
+    if (key.is_null()) continue;
+    auto it = build_.find(JoinKeyHash(key));
+    if (it == build_.end()) continue;
+    matches_ = &it->second;
+    match_cursor_ = 0;
+  }
+}
+
+void HashJoinOp::Close() {
+  children_[0]->Close();
+  children_[1]->Close();
+  build_.clear();
+}
+
+// ----- HashAggregate -----
+
+HashAggregateOp::HashAggregateOp(std::unique_ptr<Operator> child,
+                                 std::vector<BoundExpr> keys,
+                                 std::vector<OutputCol> key_cols,
+                                 std::vector<AggSpec> aggs)
+    : keys_(std::move(keys)), aggs_(std::move(aggs)) {
+  output_ = std::move(key_cols);
+  for (const auto& a : aggs_) {
+    output_.push_back({"", a.out_name, ValueType::kDouble});
+  }
+  children_.push_back(std::move(child));
+}
+
+void HashAggregateOp::Open() {
+  children_[0]->Open();
+  results_.clear();
+  cursor_ = 0;
+
+  struct GroupState {
+    Tuple key_values;
+    std::vector<double> sums;
+    std::vector<double> mins;
+    std::vector<double> maxs;
+    std::vector<size_t> counts;
+  };
+  std::unordered_map<uint64_t, std::vector<GroupState>> groups;
+  size_t num_groups = 0;
+
+  Tuple row;
+  while (children_[0]->Next(&row)) {
+    Tuple key;
+    key.reserve(keys_.size());
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto& k : keys_) {
+      key.push_back(k.Eval(row));
+      h = (h ^ key.back().Hash()) * 1099511628211ULL;
+    }
+    auto& bucket = groups[h];
+    GroupState* state = nullptr;
+    for (auto& g : bucket) {
+      bool same = true;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (g.key_values[i].Compare(key[i]) != 0) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        state = &g;
+        break;
+      }
+    }
+    if (state == nullptr) {
+      bucket.push_back(GroupState{});
+      state = &bucket.back();
+      state->key_values = key;
+      state->sums.assign(aggs_.size(), 0.0);
+      state->mins.assign(aggs_.size(), 0.0);
+      state->maxs.assign(aggs_.size(), 0.0);
+      state->counts.assign(aggs_.size(), 0);
+      ++num_groups;
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      double v = 0.0;
+      if (aggs_[i].arg) {
+        Value val = aggs_[i].arg->Eval(row);
+        if (val.is_null()) continue;  // SQL semantics: NULLs ignored
+        v = val.AsFeature();
+      }
+      if (state->counts[i] == 0) {
+        state->mins[i] = v;
+        state->maxs[i] = v;
+      } else {
+        state->mins[i] = std::min(state->mins[i], v);
+        state->maxs[i] = std::max(state->maxs[i], v);
+      }
+      state->sums[i] += v;
+      ++state->counts[i];
+    }
+  }
+
+  // No-group aggregate over empty input still yields one row of zero counts.
+  if (keys_.empty() && num_groups == 0) {
+    Tuple out;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (aggs_[i].func == sql::AggFunc::kCount) {
+        out.push_back(Value(static_cast<int64_t>(0)));
+      } else {
+        out.push_back(Value::Null());
+      }
+    }
+    results_.push_back(std::move(out));
+    return;
+  }
+
+  for (auto& [h, bucket] : groups) {
+    for (auto& g : bucket) {
+      Tuple out = g.key_values;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        switch (aggs_[i].func) {
+          case sql::AggFunc::kCount:
+            out.push_back(Value(static_cast<int64_t>(g.counts[i])));
+            break;
+          case sql::AggFunc::kSum:
+            out.push_back(g.counts[i] ? Value(g.sums[i]) : Value::Null());
+            break;
+          case sql::AggFunc::kAvg:
+            out.push_back(g.counts[i]
+                              ? Value(g.sums[i] / static_cast<double>(g.counts[i]))
+                              : Value::Null());
+            break;
+          case sql::AggFunc::kMin:
+            out.push_back(g.counts[i] ? Value(g.mins[i]) : Value::Null());
+            break;
+          case sql::AggFunc::kMax:
+            out.push_back(g.counts[i] ? Value(g.maxs[i]) : Value::Null());
+            break;
+          case sql::AggFunc::kNone:
+            out.push_back(Value::Null());
+            break;
+        }
+      }
+      results_.push_back(std::move(out));
+    }
+  }
+}
+
+bool HashAggregateOp::Next(Tuple* out) {
+  if (cursor_ >= results_.size()) return false;
+  *out = results_[cursor_++];
+  ++rows_produced_;
+  return true;
+}
+
+// ----- Sort -----
+
+SortOp::SortOp(std::unique_ptr<Operator> child, std::vector<SortKey> keys)
+    : keys_(std::move(keys)) {
+  output_ = child->output();
+  children_.push_back(std::move(child));
+}
+
+void SortOp::Open() {
+  children_[0]->Open();
+  rows_.clear();
+  cursor_ = 0;
+  Tuple row;
+  while (children_[0]->Next(&row)) rows_.push_back(std::move(row));
+  std::stable_sort(rows_.begin(), rows_.end(), [this](const Tuple& a, const Tuple& b) {
+    for (const SortKey& k : keys_) {
+      int c = a[k.column].Compare(b[k.column]);
+      if (c != 0) return k.desc ? c > 0 : c < 0;
+    }
+    return false;
+  });
+}
+
+bool SortOp::Next(Tuple* out) {
+  if (cursor_ >= rows_.size()) return false;
+  *out = rows_[cursor_++];
+  ++rows_produced_;
+  return true;
+}
+
+// ----- Limit -----
+
+LimitOp::LimitOp(std::unique_ptr<Operator> child, size_t limit) : limit_(limit) {
+  output_ = child->output();
+  children_.push_back(std::move(child));
+}
+
+bool LimitOp::Next(Tuple* out) {
+  if (seen_ >= limit_) return false;
+  if (!children_[0]->Next(out)) return false;
+  ++seen_;
+  ++rows_produced_;
+  return true;
+}
+
+// ----- Distinct -----
+
+DistinctOp::DistinctOp(std::unique_ptr<Operator> child) {
+  output_ = child->output();
+  children_.push_back(std::move(child));
+}
+
+bool DistinctOp::Next(Tuple* out) {
+  while (children_[0]->Next(out)) {
+    // Serialized-value key: exact (ToString is injective enough because it
+    // quotes strings and tags NULLs).
+    std::string key;
+    for (const Value& v : *out) {
+      key += v.ToString();
+      key += '\x1f';
+    }
+    if (seen_.insert(std::move(key)).second) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----- Values -----
+
+ValuesOp::ValuesOp(std::vector<Tuple> rows, std::vector<OutputCol> schema)
+    : rows_(std::move(rows)) {
+  output_ = std::move(schema);
+}
+
+bool ValuesOp::Next(Tuple* out) {
+  if (cursor_ >= rows_.size()) return false;
+  *out = rows_[cursor_++];
+  ++rows_produced_;
+  return true;
+}
+
+}  // namespace aidb::exec

@@ -1,0 +1,242 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/expr.h"
+#include "storage/btree.h"
+#include "storage/hash_index.h"
+#include "storage/table.h"
+
+namespace aidb::exec {
+
+/// \brief Volcano-style physical operator.
+///
+/// Open -> Next* -> Close. Every operator tracks rows produced so the learned
+/// optimizer and the performance-prediction monitor can harvest true
+/// cardinalities and per-operator work after execution.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual void Open() = 0;
+  /// Produces the next row into *out. Returns false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+  virtual void Close() {}
+
+  const std::vector<OutputCol>& output() const { return output_; }
+  virtual std::string Name() const = 0;
+  /// Multi-line plan rendering for EXPLAIN.
+  std::string Describe(int indent = 0) const;
+
+  size_t rows_produced() const { return rows_produced_; }
+  /// Total rows produced by this operator and all children (work proxy).
+  size_t TotalWork() const;
+
+ protected:
+  std::vector<OutputCol> output_;
+  std::vector<std::unique_ptr<Operator>> children_;
+  size_t rows_produced_ = 0;
+
+  friend class PlanVisitor;
+};
+
+/// Full-table scan.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const Table* table, std::string effective_name);
+  void Open() override { cursor_ = 0; }
+  bool Next(Tuple* out) override;
+  std::string Name() const override { return "SeqScan(" + label_ + ")"; }
+
+ private:
+  const Table* table_;
+  std::string label_;
+  RowId cursor_ = 0;
+};
+
+/// B+tree range scan: key in [lo, hi].
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const Table* table, const BTree* index, std::string effective_name,
+              int64_t lo, int64_t hi);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  std::string Name() const override;
+
+ private:
+  const Table* table_;
+  const BTree* index_;
+  std::string label_;
+  int64_t lo_, hi_;
+  std::vector<RowId> matches_;
+  size_t cursor_ = 0;
+};
+
+/// Predicate filter.
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child, BoundExpr predicate,
+           std::string predicate_text);
+  void Open() override { children_[0]->Open(); }
+  bool Next(Tuple* out) override;
+  void Close() override { children_[0]->Close(); }
+  std::string Name() const override { return "Filter(" + text_ + ")"; }
+
+ private:
+  BoundExpr predicate_;
+  std::string text_;
+};
+
+/// Computes a new row from expressions over the child row.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<BoundExpr> exprs,
+            std::vector<OutputCol> out_schema);
+  void Open() override { children_[0]->Open(); }
+  bool Next(Tuple* out) override;
+  void Close() override { children_[0]->Close(); }
+  std::string Name() const override { return "Project"; }
+
+ private:
+  std::vector<BoundExpr> exprs_;
+};
+
+/// Tuple-nested-loop join with optional residual predicate (bound over the
+/// concatenated schema). Inner side is materialized once.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+                   std::optional<BoundExpr> condition);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  std::string Name() const override { return "NestedLoopJoin"; }
+
+ private:
+  std::optional<BoundExpr> condition_;
+  std::vector<Tuple> inner_rows_;
+  Tuple outer_row_;
+  bool outer_valid_ = false;
+  size_t inner_cursor_ = 0;
+};
+
+/// Hash join on a single equi-key per side; build side is the right child.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+             size_t left_key, size_t right_key);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  std::string Name() const override { return "HashJoin"; }
+
+ private:
+  size_t left_key_, right_key_;
+  std::unordered_map<uint64_t, std::vector<Tuple>> build_;
+  Tuple probe_row_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_cursor_ = 0;
+};
+
+/// Aggregate spec for HashAggregateOp.
+struct AggSpec {
+  sql::AggFunc func = sql::AggFunc::kCount;
+  std::optional<BoundExpr> arg;  ///< empty for COUNT(*)
+  std::string out_name;
+};
+
+/// Hash aggregation: GROUP BY key exprs, computing aggregate columns.
+/// Output rows are [group keys..., aggregates...].
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(std::unique_ptr<Operator> child, std::vector<BoundExpr> keys,
+                  std::vector<OutputCol> key_cols, std::vector<AggSpec> aggs);
+  void Open() override;
+  bool Next(Tuple* out) override;
+  std::string Name() const override { return "HashAggregate"; }
+
+ private:
+  std::vector<BoundExpr> keys_;
+  std::vector<AggSpec> aggs_;
+  std::vector<Tuple> results_;
+  size_t cursor_ = 0;
+};
+
+/// One sort key: column index + direction.
+struct SortKey {
+  size_t column;
+  bool desc = false;
+};
+
+/// Full in-memory sort on one or more columns.
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> child, std::vector<SortKey> keys);
+  /// Single-key convenience.
+  SortOp(std::unique_ptr<Operator> child, size_t column, bool desc)
+      : SortOp(std::move(child), std::vector<SortKey>{{column, desc}}) {}
+  void Open() override;
+  bool Next(Tuple* out) override;
+  std::string Name() const override {
+    return "Sort(" + std::to_string(keys_.size()) + " keys)";
+  }
+
+ private:
+  std::vector<SortKey> keys_;
+  std::vector<Tuple> rows_;
+  size_t cursor_ = 0;
+};
+
+/// Removes duplicate rows (hash-based, preserves first-seen order).
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(std::unique_ptr<Operator> child);
+  void Open() override {
+    children_[0]->Open();
+    seen_.clear();
+  }
+  bool Next(Tuple* out) override;
+  void Close() override {
+    children_[0]->Close();
+    seen_.clear();
+  }
+  std::string Name() const override { return "Distinct"; }
+
+ private:
+  std::unordered_set<std::string> seen_;
+};
+
+/// LIMIT n.
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, size_t limit);
+  void Open() override {
+    children_[0]->Open();
+    seen_ = 0;
+  }
+  bool Next(Tuple* out) override;
+  void Close() override { children_[0]->Close(); }
+  std::string Name() const override { return "Limit(" + std::to_string(limit_) + ")"; }
+
+ private:
+  size_t limit_;
+  size_t seen_ = 0;
+};
+
+/// In-memory materialized rows as a scan source (used for views and tests).
+class ValuesOp : public Operator {
+ public:
+  ValuesOp(std::vector<Tuple> rows, std::vector<OutputCol> schema);
+  void Open() override { cursor_ = 0; }
+  bool Next(Tuple* out) override;
+  std::string Name() const override { return "Values"; }
+
+ private:
+  std::vector<Tuple> rows_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace aidb::exec

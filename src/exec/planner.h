@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/operator.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/query_graph.h"
+#include "sql/ast.h"
+
+namespace aidb::exec {
+
+/// Pluggable optimizer strategy. Null members fall back to the classical
+/// defaults (histogram estimator + Selinger DP). Learned components swap in
+/// here — this is how AI4DB techniques integrate with the engine.
+struct PlannerOptions {
+  CardinalityEstimator* estimator = nullptr;
+  JoinOrderEnumerator* enumerator = nullptr;
+  bool use_indexes = true;
+  /// Max selectivity at which an index scan is preferred over a seq scan.
+  double index_selectivity_threshold = 0.25;
+};
+
+/// Output of planning: the executable tree plus the optimizer artifacts, so
+/// learned components can harvest estimated-vs-true cardinalities.
+struct PhysicalPlan {
+  std::unique_ptr<Operator> root;
+  QueryGraph graph;
+  std::unique_ptr<JoinPlan> join_plan;  ///< null for single-relation queries
+};
+
+/// \brief Translates a bound SELECT statement into a physical operator tree.
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const ModelResolver* models)
+      : catalog_(catalog), models_(models) {}
+
+  Result<PhysicalPlan> Plan(const sql::SelectStatement& stmt,
+                            const PlannerOptions& opts = {});
+
+  /// Builds just the query graph (relations, local selectivities, join
+  /// edges). Exposed for the advisors and the learned optimizer, which
+  /// reason about queries at this level.
+  Result<QueryGraph> BuildGraph(const sql::SelectStatement& stmt,
+                                const CardinalityEstimator& est,
+                                std::vector<const sql::Expr*>* residual) const;
+
+ private:
+  struct RelBinding {
+    std::string table;  ///< catalog name
+    std::string name;   ///< effective name
+    const Table* ptr = nullptr;
+  };
+
+  Result<std::vector<RelBinding>> BindRelations(
+      const sql::SelectStatement& stmt) const;
+
+  /// Which relations (by index) an expression references; resolves
+  /// unqualified columns against all bound relations.
+  Result<uint64_t> ReferencedRelations(const sql::Expr& expr,
+                                       const std::vector<RelBinding>& rels) const;
+
+  Result<std::unique_ptr<Operator>> BuildScan(const RelationInfo& rel,
+                                              const PlannerOptions& opts) const;
+  Result<std::unique_ptr<Operator>> BuildJoinTree(
+      const JoinPlan& plan, const QueryGraph& graph,
+      const PlannerOptions& opts) const;
+
+  const Catalog* catalog_;
+  const ModelResolver* models_;
+};
+
+/// Splits an expression into top-level AND conjuncts.
+void SplitConjuncts(const sql::Expr* expr, std::vector<const sql::Expr*>* out);
+
+}  // namespace aidb::exec

@@ -1,0 +1,207 @@
+#include "learned/cardinality/learned_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace aidb::learned {
+
+LearnedCardinalityEstimator::Options::Options() {
+  mlp.hidden = {64, 64};
+  mlp.epochs = 200;
+  mlp.learning_rate = 2e-3;
+  mlp.batch_size = 64;
+}
+
+namespace {
+constexpr double kLogFloor = -20.0;  ///< log2 selectivity floor (~1e-6)
+
+double ClampSel(double sel) { return std::clamp(sel, 1e-6, 1.0); }
+}  // namespace
+
+std::vector<double> LearnedCardinalityEstimator::Featurize(
+    const std::vector<ColumnRange>& ranges) {
+  std::vector<double> f;
+  f.reserve(ranges.size() * 3);
+  for (const auto& r : ranges) {
+    f.push_back(std::clamp(r.lo, -1.0, 2.0));
+    f.push_back(std::clamp(r.hi, -1.0, 2.0));
+    f.push_back(r.has_eq ? 1.0 : 0.0);
+  }
+  return f;
+}
+
+Status LearnedCardinalityEstimator::Train(const std::string& table,
+                                          const std::vector<std::string>& columns) {
+  const Table* t = nullptr;
+  AIDB_ASSIGN_OR_RETURN(t, catalog_->GetTable(table));
+  if (t->NumRows() == 0) return Status::InvalidArgument("empty table " + table);
+
+  TableModel model;
+  model.columns = columns;
+  std::vector<int> col_idx;
+  for (const auto& c : columns) {
+    int i = t->schema().IndexOf(c);
+    if (i < 0) return Status::NotFound("column " + c);
+    col_idx.push_back(i);
+  }
+
+  // Column domains.
+  model.col_min.assign(columns.size(), 1e300);
+  model.col_max.assign(columns.size(), -1e300);
+  t->ForEach([&](RowId, const Tuple& row) {
+    for (size_t j = 0; j < col_idx.size(); ++j) {
+      double v = row[static_cast<size_t>(col_idx[j])].AsFeature();
+      model.col_min[j] = std::min(model.col_min[j], v);
+      model.col_max[j] = std::max(model.col_max[j], v);
+    }
+  });
+  for (size_t j = 0; j < columns.size(); ++j) {
+    if (model.col_max[j] <= model.col_min[j]) model.col_max[j] = model.col_min[j] + 1;
+  }
+
+  // Sample random conjunctions and count true matches.
+  Rng rng(opts_.seed);
+  size_t d = columns.size();
+  ml::Dataset data;
+  data.x = ml::Matrix(opts_.training_queries, d * 3);
+  data.y.reserve(opts_.training_queries);
+  double n = static_cast<double>(t->NumRows());
+
+  for (size_t q = 0; q < opts_.training_queries; ++q) {
+    std::vector<ColumnRange> ranges(d);
+    size_t num_preds = 1 + rng.Uniform(opts_.max_conjuncts);
+    for (size_t p = 0; p < num_preds; ++p) {
+      size_t j = rng.Uniform(d);
+      switch (rng.Uniform(3)) {
+        case 0: {  // equality
+          double v = rng.NextDouble();
+          ranges[j].lo = ranges[j].hi = v;
+          ranges[j].has_eq = true;
+          break;
+        }
+        case 1: ranges[j].lo = std::max(0.0, rng.NextDouble()); if (ranges[j].hi > 1.0) ranges[j].hi = 1.0; break;
+        default: ranges[j].hi = std::min(1.0, rng.NextDouble()); if (ranges[j].lo < 0.0) ranges[j].lo = 0.0; break;
+      }
+    }
+    // Normalize open bounds for counting.
+    size_t matches = 0;
+    t->ForEach([&](RowId, const Tuple& row) {
+      for (size_t j = 0; j < d; ++j) {
+        const ColumnRange& r = ranges[j];
+        if (r.lo <= -0.5 && r.hi >= 1.5 && !r.has_eq) continue;  // open
+        double v = row[static_cast<size_t>(col_idx[j])].AsFeature();
+        double norm = (v - model.col_min[j]) / (model.col_max[j] - model.col_min[j]);
+        if (r.has_eq) {
+          // Equality on normalized grid: match within half a grid cell of the
+          // drawn value, snapped to actual domain values during sampling —
+          // approximate by a tight band.
+          if (std::fabs(norm - r.lo) > 0.5 / 100.0) return;
+        } else {
+          if (r.lo > -0.5 && norm < r.lo) return;
+          if (r.hi < 1.5 && norm > r.hi) return;
+        }
+      }
+      ++matches;
+    });
+    // Floor empty results at half a row: keeps the regression target in a
+    // learnable range instead of an extreme constant.
+    double sel = std::max(static_cast<double>(matches), 0.5) / n;
+    auto feat = Featurize(ranges);
+    for (size_t c = 0; c < feat.size(); ++c) data.x.At(q, c) = feat[c];
+    data.y.push_back(std::log2(sel));
+  }
+
+  model.net = std::make_unique<ml::Mlp>(d * 3, 1, opts_.mlp);
+  model.net->Fit(data);
+  models_[table] = std::move(model);
+  return Status::OK();
+}
+
+bool LearnedCardinalityEstimator::ExtractRanges(
+    const TableModel& model, const std::vector<const sql::Expr*>& conjuncts,
+    std::vector<ColumnRange>* ranges) const {
+  ranges->assign(model.columns.size(), ColumnRange{});
+  for (const sql::Expr* c : conjuncts) {
+    if (c->kind != sql::Expr::Kind::kBinary) return false;
+    const sql::Expr* col = nullptr;
+    const sql::Expr* lit = nullptr;
+    sql::OpType op = c->op;
+    if (c->lhs->kind == sql::Expr::Kind::kColumnRef &&
+        c->rhs->kind == sql::Expr::Kind::kLiteral) {
+      col = c->lhs.get();
+      lit = c->rhs.get();
+    } else if (c->rhs->kind == sql::Expr::Kind::kColumnRef &&
+               c->lhs->kind == sql::Expr::Kind::kLiteral) {
+      col = c->rhs.get();
+      lit = c->lhs.get();
+      switch (op) {  // flip
+        case sql::OpType::kLt: op = sql::OpType::kGt; break;
+        case sql::OpType::kLe: op = sql::OpType::kGe; break;
+        case sql::OpType::kGt: op = sql::OpType::kLt; break;
+        case sql::OpType::kGe: op = sql::OpType::kLe; break;
+        default: break;
+      }
+    } else {
+      return false;
+    }
+    if (lit->literal.is_null()) return false;
+    int j = -1;
+    for (size_t k = 0; k < model.columns.size(); ++k) {
+      if (model.columns[k] == col->column) {
+        j = static_cast<int>(k);
+        break;
+      }
+    }
+    if (j < 0) return false;
+    double v = lit->literal.AsFeature();
+    double norm = (v - model.col_min[j]) / (model.col_max[j] - model.col_min[j]);
+    ColumnRange& r = (*ranges)[static_cast<size_t>(j)];
+    switch (op) {
+      case sql::OpType::kEq:
+        r.lo = r.hi = norm;
+        r.has_eq = true;
+        break;
+      case sql::OpType::kLt:
+      case sql::OpType::kLe:
+        r.hi = std::min(r.hi > 1.5 ? 1.0 : r.hi, norm);
+        if (r.lo < -0.5) r.lo = 0.0;
+        break;
+      case sql::OpType::kGt:
+      case sql::OpType::kGe:
+        r.lo = std::max(r.lo < -0.5 ? 0.0 : r.lo, norm);
+        if (r.hi > 1.5) r.hi = 1.0;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+double LearnedCardinalityEstimator::ConjunctionSelectivity(
+    const std::string& table, const std::vector<const sql::Expr*>& conjuncts) const {
+  auto it = models_.find(table);
+  if (it != models_.end()) {
+    std::vector<ColumnRange> ranges;
+    if (ExtractRanges(it->second, conjuncts, &ranges)) {
+      double log_sel = it->second.net->Predict1(Featurize(ranges));
+      return ClampSel(std::exp2(std::max(log_sel, kLogFloor)));
+    }
+  }
+  return fallback_.ConjunctionSelectivity(table, conjuncts);
+}
+
+double LearnedCardinalityEstimator::PredicateSelectivity(
+    const std::string& table, const sql::Expr& pred) const {
+  std::vector<const sql::Expr*> one{&pred};
+  return ConjunctionSelectivity(table, one);
+}
+
+size_t LearnedCardinalityEstimator::ModelParameters(const std::string& table) const {
+  auto it = models_.find(table);
+  return it == models_.end() ? 0 : it->second.net->NumParameters();
+}
+
+}  // namespace aidb::learned

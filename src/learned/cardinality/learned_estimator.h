@@ -1,0 +1,81 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/database.h"
+#include "ml/mlp.h"
+#include "optimizer/cardinality.h"
+
+namespace aidb::learned {
+
+/// Per-column range extracted from a predicate conjunction.
+struct ColumnRange {
+  double lo = -1.0;  ///< normalized to [0,1] over the column domain; -1: open
+  double hi = 2.0;   ///< 2: open
+  bool has_eq = false;
+};
+
+/// \brief Sun&Li-style learned cardinality estimator: an MLP regressed on
+/// query featurizations (per-column range bounds), trained from true
+/// cardinalities obtained by executing sampled predicates.
+///
+/// Captures cross-column correlation the histogram + AVI baseline cannot;
+/// plugs into the planner through the CardinalityEstimator interface.
+class LearnedCardinalityEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    size_t training_queries = 1500;
+    size_t max_conjuncts = 3;
+    ml::MlpOptions mlp;       ///< defaults tuned in .cc
+    uint64_t seed = 42;
+
+    Options();
+  };
+
+  LearnedCardinalityEstimator(const Catalog* catalog, const Options& opts)
+      : catalog_(catalog), opts_(opts), fallback_(catalog) {}
+
+  /// Trains a per-table model on `columns` of `table` by sampling random
+  /// range/equality conjunctions and counting true matches.
+  Status Train(const std::string& table, const std::vector<std::string>& columns);
+
+  double PredicateSelectivity(const std::string& table,
+                              const sql::Expr& pred) const override;
+  double ConjunctionSelectivity(
+      const std::string& table,
+      const std::vector<const sql::Expr*>& conjuncts) const override;
+  double JoinSelectivity(const std::string& table_a, const std::string& col_a,
+                         const std::string& table_b,
+                         const std::string& col_b) const override {
+    return fallback_.JoinSelectivity(table_a, col_a, table_b, col_b);
+  }
+  std::string name() const override { return "learned_mlp"; }
+
+  /// Number of model parameters for the trained table (0 if untrained).
+  size_t ModelParameters(const std::string& table) const;
+
+ private:
+  struct TableModel {
+    std::vector<std::string> columns;
+    std::vector<double> col_min, col_max;
+    std::unique_ptr<ml::Mlp> net;
+  };
+
+  /// Extracts per-column ranges from conjuncts; returns false when any
+  /// conjunct is not a col-op-literal over a known column (fallback path).
+  bool ExtractRanges(const TableModel& model,
+                     const std::vector<const sql::Expr*>& conjuncts,
+                     std::vector<ColumnRange>* ranges) const;
+  static std::vector<double> Featurize(const std::vector<ColumnRange>& ranges);
+
+  const Catalog* catalog_;
+  Options opts_;
+  HistogramEstimator fallback_;
+  std::map<std::string, TableModel> models_;
+};
+
+}  // namespace aidb::learned

@@ -1,0 +1,252 @@
+#include "learned/joinorder/learned_joinorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/rng.h"
+#include "ml/mcts.h"
+#include "ml/qlearning.h"
+
+namespace aidb::learned {
+
+namespace {
+
+/// Forest of partial join trees; the shared state machinery for the MCTS and
+/// RL enumerators. Actions join two parts (connected pairs preferred).
+struct Forest {
+  std::vector<std::unique_ptr<JoinPlan>> parts;
+
+  static Forest Leaves(const JoinCostModel& model) {
+    Forest f;
+    for (size_t i = 0; i < model.graph().rels.size(); ++i)
+      f.parts.push_back(model.MakeLeaf(i));
+    return f;
+  }
+
+  Forest CloneShallow(const JoinCostModel&) const {
+    Forest f;
+    for (const auto& p : parts) f.parts.push_back(Clone(*p));
+    return f;
+  }
+
+  static std::unique_ptr<JoinPlan> Clone(const JoinPlan& p) {
+    auto out = std::make_unique<JoinPlan>();
+    out->rel = p.rel;
+    out->mask = p.mask;
+    out->rows = p.rows;
+    out->cost = p.cost;
+    if (p.left) out->left = Clone(*p.left);
+    if (p.right) out->right = Clone(*p.right);
+    return out;
+  }
+
+  /// Valid actions: pairs (i < j), connected pairs only unless none exist.
+  std::vector<std::pair<size_t, size_t>> Actions(const JoinCostModel& model) const {
+    std::vector<std::pair<size_t, size_t>> connected, any;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        any.emplace_back(i, j);
+        if (model.Connected(parts[i]->mask, parts[j]->mask)) connected.emplace_back(i, j);
+      }
+    }
+    return connected.empty() ? any : connected;
+  }
+
+  void Join(const JoinCostModel& model, size_t i, size_t j) {
+    auto joined = model.MakeJoin(std::move(parts[i]), std::move(parts[j]));
+    parts.erase(parts.begin() + static_cast<long>(j));
+    parts.erase(parts.begin() + static_cast<long>(i));
+    parts.push_back(std::move(joined));
+  }
+
+  /// Canonical state key: sorted masks of the current parts.
+  uint64_t Key() const {
+    std::vector<uint64_t> masks;
+    for (const auto& p : parts) masks.push_back(p->mask);
+    std::sort(masks.begin(), masks.end());
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t m : masks) h = ml::HashCombine(h, m);
+    return h;
+  }
+};
+
+/// MCTS environment over forests. States are indices into a growing arena.
+class JoinEnv : public ml::MctsEnv {
+ public:
+  explicit JoinEnv(const JoinCostModel* model) : model_(model) {
+    arena_.push_back(Forest::Leaves(*model));
+    // Normalizer: greedy plan cost (reward 0.5 at greedy parity).
+    GreedyJoinEnumerator greedy;
+    auto g = greedy.Enumerate(*model);
+    norm_cost_ = g ? std::max(g->cost, 1.0) : 1.0;
+  }
+
+  State Root() const override { return 0; }
+
+  std::vector<int> Actions(State s) override {
+    const Forest& f = arena_[s];
+    if (f.parts.size() <= 1) return {};
+    auto pairs = f.Actions(*model_);
+    std::vector<int> out;
+    out.reserve(pairs.size());
+    size_t n = model_->graph().rels.size() + 1;
+    for (auto& [i, j] : pairs) out.push_back(static_cast<int>(i * n + j));
+    return out;
+  }
+
+  State Step(State s, int action) override {
+    size_t n = model_->graph().rels.size() + 1;
+    size_t i = static_cast<size_t>(action) / n;
+    size_t j = static_cast<size_t>(action) % n;
+    Forest next = arena_[s].CloneShallow(*model_);
+    next.Join(*model_, i, j);
+    arena_.push_back(std::move(next));
+    return arena_.size() - 1;
+  }
+
+  double TerminalReward(State s) override {
+    const Forest& f = arena_[s];
+    if (f.parts.size() != 1) return 0.0;
+    double cost = f.parts[0]->cost;
+    // Monotone map: cost == norm -> 0.5; lower cost -> closer to 1.
+    return norm_cost_ / (norm_cost_ + cost);
+  }
+
+  const Forest& At(State s) const { return arena_[s]; }
+
+ private:
+  const JoinCostModel* model_;
+  std::vector<Forest> arena_;
+  double norm_cost_;
+};
+
+}  // namespace
+
+std::unique_ptr<JoinPlan> MctsJoinEnumerator::Enumerate(const JoinCostModel& model) {
+  size_t n = model.graph().rels.size();
+  if (n == 0) return nullptr;
+  if (n == 1) return model.MakeLeaf(0);
+
+  JoinEnv env(&model);
+  ml::Mcts::Options mopts;
+  mopts.iterations = opts_.iterations;
+  mopts.exploration = opts_.exploration;
+  mopts.seed = opts_.seed;
+  ml::Mcts mcts(&env, mopts);
+  std::vector<int> actions = mcts.Search();
+
+  Forest f = Forest::Leaves(model);
+  size_t stride = n + 1;
+  for (int a : actions) {
+    size_t i = static_cast<size_t>(a) / stride;
+    size_t j = static_cast<size_t>(a) % stride;
+    if (i >= f.parts.size() || j >= f.parts.size() || i >= j) break;
+    f.Join(model, i, j);
+  }
+  // Fall back to greedy completion if the action replay was truncated.
+  while (f.parts.size() > 1) {
+    auto pairs = f.Actions(model);
+    size_t bi = 0, bj = 0;
+    double best = std::numeric_limits<double>::max();
+    for (auto& [i, j] : pairs) {
+      double rows = model.JoinRows(f.parts[i]->mask, f.parts[j]->mask,
+                                   f.parts[i]->rows, f.parts[j]->rows);
+      if (rows < best) {
+        best = rows;
+        bi = i;
+        bj = j;
+      }
+    }
+    f.Join(model, bi, bj);
+  }
+  return std::move(f.parts[0]);
+}
+
+std::unique_ptr<JoinPlan> RlJoinEnumerator::Enumerate(const JoinCostModel& model) {
+  size_t n = model.graph().rels.size();
+  if (n == 0) return nullptr;
+  if (n == 1) return model.MakeLeaf(0);
+
+  size_t stride = n + 1;
+  size_t num_actions = stride * stride;
+  ml::QLearner::Options qopts;
+  qopts.epsilon = 0.5;
+  qopts.epsilon_decay = 0.99;
+  qopts.alpha = 0.3;
+  qopts.gamma = 1.0;
+  qopts.seed = opts_.seed;
+  ml::QLearner q(num_actions, qopts);
+
+  GreedyJoinEnumerator greedy;
+  auto gplan = greedy.Enumerate(model);
+  double norm = gplan ? std::max(gplan->cost, 1.0) : 1.0;
+
+  std::unique_ptr<JoinPlan> best = std::move(gplan);
+
+  for (size_t ep = 0; ep < opts_.episodes; ++ep) {
+    Forest f = Forest::Leaves(model);
+    std::vector<std::pair<uint64_t, size_t>> trajectory;
+    while (f.parts.size() > 1) {
+      uint64_t state = f.Key();
+      auto pairs = f.Actions(model);
+      // Epsilon-greedy restricted to valid actions.
+      size_t chosen = 0;
+      double best_q = -1e300;
+      bool explore = (ep * 2654435761u + trajectory.size()) % 100 <
+                     static_cast<size_t>(q.epsilon() * 100);
+      if (explore) {
+        chosen = (ep * 40503 + trajectory.size() * 9973) % pairs.size();
+      } else {
+        for (size_t k = 0; k < pairs.size(); ++k) {
+          size_t a = pairs[k].first * stride + pairs[k].second;
+          double qv = q.Q(state, a);
+          if (qv > best_q) {
+            best_q = qv;
+            chosen = k;
+          }
+        }
+      }
+      auto [i, j] = pairs[chosen];
+      trajectory.emplace_back(state, i * stride + j);
+      f.Join(model, i, j);
+    }
+    double cost = f.parts[0]->cost;
+    double reward = norm / (norm + cost);
+    for (size_t k = trajectory.size(); k-- > 0;) {
+      uint64_t next = k + 1 < trajectory.size() ? trajectory[k + 1].first : 0;
+      q.Update(trajectory[k].first, trajectory[k].second,
+               k + 1 == trajectory.size() ? reward : 0.0, next,
+               k + 1 == trajectory.size());
+    }
+    q.EndEpisode();
+    if (!best || cost < best->cost) best = std::move(f.parts[0]);
+  }
+  return best;
+}
+
+std::unique_ptr<JoinPlan> FixedPlanEnumerator::Enumerate(const JoinCostModel& model) {
+  // Recompute rows/costs under the model so annotations are consistent.
+  std::function<std::unique_ptr<JoinPlan>(const JoinPlan&)> rebuild =
+      [&](const JoinPlan& p) -> std::unique_ptr<JoinPlan> {
+    if (p.IsLeaf()) return model.MakeLeaf(static_cast<size_t>(p.rel));
+    return model.MakeJoin(rebuild(*p.left), rebuild(*p.right));
+  };
+  return rebuild(*plan_);
+}
+
+std::unique_ptr<JoinPlan> RandomJoinEnumerator::Enumerate(const JoinCostModel& model) {
+  size_t n = model.graph().rels.size();
+  if (n == 0) return nullptr;
+  Rng rng(seed_);
+  Forest f = Forest::Leaves(model);
+  while (f.parts.size() > 1) {
+    auto pairs = f.Actions(model);
+    auto [i, j] = pairs[rng.Uniform(pairs.size())];
+    f.Join(model, i, j);
+  }
+  return std::move(f.parts[0]);
+}
+
+}  // namespace aidb::learned

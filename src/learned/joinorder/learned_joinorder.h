@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "optimizer/query_graph.h"
+
+namespace aidb::learned {
+
+/// \brief SkinnerDB-flavored MCTS join enumerator: UCT search over the
+/// sequence of pairwise join actions, rewarded by the inverse of plan cost.
+/// Polynomial per-iteration work regardless of relation count — the survey's
+/// answer to DP's exponential blowup on large join graphs.
+class MctsJoinEnumerator : public JoinOrderEnumerator {
+ public:
+  struct Options {
+    size_t iterations = 800;
+    double exploration = 1.0;
+    uint64_t seed = 42;
+  };
+  MctsJoinEnumerator() : MctsJoinEnumerator(Options()) {}
+  explicit MctsJoinEnumerator(const Options& opts) : opts_(opts) {}
+
+  std::unique_ptr<JoinPlan> Enumerate(const JoinCostModel& model) override;
+  std::string name() const override { return "mcts_skinner"; }
+
+ private:
+  Options opts_;
+};
+
+/// \brief ReJOIN-style RL join enumerator: Q-learning over (set-of-joined-
+/// subtrees) states with join-pair actions; episodes replay the same query,
+/// reward is the negative normalized plan cost. The learned policy is then
+/// extracted greedily.
+class RlJoinEnumerator : public JoinOrderEnumerator {
+ public:
+  struct Options {
+    size_t episodes = 400;
+    uint64_t seed = 42;
+  };
+  RlJoinEnumerator() : RlJoinEnumerator(Options()) {}
+  explicit RlJoinEnumerator(const Options& opts) : opts_(opts) {}
+
+  std::unique_ptr<JoinPlan> Enumerate(const JoinCostModel& model) override;
+  std::string name() const override { return "rl_rejoin"; }
+
+ private:
+  Options opts_;
+};
+
+/// Replays a fixed join plan through the enumerator interface; used by the
+/// Neo-lite end-to-end optimizer to execute a specific candidate plan.
+class FixedPlanEnumerator : public JoinOrderEnumerator {
+ public:
+  explicit FixedPlanEnumerator(const JoinPlan* plan) : plan_(plan) {}
+  std::unique_ptr<JoinPlan> Enumerate(const JoinCostModel& model) override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  const JoinPlan* plan_;
+};
+
+/// Uniformly random valid (connected-first) join order; Neo-lite's
+/// exploration candidates come from here.
+class RandomJoinEnumerator : public JoinOrderEnumerator {
+ public:
+  explicit RandomJoinEnumerator(uint64_t seed) : seed_(seed) {}
+  std::unique_ptr<JoinPlan> Enumerate(const JoinCostModel& model) override;
+  std::string name() const override { return "random"; }
+  void Reseed(uint64_t seed) { seed_ = seed; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace aidb::learned

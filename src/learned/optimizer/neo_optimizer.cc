@@ -1,0 +1,164 @@
+#include "learned/optimizer/neo_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace aidb::learned {
+
+NeoOptimizer::Options::Options() {
+  mlp.hidden = {64, 32};
+  mlp.epochs = 120;
+  mlp.learning_rate = 2e-3;
+  mlp.batch_size = 16;
+}
+
+NeoOptimizer::NeoOptimizer(Database* db, const Options& opts)
+    : db_(db), opts_(opts) {}
+
+std::vector<double> NeoOptimizer::FeaturizePlan(const JoinPlan& plan,
+                                                const QueryGraph& graph) const {
+  // Per-relation: (normalized leaf depth, log10 effective rows); global:
+  // (#rels, tree height, log10 est root rows, log10 est total intermediate).
+  std::vector<double> depth(opts_.max_rels, 0.0);
+  std::vector<double> rows(opts_.max_rels, 0.0);
+  size_t height = 0;
+  double total_intermediate = 0.0;
+
+  std::function<void(const JoinPlan&, size_t)> walk = [&](const JoinPlan& p,
+                                                          size_t d) {
+    height = std::max(height, d);
+    if (p.IsLeaf()) {
+      size_t r = static_cast<size_t>(p.rel);
+      if (r < opts_.max_rels) {
+        depth[r] = static_cast<double>(d);
+        rows[r] = std::log10(std::max(1.0, p.rows));
+      }
+      return;
+    }
+    total_intermediate += p.rows;
+    walk(*p.left, d + 1);
+    walk(*p.right, d + 1);
+  };
+  walk(plan, 0);
+
+  std::vector<double> f;
+  f.reserve(2 * opts_.max_rels + 4);
+  double hnorm = std::max<size_t>(height, 1);
+  for (size_t r = 0; r < opts_.max_rels; ++r) {
+    f.push_back(depth[r] / hnorm);
+    f.push_back(rows[r]);
+  }
+  f.push_back(static_cast<double>(graph.rels.size()) / opts_.max_rels);
+  f.push_back(static_cast<double>(height) / opts_.max_rels);
+  f.push_back(std::log10(std::max(1.0, plan.rows)));
+  f.push_back(std::log10(std::max(1.0, total_intermediate)));
+  return f;
+}
+
+Result<NeoOptimizer::QueryOutcome> NeoOptimizer::ExecuteWithPlan(
+    const sql::SelectStatement& stmt, const JoinPlan& plan,
+    const QueryGraph& graph, const std::string& source) {
+  FixedPlanEnumerator fixed(&plan);
+  exec::PlannerOptions popts = db_->mutable_planner_options();
+  popts.enumerator = &fixed;
+  exec::PhysicalPlan phys;
+  AIDB_ASSIGN_OR_RETURN(phys, db_->planner().Plan(stmt, popts));
+
+  phys.root->Open();
+  Tuple row;
+  size_t rows = 0;
+  while (phys.root->Next(&row)) ++rows;
+  phys.root->Close();
+
+  QueryOutcome out;
+  out.executed_work = static_cast<double>(phys.root->TotalWork());
+  out.chosen_source = source;
+  out.result_rows = rows;
+
+  // Learn from the observation.
+  features_.push_back(FeaturizePlan(plan, graph));
+  targets_.push_back(std::log2(std::max(1.0, out.executed_work)));
+  return out;
+}
+
+void NeoOptimizer::MaybeRetrain() {
+  if (features_.empty()) return;
+  if (value_net_ != nullptr && features_.size() - trained_at_ < opts_.retrain_interval)
+    return;
+  size_t d = features_[0].size();
+  ml::Dataset data;
+  data.x = ml::Matrix(features_.size(), d);
+  for (size_t i = 0; i < features_.size(); ++i)
+    for (size_t c = 0; c < d; ++c) data.x.At(i, c) = features_[i][c];
+  data.y = targets_;
+  ml::MlpOptions mopts = opts_.mlp;
+  mopts.seed = opts_.seed;
+  value_net_ = std::make_unique<ml::Mlp>(d, 1, mopts);
+  value_net_->Fit(data);
+  trained_at_ = features_.size();
+}
+
+Result<NeoOptimizer::QueryOutcome> NeoOptimizer::OptimizeAndExecute(
+    const sql::SelectStatement& stmt) {
+  ++queries_seen_;
+
+  // Build the query graph with the engine's (histogram) estimator.
+  HistogramEstimator est(&db_->catalog());
+  QueryGraph graph;
+  AIDB_ASSIGN_OR_RETURN(graph,
+                        db_->planner().BuildGraph(stmt, est, nullptr));
+  JoinCostModel model(&graph);
+
+  if (graph.rels.size() <= 1) {
+    // Nothing to optimize: single-relation query.
+    DpJoinEnumerator dp;
+    auto leaf = graph.rels.empty() ? nullptr : model.MakeLeaf(0);
+    if (!leaf) return Status::InvalidArgument("no relations");
+    return ExecuteWithPlan(stmt, *leaf, graph, "single");
+  }
+
+  // Candidate plans.
+  struct Candidate {
+    std::unique_ptr<JoinPlan> plan;
+    std::string source;
+  };
+  std::vector<Candidate> candidates;
+  DpJoinEnumerator dp;
+  GreedyJoinEnumerator greedy;
+  candidates.push_back({dp.Enumerate(model), "dp"});
+  candidates.push_back({greedy.Enumerate(model), "greedy"});
+  for (size_t k = 0; k < opts_.random_candidates; ++k) {
+    RandomJoinEnumerator rnd(opts_.seed + queries_seen_ * 131 + k);
+    candidates.push_back({rnd.Enumerate(model), "random" + std::to_string(k)});
+  }
+
+  size_t pick = 0;  // bootstrap: trust the classical optimizer
+  if (queries_seen_ > opts_.warmup_queries) {
+    MaybeRetrain();
+    if (value_net_ != nullptr) {
+      double best = 1e300;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (!candidates[i].plan) continue;
+        double pred = value_net_->Predict1(
+            FeaturizePlan(*candidates[i].plan, graph));
+        if (pred < best) {
+          best = pred;
+          pick = i;
+        }
+      }
+    }
+  }
+  if (!candidates[pick].plan) pick = 0;
+
+  auto outcome = ExecuteWithPlan(stmt, *candidates[pick].plan, graph,
+                                 candidates[pick].source);
+  if (outcome.ok() && value_net_ != nullptr) {
+    QueryOutcome& o = outcome.ValueOrDie();
+    o.predicted_work =
+        std::exp2(value_net_->Predict1(FeaturizePlan(*candidates[pick].plan, graph)));
+  }
+  return outcome;
+}
+
+}  // namespace aidb::learned

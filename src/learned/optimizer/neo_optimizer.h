@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/database.h"
+#include "learned/joinorder/learned_joinorder.h"
+#include "ml/mlp.h"
+
+namespace aidb::learned {
+
+/// \brief Neo-lite: an end-to-end learned optimizer.
+///
+/// A value network predicts the *executed* cost of a physical join plan from
+/// its structural featurization. It bootstraps from the classical
+/// optimizer's plans (as Neo bootstraps from PostgreSQL), then for each new
+/// query scores a candidate set (classical DP, greedy, random explorations)
+/// and executes the predicted-best plan. True executed work feeds back into
+/// the network, so the optimizer learns around cardinality-estimation errors
+/// — the survey's headline claim for end-to-end learned optimizers.
+class NeoOptimizer {
+ public:
+  struct Options {
+    size_t max_rels = 12;          ///< featurization capacity
+    size_t random_candidates = 6;  ///< exploration plans per query
+    size_t warmup_queries = 8;     ///< pure-bootstrap phase length
+    size_t retrain_interval = 8;   ///< queries between value-net refits
+    ml::MlpOptions mlp;
+    uint64_t seed = 42;
+
+    Options();
+  };
+
+  NeoOptimizer(Database* db, const Options& opts);
+
+  /// Result of optimizing + executing one query.
+  struct QueryOutcome {
+    double executed_work = 0.0;     ///< true operator work of the chosen plan
+    double predicted_work = 0.0;
+    std::string chosen_source;      ///< "dp" | "greedy" | "random<k>"
+    size_t result_rows = 0;
+  };
+
+  /// Optimizes `stmt` with the value network (or bootstrap policy during
+  /// warmup), executes the chosen plan, learns from the observed work.
+  Result<QueryOutcome> OptimizeAndExecute(const sql::SelectStatement& stmt);
+
+  size_t experience_size() const { return features_.size(); }
+
+ private:
+  std::vector<double> FeaturizePlan(const JoinPlan& plan, const QueryGraph& graph) const;
+  void MaybeRetrain();
+  /// Executes stmt with a forced join plan; returns the measured work.
+  Result<QueryOutcome> ExecuteWithPlan(const sql::SelectStatement& stmt,
+                                       const JoinPlan& plan,
+                                       const QueryGraph& graph,
+                                       const std::string& source);
+
+  Database* db_;
+  Options opts_;
+  std::unique_ptr<ml::Mlp> value_net_;
+  std::vector<std::vector<double>> features_;
+  std::vector<double> targets_;  ///< log2(executed work)
+  size_t queries_seen_ = 0;
+  size_t trained_at_ = 0;
+};
+
+}  // namespace aidb::learned

@@ -1,0 +1,90 @@
+#include "ml/bandit.h"
+
+#include <cmath>
+#include <limits>
+
+namespace aidb::ml {
+
+Bandit::Bandit(size_t num_arms, const Options& opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      counts_(num_arms, 0),
+      sums_(num_arms, 0.0),
+      alpha_(num_arms, 1.0),
+      beta_(num_arms, 1.0) {}
+
+std::vector<double> Bandit::ScoreArms() {
+  size_t n = counts_.size();
+  std::vector<double> scores(n, 0.0);
+  switch (opts_.policy) {
+    case Policy::kEpsilonGreedy: {
+      for (size_t a = 0; a < n; ++a) {
+        scores[a] = rng_.NextDouble() < opts_.epsilon ? rng_.NextDouble()
+                                                      : MeanReward(a);
+      }
+      break;
+    }
+    case Policy::kUcb1: {
+      double lt = std::log(static_cast<double>(total_) + 1.0);
+      for (size_t a = 0; a < n; ++a) {
+        if (counts_[a] == 0) {
+          scores[a] = std::numeric_limits<double>::max();  // play once first
+        } else {
+          scores[a] = MeanReward(a) +
+                      std::sqrt(2.0 * lt / static_cast<double>(counts_[a]));
+        }
+      }
+      break;
+    }
+    case Policy::kThompson: {
+      // Beta(alpha, beta) posterior draw per arm via two gamma draws.
+      auto gamma_draw = [this](double shape) {
+        if (shape < 1.0) {
+          double u = rng_.NextDouble();
+          return GammaMT(shape + 1.0) * std::pow(u, 1.0 / shape);
+        }
+        return GammaMT(shape);
+      };
+      for (size_t a = 0; a < n; ++a) {
+        double x = gamma_draw(alpha_[a]);
+        double y = gamma_draw(beta_[a]);
+        scores[a] = x / (x + y);
+      }
+      break;
+    }
+  }
+  return scores;
+}
+
+size_t Bandit::SelectArm() {
+  auto scores = ScoreArms();
+  size_t best = 0;
+  for (size_t a = 1; a < scores.size(); ++a)
+    if (scores[a] > scores[best]) best = a;
+  return best;
+}
+
+double Bandit::GammaMT(double shape) {
+  // Marsaglia–Tsang squeeze method, shape >= 1.
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng_.Gaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    double u = rng_.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+void Bandit::Update(size_t arm, double reward) {
+  ++counts_[arm];
+  sums_[arm] += reward;
+  ++total_;
+  alpha_[arm] += reward;
+  beta_[arm] += 1.0 - reward;
+}
+
+}  // namespace aidb::ml

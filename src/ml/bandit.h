@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aidb::ml {
+
+/// \brief Multi-armed bandit policies (epsilon-greedy, UCB1, Thompson).
+///
+/// Backs the database activity monitor, which must choose which activities
+/// to audit under a budget (Grushka-Cohen et al., cited in the survey).
+class Bandit {
+ public:
+  enum class Policy { kEpsilonGreedy, kUcb1, kThompson };
+
+  struct Options {
+    Policy policy = Policy::kUcb1;
+    double epsilon = 0.1;  ///< for epsilon-greedy
+    uint64_t seed = 42;
+  };
+
+  Bandit(size_t num_arms, const Options& opts);
+
+  /// Chooses an arm under the configured policy.
+  size_t SelectArm();
+
+  /// Per-arm scores for this round under the configured policy (UCB values,
+  /// Thompson posterior draws, or epsilon-perturbed means). Taking the top-k
+  /// gives a correct without-replacement batch selection.
+  std::vector<double> ScoreArms();
+
+  /// Records the observed reward in [0, 1] for `arm`.
+  void Update(size_t arm, double reward);
+
+  size_t num_arms() const { return counts_.size(); }
+  double MeanReward(size_t arm) const {
+    return counts_[arm] ? sums_[arm] / static_cast<double>(counts_[arm]) : 0.0;
+  }
+  uint64_t Count(size_t arm) const { return counts_[arm]; }
+  uint64_t total_pulls() const { return total_; }
+
+ private:
+  /// Gamma(shape, 1) draw via Marsaglia–Tsang (shape >= 1).
+  double GammaMT(double shape);
+
+  Options opts_;
+  Rng rng_;
+  std::vector<uint64_t> counts_;
+  std::vector<double> sums_;
+  // Beta posteriors for Thompson sampling.
+  std::vector<double> alpha_, beta_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace aidb::ml

@@ -1,0 +1,88 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace aidb::ml {
+
+std::pair<Dataset, Dataset> Dataset::Split(double test_fraction, Rng* rng) const {
+  std::vector<size_t> idx(NumRows());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  size_t test_n = static_cast<size_t>(test_fraction * static_cast<double>(idx.size()));
+  std::vector<size_t> test_idx(idx.begin(), idx.begin() + test_n);
+  std::vector<size_t> train_idx(idx.begin() + test_n, idx.end());
+  return {Select(train_idx), Select(test_idx)};
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.x = Matrix(indices.size(), x.cols());
+  out.y.reserve(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t c = 0; c < x.cols(); ++c) out.x.At(i, c) = x.At(indices[i], c);
+    out.y.push_back(y[indices[i]]);
+  }
+  return out;
+}
+
+void StandardScaler::Fit(const Matrix& x) {
+  size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  if (x.rows() == 0) return;
+  for (size_t r = 0; r < x.rows(); ++r)
+    for (size_t c = 0; c < d; ++c) mean_[c] += x.At(r, c);
+  for (size_t c = 0; c < d; ++c) mean_[c] /= static_cast<double>(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r)
+    for (size_t c = 0; c < d; ++c) {
+      double dlt = x.At(r, c) - mean_[c];
+      stddev_[c] += dlt * dlt;
+    }
+  for (size_t c = 0; c < d; ++c) {
+    stddev_[c] = std::sqrt(stddev_[c] / static_cast<double>(x.rows()));
+    if (stddev_[c] < 1e-12) stddev_[c] = 1.0;  // constant feature: leave as-is
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  Matrix out = x;
+  for (size_t r = 0; r < out.rows(); ++r)
+    for (size_t c = 0; c < out.cols(); ++c)
+      out.At(r, c) = (out.At(r, c) - mean_[c]) / stddev_[c];
+  return out;
+}
+
+double Accuracy(const std::vector<double>& pred, const std::vector<double>& truth) {
+  if (pred.empty()) return 0.0;
+  size_t hit = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (std::lround(pred[i]) == std::lround(truth[i])) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(pred.size());
+}
+
+double Mse(const std::vector<double>& pred, const std::vector<double>& truth) {
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = pred[i] - truth[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+double R2(const std::vector<double>& pred, const std::vector<double>& truth) {
+  if (pred.empty()) return 0.0;
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot < 1e-12) return ss_res < 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace aidb::ml

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/matrix.h"
+
+namespace aidb::ml {
+
+/// \brief Supervised dataset: feature matrix X plus target vector y.
+struct Dataset {
+  Matrix x;                ///< n x d features
+  std::vector<double> y;   ///< n targets (regression values or class labels)
+
+  size_t NumRows() const { return x.rows(); }
+  size_t NumFeatures() const { return x.cols(); }
+
+  /// Random split into (train, test) with `test_fraction` of rows held out.
+  std::pair<Dataset, Dataset> Split(double test_fraction, Rng* rng) const;
+
+  /// Returns the subset of rows given by `indices`.
+  Dataset Select(const std::vector<size_t>& indices) const;
+};
+
+/// \brief Per-feature standardization (z-score). Fit on train, apply to all.
+class StandardScaler {
+ public:
+  void Fit(const Matrix& x);
+  Matrix Transform(const Matrix& x) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+/// Fraction of predictions matching integer labels.
+double Accuracy(const std::vector<double>& pred, const std::vector<double>& truth);
+/// Mean squared error.
+double Mse(const std::vector<double>& pred, const std::vector<double>& truth);
+/// Coefficient of determination.
+double R2(const std::vector<double>& pred, const std::vector<double>& truth);
+
+}  // namespace aidb::ml

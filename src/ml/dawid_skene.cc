@@ -1,0 +1,100 @@
+#include "ml/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb::ml {
+
+std::vector<size_t> TruthInference::MajorityVote(
+    const std::vector<CrowdLabel>& labels) const {
+  std::vector<std::vector<size_t>> votes(num_items_,
+                                         std::vector<size_t>(num_classes_, 0));
+  for (const auto& l : labels) ++votes[l.item][l.label];
+  std::vector<size_t> out(num_items_, 0);
+  for (size_t i = 0; i < num_items_; ++i) {
+    out[i] = static_cast<size_t>(
+        std::max_element(votes[i].begin(), votes[i].end()) - votes[i].begin());
+  }
+  return out;
+}
+
+std::vector<size_t> TruthInference::DawidSkene(
+    const std::vector<CrowdLabel>& labels, size_t iterations) const {
+  // Soft item-class posterior, initialized from vote fractions.
+  std::vector<std::vector<double>> post(num_items_,
+                                        std::vector<double>(num_classes_, 0.0));
+  {
+    std::vector<size_t> counts(num_items_, 0);
+    for (const auto& l : labels) {
+      post[l.item][l.label] += 1.0;
+      ++counts[l.item];
+    }
+    for (size_t i = 0; i < num_items_; ++i) {
+      if (counts[i] == 0) {
+        for (auto& p : post[i]) p = 1.0 / static_cast<double>(num_classes_);
+      } else {
+        for (auto& p : post[i]) p /= static_cast<double>(counts[i]);
+      }
+    }
+  }
+
+  // confusion[w][true_class][observed] with Laplace smoothing.
+  std::vector<std::vector<std::vector<double>>> confusion(
+      num_workers_, std::vector<std::vector<double>>(
+                        num_classes_, std::vector<double>(num_classes_, 0.0)));
+  std::vector<double> prior(num_classes_, 0.0);
+
+  for (size_t it = 0; it < iterations; ++it) {
+    // M step: class prior + worker confusion matrices from posteriors.
+    std::fill(prior.begin(), prior.end(), 1e-9);
+    for (auto& w : confusion)
+      for (auto& row : w) std::fill(row.begin(), row.end(), 1e-2);  // smoothing
+    for (size_t i = 0; i < num_items_; ++i)
+      for (size_t c = 0; c < num_classes_; ++c) prior[c] += post[i][c];
+    double psum = 0.0;
+    for (double p : prior) psum += p;
+    for (double& p : prior) p /= psum;
+
+    for (const auto& l : labels)
+      for (size_t c = 0; c < num_classes_; ++c)
+        confusion[l.worker][c][l.label] += post[l.item][c];
+    for (auto& w : confusion) {
+      for (auto& row : w) {
+        double s = 0.0;
+        for (double v : row) s += v;
+        for (double& v : row) v /= s;
+      }
+    }
+
+    // E step: recompute posteriors in log space.
+    for (auto& p : post)
+      for (size_t c = 0; c < num_classes_; ++c) p[c] = std::log(prior[c]);
+    for (const auto& l : labels)
+      for (size_t c = 0; c < num_classes_; ++c)
+        post[l.item][c] += std::log(confusion[l.worker][c][l.label]);
+    for (auto& p : post) {
+      double mx = *std::max_element(p.begin(), p.end());
+      double s = 0.0;
+      for (double& v : p) {
+        v = std::exp(v - mx);
+        s += v;
+      }
+      for (double& v : p) v /= s;
+    }
+  }
+
+  worker_accuracy_.assign(num_workers_, 0.0);
+  for (size_t w = 0; w < num_workers_; ++w) {
+    double acc = 0.0;
+    for (size_t c = 0; c < num_classes_; ++c) acc += confusion[w][c][c];
+    worker_accuracy_[w] = acc / static_cast<double>(num_classes_);
+  }
+
+  std::vector<size_t> out(num_items_, 0);
+  for (size_t i = 0; i < num_items_; ++i)
+    out[i] = static_cast<size_t>(
+        std::max_element(post[i].begin(), post[i].end()) - post[i].begin());
+  return out;
+}
+
+}  // namespace aidb::ml

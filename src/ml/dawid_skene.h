@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aidb::ml {
+
+/// One crowdsourced label: worker `worker` labeled item `item` as `label`.
+struct CrowdLabel {
+  size_t item;
+  size_t worker;
+  size_t label;
+};
+
+/// \brief Truth inference over crowdsourced labels.
+///
+/// Implements simple majority vote and Dawid–Skene EM (per-worker confusion
+/// matrices), the classic pairing the survey's data-labeling section cites.
+class TruthInference {
+ public:
+  TruthInference(size_t num_items, size_t num_workers, size_t num_classes)
+      : num_items_(num_items), num_workers_(num_workers), num_classes_(num_classes) {}
+
+  /// Per-item majority vote (ties broken toward the smaller class id).
+  std::vector<size_t> MajorityVote(const std::vector<CrowdLabel>& labels) const;
+
+  /// Dawid–Skene EM; `iterations` rounds starting from majority vote.
+  std::vector<size_t> DawidSkene(const std::vector<CrowdLabel>& labels,
+                                 size_t iterations = 20) const;
+
+  /// Estimated per-worker accuracy after a DawidSkene run (diagonal mass of
+  /// the confusion matrix, averaged over classes). Valid after DawidSkene.
+  const std::vector<double>& worker_accuracy() const { return worker_accuracy_; }
+
+ private:
+  size_t num_items_;
+  size_t num_workers_;
+  size_t num_classes_;
+  mutable std::vector<double> worker_accuracy_;
+};
+
+}  // namespace aidb::ml

@@ -1,0 +1,98 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace aidb::ml {
+
+namespace {
+double Sq(double x) { return x * x; }
+
+double Dist2(const double* a, const double* b, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) s += Sq(a[i] - b[i]);
+  return s;
+}
+}  // namespace
+
+std::vector<size_t> KMeans::Fit(const Matrix& x) {
+  size_t n = x.rows(), d = x.cols();
+  size_t k = std::min(opts_.k, n);
+  Rng rng(opts_.seed);
+  centroids_ = Matrix(k, d);
+  if (n == 0 || k == 0) return {};
+
+  // k-means++ seeding.
+  std::vector<size_t> chosen;
+  chosen.push_back(rng.Uniform(n));
+  std::vector<double> dist(n, std::numeric_limits<double>::max());
+  while (chosen.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(dist[i], Dist2(x.RowPtr(i), x.RowPtr(chosen.back()), d));
+      total += dist[i];
+    }
+    double pick = rng.NextDouble() * total;
+    size_t next = 0;
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += dist[i];
+      if (acc >= pick) {
+        next = i;
+        break;
+      }
+    }
+    chosen.push_back(next);
+  }
+  for (size_t c = 0; c < k; ++c)
+    for (size_t j = 0; j < d; ++j) centroids_.At(c, j) = x.At(chosen[c], j);
+
+  std::vector<size_t> assign(n, 0);
+  for (size_t iter = 0; iter < opts_.max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = Assign(x.RowPtr(i));
+      if (best != assign[i]) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    Matrix sums(k, d);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[assign[i]];
+      for (size_t j = 0; j < d; ++j) sums.At(assign[i], j) += x.At(i, j);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep empty-cluster centroid in place
+      for (size_t j = 0; j < d; ++j)
+        centroids_.At(c, j) = sums.At(c, j) / static_cast<double>(counts[c]);
+    }
+    if (!changed) break;
+  }
+  inertia_ = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    inertia_ += Dist2(x.RowPtr(i), centroids_.RowPtr(assign[i]), d);
+  return assign;
+}
+
+size_t KMeans::Assign(const double* row) const {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    double dd = Dist2(row, centroids_.RowPtr(c), centroids_.cols());
+    if (dd < best_d) {
+      best_d = dd;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double KMeans::DistanceToCentroid(const double* row, size_t cluster) const {
+  return Dist2(row, centroids_.RowPtr(cluster), centroids_.cols());
+}
+
+}  // namespace aidb::ml

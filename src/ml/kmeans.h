@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace aidb::ml {
+
+/// \brief Lloyd's k-means with k-means++ seeding.
+///
+/// Used by the root-cause diagnosis monitor (iSQUAD-style KPI clustering).
+class KMeans {
+ public:
+  struct Options {
+    size_t k = 4;
+    size_t max_iters = 100;
+    uint64_t seed = 42;
+  };
+
+  explicit KMeans(const Options& opts) : opts_(opts) {}
+
+  /// Clusters rows of x; returns per-row cluster assignment.
+  std::vector<size_t> Fit(const Matrix& x);
+
+  /// Nearest centroid for a new point.
+  size_t Assign(const double* row) const;
+  /// Squared L2 distance to that centroid.
+  double DistanceToCentroid(const double* row, size_t cluster) const;
+
+  const Matrix& centroids() const { return centroids_; }
+  /// Sum of squared distances of training points to their centroids.
+  double inertia() const { return inertia_; }
+
+ private:
+  Options opts_;
+  Matrix centroids_;
+  double inertia_ = 0.0;
+};
+
+}  // namespace aidb::ml

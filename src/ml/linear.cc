@@ -1,0 +1,137 @@
+#include "ml/linear.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace aidb::ml {
+
+namespace {
+
+double Dot(const std::vector<double>& w, const double* row) {
+  double s = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) s += w[i] * row[i];
+  return s;
+}
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+/// Shared SGD loop; `grad_scale(pred, y)` returns dLoss/dScore.
+template <typename ScoreToGrad, typename Link>
+void SgdFit(const Dataset& data, const SgdOptions& opts, ScoreToGrad grad,
+            Link link, std::vector<double>* w, double* b) {
+  size_t n = data.NumRows();
+  size_t d = data.NumFeatures();
+  w->assign(d, 0.0);
+  *b = 0.0;
+  if (n == 0) return;
+  Rng rng(opts.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n; start += opts.batch_size) {
+      size_t end = std::min(start + opts.batch_size, n);
+      std::vector<double> gw(d, 0.0);
+      double gb = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        const double* row = data.x.RowPtr(order[k]);
+        double score = Dot(*w, row) + *b;
+        double g = grad(link(score), data.y[order[k]]);
+        for (size_t j = 0; j < d; ++j) gw[j] += g * row[j];
+        gb += g;
+      }
+      double scale = opts.learning_rate / static_cast<double>(end - start);
+      for (size_t j = 0; j < d; ++j) {
+        (*w)[j] -= scale * (gw[j] + opts.l2 * (*w)[j]);
+      }
+      *b -= scale * gb;
+    }
+  }
+}
+
+}  // namespace
+
+void LinearRegression::Fit(const Dataset& data, const SgdOptions& opts) {
+  SgdFit(
+      data, opts, [](double pred, double y) { return pred - y; },
+      [](double s) { return s; }, &w_, &b_);
+}
+
+void LinearRegression::FitClosedForm(const Dataset& data, double l2) {
+  size_t n = data.NumRows();
+  size_t d = data.NumFeatures();
+  // Augment with a bias column; solve (X^T X + l2 I) w = X^T y by Gaussian
+  // elimination with partial pivoting.
+  size_t da = d + 1;
+  std::vector<std::vector<double>> a(da, std::vector<double>(da + 1, 0.0));
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = data.x.RowPtr(r);
+    auto feat = [&](size_t j) { return j < d ? row[j] : 1.0; };
+    for (size_t i = 0; i < da; ++i) {
+      for (size_t j = 0; j < da; ++j) a[i][j] += feat(i) * feat(j);
+      a[i][da] += feat(i) * data.y[r];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) a[i][i] += l2;  // do not regularize bias
+  // Elimination.
+  for (size_t col = 0; col < da; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < da; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[piv][col])) piv = r;
+    std::swap(a[col], a[piv]);
+    if (std::fabs(a[col][col]) < 1e-12) a[col][col] = 1e-12;
+    for (size_t r = 0; r < da; ++r) {
+      if (r == col) continue;
+      double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (size_t c = col; c <= da; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  w_.assign(d, 0.0);
+  for (size_t i = 0; i < d; ++i) w_[i] = a[i][da] / a[i][i];
+  b_ = a[d][da] / a[d][d];
+}
+
+double LinearRegression::Predict(const double* row, size_t d) const {
+  (void)d;
+  return Dot(w_, row) + b_;
+}
+
+std::vector<double> LinearRegression::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.RowPtr(r), x.cols());
+  return out;
+}
+
+void LogisticRegression::Fit(const Dataset& data, const SgdOptions& opts) {
+  SgdFit(
+      data, opts, [](double pred, double y) { return pred - y; }, Sigmoid, &w_,
+      &b_);
+}
+
+double LogisticRegression::PredictProba(const double* row, size_t d) const {
+  (void)d;
+  return Sigmoid(Dot(w_, row) + b_);
+}
+
+std::vector<double> LogisticRegression::PredictProba(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r)
+    out[r] = PredictProba(x.RowPtr(r), x.cols());
+  return out;
+}
+
+std::vector<double> LogisticRegression::Predict(const Matrix& x) const {
+  std::vector<double> out = PredictProba(x);
+  for (double& p : out) p = p >= 0.5 ? 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace aidb::ml

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace aidb::ml {
+
+/// Optimizer hyperparameters shared by the linear models.
+struct SgdOptions {
+  double learning_rate = 0.01;
+  size_t epochs = 100;
+  size_t batch_size = 32;
+  double l2 = 0.0;       ///< ridge penalty
+  uint64_t seed = 42;
+};
+
+/// \brief Ordinary least squares / ridge regression, trained by minibatch
+/// SGD (or the normal equations for small feature counts).
+class LinearRegression {
+ public:
+  /// Fits with minibatch SGD.
+  void Fit(const Dataset& data, const SgdOptions& opts = {});
+  /// Fits exactly via the normal equations with ridge regularizer `l2`.
+  /// Suitable for d up to a few hundred.
+  void FitClosedForm(const Dataset& data, double l2 = 1e-6);
+
+  double Predict(const double* row, size_t d) const;
+  std::vector<double> Predict(const Matrix& x) const;
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// \brief Binary logistic regression trained by minibatch SGD.
+class LogisticRegression {
+ public:
+  void Fit(const Dataset& data, const SgdOptions& opts = {});
+
+  /// Probability of the positive class.
+  double PredictProba(const double* row, size_t d) const;
+  std::vector<double> PredictProba(const Matrix& x) const;
+  /// Hard label at threshold 0.5.
+  std::vector<double> Predict(const Matrix& x) const;
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace aidb::ml

@@ -1,0 +1,100 @@
+#include "ml/matrix.h"
+
+#include <sstream>
+
+namespace aidb::ml {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through `other` row-wise for cache locality.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.RowPtr(j);
+      double s = 0.0;
+      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
+      o[j] = s;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::Scale(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix& Matrix::AddRowVector(const Matrix& row) {
+  assert(row.rows_ == 1 && row.cols_ == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* p = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) p[c] += row.data_[c];
+  }
+  return *this;
+}
+
+Matrix Matrix::ColMean() const {
+  Matrix out(1, cols_);
+  if (rows_ == 0) return out;
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* p = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out.data_[c] += p[c];
+  }
+  out.Scale(1.0 / static_cast<double>(rows_));
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")";
+  return os.str();
+}
+
+}  // namespace aidb::ml

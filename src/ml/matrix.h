@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aidb::ml {
+
+/// \brief Dense row-major matrix of doubles — the tensor substrate for every
+/// learned component in the engine (no external BLAS/framework).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data; all rows must share a length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// C = this * other. Dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+  /// C = this * other^T — the common shape in backprop (avoids materializing
+  /// a transpose).
+  Matrix MatMulTransposed(const Matrix& other) const;
+  Matrix Transposed() const;
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& Scale(double s);
+
+  /// Broadcast-adds a 1 x cols row vector to each row.
+  Matrix& AddRowVector(const Matrix& row);
+
+  /// Per-column means as a 1 x cols matrix.
+  Matrix ColMean() const;
+
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace aidb::ml

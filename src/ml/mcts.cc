@@ -1,0 +1,108 @@
+#include "ml/mcts.h"
+
+#include <cmath>
+#include <limits>
+
+namespace aidb::ml {
+
+std::vector<int> Mcts::Search(double* out_reward) {
+  nodes_.clear();
+  best_reward_ = -1.0;
+  best_actions_.clear();
+
+  Node root;
+  root.state = env_->Root();
+  root.untried = env_->Actions(root.state);
+  nodes_.push_back(root);
+
+  for (size_t it = 0; it < opts_.iterations; ++it) {
+    int leaf = SelectAndExpand();
+    double reward = Rollout(nodes_[leaf].state);
+    Backpropagate(leaf, reward);
+  }
+
+  if (out_reward) *out_reward = best_reward_;
+  return best_actions_;
+}
+
+int Mcts::SelectAndExpand() {
+  int cur = 0;
+  for (;;) {
+    Node& n = nodes_[cur];
+    if (!n.untried.empty()) {
+      // Expand a random untried action.
+      size_t pick = rng_.Uniform(n.untried.size());
+      int action = n.untried[pick];
+      n.untried[pick] = n.untried.back();
+      n.untried.pop_back();
+      Node child;
+      child.state = env_->Step(n.state, action);
+      child.action_from_parent = action;
+      child.parent = cur;
+      child.untried = env_->Actions(child.state);
+      nodes_.push_back(child);
+      int id = static_cast<int>(nodes_.size() - 1);
+      nodes_[cur].children.push_back(id);
+      return id;
+    }
+    if (n.children.empty()) return cur;  // terminal
+    // UCT selection.
+    double best = -std::numeric_limits<double>::max();
+    int best_child = n.children[0];
+    double lnv = std::log(static_cast<double>(n.visits) + 1.0);
+    for (int c : n.children) {
+      const Node& ch = nodes_[c];
+      double mean = ch.visits ? ch.total_reward / static_cast<double>(ch.visits) : 0.0;
+      double ucb = mean + opts_.exploration *
+                              std::sqrt(lnv / (static_cast<double>(ch.visits) + 1.0));
+      if (ucb > best) {
+        best = ucb;
+        best_child = c;
+      }
+    }
+    cur = best_child;
+  }
+}
+
+double Mcts::Rollout(MctsEnv::State s) {
+  std::vector<int> taken;
+  // Collect actions on the path from root for best-sequence tracking.
+  for (;;) {
+    std::vector<int> actions = env_->Actions(s);
+    if (actions.empty()) break;
+    int a = actions[rng_.Uniform(actions.size())];
+    taken.push_back(a);
+    s = env_->Step(s, a);
+  }
+  double reward = env_->TerminalReward(s);
+  if (reward > best_reward_) {
+    best_reward_ = reward;
+    // Reconstruct full path: tree path will be appended by Backpropagate's
+    // caller; here we only know the rollout suffix, so store it with a marker
+    // and let Backpropagate prepend the tree path.
+    pending_suffix_ = taken;
+    pending_is_best_ = true;
+  } else {
+    pending_is_best_ = false;
+  }
+  return reward;
+}
+
+void Mcts::Backpropagate(int node, double reward) {
+  // If this rollout is the best so far, reconstruct tree prefix.
+  if (pending_is_best_) {
+    std::vector<int> prefix;
+    for (int cur = node; cur > 0; cur = nodes_[cur].parent)
+      prefix.push_back(nodes_[cur].action_from_parent);
+    best_actions_.assign(prefix.rbegin(), prefix.rend());
+    best_actions_.insert(best_actions_.end(), pending_suffix_.begin(),
+                         pending_suffix_.end());
+    pending_is_best_ = false;
+  }
+  for (int cur = node; cur >= 0; cur = nodes_[cur].parent) {
+    ++nodes_[cur].visits;
+    nodes_[cur].total_reward += reward;
+  }
+}
+
+}  // namespace aidb::ml

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aidb::ml {
+
+/// \brief Abstract sequential-decision environment for MCTS.
+///
+/// Implementations: join-order search (SkinnerDB-style), rewrite-rule
+/// ordering. States are immutable; Step returns a new state.
+class MctsEnv {
+ public:
+  virtual ~MctsEnv() = default;
+
+  /// Opaque state handle. 0 is the root state.
+  using State = uint64_t;
+
+  virtual State Root() const = 0;
+  /// Legal actions in `s` (empty if terminal).
+  virtual std::vector<int> Actions(State s) = 0;
+  /// Applies `action`; returns the successor state.
+  virtual State Step(State s, int action) = 0;
+  /// Reward in [0, 1] of a terminal state (higher is better).
+  virtual double TerminalReward(State s) = 0;
+};
+
+/// \brief UCT Monte-Carlo tree search.
+class Mcts {
+ public:
+  struct Options {
+    size_t iterations = 500;
+    double exploration = 1.414;  ///< UCT constant
+    uint64_t seed = 42;
+  };
+
+  Mcts(MctsEnv* env, const Options& opts) : env_(env), opts_(opts), rng_(opts.seed) {}
+
+  /// Runs the configured number of iterations from the root and returns the
+  /// best action sequence found (greedy walk by visit count), plus its
+  /// terminal reward via `out_reward` when non-null.
+  std::vector<int> Search(double* out_reward = nullptr);
+
+ private:
+  struct Node {
+    MctsEnv::State state;
+    int action_from_parent = -1;
+    int parent = -1;
+    std::vector<int> untried;
+    std::vector<int> children;
+    size_t visits = 0;
+    double total_reward = 0.0;
+  };
+
+  int SelectAndExpand();
+  double Rollout(MctsEnv::State s);
+  void Backpropagate(int node, double reward);
+
+  MctsEnv* env_;
+  Options opts_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  double best_reward_ = -1.0;
+  std::vector<int> best_actions_;
+  // Rollout-to-backprop handshake for best-sequence reconstruction.
+  std::vector<int> pending_suffix_;
+  bool pending_is_best_ = false;
+};
+
+}  // namespace aidb::ml

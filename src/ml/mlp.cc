@@ -1,0 +1,151 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace aidb::ml {
+
+Mlp::Mlp(size_t input_dim, size_t output_dim, const MlpOptions& opts)
+    : input_dim_(input_dim), output_dim_(output_dim), opts_(opts) {
+  Rng rng(opts.seed);
+  std::vector<size_t> dims;
+  dims.push_back(input_dim);
+  for (size_t h : opts.hidden) dims.push_back(h);
+  dims.push_back(output_dim);
+  layers_.resize(dims.size() - 1);
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    size_t in = dims[l], out = dims[l + 1];
+    layers_[l].w = Matrix(in, out);
+    // He initialization for ReLU nets.
+    double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (double& v : layers_[l].w.data()) v = rng.Gaussian(0.0, scale);
+    layers_[l].b = Matrix(1, out);
+    layers_[l].mw = Matrix(in, out);
+    layers_[l].vw = Matrix(in, out);
+    layers_[l].mb = Matrix(1, out);
+    layers_[l].vb = Matrix(1, out);
+  }
+}
+
+Matrix Mlp::ForwardInternal(const Matrix& x,
+                            std::vector<Matrix>* activations) const {
+  Matrix cur = x;
+  if (activations) activations->push_back(cur);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z = cur.MatMul(layers_[l].w);
+    z.AddRowVector(layers_[l].b);
+    if (l + 1 < layers_.size()) {
+      for (double& v : z.data())
+        if (v < 0) v = 0;  // ReLU
+    }
+    cur = std::move(z);
+    if (activations) activations->push_back(cur);
+  }
+  return cur;
+}
+
+Matrix Mlp::Forward(const Matrix& x) const { return ForwardInternal(x, nullptr); }
+
+double Mlp::TrainBatch(const Matrix& x, const Matrix& y) {
+  std::vector<Matrix> acts;  // acts[0]=input, acts[l+1]=output of layer l
+  Matrix out = ForwardInternal(x, &acts);
+  size_t n = x.rows();
+  // dLoss/dOut for MSE (mean over batch and outputs).
+  Matrix delta = out;
+  delta.SubInPlace(y);
+  double loss = 0.0;
+  for (double v : delta.data()) loss += v * v;
+  loss /= static_cast<double>(delta.size());
+  delta.Scale(2.0 / static_cast<double>(n));
+
+  ++adam_t_;
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
+
+  for (size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const Matrix& a_in = acts[li];  // input to this layer
+    // Gradients.
+    Matrix gw = a_in.Transposed().MatMul(delta);
+    Matrix gb(1, delta.cols());
+    for (size_t r = 0; r < delta.rows(); ++r)
+      for (size_t c = 0; c < delta.cols(); ++c) gb.At(0, c) += delta.At(r, c);
+    if (opts_.l2 > 0) {
+      for (size_t i = 0; i < gw.data().size(); ++i)
+        gw.data()[i] += opts_.l2 * layer.w.data()[i];
+    }
+    // Propagate delta to previous layer (through ReLU of acts[li]).
+    if (li > 0) {
+      Matrix prev = delta.MatMulTransposed(layer.w);
+      const Matrix& a = acts[li];
+      for (size_t i = 0; i < prev.data().size(); ++i)
+        if (a.data()[i] <= 0) prev.data()[i] = 0;
+      delta = std::move(prev);
+    }
+    // Adam update.
+    auto adam = [&](Matrix& p, Matrix& m, Matrix& v, const Matrix& g) {
+      for (size_t i = 0; i < p.data().size(); ++i) {
+        m.data()[i] = b1 * m.data()[i] + (1 - b1) * g.data()[i];
+        v.data()[i] = b2 * v.data()[i] + (1 - b2) * g.data()[i] * g.data()[i];
+        double mh = m.data()[i] / bc1;
+        double vh = v.data()[i] / bc2;
+        p.data()[i] -= opts_.learning_rate * mh / (std::sqrt(vh) + eps);
+      }
+    };
+    adam(layer.w, layer.mw, layer.vw, gw);
+    adam(layer.b, layer.mb, layer.vb, gb);
+  }
+  return loss;
+}
+
+double Mlp::Fit(const Dataset& data) {
+  size_t n = data.NumRows();
+  if (n == 0) return 0.0;
+  Rng rng(opts_.seed ^ 0x5bd1e995);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  double last = 0.0;
+  for (size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < n; start += opts_.batch_size) {
+      size_t end = std::min(start + opts_.batch_size, n);
+      Matrix bx(end - start, input_dim_);
+      Matrix by(end - start, output_dim_);
+      for (size_t k = start; k < end; ++k) {
+        for (size_t c = 0; c < input_dim_; ++c)
+          bx.At(k - start, c) = data.x.At(order[k], c);
+        by.At(k - start, 0) = data.y[order[k]];
+      }
+      epoch_loss += TrainBatch(bx, by);
+      ++batches;
+    }
+    last = epoch_loss / static_cast<double>(batches);
+  }
+  return last;
+}
+
+double Mlp::Predict1(const std::vector<double>& row) const {
+  Matrix x(1, input_dim_);
+  for (size_t c = 0; c < input_dim_; ++c) x.At(0, c) = row[c];
+  return Forward(x).At(0, 0);
+}
+
+std::vector<double> Mlp::Predict(const Matrix& x) const {
+  Matrix out = Forward(x);
+  std::vector<double> res(out.rows());
+  for (size_t r = 0; r < out.rows(); ++r) res[r] = out.At(r, 0);
+  return res;
+}
+
+size_t Mlp::NumParameters() const {
+  size_t n = 0;
+  for (const auto& l : layers_) n += l.w.size() + l.b.size();
+  return n;
+}
+
+}  // namespace aidb::ml

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace aidb::ml {
+
+/// Configuration for MlpRegressor / MlpClassifier.
+struct MlpOptions {
+  std::vector<size_t> hidden = {32, 32};  ///< hidden layer widths
+  double learning_rate = 1e-3;            ///< Adam step size
+  size_t epochs = 60;
+  size_t batch_size = 32;
+  double l2 = 0.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Multi-layer perceptron (ReLU hidden layers) trained with Adam.
+///
+/// The workhorse model for learned cardinality/cost estimation, Neo-lite
+/// value networks, partition-benefit estimation and QTune-style query-aware
+/// tuning. Supports a configurable number of output units; regression uses
+/// identity output + MSE, classification uses sigmoid/softmax handled by the
+/// wrapper functions below.
+class Mlp {
+ public:
+  Mlp(size_t input_dim, size_t output_dim, const MlpOptions& opts);
+
+  /// One Adam minibatch update on (x, y); y is batch x output_dim.
+  /// Returns the batch loss (MSE).
+  double TrainBatch(const Matrix& x, const Matrix& y);
+
+  /// Trains on a full dataset (targets taken from data.y as a single output)
+  /// for opts.epochs. Returns final epoch mean loss.
+  double Fit(const Dataset& data);
+
+  /// Forward pass; returns batch x output_dim predictions.
+  Matrix Forward(const Matrix& x) const;
+
+  /// Scalar convenience for single-output networks.
+  double Predict1(const std::vector<double>& row) const;
+  std::vector<double> Predict(const Matrix& x) const;
+
+  size_t input_dim() const { return input_dim_; }
+  size_t output_dim() const { return output_dim_; }
+  /// Total number of parameters (for model-size reporting).
+  size_t NumParameters() const;
+
+ private:
+  struct Layer {
+    Matrix w;       // in x out
+    Matrix b;       // 1 x out
+    Matrix mw, vw;  // Adam moments for w
+    Matrix mb, vb;  // Adam moments for b
+  };
+
+  Matrix ForwardInternal(const Matrix& x, std::vector<Matrix>* activations) const;
+
+  size_t input_dim_;
+  size_t output_dim_;
+  MlpOptions opts_;
+  std::vector<Layer> layers_;
+  size_t adam_t_ = 0;
+};
+
+}  // namespace aidb::ml

@@ -1,0 +1,44 @@
+#include "ml/qlearning.h"
+
+#include <algorithm>
+
+namespace aidb::ml {
+
+size_t QLearner::SelectAction(uint64_t state) {
+  if (rng_.NextDouble() < eps_) return rng_.Uniform(num_actions_);
+  return BestAction(state);
+}
+
+size_t QLearner::BestAction(uint64_t state) const {
+  auto it = table_.find(state);
+  if (it == table_.end()) return 0;
+  const auto& q = it->second;
+  return static_cast<size_t>(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+double QLearner::BestValue(uint64_t state) const {
+  auto it = table_.find(state);
+  if (it == table_.end()) return 0.0;
+  return *std::max_element(it->second.begin(), it->second.end());
+}
+
+void QLearner::Update(uint64_t state, size_t action, double reward,
+                      uint64_t next_state, bool terminal) {
+  auto& q = table_[state];
+  if (q.empty()) q.assign(num_actions_, 0.0);
+  double target = reward;
+  if (!terminal) target += opts_.gamma * BestValue(next_state);
+  q[action] += opts_.alpha * (target - q[action]);
+}
+
+void QLearner::EndEpisode() {
+  eps_ = std::max(opts_.min_epsilon, eps_ * opts_.epsilon_decay);
+}
+
+double QLearner::Q(uint64_t state, size_t action) const {
+  auto it = table_.find(state);
+  if (it == table_.end()) return 0.0;
+  return it->second[action];
+}
+
+}  // namespace aidb::ml

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aidb::ml {
+
+/// \brief Tabular Q-learning over hashed opaque state keys.
+///
+/// The RL workhorse behind the CDBTune-style knob tuner, the MDP index
+/// advisor, the RL view/partition advisors and the RL join-order enumerator.
+/// States are caller-provided 64-bit keys (hash of whatever features the
+/// component uses); actions are dense indices [0, num_actions).
+class QLearner {
+ public:
+  struct Options {
+    double alpha = 0.2;     ///< learning rate
+    double gamma = 0.95;    ///< discount
+    double epsilon = 0.2;   ///< exploration rate
+    double epsilon_decay = 1.0;  ///< multiplied in after each episode
+    double min_epsilon = 0.01;
+    uint64_t seed = 42;
+  };
+
+  QLearner(size_t num_actions, const Options& opts)
+      : opts_(opts), eps_(opts.epsilon), num_actions_(num_actions), rng_(opts.seed) {}
+
+  /// Epsilon-greedy action for `state`.
+  size_t SelectAction(uint64_t state);
+  /// Greedy (exploit-only) action.
+  size_t BestAction(uint64_t state) const;
+  double BestValue(uint64_t state) const;
+
+  /// Q(s,a) += alpha * (r + gamma * max_a' Q(s',a') - Q(s,a)).
+  /// Pass `terminal=true` to drop the bootstrap term.
+  void Update(uint64_t state, size_t action, double reward, uint64_t next_state,
+              bool terminal = false);
+
+  /// Decays epsilon (call at episode end).
+  void EndEpisode();
+
+  double Q(uint64_t state, size_t action) const;
+  size_t num_states() const { return table_.size(); }
+  double epsilon() const { return eps_; }
+
+ private:
+  Options opts_;
+  double eps_;
+  size_t num_actions_;
+  Rng rng_;
+  std::unordered_map<uint64_t, std::vector<double>> table_;
+};
+
+/// FNV-1a hash combiner for building state keys from feature integers.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace aidb::ml

@@ -1,0 +1,214 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <numeric>
+
+namespace aidb::ml {
+
+double DecisionTree::LeafValue(const std::vector<size_t>& idx,
+                               const Dataset& data) const {
+  if (idx.empty()) return 0.0;
+  if (opts_.regression) {
+    double s = 0.0;
+    for (size_t i : idx) s += data.y[i];
+    return s / static_cast<double>(idx.size());
+  }
+  std::map<int64_t, size_t> counts;
+  for (size_t i : idx) ++counts[std::llround(data.y[i])];
+  int64_t best = 0;
+  size_t best_n = 0;
+  for (auto& [label, n] : counts)
+    if (n > best_n) {
+      best = label;
+      best_n = n;
+    }
+  return static_cast<double>(best);
+}
+
+double DecisionTree::Impurity(const std::vector<size_t>& idx,
+                              const Dataset& data) const {
+  if (idx.empty()) return 0.0;
+  double n = static_cast<double>(idx.size());
+  if (opts_.regression) {
+    double mean = 0.0;
+    for (size_t i : idx) mean += data.y[i];
+    mean /= n;
+    double var = 0.0;
+    for (size_t i : idx) var += (data.y[i] - mean) * (data.y[i] - mean);
+    return var / n;
+  }
+  std::map<int64_t, size_t> counts;
+  for (size_t i : idx) ++counts[std::llround(data.y[i])];
+  double gini = 1.0;
+  for (auto& [label, c] : counts) {
+    double p = static_cast<double>(c) / n;
+    gini -= p * p;
+  }
+  return gini;
+}
+
+int DecisionTree::Build(const std::vector<size_t>& idx, const Dataset& data,
+                        size_t depth, Rng* rng) {
+  Node node;
+  double impurity = Impurity(idx, data);
+  if (depth >= opts_.max_depth || idx.size() < opts_.min_samples_split ||
+      impurity < 1e-12) {
+    node.value = LeafValue(idx, data);
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  size_t d = data.NumFeatures();
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  if (opts_.max_features > 0 && opts_.max_features < d) {
+    rng->Shuffle(&features);
+    features.resize(opts_.max_features);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double n = static_cast<double>(idx.size());
+
+  std::vector<std::pair<double, size_t>> vals;
+  for (size_t f : features) {
+    vals.clear();
+    vals.reserve(idx.size());
+    for (size_t i : idx) vals.emplace_back(data.x.At(i, f), i);
+    std::sort(vals.begin(), vals.end());
+    // Candidate thresholds sit at the boundaries between distinct adjacent
+    // values — quantile probing would miss boundaries entirely for low-
+    // cardinality features. When there are many boundaries, sample evenly.
+    std::vector<size_t> boundaries;
+    for (size_t i = 1; i < vals.size(); ++i) {
+      if (vals[i].first != vals[i - 1].first) boundaries.push_back(i);
+    }
+    const size_t kMaxCandidates = 32;
+    size_t stride = boundaries.size() > kMaxCandidates
+                        ? boundaries.size() / kMaxCandidates
+                        : 1;
+    for (size_t b = 0; b < boundaries.size(); b += stride) {
+      size_t pos = boundaries[b];
+      double thr = 0.5 * (vals[pos].first + vals[pos - 1].first);
+      std::vector<size_t> left, right;
+      for (auto& [v, i] : vals) (v < thr ? left : right).push_back(i);
+      if (left.empty() || right.empty()) continue;
+      double gain = impurity -
+                    (static_cast<double>(left.size()) / n) * Impurity(left, data) -
+                    (static_cast<double>(right.size()) / n) * Impurity(right, data);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    node.value = LeafValue(idx, data);
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  std::vector<size_t> left, right;
+  for (size_t i : idx) {
+    (data.x.At(i, static_cast<size_t>(best_feature)) < best_threshold ? left
+                                                                      : right)
+        .push_back(i);
+  }
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  int self = static_cast<int>(nodes_.size() - 1);
+  int l = Build(left, data, depth + 1, rng);
+  int r = Build(right, data, depth + 1, rng);
+  nodes_[self].left = l;
+  nodes_[self].right = r;
+  return self;
+}
+
+void DecisionTree::Fit(const Dataset& data) {
+  nodes_.clear();
+  std::vector<size_t> idx(data.NumRows());
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(opts_.seed);
+  Build(idx, data, 0, &rng);
+}
+
+double DecisionTree::Predict(const double* row) const {
+  if (nodes_.empty()) return 0.0;
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = row[nodes_[cur].feature] < nodes_[cur].threshold ? nodes_[cur].left
+                                                           : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+std::vector<double> DecisionTree::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.RowPtr(r));
+  return out;
+}
+
+size_t DecisionTree::Depth() const {
+  // Recompute by walking; tree is small.
+  std::function<size_t(int)> depth_of = [&](int n) -> size_t {
+    if (n < 0 || nodes_[n].feature < 0) return 1;
+    return 1 + std::max(depth_of(nodes_[n].left), depth_of(nodes_[n].right));
+  };
+  return nodes_.empty() ? 0 : depth_of(0);
+}
+
+void RandomForest::Fit(const Dataset& data) {
+  trees_.clear();
+  Rng rng(opts_.seed);
+  size_t n = data.NumRows();
+  for (size_t t = 0; t < num_trees_; ++t) {
+    TreeOptions topts = opts_;
+    topts.seed = rng.Next();
+    if (topts.max_features == 0) {
+      topts.max_features =
+          std::max<size_t>(1, static_cast<size_t>(
+                                  std::sqrt(static_cast<double>(data.NumFeatures()))));
+    }
+    // Bootstrap sample.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = rng.Uniform(n);
+    Dataset boot = data.Select(idx);
+    DecisionTree tree(topts);
+    tree.Fit(boot);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::Predict(const double* row) const {
+  if (trees_.empty()) return 0.0;
+  if (opts_.regression) {
+    double s = 0.0;
+    for (const auto& t : trees_) s += t.Predict(row);
+    return s / static_cast<double>(trees_.size());
+  }
+  std::map<int64_t, size_t> votes;
+  for (const auto& t : trees_) ++votes[std::llround(t.Predict(row))];
+  int64_t best = 0;
+  size_t best_n = 0;
+  for (auto& [label, c] : votes)
+    if (c > best_n) {
+      best = label;
+      best_n = c;
+    }
+  return static_cast<double>(best);
+}
+
+std::vector<double> RandomForest::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.RowPtr(r));
+  return out;
+}
+
+}  // namespace aidb::ml

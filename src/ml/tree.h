@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace aidb::ml {
+
+/// Configuration for DecisionTree and RandomForest.
+struct TreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_split = 4;
+  /// Number of features sampled per split; 0 = all (plain CART),
+  /// otherwise used for random-forest feature bagging.
+  size_t max_features = 0;
+  bool regression = false;  ///< regression (variance split) vs classification (gini)
+  uint64_t seed = 42;
+};
+
+/// \brief CART decision tree: gini-split classifier or variance-split
+/// regressor. Powers SQL-injection detection, sensitive-data discovery and
+/// access-control classifiers.
+class DecisionTree {
+ public:
+  explicit DecisionTree(const TreeOptions& opts = {}) : opts_(opts) {}
+
+  void Fit(const Dataset& data);
+
+  double Predict(const double* row) const;
+  std::vector<double> Predict(const Matrix& x) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t Depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 for leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;     ///< leaf prediction (majority class or mean)
+  };
+
+  int Build(const std::vector<size_t>& idx, const Dataset& data, size_t depth,
+            Rng* rng);
+  double LeafValue(const std::vector<size_t>& idx, const Dataset& data) const;
+  double Impurity(const std::vector<size_t>& idx, const Dataset& data) const;
+
+  TreeOptions opts_;
+  std::vector<Node> nodes_;
+};
+
+/// \brief Bagged ensemble of CART trees with feature subsampling.
+class RandomForest {
+ public:
+  RandomForest(size_t num_trees, const TreeOptions& opts = {})
+      : num_trees_(num_trees), opts_(opts) {}
+
+  void Fit(const Dataset& data);
+
+  /// Majority vote (classification) or mean (regression).
+  double Predict(const double* row) const;
+  std::vector<double> Predict(const Matrix& x) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  size_t num_trees_;
+  TreeOptions opts_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace aidb::ml

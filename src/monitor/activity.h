@@ -1,0 +1,90 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/bandit.h"
+
+namespace aidb::monitor {
+
+/// Simulated database-activity stream: each step, every activity class
+/// (account creation, bulk export, schema change, ...) emits events; an
+/// auditor can inspect only `audit_budget` classes per step. Each class has
+/// a hidden risk rate that drifts over time.
+struct ActivityStreamOptions {
+  size_t num_classes = 12;
+  size_t steps = 3000;
+  size_t audit_budget = 2;
+  double drift_probability = 0.002;  ///< per step, a class's risk resamples
+  uint64_t seed = 42;
+};
+
+/// Outcome of one monitoring run.
+struct MonitorRunResult {
+  double risk_captured = 0.0;  ///< sum of risky events the auditor saw
+  double risk_total = 0.0;     ///< risky events that occurred
+  double CaptureRate() const {
+    return risk_total > 0 ? risk_captured / risk_total : 0.0;
+  }
+};
+
+/// \brief Strategy interface: pick `budget` activity classes to audit.
+class ActivitySelector {
+ public:
+  virtual ~ActivitySelector() = default;
+  virtual std::vector<size_t> Select(size_t num_classes, size_t budget) = 0;
+  /// Feedback: audited class c exhibited (reward in [0,1]) risk this step.
+  virtual void Feedback(size_t cls, double reward) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random sampling (the traditional "spot check").
+class RandomActivitySelector : public ActivitySelector {
+ public:
+  explicit RandomActivitySelector(uint64_t seed = 42) : rng_(seed) {}
+  std::vector<size_t> Select(size_t num_classes, size_t budget) override;
+  void Feedback(size_t, double) override {}
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Strict round-robin coverage (the "record everything, slowly" policy).
+class RoundRobinActivitySelector : public ActivitySelector {
+ public:
+  std::vector<size_t> Select(size_t num_classes, size_t budget) override;
+  void Feedback(size_t, double) override {}
+  std::string name() const override { return "round_robin"; }
+
+ private:
+  size_t next_ = 0;
+};
+
+/// \brief Grushka-style MAB monitor: one bandit arm per activity class;
+/// exploration keeps probing drifted classes while exploitation concentrates
+/// the audit budget on risky ones.
+class BanditActivitySelector : public ActivitySelector {
+ public:
+  explicit BanditActivitySelector(ml::Bandit::Policy policy = ml::Bandit::Policy::kThompson,
+                                  uint64_t seed = 42)
+      : policy_(policy), seed_(seed) {}
+  std::vector<size_t> Select(size_t num_classes, size_t budget) override;
+  void Feedback(size_t cls, double reward) override;
+  std::string name() const override { return "bandit"; }
+
+ private:
+  void EnsureInit(size_t num_classes);
+
+  ml::Bandit::Policy policy_;
+  uint64_t seed_;
+  std::unique_ptr<ml::Bandit> bandit_;
+};
+
+/// Runs the simulated stream under a selector and scores captured risk.
+MonitorRunResult RunActivityMonitor(const ActivityStreamOptions& opts,
+                                    ActivitySelector* selector);
+
+}  // namespace aidb::monitor

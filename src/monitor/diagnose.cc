@@ -1,0 +1,113 @@
+#include "monitor/diagnose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace aidb::monitor {
+
+const char* RootCauseName(RootCause c) {
+  switch (c) {
+    case RootCause::kCpuSaturation: return "cpu_saturation";
+    case RootCause::kLockContention: return "lock_contention";
+    case RootCause::kIoStall: return "io_stall";
+    case RootCause::kMemoryPressure: return "memory_pressure";
+    case RootCause::kSlowQueryPlan: return "slow_query_plan";
+    case RootCause::kNumCauses: break;
+  }
+  return "?";
+}
+
+std::vector<Incident> GenerateIncidents(size_t n, uint64_t seed, double noise) {
+  Rng rng(seed);
+  // Signatures: cpu, lock, io, mem, scan_rows, latency in [0,1].
+  const double sig[kNumRootCauses][kNumKpis] = {
+      {0.95, 0.10, 0.15, 0.40, 0.30, 0.70},  // cpu saturation
+      {0.25, 0.90, 0.10, 0.30, 0.15, 0.80},  // lock contention
+      {0.15, 0.10, 0.95, 0.30, 0.25, 0.75},  // io stall
+      {0.30, 0.15, 0.45, 0.95, 0.20, 0.65},  // memory pressure (swapping->io)
+      {0.60, 0.10, 0.35, 0.35, 0.95, 0.85},  // bad plan: huge scans
+  };
+  std::vector<Incident> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto cause = static_cast<RootCause>(rng.Uniform(kNumRootCauses));
+    Incident inc;
+    inc.truth = cause;
+    inc.kpis.resize(kNumKpis);
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      inc.kpis[k] = std::clamp(
+          sig[static_cast<size_t>(cause)][k] + rng.Gaussian(0, noise), 0.0, 1.2);
+    }
+    out.push_back(std::move(inc));
+  }
+  return out;
+}
+
+void ClusterDiagnoser::Fit(const std::vector<Incident>& training) {
+  size_t n = training.size();
+  ml::Matrix x(n, kNumKpis);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t k = 0; k < kNumKpis; ++k) x.At(i, k) = training[i].kpis[k];
+
+  ml::KMeans::Options kopts;
+  kopts.k = opts_.clusters;
+  kopts.seed = opts_.seed;
+  kmeans_ = std::make_unique<ml::KMeans>(kopts);
+  auto assign = kmeans_->Fit(x);
+
+  // Label each cluster by its medoid's true cause (one DBA ask per cluster).
+  size_t k = kmeans_->centroids().rows();
+  cluster_cause_.assign(k, RootCause::kCpuSaturation);
+  dba_labels_used_ = 0;
+  for (size_t c = 0; c < k; ++c) {
+    double best = std::numeric_limits<double>::max();
+    int medoid = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (assign[i] != c) continue;
+      double d = kmeans_->DistanceToCentroid(x.RowPtr(i), c);
+      if (d < best) {
+        best = d;
+        medoid = static_cast<int>(i);
+      }
+    }
+    if (medoid >= 0) {
+      cluster_cause_[c] = training[static_cast<size_t>(medoid)].truth;
+      ++dba_labels_used_;
+    }
+  }
+}
+
+RootCause ClusterDiagnoser::Diagnose(const std::vector<double>& kpis) const {
+  size_t c = kmeans_->Assign(kpis.data());
+  return cluster_cause_[c];
+}
+
+double ClusterDiagnoser::Accuracy(const std::vector<Incident>& incidents) const {
+  if (incidents.empty()) return 0.0;
+  size_t hit = 0;
+  for (const auto& inc : incidents)
+    if (Diagnose(inc.kpis) == inc.truth) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(incidents.size());
+}
+
+RootCause RuleDiagnoser::Diagnose(const std::vector<double>& kpis) const {
+  // Classic runbook: check thresholds in fixed priority order. Brittle when
+  // signatures overlap or drift — the failure mode the survey cites.
+  if (kpis[0] > 0.8) return RootCause::kCpuSaturation;
+  if (kpis[1] > 0.6) return RootCause::kLockContention;
+  if (kpis[2] > 0.7) return RootCause::kIoStall;
+  if (kpis[3] > 0.8) return RootCause::kMemoryPressure;
+  return RootCause::kSlowQueryPlan;
+}
+
+double RuleDiagnoser::Accuracy(const std::vector<Incident>& incidents) const {
+  if (incidents.empty()) return 0.0;
+  size_t hit = 0;
+  for (const auto& inc : incidents)
+    if (Diagnose(inc.kpis) == inc.truth) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(incidents.size());
+}
+
+}  // namespace aidb::monitor

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/kmeans.h"
+
+namespace aidb::monitor {
+
+/// Root causes injected into the KPI stream (the fault taxonomy of
+/// iSQUAD-style slow-query diagnosis).
+enum class RootCause : int {
+  kCpuSaturation = 0,
+  kLockContention,
+  kIoStall,
+  kMemoryPressure,
+  kSlowQueryPlan,
+  kNumCauses,
+};
+inline constexpr size_t kNumRootCauses = static_cast<size_t>(RootCause::kNumCauses);
+const char* RootCauseName(RootCause c);
+
+/// One slow-query incident: a KPI snapshot plus (hidden) true cause.
+/// KPIs: cpu, lock_wait, io_wait, mem_used, scan_rows, latency.
+struct Incident {
+  std::vector<double> kpis;
+  RootCause truth;
+};
+inline constexpr size_t kNumKpis = 6;
+
+/// Generates labeled incidents: each cause has a KPI signature plus noise and
+/// cross-talk (e.g. lock contention also raises latency and some CPU).
+std::vector<Incident> GenerateIncidents(size_t n, uint64_t seed, double noise = 0.12);
+
+/// \brief iSQUAD-style diagnoser: clusters incident KPI vectors, asks the
+/// "DBA" (the generator's labels) for ONE representative label per cluster,
+/// then diagnoses new incidents by nearest cluster. Label cost: k queries
+/// instead of n.
+class ClusterDiagnoser {
+ public:
+  struct Options {
+    size_t clusters = 8;
+    uint64_t seed = 42;
+  };
+  ClusterDiagnoser() : ClusterDiagnoser(Options()) {}
+  explicit ClusterDiagnoser(const Options& opts) : opts_(opts) {}
+
+  /// Clusters `training` incidents and labels each cluster from its medoid's
+  /// true cause (one DBA consultation per cluster).
+  void Fit(const std::vector<Incident>& training);
+
+  RootCause Diagnose(const std::vector<double>& kpis) const;
+  double Accuracy(const std::vector<Incident>& incidents) const;
+  size_t dba_labels_used() const { return dba_labels_used_; }
+
+ private:
+  Options opts_;
+  std::unique_ptr<ml::KMeans> kmeans_;
+  std::vector<RootCause> cluster_cause_;
+  size_t dba_labels_used_ = 0;
+};
+
+/// Static threshold rule table (the traditional runbook baseline).
+class RuleDiagnoser {
+ public:
+  RootCause Diagnose(const std::vector<double>& kpis) const;
+  double Accuracy(const std::vector<Incident>& incidents) const;
+};
+
+}  // namespace aidb::monitor

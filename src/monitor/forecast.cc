@@ -1,0 +1,121 @@
+#include "monitor/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb::monitor {
+
+std::vector<double> GenerateArrivalTrace(const TraceOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<double> trace(opts.length);
+  for (size_t t = 0; t < opts.length; ++t) {
+    double diurnal = opts.diurnal_amplitude *
+                     std::sin(2 * M_PI * static_cast<double>(t) /
+                              static_cast<double>(opts.diurnal_period));
+    double weekly = 0.3 * opts.diurnal_amplitude *
+                    std::sin(2 * M_PI * static_cast<double>(t) /
+                             (7.0 * static_cast<double>(opts.diurnal_period)));
+    double growth = opts.growth_per_step * static_cast<double>(t);
+    double burst = rng.Bernoulli(opts.burst_probability) ? opts.burst_magnitude : 0.0;
+    double noise = rng.Gaussian(0, opts.noise);
+    trace[t] = std::max(0.0, opts.base_rate + diurnal + weekly + growth + burst + noise);
+  }
+  return trace;
+}
+
+double MovingAverageForecaster::Predict(const std::vector<double>& recent) {
+  if (recent.empty()) return 0.0;
+  size_t n = std::min(window_, recent.size());
+  double s = 0.0;
+  for (size_t i = recent.size() - n; i < recent.size(); ++i) s += recent[i];
+  return s / static_cast<double>(n);
+}
+
+namespace {
+
+/// Builds an AR dataset: X = lags windows, y = next value; values scaled.
+ml::Dataset BuildArDataset(const std::vector<double>& history, size_t lags,
+                           double scale) {
+  ml::Dataset data;
+  if (history.size() <= lags) return data;
+  size_t n = history.size() - lags;
+  data.x = ml::Matrix(n, lags);
+  data.y.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t l = 0; l < lags; ++l) data.x.At(i, l) = history[i + l] / scale;
+    data.y.push_back(history[i + lags] / scale);
+  }
+  return data;
+}
+
+double MaxAbs(const std::vector<double>& v) {
+  double m = 1.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+std::vector<double> RecentWindow(const std::vector<double>& recent, size_t lags,
+                                 double scale) {
+  std::vector<double> x(lags, 0.0);
+  size_t have = std::min(lags, recent.size());
+  for (size_t i = 0; i < have; ++i) {
+    x[lags - 1 - i] = recent[recent.size() - 1 - i] / scale;
+  }
+  // Pad missing history with the oldest available value.
+  double pad = recent.empty() ? 0.0 : recent.front() / scale;
+  for (size_t i = 0; i + have < lags; ++i) x[i] = pad;
+  return x;
+}
+
+}  // namespace
+
+void LinearArForecaster::Fit(const std::vector<double>& history) {
+  scale_ = MaxAbs(history);
+  ml::Dataset data = BuildArDataset(history, lags_, scale_);
+  if (data.NumRows() == 0) return;
+  model_.FitClosedForm(data, 1e-3);
+}
+
+double LinearArForecaster::Predict(const std::vector<double>& recent) {
+  auto x = RecentWindow(recent, lags_, scale_);
+  return model_.Predict(x.data(), x.size()) * scale_;
+}
+
+MlpForecaster::MlpForecaster(size_t lags) : lags_(lags) {}
+
+void MlpForecaster::Fit(const std::vector<double>& history) {
+  scale_ = MaxAbs(history);
+  ml::Dataset data = BuildArDataset(history, lags_, scale_);
+  if (data.NumRows() == 0) return;
+  ml::MlpOptions opts;
+  opts.hidden = {32, 16};
+  opts.epochs = 80;
+  opts.learning_rate = 2e-3;
+  net_ = std::make_unique<ml::Mlp>(lags_, 1, opts);
+  net_->Fit(data);
+}
+
+double MlpForecaster::Predict(const std::vector<double>& recent) {
+  if (!net_) return recent.empty() ? 0.0 : recent.back();
+  return net_->Predict1(RecentWindow(recent, lags_, scale_)) * scale_;
+}
+
+double EvaluateForecaster(Forecaster* f, const std::vector<double>& trace,
+                          size_t train_len) {
+  std::vector<double> history(trace.begin(),
+                              trace.begin() + static_cast<long>(train_len));
+  f->Fit(history);
+  double ape = 0.0;
+  size_t count = 0;
+  std::vector<double> recent = history;
+  for (size_t t = train_len; t < trace.size(); ++t) {
+    double pred = f->Predict(recent);
+    double truth = trace[t];
+    ape += std::fabs(pred - truth) / std::max(1.0, truth);
+    ++count;
+    recent.push_back(truth);
+  }
+  return count ? ape / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace aidb::monitor

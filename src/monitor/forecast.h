@@ -1,0 +1,94 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+
+namespace aidb::monitor {
+
+/// Synthetic query-arrival-rate trace: diurnal cycle + weekly-ish slow wave
+/// + linear growth + bursts + noise (the pattern mix QueryBot5000 reports).
+struct TraceOptions {
+  size_t length = 2000;
+  double base_rate = 100.0;
+  double diurnal_amplitude = 50.0;
+  size_t diurnal_period = 96;    ///< samples per "day"
+  double growth_per_step = 0.02;
+  double burst_probability = 0.01;
+  double burst_magnitude = 150.0;
+  double noise = 5.0;
+  uint64_t seed = 42;
+};
+
+std::vector<double> GenerateArrivalTrace(const TraceOptions& opts);
+
+/// \brief Strategy interface for arrival-rate forecasting. Fit on a history
+/// window, then predict one step ahead (rolling evaluation in E12).
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  virtual void Fit(const std::vector<double>& history) = 0;
+  /// Predicts the value following `recent` (recent.back() is the newest).
+  virtual double Predict(const std::vector<double>& recent) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Naive last-value persistence.
+class LastValueForecaster : public Forecaster {
+ public:
+  void Fit(const std::vector<double>&) override {}
+  double Predict(const std::vector<double>& recent) override {
+    return recent.empty() ? 0.0 : recent.back();
+  }
+  std::string name() const override { return "last_value"; }
+};
+
+/// Moving average over the last `window` samples (the classic DBA rule).
+class MovingAverageForecaster : public Forecaster {
+ public:
+  explicit MovingAverageForecaster(size_t window = 16) : window_(window) {}
+  void Fit(const std::vector<double>&) override {}
+  double Predict(const std::vector<double>& recent) override;
+  std::string name() const override { return "moving_avg"; }
+
+ private:
+  size_t window_;
+};
+
+/// Linear autoregression over `lags` recent samples (closed-form ridge fit).
+class LinearArForecaster : public Forecaster {
+ public:
+  explicit LinearArForecaster(size_t lags = 32) : lags_(lags) {}
+  void Fit(const std::vector<double>& history) override;
+  double Predict(const std::vector<double>& recent) override;
+  std::string name() const override { return "linear_ar"; }
+
+ private:
+  size_t lags_;
+  ml::LinearRegression model_;
+  double scale_ = 1.0;
+};
+
+/// MLP autoregression (QueryBot-style learned forecaster).
+class MlpForecaster : public Forecaster {
+ public:
+  explicit MlpForecaster(size_t lags = 32);
+  void Fit(const std::vector<double>& history) override;
+  double Predict(const std::vector<double>& recent) override;
+  std::string name() const override { return "mlp_ar"; }
+
+ private:
+  size_t lags_;
+  std::unique_ptr<ml::Mlp> net_;
+  double scale_ = 1.0;
+};
+
+/// Rolling one-step-ahead evaluation; returns mean absolute percentage error.
+double EvaluateForecaster(Forecaster* f, const std::vector<double>& trace,
+                          size_t train_len);
+
+}  // namespace aidb::monitor

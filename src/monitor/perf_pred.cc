@@ -1,0 +1,131 @@
+#include "monitor/perf_pred.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb::monitor {
+
+namespace {
+constexpr size_t kDims = 4;  // cpu, io, mem, lock
+}
+
+std::vector<WorkloadMix> GenerateMixes(size_t n, size_t max_concurrency,
+                                       uint64_t seed, double noise) {
+  Rng rng(seed);
+  std::vector<WorkloadMix> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    WorkloadMix mix;
+    size_t k = 2 + rng.Uniform(max_concurrency - 1);
+    for (size_t q = 0; q < k; ++q) {
+      ConcurrentQuery cq;
+      cq.demand.resize(kDims);
+      for (double& d : cq.demand) d = rng.NextDouble();
+      cq.solo_latency = 0.5 + 2.0 * (cq.demand[0] + cq.demand[1]) +
+                        0.5 * cq.demand[2];
+      mix.queries.push_back(std::move(cq));
+    }
+    // Interference model: per-resource total demand beyond capacity 1.0
+    // stretches every query superlinearly; lock footprints conflict pairwise.
+    double latency = 0.0;
+    for (const auto& q : mix.queries) latency += q.solo_latency;
+    for (size_t d = 0; d < 3; ++d) {
+      double total = 0.0;
+      for (const auto& q : mix.queries) total += q.demand[d];
+      if (total > 1.0) latency *= 1.0 + 0.8 * (total - 1.0);
+    }
+    double lock_conflict = 0.0;
+    for (size_t a = 0; a < mix.queries.size(); ++a)
+      for (size_t b = a + 1; b < mix.queries.size(); ++b)
+        lock_conflict += mix.queries[a].demand[3] * mix.queries[b].demand[3];
+    latency += 3.0 * lock_conflict;
+    mix.true_latency = latency * (1.0 + rng.Gaussian(0, noise));
+    out.push_back(std::move(mix));
+  }
+  return out;
+}
+
+double AdditivePerfPredictor::Predict(const WorkloadMix& mix) const {
+  double s = 0.0;
+  for (const auto& q : mix.queries) s += q.solo_latency;
+  return s;
+}
+
+GraphPerfPredictor::Options::Options() {
+  mlp.hidden = {64, 64};
+  mlp.epochs = 250;
+  mlp.learning_rate = 2e-3;
+  mlp.batch_size = 32;
+}
+
+std::vector<double> GraphPerfPredictor::Embed(const WorkloadMix& mix) {
+  // One GCN round on the complete graph: each node's message is the sum of
+  // neighbor features. Pool with (sum, max) over [own || neighbor-agg].
+  size_t n = mix.queries.size();
+  std::vector<double> total(kDims + 1, 0.0);  // +1: solo latency
+  auto feat = [&](size_t i, size_t d) {
+    return d < kDims ? mix.queries[i].demand[d] : mix.queries[i].solo_latency;
+  };
+  for (size_t i = 0; i < n; ++i)
+    for (size_t d = 0; d <= kDims; ++d) total[d] += feat(i, d);
+
+  std::vector<double> pooled_sum(2 * (kDims + 1), 0.0);
+  std::vector<double> pooled_max(2 * (kDims + 1), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d <= kDims; ++d) {
+      double own = feat(i, d);
+      double nbr = total[d] - own;
+      pooled_sum[d] += own;
+      pooled_sum[kDims + 1 + d] += own * nbr;  // interaction term
+      pooled_max[d] = std::max(pooled_max[d], own);
+      pooled_max[kDims + 1 + d] = std::max(pooled_max[kDims + 1 + d], own * nbr);
+    }
+  }
+  std::vector<double> out;
+  out.reserve(pooled_sum.size() + pooled_max.size() + kDims * 2 + 2);
+  out.insert(out.end(), pooled_sum.begin(), pooled_sum.end());
+  out.insert(out.end(), pooled_max.begin(), pooled_max.end());
+  // Per-resource totals and capacity overflow (the contention drivers).
+  for (size_t d = 0; d < kDims; ++d) {
+    out.push_back(total[d]);
+    out.push_back(std::max(0.0, total[d] - 1.0));
+  }
+  out.push_back(total[kDims]);  // total solo latency
+  out.push_back(static_cast<double>(n));
+  return out;
+}
+
+void GraphPerfPredictor::Fit(const std::vector<WorkloadMix>& training) {
+  if (training.empty()) return;
+  auto f0 = Embed(training[0]);
+  ml::Dataset data;
+  data.x = ml::Matrix(training.size(), f0.size());
+  data.y.reserve(training.size());
+  for (size_t i = 0; i < training.size(); ++i) {
+    auto f = Embed(training[i]);
+    for (size_t c = 0; c < f.size(); ++c) data.x.At(i, c) = f[c];
+    data.y.push_back(std::log1p(training[i].true_latency));
+  }
+  ml::MlpOptions mopts = opts_.mlp;
+  mopts.seed = opts_.seed;
+  net_ = std::make_unique<ml::Mlp>(f0.size(), 1, mopts);
+  net_->Fit(data);
+}
+
+double GraphPerfPredictor::Predict(const WorkloadMix& mix) const {
+  if (!net_) return AdditivePerfPredictor().Predict(mix);
+  return std::expm1(net_->Predict1(Embed(mix)));
+}
+
+double EvaluatePredictor(const PerfPredictor& p,
+                         const std::vector<WorkloadMix>& mixes) {
+  if (mixes.empty()) return 0.0;
+  double ape = 0.0;
+  for (const auto& m : mixes) {
+    double pred = p.Predict(m);
+    ape += std::fabs(pred - m.true_latency) / std::max(0.1, m.true_latency);
+  }
+  return ape / static_cast<double>(mixes.size());
+}
+
+}  // namespace aidb::monitor

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/mlp.h"
+
+namespace aidb::monitor {
+
+/// One query in a concurrent mix: resource demand vector
+/// (cpu, io, memory, lock footprint) plus standalone latency.
+struct ConcurrentQuery {
+  std::vector<double> demand;  ///< 4 resource dims in [0,1]
+  double solo_latency = 1.0;
+};
+
+/// A concurrently executing mix with its true (simulated) total latency.
+struct WorkloadMix {
+  std::vector<ConcurrentQuery> queries;
+  double true_latency = 0.0;
+};
+
+/// Generates mixes of 2..max_concurrency queries; true latency follows an
+/// interference model (resource contention superlinear in overlapping
+/// demand, lock conflicts pairwise) + noise — the non-additive behaviour
+/// that defeats the "sum of solo costs" baseline.
+std::vector<WorkloadMix> GenerateMixes(size_t n, size_t max_concurrency,
+                                       uint64_t seed, double noise = 0.05);
+
+/// \brief Interface for concurrent-workload latency prediction.
+class PerfPredictor {
+ public:
+  virtual ~PerfPredictor() = default;
+  virtual void Fit(const std::vector<WorkloadMix>& training) = 0;
+  virtual double Predict(const WorkloadMix& mix) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Classical baseline: sum of per-query solo latencies (plan-cost addition).
+class AdditivePerfPredictor : public PerfPredictor {
+ public:
+  void Fit(const std::vector<WorkloadMix>&) override {}
+  double Predict(const WorkloadMix& mix) const override;
+  std::string name() const override { return "additive"; }
+};
+
+/// \brief Zhou-style workload-graph embedding predictor (GCN-lite): each
+/// query node's features are concatenated with an aggregation of its
+/// neighbors' features (one message-passing round over the complete
+/// concurrency graph), pooled, and regressed by an MLP.
+class GraphPerfPredictor : public PerfPredictor {
+ public:
+  struct Options {
+    ml::MlpOptions mlp;
+    uint64_t seed = 42;
+    Options();
+  };
+  GraphPerfPredictor() : GraphPerfPredictor(Options()) {}
+  explicit GraphPerfPredictor(const Options& opts) : opts_(opts) {}
+
+  void Fit(const std::vector<WorkloadMix>& training) override;
+  double Predict(const WorkloadMix& mix) const override;
+  std::string name() const override { return "graph_embedding"; }
+
+  /// Pooled graph embedding of a mix (exposed for tests).
+  static std::vector<double> Embed(const WorkloadMix& mix);
+
+ private:
+  Options opts_;
+  std::unique_ptr<ml::Mlp> net_;
+};
+
+/// Mean absolute percentage error of a predictor over mixes.
+double EvaluatePredictor(const PerfPredictor& p, const std::vector<WorkloadMix>& mixes);
+
+}  // namespace aidb::monitor

@@ -1,0 +1,104 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+
+namespace aidb {
+
+namespace {
+
+/// Extracts (column, op, literal) if pred is a simple comparison; supports
+/// literal-on-left by flipping the operator.
+struct SimplePred {
+  std::string column;
+  sql::OpType op;
+  double literal;
+};
+
+bool ExtractSimple(const sql::Expr& pred, SimplePred* out) {
+  using K = sql::Expr::Kind;
+  if (pred.kind != K::kBinary) return false;
+  const sql::Expr* col = nullptr;
+  const sql::Expr* lit = nullptr;
+  bool flipped = false;
+  if (pred.lhs->kind == K::kColumnRef && pred.rhs->kind == K::kLiteral) {
+    col = pred.lhs.get();
+    lit = pred.rhs.get();
+  } else if (pred.rhs->kind == K::kColumnRef && pred.lhs->kind == K::kLiteral) {
+    col = pred.rhs.get();
+    lit = pred.lhs.get();
+    flipped = true;
+  } else {
+    return false;
+  }
+  if (lit->literal.is_null()) return false;
+  sql::OpType op = pred.op;
+  if (flipped) {
+    switch (op) {
+      case sql::OpType::kLt: op = sql::OpType::kGt; break;
+      case sql::OpType::kLe: op = sql::OpType::kGe; break;
+      case sql::OpType::kGt: op = sql::OpType::kLt; break;
+      case sql::OpType::kGe: op = sql::OpType::kLe; break;
+      default: break;
+    }
+  }
+  out->column = col->column;
+  out->op = op;
+  out->literal = lit->literal.AsFeature();
+  return true;
+}
+
+}  // namespace
+
+double HistogramEstimator::PredicateSelectivity(const std::string& table,
+                                                const sql::Expr& pred) const {
+  using K = sql::Expr::Kind;
+  if (pred.kind == K::kBinary && pred.op == sql::OpType::kAnd) {
+    // AVI assumption: multiply conjunct selectivities.
+    return PredicateSelectivity(table, *pred.lhs) *
+           PredicateSelectivity(table, *pred.rhs);
+  }
+  if (pred.kind == K::kBinary && pred.op == sql::OpType::kOr) {
+    double a = PredicateSelectivity(table, *pred.lhs);
+    double b = PredicateSelectivity(table, *pred.rhs);
+    return std::min(1.0, a + b - a * b);
+  }
+  if (pred.kind == K::kUnary && pred.op == sql::OpType::kNot) {
+    return 1.0 - PredicateSelectivity(table, *pred.lhs);
+  }
+  SimplePred sp;
+  if (!ExtractSimple(pred, &sp)) {
+    return DefaultSelectivity::kRange;  // opaque predicate
+  }
+  const ColumnStats* stats = catalog_->GetStats(table, sp.column);
+  if (stats == nullptr) {
+    switch (sp.op) {
+      case sql::OpType::kEq: return DefaultSelectivity::kEquality;
+      case sql::OpType::kNe: return 1.0 - DefaultSelectivity::kEquality;
+      default: return DefaultSelectivity::kRange;
+    }
+  }
+  const Histogram& h = stats->histogram;
+  switch (sp.op) {
+    case sql::OpType::kEq: return h.EstimateEq(sp.literal);
+    case sql::OpType::kNe: return 1.0 - h.EstimateEq(sp.literal);
+    case sql::OpType::kLt: return h.EstimateLt(sp.literal);
+    case sql::OpType::kLe: return h.EstimateLe(sp.literal);
+    case sql::OpType::kGt: return h.EstimateGt(sp.literal);
+    case sql::OpType::kGe: return h.EstimateGe(sp.literal);
+    default: return DefaultSelectivity::kRange;
+  }
+}
+
+double HistogramEstimator::JoinSelectivity(const std::string& table_a,
+                                           const std::string& col_a,
+                                           const std::string& table_b,
+                                           const std::string& col_b) const {
+  const ColumnStats* sa = catalog_->GetStats(table_a, col_a);
+  const ColumnStats* sb = catalog_->GetStats(table_b, col_b);
+  if (sa == nullptr || sb == nullptr) return DefaultSelectivity::kJoin;
+  size_t da = std::max<size_t>(1, sa->histogram.distinct_estimate());
+  size_t db = std::max<size_t>(1, sb->histogram.distinct_estimate());
+  return 1.0 / static_cast<double>(std::max(da, db));
+}
+
+}  // namespace aidb

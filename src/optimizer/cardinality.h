@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+
+namespace aidb {
+
+/// \brief Interface for selectivity estimation. The classical implementation
+/// uses per-column histograms with the attribute-value-independence (AVI)
+/// assumption; the learned implementation (learned/cardinality) regresses on
+/// query features. Both plug into the same optimizer.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Selectivity in [0,1] of a single-relation predicate conjunct over
+  /// `table` (catalog name). `pred` is of the form col op literal (or a
+  /// boolean combination thereof).
+  virtual double PredicateSelectivity(const std::string& table,
+                                      const sql::Expr& pred) const = 0;
+
+  /// Selectivity of the equi-join table_a.col_a = table_b.col_b.
+  virtual double JoinSelectivity(const std::string& table_a,
+                                 const std::string& col_a,
+                                 const std::string& table_b,
+                                 const std::string& col_b) const = 0;
+
+  /// Joint selectivity of a set of single-relation conjuncts. The default
+  /// multiplies per-conjunct selectivities (the AVI assumption); learned
+  /// estimators override this to capture cross-column correlation — which is
+  /// precisely where the survey says deep models win.
+  virtual double ConjunctionSelectivity(
+      const std::string& table, const std::vector<const sql::Expr*>& conjuncts) const {
+    double sel = 1.0;
+    for (const sql::Expr* c : conjuncts) sel *= PredicateSelectivity(table, *c);
+    return sel;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Textbook estimator: equi-depth histograms per column, independence
+/// across predicates, 1/max(ndv) for joins. This is the baseline the learned
+/// estimator is measured against in E6.
+class HistogramEstimator : public CardinalityEstimator {
+ public:
+  explicit HistogramEstimator(const Catalog* catalog) : catalog_(catalog) {}
+
+  double PredicateSelectivity(const std::string& table,
+                              const sql::Expr& pred) const override;
+  double JoinSelectivity(const std::string& table_a, const std::string& col_a,
+                         const std::string& table_b,
+                         const std::string& col_b) const override;
+  std::string name() const override { return "histogram"; }
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// Default selectivities used when statistics are missing (classic System R
+/// magic constants).
+struct DefaultSelectivity {
+  static constexpr double kEquality = 0.005;
+  static constexpr double kRange = 0.33;
+  static constexpr double kJoin = 0.1;
+};
+
+}  // namespace aidb

@@ -1,0 +1,149 @@
+#include "optimizer/query_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace aidb {
+
+std::string JoinPlan::ToString(const QueryGraph& g) const {
+  if (IsLeaf()) return g.rels[static_cast<size_t>(rel)].name;
+  return "(" + left->ToString(g) + " ⋈ " + right->ToString(g) + ")";
+}
+
+double JoinCostModel::JoinRows(uint64_t mask_a, uint64_t mask_b, double rows_a,
+                               double rows_b) const {
+  double sel = 1.0;
+  bool crossed = false;
+  for (const auto& e : graph_->edges) {
+    uint64_t l = 1ULL << e.left_rel, r = 1ULL << e.right_rel;
+    bool crosses = ((mask_a & l) && (mask_b & r)) || ((mask_a & r) && (mask_b & l));
+    if (crosses) {
+      sel *= e.selectivity;
+      crossed = true;
+    }
+  }
+  double rows = rows_a * rows_b * (crossed ? sel : 1.0);
+  return std::max(rows, 1.0);
+}
+
+bool JoinCostModel::Connected(uint64_t mask_a, uint64_t mask_b) const {
+  for (const auto& e : graph_->edges) {
+    uint64_t l = 1ULL << e.left_rel, r = 1ULL << e.right_rel;
+    if (((mask_a & l) && (mask_b & r)) || ((mask_a & r) && (mask_b & l))) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<JoinPlan> JoinCostModel::MakeLeaf(size_t rel) const {
+  auto p = std::make_unique<JoinPlan>();
+  p->rel = static_cast<int>(rel);
+  p->mask = 1ULL << rel;
+  p->rows = LeafRows(rel);
+  p->cost = 0.0;  // scans are charged uniformly; C_out counts joins only
+  return p;
+}
+
+std::unique_ptr<JoinPlan> JoinCostModel::MakeJoin(std::unique_ptr<JoinPlan> a,
+                                                  std::unique_ptr<JoinPlan> b) const {
+  auto p = std::make_unique<JoinPlan>();
+  p->mask = a->mask | b->mask;
+  p->rows = JoinRows(a->mask, b->mask, a->rows, b->rows);
+  p->cost = a->cost + b->cost + p->rows;
+  p->left = std::move(a);
+  p->right = std::move(b);
+  return p;
+}
+
+namespace {
+
+/// Deep copy (DP memo keeps owning plans).
+std::unique_ptr<JoinPlan> Clone(const JoinPlan& p) {
+  auto out = std::make_unique<JoinPlan>();
+  out->rel = p.rel;
+  out->mask = p.mask;
+  out->rows = p.rows;
+  out->cost = p.cost;
+  if (p.left) out->left = Clone(*p.left);
+  if (p.right) out->right = Clone(*p.right);
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<JoinPlan> DpJoinEnumerator::Enumerate(const JoinCostModel& model) {
+  const QueryGraph& g = model.graph();
+  size_t n = g.rels.size();
+  if (n == 0) return nullptr;
+  std::unordered_map<uint64_t, std::unique_ptr<JoinPlan>> best;
+  for (size_t i = 0; i < n; ++i) best[1ULL << i] = model.MakeLeaf(i);
+
+  uint64_t all = g.AllMask();
+  // Enumerate subsets in increasing popcount order via plain iteration:
+  // any subset's proper sub-splits are smaller numbers, so iterate masks
+  // ascending and split each into (sub, mask^sub).
+  for (uint64_t mask = 1; mask <= all; ++mask) {
+    if ((mask & all) != mask) continue;
+    if ((mask & (mask - 1)) == 0) continue;  // singleton handled
+    std::unique_ptr<JoinPlan> best_plan;
+    // First pass considers only connected splits; a second pass permits
+    // cross products when the subgraph is disconnected.
+    for (bool allow_cross : {false, true}) {
+      for (uint64_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
+        uint64_t rest = mask ^ sub;
+        if (sub > rest) continue;  // symmetric split: visit once
+        auto li = best.find(sub);
+        auto ri = best.find(rest);
+        if (li == best.end() || ri == best.end()) continue;
+        if (!allow_cross && !model.Connected(sub, rest)) continue;
+        auto joined = model.MakeJoin(Clone(*li->second), Clone(*ri->second));
+        if (!best_plan || joined->cost < best_plan->cost) best_plan = std::move(joined);
+      }
+      if (best_plan) break;
+    }
+    if (best_plan) best[mask] = std::move(best_plan);
+  }
+  auto it = best.find(all);
+  if (it == best.end()) {
+    // Disconnected graph: fall back to greedy (handles cross products).
+    GreedyJoinEnumerator greedy;
+    return greedy.Enumerate(model);
+  }
+  return std::move(it->second);
+}
+
+std::unique_ptr<JoinPlan> GreedyJoinEnumerator::Enumerate(const JoinCostModel& model) {
+  const QueryGraph& g = model.graph();
+  size_t n = g.rels.size();
+  if (n == 0) return nullptr;
+  std::vector<std::unique_ptr<JoinPlan>> parts;
+  parts.reserve(n);
+  for (size_t i = 0; i < n; ++i) parts.push_back(model.MakeLeaf(i));
+
+  while (parts.size() > 1) {
+    double best_rows = std::numeric_limits<double>::max();
+    size_t bi = 0, bj = 1;
+    bool found_connected = false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        bool conn = model.Connected(parts[i]->mask, parts[j]->mask);
+        if (found_connected && !conn) continue;
+        double rows =
+            model.JoinRows(parts[i]->mask, parts[j]->mask, parts[i]->rows, parts[j]->rows);
+        if ((conn && !found_connected) || rows < best_rows) {
+          best_rows = rows;
+          bi = i;
+          bj = j;
+          found_connected = found_connected || conn;
+        }
+      }
+    }
+    auto joined = model.MakeJoin(std::move(parts[bi]), std::move(parts[bj]));
+    parts.erase(parts.begin() + static_cast<long>(bj));
+    parts.erase(parts.begin() + static_cast<long>(bi));
+    parts.push_back(std::move(joined));
+  }
+  return std::move(parts[0]);
+}
+
+}  // namespace aidb

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace aidb {
+
+/// One base relation in a query, with its pushed-down local predicates.
+struct RelationInfo {
+  std::string table;  ///< catalog table name
+  std::string name;   ///< effective (aliased) name used in the query
+  double base_rows = 0.0;
+  double local_selectivity = 1.0;  ///< combined selectivity of local predicates
+  std::vector<const sql::Expr*> local_predicates;
+
+  double EffectiveRows() const { return base_rows * local_selectivity; }
+};
+
+/// Equi-join edge between two relations.
+struct JoinEdgeInfo {
+  size_t left_rel = 0, right_rel = 0;  ///< indices into QueryGraph::rels
+  std::string left_column, right_column;
+  double selectivity = 0.1;
+  const sql::Expr* condition = nullptr;
+};
+
+/// \brief Join-graph abstraction every join-order enumerator (classical DP,
+/// greedy, RL, MCTS, Neo-lite) operates on.
+struct QueryGraph {
+  std::vector<RelationInfo> rels;
+  std::vector<JoinEdgeInfo> edges;
+
+  uint64_t AllMask() const { return (1ULL << rels.size()) - 1; }
+};
+
+/// \brief Binary join tree with estimated rows/cost annotations.
+struct JoinPlan {
+  int rel = -1;  ///< leaf: relation index; internal: -1
+  std::unique_ptr<JoinPlan> left, right;
+  uint64_t mask = 0;     ///< set of relations covered
+  double rows = 0.0;     ///< estimated output cardinality
+  double cost = 0.0;     ///< cumulative C_out cost
+
+  bool IsLeaf() const { return rel >= 0; }
+  std::string ToString(const QueryGraph& g) const;
+};
+
+/// \brief Cardinality/cost arithmetic over a QueryGraph (C_out model: a
+/// plan's cost is the sum of all intermediate result sizes).
+class JoinCostModel {
+ public:
+  explicit JoinCostModel(const QueryGraph* graph) : graph_(graph) {}
+
+  double LeafRows(size_t rel) const { return graph_->rels[rel].EffectiveRows(); }
+
+  /// Estimated output rows of joining plan sets A and B: |A| * |B| * product
+  /// of the selectivities of every edge crossing the cut.
+  double JoinRows(uint64_t mask_a, uint64_t mask_b, double rows_a,
+                  double rows_b) const;
+
+  /// True if at least one join edge crosses the cut (avoids cross products
+  /// when the graph is connected).
+  bool Connected(uint64_t mask_a, uint64_t mask_b) const;
+
+  /// Builds a leaf plan node.
+  std::unique_ptr<JoinPlan> MakeLeaf(size_t rel) const;
+  /// Joins two plans, computing rows and C_out cost.
+  std::unique_ptr<JoinPlan> MakeJoin(std::unique_ptr<JoinPlan> a,
+                                     std::unique_ptr<JoinPlan> b) const;
+
+  const QueryGraph& graph() const { return *graph_; }
+
+ private:
+  const QueryGraph* graph_;
+};
+
+/// \brief Strategy interface for join-order selection; implementations
+/// include Selinger DP, greedy, RL (learned/joinorder) and MCTS.
+class JoinOrderEnumerator {
+ public:
+  virtual ~JoinOrderEnumerator() = default;
+  virtual std::unique_ptr<JoinPlan> Enumerate(const JoinCostModel& model) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Selinger-style dynamic programming over connected subsets (bushy).
+/// Optimal under the cost model; exponential in relation count.
+class DpJoinEnumerator : public JoinOrderEnumerator {
+ public:
+  std::unique_ptr<JoinPlan> Enumerate(const JoinCostModel& model) override;
+  std::string name() const override { return "dp"; }
+};
+
+/// Greedy min-intermediate-size enumerator (classic heuristic baseline).
+class GreedyJoinEnumerator : public JoinOrderEnumerator {
+ public:
+  std::unique_ptr<JoinPlan> Enumerate(const JoinCostModel& model) override;
+  std::string name() const override { return "greedy"; }
+};
+
+}  // namespace aidb

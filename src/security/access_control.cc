@@ -1,0 +1,135 @@
+#include "security/access_control.h"
+
+#include <algorithm>
+
+namespace aidb::security {
+
+std::vector<AccessRequest> GenerateAccessRequests(size_t n, uint64_t seed,
+                                                  uint64_t policy_seed,
+                                                  size_t num_roles,
+                                                  size_t num_tables,
+                                                  size_t num_purposes) {
+  Rng rng(seed);
+  Rng policy_rng(policy_seed);
+  // Hidden policy pieces (drawn from policy_seed so request streams with
+  // different seeds share one policy).
+  // base_grant[role][table]: the "intended" coarse matrix.
+  std::vector<std::vector<int>> base(num_roles, std::vector<int>(num_tables));
+  for (auto& row : base)
+    for (auto& g : row) g = policy_rng.Bernoulli(0.5) ? 1 : 0;
+  // purpose_ok[role][purpose]: which purposes each role may claim.
+  std::vector<std::vector<int>> purpose_ok(num_roles,
+                                           std::vector<int>(num_purposes));
+  for (auto& row : purpose_ok)
+    for (auto& g : row) g = policy_rng.Bernoulli(0.6) ? 1 : 0;
+
+  std::vector<AccessRequest> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    AccessRequest r;
+    r.role = rng.Uniform(num_roles);
+    r.table = rng.Uniform(num_tables);
+    r.purpose = rng.Uniform(num_purposes);
+    r.sensitivity = rng.NextDouble();
+    r.row_fraction = rng.NextDouble();
+    r.hour = rng.UniformDouble(0, 24);
+    // Purpose-aware policy: coarse grant AND purpose allowed AND
+    // scope restrictions on sensitive tables (bulk reads of sensitive data
+    // only for purpose 0 "billing"; night-time bulk access denied).
+    bool legal = base[r.role][r.table] == 1 && purpose_ok[r.role][r.purpose] == 1;
+    if (legal && r.sensitivity > 0.7 && r.row_fraction > 0.5 && r.purpose != 0) {
+      legal = false;
+    }
+    if (legal && r.row_fraction > 0.8 && (r.hour < 6 || r.hour > 22)) {
+      legal = false;
+    }
+    r.legal = legal;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::pair<double, double> AccessController::Evaluate(
+    const std::vector<AccessRequest>& corpus) const {
+  size_t correct = 0, false_allow = 0, illegal = 0;
+  for (const auto& r : corpus) {
+    bool pred = Allow(r);
+    if (pred == r.legal) ++correct;
+    if (!r.legal) {
+      ++illegal;
+      if (pred) ++false_allow;
+    }
+  }
+  return {corpus.empty() ? 0.0 : static_cast<double>(correct) / corpus.size(),
+          illegal ? static_cast<double>(false_allow) / illegal : 0.0};
+}
+
+void StaticAclController::Fit(const std::vector<AccessRequest>& training) {
+  size_t roles = 0, tables = 0;
+  for (const auto& r : training) {
+    roles = std::max(roles, r.role + 1);
+    tables = std::max(tables, r.table + 1);
+  }
+  std::vector<std::vector<std::pair<size_t, size_t>>> votes(
+      roles, std::vector<std::pair<size_t, size_t>>(tables, {0, 0}));
+  for (const auto& r : training) {
+    if (r.legal) {
+      ++votes[r.role][r.table].first;
+    } else {
+      ++votes[r.role][r.table].second;
+    }
+  }
+  grant_.assign(roles, std::vector<int>(tables, 0));
+  for (size_t ro = 0; ro < roles; ++ro)
+    for (size_t t = 0; t < tables; ++t)
+      grant_[ro][t] = votes[ro][t].first >= votes[ro][t].second ? 1 : 0;
+}
+
+bool StaticAclController::Allow(const AccessRequest& req) const {
+  if (req.role >= grant_.size() || req.table >= grant_[req.role].size()) return false;
+  return grant_[req.role][req.table] == 1;
+}
+
+LearnedAccessController::LearnedAccessController(size_t trees, uint64_t seed)
+    : forest_(trees, [&] {
+        ml::TreeOptions opts;
+        opts.max_depth = 12;
+        opts.max_features = 6;
+        opts.seed = seed;
+        return opts;
+      }()) {}
+
+std::vector<double> LearnedAccessController::Featurize(const AccessRequest& r) {
+  // Crossed features let axis-aligned tree splits isolate (role, table) and
+  // (role, purpose) cells directly.
+  return {static_cast<double>(r.role),
+          static_cast<double>(r.table),
+          static_cast<double>(r.purpose),
+          r.sensitivity,
+          r.row_fraction,
+          r.hour,
+          static_cast<double>(r.role * 16 + r.table),
+          static_cast<double>(r.role * 8 + r.purpose),
+          r.sensitivity * r.row_fraction,
+          (r.hour < 6 || r.hour > 22) ? 1.0 : 0.0};
+}
+
+void LearnedAccessController::Fit(const std::vector<AccessRequest>& training) {
+  if (training.empty()) return;
+  ml::Dataset data;
+  data.x = ml::Matrix(training.size(), Featurize(training[0]).size());
+  data.y.reserve(training.size());
+  for (size_t i = 0; i < training.size(); ++i) {
+    auto f = Featurize(training[i]);
+    for (size_t c = 0; c < f.size(); ++c) data.x.At(i, c) = f[c];
+    data.y.push_back(training[i].legal ? 1.0 : 0.0);
+  }
+  forest_.Fit(data);
+}
+
+bool LearnedAccessController::Allow(const AccessRequest& req) const {
+  auto f = Featurize(req);
+  return forest_.Predict(f.data()) > 0.5;
+}
+
+}  // namespace aidb::security

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/tree.h"
+
+namespace aidb::security {
+
+/// An access request: who asks for what, and why.
+struct AccessRequest {
+  size_t role = 0;           ///< 0..num_roles-1
+  size_t table = 0;          ///< 0..num_tables-1
+  size_t purpose = 0;        ///< declared purpose (billing, analytics, support...)
+  double sensitivity = 0.0;  ///< table sensitivity score [0,1]
+  double row_fraction = 0.0; ///< fraction of the table requested
+  double hour = 12.0;        ///< time of day
+  bool legal = false;        ///< ground truth (hidden policy)
+};
+
+/// Generates requests under a hidden purpose-aware policy: legality depends
+/// on (role, table) *and* purpose/scope interactions a static role-table ACL
+/// cannot express (Colombo & Ferrari's motivation). `seed` drives the request
+/// stream; `policy_seed` drives the hidden policy, so train/test splits share
+/// one policy by fixing it.
+std::vector<AccessRequest> GenerateAccessRequests(size_t n, uint64_t seed,
+                                                  uint64_t policy_seed = 1234,
+                                                  size_t num_roles = 5,
+                                                  size_t num_tables = 6,
+                                                  size_t num_purposes = 4);
+
+/// \brief Strategy interface for access-control decisions.
+class AccessController {
+ public:
+  virtual ~AccessController() = default;
+  virtual void Fit(const std::vector<AccessRequest>& training) = 0;
+  virtual bool Allow(const AccessRequest& req) const = 0;
+  virtual std::string name() const = 0;
+
+  /// (accuracy, false-allow rate) — false allows are the security failures.
+  std::pair<double, double> Evaluate(const std::vector<AccessRequest>& corpus) const;
+};
+
+/// Static role-table ACL matrix learned by majority vote per (role, table) —
+/// the classical grant table, blind to purpose and scope.
+class StaticAclController : public AccessController {
+ public:
+  void Fit(const std::vector<AccessRequest>& training) override;
+  bool Allow(const AccessRequest& req) const override;
+  std::string name() const override { return "static_acl"; }
+
+ private:
+  std::vector<std::vector<int>> grant_;  // [role][table]: 1 allow, 0 deny
+};
+
+/// Purpose-based learned controller (decision forest over full request
+/// features).
+class LearnedAccessController : public AccessController {
+ public:
+  explicit LearnedAccessController(size_t trees = 25, uint64_t seed = 42);
+  void Fit(const std::vector<AccessRequest>& training) override;
+  bool Allow(const AccessRequest& req) const override;
+  std::string name() const override { return "learned_purpose"; }
+
+ private:
+  static std::vector<double> Featurize(const AccessRequest& req);
+  ml::RandomForest forest_;
+};
+
+}  // namespace aidb::security

@@ -1,0 +1,243 @@
+#include "security/discovery.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace aidb::security {
+
+bool IsSensitive(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kEmail:
+    case ColumnKind::kPhone:
+    case ColumnKind::kSsn:
+    case ColumnKind::kCreditCard:
+    case ColumnKind::kPersonName:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+const char* kFirstNames[] = {"alice", "bob", "carol", "dan", "eve", "frank",
+                             "grace", "heidi", "ivan", "judy"};
+const char* kLastNames[] = {"smith", "jones", "lee", "chen", "garcia", "kim",
+                            "patel", "murphy", "silva", "novak"};
+const char* kWords[] = {"order", "ship", "blue", "fast", "item", "note",
+                        "open", "close", "high", "low"};
+
+std::string Digits(Rng* rng, size_t n) {
+  std::string s;
+  for (size_t i = 0; i < n; ++i) s += static_cast<char>('0' + rng->Uniform(10));
+  return s;
+}
+
+std::string MakeValue(ColumnKind kind, bool obfuscated, Rng* rng) {
+  switch (kind) {
+    case ColumnKind::kEmail: {
+      std::string user = kFirstNames[rng->Uniform(10)];
+      std::string host = std::string(kWords[rng->Uniform(10)]) + ".com";
+      return obfuscated ? user + "(at)" + host : user + "@" + host;
+    }
+    case ColumnKind::kPhone: {
+      if (obfuscated) return Digits(rng, 10);
+      return Digits(rng, 3) + "-" + Digits(rng, 3) + "-" + Digits(rng, 4);
+    }
+    case ColumnKind::kSsn: {
+      if (obfuscated) return Digits(rng, 9);
+      return Digits(rng, 3) + "-" + Digits(rng, 2) + "-" + Digits(rng, 4);
+    }
+    case ColumnKind::kCreditCard: {
+      if (obfuscated)
+        return Digits(rng, 4) + " " + Digits(rng, 4) + " " + Digits(rng, 4) +
+               " " + Digits(rng, 4);
+      return Digits(rng, 16);
+    }
+    case ColumnKind::kPersonName:
+      return std::string(kFirstNames[rng->Uniform(10)]) + " " +
+             kLastNames[rng->Uniform(10)];
+    case ColumnKind::kNumericId:
+      return std::to_string(rng->Uniform(1000000));
+    case ColumnKind::kAmount:
+      return std::to_string(rng->Uniform(10000)) + "." + Digits(rng, 2);
+    case ColumnKind::kCategory:
+      return kWords[rng->Uniform(4)];
+    case ColumnKind::kFreeText: {
+      std::string s;
+      size_t words = 3 + rng->Uniform(6);
+      for (size_t i = 0; i < words; ++i) {
+        if (i) s += " ";
+        s += kWords[rng->Uniform(10)];
+      }
+      return s;
+    }
+    case ColumnKind::kNumKinds: break;
+  }
+  return "";
+}
+
+std::string HeaderFor(ColumnKind kind, bool obfuscated, Rng* rng) {
+  if (obfuscated) {
+    // Misleading/generic headers.
+    const char* generic[] = {"col1", "data", "field_a", "value", "info"};
+    return generic[rng->Uniform(5)];
+  }
+  switch (kind) {
+    case ColumnKind::kEmail: return "email";
+    case ColumnKind::kPhone: return "phone_number";
+    case ColumnKind::kSsn: return "ssn";
+    case ColumnKind::kCreditCard: return "card_number";
+    case ColumnKind::kPersonName: return "customer_name";
+    case ColumnKind::kNumericId: return "id";
+    case ColumnKind::kAmount: return "amount";
+    case ColumnKind::kCategory: return "category";
+    case ColumnKind::kFreeText: return "notes";
+    case ColumnKind::kNumKinds: break;
+  }
+  return "col";
+}
+
+}  // namespace
+
+std::vector<ColumnSample> GenerateColumnCorpus(size_t n, uint64_t seed,
+                                               double obfuscate_fraction) {
+  Rng rng(seed);
+  std::vector<ColumnSample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ColumnSample col;
+    col.kind = static_cast<ColumnKind>(rng.Uniform(static_cast<size_t>(ColumnKind::kNumKinds)));
+    bool obf = IsSensitive(col.kind) && rng.Bernoulli(obfuscate_fraction);
+    col.name = HeaderFor(col.kind, obf, &rng);
+    size_t rows = 20 + rng.Uniform(30);
+    for (size_t r = 0; r < rows; ++r)
+      col.values.push_back(MakeValue(col.kind, obf, &rng));
+    out.push_back(std::move(col));
+  }
+  return out;
+}
+
+std::vector<double> ColumnFeatures(const ColumnSample& col) {
+  double n = static_cast<double>(col.values.size());
+  double len = 0, digits = 0, alpha = 0, special = 0, spaces = 0;
+  double at_signs = 0, dashes = 0;
+  std::map<char, size_t> char_counts;
+  std::set<std::string> distinct;
+  size_t total_chars = 0;
+  for (const auto& v : col.values) {
+    len += static_cast<double>(v.size());
+    distinct.insert(v);
+    for (char c : v) {
+      ++total_chars;
+      ++char_counts[c];
+      if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+      else if (std::isalpha(static_cast<unsigned char>(c))) ++alpha;
+      else if (c == ' ') ++spaces;
+      else ++special;
+      if (c == '@') ++at_signs;
+      if (c == '-') ++dashes;
+    }
+  }
+  double entropy = 0.0;
+  for (auto& [c, cnt] : char_counts) {
+    double p = static_cast<double>(cnt) / std::max<size_t>(1, total_chars);
+    entropy -= p * std::log2(p);
+  }
+  double tc = std::max(1.0, static_cast<double>(total_chars));
+  // Header hints (dictionary features the model can weigh, not hard rules).
+  auto header_has = [&](const char* w) {
+    return col.name.find(w) != std::string::npos ? 1.0 : 0.0;
+  };
+  return {len / n,
+          digits / tc,
+          alpha / tc,
+          special / tc,
+          spaces / tc,
+          at_signs / n,
+          dashes / n,
+          entropy,
+          static_cast<double>(distinct.size()) / n,
+          header_has("mail") + header_has("phone") + header_has("ssn") +
+              header_has("card") + header_has("name"),
+          // Length regularity: stddev of value lengths.
+          [&] {
+            double mean = len / n, var = 0;
+            for (const auto& v : col.values) {
+              double d = static_cast<double>(v.size()) - mean;
+              var += d * d;
+            }
+            return std::sqrt(var / n);
+          }(),
+          digits / n};
+}
+
+DetectionQuality SensitiveDataDetector::Evaluate(
+    const std::vector<ColumnSample>& corpus) const {
+  size_t tp = 0, fp = 0, fn = 0;
+  for (const auto& col : corpus) {
+    bool pred = IsSensitiveColumn(col);
+    bool truth = IsSensitive(col.kind);
+    if (pred && truth) ++tp;
+    if (pred && !truth) ++fp;
+    if (!pred && truth) ++fn;
+  }
+  DetectionQuality q;
+  q.precision = tp + fp ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  q.recall = tp + fn ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  return q;
+}
+
+bool RuleBasedDetector::IsSensitiveColumn(const ColumnSample& col) const {
+  // Production-style masking rules: header dictionary + strict value regexes.
+  for (const char* w : {"email", "mail", "phone", "ssn", "card", "name"}) {
+    if (col.name.find(w) != std::string::npos) return true;
+  }
+  size_t hits = 0;
+  for (const auto& v : col.values) {
+    bool has_at = v.find('@') != std::string::npos;
+    // ddd-ddd-dddd or ddd-dd-dddd
+    size_t dashes = static_cast<size_t>(std::count(v.begin(), v.end(), '-'));
+    bool dashed_digits =
+        dashes == 2 && v.size() >= 9 &&
+        std::isdigit(static_cast<unsigned char>(v[0]));
+    bool card16 = v.size() == 16 &&
+                  std::all_of(v.begin(), v.end(), [](char c) {
+                    return std::isdigit(static_cast<unsigned char>(c));
+                  });
+    if (has_at || dashed_digits || card16) ++hits;
+  }
+  return hits * 2 > col.values.size();
+}
+
+LearnedDetector::LearnedDetector(size_t trees, uint64_t seed)
+    : forest_(trees, [&] {
+        ml::TreeOptions opts;
+        opts.max_depth = 8;
+        opts.seed = seed;
+        return opts;
+      }()) {}
+
+void LearnedDetector::Fit(const std::vector<ColumnSample>& training) {
+  ml::Dataset data;
+  if (training.empty()) return;
+  auto f0 = ColumnFeatures(training[0]);
+  data.x = ml::Matrix(training.size(), f0.size());
+  data.y.reserve(training.size());
+  for (size_t i = 0; i < training.size(); ++i) {
+    auto f = ColumnFeatures(training[i]);
+    for (size_t c = 0; c < f.size(); ++c) data.x.At(i, c) = f[c];
+    data.y.push_back(IsSensitive(training[i].kind) ? 1.0 : 0.0);
+  }
+  forest_.Fit(data);
+}
+
+bool LearnedDetector::IsSensitiveColumn(const ColumnSample& col) const {
+  auto f = ColumnFeatures(col);
+  return forest_.Predict(f.data()) > 0.5;
+}
+
+}  // namespace aidb::security

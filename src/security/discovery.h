@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/tree.h"
+
+namespace aidb::security {
+
+/// Column categories in the synthetic corpus.
+enum class ColumnKind : int {
+  kEmail = 0, kPhone, kSsn, kCreditCard, kPersonName,  // sensitive
+  kNumericId, kAmount, kCategory, kFreeText,           // benign
+  kNumKinds,
+};
+bool IsSensitive(ColumnKind kind);
+
+/// A column sample: header name + sampled values + hidden kind.
+struct ColumnSample {
+  std::string name;
+  std::vector<std::string> values;
+  ColumnKind kind;
+};
+
+/// Generates a labeled corpus; `obfuscate_fraction` of sensitive columns use
+/// formats that evade naive regexes (spaces in card numbers, "(at)" emails,
+/// misleading header names) — the generalization gap the survey highlights.
+std::vector<ColumnSample> GenerateColumnCorpus(size_t n, uint64_t seed,
+                                               double obfuscate_fraction = 0.3);
+
+/// 12-dim feature vector of a column (length stats, digit/special fractions,
+/// entropy, distinct ratio, pattern hits, header hints).
+std::vector<double> ColumnFeatures(const ColumnSample& col);
+
+/// Precision/recall over the sensitive class.
+struct DetectionQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double F1() const {
+    double d = precision + recall;
+    return d > 0 ? 2 * precision * recall / d : 0.0;
+  }
+};
+
+/// \brief Strategy interface for sensitive-column detection.
+class SensitiveDataDetector {
+ public:
+  virtual ~SensitiveDataDetector() = default;
+  virtual void Fit(const std::vector<ColumnSample>& training) = 0;
+  virtual bool IsSensitiveColumn(const ColumnSample& col) const = 0;
+  virtual std::string name() const = 0;
+
+  DetectionQuality Evaluate(const std::vector<ColumnSample>& corpus) const;
+};
+
+/// Regex/dictionary rules (the traditional data-masking config).
+class RuleBasedDetector : public SensitiveDataDetector {
+ public:
+  void Fit(const std::vector<ColumnSample>&) override {}
+  bool IsSensitiveColumn(const ColumnSample& col) const override;
+  std::string name() const override { return "rules"; }
+};
+
+/// Random-forest classifier over column features (Aurum-flavoured learned
+/// discovery).
+class LearnedDetector : public SensitiveDataDetector {
+ public:
+  explicit LearnedDetector(size_t trees = 25, uint64_t seed = 42);
+  void Fit(const std::vector<ColumnSample>& training) override;
+  bool IsSensitiveColumn(const ColumnSample& col) const override;
+  std::string name() const override { return "forest"; }
+
+ private:
+  ml::RandomForest forest_;
+};
+
+}  // namespace aidb::security

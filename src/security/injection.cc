@@ -1,0 +1,201 @@
+#include "security/injection.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace aidb::security {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string MangleCase(const std::string& s, Rng* rng) {
+  std::string out = s;
+  for (char& c : out) {
+    if (std::isalpha(static_cast<unsigned char>(c)) && rng->Bernoulli(0.5)) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+std::string BenignQuery(Rng* rng) {
+  const char* tables[] = {"users", "orders", "items", "logs"};
+  const char* cols[] = {"id", "name", "status", "total"};
+  switch (rng->Uniform(4)) {
+    case 0:
+      return std::string("SELECT ") + cols[rng->Uniform(4)] + " FROM " +
+             tables[rng->Uniform(4)] + " WHERE id = " +
+             std::to_string(rng->Uniform(10000));
+    case 1:
+      return std::string("SELECT * FROM ") + tables[rng->Uniform(4)] +
+             " WHERE name = 'user" + std::to_string(rng->Uniform(1000)) + "'";
+    case 2:
+      return std::string("UPDATE ") + tables[rng->Uniform(4)] + " SET " +
+             cols[rng->Uniform(4)] + " = " + std::to_string(rng->Uniform(100)) +
+             " WHERE id = " + std::to_string(rng->Uniform(10000));
+    default:
+      return std::string("SELECT COUNT(*) FROM ") + tables[rng->Uniform(4)] +
+             " WHERE total > " + std::to_string(rng->Uniform(500)) +
+             " AND status = 'open'";
+  }
+}
+
+std::string AttackQuery(std::string* family, bool obfuscate, Rng* rng) {
+  std::string base = "SELECT name FROM users WHERE id = '";
+  std::string attack;
+  switch (rng->Uniform(4)) {
+    case 0: {
+      *family = "tautology";
+      const char* tauts[] = {"' OR 1=1 --", "' OR 'a'='a", "' OR 2>1 --",
+                             "x' OR ''='"};
+      attack = base + std::to_string(rng->Uniform(100)) + tauts[rng->Uniform(4)];
+      break;
+    }
+    case 1: {
+      *family = "union";
+      attack = base + "0' UNION SELECT password FROM credentials --";
+      break;
+    }
+    case 2: {
+      *family = "piggyback";
+      attack = base + "1'; DROP TABLE users; --";
+      break;
+    }
+    default: {
+      *family = "comment";
+      attack = base + "1' /* bypass */ OR /**/ 1=1 --";
+      break;
+    }
+  }
+  if (obfuscate) {
+    attack = MangleCase(attack, rng);
+    // Whitespace padding defeats exact-substring signatures.
+    std::string padded;
+    for (char c : attack) {
+      padded += c;
+      if (c == ' ' && rng->Bernoulli(0.4)) padded += ' ';
+    }
+    attack = padded;
+  }
+  return attack;
+}
+
+}  // namespace
+
+std::vector<QuerySample> GenerateInjectionCorpus(size_t n, uint64_t seed,
+                                                 double obfuscate_fraction) {
+  Rng rng(seed);
+  std::vector<QuerySample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    QuerySample s;
+    if (rng.Bernoulli(0.5)) {
+      s.text = BenignQuery(&rng);
+      s.is_attack = false;
+      s.family = "benign";
+    } else {
+      bool obf = rng.Bernoulli(obfuscate_fraction);
+      s.text = AttackQuery(&s.family, obf, &rng);
+      s.is_attack = true;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<double> QueryFeatures(const std::string& query) {
+  std::string q = Lower(query);
+  double len = static_cast<double>(q.size());
+  auto count_sub = [&](const std::string& sub) {
+    double c = 0;
+    for (size_t pos = q.find(sub); pos != std::string::npos;
+         pos = q.find(sub, pos + 1))
+      ++c;
+    return c;
+  };
+  double quotes = count_sub("'");
+  double dashes = count_sub("--");
+  double block_comments = count_sub("/*");
+  double semicolons = count_sub(";");
+  double or_kw = count_sub(" or ") + count_sub(" or'") + count_sub("'or ");
+  double union_kw = count_sub("union");
+  double drop_kw = count_sub("drop") + count_sub("delete from") + count_sub("insert into");
+  double eq_pairs = 0;  // literal = literal tautology shapes: d=d or 'x'='x'
+  for (size_t i = 0; i + 2 < q.size(); ++i) {
+    if (q[i + 1] == '=' &&
+        ((std::isdigit(static_cast<unsigned char>(q[i])) &&
+          std::isdigit(static_cast<unsigned char>(q[i + 2]))) ||
+         (q[i] == '\'' && q[i + 2] == '\'')))
+      ++eq_pairs;
+  }
+  double punct = 0;
+  for (char c : q) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != ' ') ++punct;
+  }
+  double double_spaces = count_sub("  ");
+  double quote_parity = static_cast<double>(static_cast<int>(quotes) % 2);
+  return {len / 100.0, quotes,    dashes,     block_comments, semicolons,
+          or_kw,       union_kw,  drop_kw,    eq_pairs,       punct / std::max(1.0, len),
+          double_spaces, quote_parity};
+}
+
+std::pair<double, double> InjectionDetector::Evaluate(
+    const std::vector<QuerySample>& corpus) const {
+  size_t tp = 0, fp = 0, pos = 0, neg = 0;
+  for (const auto& s : corpus) {
+    bool pred = IsAttack(s.text);
+    if (s.is_attack) {
+      ++pos;
+      if (pred) ++tp;
+    } else {
+      ++neg;
+      if (pred) ++fp;
+    }
+  }
+  return {pos ? static_cast<double>(tp) / pos : 0.0,
+          neg ? static_cast<double>(fp) / neg : 0.0};
+}
+
+bool SignatureDetector::IsAttack(const std::string& query) const {
+  // Exact-substring blacklist, as shipped in simple WAF configs.
+  static const char* kSignatures[] = {
+      "' OR 1=1", "OR 1=1 --", "UNION SELECT", "; DROP TABLE", "' OR 'a'='a",
+  };
+  for (const char* sig : kSignatures) {
+    if (query.find(sig) != std::string::npos) return true;
+  }
+  return false;
+}
+
+LearnedInjectionDetector::LearnedInjectionDetector(size_t trees, uint64_t seed)
+    : forest_(trees, [&] {
+        ml::TreeOptions opts;
+        opts.max_depth = 8;
+        opts.seed = seed;
+        return opts;
+      }()) {}
+
+void LearnedInjectionDetector::Fit(const std::vector<QuerySample>& training) {
+  if (training.empty()) return;
+  auto f0 = QueryFeatures(training[0].text);
+  ml::Dataset data;
+  data.x = ml::Matrix(training.size(), f0.size());
+  data.y.reserve(training.size());
+  for (size_t i = 0; i < training.size(); ++i) {
+    auto f = QueryFeatures(training[i].text);
+    for (size_t c = 0; c < f.size(); ++c) data.x.At(i, c) = f[c];
+    data.y.push_back(training[i].is_attack ? 1.0 : 0.0);
+  }
+  forest_.Fit(data);
+}
+
+bool LearnedInjectionDetector::IsAttack(const std::string& query) const {
+  auto f = QueryFeatures(query);
+  return forest_.Predict(f.data()) > 0.5;
+}
+
+}  // namespace aidb::security

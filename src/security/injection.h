@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/tree.h"
+
+namespace aidb::security {
+
+/// A labeled query string for the injection corpus.
+struct QuerySample {
+  std::string text;
+  bool is_attack = false;
+  std::string family;  ///< "benign" | "tautology" | "union" | "piggyback" | "comment"
+};
+
+/// Generates benign queries plus attack variants. `obfuscate_fraction` of
+/// attacks use case-mangling, whitespace tricks and alternative tautologies
+/// that evade fixed signatures but keep the statistical fingerprints.
+std::vector<QuerySample> GenerateInjectionCorpus(size_t n, uint64_t seed,
+                                                 double obfuscate_fraction = 0.4);
+
+/// Lexical feature vector of a query string (quote/comment/keyword counts,
+/// tautology shape, length stats, fraction of punctuation, ...).
+std::vector<double> QueryFeatures(const std::string& query);
+
+/// \brief Strategy interface for SQL-injection detection.
+class InjectionDetector {
+ public:
+  virtual ~InjectionDetector() = default;
+  virtual void Fit(const std::vector<QuerySample>& training) = 0;
+  virtual bool IsAttack(const std::string& query) const = 0;
+  virtual std::string name() const = 0;
+
+  /// (true-positive rate, false-positive rate) over a corpus.
+  std::pair<double, double> Evaluate(const std::vector<QuerySample>& corpus) const;
+};
+
+/// Fixed signature blacklist (classic WAF rules).
+class SignatureDetector : public InjectionDetector {
+ public:
+  void Fit(const std::vector<QuerySample>&) override {}
+  bool IsAttack(const std::string& query) const override;
+  std::string name() const override { return "signatures"; }
+};
+
+/// Decision-tree/forest detector over lexical features (the classification-
+/// tree line of work the survey cites).
+class LearnedInjectionDetector : public InjectionDetector {
+ public:
+  explicit LearnedInjectionDetector(size_t trees = 20, uint64_t seed = 42);
+  void Fit(const std::vector<QuerySample>& training) override;
+  bool IsAttack(const std::string& query) const override;
+  std::string name() const override { return "forest"; }
+
+ private:
+  ml::RandomForest forest_;
+};
+
+}  // namespace aidb::security

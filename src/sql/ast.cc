@@ -1,0 +1,100 @@
+#include "sql/ast.h"
+
+namespace aidb::sql {
+
+const char* OpName(OpType op) {
+  switch (op) {
+    case OpType::kEq: return "=";
+    case OpType::kNe: return "!=";
+    case OpType::kLt: return "<";
+    case OpType::kLe: return "<=";
+    case OpType::kGt: return ">";
+    case OpType::kGe: return ">=";
+    case OpType::kAdd: return "+";
+    case OpType::kSub: return "-";
+    case OpType::kMul: return "*";
+    case OpType::kDiv: return "/";
+    case OpType::kAnd: return "AND";
+    case OpType::kOr: return "OR";
+    case OpType::kNot: return "NOT";
+    case OpType::kNeg: return "-";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(OpType op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeUnary(OpType op, std::unique_ptr<Expr> child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->op = op;
+  e->lhs = std::move(child);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->column = column;
+  e->op = op;
+  e->agg = agg;
+  e->model = model;
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral: return literal.ToString();
+    case Kind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + OpName(op) + " " + rhs->ToString() + ")";
+    case Kind::kUnary:
+      return std::string(OpName(op)) + "(" + lhs->ToString() + ")";
+    case Kind::kAggregate: {
+      const char* name = agg == AggFunc::kCount ? "COUNT"
+                         : agg == AggFunc::kSum ? "SUM"
+                         : agg == AggFunc::kAvg ? "AVG"
+                         : agg == AggFunc::kMin ? "MIN"
+                                                : "MAX";
+      return std::string(name) + "(" + (lhs ? lhs->ToString() : "*") + ")";
+    }
+    case Kind::kPredict: {
+      std::string out = "PREDICT(" + model;
+      for (const auto& a : args) out += ", " + a->ToString();
+      return out + ")";
+    }
+    case Kind::kStar: return "*";
+  }
+  return "?";
+}
+
+}  // namespace aidb::sql

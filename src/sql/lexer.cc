@@ -1,0 +1,98 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace aidb::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords{
+      "SELECT", "FROM",   "WHERE",   "AND",    "OR",     "NOT",    "INSERT",
+      "INTO",   "VALUES", "CREATE",  "TABLE",  "INDEX",  "ON",     "USING",
+      "HASH",   "BTREE",  "INT",     "DOUBLE", "STRING", "JOIN",   "INNER",
+      "GROUP",  "BY",     "ORDER",   "ASC",    "DESC",   "LIMIT",  "UPDATE",
+      "SET",    "DELETE", "ANALYZE", "AS",     "NULL",   "MODEL",  "PREDICT",
+      "FEATURES", "TYPE", "DROP",    "COUNT",  "SUM",    "AVG",    "MIN",
+      "MAX",    "BETWEEN", "IS",     "DISTINCT", "WITH", "OPTIONS", "SHOW",
+      "MODELS", "EXPLAIN", "HAVING",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_'))
+        ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      if (Keywords().count(upper)) {
+        out.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        out.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') is_float = true;
+        ++i;
+      }
+      out.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                     input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      while (i < n && input[i] != '\'') {
+        body += input[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      out.push_back({TokenType::kString, body, start});
+      continue;
+    }
+    // Multi-char operators.
+    auto two = input.substr(i, 2);
+    if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+      out.push_back({TokenType::kSymbol, two == "<>" ? "!=" : two, start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingle = "(),*=<>+-/.;%";
+    if (kSingle.find(c) != std::string::npos) {
+      out.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace aidb::sql

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aidb::sql {
+
+enum class TokenType {
+  kKeyword,     ///< SELECT, FROM, ... (uppercased)
+  kIdentifier,  ///< table/column names (case preserved)
+  kInteger,
+  kFloat,
+  kString,      ///< single-quoted literal, quotes stripped
+  kSymbol,      ///< punctuation / operators: ( ) , * = != < <= > >= + - / . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   ///< keyword/symbol text, identifier, or literal body
+  size_t offset = 0;  ///< byte offset in the input (for error messages)
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; anything word-like that is not a keyword is an
+/// identifier.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace aidb::sql

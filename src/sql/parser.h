@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace aidb::sql {
+
+/// \brief Recursive-descent parser for the engine's SQL dialect.
+///
+/// Supported statements:
+///   CREATE TABLE t (a INT, b DOUBLE, c STRING)
+///   DROP TABLE t
+///   CREATE INDEX i ON t(a) [USING HASH]
+///   DROP INDEX i
+///   INSERT INTO t VALUES (1, 2.5, 'x'), (...)
+///   SELECT [*|exprs] FROM t [alias] [, u] [JOIN v ON a = b]*
+///     [WHERE pred] [GROUP BY cols] [ORDER BY col [ASC|DESC]] [LIMIT n]
+///   EXPLAIN SELECT ...
+///   UPDATE t SET a = expr [, b = expr] [WHERE pred]
+///   DELETE FROM t [WHERE pred]
+///   ANALYZE t
+///   CREATE MODEL m TYPE mlp PREDICT y ON t [FEATURES (a, b)]
+///   SHOW MODELS
+class Parser {
+ public:
+  /// Parses one statement (a trailing ';' is allowed).
+  static Result<std::unique_ptr<Statement>> Parse(const std::string& input);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Statement>> ParseStatement();
+  Result<std::unique_ptr<Statement>> ParseSelect(bool explain);
+  Result<std::unique_ptr<Statement>> ParseInsert();
+  Result<std::unique_ptr<Statement>> ParseCreate();
+  Result<std::unique_ptr<Statement>> ParseDrop();
+  Result<std::unique_ptr<Statement>> ParseUpdate();
+  Result<std::unique_ptr<Statement>> ParseDelete();
+
+  /// Expression grammar (precedence climbing):
+  ///   or_expr  := and_expr (OR and_expr)*
+  ///   and_expr := not_expr (AND not_expr)*
+  ///   not_expr := NOT not_expr | cmp_expr
+  ///   cmp_expr := add_expr ((=|!=|<|<=|>|>=) add_expr | BETWEEN a AND b)?
+  ///   add_expr := mul_expr ((+|-) mul_expr)*
+  ///   mul_expr := unary ((*|/) unary)*
+  ///   unary    := - unary | primary
+  ///   primary  := literal | colref | agg(...) | PREDICT(m, ...) | ( or_expr )
+  Result<std::unique_ptr<Expr>> ParseExpr();
+  Result<std::unique_ptr<Expr>> ParseAnd();
+  Result<std::unique_ptr<Expr>> ParseNot();
+  Result<std::unique_ptr<Expr>> ParseCmp();
+  Result<std::unique_ptr<Expr>> ParseAdd();
+  Result<std::unique_ptr<Expr>> ParseMul();
+  Result<std::unique_ptr<Expr>> ParseUnary();
+  Result<std::unique_ptr<Expr>> ParsePrimary();
+
+  Result<Value> ParseLiteralValue();
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(const char* kw_or_sym);
+  Status Expect(const char* kw_or_sym);
+  Status ExpectIdentifier(std::string* out);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aidb::sql

@@ -1,0 +1,195 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aidb {
+
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;   // leaf only, parallel to keys
+  std::vector<Node*> children;    // internal only, keys.size()+1 entries
+  Node* next = nullptr;           // leaf chain
+
+  ~Node() {
+    for (Node* c : children) delete c;
+  }
+};
+
+BTree::BTree() : root_(new Node()) {}
+BTree::~BTree() { delete root_; }
+
+namespace {
+
+/// Finds the child slot for `key` in an internal node.
+size_t ChildSlot(const std::vector<int64_t>& keys, int64_t key) {
+  return static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+void BTree::Insert(int64_t key, uint64_t value) {
+  // Descend, remembering the path for splits.
+  std::vector<Node*> path;
+  Node* cur = root_;
+  while (!cur->leaf) {
+    path.push_back(cur);
+    cur = cur->children[ChildSlot(cur->keys, key)];
+  }
+  size_t pos = static_cast<size_t>(
+      std::upper_bound(cur->keys.begin(), cur->keys.end(), key) - cur->keys.begin());
+  cur->keys.insert(cur->keys.begin() + pos, key);
+  cur->values.insert(cur->values.begin() + pos, value);
+  ++size_;
+
+  // Split up the path while overfull.
+  while (cur->keys.size() > kFanout) {
+    size_t mid = cur->keys.size() / 2;
+    Node* right = new Node();
+    right->leaf = cur->leaf;
+    int64_t sep;
+    if (cur->leaf) {
+      sep = cur->keys[mid];
+      right->keys.assign(cur->keys.begin() + mid, cur->keys.end());
+      right->values.assign(cur->values.begin() + mid, cur->values.end());
+      cur->keys.resize(mid);
+      cur->values.resize(mid);
+      right->next = cur->next;
+      cur->next = right;
+    } else {
+      sep = cur->keys[mid];
+      right->keys.assign(cur->keys.begin() + mid + 1, cur->keys.end());
+      right->children.assign(cur->children.begin() + mid + 1, cur->children.end());
+      cur->keys.resize(mid);
+      cur->children.resize(mid + 1);
+    }
+    if (path.empty()) {
+      Node* new_root = new Node();
+      new_root->leaf = false;
+      new_root->keys.push_back(sep);
+      new_root->children.push_back(cur);
+      new_root->children.push_back(right);
+      root_ = new_root;
+      ++height_;
+      return;
+    }
+    Node* parent = path.back();
+    path.pop_back();
+    size_t slot = ChildSlot(parent->keys, sep);
+    // Duplicate separators: place right after cur's slot. Find cur's slot
+    // explicitly to be safe with duplicate keys.
+    for (size_t i = 0; i < parent->children.size(); ++i) {
+      if (parent->children[i] == cur) {
+        slot = i;
+        break;
+      }
+    }
+    parent->keys.insert(parent->keys.begin() + slot, sep);
+    parent->children.insert(parent->children.begin() + slot + 1, right);
+    cur = parent;
+  }
+}
+
+std::vector<uint64_t> BTree::Find(int64_t key) const {
+  std::vector<uint64_t> out;
+  RangeVisit(key, key, [&](int64_t, uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+bool BTree::Contains(int64_t key) const {
+  bool found = false;
+  RangeVisit(key, key, [&](int64_t, uint64_t) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+std::vector<uint64_t> BTree::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> out;
+  RangeVisit(lo, hi, [&](int64_t, uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+void BTree::RangeVisit(int64_t lo, int64_t hi,
+                       const std::function<bool(int64_t, uint64_t)>& fn) const {
+  if (lo > hi) return;
+  const Node* cur = root_;
+  while (!cur->leaf) {
+    // lower_bound-style descent so duplicates of lo to the left are found.
+    size_t slot = static_cast<size_t>(
+        std::lower_bound(cur->keys.begin(), cur->keys.end(), lo) - cur->keys.begin());
+    cur = cur->children[slot];
+  }
+  for (; cur != nullptr; cur = cur->next) {
+    size_t start = static_cast<size_t>(
+        std::lower_bound(cur->keys.begin(), cur->keys.end(), lo) - cur->keys.begin());
+    for (size_t i = start; i < cur->keys.size(); ++i) {
+      if (cur->keys[i] > hi) return;
+      if (!fn(cur->keys[i], cur->values[i])) return;
+    }
+  }
+}
+
+size_t BTree::MemoryBytes() const {
+  size_t bytes = 0;
+  // Walk the tree iteratively.
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + n->keys.capacity() * sizeof(int64_t) +
+             n->values.capacity() * sizeof(uint64_t) +
+             n->children.capacity() * sizeof(Node*);
+    for (const Node* c : n->children) stack.push_back(c);
+  }
+  return bytes;
+}
+
+void BTree::BulkLoad(const std::vector<std::pair<int64_t, uint64_t>>& sorted) {
+  assert(size_ == 0);
+  if (sorted.empty()) return;
+  // Build packed leaves.
+  std::vector<Node*> level;
+  const size_t kLeafFill = kFanout;
+  for (size_t start = 0; start < sorted.size(); start += kLeafFill) {
+    Node* leaf = new Node();
+    size_t end = std::min(start + kLeafFill, sorted.size());
+    for (size_t i = start; i < end; ++i) {
+      leaf->keys.push_back(sorted[i].first);
+      leaf->values.push_back(sorted[i].second);
+    }
+    if (!level.empty()) level.back()->next = leaf;
+    level.push_back(leaf);
+  }
+  size_ = sorted.size();
+  height_ = 1;
+  // Build internal levels.
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    for (size_t start = 0; start < level.size(); start += kFanout) {
+      Node* parent = new Node();
+      parent->leaf = false;
+      size_t end = std::min(start + kFanout, level.size());
+      for (size_t i = start; i < end; ++i) {
+        if (i > start) parent->keys.push_back(level[i]->keys.front());
+        parent->children.push_back(level[i]);
+      }
+      parents.push_back(parent);
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  delete root_;
+  root_ = level[0];
+}
+
+}  // namespace aidb

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace aidb {
+
+/// \brief In-memory B+tree mapping int64 keys to RowIds (duplicates allowed).
+///
+/// Fixed fanout, leaf-linked for range scans. This is both the engine's
+/// secondary index structure and the classical baseline for the learned-index
+/// experiment (E9), so it exposes node/size accounting.
+class BTree {
+ public:
+  static constexpr size_t kFanout = 64;  ///< max keys per node
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&& o) noexcept : root_(o.root_), size_(o.size_), height_(o.height_) {
+    o.root_ = nullptr;
+    o.size_ = 0;
+  }
+
+  void Insert(int64_t key, uint64_t value);
+
+  /// All values for `key`.
+  std::vector<uint64_t> Find(int64_t key) const;
+  bool Contains(int64_t key) const;
+
+  /// All values with key in [lo, hi] inclusive, in key order.
+  std::vector<uint64_t> RangeScan(int64_t lo, int64_t hi) const;
+  /// Visits (key, value) pairs in [lo, hi]; return false from fn to stop.
+  void RangeVisit(int64_t lo, int64_t hi,
+                  const std::function<bool(int64_t, uint64_t)>& fn) const;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+  /// Approximate memory footprint in bytes (for learned-index comparison).
+  size_t MemoryBytes() const;
+
+  /// Bulk-loads from key-sorted (key, value) pairs; faster and produces
+  /// packed leaves. Tree must be empty.
+  void BulkLoad(const std::vector<std::pair<int64_t, uint64_t>>& sorted);
+
+ private:
+  struct Node;
+
+  Node* root_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace aidb

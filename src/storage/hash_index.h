@@ -1,0 +1,49 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace aidb {
+
+/// \brief Equality-only secondary index: Value -> RowIds.
+class HashIndex {
+ public:
+  void Insert(const Value& key, RowId row) { map_[KeyOf(key)].push_back(row); }
+
+  void Erase(const Value& key, RowId row) {
+    auto it = map_.find(KeyOf(key));
+    if (it == map_.end()) return;
+    auto& v = it->second;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == row) {
+        v[i] = v.back();
+        v.pop_back();
+        break;
+      }
+    }
+  }
+
+  const std::vector<RowId>* Find(const Value& key) const {
+    auto it = map_.find(KeyOf(key));
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t NumKeys() const { return map_.size(); }
+
+ private:
+  // Keys are hashed through Value::Hash combined with a type tag so INT 1 and
+  // DOUBLE 1.0 collide deliberately (they compare equal).
+  static uint64_t KeyOf(const Value& v) {
+    if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
+      return std::hash<double>{}(v.AsDouble());
+    }
+    return v.Hash();
+  }
+
+  std::unordered_map<uint64_t, std::vector<RowId>> map_;
+};
+
+}  // namespace aidb

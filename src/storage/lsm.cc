@@ -1,0 +1,172 @@
+#include "storage/lsm.h"
+
+#include <algorithm>
+
+namespace aidb {
+
+LsmTree::LsmTree(const LsmOptions& opts) : opts_(opts) {
+  if (opts_.memtable_capacity == 0) opts_.memtable_capacity = 1;
+  if (opts_.size_ratio < 2) opts_.size_ratio = 2;
+}
+
+void LsmTree::Put(int64_t key, std::string value) {
+  memtable_[key] = std::move(value);
+  ++stats_.entries_written;
+  if (memtable_.size() >= opts_.memtable_capacity) FlushMemtable();
+}
+
+void LsmTree::Delete(int64_t key) { Put(key, std::string(kTombstone)); }
+
+std::optional<std::string> LsmTree::Get(int64_t key) {
+  ++stats_.gets;
+  auto mit = memtable_.find(key);
+  if (mit != memtable_.end()) {
+    if (mit->second == kTombstone) return std::nullopt;
+    return mit->second;
+  }
+  for (const Run& run : runs_) {
+    if (opts_.bloom_bits_per_key > 0 && !run.MaybeContains(key, opts_.bloom_bits_per_key)) {
+      ++stats_.bloom_negatives;
+      continue;
+    }
+    ++stats_.runs_probed;
+    auto it = std::lower_bound(
+        run.entries.begin(), run.entries.end(), key,
+        [](const auto& e, int64_t k) { return e.first < k; });
+    if (it != run.entries.end() && it->first == key) {
+      if (it->second == kTombstone) return std::nullopt;
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<int64_t, std::string>> LsmTree::RangeScan(int64_t lo,
+                                                                int64_t hi) {
+  // Merge memtable + every run, newest version wins.
+  std::map<int64_t, std::string> merged;
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {  // oldest first
+    const Run& run = *rit;
+    auto it = std::lower_bound(
+        run.entries.begin(), run.entries.end(), lo,
+        [](const auto& e, int64_t k) { return e.first < k; });
+    for (; it != run.entries.end() && it->first <= hi; ++it)
+      merged[it->first] = it->second;
+    ++stats_.runs_probed;
+  }
+  for (auto it = memtable_.lower_bound(lo); it != memtable_.end() && it->first <= hi;
+       ++it)
+    merged[it->first] = it->second;
+  std::vector<std::pair<int64_t, std::string>> out;
+  for (auto& [k, v] : merged)
+    if (v != kTombstone) out.emplace_back(k, v);
+  return out;
+}
+
+void LsmTree::FlushMemtable() {
+  std::vector<std::pair<int64_t, std::string>> entries(memtable_.begin(),
+                                                       memtable_.end());
+  memtable_.clear();
+  stats_.entries_compacted += entries.size();
+  runs_.insert(runs_.begin(), BuildRun(std::move(entries), 0));
+  MaybeCompact();
+}
+
+void LsmTree::MaybeCompact() {
+  // Group runs by level; compact when a level holds too many runs (tiering)
+  // or more than one run (leveling, for levels that overflow the ratio).
+  for (size_t level = 0;; ++level) {
+    std::vector<size_t> at_level;
+    for (size_t i = 0; i < runs_.size(); ++i)
+      if (runs_[i].level == level) at_level.push_back(i);
+    if (at_level.empty()) break;
+
+    size_t trigger = opts_.leveling ? 2 : opts_.size_ratio;
+    if (at_level.size() < trigger) continue;
+
+    // Merge all runs at this level into one run at level+1, newest wins.
+    std::map<int64_t, std::string> merged;
+    for (auto it = at_level.rbegin(); it != at_level.rend(); ++it) {  // oldest first
+      for (auto& e : runs_[*it].entries) merged[e.first] = e.second;
+    }
+    // In leveling, also merge with the single run already at level+1.
+    if (opts_.leveling) {
+      for (size_t i = 0; i < runs_.size(); ++i) {
+        if (runs_[i].level == level + 1) {
+          std::map<int64_t, std::string> lower(runs_[i].entries.begin(),
+                                               runs_[i].entries.end());
+          for (auto& [k, v] : merged) lower[k] = v;
+          merged = std::move(lower);
+          at_level.push_back(i);
+          break;
+        }
+      }
+    }
+    std::vector<std::pair<int64_t, std::string>> entries(merged.begin(),
+                                                         merged.end());
+    stats_.entries_compacted += entries.size();
+
+    // Remove consumed runs (descending index order) and add the new one.
+    std::sort(at_level.rbegin(), at_level.rend());
+    for (size_t i : at_level) runs_.erase(runs_.begin() + static_cast<long>(i));
+    runs_.insert(runs_.begin(), BuildRun(std::move(entries), level + 1));
+    // Keep newest-first ordering with deeper levels later.
+    std::stable_sort(runs_.begin(), runs_.end(),
+                     [](const Run& a, const Run& b) { return a.level < b.level; });
+  }
+}
+
+LsmTree::Run LsmTree::BuildRun(std::vector<std::pair<int64_t, std::string>> entries,
+                               size_t level) const {
+  Run run;
+  run.level = level;
+  run.entries = std::move(entries);
+  if (opts_.bloom_bits_per_key > 0) {
+    size_t bits = std::max<size_t>(64, run.entries.size() * opts_.bloom_bits_per_key);
+    run.bloom.assign((bits + 63) / 64, 0);
+    for (auto& e : run.entries) AddToBloom(&run.bloom, e.first);
+  }
+  return run;
+}
+
+namespace {
+uint64_t BloomHash(int64_t key, uint64_t salt) {
+  uint64_t x = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL + salt;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+void LsmTree::AddToBloom(std::vector<uint64_t>* bloom, int64_t key) {
+  uint64_t nbits = bloom->size() * 64;
+  for (uint64_t i = 0; i < 3; ++i) {
+    uint64_t bit = BloomHash(key, i) % nbits;
+    (*bloom)[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+bool LsmTree::BloomTest(const std::vector<uint64_t>& bloom, int64_t key) {
+  uint64_t nbits = bloom.size() * 64;
+  for (uint64_t i = 0; i < 3; ++i) {
+    uint64_t bit = BloomHash(key, i) % nbits;
+    if (!(bloom[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+bool LsmTree::Run::MaybeContains(int64_t key, size_t /*bits_per_key*/) const {
+  if (bloom.empty()) return true;
+  return BloomTest(bloom, key);
+}
+
+size_t LsmTree::NumRuns() const { return runs_.size(); }
+
+size_t LsmTree::TotalEntries() const {
+  size_t n = memtable_.size();
+  for (const auto& r : runs_) n += r.entries.size();
+  return n;
+}
+
+}  // namespace aidb

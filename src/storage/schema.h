@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace aidb {
+
+/// Column definition within a table schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+/// \brief Ordered set of columns describing a table or intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the named column, or -1 if absent.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i)
+      if (columns_[i].name == name) return static_cast<int>(i);
+    return -1;
+  }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i) out += ", ";
+      out += columns_[i].name;
+      out += " ";
+      out += ValueTypeName(columns_[i].type);
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// \brief A row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Stable row identifier within a table (slot number; survives updates,
+/// invalidated by delete).
+using RowId = uint64_t;
+
+}  // namespace aidb

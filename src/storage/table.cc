@@ -1,0 +1,52 @@
+#include "storage/table.h"
+
+namespace aidb {
+
+Status Table::ValidateRow(const Tuple& row) const {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " does not match schema " +
+                                   std::to_string(schema_.NumColumns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    ValueType expect = schema_.column(i).type;
+    ValueType got = row[i].type();
+    bool numeric_ok = (expect == ValueType::kDouble && got == ValueType::kInt);
+    if (got != expect && !numeric_ok) {
+      return Status::InvalidArgument("column " + schema_.column(i).name +
+                                     " expects " + ValueTypeName(expect) +
+                                     " got " + ValueTypeName(got));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Tuple row) {
+  AIDB_RETURN_NOT_OK(ValidateRow(row));
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  ++live_count_;
+  return static_cast<RowId>(rows_.size() - 1);
+}
+
+Result<Tuple> Table::Get(RowId id) const {
+  if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
+  return rows_[id];
+}
+
+Status Table::Delete(RowId id) {
+  if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
+  deleted_[id] = true;
+  --live_count_;
+  return Status::OK();
+}
+
+Status Table::Update(RowId id, Tuple row) {
+  if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
+  AIDB_RETURN_NOT_OK(ValidateRow(row));
+  rows_[id] = std::move(row);
+  return Status::OK();
+}
+
+}  // namespace aidb

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace aidb {
+
+/// \brief Slotted in-memory row store.
+///
+/// Rows live in insertion slots; deletes tombstone the slot so RowIds stay
+/// stable for indexes. The table tracks logical "page" counts (rows per page
+/// is fixed) so the optimizer's cost model can charge I/O the way a disk-
+/// based engine would.
+class Table {
+ public:
+  static constexpr size_t kRowsPerPage = 64;
+
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row; validates arity and types (NULL always allowed).
+  Result<RowId> Insert(Tuple row);
+
+  /// Fetches a live row.
+  Result<Tuple> Get(RowId id) const;
+  /// True if the slot exists and is not deleted.
+  bool IsLive(RowId id) const {
+    return id < rows_.size() && !deleted_[id];
+  }
+
+  Status Delete(RowId id);
+  Status Update(RowId id, Tuple row);
+
+  /// Number of live rows.
+  size_t NumRows() const { return live_count_; }
+  /// Number of slots, including tombstones (scan upper bound).
+  size_t NumSlots() const { return rows_.size(); }
+  /// Logical pages occupied (for cost modeling).
+  size_t NumPages() const { return (rows_.size() + kRowsPerPage - 1) / kRowsPerPage; }
+
+  /// Direct slot access for scans; caller must check IsLive.
+  const Tuple& RowAt(RowId id) const { return rows_[id]; }
+
+  /// Invokes fn(id, row) for every live row.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (!deleted_[id]) fn(id, rows_[id]);
+    }
+  }
+
+ private:
+  Status ValidateRow(const Tuple& row) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<bool> deleted_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace aidb

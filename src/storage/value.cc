@@ -1,0 +1,69 @@
+#include "storage/value.h"
+
+#include <functional>
+
+namespace aidb {
+
+double Value::AsFeature() const {
+  switch (type()) {
+    case ValueType::kNull: return 0.0;
+    case ValueType::kInt: return static_cast<double>(std::get<int64_t>(v_));
+    case ValueType::kDouble: return std::get<double>(v_);
+    case ValueType::kString: {
+      size_t h = std::hash<std::string>{}(std::get<std::string>(v_));
+      return static_cast<double>(h % 100003) / 100003.0;
+    }
+  }
+  return 0.0;
+}
+
+int Value::Compare(const Value& o) const {
+  bool ln = is_null(), rn = o.is_null();
+  if (ln && rn) return 0;
+  if (ln) return -1;
+  if (rn) return 1;
+  bool lstr = type() == ValueType::kString, rstr = o.type() == ValueType::kString;
+  if (lstr && rstr) {
+    const std::string& a = AsString();
+    const std::string& b = o.AsString();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  if (lstr != rstr) return lstr ? 1 : -1;  // numbers sort before strings
+  double a = AsDouble(), b = o.AsDouble();
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull: return 0x9e3779b9;
+    case ValueType::kInt: return std::hash<int64_t>{}(std::get<int64_t>(v_));
+    case ValueType::kDouble: return std::hash<double>{}(std::get<double>(v_));
+    case ValueType::kString: return std::hash<std::string>{}(std::get<std::string>(v_));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      std::string s = std::to_string(std::get<double>(v_));
+      return s;
+    }
+    case ValueType::kString: return "'" + std::get<std::string>(v_) + "'";
+  }
+  return "?";
+}
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "?";
+}
+
+}  // namespace aidb

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace aidb {
+
+/// Column/value types supported by the engine.
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+/// \brief A single SQL value (tagged union of the supported types).
+///
+/// Comparison across numeric types coerces int to double; comparisons with
+/// NULL order NULL first (a deliberate, documented simplification — the
+/// executor filters NULLs explicitly where three-valued logic would matter).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    if (type() == ValueType::kInt) return static_cast<double>(std::get<int64_t>(v_));
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view used by featurizers: ints/doubles as-is, strings hashed to
+  /// a stable small double, NULL as 0.
+  double AsFeature() const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Three-way comparison: -1, 0, 1. NULL < everything; NULL == NULL.
+  int Compare(const Value& o) const;
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+const char* ValueTypeName(ValueType t);
+
+}  // namespace aidb

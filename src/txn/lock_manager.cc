@@ -1,0 +1,63 @@
+#include "txn/lock_manager.h"
+
+namespace aidb::txn {
+
+bool LockManager::TryLock(TxnId txn, KeyId key, LockMode mode) {
+  LockState& state = table_[key];
+  if (mode == LockMode::kShared) {
+    if (state.exclusive_holder != 0 && state.exclusive_holder != txn) return false;
+    if (state.exclusive_holder == txn) return true;  // X implies S
+    if (state.shared_holders.insert(txn).second) held_[txn].push_back(key);
+    return true;
+  }
+  // Exclusive.
+  if (state.exclusive_holder == txn) return true;
+  if (state.exclusive_holder != 0) return false;
+  // Upgrade allowed only if txn is the sole shared holder.
+  if (!state.shared_holders.empty()) {
+    if (state.shared_holders.size() != 1 || !state.shared_holders.count(txn)) {
+      return false;
+    }
+    state.shared_holders.clear();
+    state.exclusive_holder = txn;
+    return true;  // key already recorded in held_
+  }
+  state.exclusive_holder = txn;
+  held_[txn].push_back(key);
+  return true;
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (KeyId key : it->second) {
+    auto st = table_.find(key);
+    if (st == table_.end()) continue;
+    if (st->second.exclusive_holder == txn) st->second.exclusive_holder = 0;
+    st->second.shared_holders.erase(txn);
+    if (st->second.exclusive_holder == 0 && st->second.shared_holders.empty()) {
+      table_.erase(st);
+    }
+  }
+  held_.erase(it);
+}
+
+bool LockManager::WouldGrantAll(
+    TxnId txn, const std::vector<std::pair<KeyId, LockMode>>& keys) const {
+  for (const auto& [key, mode] : keys) {
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    const LockState& s = it->second;
+    if (mode == LockMode::kShared) {
+      if (s.exclusive_holder != 0 && s.exclusive_holder != txn) return false;
+    } else {
+      if (s.exclusive_holder != 0 && s.exclusive_holder != txn) return false;
+      for (TxnId holder : s.shared_holders) {
+        if (holder != txn) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace aidb::txn

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace aidb::txn {
+
+using TxnId = uint64_t;
+using KeyId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+/// \brief No-wait lock table: a conflicting request fails immediately and the
+/// caller aborts (conservative 2PL keeps the simulator deadlock-free).
+class LockManager {
+ public:
+  /// Attempts to acquire `key` in `mode` for `txn`. Re-entrant; a shared
+  /// holder can upgrade only when it is the sole holder.
+  bool TryLock(TxnId txn, KeyId key, LockMode mode);
+
+  /// Releases every lock held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` could acquire all `keys` in the given modes right now.
+  bool WouldGrantAll(TxnId txn,
+                     const std::vector<std::pair<KeyId, LockMode>>& keys) const;
+
+  size_t NumLockedKeys() const { return table_.size(); }
+
+ private:
+  struct LockState {
+    TxnId exclusive_holder = 0;  ///< 0: none
+    std::unordered_set<TxnId> shared_holders;
+  };
+
+  std::unordered_map<KeyId, LockState> table_;
+  std::unordered_map<TxnId, std::vector<KeyId>> held_;
+};
+
+}  // namespace aidb::txn

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "txn/lock_manager.h"
+
+namespace aidb::txn {
+
+/// One transaction in the simulated OLTP workload.
+struct TxnSpec {
+  TxnId id = 0;
+  std::vector<std::pair<KeyId, LockMode>> accesses;
+  double duration = 1.0;  ///< virtual time units the locks are held
+  double arrival = 0.0;
+};
+
+/// Generates hotspot OLTP transactions: keys drawn Zipfian over a keyspace,
+/// a fraction of accesses are writes.
+struct TxnWorkloadOptions {
+  size_t num_txns = 2000;
+  size_t keyspace = 10000;
+  double zipf_theta = 0.9;       ///< key skew (hotspot contention driver)
+  size_t accesses_per_txn = 8;
+  double write_fraction = 0.5;
+  double mean_duration = 1.0;
+  double arrival_rate = 4.0;     ///< txns per virtual time unit
+  uint64_t seed = 42;
+};
+
+std::vector<TxnSpec> GenerateTxnWorkload(const TxnWorkloadOptions& opts);
+
+/// \brief Scheduler strategy: picks which queued transaction to admit next.
+/// Implementations: FIFO (baseline) and the learned conflict-aware scheduler
+/// in design/txn_sched.
+class TxnScheduler {
+ public:
+  virtual ~TxnScheduler() = default;
+
+  /// Chooses an index into `queue` to dispatch, or -1 to leave the slot idle
+  /// this round. `running` lists in-flight transactions.
+  virtual int PickNext(const std::deque<TxnSpec>& queue,
+                       const std::vector<TxnSpec>& running,
+                       const LockManager& locks) = 0;
+
+  /// Outcome feedback for online learners: dispatched txn either committed
+  /// or aborted on lock conflict.
+  virtual void OnOutcome(const TxnSpec& /*txn*/,
+                         const std::vector<TxnSpec>& /*running*/,
+                         bool /*aborted*/) {}
+
+  virtual std::string name() const = 0;
+};
+
+/// Admit in arrival order (classic baseline).
+class FifoScheduler : public TxnScheduler {
+ public:
+  int PickNext(const std::deque<TxnSpec>& queue,
+               const std::vector<TxnSpec>& /*running*/,
+               const LockManager& /*locks*/) override {
+    return queue.empty() ? -1 : 0;
+  }
+  std::string name() const override { return "fifo"; }
+};
+
+/// Results of one simulated run.
+struct TxnSimResult {
+  size_t committed = 0;
+  size_t aborted = 0;  ///< abort events (aborted txns retry until they commit)
+  double makespan = 0.0;
+  double Throughput() const { return makespan > 0 ? committed / makespan : 0.0; }
+  double AbortRate() const {
+    size_t attempts = committed + aborted;
+    return attempts ? static_cast<double>(aborted) / attempts : 0.0;
+  }
+};
+
+/// \brief Discrete-event OLTP simulator: admits transactions from an arrival
+/// queue into `concurrency` slots under conservative 2PL; lock conflicts
+/// abort and requeue. The scheduler controls admission order — the lever the
+/// learned transaction-management experiment (E11) exercises.
+class TxnSimulator {
+ public:
+  struct Options {
+    size_t concurrency = 8;
+    /// Dispatch attempts per slot round; each failed attempt is an abort
+    /// (wasted lock-acquisition work), so schedulers that skip doomed
+    /// transactions save real work.
+    size_t max_attempts_per_round = 8;
+    size_t max_events = 2000000;  ///< runaway guard
+  };
+
+  TxnSimResult Run(std::vector<TxnSpec> txns, TxnScheduler* scheduler) {
+    return Run(std::move(txns), scheduler, Options());
+  }
+  TxnSimResult Run(std::vector<TxnSpec> txns, TxnScheduler* scheduler,
+                   const Options& opts);
+};
+
+}  // namespace aidb::txn

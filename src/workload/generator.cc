@@ -1,0 +1,127 @@
+#include "workload/generator.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "sql/parser.h"
+
+namespace aidb::workload {
+
+Status BuildStarSchema(Database* db, const StarSchemaOptions& opts) {
+  Rng rng(opts.seed);
+  ZipfGenerator fk_zipf(opts.dim_rows, opts.zipf_theta, opts.seed ^ 1);
+  ZipfGenerator c_zipf(100, opts.zipf_theta, opts.seed ^ 2);
+
+  // Dimensions.
+  for (size_t d = 0; d < opts.num_dims; ++d) {
+    std::string name = "dim" + std::to_string(d);
+    AIDB_RETURN_NOT_OK(
+        db->Execute("CREATE TABLE " + name + " (id INT, attr INT, grp INT)")
+            .status());
+    Table* t = nullptr;
+    AIDB_ASSIGN_OR_RETURN(t, db->catalog().GetTable(name));
+    for (size_t i = 0; i < opts.dim_rows; ++i) {
+      Tuple row{Value(static_cast<int64_t>(i)),
+                Value(static_cast<int64_t>(rng.Uniform(1000))),
+                Value(static_cast<int64_t>(i % 10))};
+      RowId id = 0;
+      AIDB_ASSIGN_OR_RETURN(id, t->Insert(std::move(row)));
+      (void)id;
+    }
+    AIDB_RETURN_NOT_OK(db->catalog().Analyze(name));
+  }
+
+  // Fact table.
+  std::ostringstream ddl;
+  ddl << "CREATE TABLE fact (id INT";
+  for (size_t d = 0; d < opts.num_dims; ++d) ddl << ", d" << d << "_id INT";
+  ddl << ", a INT, b INT, c INT)";
+  AIDB_RETURN_NOT_OK(db->Execute(ddl.str()).status());
+  Table* fact = nullptr;
+  AIDB_ASSIGN_OR_RETURN(fact, db->catalog().GetTable("fact"));
+  for (size_t i = 0; i < opts.fact_rows; ++i) {
+    Tuple row;
+    row.push_back(Value(static_cast<int64_t>(i)));
+    for (size_t d = 0; d < opts.num_dims; ++d) {
+      row.push_back(Value(static_cast<int64_t>(fk_zipf.Next())));
+    }
+    int64_t a = static_cast<int64_t>(rng.Uniform(100));
+    // b tracks a with probability `correlation` — this is what defeats the
+    // independence assumption.
+    int64_t b = rng.Bernoulli(opts.correlation)
+                    ? a + static_cast<int64_t>(rng.Uniform(5))
+                    : static_cast<int64_t>(rng.Uniform(100));
+    int64_t c = static_cast<int64_t>(c_zipf.Next());
+    row.push_back(Value(a));
+    row.push_back(Value(b));
+    row.push_back(Value(c));
+    RowId id = 0;
+    AIDB_ASSIGN_OR_RETURN(id, fact->Insert(std::move(row)));
+    (void)id;
+  }
+  return db->catalog().Analyze("fact");
+}
+
+std::unique_ptr<sql::SelectStatement> ParseSelect(const std::string& text) {
+  auto stmt = sql::Parser::Parse(text);
+  assert(stmt.ok());
+  auto* sel = static_cast<sql::SelectStatement*>(stmt.ValueOrDie().release());
+  return std::unique_ptr<sql::SelectStatement>(sel);
+}
+
+std::vector<GeneratedQuery> GenerateQueries(const StarSchemaOptions& schema,
+                                            const QueryGenOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<GeneratedQuery> out;
+  out.reserve(opts.num_queries);
+
+  const char* fact_cols[] = {"a", "b", "c"};
+
+  for (size_t q = 0; q < opts.num_queries; ++q) {
+    std::ostringstream sql;
+    size_t joins = rng.Uniform(opts.max_joins + 1);
+    joins = std::min(joins, schema.num_dims);
+    bool agg = rng.Bernoulli(opts.agg_probability);
+
+    sql << "SELECT ";
+    if (agg) {
+      sql << "COUNT(*), SUM(fact.a)";
+    } else {
+      sql << "fact.id, fact.a";
+    }
+    sql << " FROM fact";
+    // Join a random subset of dimensions.
+    std::vector<size_t> dims(schema.num_dims);
+    for (size_t i = 0; i < dims.size(); ++i) dims[i] = i;
+    rng.Shuffle(&dims);
+    for (size_t j = 0; j < joins; ++j) {
+      size_t d = dims[j];
+      sql << " JOIN dim" << d << " ON fact.d" << d << "_id = dim" << d << ".id";
+    }
+    std::vector<std::string> predicates;
+    size_t preds = 1 + rng.Uniform(opts.max_predicates);
+    for (size_t p = 0; p < preds; ++p) {
+      const char* col = fact_cols[rng.Uniform(3)];
+      std::string v = std::to_string(rng.Uniform(100));
+      switch (rng.Uniform(3)) {
+        case 0: predicates.push_back("fact." + std::string(col) + " = " + v); break;
+        case 1: predicates.push_back("fact." + std::string(col) + " < " + v); break;
+        default: predicates.push_back("fact." + std::string(col) + " >= " + v); break;
+      }
+    }
+    if (joins > 0 && rng.Bernoulli(0.5)) {
+      predicates.push_back("dim" + std::to_string(dims[0]) +
+                           ".grp = " + std::to_string(rng.Uniform(10)));
+    }
+    sql << " WHERE " << predicates[0];
+    for (size_t p = 1; p < predicates.size(); ++p) sql << " AND " << predicates[p];
+
+    GeneratedQuery gen;
+    gen.text = sql.str();
+    gen.stmt = ParseSelect(gen.text);
+    out.push_back(std::move(gen));
+  }
+  return out;
+}
+
+}  // namespace aidb::workload

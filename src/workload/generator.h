@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "exec/database.h"
+#include "sql/ast.h"
+
+namespace aidb::workload {
+
+/// Options for the synthetic star schema (TPC-H-flavored shape: one fact
+/// table, several dimensions, skewed and correlated columns — the data
+/// properties that break AVI-based estimation).
+struct StarSchemaOptions {
+  size_t fact_rows = 20000;
+  size_t num_dims = 3;
+  size_t dim_rows = 500;
+  double zipf_theta = 1.0;   ///< skew of fact foreign keys and attributes
+  double correlation = 0.8;  ///< fact.a correlates with fact.b
+  uint64_t seed = 42;
+};
+
+/// Creates and populates the star schema in `db`:
+///   fact(id, d0_id, d1_id, ..., a, b, c)  -- a,b correlated, c skewed
+///   dim<k>(id, attr, grp)
+/// and runs ANALYZE on every table.
+Status BuildStarSchema(Database* db, const StarSchemaOptions& opts);
+
+/// A generated query together with its text (queries are also usable as
+/// parsed statements for what-if planning).
+struct GeneratedQuery {
+  std::string text;
+  std::unique_ptr<sql::SelectStatement> stmt;
+};
+
+/// Options for random SPJ query generation over the star schema.
+struct QueryGenOptions {
+  size_t num_queries = 200;
+  size_t max_joins = 2;        ///< dimensions joined to the fact table
+  size_t max_predicates = 2;   ///< per-query filter conjuncts
+  double agg_probability = 0.3;
+  uint64_t seed = 42;
+};
+
+/// Generates analytical SPJ queries over a schema built by BuildStarSchema.
+std::vector<GeneratedQuery> GenerateQueries(const StarSchemaOptions& schema,
+                                            const QueryGenOptions& opts);
+
+/// Re-parses `text` into a SelectStatement (must be valid).
+std::unique_ptr<sql::SelectStatement> ParseSelect(const std::string& text);
+
+}  // namespace aidb::workload

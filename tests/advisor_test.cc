@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "advisor/index/index_advisor.h"
+#include "advisor/knob/knob_env.h"
+#include "advisor/knob/knob_tuner.h"
+#include "advisor/partition/partition_advisor.h"
+#include "advisor/rewrite/rewriter.h"
+#include "advisor/view/view_advisor.h"
+#include "sql/parser.h"
+#include "workload/generator.h"
+
+namespace aidb::advisor {
+namespace {
+
+// ----- Knob environment -----
+
+TEST(KnobEnvTest, DeterministicWithoutNoise) {
+  KnobEnvironment env(WorkloadProfile::Hybrid());
+  KnobConfig c = KnobEnvironment::DefaultConfig();
+  EXPECT_DOUBLE_EQ(env.Evaluate(c), env.Evaluate(c));
+  EXPECT_EQ(env.evaluations(), 2u);
+}
+
+TEST(KnobEnvTest, SwapCliffPunishesOvercommit) {
+  KnobEnvironment env(WorkloadProfile::Olap());
+  KnobConfig sane = KnobEnvironment::DefaultConfig();
+  sane[kBufferPool] = 0.5;
+  sane[kWorkMem] = 0.3;
+  sane[kMaxConnections] = 0.3;
+  KnobConfig overcommitted = sane;
+  overcommitted[kBufferPool] = 1.0;
+  overcommitted[kWorkMem] = 1.0;
+  overcommitted[kMaxConnections] = 1.0;
+  EXPECT_GT(env.TrueThroughput(sane), env.TrueThroughput(overcommitted));
+}
+
+TEST(KnobEnvTest, WorkMemMattersMoreForOlap) {
+  KnobEnvironment olap(WorkloadProfile::Olap());
+  KnobEnvironment oltp(WorkloadProfile::Oltp());
+  KnobConfig low = KnobEnvironment::DefaultConfig();
+  low[kWorkMem] = 0.05;
+  KnobConfig high = low;
+  high[kWorkMem] = 0.6;
+  double olap_gain = olap.TrueThroughput(high) / olap.TrueThroughput(low);
+  double oltp_gain = oltp.TrueThroughput(high) / oltp.TrueThroughput(low);
+  EXPECT_GT(olap_gain, oltp_gain);
+}
+
+TEST(KnobEnvTest, WalSyncCostsWriters) {
+  WorkloadProfile writey;
+  writey.read_fraction = 0.2;
+  KnobEnvironment env(writey);
+  KnobConfig sync_on = KnobEnvironment::DefaultConfig();
+  sync_on[kWalSync] = 1.0;
+  KnobConfig sync_off = sync_on;
+  sync_off[kWalSync] = 0.0;
+  EXPECT_GT(env.TrueThroughput(sync_off), env.TrueThroughput(sync_on));
+}
+
+// ----- Knob tuners -----
+
+TEST(KnobTunerTest, RlBeatsDefaultAndApproachesOptimum) {
+  KnobEnvironment env(WorkloadProfile::Hybrid(), /*noise=*/0.02);
+  double optimum = env.ApproxOptimum();
+
+  DefaultConfigTuner def;
+  auto def_result = def.Tune(&env, 1);
+
+  RlKnobTuner::Options opts;
+  RlKnobTuner rl(opts);
+  auto rl_result = rl.Tune(&env, 300);
+
+  double rl_true = env.TrueThroughput(rl_result.best_config);
+  double def_true = env.TrueThroughput(def_result.best_config);
+  EXPECT_GT(rl_true, def_true * 1.1);
+  EXPECT_GT(rl_true, 0.75 * optimum);
+}
+
+TEST(KnobTunerTest, TrajectoryIsMonotone) {
+  KnobEnvironment env(WorkloadProfile::Oltp(), 0.05);
+  RandomSearchTuner rnd(3);
+  auto r = rnd.Tune(&env, 100);
+  ASSERT_EQ(r.trajectory.size(), 100u);
+  for (size_t i = 1; i < r.trajectory.size(); ++i)
+    EXPECT_GE(r.trajectory[i], r.trajectory[i - 1]);
+}
+
+TEST(KnobTunerTest, CoordinateDescentImprovesOnDefault) {
+  KnobEnvironment env(WorkloadProfile::Olap());
+  CoordinateDescentTuner cd;
+  auto r = cd.Tune(&env, 120);
+  EXPECT_GT(env.TrueThroughput(r.best_config),
+            env.TrueThroughput(KnobEnvironment::DefaultConfig()));
+}
+
+TEST(KnobTunerTest, QTunePretrainingWarmStarts) {
+  // Pretrain on OLTP+OLAP, then tune hybrid with a tiny budget; compare to a
+  // cold RL tuner with the same tiny budget.
+  QueryAwareKnobTuner warm;
+  warm.Pretrain({WorkloadProfile::Oltp(), WorkloadProfile::Olap(),
+                 WorkloadProfile::Hybrid()},
+                400, 0.02, 99);
+  KnobEnvironment env1(WorkloadProfile::Hybrid(), 0.02, 1);
+  auto warm_result = warm.Tune(&env1, 60);
+
+  RlKnobTuner cold;
+  KnobEnvironment env2(WorkloadProfile::Hybrid(), 0.02, 1);
+  auto cold_result = cold.Tune(&env2, 60);
+
+  EXPECT_GE(env1.TrueThroughput(warm_result.best_config),
+            env2.TrueThroughput(cold_result.best_config) * 0.95);
+}
+
+// ----- Index advisor -----
+
+class IndexAdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::StarSchemaOptions schema;
+    schema.fact_rows = 5000;
+    schema.dim_rows = 200;
+    ASSERT_TRUE(workload::BuildStarSchema(&db_, schema).ok());
+    workload::QueryGenOptions qopts;
+    qopts.num_queries = 120;
+    queries_ = workload::GenerateQueries(schema, qopts);
+    model_ = std::make_unique<IndexWhatIfModel>(&db_, &queries_);
+  }
+
+  Database db_;
+  std::vector<workload::GeneratedQuery> queries_;
+  std::unique_ptr<IndexWhatIfModel> model_;
+};
+
+TEST_F(IndexAdvisorTest, CandidatesMined) {
+  EXPECT_GE(model_->candidates().size(), 3u);  // fact.a, fact.b, fact.c at least
+  for (const auto& c : model_->candidates()) {
+    EXPECT_FALSE(c.table.empty());
+    EXPECT_FALSE(c.column.empty());
+  }
+}
+
+TEST_F(IndexAdvisorTest, IndexesReduceEstimatedCost) {
+  double base = model_->WorkloadCost({});
+  GreedyIndexAdvisor greedy;
+  auto chosen = greedy.Recommend(*model_, 3);
+  EXPECT_FALSE(chosen.empty());
+  EXPECT_LT(model_->WorkloadCost(chosen), base);
+}
+
+TEST_F(IndexAdvisorTest, GreedyMatchesExhaustiveOnSmallBudget) {
+  GreedyIndexAdvisor greedy;
+  ExhaustiveIndexAdvisor opt;
+  auto g = greedy.Recommend(*model_, 2);
+  auto o = opt.Recommend(*model_, 2);
+  // Greedy is near-optimal for submodular-ish benefit.
+  EXPECT_LE(model_->WorkloadCost(g), model_->WorkloadCost(o) * 1.2);
+}
+
+TEST_F(IndexAdvisorTest, RlApproachesExhaustive) {
+  RlIndexAdvisor rl;
+  ExhaustiveIndexAdvisor opt;
+  auto r = rl.Recommend(*model_, 2);
+  auto o = opt.Recommend(*model_, 2);
+  EXPECT_LE(model_->WorkloadCost(r), model_->WorkloadCost(o) * 1.25);
+  // And beats the naive frequency heuristic (or at least never loses).
+  FrequencyIndexAdvisor freq;
+  auto f = freq.Recommend(*model_, 2);
+  EXPECT_LE(model_->WorkloadCost(r), model_->WorkloadCost(f) * 1.05);
+}
+
+// ----- View advisor -----
+
+class ViewAdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::StarSchemaOptions schema;
+    schema.fact_rows = 5000;
+    schema.dim_rows = 200;
+    ASSERT_TRUE(workload::BuildStarSchema(&db_, schema).ok());
+    workload::QueryGenOptions qopts;
+    qopts.num_queries = 150;
+    qopts.max_joins = 3;
+    qopts.agg_probability = 0.5;
+    queries_ = workload::GenerateQueries(schema, qopts);
+    model_ = std::make_unique<ViewWhatIfModel>(&db_, &queries_);
+  }
+
+  Database db_;
+  std::vector<workload::GeneratedQuery> queries_;
+  std::unique_ptr<ViewWhatIfModel> model_;
+};
+
+TEST_F(ViewAdvisorTest, CandidatesHaveSavings) {
+  ASSERT_FALSE(model_->candidates().empty());
+  bool any_saving = false;
+  for (const auto& c : model_->candidates()) {
+    for (double s : c.per_query_saving)
+      if (s > 0) any_saving = true;
+  }
+  EXPECT_TRUE(any_saving);
+}
+
+TEST_F(ViewAdvisorTest, BudgetIsRespected) {
+  double budget = 3000.0;
+  for (ViewAdvisor* advisor :
+       std::initializer_list<ViewAdvisor*>{new FrequencyViewAdvisor(),
+                                           new GreedyViewAdvisor(),
+                                           new RlViewAdvisor()}) {
+    auto chosen = advisor->Recommend(*model_, budget);
+    EXPECT_LE(model_->TotalSpace(chosen), budget) << advisor->name();
+    delete advisor;
+  }
+}
+
+TEST_F(ViewAdvisorTest, GreedyAndRlBeatFrequency) {
+  double budget = 4000.0;
+  GreedyViewAdvisor greedy;
+  RlViewAdvisor rl;
+  FrequencyViewAdvisor freq;
+  double g = model_->WorkloadCost(greedy.Recommend(*model_, budget), budget);
+  double r = model_->WorkloadCost(rl.Recommend(*model_, budget), budget);
+  double f = model_->WorkloadCost(freq.Recommend(*model_, budget), budget);
+  EXPECT_LE(g, f * 1.001);
+  EXPECT_LE(r, f * 1.02);
+  EXPECT_LT(g, model_->BaseCost());
+}
+
+// ----- Rewriter -----
+
+TEST(RewriterTest, ConstantFoldWorks) {
+  Rng rng(1);
+  auto e = sql::Parser::Parse("SELECT x FROM t WHERE 2 + 3 < 10").ValueOrDie();
+  auto& sel = static_cast<sql::SelectStatement&>(*e);
+  bool changed = false;
+  auto folded = ApplyRewriteRule(*sel.where, RewriteRule::kConstantFold, &changed);
+  EXPECT_TRUE(changed);
+  changed = false;
+  folded = ApplyRewriteRule(*folded, RewriteRule::kConstantFold, &changed);
+  EXPECT_EQ(folded->ToString(), "1");
+}
+
+TEST(RewriterTest, ContradictionDetected) {
+  auto e = sql::Parser::Parse("SELECT x FROM t WHERE x > 10 AND x < 5").ValueOrDie();
+  auto& sel = static_cast<sql::SelectStatement&>(*e);
+  bool changed = false;
+  auto out = ApplyRewriteRule(*sel.where, RewriteRule::kContradiction, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(out->ToString(), "0");
+}
+
+TEST(RewriterTest, DeMorganThenNotComparison) {
+  auto e = sql::Parser::Parse("SELECT x FROM t WHERE NOT (x > 5 AND y < 3)")
+               .ValueOrDie();
+  auto& sel = static_cast<sql::SelectStatement&>(*e);
+  bool changed = false;
+  auto dm = ApplyRewriteRule(*sel.where, RewriteRule::kDeMorgan, &changed);
+  EXPECT_TRUE(changed);
+  changed = false;
+  auto nc = ApplyRewriteRule(*dm, RewriteRule::kNotComparison, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(nc->ToString(), "((x <= 5) OR (y >= 3))");
+}
+
+TEST(RewriterTest, RangeMergeTightens) {
+  auto e = sql::Parser::Parse("SELECT x FROM t WHERE x > 3 AND x > 7").ValueOrDie();
+  auto& sel = static_cast<sql::SelectStatement&>(*e);
+  bool changed = false;
+  auto out = ApplyRewriteRule(*sel.where, RewriteRule::kRangeMerge, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(out->ToString(), "(x > 7)");
+}
+
+TEST(RewriterTest, MctsNeverWorseThanFixedOrder) {
+  Rng rng(77);
+  FixedOrderRewriter fixed;
+  MctsRewriter mcts;
+  size_t mcts_wins = 0, ties = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto pred = GenerateRedundantPredicate(&rng, 2);
+    auto f = fixed.Rewrite(*pred);
+    auto m = mcts.Rewrite(*pred);
+    EXPECT_LE(m.cost, f.cost + 1e-9) << pred->ToString();
+    if (m.cost < f.cost - 1e-9) ++mcts_wins;
+    if (m.cost <= f.cost + 1e-9 && m.cost >= f.cost - 1e-9) ++ties;
+  }
+  EXPECT_GT(mcts_wins, 0u);  // order matters on at least some queries
+}
+
+TEST(RewriterTest, RewritePreservesNonRedundantPredicates) {
+  auto e = sql::Parser::Parse("SELECT x FROM t WHERE x > 3 AND y < 5").ValueOrDie();
+  auto& sel = static_cast<sql::SelectStatement&>(*e);
+  FixedOrderRewriter fixed;
+  auto out = fixed.Rewrite(*sel.where);
+  EXPECT_EQ(out.expr->ToString(), sel.where->ToString());
+}
+
+// ----- Partition advisor -----
+
+TEST(PartitionAdvisorTest, RlApproachesExhaustiveAndBeatsFrequency) {
+  size_t freq_losses = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto problem = GeneratePartitionProblem(4, 4, seed);
+    PartitionCostModel model(&problem);
+    ExhaustivePartitionAdvisor opt;
+    FrequencyPartitionAdvisor freq;
+    RlPartitionAdvisor::Options ropts;
+    ropts.seed = seed;
+    RlPartitionAdvisor rl(ropts);
+
+    double c_opt = model.Cost(opt.Recommend(model));
+    double c_freq = model.Cost(freq.Recommend(model));
+    double c_rl = model.Cost(rl.Recommend(model));
+    EXPECT_LE(c_opt, c_freq + 1e-9);
+    EXPECT_LE(c_rl, c_opt * 1.3) << "seed " << seed;
+    if (c_rl < c_freq - 1e-9) ++freq_losses;
+  }
+  EXPECT_GE(freq_losses, 2u);  // RL beats the heuristic on most instances
+}
+
+TEST(PartitionAdvisorTest, CostModelPrefersCoPartitionedJoins) {
+  PartitionProblem p;
+  for (int i = 0; i < 2; ++i) {
+    PartitionTable t;
+    t.name = "t" + std::to_string(i);
+    t.rows = 10000;
+    t.eq_filter_freq = {0.1, 0.1, 0.1, 0.1};
+    t.skew = {0, 0, 0, 0};
+    p.tables.push_back(t);
+  }
+  PartitionJoin j{0, 1, 2, 3, 5.0};
+  p.joins.push_back(j);
+  PartitionCostModel model(&p);
+  EXPECT_LT(model.Cost({2, 3}), model.Cost({0, 0}));
+}
+
+}  // namespace
+}  // namespace aidb::advisor

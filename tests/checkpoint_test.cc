@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db4ai/training/checkpoint_trainer.h"
+
+namespace aidb::db4ai {
+namespace {
+
+ml::Dataset MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.x = ml::Matrix(n, 3);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) data.x.At(i, c) = rng.UniformDouble(-1, 1);
+    data.y.push_back(2 * data.x.At(i, 0) - data.x.At(i, 1) + rng.Gaussian(0, 0.01));
+  }
+  return data;
+}
+
+TEST(CheckpointTrainerTest, ConvergesWithoutCrashes) {
+  CheckpointTrainer::Options opts;
+  opts.crash_probability = 0.0;
+  opts.epochs = 8;
+  CheckpointTrainer trainer(opts);
+  auto stats = trainer.Train(MakeData(2000, 1));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.crashes, 0u);
+  EXPECT_EQ(stats.wasted_batches, 0u);
+  EXPECT_LT(stats.final_mse, 0.01);
+  EXPECT_GE(stats.checkpoints_written, opts.epochs);  // epoch boundaries
+}
+
+TEST(CheckpointTrainerTest, SurvivesCrashesAndStillConverges) {
+  CheckpointTrainer::Options opts;
+  opts.crash_probability = 0.05;
+  opts.epochs = 8;
+  opts.checkpoint_interval = 8;
+  CheckpointTrainer trainer(opts);
+  auto stats = trainer.Train(MakeData(2000, 2));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GT(stats.crashes, 0u);
+  EXPECT_LT(stats.final_mse, 0.01);
+}
+
+TEST(CheckpointTrainerTest, TighterCheckpointsWasteLessWork) {
+  auto data = MakeData(3000, 3);
+  CheckpointTrainer::Options tight;
+  tight.crash_probability = 0.03;
+  tight.checkpoint_interval = 4;
+  CheckpointTrainer::Options loose = tight;
+  loose.checkpoint_interval = 128;
+
+  auto tight_stats = CheckpointTrainer(tight).Train(data);
+  auto loose_stats = CheckpointTrainer(loose).Train(data);
+  EXPECT_LT(tight_stats.wasted_batches, loose_stats.wasted_batches);
+  EXPECT_GT(tight_stats.checkpoints_written, loose_stats.checkpoints_written);
+  // Both converge to the same quality regardless of fault schedule.
+  EXPECT_NEAR(tight_stats.final_mse, loose_stats.final_mse, 0.01);
+}
+
+TEST(CheckpointTrainerTest, NoCheckpointingRestartsFromScratch) {
+  CheckpointTrainer::Options opts;
+  opts.crash_probability = 0.02;
+  opts.checkpoint_interval = 0;  // the baseline the survey criticizes
+  opts.epochs = 4;
+  opts.max_crashes = 50;
+  CheckpointTrainer trainer(opts);
+  auto stats = trainer.Train(MakeData(2000, 4));
+  EXPECT_TRUE(stats.completed);  // completes once the fault budget is spent
+  EXPECT_EQ(stats.checkpoints_written, 0u);
+  // Restart-from-scratch wastes far more than any checkpointed run.
+  CheckpointTrainer::Options ckpt = opts;
+  ckpt.checkpoint_interval = 8;
+  auto ckpt_stats = CheckpointTrainer(ckpt).Train(MakeData(2000, 4));
+  EXPECT_GT(stats.wasted_batches, ckpt_stats.wasted_batches * 2);
+}
+
+TEST(CheckpointTrainerTest, CheckpointLogMonotone) {
+  CheckpointTrainer::Options opts;
+  opts.crash_probability = 0.0;
+  opts.epochs = 3;
+  opts.checkpoint_interval = 8;
+  CheckpointTrainer trainer(opts);
+  (void)trainer.Train(MakeData(1000, 5));
+  const auto& log = trainer.checkpoint_log();
+  ASSERT_FALSE(log.empty());
+  for (size_t i = 1; i < log.size(); ++i) {
+    // Progress never goes backwards in the durable log.
+    bool forward = log[i].epoch > log[i - 1].epoch ||
+                   (log[i].epoch == log[i - 1].epoch &&
+                    log[i].next_row >= log[i - 1].next_row);
+    EXPECT_TRUE(forward) << i;
+  }
+}
+
+TEST(CheckpointTrainerTest, EmptyDataset) {
+  CheckpointTrainer trainer(CheckpointTrainer::Options{});
+  ml::Dataset empty;
+  auto stats = trainer.Train(empty);
+  EXPECT_FALSE(stats.completed);
+}
+
+}  // namespace
+}  // namespace aidb::db4ai

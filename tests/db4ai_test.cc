@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "db4ai/governance/active_clean.h"
+#include "db4ai/governance/crowd_labeling.h"
+#include "db4ai/governance/discovery_graph.h"
+#include "db4ai/governance/lineage.h"
+#include "db4ai/inference/inference.h"
+#include "db4ai/training/feature_selection.h"
+#include "db4ai/training/model_manager.h"
+#include "db4ai/training/model_selection.h"
+#include "db4ai/training/parallel_trainer.h"
+#include "exec/database.h"
+
+namespace aidb::db4ai {
+namespace {
+
+// ----- Discovery graph -----
+
+TEST(DiscoveryGraphTest, FindsJoinableColumns) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE orders (id INT, customer_id INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE customers (id INT, region INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE unrelated (x INT, y INT)").ok());
+  // customer ids 0..199 appear in both tables; unrelated uses a disjoint range.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO customers VALUES (" + std::to_string(i) +
+                           ", " + std::to_string(i % 5) + ")")
+                    .ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO orders VALUES (" + std::to_string(1000 + i) +
+                           ", " + std::to_string(i) + ")")
+                    .ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO unrelated VALUES (" +
+                           std::to_string(50000 + i) + ", " +
+                           std::to_string(90000 + i) + ")")
+                    .ok());
+  }
+  DiscoveryGraph ekg;
+  ASSERT_TRUE(ekg.Build(db.catalog()).ok());
+  EXPECT_EQ(ekg.NumNodes(), 6u);
+
+  // orders.customer_id should be similar to customers.id.
+  double sim = ekg.Similarity("orders", "customer_id", "customers", "id");
+  EXPECT_GT(sim, 0.8);
+  EXPECT_LT(ekg.Similarity("orders", "customer_id", "unrelated", "x"), 0.2);
+
+  auto related = ekg.RelatedTables("orders");
+  EXPECT_NE(std::find(related.begin(), related.end(), "customers"), related.end());
+  EXPECT_EQ(std::find(related.begin(), related.end(), "unrelated"), related.end());
+
+  auto similar = ekg.SimilarColumns("orders", "customer_id");
+  ASSERT_FALSE(similar.empty());
+  EXPECT_EQ(similar[0].first.table, "customers");
+}
+
+// ----- ActiveClean -----
+
+TEST(ActiveCleanTest, PrioritizedCleaningDominatesRandom) {
+  // 20% dirty (~300 of 1500); the budget covers the dirty records only if
+  // the cleaner targets them — which is exactly ActiveClean's advantage:
+  // gradient-prioritized cleaning finds dirty rows, random wastes budget
+  // verifying clean ones.
+  auto data = MakeDirtyDataset(1500, 0.2, 12);
+  auto test_data = MakeDirtyDataset(600, 0.0, 13).clean;
+
+  CleaningSession random_session(data, 1);
+  auto random_curve = random_session.Run(CleaningSession::Order::kRandom, 300, 50,
+                                         test_data);
+  CleaningSession active_session(data, 1);
+  auto active_curve = active_session.Run(CleaningSession::Order::kActiveClean, 300,
+                                         50, test_data);
+
+  ASSERT_EQ(random_curve.size(), active_curve.size());
+  double active_final = active_curve.back().test_accuracy;
+  double random_final = random_curve.back().test_accuracy;
+  EXPECT_GT(active_final, random_final + 0.05)
+      << "active " << active_final << " random " << random_final;
+  EXPECT_GT(active_final, 0.85);
+}
+
+TEST(ActiveCleanTest, DirtyDataHurtsModel) {
+  auto data = MakeDirtyDataset(1500, 0.35, 14);
+  auto test_data = MakeDirtyDataset(600, 0.0, 15).clean;
+  ml::SgdOptions sopts;
+  sopts.epochs = 60;
+  sopts.learning_rate = 0.3;
+  ml::LogisticRegression on_dirty, on_clean;
+  on_dirty.Fit(data.dirty, sopts);
+  on_clean.Fit(data.clean, sopts);
+  EXPECT_GT(ml::Accuracy(on_clean.Predict(test_data.x), test_data.y),
+            ml::Accuracy(on_dirty.Predict(test_data.x), test_data.y) + 0.05);
+}
+
+// ----- Crowd labeling -----
+
+TEST(CrowdLabelingTest, DawidSkeneBeatsMajorityAtFixedCost) {
+  CrowdOptions opts;
+  opts.labels_per_item = 5;
+  auto campaign = RunCrowdCampaign(opts);
+  ml::TruthInference ti(opts.num_items, opts.num_workers, opts.num_classes);
+  auto mv = ti.MajorityVote(campaign.labels);
+  auto ds = ti.DawidSkene(campaign.labels);
+  double acc_mv = LabelAccuracy(mv, campaign.truth);
+  double acc_ds = LabelAccuracy(ds, campaign.truth);
+  EXPECT_GE(acc_ds, acc_mv);
+  EXPECT_GT(acc_ds, 0.85);
+}
+
+TEST(CrowdLabelingTest, RedundancyImprovesMajorityVote) {
+  CrowdOptions low, high;
+  low.labels_per_item = 1;
+  high.labels_per_item = 9;
+  auto c_low = RunCrowdCampaign(low);
+  auto c_high = RunCrowdCampaign(high);
+  ml::TruthInference ti_low(low.num_items, low.num_workers, low.num_classes);
+  ml::TruthInference ti_high(high.num_items, high.num_workers, high.num_classes);
+  double a_low = LabelAccuracy(ti_low.MajorityVote(c_low.labels), c_low.truth);
+  double a_high = LabelAccuracy(ti_high.MajorityVote(c_high.labels), c_high.truth);
+  EXPECT_GT(a_high, a_low);
+  EXPECT_GT(c_high.total_labels, c_low.total_labels * 8);  // the cost
+}
+
+// ----- Lineage -----
+
+TEST(LineageTest, BackwardAndForwardTracing) {
+  LineageGraph g;
+  g.AddArtifact("raw_events", LineageKind::kSource);
+  g.RecordDerivation({"raw_events"}, "clean_events", "clean");
+  g.RecordDerivation({"clean_events", "users"}, "features", "join");
+  g.RecordDerivation({"features"}, "churn_model", "train");
+  g.RecordDerivation({"churn_model"}, "weekly_report", "predict");
+
+  auto up = g.Upstream("churn_model");
+  EXPECT_NE(std::find(up.begin(), up.end(), "raw_events"), up.end());
+  EXPECT_NE(std::find(up.begin(), up.end(), "users"), up.end());
+  EXPECT_EQ(std::find(up.begin(), up.end(), "weekly_report"), up.end());
+
+  auto down = g.Downstream("raw_events");
+  EXPECT_NE(std::find(down.begin(), down.end(), "weekly_report"), down.end());
+
+  auto ops = g.PathOperations("raw_events", "churn_model");
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], "clean");
+  EXPECT_EQ(ops[2], "train");
+
+  EXPECT_TRUE(g.PathOperations("weekly_report", "raw_events").empty());
+}
+
+// ----- Feature selection -----
+
+class FeatureSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(20);
+    size_t n = 3000, d = 8;
+    data_.x = ml::Matrix(n, d);
+    data_.y.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < d; ++c) data_.x.At(i, c) = rng.UniformDouble(-1, 1);
+      // Only features 1 and 4 matter.
+      data_.y.push_back(2 * data_.x.At(i, 1) - 3 * data_.x.At(i, 4) +
+                        rng.Gaussian(0, 0.05));
+    }
+  }
+  ml::Dataset data_;
+};
+
+TEST_F(FeatureSelectionTest, MaterializedMatchesNaive) {
+  FeatureSelectionEngine engine(&data_);
+  auto subsets = AllSubsetsOfSize(8, 2);
+  auto naive = engine.EvaluateNaive(subsets);
+  engine.Materialize();
+  auto fast = engine.EvaluateMaterialized(subsets);
+  ASSERT_EQ(naive.size(), fast.size());
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_NEAR(naive[i].train_mse, fast[i].train_mse, 1e-6) << i;
+  }
+}
+
+TEST_F(FeatureSelectionTest, MaterializedIsFaster) {
+  FeatureSelectionEngine engine(&data_);
+  auto subsets = AllSubsetsOfSize(8, 3);  // 56 subsets
+  Timer naive_t;
+  engine.EvaluateNaive(subsets);
+  double naive_s = naive_t.ElapsedSeconds();
+  Timer mat_t;
+  engine.Materialize();
+  engine.EvaluateMaterialized(subsets);
+  double mat_s = mat_t.ElapsedSeconds();
+  EXPECT_LT(mat_s, naive_s) << "materialized " << mat_s << "s naive " << naive_s;
+}
+
+TEST_F(FeatureSelectionTest, ForwardSelectionFindsInformativeFeatures) {
+  FeatureSelectionEngine engine(&data_);
+  auto best = engine.ForwardSelect(2);
+  ASSERT_EQ(best.features.size(), 2u);
+  std::set<size_t> chosen(best.features.begin(), best.features.end());
+  EXPECT_TRUE(chosen.count(1));
+  EXPECT_TRUE(chosen.count(4));
+  EXPECT_LT(best.train_mse, 0.01);
+}
+
+// ----- Model selection -----
+
+TEST(ModelSelectionTest, HalvingFindsGoodConfigCheaper) {
+  Rng rng(21);
+  ml::Dataset train, valid;
+  size_t n = 400;
+  train.x = ml::Matrix(n, 2);
+  valid.x = ml::Matrix(100, 2);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.UniformDouble(-1, 1), b = rng.UniformDouble(-1, 1);
+    train.x.At(i, 0) = a;
+    train.x.At(i, 1) = b;
+    train.y.push_back(a * b);
+  }
+  for (size_t i = 0; i < 100; ++i) {
+    double a = rng.UniformDouble(-1, 1), b = rng.UniformDouble(-1, 1);
+    valid.x.At(i, 0) = a;
+    valid.x.At(i, 1) = b;
+    valid.y.push_back(a * b);
+  }
+  ModelSelector selector(&train, &valid);
+  auto grid = ModelSelector::DefaultGrid();
+  auto full = selector.SequentialFull(grid, 40);
+  auto halving = selector.SuccessiveHalving(grid, 5, 40);
+  EXPECT_LT(halving.total_epochs_spent, full.total_epochs_spent / 2);
+  // Halving's pick should be competitive.
+  EXPECT_LT(halving.best_validation_mse, full.best_validation_mse * 3 + 0.01);
+}
+
+TEST(ModelSelectionTest, ParallelMatchesSequential) {
+  Rng rng(22);
+  ml::Dataset train, valid;
+  train.x = ml::Matrix(200, 2);
+  valid.x = ml::Matrix(50, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    train.x.At(i, 0) = rng.NextDouble();
+    train.x.At(i, 1) = rng.NextDouble();
+    train.y.push_back(train.x.At(i, 0));
+  }
+  for (size_t i = 0; i < 50; ++i) {
+    valid.x.At(i, 0) = rng.NextDouble();
+    valid.x.At(i, 1) = rng.NextDouble();
+    valid.y.push_back(valid.x.At(i, 0));
+  }
+  ModelSelector selector(&train, &valid);
+  std::vector<ModelConfig> grid{{{8}, 1e-2, 16}, {{16}, 1e-2, 16}, {{32}, 2e-3, 32}};
+  auto seq = selector.SequentialFull(grid, 20);
+  auto par = selector.ParallelFull(grid, 20, 3);
+  EXPECT_EQ(seq.best.ToString(), par.best.ToString());
+  EXPECT_NEAR(seq.best_validation_mse, par.best_validation_mse, 1e-9);
+}
+
+// ----- Model manager -----
+
+TEST(ModelManagerTest, VersioningAndQueries) {
+  ModelManager mm;
+  EXPECT_EQ(mm.Record("churn", "lr=0.1", "events", {{"mse", 0.5}}), 1u);
+  EXPECT_EQ(mm.Record("churn", "lr=0.01", "events", {{"mse", 0.3}}, "churn:1"), 2u);
+  EXPECT_EQ(mm.Record("fraud", "forest", "payments", {{"mse", 0.4}}), 1u);
+
+  EXPECT_EQ(mm.TotalVersions(), 3u);
+  EXPECT_EQ(mm.Latest("churn")->version, 2u);
+  EXPECT_EQ(mm.History("churn").size(), 2u);
+  EXPECT_EQ(mm.BestByMetric("mse")->hyperparameters, "lr=0.01");
+  EXPECT_EQ(mm.TrainedOn("payments").size(), 1u);
+  EXPECT_FALSE(mm.Get("churn", 5).has_value());
+  EXPECT_FALSE(mm.Latest("missing").has_value());
+}
+
+// ----- Parallel trainer -----
+
+class ParallelTrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE samples (a DOUBLE, b DOUBLE, y DOUBLE)").ok());
+    Table* t = db_.catalog().GetTable("samples").ValueOrDie();
+    Rng rng(23);
+    for (int i = 0; i < 4000; ++i) {
+      double a = rng.UniformDouble(-1, 1), b = rng.UniformDouble(-1, 1);
+      ASSERT_TRUE(t->Insert({Value(a), Value(b),
+                             Value(2 * a - b + rng.Gaussian(0, 0.01))})
+                      .ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(ParallelTrainerTest, BothPathsLearnTheModel) {
+  ParallelTrainer trainer;
+  auto exported = trainer.TrainViaExport(db_.catalog(), "samples", "y");
+  ASSERT_TRUE(exported.ok());
+  auto indb = trainer.TrainInDatabase(db_.catalog(), "samples", "y", 4);
+  ASSERT_TRUE(indb.ok());
+  EXPECT_LT(exported.ValueOrDie().final_mse, 0.05);
+  EXPECT_LT(indb.ValueOrDie().final_mse, 0.05);
+}
+
+TEST_F(ParallelTrainerTest, InDbSkipsExportCost) {
+  ParallelTrainer trainer;
+  auto exported = trainer.TrainViaExport(db_.catalog(), "samples", "y");
+  auto indb = trainer.TrainInDatabase(db_.catalog(), "samples", "y", 4);
+  ASSERT_TRUE(exported.ok() && indb.ok());
+  EXPECT_GT(exported.ValueOrDie().export_seconds, 0.0);
+  EXPECT_EQ(indb.ValueOrDie().export_seconds, 0.0);
+  EXPECT_LT(indb.ValueOrDie().wall_seconds, exported.ValueOrDie().wall_seconds);
+}
+
+// ----- Inference -----
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ml::MlpOptions opts;
+    opts.hidden = {32, 32};
+    opts.epochs = 1;
+    model_ = std::make_unique<ml::Mlp>(4, 1, opts);
+  }
+  std::unique_ptr<ml::Mlp> model_;
+};
+
+TEST_F(InferenceTest, KernelsAgree) {
+  Rng rng(24);
+  ml::Matrix x(500, 4);
+  for (auto& v : x.data()) v = rng.NextDouble();
+  InferenceEngine engine(model_.get());
+  std::vector<double> a, b, c;
+  engine.RunRowWise(x, &a);
+  engine.RunBatched(x, &b);
+  engine.RunCached(x, &c);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+    EXPECT_NEAR(a[i], c[i], 1e-9);
+  }
+}
+
+TEST_F(InferenceTest, CachedWinsOnRepetitiveInput) {
+  Rng rng(25);
+  // Only 10 distinct rows repeated many times.
+  ml::Matrix distinct(10, 4);
+  for (auto& v : distinct.data()) v = rng.NextDouble();
+  ml::Matrix x(5000, 4);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    size_t src = rng.Uniform(10);
+    for (size_t cidx = 0; cidx < 4; ++cidx) x.At(r, cidx) = distinct.At(src, cidx);
+  }
+  InferenceEngine engine(model_.get());
+  std::vector<double> out;
+  auto cached = engine.RunCached(x, &out);
+  EXPECT_GT(cached.cache_hits, 4900u);
+  auto auto_stats = engine.RunAuto(x, &out);
+  EXPECT_EQ(auto_stats.kernel, InferenceKernel::kCached);
+}
+
+TEST_F(InferenceTest, AutoPicksBatchedForDistinctData) {
+  Rng rng(26);
+  ml::Matrix x(1000, 4);
+  for (auto& v : x.data()) v = rng.NextDouble();
+  InferenceEngine engine(model_.get());
+  std::vector<double> out;
+  auto stats = engine.RunAuto(x, &out);
+  EXPECT_EQ(stats.kernel, InferenceKernel::kBatched);
+}
+
+TEST(CascadeTest, OptimizedOrderCutsCost) {
+  // The survey's hybrid example: expensive PREDICT after cheap selective
+  // relational predicates.
+  Rng rng(27);
+  size_t n = 20000;
+  std::vector<bool> cheap_pass(n), ml_pass(n);
+  for (size_t i = 0; i < n; ++i) {
+    cheap_pass[i] = rng.Bernoulli(0.05);  // selective relational filter
+    ml_pass[i] = rng.Bernoulli(0.5);
+  }
+  std::vector<CascadeStage> stages;
+  stages.push_back({"predict_stay", 100.0, 0.5,
+                    [&](size_t i) { return ml_pass[i]; }});
+  stages.push_back({"age_filter", 1.0, 0.05,
+                    [&](size_t i) { return cheap_pass[i]; }});
+
+  auto naive = RunCascade(n, stages);  // model first (the naive plan)
+  auto optimized = RunCascade(n, OptimizeCascadeOrder(stages));
+  EXPECT_EQ(naive.rows_out, optimized.rows_out);      // same answer
+  EXPECT_LT(optimized.total_cost, naive.total_cost / 5.0);
+  EXPECT_EQ(optimized.order[0], "age_filter");
+}
+
+}  // namespace
+}  // namespace aidb::db4ai

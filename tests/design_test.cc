@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "design/learned_index/alex.h"
+#include "design/learned_index/rmi.h"
+#include "design/lsm_tuner/lsm_tuner.h"
+#include "design/txn_sched/learned_scheduler.h"
+#include "storage/btree.h"
+
+namespace aidb::design {
+namespace {
+
+std::vector<int64_t> UniformKeys(size_t n, Rng* rng) {
+  std::set<int64_t> s;
+  while (s.size() < n) s.insert(rng->UniformInt(0, 100000000));
+  return {s.begin(), s.end()};
+}
+
+TEST(RmiTest, FindsEveryKey) {
+  Rng rng(1);
+  auto keys = UniformKeys(50000, &rng);
+  RmiIndex rmi(512);
+  rmi.Build(keys);
+  for (size_t i = 0; i < keys.size(); i += 97) {
+    auto pos = rmi.Lookup(keys[i]);
+    ASSERT_TRUE(pos.has_value()) << keys[i];
+    EXPECT_EQ(keys[*pos], keys[i]);
+  }
+}
+
+TEST(RmiTest, RejectsAbsentKeys) {
+  Rng rng(2);
+  auto keys = UniformKeys(10000, &rng);
+  RmiIndex rmi(256);
+  rmi.Build(keys);
+  std::set<int64_t> present(keys.begin(), keys.end());
+  size_t checked = 0;
+  for (int64_t probe = 1; checked < 500; probe += 198491) {
+    if (present.count(probe)) continue;
+    EXPECT_FALSE(rmi.Lookup(probe).has_value()) << probe;
+    ++checked;
+  }
+}
+
+TEST(RmiTest, SequentialKeysHaveTinyError) {
+  std::vector<int64_t> keys(100000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<int64_t>(i) * 8;
+  RmiIndex rmi(1024);
+  rmi.Build(keys);
+  EXPECT_LT(rmi.avg_error(), 1.0);  // linear data: near-perfect models
+  EXPECT_TRUE(rmi.Contains(4096 * 8));
+}
+
+TEST(RmiTest, SmallerThanBTree) {
+  Rng rng(3);
+  auto keys = UniformKeys(200000, &rng);
+  RmiIndex rmi(1024);
+  rmi.Build(keys);
+
+  std::vector<std::pair<int64_t, uint64_t>> pairs;
+  for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i);
+  BTree btree;
+  btree.BulkLoad(pairs);
+
+  // Compare index overhead: RMI models vs B+tree node structure (excluding
+  // the key payload both must store).
+  size_t btree_overhead = btree.MemoryBytes() - keys.size() * 16;
+  EXPECT_LT(rmi.ModelBytes(), btree_overhead / 5);
+}
+
+TEST(RmiTest, RangeBounds) {
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k < 1000; ++k) keys.push_back(k * 10);
+  RmiIndex rmi(64);
+  rmi.Build(keys);
+  auto [lo, hi] = rmi.RangeBounds(100, 200);
+  EXPECT_EQ(lo, 10u);
+  EXPECT_EQ(hi, 21u);  // keys 100..200 inclusive -> indices 10..20
+}
+
+TEST(AlexTest, InsertAndFind) {
+  AlexIndex alex;
+  Rng rng(4);
+  std::map<int64_t, uint64_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t k = rng.UniformInt(0, 1000000);
+    alex.Insert(k, static_cast<uint64_t>(i));
+    model[k] = static_cast<uint64_t>(i);
+  }
+  EXPECT_EQ(alex.size(), model.size());
+  for (auto& [k, v] : model) {
+    auto got = alex.Find(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, v) << k;
+  }
+  EXPECT_FALSE(alex.Find(-5).has_value());
+  EXPECT_FALSE(alex.Find(2000000).has_value());
+}
+
+TEST(AlexTest, SequentialInsertsSplitSegments) {
+  AlexIndex::Options opts;
+  opts.max_segment_keys = 256;
+  AlexIndex alex(opts);
+  for (int64_t k = 0; k < 5000; ++k) alex.Insert(k, static_cast<uint64_t>(k));
+  EXPECT_GT(alex.num_segments(), 4u);
+  for (int64_t k = 0; k < 5000; k += 37) {
+    ASSERT_TRUE(alex.Find(k).has_value()) << k;
+  }
+}
+
+TEST(AlexTest, UpsertOverwrites) {
+  AlexIndex alex;
+  alex.Insert(42, 1);
+  alex.Insert(42, 2);
+  EXPECT_EQ(alex.size(), 1u);
+  EXPECT_EQ(alex.Find(42).value(), 2u);
+}
+
+TEST(AlexTest, BulkLoadThenMixedWorkload) {
+  std::vector<std::pair<int64_t, uint64_t>> sorted;
+  for (int64_t k = 0; k < 50000; ++k) sorted.emplace_back(k * 3, static_cast<uint64_t>(k));
+  AlexIndex alex;
+  alex.BulkLoad(sorted);
+  EXPECT_EQ(alex.size(), 50000u);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t k = rng.UniformInt(0, 150000);
+    if (rng.Bernoulli(0.5)) {
+      alex.Insert(k, 999);
+      EXPECT_EQ(alex.Find(k).value(), 999u);
+    } else {
+      auto got = alex.Find(k);
+      EXPECT_EQ(got.has_value(), k % 3 == 0 || got.has_value());
+    }
+  }
+}
+
+TEST(LsmCostModelTest, BloomBitsCutMissCost) {
+  LsmCostModel model;
+  LsmWorkload w;
+  w.read_hit_fraction = 0.1;  // miss-heavy
+  LsmOptions no_bloom;
+  no_bloom.bloom_bits_per_key = 0;
+  LsmOptions bloom;
+  bloom.bloom_bits_per_key = 10;
+  EXPECT_LT(model.ReadCost(bloom, w), model.ReadCost(no_bloom, w));
+}
+
+TEST(LsmCostModelTest, TieringCheaperWritesLevelingCheaperReads) {
+  LsmCostModel model;
+  LsmWorkload w;
+  LsmOptions leveling;
+  leveling.leveling = true;
+  LsmOptions tiering = leveling;
+  tiering.leveling = false;
+  EXPECT_LT(model.WriteCost(tiering, w), model.WriteCost(leveling, w));
+  EXPECT_LT(model.ReadCost(leveling, w), model.ReadCost(tiering, w));
+}
+
+TEST(LsmTunerTest, AdaptsToWorkloadMix) {
+  LsmDesignTuner tuner;
+  LsmWorkload write_heavy;
+  write_heavy.num_writes = 500000;
+  write_heavy.num_point_reads = 10000;
+  LsmWorkload read_heavy;
+  read_heavy.num_writes = 10000;
+  read_heavy.num_point_reads = 500000;
+
+  auto w_design = tuner.Tune(write_heavy);
+  auto r_design = tuner.Tune(read_heavy);
+  // Write-heavy should pick tiering (or at least not be more read-optimized
+  // than the read-heavy design).
+  EXPECT_FALSE(w_design.options.leveling);
+  EXPECT_TRUE(r_design.options.leveling);
+  // Tuned beats default on its own workload.
+  LsmCostModel model;
+  EXPECT_LE(w_design.model_cost,
+            model.TotalCost(LsmDesignTuner::DefaultDesign(), write_heavy));
+  EXPECT_LE(r_design.model_cost,
+            model.TotalCost(LsmDesignTuner::DefaultDesign(), read_heavy));
+}
+
+TEST(LsmTunerTest, ModelCostAgreesWithMeasuredDirection) {
+  // The analytic model says tiering has lower write amplification; verify on
+  // the real LSM substrate.
+  LsmOptions tiering;
+  tiering.leveling = false;
+  tiering.memtable_capacity = 256;
+  LsmOptions leveling = tiering;
+  leveling.leveling = true;
+
+  LsmTree t(tiering), l(leveling);
+  Rng rng(6);
+  for (int i = 0; i < 30000; ++i) {
+    int64_t k = rng.UniformInt(0, 1000000);
+    t.Put(k, "v");
+    l.Put(k, "v");
+  }
+  EXPECT_LT(t.stats().WriteAmplification(), l.stats().WriteAmplification());
+}
+
+TEST(LearnedTxnSchedulerTest, BeatsFifoUnderContention) {
+  txn::TxnWorkloadOptions wopts;
+  wopts.num_txns = 1200;
+  wopts.keyspace = 300;
+  wopts.zipf_theta = 1.1;  // heavy hotspot
+  wopts.write_fraction = 0.6;
+  auto workload = txn::GenerateTxnWorkload(wopts);
+
+  txn::TxnSimulator sim;
+  txn::FifoScheduler fifo;
+  auto fifo_result = sim.Run(workload, &fifo);
+
+  LearnedTxnScheduler learned;
+  auto learned_result = sim.Run(workload, &learned);
+
+  EXPECT_EQ(learned_result.committed, fifo_result.committed);
+  EXPECT_LT(learned_result.aborted, fifo_result.aborted)
+      << "learned aborts " << learned_result.aborted << " vs fifo "
+      << fifo_result.aborted;
+}
+
+TEST(LearnedTxnSchedulerTest, OracleIsUpperBound) {
+  txn::TxnWorkloadOptions wopts;
+  wopts.num_txns = 800;
+  wopts.keyspace = 300;
+  wopts.zipf_theta = 1.1;
+  auto workload = txn::GenerateTxnWorkload(wopts);
+
+  txn::TxnSimulator sim;
+  OracleTxnScheduler oracle;
+  auto oracle_result = sim.Run(workload, &oracle);
+  LearnedTxnScheduler learned;
+  auto learned_result = sim.Run(workload, &learned);
+  // The oracle never dispatches a conflicting txn when an alternative exists.
+  EXPECT_LE(oracle_result.aborted, learned_result.aborted + 5);
+}
+
+}  // namespace
+}  // namespace aidb::design

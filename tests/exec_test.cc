@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/database.h"
+
+namespace aidb {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Run("CREATE TABLE emp (id INT, dept INT, salary DOUBLE, name STRING)");
+    Run("CREATE TABLE dept (id INT, budget DOUBLE)");
+    Run("INSERT INTO emp VALUES (1, 10, 100.0, 'a'), (2, 10, 200.0, 'b'), "
+        "(3, 20, 300.0, 'c'), (4, 20, 400.0, 'd'), (5, 30, 500.0, 'e')");
+    Run("INSERT INTO dept VALUES (10, 1000.0), (20, 2000.0), (30, 3000.0)");
+    Run("ANALYZE emp");
+    Run("ANALYZE dept");
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecTest, SelectStar) {
+  auto r = Run("SELECT * FROM emp");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.columns.size(), 4u);
+}
+
+TEST_F(ExecTest, WhereFilter) {
+  auto r = Run("SELECT name FROM emp WHERE salary > 250");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecTest, WhereConjunction) {
+  auto r = Run("SELECT id FROM emp WHERE salary > 150 AND dept = 20");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecTest, ArithmeticProjection) {
+  auto r = Run("SELECT salary * 2 + 1 AS d FROM emp WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 201.0);
+  EXPECT_EQ(r.columns[0], "d");
+}
+
+TEST_F(ExecTest, JoinExplicit) {
+  auto r = Run("SELECT emp.name, dept.budget FROM emp JOIN dept ON emp.dept = dept.id");
+  EXPECT_EQ(r.rows.size(), 5u);
+}
+
+TEST_F(ExecTest, JoinWithFilter) {
+  auto r = Run(
+      "SELECT emp.name FROM emp JOIN dept ON emp.dept = dept.id "
+      "WHERE dept.budget >= 2000");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecTest, CommaJoinWithWherePredicate) {
+  auto r = Run("SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id AND dept.budget = 1000");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecTest, SelfJoinWithAliases) {
+  auto r = Run("SELECT a.id, b.id FROM emp a, emp b WHERE a.dept = b.dept AND a.id < b.id");
+  // dept 10: (1,2); dept 20: (3,4) -> 2 pairs
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecTest, GroupByAggregates) {
+  auto r = Run(
+      "SELECT dept, COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary) "
+      "FROM emp GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsDouble(), 10);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 300.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 150.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][4].AsDouble(), 300.0);
+  EXPECT_DOUBLE_EQ(r.rows[2][5].AsDouble(), 500.0);
+}
+
+TEST_F(ExecTest, GlobalAggregateNoGroup) {
+  auto r = Run("SELECT COUNT(*), SUM(salary) FROM emp");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 1500.0);
+}
+
+TEST_F(ExecTest, GlobalAggregateEmptyInput) {
+  auto r = Run("SELECT COUNT(*) FROM emp WHERE salary > 99999");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ExecTest, OrderByDescAndLimit) {
+  auto r = Run("SELECT id FROM emp ORDER BY salary DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 4);
+}
+
+TEST_F(ExecTest, UpdateThenSelect) {
+  auto u = Run("UPDATE emp SET salary = salary + 50 WHERE dept = 10");
+  EXPECT_EQ(u.affected_rows, 2u);
+  auto r = Run("SELECT SUM(salary) FROM emp WHERE dept = 10");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 400.0);
+}
+
+TEST_F(ExecTest, DeleteThenCount) {
+  auto d = Run("DELETE FROM emp WHERE salary >= 400");
+  EXPECT_EQ(d.affected_rows, 2u);
+  auto r = Run("SELECT COUNT(*) FROM emp");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecTest, IndexScanMatchesSeqScan) {
+  // Load a bigger table and compare index vs sequential results.
+  Run("CREATE TABLE big (k INT, v DOUBLE)");
+  Rng rng(8);
+  std::string insert = "INSERT INTO big VALUES ";
+  for (int i = 0; i < 2000; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(rng.UniformInt(0, 500)) + ", " +
+              std::to_string(i) + ".0)";
+  }
+  Run(insert);
+  Run("ANALYZE big");
+  auto no_index = Run("SELECT COUNT(*) FROM big WHERE k = 123");
+  Run("CREATE INDEX big_k ON big(k)");
+  auto with_index = Run("SELECT COUNT(*) FROM big WHERE k = 123");
+  EXPECT_EQ(no_index.rows[0][0].AsInt(), with_index.rows[0][0].AsInt());
+  // The plan should actually use the index.
+  auto explain = Run("EXPLAIN SELECT COUNT(*) FROM big WHERE k = 123");
+  EXPECT_NE(explain.message.find("IndexScan"), std::string::npos)
+      << explain.message;
+}
+
+TEST_F(ExecTest, IndexRangeScan) {
+  Run("CREATE INDEX emp_sal_dept ON emp(dept)");
+  auto r = Run("SELECT COUNT(*) FROM emp WHERE dept >= 20");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecTest, ExplainShowsJoinOrder) {
+  auto r = Run("EXPLAIN SELECT emp.id FROM emp JOIN dept ON emp.dept = dept.id");
+  EXPECT_NE(r.message.find("HashJoin"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("join order"), std::string::npos);
+}
+
+TEST_F(ExecTest, ThreeWayJoin) {
+  Run("CREATE TABLE proj (id INT, dept INT)");
+  Run("INSERT INTO proj VALUES (100, 10), (101, 20), (102, 20)");
+  Run("ANALYZE proj");
+  auto r = Run(
+      "SELECT emp.name, proj.id FROM emp JOIN dept ON emp.dept = dept.id "
+      "JOIN proj ON proj.dept = dept.id");
+  // dept10: 2 emps x 1 proj = 2; dept20: 2 emps x 2 proj = 4 -> 6 rows
+  EXPECT_EQ(r.rows.size(), 6u);
+}
+
+TEST_F(ExecTest, NullHandling) {
+  Run("CREATE TABLE n (a INT)");
+  Run("INSERT INTO n VALUES (1), (NULL), (3)");
+  auto r = Run("SELECT COUNT(*) FROM n WHERE a > 0");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);  // NULL comparison is not true
+  auto s = Run("SELECT SUM(a) FROM n");
+  EXPECT_DOUBLE_EQ(s.rows[0][0].AsDouble(), 4.0);  // NULLs ignored by SUM
+}
+
+TEST_F(ExecTest, ErrorsAreStatuses) {
+  EXPECT_FALSE(db_.Execute("SELECT nope FROM emp").ok());
+  EXPECT_FALSE(db_.Execute("SELECT id FROM missing").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO emp VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("SELECT id FROM emp ORDER BY missing").ok());
+  EXPECT_FALSE(db_.Execute("CREATE TABLE emp (x INT)").ok());  // duplicate
+}
+
+TEST_F(ExecTest, CreateModelAndPredict) {
+  // y = 2a + 3 with tiny noise; linear model should recover it.
+  Run("CREATE TABLE train (a DOUBLE, y DOUBLE)");
+  Rng rng(9);
+  std::string insert = "INSERT INTO train VALUES ";
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.UniformDouble(0, 10);
+    double y = 2 * a + 3 + rng.Gaussian(0, 0.01);
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(a) + ", " + std::to_string(y) + ")";
+  }
+  Run(insert);
+  Run("CREATE MODEL lin TYPE linear PREDICT y ON train FEATURES (a)");
+  auto models = Run("SHOW MODELS");
+  ASSERT_EQ(models.rows.size(), 1u);
+  EXPECT_EQ(models.rows[0][0].AsString(), "lin");
+
+  auto r = Run("SELECT PREDICT(lin, 5.0) FROM train LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NEAR(r.rows[0][0].AsDouble(), 13.0, 0.5);
+}
+
+TEST_F(ExecTest, PredictInWhereClause) {
+  Run("CREATE TABLE pts (x DOUBLE, label DOUBLE)");
+  std::string insert = "INSERT INTO pts VALUES ";
+  Rng rng(10);
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.UniformDouble(-2, 2);
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(x) + ", " + (x > 0 ? std::string("1.0") : std::string("0.0")) + ")";
+  }
+  Run(insert);
+  Run("CREATE MODEL clf TYPE logistic PREDICT label ON pts FEATURES (x)");
+  auto pos = Run("SELECT COUNT(*) FROM pts WHERE PREDICT(clf, x) > 0.5");
+  auto truth = Run("SELECT COUNT(*) FROM pts WHERE x > 0");
+  double ratio = pos.rows[0][0].AsDouble() / std::max(1.0, truth.rows[0][0].AsDouble());
+  EXPECT_NEAR(ratio, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace aidb

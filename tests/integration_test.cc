@@ -1,0 +1,170 @@
+// End-to-end integration tests: multi-statement SQL sessions exercising the
+// whole stack (DDL -> load -> ANALYZE -> indexes -> joins/aggregates ->
+// in-DB ML -> hybrid queries), plus cross-module flows that mirror the
+// examples.
+
+#include <gtest/gtest.h>
+
+#include "advisor/index/index_advisor.h"
+#include "common/rng.h"
+#include "db4ai/governance/discovery_graph.h"
+#include "exec/database.h"
+#include "learned/cardinality/learned_estimator.h"
+#include "learned/joinorder/learned_joinorder.h"
+#include "workload/generator.h"
+
+namespace aidb {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  QueryResult Run(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : QueryResult{};
+  }
+  Database db_;
+};
+
+TEST_F(IntegrationTest, FullSqlSession) {
+  // A realistic multi-statement session.
+  Run("CREATE TABLE customers (id INT, region STRING, tier INT)");
+  Run("CREATE TABLE orders (id INT, customer_id INT, amount DOUBLE)");
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    const char* regions[] = {"na", "emea", "apac"};
+    Run("INSERT INTO customers VALUES (" + std::to_string(i) + ", '" +
+        regions[i % 3] + "', " + std::to_string(i % 4) + ")");
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Run("INSERT INTO orders VALUES (" + std::to_string(i) + ", " +
+        std::to_string(rng.Uniform(300)) + ", " +
+        std::to_string(rng.UniformDouble(1, 500)) + ")");
+  }
+  Run("ANALYZE customers");
+  Run("ANALYZE orders");
+  Run("CREATE INDEX o_cust ON orders(customer_id)");
+
+  // Join + aggregate + having + multi-key order.
+  auto r = Run(
+      "SELECT customers.region, COUNT(*), SUM(orders.amount) "
+      "FROM orders JOIN customers ON orders.customer_id = customers.id "
+      "GROUP BY customers.region HAVING COUNT(*) > 100 "
+      "ORDER BY customers.region");
+  ASSERT_EQ(r.rows.size(), 3u);
+  double total = 0;
+  for (auto& row : r.rows) total += row[1].AsDouble();
+  EXPECT_DOUBLE_EQ(total, 2000.0);
+
+  // Update + delete + re-aggregate stays consistent.
+  Run("UPDATE orders SET amount = amount * 2 WHERE amount < 50");
+  auto d = Run("DELETE FROM orders WHERE amount > 900");
+  auto count = Run("SELECT COUNT(*) FROM orders");
+  EXPECT_EQ(count.rows[0][0].AsInt(),
+            2000 - static_cast<int64_t>(d.affected_rows));
+
+  // In-DB ML over the joined data's base table.
+  Run("CREATE MODEL spend TYPE linear PREDICT amount ON orders FEATURES (customer_id)");
+  auto pred = Run("SELECT COUNT(*) FROM orders WHERE PREDICT(spend, customer_id) > 0");
+  EXPECT_GT(pred.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(IntegrationTest, LearnedComponentsPluggedIntoPlanner) {
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 4000;
+  schema.dim_rows = 150;
+  ASSERT_TRUE(workload::BuildStarSchema(&db_, schema).ok());
+
+  // Install both a learned estimator and a learned join enumerator, then run
+  // real queries through the modified planner.
+  learned::LearnedCardinalityEstimator::Options lopts;
+  lopts.training_queries = 200;
+  learned::LearnedCardinalityEstimator est(&db_.catalog(), lopts);
+  ASSERT_TRUE(est.Train("fact", {"a", "b", "c"}).ok());
+  learned::MctsJoinEnumerator::Options mopts;
+  mopts.iterations = 200;
+  learned::MctsJoinEnumerator mcts(mopts);
+
+  db_.mutable_planner_options().estimator = &est;
+  db_.mutable_planner_options().enumerator = &mcts;
+
+  workload::QueryGenOptions qopts;
+  qopts.num_queries = 25;
+  qopts.max_joins = 3;
+  auto queries = workload::GenerateQueries(schema, qopts);
+  for (const auto& q : queries) {
+    auto learned_result = db_.Execute(q.text);
+    ASSERT_TRUE(learned_result.ok()) << q.text;
+  }
+
+  // Answers must match the classical configuration exactly.
+  db_.mutable_planner_options().estimator = nullptr;
+  db_.mutable_planner_options().enumerator = nullptr;
+  db_.mutable_planner_options().use_indexes = true;
+  for (const auto& q : queries) {
+    auto classical = db_.Execute(q.text);
+    ASSERT_TRUE(classical.ok());
+    db_.mutable_planner_options().estimator = &est;
+    db_.mutable_planner_options().enumerator = &mcts;
+    auto learned_result = db_.Execute(q.text);
+    ASSERT_TRUE(learned_result.ok());
+    EXPECT_EQ(learned_result.ValueOrDie().rows.size(),
+              classical.ValueOrDie().rows.size())
+        << q.text;
+    db_.mutable_planner_options().estimator = nullptr;
+    db_.mutable_planner_options().enumerator = nullptr;
+  }
+}
+
+TEST_F(IntegrationTest, AdvisorRecommendationsActuallySpeedUpExecution) {
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 8000;
+  schema.dim_rows = 200;
+  ASSERT_TRUE(workload::BuildStarSchema(&db_, schema).ok());
+  workload::QueryGenOptions qopts;
+  qopts.num_queries = 100;
+  auto queries = workload::GenerateQueries(schema, qopts);
+
+  auto workload_work = [&]() {
+    double total = 0;
+    for (size_t i = 0; i < 30; ++i) {
+      auto r = db_.Execute(queries[i].text);
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) total += static_cast<double>(r.ValueOrDie().operator_work);
+    }
+    return total;
+  };
+
+  double before = workload_work();
+  advisor::IndexWhatIfModel model(&db_, &queries);
+  advisor::GreedyIndexAdvisor greedy;
+  auto chosen = greedy.Recommend(model, 3);
+  size_t n = 0;
+  for (size_t cid : chosen) {
+    const auto& cand = model.candidates()[cid];
+    ASSERT_TRUE(db_.Execute("CREATE INDEX gi_" + std::to_string(n++) + " ON " +
+                            cand.table + "(" + cand.column + ")")
+                    .ok());
+  }
+  double after = workload_work();
+  EXPECT_LT(after, before * 0.8) << "indexes should cut executor work";
+}
+
+TEST_F(IntegrationTest, DiscoveryGraphOverLiveCatalog) {
+  Run("CREATE TABLE users (uid INT, country INT)");
+  Run("CREATE TABLE logins (uid INT, ts INT)");
+  for (int i = 0; i < 300; ++i) {
+    Run("INSERT INTO users VALUES (" + std::to_string(i) + ", " +
+        std::to_string(i % 20) + ")");
+    Run("INSERT INTO logins VALUES (" + std::to_string(i) + ", " +
+        std::to_string(100000 + i) + ")");
+  }
+  db4ai::DiscoveryGraph ekg;
+  ASSERT_TRUE(ekg.Build(db_.catalog()).ok());
+  EXPECT_GT(ekg.Similarity("users", "uid", "logins", "uid"), 0.8);
+  auto related = ekg.RelatedTables("users");
+  EXPECT_NE(std::find(related.begin(), related.end(), "logins"), related.end());
+}
+
+}  // namespace
+}  // namespace aidb

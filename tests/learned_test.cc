@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "learned/cardinality/learned_estimator.h"
+#include "learned/joinorder/learned_joinorder.h"
+#include "learned/optimizer/neo_optimizer.h"
+#include "workload/generator.h"
+
+namespace aidb::learned {
+namespace {
+
+class LearnedCardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::StarSchemaOptions schema;
+    schema.fact_rows = 8000;
+    schema.correlation = 0.9;  // strong a-b correlation defeats AVI
+    ASSERT_TRUE(workload::BuildStarSchema(&db_, schema).ok());
+  }
+
+  // True selectivity of a conjunction on fact by counting.
+  double TrueSelectivity(const std::string& where) {
+    auto r = db_.Execute("SELECT COUNT(*) FROM fact WHERE " + where);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    double matches = r.ValueOrDie().rows[0][0].AsDouble();
+    auto total = db_.Execute("SELECT COUNT(*) FROM fact");
+    return matches / total.ValueOrDie().rows[0][0].AsDouble();
+  }
+
+  double EstimateSel(const CardinalityEstimator& est, const std::string& where) {
+    auto stmt = workload::ParseSelect("SELECT id FROM fact WHERE " + where);
+    std::vector<const sql::Expr*> conjuncts;
+    exec::SplitConjuncts(stmt->where.get(), &conjuncts);
+    return est.ConjunctionSelectivity("fact", conjuncts);
+  }
+
+  Database db_;
+};
+
+TEST_F(LearnedCardTest, TrainsAndBeatsHistogramOnCorrelatedConjunction) {
+  LearnedCardinalityEstimator::Options opts;
+  opts.training_queries = 800;
+  LearnedCardinalityEstimator learned(&db_.catalog(), opts);
+  ASSERT_TRUE(learned.Train("fact", {"a", "b", "c"}).ok());
+  HistogramEstimator hist(&db_.catalog());
+
+  // Correlated conjunctions: b tracks a, so P(a<k AND b<k+5) ~ P(a<k), but
+  // AVI predicts P(a<k)*P(b<k+5).
+  Samples learned_q, hist_q;
+  for (int k = 20; k <= 80; k += 10) {
+    std::string where = "fact.a < " + std::to_string(k) + " AND fact.b < " +
+                        std::to_string(k + 5);
+    double truth = TrueSelectivity(where);
+    learned_q.Add(QError(EstimateSel(learned, where) * 8000, truth * 8000));
+    hist_q.Add(QError(EstimateSel(hist, where) * 8000, truth * 8000));
+  }
+  EXPECT_LT(learned_q.Mean(), hist_q.Mean())
+      << "learned mean q-error " << learned_q.Mean() << " vs histogram "
+      << hist_q.Mean();
+}
+
+TEST_F(LearnedCardTest, FallsBackForUntrainedTable) {
+  LearnedCardinalityEstimator::Options opts;
+  opts.training_queries = 100;
+  LearnedCardinalityEstimator learned(&db_.catalog(), opts);
+  // No Train() call: estimates must still be sane (histogram fallback).
+  double sel = EstimateSel(learned, "fact.a < 50");
+  EXPECT_GT(sel, 0.2);
+  EXPECT_LT(sel, 0.8);
+}
+
+TEST_F(LearnedCardTest, ReportsModelSize) {
+  LearnedCardinalityEstimator::Options opts;
+  opts.training_queries = 100;
+  LearnedCardinalityEstimator learned(&db_.catalog(), opts);
+  EXPECT_EQ(learned.ModelParameters("fact"), 0u);
+  ASSERT_TRUE(learned.Train("fact", {"a", "b"}).ok());
+  EXPECT_GT(learned.ModelParameters("fact"), 100u);
+}
+
+// ----- Join order -----
+
+QueryGraph MakeChain(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  QueryGraph g;
+  for (size_t i = 0; i < n; ++i) {
+    RelationInfo r;
+    r.table = "t" + std::to_string(i);
+    r.name = r.table;
+    r.base_rows = std::pow(10.0, 2 + rng.NextDouble() * 3);
+    g.rels.push_back(r);
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    JoinEdgeInfo e;
+    e.left_rel = i;
+    e.right_rel = i + 1;
+    e.selectivity = std::pow(10.0, -1 - rng.NextDouble() * 3);
+    g.edges.push_back(e);
+  }
+  return g;
+}
+
+TEST(LearnedJoinOrderTest, MctsCoversAllRelations) {
+  QueryGraph g = MakeChain(8, 3);
+  JoinCostModel m(&g);
+  MctsJoinEnumerator mcts;
+  auto plan = mcts.Enumerate(m);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->mask, g.AllMask());
+}
+
+TEST(LearnedJoinOrderTest, MctsNearDpOnModerateGraphs) {
+  double total_ratio = 0.0;
+  int cases = 6;
+  for (int s = 0; s < cases; ++s) {
+    QueryGraph g = MakeChain(7, 100 + s);
+    JoinCostModel m(&g);
+    DpJoinEnumerator dp;
+    MctsJoinEnumerator::Options mopts;
+    mopts.iterations = 1500;
+    mopts.seed = 7 + s;
+    MctsJoinEnumerator mcts(mopts);
+    auto dplan = dp.Enumerate(m);
+    auto mplan = mcts.Enumerate(m);
+    ASSERT_NE(dplan, nullptr);
+    ASSERT_NE(mplan, nullptr);
+    EXPECT_GE(mplan->cost, dplan->cost * (1 - 1e-9));  // DP is optimal
+    total_ratio += mplan->cost / dplan->cost;
+  }
+  EXPECT_LT(total_ratio / cases, 3.0);  // within small factor of optimal
+}
+
+TEST(LearnedJoinOrderTest, RlNeverWorseThanGreedy) {
+  for (int s = 0; s < 5; ++s) {
+    QueryGraph g = MakeChain(6, 200 + s);
+    JoinCostModel m(&g);
+    GreedyJoinEnumerator greedy;
+    RlJoinEnumerator::Options ropts;
+    ropts.seed = 11 + s;
+    RlJoinEnumerator rl(ropts);
+    auto gplan = greedy.Enumerate(m);
+    auto rplan = rl.Enumerate(m);
+    ASSERT_NE(rplan, nullptr);
+    EXPECT_EQ(rplan->mask, g.AllMask());
+    EXPECT_LE(rplan->cost, gplan->cost * (1 + 1e-9)) << "seed " << s;
+  }
+}
+
+TEST(LearnedJoinOrderTest, FixedPlanReplaysExactTree) {
+  QueryGraph g = MakeChain(4, 9);
+  JoinCostModel m(&g);
+  DpJoinEnumerator dp;
+  auto plan = dp.Enumerate(m);
+  FixedPlanEnumerator fixed(plan.get());
+  auto replay = fixed.Enumerate(m);
+  EXPECT_EQ(replay->ToString(g), plan->ToString(g));
+  EXPECT_DOUBLE_EQ(replay->cost, plan->cost);
+}
+
+TEST(LearnedJoinOrderTest, RandomPlansAreValidAndDiverse) {
+  QueryGraph g = MakeChain(6, 5);
+  JoinCostModel m(&g);
+  std::set<std::string> shapes;
+  for (uint64_t s = 0; s < 10; ++s) {
+    RandomJoinEnumerator rnd(s);
+    auto plan = rnd.Enumerate(m);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->mask, g.AllMask());
+    shapes.insert(plan->ToString(g));
+  }
+  EXPECT_GT(shapes.size(), 2u);
+}
+
+// ----- Neo-lite -----
+
+TEST(NeoOptimizerTest, LearnsAndNeverBlowsUp) {
+  Database db;
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 4000;
+  schema.dim_rows = 150;
+  ASSERT_TRUE(workload::BuildStarSchema(&db, schema).ok());
+  workload::QueryGenOptions qopts;
+  qopts.num_queries = 40;
+  qopts.max_joins = 3;
+  auto queries = workload::GenerateQueries(schema, qopts);
+
+  NeoOptimizer::Options nopts;
+  nopts.warmup_queries = 6;
+  nopts.retrain_interval = 6;
+  nopts.random_candidates = 3;
+  NeoOptimizer neo(&db, nopts);
+
+  double learned_work = 0.0, classical_work = 0.0;
+  for (const auto& q : queries) {
+    auto outcome = neo.OptimizeAndExecute(*q.stmt);
+    ASSERT_TRUE(outcome.ok()) << q.text << ": " << outcome.status().ToString();
+    learned_work += outcome.ValueOrDie().executed_work;
+
+    auto classical = db.Execute(q.text);
+    ASSERT_TRUE(classical.ok());
+    classical_work += static_cast<double>(classical.ValueOrDie().operator_work);
+  }
+  EXPECT_GT(neo.experience_size(), 30u);
+  // Neo must stay within a modest factor of the classical optimizer (its
+  // candidate set contains the classical plan, so gross regressions mean the
+  // value net misfired badly).
+  EXPECT_LT(learned_work, classical_work * 1.5);
+}
+
+}  // namespace
+}  // namespace aidb::learned

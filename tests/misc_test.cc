@@ -1,0 +1,177 @@
+// Coverage for the remaining public surfaces: result rendering, plan-only
+// queries, cross products, the ValuesOp source, dataset extraction rules,
+// and generator sanity (every generated query must execute).
+
+#include <gtest/gtest.h>
+
+#include "db4ai/model_registry.h"
+#include "exec/database.h"
+#include "exec/operator.h"
+#include "workload/generator.h"
+
+namespace aidb {
+namespace {
+
+TEST(QueryResultTest, ToStringRendersHeaderRowsAndTruncation) {
+  QueryResult r;
+  r.columns = {"a", "b"};
+  for (int i = 0; i < 30; ++i) {
+    r.rows.push_back({Value(static_cast<int64_t>(i)), Value(std::string("x"))});
+  }
+  std::string s = r.ToString(5);
+  EXPECT_NE(s.find("a | b"), std::string::npos);
+  EXPECT_NE(s.find("0 | 'x'"), std::string::npos);
+  EXPECT_NE(s.find("(30 rows total)"), std::string::npos);
+  EXPECT_EQ(s.find("29 |"), std::string::npos);  // truncated
+}
+
+TEST(DatabaseTest, PlanQueryWithoutExecution) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  auto stmt = workload::ParseSelect("SELECT a FROM t WHERE a > 0");
+  auto plan = db.PlanQuery(*stmt);
+  ASSERT_TRUE(plan.ok());
+  // Planning must not execute: no rows produced yet.
+  EXPECT_EQ(plan.ValueOrDie().root->rows_produced(), 0u);
+  EXPECT_FALSE(plan.ValueOrDie().root->Describe().empty());
+}
+
+TEST(DatabaseTest, TotalWorkAccumulates) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  uint64_t before = db.total_work();
+  ASSERT_TRUE(db.Execute("SELECT a FROM t").ok());
+  EXPECT_GT(db.total_work(), before);
+}
+
+TEST(ExecTest2, CrossProductViaCommaJoin) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE a (x INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE b (y INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO a VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO b VALUES (10), (20)").ok());
+  auto r = db.Execute("SELECT x, y FROM a, b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 6u);
+  // EXPLAIN shows a nested-loop join (no equi edge to hash on).
+  auto e = db.Execute("EXPLAIN SELECT x, y FROM a, b");
+  EXPECT_NE(e.ValueOrDie().message.find("NestedLoopJoin"), std::string::npos);
+}
+
+TEST(ExecTest2, ValuesOpServesRows) {
+  std::vector<Tuple> rows{{Value(int64_t{1})}, {Value(int64_t{2})}};
+  std::vector<exec::OutputCol> schema{{"v", "a", ValueType::kInt}};
+  exec::ValuesOp op(rows, schema);
+  op.Open();
+  Tuple t;
+  ASSERT_TRUE(op.Next(&t));
+  EXPECT_EQ(t[0].AsInt(), 1);
+  ASSERT_TRUE(op.Next(&t));
+  EXPECT_FALSE(op.Next(&t));
+  EXPECT_EQ(op.rows_produced(), 2u);
+}
+
+TEST(ModelRegistryTest, ExtractDatasetSkipsStringsAndTarget) {
+  Database db;
+  ASSERT_TRUE(
+      db.Execute("CREATE TABLE t (name STRING, a INT, b DOUBLE, y DOUBLE)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES ('x', 1, 2.0, 3.0)").ok());
+  auto data = db4ai::ModelRegistry::ExtractDataset(db.catalog(), "t", "y", {});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.ValueOrDie().NumFeatures(), 2u);  // a, b (name + y excluded)
+  EXPECT_EQ(data.ValueOrDie().NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(data.ValueOrDie().y[0], 3.0);
+  // Explicit feature list referencing a missing column fails.
+  EXPECT_FALSE(
+      db4ai::ModelRegistry::ExtractDataset(db.catalog(), "t", "y", {"zzz"}).ok());
+}
+
+TEST(WorkloadTest, EveryGeneratedQueryExecutes) {
+  Database db;
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 2000;
+  schema.dim_rows = 100;
+  ASSERT_TRUE(workload::BuildStarSchema(&db, schema).ok());
+  workload::QueryGenOptions qopts;
+  qopts.num_queries = 60;
+  qopts.max_joins = 3;
+  auto queries = workload::GenerateQueries(schema, qopts);
+  ASSERT_EQ(queries.size(), 60u);
+  for (const auto& q : queries) {
+    auto r = db.Execute(q.text);
+    EXPECT_TRUE(r.ok()) << q.text << " -> " << r.status().ToString();
+    ASSERT_NE(q.stmt, nullptr);
+    EXPECT_FALSE(q.stmt->from.empty());
+  }
+}
+
+TEST(WorkloadTest, SchemaShapesAsConfigured) {
+  Database db;
+  workload::StarSchemaOptions schema;
+  schema.fact_rows = 500;
+  schema.num_dims = 2;
+  schema.dim_rows = 50;
+  ASSERT_TRUE(workload::BuildStarSchema(&db, schema).ok());
+  EXPECT_EQ(db.catalog().GetTable("fact").ValueOrDie()->NumRows(), 500u);
+  EXPECT_EQ(db.catalog().GetTable("dim0").ValueOrDie()->NumRows(), 50u);
+  EXPECT_EQ(db.catalog().GetTable("dim1").ValueOrDie()->NumRows(), 50u);
+  EXPECT_FALSE(db.catalog().GetTable("dim2").ok());
+  // FK integrity: every fact foreign key joins a dim row.
+  auto r = db.Execute(
+      "SELECT COUNT(*) FROM fact JOIN dim0 ON fact.d0_id = dim0.id");
+  EXPECT_EQ(r.ValueOrDie().rows[0][0].AsInt(), 500);
+}
+
+TEST(WorkloadTest, CorrelationKnobControlsDependence) {
+  // With correlation=1, b is always within [a, a+4]; with 0 it is free.
+  Database hi, lo;
+  workload::StarSchemaOptions s1;
+  s1.fact_rows = 2000;
+  s1.correlation = 1.0;
+  workload::StarSchemaOptions s2 = s1;
+  s2.correlation = 0.0;
+  ASSERT_TRUE(workload::BuildStarSchema(&hi, s1).ok());
+  ASSERT_TRUE(workload::BuildStarSchema(&lo, s2).ok());
+  auto frac_near = [](Database& db) {
+    auto n = db.Execute(
+        "SELECT COUNT(*) FROM fact WHERE fact.b >= fact.a AND fact.b <= fact.a + 4");
+    auto d = db.Execute("SELECT COUNT(*) FROM fact");
+    return n.ValueOrDie().rows[0][0].AsDouble() /
+           d.ValueOrDie().rows[0][0].AsDouble();
+  };
+  EXPECT_GT(frac_near(hi), 0.95);
+  EXPECT_LT(frac_near(lo), 0.3);
+}
+
+TEST(PlannerTest2, ResidualPredicateAcrossThreeRelations) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE a (k INT, v INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE b (k INT, v INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE c (k INT, v INT)").ok());
+  for (int i = 0; i < 20; ++i) {
+    for (const char* t : {"a", "b", "c"}) {
+      ASSERT_TRUE(db.Execute("INSERT INTO " + std::string(t) + " VALUES (" +
+                             std::to_string(i % 5) + ", " + std::to_string(i) + ")")
+                      .ok());
+    }
+  }
+  // The 3-relation sum predicate cannot become a join edge: it must be a
+  // residual filter, and the answer must still be exact.
+  auto r = db.Execute(
+      "SELECT COUNT(*) FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k "
+      "WHERE a.v + b.v + c.v < 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Reference: count triples manually through SQL pieces.
+  auto all = db.Execute(
+      "SELECT a.v, b.v, c.v FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k");
+  size_t expect = 0;
+  for (auto& row : all.ValueOrDie().rows) {
+    if (row[0].AsInt() + row[1].AsInt() + row[2].AsInt() < 10) ++expect;
+  }
+  EXPECT_EQ(r.ValueOrDie().rows[0][0].AsInt(), static_cast<int64_t>(expect));
+}
+
+}  // namespace
+}  // namespace aidb

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/bandit.h"
+#include "ml/dataset.h"
+#include "ml/dawid_skene.h"
+#include "ml/kmeans.h"
+#include "ml/linear.h"
+#include "ml/matrix.h"
+#include "ml/mcts.h"
+#include "ml/mlp.h"
+#include "ml/qlearning.h"
+#include "ml/tree.h"
+
+namespace aidb::ml {
+namespace {
+
+TEST(MatrixTest, MatMul) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(MatrixTest, MatMulTransposedMatchesExplicit) {
+  Rng rng(9);
+  Matrix a(3, 5), b(4, 5);
+  for (auto& v : a.data()) v = rng.NextDouble();
+  for (auto& v : b.data()) v = rng.NextDouble();
+  Matrix c1 = a.MatMulTransposed(b);
+  Matrix c2 = a.MatMul(b.Transposed());
+  ASSERT_EQ(c1.rows(), c2.rows());
+  ASSERT_EQ(c1.cols(), c2.cols());
+  for (size_t i = 0; i < c1.data().size(); ++i)
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-12);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transposed().Transposed();
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(a.At(r, c), t.At(r, c));
+}
+
+TEST(MatrixTest, RowVectorBroadcastAndColMean) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix row = Matrix::FromRows({{10, 20}});
+  a.AddRowVector(row);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 11);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 24);
+  Matrix mean = a.ColMean();
+  EXPECT_DOUBLE_EQ(mean.At(0, 0), 12);
+  EXPECT_DOUBLE_EQ(mean.At(0, 1), 23);
+}
+
+Dataset MakeLinearData(size_t n, Rng* rng) {
+  // y = 3 x0 - 2 x1 + 1 + noise
+  Dataset d;
+  d.x = Matrix(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng->UniformDouble(-1, 1);
+    double x1 = rng->UniformDouble(-1, 1);
+    d.x.At(i, 0) = x0;
+    d.x.At(i, 1) = x1;
+    d.y.push_back(3 * x0 - 2 * x1 + 1 + rng->Gaussian(0, 0.01));
+  }
+  return d;
+}
+
+TEST(LinearRegressionTest, SgdRecoversCoefficients) {
+  Rng rng(11);
+  Dataset d = MakeLinearData(500, &rng);
+  LinearRegression lr;
+  SgdOptions opts;
+  opts.epochs = 300;
+  opts.learning_rate = 0.1;
+  lr.Fit(d, opts);
+  EXPECT_NEAR(lr.weights()[0], 3.0, 0.1);
+  EXPECT_NEAR(lr.weights()[1], -2.0, 0.1);
+  EXPECT_NEAR(lr.bias(), 1.0, 0.1);
+}
+
+TEST(LinearRegressionTest, ClosedFormRecoversCoefficients) {
+  Rng rng(12);
+  Dataset d = MakeLinearData(200, &rng);
+  LinearRegression lr;
+  lr.FitClosedForm(d);
+  EXPECT_NEAR(lr.weights()[0], 3.0, 0.05);
+  EXPECT_NEAR(lr.weights()[1], -2.0, 0.05);
+  EXPECT_NEAR(lr.bias(), 1.0, 0.05);
+}
+
+TEST(LogisticRegressionTest, SeparableData) {
+  Rng rng(13);
+  Dataset d;
+  size_t n = 400;
+  d.x = Matrix(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-2, 2);
+    double x1 = rng.UniformDouble(-2, 2);
+    d.x.At(i, 0) = x0;
+    d.x.At(i, 1) = x1;
+    d.y.push_back(x0 + x1 > 0 ? 1.0 : 0.0);
+  }
+  LogisticRegression clf;
+  SgdOptions opts;
+  opts.epochs = 200;
+  opts.learning_rate = 0.5;
+  clf.Fit(d, opts);
+  EXPECT_GT(Accuracy(clf.Predict(d.x), d.y), 0.95);
+}
+
+TEST(DatasetTest, SplitPreservesRows) {
+  Rng rng(14);
+  Dataset d = MakeLinearData(100, &rng);
+  auto [train, test] = d.Split(0.3, &rng);
+  EXPECT_EQ(train.NumRows() + test.NumRows(), 100u);
+  EXPECT_EQ(test.NumRows(), 30u);
+}
+
+TEST(StandardScalerTest, ZeroMeanUnitVar) {
+  Rng rng(15);
+  Matrix x(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    x.At(i, 0) = rng.Gaussian(5, 3);
+    x.At(i, 1) = rng.Gaussian(-2, 0.5);
+  }
+  StandardScaler sc;
+  sc.Fit(x);
+  Matrix t = sc.Transform(x);
+  for (size_t c = 0; c < 2; ++c) {
+    double mean = 0, var = 0;
+    for (size_t r = 0; r < t.rows(); ++r) mean += t.At(r, c);
+    mean /= t.rows();
+    for (size_t r = 0; r < t.rows(); ++r) var += (t.At(r, c) - mean) * (t.At(r, c) - mean);
+    var /= t.rows();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-6);
+  }
+}
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  Rng rng(16);
+  Dataset d;
+  size_t n = 600;
+  d.x = Matrix(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-1, 1);
+    double x1 = rng.UniformDouble(-1, 1);
+    d.x.At(i, 0) = x0;
+    d.x.At(i, 1) = x1;
+    d.y.push_back(x0 * x1);  // XOR-like: not linearly representable
+  }
+  MlpOptions opts;
+  opts.hidden = {16, 16};
+  opts.epochs = 200;
+  Mlp net(2, 1, opts);
+  net.Fit(d);
+  double mse = Mse(net.Predict(d.x), d.y);
+  EXPECT_LT(mse, 0.01);
+}
+
+TEST(MlpTest, ParameterCount) {
+  MlpOptions opts;
+  opts.hidden = {8};
+  Mlp net(4, 2, opts);
+  // (4*8 + 8) + (8*2 + 2) = 40 + 18 = 58
+  EXPECT_EQ(net.NumParameters(), 58u);
+}
+
+TEST(DecisionTreeTest, ClassifiesAxisAlignedData) {
+  Rng rng(17);
+  Dataset d;
+  size_t n = 400;
+  d.x = Matrix(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(0, 1);
+    double x1 = rng.UniformDouble(0, 1);
+    d.x.At(i, 0) = x0;
+    d.x.At(i, 1) = x1;
+    d.y.push_back((x0 > 0.5) != (x1 > 0.5) ? 1.0 : 0.0);  // XOR pattern
+  }
+  TreeOptions opts;
+  opts.max_depth = 6;
+  DecisionTree tree(opts);
+  tree.Fit(d);
+  EXPECT_GT(Accuracy(tree.Predict(d.x), d.y), 0.9);
+}
+
+TEST(DecisionTreeTest, RegressionMode) {
+  Rng rng(18);
+  Dataset d;
+  size_t n = 300;
+  d.x = Matrix(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.UniformDouble(0, 10);
+    d.x.At(i, 0) = x;
+    d.y.push_back(x > 5 ? 100.0 : 10.0);
+  }
+  TreeOptions opts;
+  opts.regression = true;
+  opts.max_depth = 3;
+  DecisionTree tree(opts);
+  tree.Fit(d);
+  double lo = tree.Predict(std::vector<double>{2.0}.data());
+  double hi = tree.Predict(std::vector<double>{8.0}.data());
+  EXPECT_NEAR(lo, 10.0, 1.0);
+  EXPECT_NEAR(hi, 100.0, 1.0);
+}
+
+TEST(RandomForestTest, BeatsChanceOnNoisyData) {
+  Rng rng(19);
+  Dataset d;
+  size_t n = 500;
+  d.x = Matrix(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 4; ++c) d.x.At(i, c) = rng.UniformDouble(-1, 1);
+    double signal = d.x.At(i, 0) + 0.5 * d.x.At(i, 1);
+    d.y.push_back(signal + rng.Gaussian(0, 0.2) > 0 ? 1.0 : 0.0);
+  }
+  RandomForest rf(15);
+  rf.Fit(d);
+  EXPECT_GT(Accuracy(rf.Predict(d.x), d.y), 0.85);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(20);
+  Matrix x(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    double cx = (i % 3) * 10.0;
+    x.At(i, 0) = cx + rng.Gaussian(0, 0.5);
+    x.At(i, 1) = cx + rng.Gaussian(0, 0.5);
+  }
+  KMeans::Options opts;
+  opts.k = 3;
+  KMeans km(opts);
+  auto assign = km.Fit(x);
+  // All points of the same generating cluster should share an assignment.
+  for (size_t i = 3; i < 300; ++i) EXPECT_EQ(assign[i], assign[i % 3]);
+  EXPECT_LT(km.inertia() / 300.0, 2.0);
+}
+
+TEST(BanditTest, Ucb1FindsBestArm) {
+  Bandit::Options opts;
+  opts.policy = Bandit::Policy::kUcb1;
+  Bandit bandit(5, opts);
+  Rng rng(21);
+  std::vector<double> p{0.1, 0.2, 0.8, 0.3, 0.4};
+  for (int t = 0; t < 3000; ++t) {
+    size_t arm = bandit.SelectArm();
+    bandit.Update(arm, rng.Bernoulli(p[arm]) ? 1.0 : 0.0);
+  }
+  EXPECT_GT(bandit.Count(2), 1500u);
+}
+
+TEST(BanditTest, ThompsonFindsBestArm) {
+  Bandit::Options opts;
+  opts.policy = Bandit::Policy::kThompson;
+  Bandit bandit(3, opts);
+  Rng rng(22);
+  std::vector<double> p{0.2, 0.9, 0.4};
+  for (int t = 0; t < 2000; ++t) {
+    size_t arm = bandit.SelectArm();
+    bandit.Update(arm, rng.Bernoulli(p[arm]) ? 1.0 : 0.0);
+  }
+  EXPECT_GT(bandit.Count(1), 1200u);
+}
+
+TEST(QLearnerTest, SolvesChainMdp) {
+  // 5-state chain: action 1 moves right (+0 reward), reaching state 4 gives
+  // +1; action 0 resets to 0. Optimal policy: always move right.
+  QLearner::Options opts;
+  opts.epsilon = 0.5;
+  opts.epsilon_decay = 0.998;
+  QLearner q(2, opts);
+  for (int ep = 0; ep < 1500; ++ep) {
+    uint64_t s = 0;
+    for (int step = 0; step < 20; ++step) {
+      size_t a = q.SelectAction(s);
+      uint64_t ns = a == 1 ? std::min<uint64_t>(s + 1, 3) : 0;
+      double r = (ns == 3) ? 1.0 : 0.0;
+      q.Update(s, a, r, ns, ns == 3);
+      s = ns;
+      if (s == 3) break;
+    }
+    q.EndEpisode();
+  }
+  for (uint64_t s = 0; s < 3; ++s) EXPECT_EQ(q.BestAction(s), 1u) << "state " << s;
+}
+
+// Toy MCTS environment: pick 3 digits (0-9); reward is 1 if they are all 9.
+// State encodes digits chosen so far.
+class DigitEnv : public MctsEnv {
+ public:
+  State Root() const override { return 1; }  // sentinel 1 = empty
+  std::vector<int> Actions(State s) override {
+    if (Depth(s) >= 3) return {};
+    std::vector<int> a(10);
+    for (int i = 0; i < 10; ++i) a[i] = i;
+    return a;
+  }
+  State Step(State s, int action) override { return s * 10 + action; }
+  double TerminalReward(State s) override {
+    int sum = 0;
+    for (int i = 0; i < 3; ++i) {
+      sum += s % 10 == 9 ? 1 : 0;
+      s /= 10;
+    }
+    return sum / 3.0;
+  }
+
+ private:
+  static int Depth(State s) {
+    int d = 0;
+    while (s > 1) {
+      ++d;
+      s /= 10;
+    }
+    return d;
+  }
+};
+
+TEST(MctsTest, FindsOptimalSequence) {
+  DigitEnv env;
+  Mcts::Options opts;
+  opts.iterations = 4000;
+  Mcts mcts(&env, opts);
+  double reward = 0.0;
+  auto actions = mcts.Search(&reward);
+  EXPECT_EQ(actions.size(), 3u);
+  EXPECT_DOUBLE_EQ(reward, 1.0);
+  for (int a : actions) EXPECT_EQ(a, 9);
+}
+
+TEST(TruthInferenceTest, DawidSkeneBeatsMajorityWithAdversarialWorkers) {
+  Rng rng(24);
+  size_t items = 200, workers = 9, classes = 2;
+  std::vector<size_t> truth(items);
+  for (auto& t : truth) t = rng.Uniform(classes);
+  // 3 good workers (95%), 6 coin-flip/adversarial-ish workers (45%).
+  std::vector<double> acc{0.95, 0.95, 0.95, 0.45, 0.45, 0.45, 0.45, 0.45, 0.45};
+  std::vector<CrowdLabel> labels;
+  for (size_t i = 0; i < items; ++i)
+    for (size_t w = 0; w < workers; ++w) {
+      size_t label = rng.Bernoulli(acc[w]) ? truth[i] : 1 - truth[i];
+      labels.push_back({i, w, label});
+    }
+  TruthInference ti(items, workers, classes);
+  auto mv = ti.MajorityVote(labels);
+  auto ds = ti.DawidSkene(labels);
+  auto acc_of = [&](const std::vector<size_t>& pred) {
+    size_t hit = 0;
+    for (size_t i = 0; i < items; ++i) hit += pred[i] == truth[i];
+    return static_cast<double>(hit) / items;
+  };
+  EXPECT_GT(acc_of(ds), acc_of(mv));
+  EXPECT_GT(acc_of(ds), 0.9);
+}
+
+TEST(TruthInferenceTest, MajorityVoteExact) {
+  TruthInference ti(2, 3, 2);
+  std::vector<CrowdLabel> labels{{0, 0, 1}, {0, 1, 1}, {0, 2, 0},
+                                 {1, 0, 0}, {1, 1, 0}, {1, 2, 1}};
+  auto mv = ti.MajorityVote(labels);
+  EXPECT_EQ(mv[0], 1u);
+  EXPECT_EQ(mv[1], 0u);
+}
+
+}  // namespace
+}  // namespace aidb::ml

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "monitor/activity.h"
+#include "monitor/diagnose.h"
+#include "monitor/forecast.h"
+#include "monitor/perf_pred.h"
+
+namespace aidb::monitor {
+namespace {
+
+// ----- Forecasting -----
+
+TEST(ForecastTest, TraceHasDiurnalStructure) {
+  TraceOptions opts;
+  opts.noise = 0.0;
+  opts.burst_probability = 0.0;
+  opts.growth_per_step = 0.0;
+  auto trace = GenerateArrivalTrace(opts);
+  ASSERT_EQ(trace.size(), opts.length);
+  // Same phase one period apart should nearly match (the residual drift is
+  // the slow weekly wave, bounded by its amplitude).
+  for (size_t t = 0; t + opts.diurnal_period < 500; t += 37) {
+    EXPECT_NEAR(trace[t], trace[t + opts.diurnal_period],
+                0.3 * opts.diurnal_amplitude);
+  }
+}
+
+TEST(ForecastTest, LearnedBeatsNaiveBaselines) {
+  TraceOptions opts;
+  opts.length = 1500;
+  auto trace = GenerateArrivalTrace(opts);
+  size_t train = 1000;
+
+  LastValueForecaster last;
+  MovingAverageForecaster ma;
+  LinearArForecaster linear(48);
+  MlpForecaster mlp(48);
+
+  double e_last = EvaluateForecaster(&last, trace, train);
+  double e_ma = EvaluateForecaster(&ma, trace, train);
+  double e_lin = EvaluateForecaster(&linear, trace, train);
+  double e_mlp = EvaluateForecaster(&mlp, trace, train);
+
+  EXPECT_LT(e_lin, e_last);
+  EXPECT_LT(e_lin, e_ma);
+  EXPECT_LT(e_mlp, e_ma);
+  EXPECT_LT(e_lin, 0.2);
+}
+
+TEST(ForecastTest, MovingAverageWindow) {
+  MovingAverageForecaster ma(4);
+  EXPECT_DOUBLE_EQ(ma.Predict({1, 2, 3, 4, 5, 6}), 4.5);  // mean of last 4
+  EXPECT_DOUBLE_EQ(ma.Predict({10}), 10.0);
+}
+
+// ----- Diagnosis -----
+
+TEST(DiagnoseTest, ClusteringBeatsRulesWithFewLabels) {
+  auto train = GenerateIncidents(600, 1);
+  auto test = GenerateIncidents(300, 2);
+
+  ClusterDiagnoser::Options copts;
+  copts.clusters = 10;
+  ClusterDiagnoser learned(copts);
+  learned.Fit(train);
+  RuleDiagnoser rules;
+
+  double learned_acc = learned.Accuracy(test);
+  double rule_acc = rules.Accuracy(test);
+  EXPECT_GT(learned_acc, rule_acc);
+  EXPECT_GT(learned_acc, 0.8);
+  // Key claim: only k DBA labels consumed, not 600.
+  EXPECT_LE(learned.dba_labels_used(), copts.clusters);
+}
+
+TEST(DiagnoseTest, RobustToNoiseIncrease) {
+  auto noisy_train = GenerateIncidents(600, 3, /*noise=*/0.2);
+  auto noisy_test = GenerateIncidents(300, 4, /*noise=*/0.2);
+  ClusterDiagnoser learned;
+  learned.Fit(noisy_train);
+  RuleDiagnoser rules;
+  EXPECT_GE(learned.Accuracy(noisy_test), rules.Accuracy(noisy_test) - 0.02);
+}
+
+TEST(DiagnoseTest, RootCauseNames) {
+  EXPECT_STREQ(RootCauseName(RootCause::kIoStall), "io_stall");
+  EXPECT_STREQ(RootCauseName(RootCause::kLockContention), "lock_contention");
+}
+
+// ----- Activity monitor -----
+
+TEST(ActivityTest, BanditCapturesMoreRiskThanRandom) {
+  ActivityStreamOptions opts;
+  opts.steps = 4000;
+  RandomActivitySelector random_sel(1);
+  BanditActivitySelector bandit_sel;
+  auto r_random = RunActivityMonitor(opts, &random_sel);
+  auto r_bandit = RunActivityMonitor(opts, &bandit_sel);
+  EXPECT_GT(r_bandit.CaptureRate(), r_random.CaptureRate() * 1.3);
+}
+
+TEST(ActivityTest, RoundRobinMatchesRandomRoughly) {
+  ActivityStreamOptions opts;
+  opts.steps = 3000;
+  RoundRobinActivitySelector rr;
+  RandomActivitySelector random_sel(2);
+  auto r_rr = RunActivityMonitor(opts, &rr);
+  auto r_random = RunActivityMonitor(opts, &random_sel);
+  // Both are risk-blind: similar capture (budget/num_classes share).
+  EXPECT_NEAR(r_rr.CaptureRate(), r_random.CaptureRate(), 0.1);
+}
+
+TEST(ActivityTest, SelectorsRespectBudget) {
+  BanditActivitySelector bandit_sel;
+  auto picks = bandit_sel.Select(12, 3);
+  EXPECT_EQ(picks.size(), 3u);
+  std::set<size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+// ----- Performance prediction -----
+
+TEST(PerfPredTest, GraphPredictorBeatsAdditive) {
+  auto mixes = GenerateMixes(1200, 6, 5);
+  std::vector<WorkloadMix> train(mixes.begin(), mixes.begin() + 900);
+  std::vector<WorkloadMix> test(mixes.begin() + 900, mixes.end());
+
+  AdditivePerfPredictor additive;
+  GraphPerfPredictor graph;
+  graph.Fit(train);
+
+  double e_add = EvaluatePredictor(additive, test);
+  double e_graph = EvaluatePredictor(graph, test);
+  EXPECT_LT(e_graph, e_add * 0.7) << "graph " << e_graph << " additive " << e_add;
+}
+
+TEST(PerfPredTest, InterferenceIsSuperAdditive) {
+  auto mixes = GenerateMixes(500, 6, 7, /*noise=*/0.0);
+  size_t superadditive = 0;
+  AdditivePerfPredictor additive;
+  for (const auto& m : mixes) {
+    if (m.true_latency > additive.Predict(m)) ++superadditive;
+  }
+  // Contention can only stretch latencies.
+  EXPECT_GT(superadditive, mixes.size() * 6 / 10);
+}
+
+TEST(PerfPredTest, EmbeddingIsPermutationInvariant) {
+  auto mixes = GenerateMixes(1, 4, 9, 0.0);
+  WorkloadMix mix = mixes[0];
+  auto f1 = GraphPerfPredictor::Embed(mix);
+  std::reverse(mix.queries.begin(), mix.queries.end());
+  auto f2 = GraphPerfPredictor::Embed(mix);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (size_t i = 0; i < f1.size(); ++i) EXPECT_NEAR(f1[i], f2[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace aidb::monitor

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/stats.h"
+#include "common/rng.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/query_graph.h"
+
+namespace aidb {
+namespace {
+
+TEST(HistogramTest, UniformSelectivity) {
+  std::vector<double> vals;
+  for (int i = 0; i < 10000; ++i) vals.push_back(i % 100);
+  Histogram h = Histogram::Build(vals);
+  EXPECT_NEAR(h.EstimateLt(50), 0.5, 0.03);
+  EXPECT_NEAR(h.EstimateEq(7), 0.01, 0.012);
+  EXPECT_NEAR(h.EstimateRange(25, 74), 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(h.EstimateLt(-5), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateGt(1000), 0.0);
+  EXPECT_EQ(h.distinct_estimate(), 100u);
+}
+
+TEST(HistogramTest, SkewedEquality) {
+  // 90% of rows are value 0; equality on 0 should estimate high.
+  std::vector<double> vals;
+  for (int i = 0; i < 9000; ++i) vals.push_back(0);
+  for (int i = 0; i < 1000; ++i) vals.push_back(i + 1);
+  Histogram h = Histogram::Build(vals);
+  EXPECT_GT(h.EstimateEq(0), 0.3);  // equi-depth puts hot value in many buckets
+}
+
+TEST(HistogramTest, EmptyAndSingleton) {
+  Histogram empty = Histogram::Build({});
+  EXPECT_DOUBLE_EQ(empty.EstimateLt(1), 0.0);
+  Histogram one = Histogram::Build({5.0});
+  EXPECT_GT(one.EstimateEq(5.0), 0.5);
+}
+
+QueryGraph MakeChainGraph(size_t n, double rows, double edge_sel) {
+  QueryGraph g;
+  for (size_t i = 0; i < n; ++i) {
+    RelationInfo r;
+    r.table = "t" + std::to_string(i);
+    r.name = r.table;
+    r.base_rows = rows;
+    g.rels.push_back(r);
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    JoinEdgeInfo e;
+    e.left_rel = i;
+    e.right_rel = i + 1;
+    e.selectivity = edge_sel;
+    g.edges.push_back(e);
+  }
+  return g;
+}
+
+TEST(JoinCostModelTest, RowsAndCost) {
+  QueryGraph g = MakeChainGraph(2, 1000, 0.001);
+  JoinCostModel m(&g);
+  auto plan = m.MakeJoin(m.MakeLeaf(0), m.MakeLeaf(1));
+  EXPECT_DOUBLE_EQ(plan->rows, 1000.0 * 1000.0 * 0.001);
+  EXPECT_DOUBLE_EQ(plan->cost, plan->rows);
+}
+
+TEST(JoinCostModelTest, LocalSelectivityReducesLeafRows) {
+  QueryGraph g = MakeChainGraph(2, 1000, 0.01);
+  g.rels[0].local_selectivity = 0.1;
+  JoinCostModel m(&g);
+  EXPECT_DOUBLE_EQ(m.LeafRows(0), 100.0);
+}
+
+TEST(DpEnumeratorTest, FindsOptimalOnChain) {
+  // Chain with one very selective edge: DP should exploit it first.
+  QueryGraph g = MakeChainGraph(5, 1000, 0.01);
+  g.edges[2].selectivity = 0.00001;  // t2-t3 join is nearly free
+  JoinCostModel m(&g);
+  DpJoinEnumerator dp;
+  auto plan = dp.Enumerate(m);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->mask, g.AllMask());
+
+  GreedyJoinEnumerator greedy;
+  auto gplan = greedy.Enumerate(m);
+  ASSERT_NE(gplan, nullptr);
+  // DP is optimal: never worse than greedy.
+  EXPECT_LE(plan->cost, gplan->cost * (1 + 1e-9));
+}
+
+TEST(DpEnumeratorTest, DpNeverWorseThanGreedyRandomGraphs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 3 + rng.Uniform(6);
+    QueryGraph g;
+    for (size_t i = 0; i < n; ++i) {
+      RelationInfo r;
+      r.table = "t" + std::to_string(i);
+      r.name = r.table;
+      r.base_rows = std::pow(10.0, 2 + rng.NextDouble() * 3);
+      g.rels.push_back(r);
+    }
+    // Random spanning tree plus extra edges.
+    for (size_t i = 1; i < n; ++i) {
+      JoinEdgeInfo e;
+      e.left_rel = rng.Uniform(i);
+      e.right_rel = i;
+      e.selectivity = std::pow(10.0, -1 - rng.NextDouble() * 3);
+      g.edges.push_back(e);
+    }
+    JoinCostModel m(&g);
+    DpJoinEnumerator dp;
+    GreedyJoinEnumerator greedy;
+    auto dplan = dp.Enumerate(m);
+    auto gplan = greedy.Enumerate(m);
+    ASSERT_NE(dplan, nullptr);
+    ASSERT_NE(gplan, nullptr);
+    EXPECT_EQ(dplan->mask, g.AllMask());
+    EXPECT_LE(dplan->cost, gplan->cost * (1 + 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(GreedyEnumeratorTest, HandlesCrossProduct) {
+  QueryGraph g;  // two relations, no edges
+  for (int i = 0; i < 2; ++i) {
+    RelationInfo r;
+    r.table = "t" + std::to_string(i);
+    r.name = r.table;
+    r.base_rows = 10;
+    g.rels.push_back(r);
+  }
+  JoinCostModel m(&g);
+  GreedyJoinEnumerator greedy;
+  auto plan = greedy.Enumerate(m);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_DOUBLE_EQ(plan->rows, 100.0);
+}
+
+TEST(HistogramEstimatorTest, UsesStats) {
+  Catalog catalog;
+  Schema schema({{"a", ValueType::kInt}});
+  Table* t = catalog.CreateTable("t", schema).ValueOrDie();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t->Insert({Value(static_cast<int64_t>(i % 10))}).ok());
+  }
+  ASSERT_TRUE(catalog.Analyze("t").ok());
+
+  HistogramEstimator est(&catalog);
+  auto pred = sql::Expr::MakeBinary(sql::OpType::kEq,
+                                    sql::Expr::MakeColumn("", "a"),
+                                    sql::Expr::MakeLiteral(Value(int64_t{3})));
+  EXPECT_NEAR(est.PredicateSelectivity("t", *pred), 0.1, 0.05);
+
+  auto range = sql::Expr::MakeBinary(sql::OpType::kLt,
+                                     sql::Expr::MakeColumn("", "a"),
+                                     sql::Expr::MakeLiteral(Value(int64_t{5})));
+  EXPECT_NEAR(est.PredicateSelectivity("t", *range), 0.5, 0.1);
+
+  // Join selectivity: 1/ndv.
+  EXPECT_NEAR(est.JoinSelectivity("t", "a", "t", "a"), 0.1, 0.02);
+}
+
+TEST(HistogramEstimatorTest, LiteralOnLeftFlips) {
+  Catalog catalog;
+  Schema schema({{"a", ValueType::kInt}});
+  Table* t = catalog.CreateTable("t", schema).ValueOrDie();
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(t->Insert({Value(static_cast<int64_t>(i))}).ok());
+  ASSERT_TRUE(catalog.Analyze("t").ok());
+  HistogramEstimator est(&catalog);
+  // 30 < a  ===  a > 30 -> about 0.7
+  auto pred = sql::Expr::MakeBinary(sql::OpType::kLt,
+                                    sql::Expr::MakeLiteral(Value(int64_t{30})),
+                                    sql::Expr::MakeColumn("", "a"));
+  EXPECT_NEAR(est.PredicateSelectivity("t", *pred), 0.7, 0.1);
+}
+
+TEST(CatalogTest, CreateDropAndIndexes) {
+  Catalog catalog;
+  Schema schema({{"a", ValueType::kInt}, {"s", ValueType::kString}});
+  ASSERT_TRUE(catalog.CreateTable("t", schema).ok());
+  EXPECT_FALSE(catalog.CreateTable("t", schema).ok());
+  ASSERT_TRUE(catalog.CreateIndex("i", "t", "a").ok());
+  EXPECT_FALSE(catalog.CreateIndex("i", "t", "a").ok());
+  EXPECT_FALSE(catalog.CreateIndex("i2", "t", "s").ok());  // string btree
+  EXPECT_TRUE(catalog.CreateIndex("i2", "t", "s", /*btree=*/false).ok());
+  EXPECT_NE(catalog.FindIndex("t", "a"), nullptr);
+  EXPECT_EQ(catalog.FindIndex("t", "missing"), nullptr);
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_EQ(catalog.FindIndex("t", "a"), nullptr);  // cascades
+}
+
+TEST(CatalogTest, IndexBackfillAndMaintenance) {
+  Catalog catalog;
+  Schema schema({{"a", ValueType::kInt}});
+  Table* t = catalog.CreateTable("t", schema).ValueOrDie();
+  for (int64_t i = 0; i < 50; ++i) ASSERT_TRUE(t->Insert({Value(i)}).ok());
+  IndexInfo* idx = catalog.CreateIndex("i", "t", "a").ValueOrDie();
+  EXPECT_EQ(idx->btree->size(), 50u);
+  // OnInsert keeps it in sync.
+  RowId id = t->Insert({Value(int64_t{100})}).ValueOrDie();
+  catalog.OnInsert("t", id, {Value(int64_t{100})});
+  EXPECT_TRUE(idx->btree->Contains(100));
+}
+
+}  // namespace
+}  // namespace aidb

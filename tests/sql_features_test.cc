@@ -1,0 +1,125 @@
+// Tests for DISTINCT, HAVING and multi-column ORDER BY.
+
+#include <gtest/gtest.h>
+
+#include "exec/database.h"
+#include "sql/parser.h"
+
+namespace aidb {
+namespace {
+
+class SqlFeatures : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Run("CREATE TABLE sales (region STRING, product INT, amount DOUBLE)");
+    Run("INSERT INTO sales VALUES "
+        "('east', 1, 10.0), ('east', 1, 20.0), ('east', 2, 5.0), "
+        "('west', 1, 40.0), ('west', 2, 5.0), ('west', 2, 5.0), "
+        "('north', 3, 100.0)");
+  }
+  QueryResult Run(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : QueryResult{};
+  }
+  Database db_;
+};
+
+TEST_F(SqlFeatures, DistinctSingleColumn) {
+  auto r = Run("SELECT DISTINCT region FROM sales");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SqlFeatures, DistinctMultiColumn) {
+  auto r = Run("SELECT DISTINCT region, product FROM sales");
+  EXPECT_EQ(r.rows.size(), 5u);  // (east,1)(east,2)(west,1)(west,2)(north,3)
+}
+
+TEST_F(SqlFeatures, DistinctWithOrderBy) {
+  auto r = Run("SELECT DISTINCT product FROM sales ORDER BY product DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 1);
+}
+
+TEST_F(SqlFeatures, DistinctStarPassthrough) {
+  Run("INSERT INTO sales VALUES ('east', 1, 10.0)");  // exact duplicate row
+  auto all = Run("SELECT * FROM sales");
+  auto distinct = Run("SELECT DISTINCT * FROM sales");
+  EXPECT_EQ(all.rows.size(), 8u);
+  // Two duplicate pairs: the inserted ('east',1,10) and the seeded
+  // ('west',2,5) twin.
+  EXPECT_EQ(distinct.rows.size(), 6u);
+}
+
+TEST_F(SqlFeatures, HavingFiltersGroups) {
+  auto r = Run(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region "
+      "HAVING SUM(amount) > 30 ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 3u);  // east 35, north 100, west 50
+  auto none = Run(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region "
+      "HAVING SUM(amount) > 60");
+  ASSERT_EQ(none.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(none.rows[0][1].AsDouble(), 100.0);
+}
+
+TEST_F(SqlFeatures, HavingOnAggregateNotInSelectList) {
+  auto r = Run("SELECT region FROM sales GROUP BY region HAVING COUNT(*) >= 3");
+  ASSERT_EQ(r.rows.size(), 2u);  // east and west have 3 rows each
+}
+
+TEST_F(SqlFeatures, HavingCombinedWithKey) {
+  auto r = Run(
+      "SELECT region, COUNT(*) FROM sales GROUP BY region "
+      "HAVING COUNT(*) > 1 AND region != 'west'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "east");
+}
+
+TEST_F(SqlFeatures, MultiColumnOrderBy) {
+  auto r = Run("SELECT region, product, amount FROM sales "
+               "ORDER BY region, amount DESC");
+  ASSERT_EQ(r.rows.size(), 7u);
+  // east block first (sorted desc by amount), then north, then west.
+  EXPECT_EQ(r.rows[0][0].AsString(), "east");
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 20.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][2].AsDouble(), 10.0);
+  EXPECT_EQ(r.rows[3][0].AsString(), "north");
+  EXPECT_EQ(r.rows[4][0].AsString(), "west");
+  EXPECT_DOUBLE_EQ(r.rows[4][2].AsDouble(), 40.0);
+}
+
+TEST_F(SqlFeatures, MultiKeyOrderStability) {
+  auto r = Run("SELECT product, amount FROM sales ORDER BY product ASC, amount ASC");
+  ASSERT_EQ(r.rows.size(), 7u);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    int64_t pa = r.rows[i - 1][0].AsInt(), pb = r.rows[i][0].AsInt();
+    EXPECT_LE(pa, pb);
+    if (pa == pb) EXPECT_LE(r.rows[i - 1][1].AsDouble(), r.rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(SqlFeatures, ParserShapes) {
+  auto stmt = sql::Parser::Parse(
+                  "SELECT DISTINCT a, b FROM t GROUP BY a HAVING COUNT(*) > 2 "
+                  "ORDER BY a DESC, b ASC LIMIT 5")
+                  .ValueOrDie();
+  auto& s = static_cast<sql::SelectStatement&>(*stmt);
+  EXPECT_TRUE(s.distinct);
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_FALSE(s.order_by[1].desc);
+  EXPECT_EQ(s.limit, 5);
+}
+
+TEST_F(SqlFeatures, HavingWithoutGroupByIsGlobalAggregate) {
+  auto r = Run("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 100");
+  EXPECT_EQ(r.rows.size(), 0u);
+  auto r2 = Run("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 1");
+  EXPECT_EQ(r2.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aidb

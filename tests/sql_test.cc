@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace aidb::sql {
+namespace {
+
+Result<std::unique_ptr<Statement>> P(const std::string& s) {
+  return Parser::Parse(s);
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Lex("SELECT a, 1.5 FROM t WHERE x >= 'hi'").ValueOrDie();
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_EQ(toks[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE(toks[2].IsSymbol(","));
+  EXPECT_EQ(toks[3].type, TokenType::kFloat);
+  EXPECT_TRUE(toks[4].IsKeyword("FROM"));
+  EXPECT_TRUE(toks[6].IsKeyword("WHERE"));
+  EXPECT_TRUE(toks[8].IsSymbol(">="));
+  EXPECT_EQ(toks[9].type, TokenType::kString);
+  EXPECT_EQ(toks[9].text, "hi");
+}
+
+TEST(LexerTest, CaseInsensitiveKeywords) {
+  auto toks = Lex("select From WhErE").ValueOrDie();
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(toks[1].IsKeyword("FROM"));
+  EXPECT_TRUE(toks[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = P("SELECT a, b FROM t WHERE a > 5").ValueOrDie();
+  ASSERT_EQ(stmt->kind(), StatementKind::kSelect);
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "t");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->ToString(), "(a > 5)");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = P("SELECT * FROM t").ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  EXPECT_TRUE(s.items[0].is_star);
+}
+
+TEST(ParserTest, JoinSyntax) {
+  auto stmt =
+      P("SELECT t.a FROM t JOIN u ON t.id = u.id JOIN v ON u.k = v.k").ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  EXPECT_EQ(s.joins.size(), 2u);
+  EXPECT_EQ(s.joins[0].table.table, "u");
+  EXPECT_EQ(s.joins[0].condition->ToString(), "(t.id = u.id)");
+}
+
+TEST(ParserTest, CommaJoinAndAliases) {
+  auto stmt = P("SELECT x.a FROM t x, t y WHERE x.a = y.b").ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  EXPECT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "x");
+  EXPECT_EQ(s.from[1].EffectiveName(), "y");
+}
+
+TEST(ParserTest, GroupOrderLimit) {
+  auto stmt = P("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC LIMIT 10")
+                  .ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_EQ(s.order_by[0].column, "a");
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_EQ(s.limit, 10);
+  EXPECT_EQ(s.items[1].expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(s.items[1].expr->agg, AggFunc::kCount);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = P("SELECT a FROM t WHERE a + 2 * 3 = 7 AND b < 1 OR c > 2").ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  // OR binds loosest, then AND; * before +.
+  EXPECT_EQ(s.where->ToString(), "((((a + (2 * 3)) = 7) AND (b < 1)) OR (c > 2))");
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt = P("SELECT a FROM t WHERE a BETWEEN 2 AND 8").ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  EXPECT_EQ(s.where->ToString(), "((a >= 2) AND (a <= 8))");
+}
+
+TEST(ParserTest, NegativeNumbersAndNull) {
+  auto stmt = P("INSERT INTO t VALUES (-5, -2.5, NULL)").ValueOrDie();
+  auto& s = static_cast<InsertStatement&>(*stmt);
+  ASSERT_EQ(s.rows.size(), 1u);
+  EXPECT_EQ(s.rows[0][0].AsInt(), -5);
+  EXPECT_DOUBLE_EQ(s.rows[0][1].AsDouble(), -2.5);
+  EXPECT_TRUE(s.rows[0][2].is_null());
+}
+
+TEST(ParserTest, MultiRowInsert) {
+  auto stmt = P("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").ValueOrDie();
+  auto& s = static_cast<InsertStatement&>(*stmt);
+  EXPECT_EQ(s.rows.size(), 3u);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = P("CREATE TABLE t (id INT, score DOUBLE, name STRING)").ValueOrDie();
+  auto& s = static_cast<CreateTableStatement&>(*stmt);
+  EXPECT_EQ(s.table, "t");
+  ASSERT_EQ(s.schema.NumColumns(), 3u);
+  EXPECT_EQ(s.schema.column(1).type, ValueType::kDouble);
+}
+
+TEST(ParserTest, CreateIndexVariants) {
+  auto b = P("CREATE INDEX i ON t(a)").ValueOrDie();
+  EXPECT_TRUE(static_cast<CreateIndexStatement&>(*b).is_btree);
+  auto h = P("CREATE INDEX i ON t(a) USING HASH").ValueOrDie();
+  EXPECT_FALSE(static_cast<CreateIndexStatement&>(*h).is_btree);
+}
+
+TEST(ParserTest, UpdateDelete) {
+  auto u = P("UPDATE t SET a = a + 1, b = 0 WHERE id = 3").ValueOrDie();
+  auto& us = static_cast<UpdateStatement&>(*u);
+  EXPECT_EQ(us.assignments.size(), 2u);
+  ASSERT_NE(us.where, nullptr);
+
+  auto d = P("DELETE FROM t WHERE a < 0").ValueOrDie();
+  auto& ds = static_cast<DeleteStatement&>(*d);
+  EXPECT_EQ(ds.table, "t");
+}
+
+TEST(ParserTest, CreateModel) {
+  auto stmt = P("CREATE MODEL m TYPE mlp PREDICT y ON data FEATURES (a, b, c)")
+                  .ValueOrDie();
+  auto& s = static_cast<CreateModelStatement&>(*stmt);
+  EXPECT_EQ(s.model, "m");
+  EXPECT_EQ(s.model_type, "mlp");
+  EXPECT_EQ(s.target, "y");
+  EXPECT_EQ(s.table, "data");
+  EXPECT_EQ(s.features.size(), 3u);
+}
+
+TEST(ParserTest, PredictExpression) {
+  auto stmt = P("SELECT PREDICT(m, a, b) FROM t WHERE PREDICT(m, a, b) > 0.5")
+                  .ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  EXPECT_EQ(s.items[0].expr->kind, Expr::Kind::kPredict);
+  EXPECT_EQ(s.items[0].expr->model, "m");
+  EXPECT_EQ(s.items[0].expr->args.size(), 2u);
+}
+
+TEST(ParserTest, ExplainFlag) {
+  auto stmt = P("EXPLAIN SELECT a FROM t").ValueOrDie();
+  EXPECT_TRUE(static_cast<SelectStatement&>(*stmt).explain);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(P("SELECT FROM t").ok());
+  EXPECT_FALSE(P("SELECT a FROM").ok());
+  EXPECT_FALSE(P("CREATE TABLE t (a BLOB)").ok());
+  EXPECT_FALSE(P("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(P("SELECT a FROM t extra garbage ^^").ok());
+  EXPECT_FALSE(P("").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(P("SELECT a FROM t;").ok());
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto stmt = P("SELECT a FROM t WHERE a + b > 3").ValueOrDie();
+  auto& s = static_cast<SelectStatement&>(*stmt);
+  auto clone = s.where->Clone();
+  EXPECT_EQ(clone->ToString(), s.where->ToString());
+  EXPECT_NE(clone->lhs.get(), s.where->lhs.get());
+}
+
+}  // namespace
+}  // namespace aidb::sql

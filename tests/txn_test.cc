@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "txn/lock_manager.h"
+#include "txn/simulator.h"
+
+namespace aidb::txn {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryLock(1, 100, LockMode::kShared));
+  EXPECT_TRUE(lm.TryLock(2, 100, LockMode::kShared));
+  EXPECT_FALSE(lm.TryLock(3, 100, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksAll) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryLock(1, 100, LockMode::kExclusive));
+  EXPECT_FALSE(lm.TryLock(2, 100, LockMode::kShared));
+  EXPECT_FALSE(lm.TryLock(2, 100, LockMode::kExclusive));
+  // Reentrant for the holder.
+  EXPECT_TRUE(lm.TryLock(1, 100, LockMode::kShared));
+  EXPECT_TRUE(lm.TryLock(1, 100, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeOnlyWhenSoleHolder) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryLock(1, 5, LockMode::kShared));
+  EXPECT_TRUE(lm.TryLock(1, 5, LockMode::kExclusive));  // sole holder upgrade
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.TryLock(1, 5, LockMode::kShared));
+  EXPECT_TRUE(lm.TryLock(2, 5, LockMode::kShared));
+  EXPECT_FALSE(lm.TryLock(1, 5, LockMode::kExclusive));  // contended upgrade
+}
+
+TEST(LockManagerTest, ReleaseAllFreesKeys) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryLock(1, 1, LockMode::kExclusive));
+  EXPECT_TRUE(lm.TryLock(1, 2, LockMode::kExclusive));
+  EXPECT_EQ(lm.NumLockedKeys(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumLockedKeys(), 0u);
+  EXPECT_TRUE(lm.TryLock(2, 1, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, WouldGrantAll) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryLock(1, 7, LockMode::kExclusive));
+  std::vector<std::pair<KeyId, LockMode>> want{{7, LockMode::kShared}};
+  EXPECT_FALSE(lm.WouldGrantAll(2, want));
+  EXPECT_TRUE(lm.WouldGrantAll(1, want));
+  std::vector<std::pair<KeyId, LockMode>> other{{8, LockMode::kExclusive}};
+  EXPECT_TRUE(lm.WouldGrantAll(2, other));
+}
+
+TEST(TxnWorkloadTest, GeneratorShapes) {
+  TxnWorkloadOptions opts;
+  opts.num_txns = 500;
+  auto txns = GenerateTxnWorkload(opts);
+  ASSERT_EQ(txns.size(), 500u);
+  for (size_t i = 1; i < txns.size(); ++i) {
+    EXPECT_GE(txns[i].arrival, txns[i - 1].arrival);  // generated in time order
+    EXPECT_EQ(txns[i].accesses.size(), opts.accesses_per_txn);
+    EXPECT_GT(txns[i].duration, 0.0);
+  }
+}
+
+TEST(TxnSimulatorTest, AllCommitEventually) {
+  TxnWorkloadOptions opts;
+  opts.num_txns = 300;
+  opts.zipf_theta = 0.5;
+  auto txns = GenerateTxnWorkload(opts);
+  FifoScheduler fifo;
+  TxnSimulator sim;
+  auto result = sim.Run(txns, &fifo);
+  EXPECT_EQ(result.committed, 300u);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(TxnSimulatorTest, ContentionCausesAborts) {
+  TxnWorkloadOptions low, high;
+  low.num_txns = high.num_txns = 400;
+  low.zipf_theta = 0.1;
+  low.keyspace = 100000;
+  high.zipf_theta = 1.2;   // hotspot
+  high.keyspace = 100;     // tiny keyspace
+  FifoScheduler fifo;
+  TxnSimulator sim;
+  auto r_low = sim.Run(GenerateTxnWorkload(low), &fifo);
+  auto r_high = sim.Run(GenerateTxnWorkload(high), &fifo);
+  EXPECT_GT(r_high.AbortRate(), r_low.AbortRate());
+}
+
+}  // namespace
+}  // namespace aidb::txn
