@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_db4ai_training.dir/bench_db4ai_training.cc.o"
+  "CMakeFiles/bench_db4ai_training.dir/bench_db4ai_training.cc.o.d"
+  "bench_db4ai_training"
+  "bench_db4ai_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_db4ai_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_optimizer.dir/bench_e2e_optimizer.cc.o"
+  "CMakeFiles/bench_e2e_optimizer.dir/bench_e2e_optimizer.cc.o.d"
+  "bench_e2e_optimizer"
+  "bench_e2e_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

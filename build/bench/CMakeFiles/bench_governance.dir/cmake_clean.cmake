@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_governance.dir/bench_governance.cc.o"
+  "CMakeFiles/bench_governance.dir/bench_governance.cc.o.d"
+  "bench_governance"
+  "bench_governance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_governance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

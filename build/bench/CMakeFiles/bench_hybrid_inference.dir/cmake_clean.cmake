@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_inference.dir/bench_hybrid_inference.cc.o"
+  "CMakeFiles/bench_hybrid_inference.dir/bench_hybrid_inference.cc.o.d"
+  "bench_hybrid_inference"
+  "bench_hybrid_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

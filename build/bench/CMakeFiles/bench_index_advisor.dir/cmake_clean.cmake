@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_advisor.dir/bench_index_advisor.cc.o"
+  "CMakeFiles/bench_index_advisor.dir/bench_index_advisor.cc.o.d"
+  "bench_index_advisor"
+  "bench_index_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

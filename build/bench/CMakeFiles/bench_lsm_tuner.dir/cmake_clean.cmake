@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsm_tuner.dir/bench_lsm_tuner.cc.o"
+  "CMakeFiles/bench_lsm_tuner.dir/bench_lsm_tuner.cc.o.d"
+  "bench_lsm_tuner"
+  "bench_lsm_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsm_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

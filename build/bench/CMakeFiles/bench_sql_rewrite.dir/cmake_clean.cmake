@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sql_rewrite.dir/bench_sql_rewrite.cc.o"
+  "CMakeFiles/bench_sql_rewrite.dir/bench_sql_rewrite.cc.o.d"
+  "bench_sql_rewrite"
+  "bench_sql_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sql_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

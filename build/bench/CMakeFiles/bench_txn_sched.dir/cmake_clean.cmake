@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txn_sched.dir/bench_txn_sched.cc.o"
+  "CMakeFiles/bench_txn_sched.dir/bench_txn_sched.cc.o.d"
+  "bench_txn_sched"
+  "bench_txn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

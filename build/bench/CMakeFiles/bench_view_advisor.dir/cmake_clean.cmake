@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_advisor.dir/bench_view_advisor.cc.o"
+  "CMakeFiles/bench_view_advisor.dir/bench_view_advisor.cc.o.d"
+  "bench_view_advisor"
+  "bench_view_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

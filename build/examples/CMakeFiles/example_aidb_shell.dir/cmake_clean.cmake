@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aidb_shell.dir/aidb_shell.cpp.o"
+  "CMakeFiles/example_aidb_shell.dir/aidb_shell.cpp.o.d"
+  "example_aidb_shell"
+  "example_aidb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aidb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

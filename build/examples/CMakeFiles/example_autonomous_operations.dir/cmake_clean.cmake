@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autonomous_operations.dir/autonomous_operations.cpp.o"
+  "CMakeFiles/example_autonomous_operations.dir/autonomous_operations.cpp.o.d"
+  "example_autonomous_operations"
+  "example_autonomous_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autonomous_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hospital_ml_pipeline.dir/hospital_ml_pipeline.cpp.o"
+  "CMakeFiles/example_hospital_ml_pipeline.dir/hospital_ml_pipeline.cpp.o.d"
+  "example_hospital_ml_pipeline"
+  "example_hospital_ml_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hospital_ml_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_self_tuning_warehouse.dir/self_tuning_warehouse.cpp.o"
+  "CMakeFiles/example_self_tuning_warehouse.dir/self_tuning_warehouse.cpp.o.d"
+  "example_self_tuning_warehouse"
+  "example_self_tuning_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_self_tuning_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

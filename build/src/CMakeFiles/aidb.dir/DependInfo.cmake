@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/index/index_advisor.cc" "src/CMakeFiles/aidb.dir/advisor/index/index_advisor.cc.o" "gcc" "src/CMakeFiles/aidb.dir/advisor/index/index_advisor.cc.o.d"
+  "/root/repo/src/advisor/knob/knob_env.cc" "src/CMakeFiles/aidb.dir/advisor/knob/knob_env.cc.o" "gcc" "src/CMakeFiles/aidb.dir/advisor/knob/knob_env.cc.o.d"
+  "/root/repo/src/advisor/knob/knob_tuner.cc" "src/CMakeFiles/aidb.dir/advisor/knob/knob_tuner.cc.o" "gcc" "src/CMakeFiles/aidb.dir/advisor/knob/knob_tuner.cc.o.d"
+  "/root/repo/src/advisor/partition/partition_advisor.cc" "src/CMakeFiles/aidb.dir/advisor/partition/partition_advisor.cc.o" "gcc" "src/CMakeFiles/aidb.dir/advisor/partition/partition_advisor.cc.o.d"
+  "/root/repo/src/advisor/rewrite/rewriter.cc" "src/CMakeFiles/aidb.dir/advisor/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/aidb.dir/advisor/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/advisor/view/view_advisor.cc" "src/CMakeFiles/aidb.dir/advisor/view/view_advisor.cc.o" "gcc" "src/CMakeFiles/aidb.dir/advisor/view/view_advisor.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/aidb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/aidb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/stats.cc" "src/CMakeFiles/aidb.dir/catalog/stats.cc.o" "gcc" "src/CMakeFiles/aidb.dir/catalog/stats.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/aidb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/aidb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/aidb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/aidb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/aidb.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/aidb.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/db4ai/governance/active_clean.cc" "src/CMakeFiles/aidb.dir/db4ai/governance/active_clean.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/governance/active_clean.cc.o.d"
+  "/root/repo/src/db4ai/governance/crowd_labeling.cc" "src/CMakeFiles/aidb.dir/db4ai/governance/crowd_labeling.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/governance/crowd_labeling.cc.o.d"
+  "/root/repo/src/db4ai/governance/discovery_graph.cc" "src/CMakeFiles/aidb.dir/db4ai/governance/discovery_graph.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/governance/discovery_graph.cc.o.d"
+  "/root/repo/src/db4ai/governance/lineage.cc" "src/CMakeFiles/aidb.dir/db4ai/governance/lineage.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/governance/lineage.cc.o.d"
+  "/root/repo/src/db4ai/inference/inference.cc" "src/CMakeFiles/aidb.dir/db4ai/inference/inference.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/inference/inference.cc.o.d"
+  "/root/repo/src/db4ai/model_registry.cc" "src/CMakeFiles/aidb.dir/db4ai/model_registry.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/model_registry.cc.o.d"
+  "/root/repo/src/db4ai/training/checkpoint_trainer.cc" "src/CMakeFiles/aidb.dir/db4ai/training/checkpoint_trainer.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/training/checkpoint_trainer.cc.o.d"
+  "/root/repo/src/db4ai/training/feature_selection.cc" "src/CMakeFiles/aidb.dir/db4ai/training/feature_selection.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/training/feature_selection.cc.o.d"
+  "/root/repo/src/db4ai/training/model_manager.cc" "src/CMakeFiles/aidb.dir/db4ai/training/model_manager.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/training/model_manager.cc.o.d"
+  "/root/repo/src/db4ai/training/model_selection.cc" "src/CMakeFiles/aidb.dir/db4ai/training/model_selection.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/training/model_selection.cc.o.d"
+  "/root/repo/src/db4ai/training/parallel_trainer.cc" "src/CMakeFiles/aidb.dir/db4ai/training/parallel_trainer.cc.o" "gcc" "src/CMakeFiles/aidb.dir/db4ai/training/parallel_trainer.cc.o.d"
+  "/root/repo/src/design/learned_index/alex.cc" "src/CMakeFiles/aidb.dir/design/learned_index/alex.cc.o" "gcc" "src/CMakeFiles/aidb.dir/design/learned_index/alex.cc.o.d"
+  "/root/repo/src/design/learned_index/rmi.cc" "src/CMakeFiles/aidb.dir/design/learned_index/rmi.cc.o" "gcc" "src/CMakeFiles/aidb.dir/design/learned_index/rmi.cc.o.d"
+  "/root/repo/src/design/lsm_tuner/lsm_tuner.cc" "src/CMakeFiles/aidb.dir/design/lsm_tuner/lsm_tuner.cc.o" "gcc" "src/CMakeFiles/aidb.dir/design/lsm_tuner/lsm_tuner.cc.o.d"
+  "/root/repo/src/design/txn_sched/learned_scheduler.cc" "src/CMakeFiles/aidb.dir/design/txn_sched/learned_scheduler.cc.o" "gcc" "src/CMakeFiles/aidb.dir/design/txn_sched/learned_scheduler.cc.o.d"
+  "/root/repo/src/exec/database.cc" "src/CMakeFiles/aidb.dir/exec/database.cc.o" "gcc" "src/CMakeFiles/aidb.dir/exec/database.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/aidb.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/aidb.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/aidb.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/aidb.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/CMakeFiles/aidb.dir/exec/planner.cc.o" "gcc" "src/CMakeFiles/aidb.dir/exec/planner.cc.o.d"
+  "/root/repo/src/learned/cardinality/learned_estimator.cc" "src/CMakeFiles/aidb.dir/learned/cardinality/learned_estimator.cc.o" "gcc" "src/CMakeFiles/aidb.dir/learned/cardinality/learned_estimator.cc.o.d"
+  "/root/repo/src/learned/joinorder/learned_joinorder.cc" "src/CMakeFiles/aidb.dir/learned/joinorder/learned_joinorder.cc.o" "gcc" "src/CMakeFiles/aidb.dir/learned/joinorder/learned_joinorder.cc.o.d"
+  "/root/repo/src/learned/optimizer/neo_optimizer.cc" "src/CMakeFiles/aidb.dir/learned/optimizer/neo_optimizer.cc.o" "gcc" "src/CMakeFiles/aidb.dir/learned/optimizer/neo_optimizer.cc.o.d"
+  "/root/repo/src/ml/bandit.cc" "src/CMakeFiles/aidb.dir/ml/bandit.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/bandit.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/aidb.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/dawid_skene.cc" "src/CMakeFiles/aidb.dir/ml/dawid_skene.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/dawid_skene.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/aidb.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/CMakeFiles/aidb.dir/ml/linear.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/linear.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/aidb.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/mcts.cc" "src/CMakeFiles/aidb.dir/ml/mcts.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/mcts.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/aidb.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/qlearning.cc" "src/CMakeFiles/aidb.dir/ml/qlearning.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/qlearning.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/aidb.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/aidb.dir/ml/tree.cc.o.d"
+  "/root/repo/src/monitor/activity.cc" "src/CMakeFiles/aidb.dir/monitor/activity.cc.o" "gcc" "src/CMakeFiles/aidb.dir/monitor/activity.cc.o.d"
+  "/root/repo/src/monitor/diagnose.cc" "src/CMakeFiles/aidb.dir/monitor/diagnose.cc.o" "gcc" "src/CMakeFiles/aidb.dir/monitor/diagnose.cc.o.d"
+  "/root/repo/src/monitor/forecast.cc" "src/CMakeFiles/aidb.dir/monitor/forecast.cc.o" "gcc" "src/CMakeFiles/aidb.dir/monitor/forecast.cc.o.d"
+  "/root/repo/src/monitor/perf_pred.cc" "src/CMakeFiles/aidb.dir/monitor/perf_pred.cc.o" "gcc" "src/CMakeFiles/aidb.dir/monitor/perf_pred.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/aidb.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/aidb.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/query_graph.cc" "src/CMakeFiles/aidb.dir/optimizer/query_graph.cc.o" "gcc" "src/CMakeFiles/aidb.dir/optimizer/query_graph.cc.o.d"
+  "/root/repo/src/security/access_control.cc" "src/CMakeFiles/aidb.dir/security/access_control.cc.o" "gcc" "src/CMakeFiles/aidb.dir/security/access_control.cc.o.d"
+  "/root/repo/src/security/discovery.cc" "src/CMakeFiles/aidb.dir/security/discovery.cc.o" "gcc" "src/CMakeFiles/aidb.dir/security/discovery.cc.o.d"
+  "/root/repo/src/security/injection.cc" "src/CMakeFiles/aidb.dir/security/injection.cc.o" "gcc" "src/CMakeFiles/aidb.dir/security/injection.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/aidb.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/aidb.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/aidb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/aidb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/aidb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/aidb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/aidb.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/aidb.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/lsm.cc" "src/CMakeFiles/aidb.dir/storage/lsm.cc.o" "gcc" "src/CMakeFiles/aidb.dir/storage/lsm.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/aidb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/aidb.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/aidb.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/aidb.dir/storage/value.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/aidb.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/aidb.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/simulator.cc" "src/CMakeFiles/aidb.dir/txn/simulator.cc.o" "gcc" "src/CMakeFiles/aidb.dir/txn/simulator.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/aidb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/aidb.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cc" "tests/CMakeFiles/aidb_tests.dir/advisor_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/advisor_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/aidb_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/aidb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/db4ai_test.cc" "tests/CMakeFiles/aidb_tests.dir/db4ai_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/db4ai_test.cc.o.d"
+  "/root/repo/tests/design_test.cc" "tests/CMakeFiles/aidb_tests.dir/design_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/design_test.cc.o.d"
+  "/root/repo/tests/engine_edge_test.cc" "tests/CMakeFiles/aidb_tests.dir/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/engine_edge_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/aidb_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/aidb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/learned_test.cc" "tests/CMakeFiles/aidb_tests.dir/learned_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/learned_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/aidb_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/aidb_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/monitor_test.cc" "tests/CMakeFiles/aidb_tests.dir/monitor_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/monitor_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/aidb_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/aidb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/aidb_tests.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/security_test.cc.o.d"
+  "/root/repo/tests/sql_features_test.cc" "tests/CMakeFiles/aidb_tests.dir/sql_features_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/sql_features_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/aidb_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/aidb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/txn_test.cc" "tests/CMakeFiles/aidb_tests.dir/txn_test.cc.o" "gcc" "tests/CMakeFiles/aidb_tests.dir/txn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aidb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
