@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Formats every tracked C++ source with the repo's .clang-format.
+#   scripts/format.sh          rewrite files in place
+#   scripts/format.sh --check  fail (non-zero) if anything is misformatted
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t files < <(git ls-files '*.cc' '*.h' '*.cpp')
+
+if [[ "${1:-}" == "--check" ]]; then
+  clang-format --dry-run --Werror "${files[@]}"
+else
+  clang-format -i "${files[@]}"
+fi

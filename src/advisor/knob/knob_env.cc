@@ -15,8 +15,15 @@ const char* KnobName(size_t knob) {
     case kCheckpointInterval: return "checkpoint_interval";
     case kVacuumAggressiveness: return "vacuum";
     case kParallelWorkers: return "parallel_workers";
+    case kExecDop: return "exec_dop";
   }
   return "?";
+}
+
+size_t DopFromKnob(double normalized, size_t max_dop) {
+  if (max_dop <= 1) return 1;
+  double c = std::clamp(normalized, 0.0, 1.0);
+  return 1 + static_cast<size_t>(std::lround(c * static_cast<double>(max_dop - 1)));
 }
 
 WorkloadProfile WorkloadProfile::Oltp() {
@@ -55,6 +62,11 @@ double KnobEnvironment::TrueThroughput(const KnobConfig& c) const {
       1.0 + 0.8 * w.analytic_fraction * std::sqrt(c[kParallelWorkers]) -
       0.35 * (1.0 - w.analytic_fraction) * c[kParallelWorkers];
 
+  // --- Executor dop (morsel-driven scans): near-linear analytic speedup
+  // that saturates, minus worker-pool pressure when many clients compete.
+  double morsel_gain = 1.0 + 0.9 * w.analytic_fraction * std::sqrt(c[kExecDop]) -
+                       0.15 * w.concurrency_demand * c[kExecDop];
+
   // --- Connections: throughput peaks sharply at offered demand, then
   // thrashes (context switching, lock convoys).
   double demand = w.concurrency_demand;
@@ -73,7 +85,7 @@ double KnobEnvironment::TrueThroughput(const KnobConfig& c) const {
   double vacuum = 1.0 - 0.5 * std::pow(c[kVacuumAggressiveness] - 0.5, 2) * 4.0 *
                             (0.5 + 0.5 * write_fraction);
 
-  double read_term = w.read_fraction * read_speed * spill * parallel_gain;
+  double read_term = w.read_fraction * read_speed * spill * parallel_gain * morsel_gain;
   double write_term = write_fraction * (0.5 + 0.5 * c[kIoConcurrency]) * wal_cost;
   double base = 1000.0 * (read_term + write_term);
   return base * conn_util * swap_penalty * checkpoint * vacuum;
@@ -87,8 +99,9 @@ double KnobEnvironment::Evaluate(const KnobConfig& config) {
 }
 
 KnobConfig KnobEnvironment::DefaultConfig() {
-  // Conservative shipped defaults (small memory, sync on, low parallelism).
-  return {0.15, 0.1, 0.5, 0.2, 1.0, 0.5, 0.5, 0.1};
+  // Conservative shipped defaults (small memory, sync on, low parallelism,
+  // serial executor).
+  return {0.15, 0.1, 0.5, 0.2, 1.0, 0.5, 0.5, 0.1, 0.0};
 }
 
 double KnobEnvironment::ApproxOptimum(size_t probes, uint64_t seed) const {

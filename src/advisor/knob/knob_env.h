@@ -10,12 +10,13 @@
 namespace aidb::advisor {
 
 /// Number of tunable knobs in the simulated engine.
-inline constexpr size_t kNumKnobs = 8;
+inline constexpr size_t kNumKnobs = 9;
 
 /// A configuration: each knob normalized to [0, 1].
 using KnobConfig = std::array<double, kNumKnobs>;
 
-/// Knob identities (modeled on documented PostgreSQL semantics).
+/// Knob identities (modeled on documented PostgreSQL semantics, plus the
+/// engine's own morsel-parallelism knob).
 enum KnobId : size_t {
   kBufferPool = 0,      ///< shared_buffers: hit-rate saturation + swap cliff
   kWorkMem = 1,         ///< work_mem: sort/hash spill cliff, per-connection
@@ -25,9 +26,15 @@ enum KnobId : size_t {
   kCheckpointInterval = 5,
   kVacuumAggressiveness = 6,
   kParallelWorkers = 7,
+  kExecDop = 8,  ///< morsel-driven executor degree of parallelism
 };
 
 const char* KnobName(size_t knob);
+
+/// Maps the normalized `exec_dop` knob to the concrete Database::SetDop
+/// value in [1, max_dop] — the bridge between tuner output and the engine's
+/// session knob.
+size_t DopFromKnob(double normalized, size_t max_dop = 8);
 
 /// Workload mix the environment responds to.
 struct WorkloadProfile {

@@ -42,4 +42,33 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief Completion tracking for one batch of tasks on a shared ThreadPool.
+///
+/// ThreadPool::Wait() drains *every* queued task, so two concurrent queries
+/// sharing the executor pool would block on each other's work. A TaskGroup
+/// waits only on its own spawns. Built with a null pool it runs each task
+/// inline on the calling thread, which is the serial fallback the parallel
+/// operators rely on when no pool is configured.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules fn on the pool (inline when the pool is null). Tasks must not
+  /// throw.
+  void Spawn(std::function<void()> fn);
+
+  /// Blocks until every spawned task has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
 }  // namespace aidb

@@ -1,5 +1,6 @@
 #include "exec/database.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/timer.h"
@@ -28,6 +29,22 @@ std::string QueryResult::ToString(size_t max_rows) const {
     }
   }
   return os.str();
+}
+
+void Database::SetDop(size_t dop) {
+  if (dop <= 1) {
+    planner_options_.dop = 1;
+    planner_options_.exec_pool = nullptr;
+    return;
+  }
+  dop = std::min<size_t>(dop, 64);
+  // Grow-only: a pool sized for the largest dop seen serves smaller settings
+  // too (workers beyond dop simply never get tasks).
+  if (!exec_pool_ || exec_pool_->num_threads() < dop) {
+    exec_pool_ = std::make_unique<ThreadPool>(dop);
+  }
+  planner_options_.dop = dop;
+  planner_options_.exec_pool = exec_pool_.get();
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql) {

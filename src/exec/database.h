@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "db4ai/model_registry.h"
 #include "exec/planner.h"
 
@@ -45,6 +46,12 @@ class Database {
   exec::Planner& planner() { return planner_; }
   exec::PlannerOptions& mutable_planner_options() { return planner_options_; }
 
+  /// Session degree-of-parallelism knob (advisor knob `exec_dop`): dop > 1
+  /// sizes the executor pool and makes the planner emit morsel-parallel
+  /// operator variants; dop <= 1 restores fully serial execution.
+  void SetDop(size_t dop);
+  size_t dop() const { return planner_options_.dop; }
+
   /// Cumulative rows produced by all executed plans (cheap work counter the
   /// monitoring stack samples).
   uint64_t total_work() const { return total_work_; }
@@ -56,6 +63,7 @@ class Database {
   db4ai::ModelRegistry models_;
   exec::Planner planner_;
   exec::PlannerOptions planner_options_;
+  std::unique_ptr<ThreadPool> exec_pool_;
   uint64_t total_work_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/agg_state.h"
+
 namespace aidb::exec {
 
 std::string Operator::Describe(int indent) const {
@@ -157,7 +159,6 @@ void NestedLoopJoinOp::Close() {
 
 // ----- HashJoin -----
 
-namespace {
 uint64_t JoinKeyHash(const Value& v) {
   // Numeric values that compare equal must hash equal across INT/DOUBLE.
   if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
@@ -165,7 +166,6 @@ uint64_t JoinKeyHash(const Value& v) {
   }
   return v.Hash();
 }
-}  // namespace
 
 HashJoinOp::HashJoinOp(std::unique_ptr<Operator> left,
                        std::unique_ptr<Operator> right, size_t left_key,
@@ -240,71 +240,12 @@ void HashAggregateOp::Open() {
   results_.clear();
   cursor_ = 0;
 
-  struct GroupState {
-    Tuple key_values;
-    std::vector<double> sums;
-    std::vector<double> mins;
-    std::vector<double> maxs;
-    std::vector<size_t> counts;
-  };
-  std::unordered_map<uint64_t, std::vector<GroupState>> groups;
-  size_t num_groups = 0;
-
+  GroupMap groups;
   Tuple row;
-  while (children_[0]->Next(&row)) {
-    Tuple key;
-    key.reserve(keys_.size());
-    uint64_t h = 1469598103934665603ULL;
-    for (const auto& k : keys_) {
-      key.push_back(k.Eval(row));
-      h = (h ^ key.back().Hash()) * 1099511628211ULL;
-    }
-    auto& bucket = groups[h];
-    GroupState* state = nullptr;
-    for (auto& g : bucket) {
-      bool same = true;
-      for (size_t i = 0; i < key.size(); ++i) {
-        if (g.key_values[i].Compare(key[i]) != 0) {
-          same = false;
-          break;
-        }
-      }
-      if (same) {
-        state = &g;
-        break;
-      }
-    }
-    if (state == nullptr) {
-      bucket.push_back(GroupState{});
-      state = &bucket.back();
-      state->key_values = key;
-      state->sums.assign(aggs_.size(), 0.0);
-      state->mins.assign(aggs_.size(), 0.0);
-      state->maxs.assign(aggs_.size(), 0.0);
-      state->counts.assign(aggs_.size(), 0);
-      ++num_groups;
-    }
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      double v = 0.0;
-      if (aggs_[i].arg) {
-        Value val = aggs_[i].arg->Eval(row);
-        if (val.is_null()) continue;  // SQL semantics: NULLs ignored
-        v = val.AsFeature();
-      }
-      if (state->counts[i] == 0) {
-        state->mins[i] = v;
-        state->maxs[i] = v;
-      } else {
-        state->mins[i] = std::min(state->mins[i], v);
-        state->maxs[i] = std::max(state->maxs[i], v);
-      }
-      state->sums[i] += v;
-      ++state->counts[i];
-    }
-  }
+  while (children_[0]->Next(&row)) groups.Accumulate(keys_, aggs_, row);
 
   // No-group aggregate over empty input still yields one row of zero counts.
-  if (keys_.empty() && num_groups == 0) {
+  if (keys_.empty() && groups.num_groups() == 0) {
     Tuple out;
     for (size_t i = 0; i < aggs_.size(); ++i) {
       if (aggs_[i].func == sql::AggFunc::kCount) {
@@ -317,36 +258,8 @@ void HashAggregateOp::Open() {
     return;
   }
 
-  for (auto& [h, bucket] : groups) {
-    for (auto& g : bucket) {
-      Tuple out = g.key_values;
-      for (size_t i = 0; i < aggs_.size(); ++i) {
-        switch (aggs_[i].func) {
-          case sql::AggFunc::kCount:
-            out.push_back(Value(static_cast<int64_t>(g.counts[i])));
-            break;
-          case sql::AggFunc::kSum:
-            out.push_back(g.counts[i] ? Value(g.sums[i]) : Value::Null());
-            break;
-          case sql::AggFunc::kAvg:
-            out.push_back(g.counts[i]
-                              ? Value(g.sums[i] / static_cast<double>(g.counts[i]))
-                              : Value::Null());
-            break;
-          case sql::AggFunc::kMin:
-            out.push_back(g.counts[i] ? Value(g.mins[i]) : Value::Null());
-            break;
-          case sql::AggFunc::kMax:
-            out.push_back(g.counts[i] ? Value(g.maxs[i]) : Value::Null());
-            break;
-          case sql::AggFunc::kNone:
-            out.push_back(Value::Null());
-            break;
-        }
-      }
-      results_.push_back(std::move(out));
-    }
-  }
+  groups.ForEach(
+      [this](const GroupState& g) { results_.push_back(g.Finalize(aggs_)); });
 }
 
 bool HashAggregateOp::Next(Tuple* out) {

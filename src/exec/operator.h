@@ -123,6 +123,10 @@ class NestedLoopJoinOp : public Operator {
   size_t inner_cursor_ = 0;
 };
 
+/// Join-key hash used by every hash-join variant: numeric values that
+/// compare equal hash equal across INT/DOUBLE.
+uint64_t JoinKeyHash(const Value& v);
+
 /// Hash join on a single equi-key per side; build side is the right child.
 class HashJoinOp : public Operator {
  public:

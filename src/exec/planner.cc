@@ -5,7 +5,18 @@
 #include <limits>
 #include <set>
 
+#include "exec/parallel.h"
+
 namespace aidb::exec {
+
+namespace {
+
+/// True when the options ask for (and can support) parallel execution.
+bool ParallelEnabled(const PlannerOptions& opts) {
+  return opts.dop > 1 && opts.exec_pool != nullptr;
+}
+
+}  // namespace
 
 void SplitConjuncts(const sql::Expr* expr, std::vector<const sql::Expr*>* out) {
   if (expr == nullptr) return;
@@ -181,6 +192,29 @@ Result<std::unique_ptr<Operator>> Planner::BuildScan(
     }
   }
 
+  // Morsel-parallel scan: only without a chosen index (index scans are
+  // already sub-linear) and only when the base cardinality — as tracked by
+  // the catalog — is large enough that morsel dispatch pays for itself.
+  // Every local predicate is fused into the scan workers.
+  if (index == nullptr && ParallelEnabled(opts) &&
+      rel.base_rows >= static_cast<double>(opts.parallel_threshold_rows)) {
+    std::vector<OutputCol> schema;
+    for (const auto& col : table->schema().columns()) {
+      schema.push_back({rel.name, col.name, col.type});
+    }
+    std::vector<BoundExpr> filters;
+    std::vector<std::string> filter_texts;
+    for (const sql::Expr* p : rel.local_predicates) {
+      BoundExpr bound;
+      AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(*p, schema, models_));
+      filters.push_back(std::move(bound));
+      filter_texts.push_back(p->ToString());
+    }
+    ParallelContext ctx{opts.exec_pool, opts.dop};
+    return std::unique_ptr<Operator>(std::make_unique<ParallelScanOp>(
+        table, rel.name, std::move(filters), std::move(filter_texts), ctx));
+  }
+
   std::unique_ptr<Operator> scan;
   if (index != nullptr) {
     scan = std::make_unique<IndexScanOp>(table, index, rel.name, lo, hi);
@@ -244,9 +278,15 @@ Result<std::unique_ptr<Operator>> Planner::BuildJoinTree(
     if (lk < 0 || rk < 0) {
       return Status::Internal("join key resolution failed");
     }
-    join = std::make_unique<HashJoinOp>(std::move(left), std::move(right),
-                                        static_cast<size_t>(lk),
-                                        static_cast<size_t>(rk));
+    if (ParallelEnabled(opts)) {
+      join = std::make_unique<ParallelHashJoinOp>(
+          std::move(left), std::move(right), static_cast<size_t>(lk),
+          static_cast<size_t>(rk), ParallelContext{opts.exec_pool, opts.dop});
+    } else {
+      join = std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                          static_cast<size_t>(lk),
+                                          static_cast<size_t>(rk));
+    }
   } else {
     join = std::make_unique<NestedLoopJoinOp>(std::move(left), std::move(right),
                                               std::nullopt);
@@ -409,8 +449,19 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
       if (!duplicate) specs.push_back(std::move(spec));
     }
 
-    root = std::make_unique<HashAggregateOp>(std::move(root), std::move(keys),
-                                             std::move(key_cols), std::move(specs));
+    // When the input is exactly a gather (single parallel-scanned relation),
+    // aggregate inside the workers instead: take over the morsel source and
+    // let each worker fold its morsels into a partial group map.
+    auto* gather = dynamic_cast<GatherOp*>(root.get());
+    if (gather != nullptr && ParallelEnabled(opts)) {
+      ParallelContext ctx = gather->ctx();
+      root = std::make_unique<ParallelHashAggregateOp>(
+          gather->TakeSource(), std::move(keys), std::move(key_cols),
+          std::move(specs), ctx);
+    } else {
+      root = std::make_unique<HashAggregateOp>(
+          std::move(root), std::move(keys), std::move(key_cols), std::move(specs));
+    }
 
     // Replaces aggregate nodes with refs to the aggregate output columns.
     std::function<void(std::unique_ptr<sql::Expr>&)> replace =

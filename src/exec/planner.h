@@ -10,6 +10,10 @@
 #include "optimizer/query_graph.h"
 #include "sql/ast.h"
 
+namespace aidb {
+class ThreadPool;
+}
+
 namespace aidb::exec {
 
 /// Pluggable optimizer strategy. Null members fall back to the classical
@@ -21,6 +25,15 @@ struct PlannerOptions {
   bool use_indexes = true;
   /// Max selectivity at which an index scan is preferred over a seq scan.
   double index_selectivity_threshold = 0.25;
+
+  /// Morsel-driven parallelism (the `dop` session knob): with dop > 1 and a
+  /// pool, the planner emits ParallelScan / ParallelHashJoin /
+  /// ParallelHashAggregate variants — but only where the base-table
+  /// cardinality clears `parallel_threshold_rows`, since morsel dispatch
+  /// overhead swamps the win on small inputs.
+  size_t dop = 1;
+  ThreadPool* exec_pool = nullptr;
+  size_t parallel_threshold_rows = 8192;
 };
 
 /// Output of planning: the executable tree plus the optimizer artifacts, so

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -53,6 +54,17 @@ class Table {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (RowId id = 0; id < rows_.size(); ++id) {
+      if (!deleted_[id]) fn(id, rows_[id]);
+    }
+  }
+
+  /// Invokes fn(id, row) for live rows with id in [begin, end) — the morsel
+  /// primitive of the parallel executor. Concurrent calls over any ranges
+  /// are safe as long as no writer is active (reads only).
+  template <typename Fn>
+  void ScanRange(RowId begin, RowId end, Fn&& fn) const {
+    RowId limit = std::min<RowId>(end, rows_.size());
+    for (RowId id = begin; id < limit; ++id) {
       if (!deleted_[id]) fn(id, rows_[id]);
     }
   }
