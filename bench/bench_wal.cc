@@ -1,0 +1,166 @@
+// E-WAL: durability subsystem — group-commit throughput, recovery time, and
+// the advisor-knob response surface.
+//
+// Claims under test (ROADMAP durability tentpole):
+//  1. Group commit is a real knob: insert throughput rises as
+//     wal_flush_interval grows from 1 (synchronous commit) through 64 to
+//     1024, because fsyncs amortize over more records. The counters printed
+//     per run (fsync/record, durability lag) show the price paid.
+//  2. Recovery cost scales with WAL length: Database::Open replay time grows
+//     with the number of records past the last checkpoint, and
+//     checkpointing bounds it.
+//  3. The DurabilityKnobEnvironment surface (deterministic, counter-based)
+//     has an interior optimum over the wal_sync knob — the measurable
+//     response an advisor tunes against.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "advisor/knob/durability_env.h"
+#include "exec/database.h"
+
+namespace {
+
+using aidb::Database;
+using aidb::DurabilityOptions;
+
+std::string BenchDir() {
+  return (std::filesystem::temp_directory_path() / "aidb_bench_wal").string();
+}
+
+/// Insert throughput at a given group-commit interval. Real fsyncs: this is
+/// the end-to-end durable write path.
+void BM_WalInsertThroughput(benchmark::State& state) {
+  const size_t flush_interval = static_cast<size_t>(state.range(0));
+  const std::string dir = BenchDir();
+  size_t rows = 0;
+  uint64_t fsyncs = 0, records = 0, max_lag = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    DurabilityOptions opts;
+    opts.wal_flush_interval = flush_interval;
+    auto db = Database::Open(dir, opts).ValueOrDie();
+    (void)db->Execute("CREATE TABLE t (a INT, b STRING)").ValueOrDie();
+    state.ResumeTiming();
+
+    for (int i = 0; i < 512; ++i) {
+      benchmark::DoNotOptimize(
+          db->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ", 'v" +
+                      std::to_string(i) + "')"));
+      ++rows;
+    }
+
+    state.PauseTiming();
+    auto stats = db->durability_stats();
+    fsyncs = stats.wal.fsyncs;
+    records = stats.wal.records_appended;
+    max_lag = std::max<uint64_t>(max_lag, flush_interval - 1);
+    db.reset();
+    state.ResumeTiming();
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+  state.counters["flush_interval"] = static_cast<double>(flush_interval);
+  state.counters["fsync_per_record"] =
+      records ? static_cast<double>(fsyncs) / static_cast<double>(records) : 0.0;
+  state.counters["durability_lag_max"] = static_cast<double>(max_lag);
+}
+BENCHMARK(BM_WalInsertThroughput)->Arg(1)->Arg(64)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+/// Recovery time as a function of WAL length (records past the last
+/// checkpoint). Setup writes the log once per length; the timed region is
+/// Database::Open alone.
+void BM_RecoveryTimeVsWalLength(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  const std::string dir = BenchDir();
+  std::filesystem::remove_all(dir);
+  {
+    DurabilityOptions opts;
+    opts.wal_flush_interval = 256;
+    opts.sync = false;  // building the fixture fast; replay cost is what's timed
+    auto db = Database::Open(dir, opts).ValueOrDie();
+    (void)db->Execute("CREATE TABLE t (a INT, b STRING)").ValueOrDie();
+    for (int i = 0; i < txns; ++i) {
+      (void)db->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ", 'v" +
+                        std::to_string(i % 97) + "')")
+          .ValueOrDie();
+    }
+    (void)db->FlushWal();
+  }
+  uint64_t replayed = 0;
+  double wal_mib = 0.0;
+  for (auto _ : state) {
+    auto db = Database::Open(dir, {}).ValueOrDie();
+    benchmark::DoNotOptimize(db->last_recovery().records_replayed);
+    replayed = db->last_recovery().records_replayed;
+    wal_mib = static_cast<double>(db->last_recovery().wal_bytes_scanned) /
+              (1024.0 * 1024.0);
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["records_replayed"] = static_cast<double>(replayed);
+  state.counters["wal_mib"] = wal_mib;
+}
+BENCHMARK(BM_RecoveryTimeVsWalLength)
+    ->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Recovery from a checkpoint: same logical state as the 10k-txn WAL run,
+/// but snapshotted — the replay-vs-load tradeoff checkpointing buys.
+void BM_RecoveryFromCheckpoint(benchmark::State& state) {
+  const std::string dir = BenchDir();
+  std::filesystem::remove_all(dir);
+  {
+    DurabilityOptions opts;
+    opts.wal_flush_interval = 256;
+    opts.sync = false;
+    auto db = Database::Open(dir, opts).ValueOrDie();
+    (void)db->Execute("CREATE TABLE t (a INT, b STRING)").ValueOrDie();
+    for (int i = 0; i < 10000; ++i) {
+      (void)db->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ", 'v" +
+                        std::to_string(i % 97) + "')")
+          .ValueOrDie();
+    }
+    (void)db->Checkpoint();
+  }
+  for (auto _ : state) {
+    auto db = Database::Open(dir, {}).ValueOrDie();
+    benchmark::DoNotOptimize(db->last_recovery().snapshot_loaded);
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryFromCheckpoint)->Unit(benchmark::kMillisecond);
+
+/// The advisor-facing knob response: sweep wal_sync over the unit interval
+/// and report the deterministic durability score. The interior optimum is
+/// the signal a knob tuner climbs.
+void BM_DurabilityKnobResponse(benchmark::State& state) {
+  aidb::advisor::DurabilityEnvOptions opts;
+  opts.scratch_dir = BenchDir() + "_knob";
+  opts.statements = 128;
+  aidb::advisor::DurabilityKnobEnvironment env(
+      aidb::advisor::WorkloadProfile::Oltp(), opts);
+  const double knob = static_cast<double>(state.range(0)) / 10.0;
+  aidb::advisor::KnobConfig config =
+      aidb::advisor::KnobEnvironment::DefaultConfig();
+  config[aidb::advisor::kWalSync] = knob;
+  double score = 0.0;
+  for (auto _ : state) {
+    score = env.DurabilityScore(config);
+    benchmark::DoNotOptimize(score);
+  }
+  state.counters["knob"] = knob;
+  state.counters["flush_interval"] =
+      static_cast<double>(aidb::advisor::WalFlushIntervalFromKnob(knob));
+  state.counters["score"] = score;
+}
+BENCHMARK(BM_DurabilityKnobResponse)
+    ->Arg(0)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

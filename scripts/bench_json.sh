@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs benchmark binaries and captures machine-readable results as
+# BENCH_<name>.json in the repo root (google-benchmark JSON format, the
+# input EXPERIMENTS.md rows are derived from).
+#   scripts/bench_json.sh                   run the durability bench (default)
+#   scripts/bench_json.sh wal parallel_exec run the named benches
+#   BUILD_DIR=out scripts/bench_json.sh     use a non-default build tree
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${MIN_TIME:-0.05}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+benches=("$@")
+[[ ${#benches[@]} -eq 0 ]] && benches=(wal)
+
+for name in "${benches[@]}"; do
+  bin="$BUILD_DIR/bench/bench_$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (available: $(ls "$BUILD_DIR/bench" | tr '\n' ' '))" >&2
+    exit 1
+  fi
+  out="BENCH_$name.json"
+  echo "== bench_$name -> $out"
+  "$bin" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+         --benchmark_out="$out" --benchmark_out_format=json >/dev/null
+done
+echo "done"

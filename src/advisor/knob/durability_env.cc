@@ -1,0 +1,79 @@
+#include "advisor/knob/durability_env.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include "exec/database.h"
+
+namespace aidb::advisor {
+
+double DurabilityKnobEnvironment::DurabilityScore(const KnobConfig& c) const {
+  size_t flush_interval = WalFlushIntervalFromKnob(c[kWalSync]);
+  size_t ckpt_every = CheckpointEveryNFromKnob(c[kCheckpointInterval]);
+
+  std::error_code ec;
+  std::filesystem::remove_all(options_.scratch_dir, ec);
+
+  DurabilityOptions opts;
+  opts.wal_flush_interval = flush_interval;
+  opts.checkpoint_every_n_records = ckpt_every;
+  opts.sync = false;  // counters only; physical fsync latency is modeled
+  auto db_or = Database::Open(options_.scratch_dir, opts);
+  if (!db_or.ok()) return 0.0;
+  auto db = std::move(db_or).ValueOrDie();
+
+  if (!db->Execute("CREATE TABLE knob_w (k INT, v STRING)").ok()) return 0.0;
+  for (size_t s = 0; s < options_.statements; ++s) {
+    std::string sql = "INSERT INTO knob_w VALUES ";
+    for (size_t r = 0; r < options_.rows_per_statement; ++r) {
+      if (r > 0) sql += ", ";
+      size_t k = s * options_.rows_per_statement + r;
+      sql += "(" + std::to_string(k) + ", 'row" + std::to_string(k) + "')";
+    }
+    if (!db->Execute(sql).ok()) return 0.0;
+  }
+
+  DurabilityStats stats = db->durability_stats();
+  db.reset();
+  std::filesystem::remove_all(options_.scratch_dir, ec);
+
+  double cost = static_cast<double>(stats.wal.records_appended) +
+                options_.fsync_cost * static_cast<double>(stats.wal.fsyncs) +
+                options_.byte_cost * static_cast<double>(stats.wal.bytes_written) +
+                options_.checkpoint_cost *
+                    static_cast<double>(stats.checkpoints_written);
+  if (cost <= 0.0) return 0.0;
+  double throughput = static_cast<double>(options_.statements) / cost;
+
+  // Group commit leaves up to (interval - 1) committed records unflushed;
+  // checkpoint spacing sets the expected redo length after a crash. Both are
+  // derived from measured counters so the tradeoff is real, not assumed.
+  double lag = static_cast<double>(flush_interval - 1);
+  double segments = static_cast<double>(stats.checkpoints_written) + 1.0;
+  double redo = static_cast<double>(stats.wal.records_appended) / segments / 2.0;
+  return throughput / (1.0 + options_.lag_weight * lag) /
+         (1.0 + options_.redo_weight * redo);
+}
+
+double DurabilityKnobEnvironment::TrueThroughput(const KnobConfig& c) const {
+  // Neutralize the two durability knobs in the analytic surface, then scale
+  // by the measured durability factor normalized to the default config.
+  KnobConfig analytic = c;
+  analytic[kWalSync] = 1.0;
+  analytic[kCheckpointInterval] = 0.7;
+  double base = KnobEnvironment::TrueThroughput(analytic);
+
+  KnobConfig defaults = DefaultConfig();
+  double ref = DurabilityScore(defaults);
+  if (ref <= 0.0) return base;
+  return base * (DurabilityScore(c) / ref);
+}
+
+void ApplyDurabilityKnobs(Database* db, const KnobConfig& config) {
+  if (db == nullptr || !db->durable()) return;
+  db->SetWalFlushInterval(WalFlushIntervalFromKnob(config[kWalSync]));
+  db->SetCheckpointEveryN(CheckpointEveryNFromKnob(config[kCheckpointInterval]));
+}
+
+}  // namespace aidb::advisor

@@ -26,6 +26,18 @@ size_t DopFromKnob(double normalized, size_t max_dop) {
   return 1 + static_cast<size_t>(std::lround(c * static_cast<double>(max_dop - 1)));
 }
 
+size_t WalFlushIntervalFromKnob(double normalized) {
+  double c = std::clamp(normalized, 0.0, 1.0);
+  // 2^((1-c)*10): c=1 -> 1 record (synchronous), c=0 -> 1024 records.
+  return size_t{1} << static_cast<unsigned>(std::lround((1.0 - c) * 10.0));
+}
+
+size_t CheckpointEveryNFromKnob(double normalized) {
+  double c = std::clamp(normalized, 0.0, 1.0);
+  // 16 * 256^c: log-scale over [16, 4096] records.
+  return static_cast<size_t>(std::llround(16.0 * std::pow(256.0, c)));
+}
+
 WorkloadProfile WorkloadProfile::Oltp() {
   return {0.6, 0.05, 0.9, "oltp"};
 }

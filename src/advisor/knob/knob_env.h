@@ -36,6 +36,18 @@ const char* KnobName(size_t knob);
 /// session knob.
 size_t DopFromKnob(double normalized, size_t max_dop = 8);
 
+/// Maps the normalized `wal_sync` knob to the concrete group-commit interval
+/// Database::SetWalFlushInterval takes: log-scale over [1, 1024] with 1.0
+/// (fully synchronous commit) -> 1 record and 0.0 -> 1024 records. Inverse
+/// orientation matches the simulated surface, where wal_sync = 1 is the
+/// safest/slowest setting.
+size_t WalFlushIntervalFromKnob(double normalized);
+
+/// Maps the normalized `checkpoint_interval` knob to a concrete
+/// `checkpoint_every_n_records` value: log-scale over [16, 4096] WAL records
+/// (never 0 — the tuner may not disable checkpointing entirely).
+size_t CheckpointEveryNFromKnob(double normalized);
+
 /// Workload mix the environment responds to.
 struct WorkloadProfile {
   double read_fraction = 0.5;      ///< reads vs writes
@@ -60,12 +72,13 @@ class KnobEnvironment {
   explicit KnobEnvironment(const WorkloadProfile& workload, double noise = 0.0,
                            uint64_t seed = 42)
       : workload_(workload), noise_(noise), rng_(seed) {}
+  virtual ~KnobEnvironment() = default;
 
   /// Measured throughput (higher is better). Counts one evaluation.
-  double Evaluate(const KnobConfig& config);
+  virtual double Evaluate(const KnobConfig& config);
 
   /// Noise-free surface value (for regret computation in benchmarks).
-  double TrueThroughput(const KnobConfig& config) const;
+  virtual double TrueThroughput(const KnobConfig& config) const;
 
   /// Default (shipped) configuration.
   static KnobConfig DefaultConfig();

@@ -103,6 +103,15 @@ std::vector<IndexInfo*> Catalog::IndexesOn(const std::string& table) const {
   return out;
 }
 
+std::vector<const IndexInfo*> Catalog::AllIndexes() const {
+  std::vector<const IndexInfo*> out;
+  for (const auto& [n, info] : indexes_) out.push_back(info.get());
+  std::sort(out.begin(), out.end(), [](const IndexInfo* a, const IndexInfo* b) {
+    return a->name < b->name;
+  });
+  return out;
+}
+
 Status Catalog::Analyze(const std::string& table) {
   Table* t = nullptr;
   AIDB_ASSIGN_OR_RETURN(t, GetTable(table));

@@ -46,6 +46,9 @@ class Catalog {
   IndexInfo* FindIndex(const std::string& table, const std::string& column) const;
   std::vector<IndexInfo*> IndexesOn(const std::string& table) const;
   size_t NumIndexes() const { return indexes_.size(); }
+  /// Every index, sorted by name — the deterministic enumeration the
+  /// durability snapshot and state digest rely on.
+  std::vector<const IndexInfo*> AllIndexes() const;
 
   /// Recomputes histograms and distinct counts for every column of `table`
   /// (ANALYZE). String columns get feature-hash histograms.

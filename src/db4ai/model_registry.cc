@@ -1,5 +1,6 @@
 #include "db4ai/model_registry.h"
 
+#include <functional>
 #include <memory>
 
 #include "ml/linear.h"
@@ -7,6 +8,196 @@
 #include "ml/tree.h"
 
 namespace aidb::db4ai {
+
+namespace {
+
+// Parameter-blob kind tags (first byte of every blob).
+constexpr uint8_t kBlobLinear = 1;
+constexpr uint8_t kBlobLogistic = 2;
+constexpr uint8_t kBlobMlp = 3;
+constexpr uint8_t kBlobForest = 4;
+
+void PutDoubles(std::string* out, const std::vector<double>& v) {
+  serde::PutU32(out, static_cast<uint32_t>(v.size()));
+  for (double d : v) serde::PutDouble(out, d);
+}
+
+bool ReadDoubles(serde::Reader* r, std::vector<double>* v) {
+  uint32_t n = 0;
+  if (!r->ReadU32(&n)) return false;
+  v->resize(n);
+  for (uint32_t i = 0; i < n; ++i)
+    if (!r->ReadDouble(&(*v)[i])) return false;
+  return true;
+}
+
+std::string EncodeScaler(const ml::StandardScaler& scaler) {
+  std::string out;
+  PutDoubles(&out, scaler.mean());
+  PutDoubles(&out, scaler.stddev());
+  return out;
+}
+
+/// Raw-feature -> z-scored row, the preprocessing every predictor applies.
+std::function<std::vector<double>(const std::vector<double>&)> MakeScaleRow(
+    std::vector<double> mean, std::vector<double> stddev) {
+  return [mean = std::move(mean),
+          stddev = std::move(stddev)](const std::vector<double>& raw) {
+    std::vector<double> out(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i)
+      out[i] = (raw[i] - mean[i]) / stddev[i];
+    return out;
+  };
+}
+
+/// Rebuilds a predictor from a parameter blob. Train() routes its freshly
+/// fitted models through this same decoder, so the trained and the restored
+/// predictor are the same function by construction.
+Result<exec::PredictFn> BuildPredictor(const std::string& blob) {
+  serde::Reader r(blob);
+  uint8_t kind = 0;
+  std::vector<double> mean, stddev;
+  if (!r.ReadU8(&kind) || !ReadDoubles(&r, &mean) || !ReadDoubles(&r, &stddev))
+    return Status::Internal("model blob: truncated header");
+  size_t d = mean.size();
+  auto scale_row = MakeScaleRow(std::move(mean), std::move(stddev));
+
+  switch (kind) {
+    case kBlobLinear:
+    case kBlobLogistic: {
+      std::vector<double> w;
+      double b = 0;
+      if (!ReadDoubles(&r, &w) || !r.ReadDouble(&b))
+        return Status::Internal("model blob: truncated linear params");
+      if (kind == kBlobLinear) {
+        auto model = std::make_shared<ml::LinearRegression>();
+        model->SetParams(std::move(w), b);
+        return exec::PredictFn([model, scale_row, d](const std::vector<double>& raw) {
+          auto x = scale_row(raw);
+          return model->Predict(x.data(), d);
+        });
+      }
+      auto model = std::make_shared<ml::LogisticRegression>();
+      model->SetParams(std::move(w), b);
+      return exec::PredictFn([model, scale_row, d](const std::vector<double>& raw) {
+        auto x = scale_row(raw);
+        return model->PredictProba(x.data(), d);
+      });
+    }
+    case kBlobMlp: {
+      uint32_t nhidden = 0;
+      if (!r.ReadU32(&nhidden))
+        return Status::Internal("model blob: truncated mlp arch");
+      ml::MlpOptions opts;
+      opts.hidden.clear();
+      for (uint32_t i = 0; i < nhidden; ++i) {
+        uint32_t h = 0;
+        if (!r.ReadU32(&h)) return Status::Internal("model blob: truncated mlp arch");
+        opts.hidden.push_back(h);
+      }
+      std::vector<double> params;
+      if (!ReadDoubles(&r, &params))
+        return Status::Internal("model blob: truncated mlp params");
+      auto model = std::make_shared<ml::Mlp>(d, 1, opts);
+      if (!model->SetParameters(params))
+        return Status::Internal("model blob: mlp parameter count mismatch");
+      return exec::PredictFn([model, scale_row](const std::vector<double>& raw) {
+        return model->Predict1(scale_row(raw));
+      });
+    }
+    case kBlobForest: {
+      uint8_t regression = 0;
+      uint32_t ntrees = 0;
+      if (!r.ReadU8(&regression) || !r.ReadU32(&ntrees))
+        return Status::Internal("model blob: truncated forest header");
+      ml::TreeOptions topts;
+      topts.regression = regression != 0;
+      std::vector<ml::DecisionTree> trees;
+      trees.reserve(ntrees);
+      for (uint32_t t = 0; t < ntrees; ++t) {
+        uint32_t nnodes = 0;
+        if (!r.ReadU32(&nnodes))
+          return Status::Internal("model blob: truncated tree");
+        std::vector<ml::DecisionTree::Node> nodes(nnodes);
+        for (auto& n : nodes) {
+          int64_t feature = 0, left = 0, right = 0;
+          if (!r.ReadI64(&feature) || !r.ReadDouble(&n.threshold) ||
+              !r.ReadI64(&left) || !r.ReadI64(&right) || !r.ReadDouble(&n.value))
+            return Status::Internal("model blob: truncated tree node");
+          n.feature = static_cast<int>(feature);
+          n.left = static_cast<int>(left);
+          n.right = static_cast<int>(right);
+        }
+        ml::DecisionTree tree(topts);
+        tree.SetNodes(std::move(nodes));
+        trees.push_back(std::move(tree));
+      }
+      auto model = std::make_shared<ml::RandomForest>(ntrees, topts);
+      model->SetTrees(std::move(trees));
+      return exec::PredictFn([model, scale_row](const std::vector<double>& raw) {
+        auto x = scale_row(raw);
+        return model->Predict(x.data());
+      });
+    }
+    default:
+      return Status::Internal("model blob: unknown kind " + std::to_string(kind));
+  }
+}
+
+std::string EncodeForest(const ml::RandomForest& model) {
+  std::string out;
+  serde::PutU8(&out, model.options().regression ? 1 : 0);
+  serde::PutU32(&out, static_cast<uint32_t>(model.trees().size()));
+  for (const auto& tree : model.trees()) {
+    serde::PutU32(&out, static_cast<uint32_t>(tree.nodes().size()));
+    for (const auto& n : tree.nodes()) {
+      serde::PutI64(&out, n.feature);
+      serde::PutDouble(&out, n.threshold);
+      serde::PutI64(&out, n.left);
+      serde::PutI64(&out, n.right);
+      serde::PutDouble(&out, n.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SerializedModel::AppendTo(std::string* out) const {
+  serde::PutString(out, info.name);
+  serde::PutString(out, info.type);
+  serde::PutString(out, info.table);
+  serde::PutString(out, info.target);
+  serde::PutU32(out, static_cast<uint32_t>(info.features.size()));
+  for (const auto& f : info.features) serde::PutString(out, f);
+  serde::PutU64(out, info.version);
+  serde::PutU64(out, info.train_rows);
+  serde::PutDouble(out, info.train_mse);
+  serde::PutDouble(out, info.train_accuracy);
+  serde::PutString(out, blob);
+}
+
+Result<SerializedModel> SerializedModel::Deserialize(serde::Reader* r) {
+  SerializedModel m;
+  uint32_t nfeatures = 0;
+  if (!r->ReadString(&m.info.name) || !r->ReadString(&m.info.type) ||
+      !r->ReadString(&m.info.table) || !r->ReadString(&m.info.target) ||
+      !r->ReadU32(&nfeatures))
+    return Status::Internal("model: truncated info");
+  for (uint32_t i = 0; i < nfeatures; ++i) {
+    std::string f;
+    if (!r->ReadString(&f)) return Status::Internal("model: truncated feature");
+    m.info.features.push_back(std::move(f));
+  }
+  uint64_t version = 0, train_rows = 0;
+  if (!r->ReadU64(&version) || !r->ReadU64(&train_rows) ||
+      !r->ReadDouble(&m.info.train_mse) || !r->ReadDouble(&m.info.train_accuracy) ||
+      !r->ReadString(&m.blob))
+    return Status::Internal("model: truncated info tail");
+  m.info.version = version;
+  m.info.train_rows = train_rows;
+  return m;
+}
 
 Result<ml::Dataset> ModelRegistry::ExtractDataset(
     const Catalog& catalog, const std::string& table, const std::string& target,
@@ -68,61 +259,56 @@ Status ModelRegistry::Train(const Catalog& catalog,
   entry.info.features = stmt.features;
   entry.info.train_rows = data.NumRows();
 
-  size_t d = data.NumFeatures();
-  auto scale_row = [scaler](const std::vector<double>& raw) {
-    std::vector<double> out(raw.size());
-    for (size_t i = 0; i < raw.size(); ++i)
-      out[i] = (raw[i] - scaler->mean()[i]) / scaler->stddev()[i];
-    return out;
-  };
+  // Fit, then serialize the fitted parameters into a blob; the servable
+  // predictor is built by decoding that blob, so the trained entry and a
+  // snapshot-restored one share one construction path (recovery guarantee).
+  std::string blob;
+  serde::PutU8(&blob, 0);  // kind patched below
+  blob += EncodeScaler(*scaler);
 
   if (stmt.model_type == "linear") {
-    auto model = std::make_shared<ml::LinearRegression>();
-    model->FitClosedForm(scaled);
-    entry.info.train_mse = ml::Mse(model->Predict(scaled.x), scaled.y);
-    entry.fn = [model, scale_row, d](const std::vector<double>& raw) {
-      auto x = scale_row(raw);
-      return model->Predict(x.data(), d);
-    };
+    ml::LinearRegression model;
+    model.FitClosedForm(scaled);
+    entry.info.train_mse = ml::Mse(model.Predict(scaled.x), scaled.y);
+    blob[0] = static_cast<char>(kBlobLinear);
+    PutDoubles(&blob, model.weights());
+    serde::PutDouble(&blob, model.bias());
   } else if (stmt.model_type == "logistic") {
-    auto model = std::make_shared<ml::LogisticRegression>();
+    ml::LogisticRegression model;
     ml::SgdOptions opts;
     opts.epochs = 150;
     opts.learning_rate = 0.3;
-    model->Fit(scaled, opts);
-    entry.info.train_accuracy = ml::Accuracy(model->Predict(scaled.x), scaled.y);
-    entry.fn = [model, scale_row, d](const std::vector<double>& raw) {
-      auto x = scale_row(raw);
-      return model->PredictProba(x.data(), d);
-    };
+    model.Fit(scaled, opts);
+    entry.info.train_accuracy = ml::Accuracy(model.Predict(scaled.x), scaled.y);
+    blob[0] = static_cast<char>(kBlobLogistic);
+    PutDoubles(&blob, model.weights());
+    serde::PutDouble(&blob, model.bias());
   } else if (stmt.model_type == "mlp") {
     ml::MlpOptions opts;
     opts.hidden = {32, 16};
     opts.epochs = 80;
-    auto model = std::make_shared<ml::Mlp>(d, 1, opts);
-    model->Fit(scaled);
-    entry.info.train_mse = ml::Mse(model->Predict(scaled.x), scaled.y);
-    entry.fn = [model, scale_row](const std::vector<double>& raw) {
-      return model->Predict1(scale_row(raw));
-    };
+    ml::Mlp model(data.NumFeatures(), 1, opts);
+    model.Fit(scaled);
+    entry.info.train_mse = ml::Mse(model.Predict(scaled.x), scaled.y);
+    blob[0] = static_cast<char>(kBlobMlp);
+    serde::PutU32(&blob, static_cast<uint32_t>(opts.hidden.size()));
+    for (size_t h : opts.hidden) serde::PutU32(&blob, static_cast<uint32_t>(h));
+    PutDoubles(&blob, model.GetParameters());
   } else if (stmt.model_type == "forest") {
     ml::TreeOptions topts;
     topts.regression = true;
-    auto model = std::make_shared<ml::RandomForest>(20, topts);
-    model->Fit(scaled);
-    {
-      ml::Matrix& x = scaled.x;
-      std::vector<double> preds = model->Predict(x);
-      entry.info.train_mse = ml::Mse(preds, scaled.y);
-    }
-    entry.fn = [model, scale_row](const std::vector<double>& raw) {
-      auto x = scale_row(raw);
-      return model->Predict(x.data());
-    };
+    ml::RandomForest model(20, topts);
+    model.Fit(scaled);
+    entry.info.train_mse = ml::Mse(model.Predict(scaled.x), scaled.y);
+    blob[0] = static_cast<char>(kBlobForest);
+    blob += EncodeForest(model);
   } else {
     return Status::InvalidArgument("unknown model type '" + stmt.model_type +
                                    "' (linear|logistic|mlp|forest)");
   }
+
+  AIDB_ASSIGN_OR_RETURN(entry.fn, BuildPredictor(blob));
+  entry.blob = std::move(blob);
 
   auto it = models_.find(stmt.model);
   if (it != models_.end()) entry.info.version = it->second.info.version + 1;
@@ -160,6 +346,24 @@ std::vector<ModelInfo> ModelRegistry::ListModels() const {
 
 Status ModelRegistry::Drop(const std::string& name) {
   if (!models_.erase(name)) return Status::NotFound("model " + name);
+  return Status::OK();
+}
+
+std::vector<SerializedModel> ModelRegistry::Snapshot() const {
+  std::vector<SerializedModel> out;
+  for (const auto& [n, e] : models_) {
+    if (e.blob.empty()) continue;  // external predictor: not serializable
+    out.push_back({e.info, e.blob});
+  }
+  return out;
+}
+
+Status ModelRegistry::Restore(const SerializedModel& m) {
+  Entry entry;
+  entry.info = m.info;
+  entry.blob = m.blob;
+  AIDB_ASSIGN_OR_RETURN(entry.fn, BuildPredictor(m.blob));
+  models_[m.info.name] = std::move(entry);
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include "exec/expr.h"
 #include "ml/dataset.h"
 #include "sql/ast.h"
+#include "storage/serde.h"
 
 namespace aidb::db4ai {
 
@@ -25,6 +26,18 @@ struct ModelInfo {
   size_t train_rows = 0;
   double train_mse = 0.0;
   double train_accuracy = 0.0;  ///< classifiers only
+};
+
+/// A model in portable form: its metadata plus a self-describing binary
+/// parameter blob (scaler statistics + fitted weights/trees). This is what
+/// the durability snapshot persists; restoring the blob reconstructs a
+/// predictor that is bit-identical to the one that was trained.
+struct SerializedModel {
+  ModelInfo info;
+  std::string blob;
+
+  void AppendTo(std::string* out) const;
+  static Result<SerializedModel> Deserialize(serde::Reader* r);
 };
 
 /// \brief In-database model store: trains models from catalog tables
@@ -50,6 +63,15 @@ class ModelRegistry : public exec::ModelResolver {
   bool Contains(const std::string& name) const { return models_.count(name) > 0; }
   Status Drop(const std::string& name);
 
+  /// Every serializable model (name order). Externally registered predictors
+  /// are closures with no parameter blob and are skipped — they must be
+  /// re-registered by their owning component after a restart (documented
+  /// durability limitation, DESIGN.md §6).
+  std::vector<SerializedModel> Snapshot() const;
+  /// Reinstates a snapshotted model, rebuilding its predictor from the blob
+  /// through the same decode path Train() uses.
+  Status Restore(const SerializedModel& m);
+
   /// Extracts a supervised dataset (numeric features + target) from a table.
   static Result<ml::Dataset> ExtractDataset(const Catalog& catalog,
                                             const std::string& table,
@@ -60,6 +82,7 @@ class ModelRegistry : public exec::ModelResolver {
   struct Entry {
     ModelInfo info;
     exec::PredictFn fn;
+    std::string blob;  ///< serialized parameters; empty for external models
   };
   std::map<std::string, Entry> models_;
 };

@@ -1,10 +1,12 @@
 #include "exec/database.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 
 #include "common/timer.h"
 #include "sql/parser.h"
+#include "storage/snapshot.h"
 
 namespace aidb {
 
@@ -47,8 +49,89 @@ void Database::SetDop(size_t dop) {
   planner_options_.exec_pool = exec_pool_.get();
 }
 
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 const DurabilityOptions& opts) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::Internal("open: mkdir " + dir + ": " + ec.message());
+
+  auto db = std::unique_ptr<Database>(new Database());
+  AIDB_ASSIGN_OR_RETURN(db->recovery_stats_,
+                        storage::RecoverDatabase(dir, &db->catalog_, &db->models_));
+  storage::WalWriter::Options wopts;
+  wopts.flush_interval = opts.wal_flush_interval;
+  wopts.sync = opts.sync;
+  wopts.fault = opts.fault;
+  AIDB_ASSIGN_OR_RETURN(db->wal_,
+                        storage::WalWriter::Open(dir + "/wal.log",
+                                                 db->recovery_stats_.next_lsn, wopts));
+  db->dir_ = dir;
+  db->durability_opts_ = opts;
+  db->next_txn_id_ = db->recovery_stats_.next_txn_id;
+  return db;
+}
+
+Status Database::FlushWal() {
+  if (!wal_) return Status::InvalidArgument("database is not durable");
+  return wal_->Flush();
+}
+
+Status Database::Checkpoint() {
+  if (!wal_) return Status::InvalidArgument("database is not durable");
+  if (wal_->crashed()) return Status::Aborted("database crashed");
+  // Protocol: (1) make the WAL durable, (2) write + rename the snapshot,
+  // (3) truncate the WAL. A crash between (2) and (3) is safe because
+  // recovery skips WAL records with LSN <= the snapshot's checkpoint LSN.
+  AIDB_RETURN_NOT_OK(wal_->Flush());
+  storage::SnapshotMeta meta;
+  meta.checkpoint_lsn = wal_->last_lsn();
+  meta.next_txn_id = next_txn_id_;
+  AIDB_RETURN_NOT_OK(storage::Snapshot::Write(dir_, meta, catalog_, models_,
+                                              durability_opts_.fault)
+                         .status());
+  AIDB_RETURN_NOT_OK(wal_->ResetAfterCheckpoint());
+  storage::Snapshot::RemoveOld(dir_, 2);
+  records_since_checkpoint_ = 0;
+  ++checkpoints_written_;
+  return Status::OK();
+}
+
+void Database::SetWalFlushInterval(size_t records) {
+  durability_opts_.wal_flush_interval = records == 0 ? 1 : records;
+  if (wal_) wal_->set_flush_interval(durability_opts_.wal_flush_interval);
+}
+
+DurabilityStats Database::durability_stats() const {
+  DurabilityStats s;
+  if (wal_) {
+    s.wal = wal_->stats();
+    s.unflushed_records = wal_->unflushed_records();
+  }
+  s.checkpoints_written = checkpoints_written_;
+  s.recovery = recovery_stats_;
+  return s;
+}
+
+Status Database::LogTxn(
+    std::vector<std::pair<storage::WalRecordType, std::string>> records) {
+  if (!wal_) return Status::OK();
+  for (auto& [type, payload] : records)
+    AIDB_RETURN_NOT_OK(wal_->Append(type, std::move(payload)).status());
+  AIDB_RETURN_NOT_OK(
+      wal_->Append(storage::WalRecordType::kCommit,
+                   storage::EncodeCommit(next_txn_id_++))
+          .status());
+  records_since_checkpoint_ += records.size() + 1;
+  if (durability_opts_.checkpoint_every_n_records > 0 &&
+      records_since_checkpoint_ >= durability_opts_.checkpoint_every_n_records) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> Database::Execute(const std::string& sql) {
   Timer timer;
+  if (crashed()) return Status::Aborted("database crashed; reopen to recover");
   std::unique_ptr<sql::Statement> stmt;
   AIDB_ASSIGN_OR_RETURN(stmt, sql::Parser::Parse(sql));
 
@@ -62,12 +145,16 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     case sql::StatementKind::kCreateTable: {
       auto& s = static_cast<const sql::CreateTableStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(catalog_.CreateTable(s.table, s.schema).status());
+      AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kCreateTable,
+                                  storage::EncodeCreateTable({s.table, s.schema})}}));
       result.message = "CREATE TABLE " + s.table;
       break;
     }
     case sql::StatementKind::kDropTable: {
       auto& s = static_cast<const sql::DropTableStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(catalog_.DropTable(s.table));
+      AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kDropTable,
+                                  storage::EncodeDropTable(s.table)}}));
       result.message = "DROP TABLE " + s.table;
       break;
     }
@@ -75,12 +162,17 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       auto& s = static_cast<const sql::CreateIndexStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(
           catalog_.CreateIndex(s.index, s.table, s.column, s.is_btree).status());
+      AIDB_RETURN_NOT_OK(LogTxn(
+          {{storage::WalRecordType::kCreateIndex,
+            storage::EncodeCreateIndex({s.index, s.table, s.column, s.is_btree})}}));
       result.message = "CREATE INDEX " + s.index;
       break;
     }
     case sql::StatementKind::kDropIndex: {
       auto& s = static_cast<const sql::DropIndexStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(catalog_.DropIndex(s.index));
+      AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kDropIndex,
+                                  storage::EncodeDropIndex(s.index)}}));
       result.message = "DROP INDEX " + s.index;
       break;
     }
@@ -88,10 +180,18 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       auto& s = static_cast<const sql::InsertStatement&>(*stmt);
       Table* table = nullptr;
       AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
+      storage::InsertPayload wal_rows;
       for (const auto& row : s.rows) {
         RowId id = 0;
         AIDB_ASSIGN_OR_RETURN(id, table->Insert(row));
         catalog_.OnInsert(s.table, id, row);
+        if (wal_rows.rows.empty()) wal_rows.first_row_id = id;
+        if (durable()) wal_rows.rows.push_back(row);
+      }
+      if (durable()) {
+        wal_rows.table = s.table;
+        AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kInsert,
+                                    storage::EncodeInsert(wal_rows)}}));
       }
       result.affected_rows = s.rows.size();
       result.message = "INSERT " + std::to_string(s.rows.size());
@@ -131,9 +231,17 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
         for (const auto& a : assigns) updated_row[a.column] = a.expr.Eval(row);
         changes.emplace_back(id, std::move(updated_row));
       });
+      // WAL after-images encoded before the apply loop consumes the tuples.
+      std::string wal_payload;
+      if (durable() && !changes.empty())
+        wal_payload = storage::EncodeUpdate({s.table, changes});
       for (auto& [id, row] : changes) {
         AIDB_RETURN_NOT_OK(table->Update(id, std::move(row)));
         ++updated;
+      }
+      if (durable() && updated > 0) {
+        AIDB_RETURN_NOT_OK(LogTxn(
+            {{storage::WalRecordType::kUpdate, std::move(wal_payload)}}));
       }
       result.affected_rows = updated;
       result.message = "UPDATE " + std::to_string(updated);
@@ -161,6 +269,13 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
         AIDB_RETURN_NOT_OK(table->Delete(id));
         catalog_.OnDelete(s.table, id, row);
       }
+      if (durable() && !victims.empty()) {
+        storage::DeletePayload p;
+        p.table = s.table;
+        for (const auto& [id, row] : victims) p.rows.push_back(id);
+        AIDB_RETURN_NOT_OK(
+            LogTxn({{storage::WalRecordType::kDelete, storage::EncodeDelete(p)}}));
+      }
       result.affected_rows = victims.size();
       result.message = "DELETE " + std::to_string(victims.size());
       break;
@@ -174,6 +289,10 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     case sql::StatementKind::kCreateModel: {
       auto& s = static_cast<const sql::CreateModelStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(models_.Train(catalog_, s));
+      AIDB_RETURN_NOT_OK(
+          LogTxn({{storage::WalRecordType::kCreateModel,
+                   storage::EncodeCreateModel(
+                       {s.model, s.model_type, s.target, s.table, s.features})}}));
       const db4ai::ModelInfo* info = nullptr;
       AIDB_ASSIGN_OR_RETURN(info, models_.GetInfo(s.model));
       result.message = "CREATE MODEL " + s.model + " v" +

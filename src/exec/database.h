@@ -9,8 +9,35 @@
 #include "common/thread_pool.h"
 #include "db4ai/model_registry.h"
 #include "exec/planner.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "txn/types.h"
 
 namespace aidb {
+
+/// Configuration of the durability subsystem (Database::Open).
+struct DurabilityOptions {
+  /// Group-commit interval in WAL records: 1 = synchronous commit, larger
+  /// values batch records per fsync at the cost of a bounded durability lag.
+  /// Advisor knob `wal_flush_interval`.
+  size_t wal_flush_interval = 64;
+  /// Automatic checkpoint after this many WAL records since the last one
+  /// (0 = manual Checkpoint() only). Advisor knob `checkpoint_interval`.
+  size_t checkpoint_every_n_records = 0;
+  /// Skip physical fsyncs (stats still count them) — for benches and the
+  /// knob environment, where the response comes from deterministic counters.
+  bool sync = true;
+  /// Crash-injection hook for the recovery test harness; not owned.
+  storage::FaultInjector* fault = nullptr;
+};
+
+/// Cumulative durability counters for one Database (monitor/ samples these).
+struct DurabilityStats {
+  storage::WalStats wal;
+  size_t unflushed_records = 0;  ///< current durability lag (group buffer)
+  uint64_t checkpoints_written = 0;
+  storage::RecoveryStats recovery;  ///< from the Open() that built this db
+};
 
 /// Result of executing one statement.
 struct QueryResult {
@@ -32,6 +59,16 @@ class Database {
  public:
   Database() : planner_(&catalog_, &models_) {}
 
+  /// \brief Opens a durable database rooted at directory `dir` (created if
+  /// missing): loads the latest valid snapshot, replays committed WAL
+  /// transactions past its checkpoint LSN, truncates any torn tail, and
+  /// arms a write-ahead log for everything executed afterwards.
+  ///
+  /// A default-constructed Database stays the process-lifetime in-memory
+  /// engine the rest of the stack uses; durability is strictly opt-in.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                const DurabilityOptions& opts = {});
+
   /// Executes one SQL statement.
   Result<QueryResult> Execute(const std::string& sql);
 
@@ -43,6 +80,7 @@ class Database {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
   db4ai::ModelRegistry& models() { return models_; }
+  const db4ai::ModelRegistry& models() const { return models_; }
   exec::Planner& planner() { return planner_; }
   exec::PlannerOptions& mutable_planner_options() { return planner_options_; }
 
@@ -56,8 +94,46 @@ class Database {
   /// monitoring stack samples).
   uint64_t total_work() const { return total_work_; }
 
+  /// Executor pool size (0 before any dop > 1). The pool is grow-only: it
+  /// never shrinks when dop is lowered (regression-pinned in tests).
+  size_t exec_pool_threads() const {
+    return exec_pool_ ? exec_pool_->num_threads() : 0;
+  }
+
+  // --- Durability surface (no-ops / errors on a non-durable database) -------
+
+  bool durable() const { return wal_ != nullptr; }
+  /// True once a fault injection "killed" a durable write (WAL flush or
+  /// snapshot step): the database refuses all further statements and must be
+  /// reopened from disk.
+  bool crashed() const {
+    return (wal_ && wal_->crashed()) ||
+           (durability_opts_.fault && durability_opts_.fault->crashed());
+  }
+
+  /// Drains the group-commit buffer to disk now.
+  Status FlushWal();
+  /// Writes a snapshot of the full state, then truncates the WAL. The
+  /// `checkpoint_every_n_records` knob triggers this automatically.
+  Status Checkpoint();
+
+  /// Live re-tuning hooks for the advisor knobs.
+  void SetWalFlushInterval(size_t records);
+  void SetCheckpointEveryN(size_t records) {
+    durability_opts_.checkpoint_every_n_records = records;
+  }
+  size_t wal_flush_interval() const {
+    return wal_ ? wal_->flush_interval() : durability_opts_.wal_flush_interval;
+  }
+
+  DurabilityStats durability_stats() const;
+  const storage::RecoveryStats& last_recovery() const { return recovery_stats_; }
+
  private:
   Result<QueryResult> ExecuteSelect(const sql::SelectStatement& stmt);
+  /// Appends a statement's WAL records + COMMIT, honoring group commit and
+  /// the auto-checkpoint knob. No-op when not durable.
+  Status LogTxn(std::vector<std::pair<storage::WalRecordType, std::string>> records);
 
   Catalog catalog_;
   db4ai::ModelRegistry models_;
@@ -65,6 +141,15 @@ class Database {
   exec::PlannerOptions planner_options_;
   std::unique_ptr<ThreadPool> exec_pool_;
   uint64_t total_work_ = 0;
+
+  // Durability state (null/empty for the in-memory engine).
+  std::string dir_;
+  DurabilityOptions durability_opts_;
+  std::unique_ptr<storage::WalWriter> wal_;
+  txn::TxnId next_txn_id_ = 1;
+  uint64_t records_since_checkpoint_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  storage::RecoveryStats recovery_stats_;
 };
 
 }  // namespace aidb

@@ -33,6 +33,12 @@ class LinearRegression {
   const std::vector<double>& weights() const { return w_; }
   double bias() const { return b_; }
 
+  /// Restores a fitted state from serialized parameters (durability layer).
+  void SetParams(std::vector<double> w, double b) {
+    w_ = std::move(w);
+    b_ = b;
+  }
+
  private:
   std::vector<double> w_;
   double b_ = 0.0;
@@ -51,6 +57,12 @@ class LogisticRegression {
 
   const std::vector<double>& weights() const { return w_; }
   double bias() const { return b_; }
+
+  /// Restores a fitted state from serialized parameters (durability layer).
+  void SetParams(std::vector<double> w, double b) {
+    w_ = std::move(w);
+    b_ = b;
+  }
 
  private:
   std::vector<double> w_;

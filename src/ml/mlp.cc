@@ -1,5 +1,6 @@
 #include "ml/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -146,6 +147,30 @@ size_t Mlp::NumParameters() const {
   size_t n = 0;
   for (const auto& l : layers_) n += l.w.size() + l.b.size();
   return n;
+}
+
+std::vector<double> Mlp::GetParameters() const {
+  std::vector<double> flat;
+  flat.reserve(NumParameters());
+  for (const auto& l : layers_) {
+    flat.insert(flat.end(), l.w.data().begin(), l.w.data().end());
+    flat.insert(flat.end(), l.b.data().begin(), l.b.data().end());
+  }
+  return flat;
+}
+
+bool Mlp::SetParameters(const std::vector<double>& flat) {
+  if (flat.size() != NumParameters()) return false;
+  size_t at = 0;
+  for (auto& l : layers_) {
+    std::copy(flat.begin() + at, flat.begin() + at + l.w.size(),
+              l.w.data().begin());
+    at += l.w.size();
+    std::copy(flat.begin() + at, flat.begin() + at + l.b.size(),
+              l.b.data().begin());
+    at += l.b.size();
+  }
+  return true;
 }
 
 }  // namespace aidb::ml

@@ -46,8 +46,18 @@ class Mlp {
 
   size_t input_dim() const { return input_dim_; }
   size_t output_dim() const { return output_dim_; }
+  const MlpOptions& options() const { return opts_; }
   /// Total number of parameters (for model-size reporting).
   size_t NumParameters() const;
+
+  /// Flattens every layer's weights then biases, layer by layer — the
+  /// serialization surface the durability snapshot stores. Adam moments are
+  /// deliberately excluded: a restored network predicts identically but
+  /// would restart optimizer state if trained further.
+  std::vector<double> GetParameters() const;
+  /// Inverse of GetParameters; `flat` must hold exactly NumParameters()
+  /// values for this architecture.
+  bool SetParameters(const std::vector<double>& flat);
 
  private:
   struct Layer {

@@ -24,6 +24,14 @@ struct TreeOptions {
 /// access-control classifiers.
 class DecisionTree {
  public:
+  struct Node {
+    int feature = -1;       ///< -1 for leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;     ///< leaf prediction (majority class or mean)
+  };
+
   explicit DecisionTree(const TreeOptions& opts = {}) : opts_(opts) {}
 
   void Fit(const Dataset& data);
@@ -34,15 +42,12 @@ class DecisionTree {
   size_t NumNodes() const { return nodes_.size(); }
   size_t Depth() const;
 
- private:
-  struct Node {
-    int feature = -1;       ///< -1 for leaf
-    double threshold = 0.0;
-    int left = -1;
-    int right = -1;
-    double value = 0.0;     ///< leaf prediction (majority class or mean)
-  };
+  /// Fitted-tree serialization surface (durability snapshot): prediction
+  /// depends only on the node array, so round-tripping it restores the tree.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  void SetNodes(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
 
+ private:
   int Build(const std::vector<size_t>& idx, const Dataset& data, size_t depth,
             Rng* rng);
   double LeafValue(const std::vector<size_t>& idx, const Dataset& data) const;
@@ -65,6 +70,11 @@ class RandomForest {
   std::vector<double> Predict(const Matrix& x) const;
 
   size_t num_trees() const { return trees_.size(); }
+  const TreeOptions& options() const { return opts_; }
+
+  /// Fitted-forest serialization surface (durability snapshot).
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  void SetTrees(std::vector<DecisionTree> trees) { trees_ = std::move(trees); }
 
  private:
   size_t num_trees_;

@@ -1,0 +1,78 @@
+#include "monitor/durability_metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "exec/database.h"
+
+namespace aidb::monitor {
+
+bool DurabilityMetrics::Sample(const Database& db) {
+  if (!db.durable()) return false;
+  DurabilityStats stats = db.durability_stats();
+  DurabilitySample s;
+  s.wal_records = stats.wal.records_appended;
+  s.wal_bytes = stats.wal.bytes_written;
+  s.wal_fsyncs = stats.wal.fsyncs;
+  s.unflushed_records = stats.unflushed_records;
+  s.checkpoints = stats.checkpoints_written;
+  s.recovery_replayed = stats.recovery.records_replayed;
+  s.recovery_wal_bytes = stats.recovery.wal_bytes_scanned;
+  s.recovery_ms = stats.recovery.elapsed_ms;
+  s.recovered_torn_tail = stats.recovery.tail_truncated;
+  samples_.push_back(s);
+  return true;
+}
+
+uint64_t DurabilityMetrics::RecordsDelta() const {
+  if (samples_.size() < 2) return 0;
+  return samples_.back().wal_records - samples_.front().wal_records;
+}
+
+double DurabilityMetrics::FsyncPerRecord() const {
+  uint64_t records = RecordsDelta();
+  if (records == 0) return 0.0;
+  uint64_t fsyncs = samples_.back().wal_fsyncs - samples_.front().wal_fsyncs;
+  return static_cast<double>(fsyncs) / static_cast<double>(records);
+}
+
+double DurabilityMetrics::BytesPerRecord() const {
+  uint64_t records = RecordsDelta();
+  if (records == 0) return 0.0;
+  uint64_t bytes = samples_.back().wal_bytes - samples_.front().wal_bytes;
+  return static_cast<double>(bytes) / static_cast<double>(records);
+}
+
+uint64_t DurabilityMetrics::MaxDurabilityLag() const {
+  uint64_t max_lag = 0;
+  for (const auto& s : samples_)
+    max_lag = std::max(max_lag, s.unflushed_records);
+  return max_lag;
+}
+
+double DurabilityMetrics::RecoveryMsPerMib() const {
+  if (samples_.empty()) return 0.0;
+  const DurabilitySample& s = samples_.front();
+  if (s.recovery_wal_bytes == 0) return 0.0;
+  double mib = static_cast<double>(s.recovery_wal_bytes) / (1024.0 * 1024.0);
+  return mib > 0 ? s.recovery_ms / mib : 0.0;
+}
+
+std::string DurabilityMetrics::Report() const {
+  std::ostringstream out;
+  out << "durability: samples=" << samples_.size()
+      << " records=" << RecordsDelta()
+      << " fsync/rec=" << FsyncPerRecord()
+      << " bytes/rec=" << BytesPerRecord()
+      << " max_lag=" << MaxDurabilityLag();
+  if (!samples_.empty()) {
+    const DurabilitySample& s = samples_.front();
+    out << " checkpoints=" << samples_.back().checkpoints
+        << " recovery{replayed=" << s.recovery_replayed
+        << " ms/MiB=" << RecoveryMsPerMib()
+        << (s.recovered_torn_tail ? " torn_tail" : "") << "}";
+  }
+  return out.str();
+}
+
+}  // namespace aidb::monitor

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aidb {
+class Database;
+}
+
+namespace aidb::monitor {
+
+/// One sample of the durability KPIs a health monitor watches: WAL write
+/// amplification, group-commit lag, checkpoint cadence, and the recovery
+/// cost observed at the last Open(). All counter-derived — sampling is free.
+struct DurabilitySample {
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t unflushed_records = 0;  ///< committed-but-volatile (durability lag)
+  uint64_t checkpoints = 0;
+  // From the recovery that produced this database (constant per lifetime).
+  uint64_t recovery_replayed = 0;
+  uint64_t recovery_wal_bytes = 0;
+  double recovery_ms = 0.0;
+  bool recovered_torn_tail = false;
+};
+
+/// \brief Rolling collector of durability KPIs for one Database.
+///
+/// Feeds the same monitoring stack as activity/diagnose: Sample() appends a
+/// counter snapshot, the derived-rate accessors difference consecutive
+/// samples, and Report() renders the operator-facing summary. Detects the
+/// two durability anti-patterns the survey's monitoring section calls out:
+/// an fsync-bound workload (sync rate ~ record rate) and unbounded
+/// durability lag (group buffer never draining).
+class DurabilityMetrics {
+ public:
+  /// Snapshots the database's durability counters. No-op (returns false) on
+  /// a non-durable database.
+  bool Sample(const Database& db);
+
+  const std::vector<DurabilitySample>& samples() const { return samples_; }
+
+  /// Records appended between the first and last sample.
+  uint64_t RecordsDelta() const;
+  /// fsyncs per WAL record over the sampled window (1.0 = synchronous
+  /// commit, 1/N = group commit draining every N records).
+  double FsyncPerRecord() const;
+  /// Mean bytes per WAL record over the window (write amplification proxy).
+  double BytesPerRecord() const;
+  /// Highest durability lag seen across samples.
+  uint64_t MaxDurabilityLag() const;
+  /// Milliseconds of recovery per MiB of WAL replayed at the last Open
+  /// (0 when recovery replayed nothing).
+  double RecoveryMsPerMib() const;
+
+  std::string Report() const;
+
+ private:
+  std::vector<DurabilitySample> samples_;
+};
+
+}  // namespace aidb::monitor

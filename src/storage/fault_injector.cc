@@ -1,0 +1,16 @@
+#include "storage/fault_injector.h"
+
+namespace aidb::storage {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTornWrite: return "torn_write";
+    case FaultKind::kDroppedFsync: return "dropped_fsync";
+    case FaultKind::kCorruptByte: return "corrupt_byte";
+    case FaultKind::kCleanCrash: return "clean_crash";
+  }
+  return "?";
+}
+
+}  // namespace aidb::storage

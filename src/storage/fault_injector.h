@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace aidb::storage {
+
+/// What a fired fault does to the durable file being written.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// The physical write stops partway through the buffer: a torn record
+  /// tail that recovery must detect via CRC and truncate.
+  kTornWrite,
+  /// The write lands fully in the page cache but the fsync never happens
+  /// and the machine dies: every byte since the last successful sync is
+  /// lost cleanly.
+  kDroppedFsync,
+  /// One byte of the buffer is flipped before it reaches the disk (a
+  /// misdirected/bit-rotted write); the frame length is intact, so only
+  /// the CRC can catch it.
+  kCorruptByte,
+  /// A clean power cut between two durable steps (e.g. after a snapshot
+  /// rename but before the WAL reset) — no file damage, just a stop.
+  kCleanCrash,
+};
+
+const char* FaultKindName(FaultKind k);
+
+/// Where in the durability pipeline an injection point sits.
+enum class FaultPoint : uint8_t {
+  kWalFlush = 0,      ///< WalWriter::Flush, before the buffer hits the file
+  kSnapshotWrite,     ///< mid snapshot temp-file write
+  kPostSnapshotRename,///< snapshot durable, WAL not yet reset
+};
+
+/// \brief Deterministic crash scheduler for the durability layer.
+///
+/// Every physical step of the WAL/snapshot pipeline calls Fire() at its
+/// injection point; the injector counts points and, when the armed point is
+/// reached, returns the armed fault kind. After firing, the injector (and
+/// the writer that consulted it) is "crashed": the owning Database refuses
+/// further work and the test reopens from disk, exactly as if the process
+/// had died. Seeded via common/rng.h — no wall clock anywhere — so a crash
+/// matrix is replayable from (seed, point index).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+
+  /// Counting mode (nothing armed): Fire() only tallies points, which is how
+  /// the crash-matrix harness learns how many injection points a workload has.
+  void ArmCrash(uint64_t fire_at_point, FaultKind kind) {
+    fire_at_ = fire_at_point;
+    kind_ = kind;
+  }
+
+  /// Called by WAL/snapshot writers at each injection point (1-based count).
+  /// Returns the fault to apply now, or kNone.
+  FaultKind Fire(FaultPoint point) {
+    ++points_seen_;
+    last_point_ = point;
+    if (crashed_ || kind_ == FaultKind::kNone || points_seen_ != fire_at_) {
+      return FaultKind::kNone;
+    }
+    crashed_ = true;
+    return kind_;
+  }
+
+  bool crashed() const { return crashed_; }
+  uint64_t points_seen() const { return points_seen_; }
+
+  /// Deterministic randomness for damage placement (torn-write length,
+  /// corrupt-byte offset).
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  uint64_t points_seen_ = 0;
+  uint64_t fire_at_ = 0;
+  FaultKind kind_ = FaultKind::kNone;
+  FaultPoint last_point_ = FaultPoint::kWalFlush;
+  bool crashed_ = false;
+};
+
+}  // namespace aidb::storage

@@ -1,0 +1,207 @@
+#include "storage/recovery.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/timer.h"
+#include "sql/ast.h"
+#include "storage/serde.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace aidb::storage {
+
+namespace {
+
+/// Applies one committed record to the live state. Mirrors the corresponding
+/// Database::Execute branch, minus parsing/binding (payloads are physical).
+Status ApplyRecord(const WalRecord& rec, Catalog* catalog,
+                   db4ai::ModelRegistry* models) {
+  switch (rec.type) {
+    case WalRecordType::kCreateTable: {
+      CreateTablePayload p;
+      AIDB_ASSIGN_OR_RETURN(p, DecodeCreateTable(rec.payload));
+      return catalog->CreateTable(p.table, std::move(p.schema)).status();
+    }
+    case WalRecordType::kDropTable: {
+      std::string table;
+      AIDB_ASSIGN_OR_RETURN(table, DecodeDropTable(rec.payload));
+      return catalog->DropTable(table);
+    }
+    case WalRecordType::kInsert: {
+      InsertPayload p;
+      AIDB_ASSIGN_OR_RETURN(p, DecodeInsert(rec.payload));
+      Table* t = nullptr;
+      AIDB_ASSIGN_OR_RETURN(t, catalog->GetTable(p.table));
+      for (size_t i = 0; i < p.rows.size(); ++i) {
+        RowId id = 0;
+        AIDB_ASSIGN_OR_RETURN(id, t->Insert(p.rows[i]));
+        if (id != p.first_row_id + i)
+          return Status::Internal("recovery: replayed insert landed in slot " +
+                                  std::to_string(id) + ", WAL says " +
+                                  std::to_string(p.first_row_id + i));
+        catalog->OnInsert(p.table, id, p.rows[i]);
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kUpdate: {
+      UpdatePayload p;
+      AIDB_ASSIGN_OR_RETURN(p, DecodeUpdate(rec.payload));
+      Table* t = nullptr;
+      AIDB_ASSIGN_OR_RETURN(t, catalog->GetTable(p.table));
+      for (auto& [id, row] : p.changes)
+        AIDB_RETURN_NOT_OK(t->Update(id, std::move(row)));
+      return Status::OK();
+    }
+    case WalRecordType::kDelete: {
+      DeletePayload p;
+      AIDB_ASSIGN_OR_RETURN(p, DecodeDelete(rec.payload));
+      Table* t = nullptr;
+      AIDB_ASSIGN_OR_RETURN(t, catalog->GetTable(p.table));
+      for (RowId id : p.rows) {
+        Tuple row;
+        AIDB_ASSIGN_OR_RETURN(row, t->Get(id));
+        AIDB_RETURN_NOT_OK(t->Delete(id));
+        catalog->OnDelete(p.table, id, row);
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kCreateModel: {
+      CreateModelPayload p;
+      AIDB_ASSIGN_OR_RETURN(p, DecodeCreateModel(rec.payload));
+      // Re-train on the replayed table state. Training is deterministic
+      // (fixed seeds, no wall clock) and the replay has restored the exact
+      // rows the original training saw, so the rebuilt model is bit-equal.
+      sql::CreateModelStatement stmt;
+      stmt.model = p.model;
+      stmt.model_type = p.model_type;
+      stmt.target = p.target;
+      stmt.table = p.table;
+      stmt.features = p.features;
+      return models->Train(*catalog, stmt);
+    }
+    case WalRecordType::kCreateIndex: {
+      CreateIndexPayload p;
+      AIDB_ASSIGN_OR_RETURN(p, DecodeCreateIndex(rec.payload));
+      return catalog->CreateIndex(p.index, p.table, p.column, p.is_btree).status();
+    }
+    case WalRecordType::kDropIndex: {
+      std::string index;
+      AIDB_ASSIGN_OR_RETURN(index, DecodeDropIndex(rec.payload));
+      return catalog->DropIndex(index);
+    }
+    case WalRecordType::kCommit:
+      return Status::Internal("recovery: COMMIT reached ApplyRecord");
+  }
+  return Status::Internal("recovery: unknown record type");
+}
+
+}  // namespace
+
+Result<RecoveryStats> RecoverDatabase(const std::string& dir, Catalog* catalog,
+                                      db4ai::ModelRegistry* models) {
+  Timer timer;
+  RecoveryStats stats;
+
+  SnapshotMeta meta;
+  Result<bool> loaded = Snapshot::LoadLatest(dir, catalog, models, &meta);
+  AIDB_RETURN_NOT_OK(loaded.status());
+  if (loaded.ValueOrDie()) {
+    stats.snapshot_loaded = true;
+    stats.snapshot_lsn = meta.checkpoint_lsn;
+    stats.next_txn_id = meta.next_txn_id;
+  }
+
+  const std::string wal_path = dir + "/wal.log";
+  WalScan scan;
+  AIDB_ASSIGN_OR_RETURN(scan, ScanWalFile(wal_path));
+  stats.wal_bytes_scanned = scan.file_bytes;
+  stats.records_scanned = scan.records.size();
+  stats.tail_truncated = scan.tail_torn;
+
+  uint64_t max_lsn = stats.snapshot_lsn;
+  uint64_t applied_bytes_end = 0;  // offset just past the last applied COMMIT
+  std::vector<const WalRecord*> pending;
+  uint64_t offset = 0;
+  for (const WalRecord& rec : scan.records) {
+    // Reconstruct each frame's extent to know where committed data ends.
+    uint64_t frame_end = offset + 8 + 9 + rec.payload.size();
+    offset = frame_end;
+    max_lsn = std::max(max_lsn, rec.lsn);
+    if (rec.lsn <= stats.snapshot_lsn) {
+      // Pre-checkpoint leftovers (crash between snapshot rename and WAL
+      // reset): already folded into the snapshot, skip but keep on disk.
+      applied_bytes_end = frame_end;
+      continue;
+    }
+    if (rec.type != WalRecordType::kCommit) {
+      pending.push_back(&rec);
+      continue;
+    }
+    txn::TxnId txn = 0;
+    AIDB_ASSIGN_OR_RETURN(txn, DecodeCommit(rec.payload));
+    for (const WalRecord* r : pending) {
+      AIDB_RETURN_NOT_OK(ApplyRecord(*r, catalog, models));
+      ++stats.records_replayed;
+    }
+    pending.clear();
+    ++stats.commits_applied;
+    stats.next_txn_id = std::max(stats.next_txn_id, txn + 1);
+    applied_bytes_end = frame_end;
+  }
+
+  // Cut the tail: torn/corrupt bytes and valid-but-uncommitted records alike
+  // are dead (their transaction never committed and must not resurrect once
+  // new records are appended after them).
+  if (applied_bytes_end < scan.file_bytes) {
+    stats.truncated_bytes = scan.file_bytes - applied_bytes_end;
+    stats.tail_truncated = true;
+    std::error_code ec;
+    if (std::filesystem::exists(wal_path, ec)) {
+      std::filesystem::resize_file(wal_path, applied_bytes_end, ec);
+      if (ec)
+        return Status::Internal("recovery: truncate WAL: " + ec.message());
+    }
+    // LSNs of discarded records are recycled by the writer.
+    if (!pending.empty()) max_lsn = pending.front()->lsn - 1;
+  }
+
+  stats.next_lsn = max_lsn + 1;
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+std::string StateDigest(const Catalog& catalog, const db4ai::ModelRegistry& models) {
+  std::string out;
+  std::vector<std::string> names = catalog.TableNames();
+  std::sort(names.begin(), names.end());
+  serde::PutU32(&out, static_cast<uint32_t>(names.size()));
+  for (const auto& name : names) {
+    const Table* t = std::move(catalog.GetTable(name)).ValueOrDie();
+    serde::PutString(&out, name);
+    t->schema().AppendTo(&out);
+    serde::PutU64(&out, t->NumSlots());
+    for (RowId id = 0; id < t->NumSlots(); ++id) {
+      if (t->IsLive(id)) {
+        serde::PutU8(&out, 1);
+        AppendTuple(&out, t->RowAt(id));
+      } else {
+        // Tombstone contents are not logical state (a fresh replay and a
+        // snapshot restore retain different dead bytes) — liveness is.
+        serde::PutU8(&out, 0);
+      }
+    }
+  }
+  for (const IndexInfo* idx : catalog.AllIndexes()) {
+    serde::PutString(&out, idx->name);
+    serde::PutString(&out, idx->table);
+    serde::PutString(&out, idx->column);
+    serde::PutU8(&out, idx->is_btree ? 1 : 0);
+  }
+  for (const auto& m : models.Snapshot()) m.AppendTo(&out);
+  return out;
+}
+
+}  // namespace aidb::storage

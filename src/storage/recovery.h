@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "db4ai/model_registry.h"
+
+namespace aidb::storage {
+
+/// What one Database::Open learned and did (exposed for tests, the bench and
+/// the monitoring stack's recovery-time KPI).
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_lsn = 0;
+  uint64_t next_txn_id = 1;        ///< statement-transaction counter to resume
+  uint64_t next_lsn = 1;           ///< first LSN the reopened WAL will assign
+  uint64_t records_scanned = 0;    ///< valid WAL records seen
+  uint64_t records_replayed = 0;   ///< records applied (committed, past snapshot)
+  uint64_t commits_applied = 0;    ///< committed statement-transactions redone
+  uint64_t wal_bytes_scanned = 0;
+  uint64_t truncated_bytes = 0;    ///< torn/uncommitted tail bytes cut off
+  bool tail_truncated = false;
+  double elapsed_ms = 0.0;
+};
+
+/// \brief ARIES-lite redo recovery: load the newest valid snapshot, replay
+/// committed WAL transactions with LSN > checkpoint LSN, truncate the torn
+/// or uncommitted tail.
+///
+/// Redo-only is sufficient because mutations reach the in-memory state and
+/// the WAL within one statement-level transaction, and an uncommitted suffix
+/// (no COMMIT record) is simply never replayed. Records are buffered per
+/// transaction and applied atomically at each COMMIT, so a crash can never
+/// surface half a statement.
+Result<RecoveryStats> RecoverDatabase(const std::string& dir, Catalog* catalog,
+                                      db4ai::ModelRegistry* models);
+
+/// Deterministic digest of the full logical engine state: every table's
+/// schema and slot layout (live rows serialized, tombstones as markers),
+/// index metadata, and every model's metadata + parameter blob. Two states
+/// with equal digests are byte-equal for recovery purposes; the crash-matrix
+/// harness compares a recovered database against its serial oracle with this.
+std::string StateDigest(const Catalog& catalog, const db4ai::ModelRegistry& models);
+
+}  // namespace aidb::storage

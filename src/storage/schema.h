@@ -32,6 +32,32 @@ class Schema {
 
   void AddColumn(Column c) { columns_.push_back(std::move(c)); }
 
+  /// Appends the binary encoding (column count, then name + type tag per
+  /// column) shared by the WAL CREATE TABLE record and the snapshot format.
+  void AppendTo(std::string* out) const {
+    serde::PutU32(out, static_cast<uint32_t>(columns_.size()));
+    for (const auto& c : columns_) {
+      serde::PutString(out, c.name);
+      serde::PutU8(out, static_cast<uint8_t>(c.type));
+    }
+  }
+
+  static Result<Schema> Deserialize(serde::Reader* r) {
+    uint32_t n = 0;
+    if (!r->ReadU32(&n)) return Status::Internal("schema: truncated column count");
+    std::vector<Column> cols;
+    cols.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Column c;
+      uint8_t tag = 0;
+      if (!r->ReadString(&c.name) || !r->ReadU8(&tag))
+        return Status::Internal("schema: truncated column");
+      c.type = static_cast<ValueType>(tag);
+      cols.push_back(std::move(c));
+    }
+    return Schema(std::move(cols));
+  }
+
   std::string ToString() const {
     std::string out = "(";
     for (size_t i = 0; i < columns_.size(); ++i) {
@@ -53,5 +79,25 @@ using Tuple = std::vector<Value>;
 /// Stable row identifier within a table (slot number; survives updates,
 /// invalidated by delete).
 using RowId = uint64_t;
+
+/// Tuple binary round-trip helpers (value count, then each value's tagged
+/// encoding) — the row format of WAL INSERT/UPDATE records and snapshot heaps.
+inline void AppendTuple(std::string* out, const Tuple& row) {
+  serde::PutU32(out, static_cast<uint32_t>(row.size()));
+  for (const auto& v : row) v.AppendTo(out);
+}
+
+inline Result<Tuple> DeserializeTuple(serde::Reader* r) {
+  uint32_t n = 0;
+  if (!r->ReadU32(&n)) return Status::Internal("tuple: truncated value count");
+  Tuple row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    AIDB_ASSIGN_OR_RETURN(v, Value::Deserialize(r));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
 
 }  // namespace aidb

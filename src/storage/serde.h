@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace aidb::serde {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Frames every WAL record and
+/// trails every snapshot so recovery can tell a torn or corrupted tail from
+/// a clean one.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// --- Append-style writers --------------------------------------------------
+///
+/// All multi-byte integers are stored in the host's native byte order: the
+/// durability files are a single-machine format (documented in DESIGN.md §6),
+/// not a wire protocol.
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void PutDouble(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// \brief Bounds-checked cursor over an encoded byte range.
+///
+/// Every Read* returns false (and leaves the output untouched) once the
+/// cursor would run past the end; the caller turns that into a truncation
+/// error. A Reader never throws and never reads out of bounds, which is what
+/// lets recovery treat arbitrary garbage tails as data.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : p_(data), end_(data + size), begin_(data) {}
+  explicit Reader(const std::string& s) : Reader(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  size_t offset() const { return static_cast<size_t>(p_ - begin_); }
+
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool ReadString(std::string* s) {
+    uint32_t n = 0;
+    if (!ReadU32(&n) || remaining() < n) return false;
+    s->assign(p_, n);
+    p_ += n;
+    return true;
+  }
+
+  /// Borrows `n` raw bytes without copying; nullptr when short.
+  const char* Skip(size_t n) {
+    if (remaining() < n) return nullptr;
+    const char* at = p_;
+    p_ += n;
+    return at;
+  }
+
+ private:
+  bool ReadRaw(void* v, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(v, p_, n);
+    p_ += n;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* begin_;
+};
+
+}  // namespace aidb::serde

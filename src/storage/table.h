@@ -40,6 +40,16 @@ class Table {
   Status Delete(RowId id);
   Status Update(RowId id, Tuple row);
 
+  /// Appends an already-dead slot. Snapshot restore uses this to reproduce
+  /// the exact slot layout (RowIds are slot numbers, and WAL records replayed
+  /// on top of a snapshot address rows by RowId), without retaining the dead
+  /// tuple's bytes.
+  RowId AppendTombstone() {
+    rows_.emplace_back();
+    deleted_.push_back(true);
+    return rows_.size() - 1;
+  }
+
   /// Number of live rows.
   size_t NumRows() const { return live_count_; }
   /// Number of slots, including tombstones (scan upper bound).

@@ -56,6 +56,40 @@ std::string Value::ToString() const {
   return "?";
 }
 
+void Value::AppendTo(std::string* out) const {
+  serde::PutU8(out, static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull: break;
+    case ValueType::kInt: serde::PutI64(out, std::get<int64_t>(v_)); break;
+    case ValueType::kDouble: serde::PutDouble(out, std::get<double>(v_)); break;
+    case ValueType::kString: serde::PutString(out, std::get<std::string>(v_)); break;
+  }
+}
+
+Result<Value> Value::Deserialize(serde::Reader* r) {
+  uint8_t tag = 0;
+  if (!r->ReadU8(&tag)) return Status::Internal("value: truncated type tag");
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull: return Value::Null();
+    case ValueType::kInt: {
+      int64_t i = 0;
+      if (!r->ReadI64(&i)) return Status::Internal("value: truncated int");
+      return Value(i);
+    }
+    case ValueType::kDouble: {
+      double d = 0;
+      if (!r->ReadDouble(&d)) return Status::Internal("value: truncated double");
+      return Value(d);
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!r->ReadString(&s)) return Status::Internal("value: truncated string");
+      return Value(std::move(s));
+    }
+  }
+  return Status::Internal("value: unknown type tag " + std::to_string(tag));
+}
+
 const char* ValueTypeName(ValueType t) {
   switch (t) {
     case ValueType::kNull: return "NULL";

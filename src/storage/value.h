@@ -4,6 +4,9 @@
 #include <string>
 #include <variant>
 
+#include "common/result.h"
+#include "storage/serde.h"
+
 namespace aidb {
 
 /// Column/value types supported by the engine.
@@ -55,6 +58,14 @@ class Value {
 
   size_t Hash() const;
   std::string ToString() const;
+
+  /// Appends the binary encoding (1 type tag byte + payload) used by the WAL
+  /// and snapshot formats. Round-trips exactly for every type, including
+  /// NULL, empty strings, and non-finite doubles.
+  void AppendTo(std::string* out) const;
+  /// Decodes one value at the reader's cursor; Internal error on truncation
+  /// or an unknown type tag.
+  static Result<Value> Deserialize(serde::Reader* r);
 
  private:
   std::variant<std::monostate, int64_t, double, std::string> v_;

@@ -1,0 +1,392 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/serde.h"
+
+namespace aidb::storage {
+
+const char* WalRecordTypeName(WalRecordType t) {
+  switch (t) {
+    case WalRecordType::kCreateTable: return "CREATE_TABLE";
+    case WalRecordType::kDropTable: return "DROP_TABLE";
+    case WalRecordType::kInsert: return "INSERT";
+    case WalRecordType::kUpdate: return "UPDATE";
+    case WalRecordType::kDelete: return "DELETE";
+    case WalRecordType::kCreateModel: return "CREATE_MODEL";
+    case WalRecordType::kCommit: return "COMMIT";
+    case WalRecordType::kCreateIndex: return "CREATE_INDEX";
+    case WalRecordType::kDropIndex: return "DROP_INDEX";
+  }
+  return "?";
+}
+
+// --- Payload codecs ----------------------------------------------------------
+
+std::string EncodeCreateTable(const CreateTablePayload& p) {
+  std::string out;
+  serde::PutString(&out, p.table);
+  p.schema.AppendTo(&out);
+  return out;
+}
+
+std::string EncodeDropTable(const std::string& table) {
+  std::string out;
+  serde::PutString(&out, table);
+  return out;
+}
+
+std::string EncodeInsert(const InsertPayload& p) {
+  std::string out;
+  serde::PutString(&out, p.table);
+  serde::PutU64(&out, p.first_row_id);
+  serde::PutU32(&out, static_cast<uint32_t>(p.rows.size()));
+  for (const auto& row : p.rows) AppendTuple(&out, row);
+  return out;
+}
+
+std::string EncodeUpdate(const UpdatePayload& p) {
+  std::string out;
+  serde::PutString(&out, p.table);
+  serde::PutU32(&out, static_cast<uint32_t>(p.changes.size()));
+  for (const auto& [id, row] : p.changes) {
+    serde::PutU64(&out, id);
+    AppendTuple(&out, row);
+  }
+  return out;
+}
+
+std::string EncodeDelete(const DeletePayload& p) {
+  std::string out;
+  serde::PutString(&out, p.table);
+  serde::PutU32(&out, static_cast<uint32_t>(p.rows.size()));
+  for (RowId id : p.rows) serde::PutU64(&out, id);
+  return out;
+}
+
+std::string EncodeCreateModel(const CreateModelPayload& p) {
+  std::string out;
+  serde::PutString(&out, p.model);
+  serde::PutString(&out, p.model_type);
+  serde::PutString(&out, p.target);
+  serde::PutString(&out, p.table);
+  serde::PutU32(&out, static_cast<uint32_t>(p.features.size()));
+  for (const auto& f : p.features) serde::PutString(&out, f);
+  return out;
+}
+
+std::string EncodeCommit(txn::TxnId txn) {
+  std::string out;
+  serde::PutU64(&out, txn);
+  return out;
+}
+
+std::string EncodeCreateIndex(const CreateIndexPayload& p) {
+  std::string out;
+  serde::PutString(&out, p.index);
+  serde::PutString(&out, p.table);
+  serde::PutString(&out, p.column);
+  serde::PutU8(&out, p.is_btree ? 1 : 0);
+  return out;
+}
+
+std::string EncodeDropIndex(const std::string& index) {
+  std::string out;
+  serde::PutString(&out, index);
+  return out;
+}
+
+Result<CreateTablePayload> DecodeCreateTable(const std::string& payload) {
+  serde::Reader r(payload);
+  CreateTablePayload p;
+  if (!r.ReadString(&p.table)) return Status::Internal("wal: bad CREATE TABLE");
+  AIDB_ASSIGN_OR_RETURN(p.schema, Schema::Deserialize(&r));
+  return p;
+}
+
+Result<std::string> DecodeDropTable(const std::string& payload) {
+  serde::Reader r(payload);
+  std::string table;
+  if (!r.ReadString(&table)) return Status::Internal("wal: bad DROP TABLE");
+  return table;
+}
+
+Result<InsertPayload> DecodeInsert(const std::string& payload) {
+  serde::Reader r(payload);
+  InsertPayload p;
+  uint32_t n = 0;
+  if (!r.ReadString(&p.table) || !r.ReadU64(&p.first_row_id) || !r.ReadU32(&n))
+    return Status::Internal("wal: bad INSERT header");
+  p.rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Tuple row;
+    AIDB_ASSIGN_OR_RETURN(row, DeserializeTuple(&r));
+    p.rows.push_back(std::move(row));
+  }
+  return p;
+}
+
+Result<UpdatePayload> DecodeUpdate(const std::string& payload) {
+  serde::Reader r(payload);
+  UpdatePayload p;
+  uint32_t n = 0;
+  if (!r.ReadString(&p.table) || !r.ReadU32(&n))
+    return Status::Internal("wal: bad UPDATE header");
+  p.changes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    if (!r.ReadU64(&id)) return Status::Internal("wal: bad UPDATE row id");
+    Tuple row;
+    AIDB_ASSIGN_OR_RETURN(row, DeserializeTuple(&r));
+    p.changes.emplace_back(id, std::move(row));
+  }
+  return p;
+}
+
+Result<DeletePayload> DecodeDelete(const std::string& payload) {
+  serde::Reader r(payload);
+  DeletePayload p;
+  uint32_t n = 0;
+  if (!r.ReadString(&p.table) || !r.ReadU32(&n))
+    return Status::Internal("wal: bad DELETE header");
+  p.rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    if (!r.ReadU64(&id)) return Status::Internal("wal: bad DELETE row id");
+    p.rows.push_back(id);
+  }
+  return p;
+}
+
+Result<CreateModelPayload> DecodeCreateModel(const std::string& payload) {
+  serde::Reader r(payload);
+  CreateModelPayload p;
+  uint32_t n = 0;
+  if (!r.ReadString(&p.model) || !r.ReadString(&p.model_type) ||
+      !r.ReadString(&p.target) || !r.ReadString(&p.table) || !r.ReadU32(&n))
+    return Status::Internal("wal: bad CREATE MODEL");
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string f;
+    if (!r.ReadString(&f)) return Status::Internal("wal: bad CREATE MODEL feature");
+    p.features.push_back(std::move(f));
+  }
+  return p;
+}
+
+Result<txn::TxnId> DecodeCommit(const std::string& payload) {
+  serde::Reader r(payload);
+  uint64_t txn = 0;
+  if (!r.ReadU64(&txn)) return Status::Internal("wal: bad COMMIT");
+  return txn;
+}
+
+Result<CreateIndexPayload> DecodeCreateIndex(const std::string& payload) {
+  serde::Reader r(payload);
+  CreateIndexPayload p;
+  uint8_t btree = 1;
+  if (!r.ReadString(&p.index) || !r.ReadString(&p.table) ||
+      !r.ReadString(&p.column) || !r.ReadU8(&btree))
+    return Status::Internal("wal: bad CREATE INDEX");
+  p.is_btree = btree != 0;
+  return p;
+}
+
+Result<std::string> DecodeDropIndex(const std::string& payload) {
+  serde::Reader r(payload);
+  std::string index;
+  if (!r.ReadString(&index)) return Status::Internal("wal: bad DROP INDEX");
+  return index;
+}
+
+// --- Frame codec -------------------------------------------------------------
+
+std::string EncodeWalFrame(uint64_t lsn, WalRecordType type,
+                           const std::string& payload) {
+  std::string body;
+  body.reserve(9 + payload.size());
+  serde::PutU64(&body, lsn);
+  serde::PutU8(&body, static_cast<uint8_t>(type));
+  body.append(payload);
+
+  std::string frame;
+  frame.reserve(8 + body.size());
+  serde::PutU32(&frame, static_cast<uint32_t>(body.size()));
+  serde::PutU32(&frame, serde::Crc32(body.data(), body.size()));
+  frame.append(body);
+  return frame;
+}
+
+// --- Writer ------------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t next_lsn,
+                                                   const Options& opts) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0)
+    return Status::Internal("wal: open " + path + ": " + std::strerror(errno));
+  auto w = std::unique_ptr<WalWriter>(new WalWriter(fd, path, next_lsn, opts));
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  w->file_size_ = size < 0 ? 0 : static_cast<uint64_t>(size);
+  // Everything already on disk at open time is what recovery just validated.
+  w->synced_size_ = w->file_size_;
+  if (w->opts_.flush_interval == 0) w->opts_.flush_interval = 1;
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    if (!crashed_) Flush().ok();  // best-effort clean shutdown
+    ::close(fd_);
+  }
+}
+
+Result<uint64_t> WalWriter::Append(WalRecordType type, std::string payload) {
+  if (crashed_) return Status::Aborted("wal: writer crashed");
+  uint64_t lsn = next_lsn_++;
+  buffer_.append(EncodeWalFrame(lsn, type, payload));
+  ++buffered_records_;
+  ++stats_.records_appended;
+  if (buffered_records_ >= opts_.flush_interval) AIDB_RETURN_NOT_OK(Flush());
+  return lsn;
+}
+
+Status WalWriter::PhysicalWrite(const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd_, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("wal: write: " + std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(w);
+  }
+  file_size_ += n;
+  stats_.bytes_written += n;
+  return Status::OK();
+}
+
+/// Applies the armed fault's file damage, then reports the simulated death.
+/// The buffer is what a real crash would have caught in flight.
+Status WalWriter::SimulateCrash(FaultKind kind) {
+  crashed_ = true;
+  switch (kind) {
+    case FaultKind::kTornWrite: {
+      // A prefix of the buffered frames reaches the file, cut mid-record.
+      size_t torn = buffer_.empty()
+                        ? 0
+                        : 1 + opts_.fault->rng().Uniform(buffer_.size());
+      PhysicalWrite(buffer_.data(), torn).ok();
+      break;
+    }
+    case FaultKind::kCorruptByte: {
+      // The whole buffer lands, but one byte is flipped in flight.
+      std::string damaged = buffer_;
+      if (!damaged.empty()) {
+        size_t at = opts_.fault->rng().Uniform(damaged.size());
+        damaged[at] = static_cast<char>(damaged[at] ^ 0x40);
+      }
+      PhysicalWrite(damaged.data(), damaged.size()).ok();
+      break;
+    }
+    case FaultKind::kDroppedFsync: {
+      // The write hit the page cache but never the platter: on power loss
+      // every byte after the last durable fsync is gone.
+      PhysicalWrite(buffer_.data(), buffer_.size()).ok();
+      ::ftruncate(fd_, static_cast<off_t>(synced_size_));
+      file_size_ = synced_size_;
+      break;
+    }
+    case FaultKind::kCleanCrash:
+    case FaultKind::kNone:
+      break;
+  }
+  buffer_.clear();
+  buffered_records_ = 0;
+  return Status::Aborted("wal: simulated crash (" +
+                         std::string(FaultKindName(kind)) + ")");
+}
+
+Status WalWriter::Flush() {
+  if (crashed_) return Status::Aborted("wal: writer crashed");
+  if (buffer_.empty()) return Status::OK();
+  if (opts_.fault != nullptr) {
+    FaultKind kind = opts_.fault->Fire(FaultPoint::kWalFlush);
+    if (kind != FaultKind::kNone) return SimulateCrash(kind);
+  }
+  AIDB_RETURN_NOT_OK(PhysicalWrite(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  buffered_records_ = 0;
+  ++stats_.flushes;
+  ++stats_.fsyncs;
+  if (opts_.sync) {
+    if (::fsync(fd_) != 0)
+      return Status::Internal("wal: fsync: " + std::string(std::strerror(errno)));
+  }
+  synced_size_ = file_size_;
+  return Status::OK();
+}
+
+Status WalWriter::ResetAfterCheckpoint() {
+  if (crashed_) return Status::Aborted("wal: writer crashed");
+  buffer_.clear();
+  buffered_records_ = 0;
+  if (::ftruncate(fd_, 0) != 0)
+    return Status::Internal("wal: truncate: " + std::string(std::strerror(errno)));
+  // O_APPEND writes track the (now zero) end of file automatically.
+  file_size_ = 0;
+  synced_size_ = 0;
+  if (opts_.sync && ::fsync(fd_) != 0)
+    return Status::Internal("wal: fsync: " + std::string(std::strerror(errno)));
+  return Status::OK();
+}
+
+// --- Scanner -----------------------------------------------------------------
+
+Result<WalScan> ScanWalFile(const std::string& path) {
+  WalScan scan;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return scan;  // no WAL yet: empty database
+    return Status::Internal("wal: open " + path + ": " + std::strerror(errno));
+  }
+  std::string data;
+  char chunk[1 << 16];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) data.append(chunk, n);
+  ::close(fd);
+  if (n < 0) return Status::Internal("wal: read: " + std::string(std::strerror(errno)));
+
+  scan.file_bytes = data.size();
+  serde::Reader r(data);
+  while (r.remaining() > 0) {
+    size_t frame_start = r.offset();
+    uint32_t body_len = 0, crc = 0;
+    if (!r.ReadU32(&body_len) || !r.ReadU32(&crc) || r.remaining() < body_len) {
+      scan.tail_torn = true;
+      break;
+    }
+    const char* body = r.Skip(body_len);
+    if (serde::Crc32(body, body_len) != crc) {
+      scan.tail_torn = true;
+      break;
+    }
+    serde::Reader br(body, body_len);
+    WalRecord rec;
+    uint8_t type = 0;
+    if (!br.ReadU64(&rec.lsn) || !br.ReadU8(&type)) {
+      scan.tail_torn = true;
+      break;
+    }
+    rec.type = static_cast<WalRecordType>(type);
+    rec.payload.assign(body + br.offset(), body_len - br.offset());
+    scan.records.push_back(std::move(rec));
+    scan.valid_bytes = frame_start + 8 + body_len;
+  }
+  return scan;
+}
+
+}  // namespace aidb::storage

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/fault_injector.h"
+#include "storage/schema.h"
+#include "txn/types.h"
+
+namespace aidb::storage {
+
+/// Logical operations the engine journals. Payload encodings are defined by
+/// the Encode*/Decode* helpers below; the on-disk frame is
+///   [u32 body_len][u32 crc32(body)][body = u64 lsn | u8 type | payload].
+enum class WalRecordType : uint8_t {
+  kCreateTable = 1,
+  kDropTable = 2,
+  kInsert = 3,
+  kUpdate = 4,
+  kDelete = 5,
+  kCreateModel = 6,
+  kCommit = 7,
+  kCreateIndex = 8,
+  kDropIndex = 9,
+};
+
+const char* WalRecordTypeName(WalRecordType t);
+
+/// One decoded WAL record: LSN + type + still-encoded payload.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kCommit;
+  std::string payload;
+};
+
+/// --- Typed payloads ---------------------------------------------------------
+
+struct CreateTablePayload {
+  std::string table;
+  Schema schema;
+};
+
+struct InsertPayload {
+  std::string table;
+  RowId first_row_id = 0;  ///< slot the first row landed in (replay sanity)
+  std::vector<Tuple> rows;
+};
+
+struct UpdatePayload {
+  std::string table;
+  std::vector<std::pair<RowId, Tuple>> changes;  ///< physical after-images
+};
+
+struct DeletePayload {
+  std::string table;
+  std::vector<RowId> rows;
+};
+
+struct CreateModelPayload {
+  std::string model;
+  std::string model_type;
+  std::string target;
+  std::string table;
+  std::vector<std::string> features;
+};
+
+struct CreateIndexPayload {
+  std::string index;
+  std::string table;
+  std::string column;
+  bool is_btree = true;
+};
+
+std::string EncodeCreateTable(const CreateTablePayload& p);
+std::string EncodeDropTable(const std::string& table);
+std::string EncodeInsert(const InsertPayload& p);
+std::string EncodeUpdate(const UpdatePayload& p);
+std::string EncodeDelete(const DeletePayload& p);
+std::string EncodeCreateModel(const CreateModelPayload& p);
+std::string EncodeCommit(txn::TxnId txn);
+std::string EncodeCreateIndex(const CreateIndexPayload& p);
+std::string EncodeDropIndex(const std::string& index);
+
+Result<CreateTablePayload> DecodeCreateTable(const std::string& payload);
+Result<std::string> DecodeDropTable(const std::string& payload);
+Result<InsertPayload> DecodeInsert(const std::string& payload);
+Result<UpdatePayload> DecodeUpdate(const std::string& payload);
+Result<DeletePayload> DecodeDelete(const std::string& payload);
+Result<CreateModelPayload> DecodeCreateModel(const std::string& payload);
+Result<txn::TxnId> DecodeCommit(const std::string& payload);
+Result<CreateIndexPayload> DecodeCreateIndex(const std::string& payload);
+Result<std::string> DecodeDropIndex(const std::string& payload);
+
+/// Counters the monitoring stack samples (monitor/durability_metrics.h).
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_written = 0;   ///< bytes physically written to the file
+  uint64_t flushes = 0;         ///< group-commit buffer drains
+  uint64_t fsyncs = 0;          ///< syncs issued (logical, even in kNoSync mode)
+};
+
+/// \brief Append-only, CRC-framed write-ahead log with group commit.
+///
+/// Appends accumulate in an in-memory buffer; every `flush_interval` records
+/// the buffer is written and fsynced in one batch. flush_interval=1 is
+/// synchronous commit; larger intervals trade a bounded durability lag
+/// (`unflushed_records()`) for fewer fsyncs — the exact surface the
+/// `wal_flush_interval` advisor knob tunes.
+class WalWriter {
+ public:
+  struct Options {
+    size_t flush_interval = 64;
+    /// When false, flushes skip the physical fsync (still counted in stats).
+    /// Used by the knob environment and benches where the response surface
+    /// comes from deterministic counters, not disk latency.
+    bool sync = true;
+    FaultInjector* fault = nullptr;  ///< not owned; nullptr = no injection
+  };
+
+  /// Opens (creating if needed) `path` for appending; `next_lsn` continues
+  /// the LSN sequence recovery established.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t next_lsn,
+                                                 const Options& opts);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Stamps the record with the next LSN, buffers it, and drains the buffer
+  /// if the group-commit interval is reached. Returns the assigned LSN.
+  /// Status::Aborted when a fault fires ("the process died mid-write").
+  Result<uint64_t> Append(WalRecordType type, std::string payload);
+
+  /// Drains the group-commit buffer: one write + one (optional) fsync.
+  Status Flush();
+
+  /// Truncates the file after a checkpoint made every logged record
+  /// redundant. LSNs keep counting from where they were.
+  Status ResetAfterCheckpoint();
+
+  void set_flush_interval(size_t n) { opts_.flush_interval = n == 0 ? 1 : n; }
+  size_t flush_interval() const { return opts_.flush_interval; }
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  /// Records buffered but not yet durable — the current durability lag.
+  size_t unflushed_records() const { return buffered_records_; }
+  bool crashed() const { return crashed_; }
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  WalWriter(int fd, std::string path, uint64_t next_lsn, const Options& opts)
+      : fd_(fd), path_(std::move(path)), next_lsn_(next_lsn), opts_(opts) {}
+
+  Status PhysicalWrite(const char* data, size_t n);
+  Status SimulateCrash(FaultKind kind);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t next_lsn_ = 1;
+  Options opts_;
+  std::string buffer_;
+  size_t buffered_records_ = 0;
+  uint64_t synced_size_ = 0;  ///< file size at the last successful fsync
+  uint64_t file_size_ = 0;
+  bool crashed_ = false;
+  WalStats stats_;
+};
+
+/// Result of scanning a WAL file front to back.
+struct WalScan {
+  std::vector<WalRecord> records;  ///< every frame with a valid CRC, in order
+  uint64_t valid_bytes = 0;        ///< offset just past the last valid frame
+  uint64_t file_bytes = 0;
+  bool tail_torn = false;          ///< trailing partial/corrupt frame found
+};
+
+/// Reads every valid frame of `path`. A missing file yields an empty scan;
+/// a torn or corrupted tail ends the scan (tail_torn=true) instead of
+/// failing — recovery truncates at valid_bytes and carries on.
+Result<WalScan> ScanWalFile(const std::string& path);
+
+/// Encodes one frame ([len][crc][lsn|type|payload]) — exposed for tests
+/// that hand-craft corrupt logs.
+std::string EncodeWalFrame(uint64_t lsn, WalRecordType type,
+                           const std::string& payload);
+
+}  // namespace aidb::storage

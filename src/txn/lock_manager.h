@@ -6,12 +6,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "txn/types.h"
+
 namespace aidb::txn {
-
-using TxnId = uint64_t;
-using KeyId = uint64_t;
-
-enum class LockMode { kShared, kExclusive };
 
 /// \brief No-wait lock table: a conflicting request fails immediately and the
 /// caller aborts (conservative 2PL keeps the simulator deadlock-free).

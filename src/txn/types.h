@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+namespace aidb::txn {
+
+/// Transaction identity, shared by the lock manager / OLTP simulator and the
+/// storage WAL: every durable COMMIT record is stamped with the TxnId of the
+/// statement-level transaction it closes, so recovery replays whole
+/// transactions or nothing.
+using TxnId = uint64_t;
+using KeyId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+}  // namespace aidb::txn

@@ -259,5 +259,30 @@ TEST_F(ParallelExecTest, SetDopIsIdempotentAndRevertible) {
             std::string::npos);
 }
 
+TEST_F(ParallelExecTest, ExecPoolIsGrowOnlyAndCappedAt64) {
+  // Regression pin for the documented pool contract: no pool until dop > 1,
+  // grow-only sizing (lowering dop never tears workers down), and a hard
+  // cap of 64 threads however large the requested dop.
+  EXPECT_EQ(db_.exec_pool_threads(), 0u);
+  db_.SetDop(1);
+  EXPECT_EQ(db_.exec_pool_threads(), 0u);  // serial never allocates a pool
+
+  db_.SetDop(4);
+  EXPECT_EQ(db_.exec_pool_threads(), 4u);
+  db_.SetDop(2);  // shrink request: planner dop drops, pool must not
+  EXPECT_EQ(db_.dop(), 2u);
+  EXPECT_EQ(db_.exec_pool_threads(), 4u);
+  db_.SetDop(6);  // grow: pool follows
+  EXPECT_EQ(db_.exec_pool_threads(), 6u);
+  db_.SetDop(1);  // back to serial: pool survives for the next parallel burst
+  EXPECT_EQ(db_.exec_pool_threads(), 6u);
+
+  db_.SetDop(100000);  // absurd request clamps to the 64-thread ceiling
+  EXPECT_EQ(db_.dop(), 64u);
+  EXPECT_EQ(db_.exec_pool_threads(), 64u);
+  db_.SetDop(8);
+  EXPECT_EQ(db_.exec_pool_threads(), 64u);  // still grow-only after the cap
+}
+
 }  // namespace
 }  // namespace aidb
