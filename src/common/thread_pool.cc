@@ -36,14 +36,45 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  std::atomic<size_t> next{0};
-  size_t shards = std::min(n, workers_.size());
-  for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
-    });
+  if (n == 0) return;
+  // Completion is tracked per call, never via the pool-global in_flight_
+  // counter: waiting on Wait() here would block on unrelated tasks from
+  // concurrent callers, and a nested call from a worker thread would wait
+  // for itself (the worker is an in-flight task) and deadlock.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void(size_t)> fn;
+    size_t n = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;  // copied: helpers may outlive the caller's frame
+  state->n = n;
+  auto run = [](const std::shared_ptr<State>& s) {
+    size_t finished = 0;
+    for (size_t i = s->next.fetch_add(1); i < s->n; i = s->next.fetch_add(1)) {
+      s->fn(i);
+      ++finished;
+    }
+    if (finished != 0 && s->done.fetch_add(finished) + finished == s->n) {
+      // Lock before notify so the waiter can't check the predicate, miss the
+      // signal, and sleep forever between our fetch_add and notify.
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cv.notify_all();
+    }
+  };
+  // The caller claims indexes too, so helpers that never get scheduled (pool
+  // saturated, or this is a worker thread) are harmless stragglers rather
+  // than required participants.
+  size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, run] { run(state); });
   }
-  Wait();
+  run(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == state->n; });
 }
 
 void TaskGroup::Spawn(std::function<void()> fn) {

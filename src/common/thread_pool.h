@@ -28,6 +28,11 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Completion is scoped to this call (not the pool-global queue), so
+  /// concurrent ParallelFor calls don't block on each other's tasks, and a
+  /// nested call from inside a worker task is safe: the calling thread
+  /// participates in the index claim loop, so progress never depends on a
+  /// free worker.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

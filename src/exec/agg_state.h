@@ -32,12 +32,14 @@ struct GroupState {
   }
 
   /// Folds one input row into the running state (NULL arguments skipped, per
-  /// SQL aggregate semantics).
-  void Accumulate(const std::vector<AggSpec>& aggs, const Tuple& row) {
+  /// SQL aggregate semantics). Fails if an aggregate argument fails to
+  /// evaluate; the group state is then unusable.
+  Status Accumulate(const std::vector<AggSpec>& aggs, const Tuple& row) {
     for (size_t i = 0; i < aggs.size(); ++i) {
       double v = 0.0;
       if (aggs[i].arg) {
-        Value val = aggs[i].arg->Eval(row);
+        Value val;
+        AIDB_ASSIGN_OR_RETURN(val, aggs[i].arg->Eval(row));
         if (val.is_null()) continue;
         v = val.AsFeature();
       }
@@ -51,6 +53,7 @@ struct GroupState {
       sums[i] += v;
       ++counts[i];
     }
+    return Status::OK();
   }
 
   /// Folds another partial state for the same group into this one.
@@ -105,17 +108,19 @@ struct GroupState {
 class GroupMap {
  public:
   /// Evaluates the key expressions over `row` and folds the row into its
-  /// group's state.
-  void Accumulate(const std::vector<BoundExpr>& keys,
-                  const std::vector<AggSpec>& aggs, const Tuple& row) {
+  /// group's state. Fails on a key or aggregate-argument evaluation error.
+  Status Accumulate(const std::vector<BoundExpr>& keys,
+                    const std::vector<AggSpec>& aggs, const Tuple& row) {
     Tuple key;
     key.reserve(keys.size());
     uint64_t h = 1469598103934665603ULL;
     for (const auto& k : keys) {
-      key.push_back(k.Eval(row));
+      Value v;
+      AIDB_ASSIGN_OR_RETURN(v, k.Eval(row));
+      key.push_back(std::move(v));
       h = (h ^ key.back().Hash()) * 1099511628211ULL;
     }
-    FindOrCreate(h, std::move(key), aggs.size())->Accumulate(aggs, row);
+    return FindOrCreate(h, std::move(key), aggs.size())->Accumulate(aggs, row);
   }
 
   /// Folds a sibling worker's partial map into this one.

@@ -180,6 +180,10 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       auto& s = static_cast<const sql::InsertStatement&>(*stmt);
       Table* table = nullptr;
       AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
+      // Statement atomicity: validate every row before touching the table so
+      // a bad later row cannot leave a half-applied INSERT (which recovery
+      // would silently roll back, diverging from the in-memory state).
+      for (const auto& row : s.rows) AIDB_RETURN_NOT_OK(table->ValidateRow(row));
       storage::InsertPayload wal_rows;
       for (const auto& row : s.rows) {
         RowId id = 0;
@@ -225,12 +229,31 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       }
       size_t updated = 0;
       std::vector<std::pair<RowId, Tuple>> changes;
+      // All WHERE/SET expressions evaluate before any row is touched, so an
+      // evaluation error aborts the statement with nothing applied.
+      Status eval_err;
       table->ForEach([&](RowId id, const Tuple& row) {
-        if (where && !where->EvalBool(row)) return;
+        if (!eval_err.ok()) return;
+        if (where) {
+          Result<bool> keep = where->EvalBool(row);
+          if (!keep.ok()) {
+            eval_err = keep.status();
+            return;
+          }
+          if (!keep.ValueOrDie()) return;
+        }
         Tuple updated_row = row;
-        for (const auto& a : assigns) updated_row[a.column] = a.expr.Eval(row);
+        for (const auto& a : assigns) {
+          Result<Value> v = a.expr.Eval(row);
+          if (!v.ok()) {
+            eval_err = v.status();
+            return;
+          }
+          updated_row[a.column] = std::move(v).ValueOrDie();
+        }
         changes.emplace_back(id, std::move(updated_row));
       });
+      AIDB_RETURN_NOT_OK(eval_err);
       // WAL after-images encoded before the apply loop consumes the tuples.
       std::string wal_payload;
       if (durable() && !changes.empty())
@@ -261,10 +284,20 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
         where = std::move(b);
       }
       std::vector<std::pair<RowId, Tuple>> victims;
+      Status eval_err;
       table->ForEach([&](RowId id, const Tuple& row) {
-        if (where && !where->EvalBool(row)) return;
+        if (!eval_err.ok()) return;
+        if (where) {
+          Result<bool> keep = where->EvalBool(row);
+          if (!keep.ok()) {
+            eval_err = keep.status();
+            return;
+          }
+          if (!keep.ValueOrDie()) return;
+        }
         victims.emplace_back(id, row);
       });
+      AIDB_RETURN_NOT_OK(eval_err);
       for (auto& [id, row] : victims) {
         AIDB_RETURN_NOT_OK(table->Delete(id));
         catalog_.OnDelete(s.table, id, row);
@@ -337,6 +370,9 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt) {
   Tuple row;
   while (plan.root->Next(&row)) result.rows.push_back(row);
   plan.root->Close();
+  // Next() ends the stream on a runtime evaluation error (type error,
+  // overflow); surface it instead of returning a silently truncated result.
+  AIDB_RETURN_NOT_OK(plan.root->FirstError());
   result.operator_work = plan.root->TotalWork();
   total_work_ += result.operator_work;
   return result;

@@ -33,17 +33,62 @@ Result<int> ResolveColumn(const std::vector<OutputCol>& schema,
   return found;
 }
 
-Value ApplyBinary(sql::OpType op, const Value& l, const Value& r) {
+/// Kleene truth value of an operand: NULL is unknown, everything else
+/// coerces through ValueIsTrue.
+enum class Tri { kFalse, kTrue, kUnknown };
+
+Tri TriOf(const Value& v) {
+  if (v.is_null()) return Tri::kUnknown;
+  return ValueIsTrue(v) ? Tri::kTrue : Tri::kFalse;
+}
+
+Value TriValue(Tri t) {
+  switch (t) {
+    case Tri::kFalse: return Value(static_cast<int64_t>(0));
+    case Tri::kTrue: return Value(static_cast<int64_t>(1));
+    case Tri::kUnknown: break;
+  }
+  return Value::Null();
+}
+
+Status ArithTypeError(sql::OpType op, const Value& l, const Value& r) {
+  return Status::InvalidArgument(std::string("cannot apply '") + sql::OpName(op) +
+                                 "' to " + ValueTypeName(l.type()) + " and " +
+                                 ValueTypeName(r.type()));
+}
+
+Status OverflowError(sql::OpType op, const Value& l, const Value& r) {
+  return Status::InvalidArgument(std::string("INT64 overflow in ") +
+                                 l.ToString() + " " + sql::OpName(op) + " " +
+                                 r.ToString());
+}
+
+Result<Value> ApplyBinary(sql::OpType op, const Value& l, const Value& r) {
   using sql::OpType;
   switch (op) {
-    case OpType::kAnd:
-      return Value(static_cast<int64_t>(ValueIsTrue(l) && ValueIsTrue(r)));
-    case OpType::kOr:
-      return Value(static_cast<int64_t>(ValueIsTrue(l) || ValueIsTrue(r)));
+    // Three-valued logic: a FALSE (resp. TRUE) operand decides AND (resp. OR)
+    // regardless of the other side; otherwise any NULL makes the result NULL.
+    case OpType::kAnd: {
+      Tri a = TriOf(l), b = TriOf(r);
+      if (a == Tri::kFalse || b == Tri::kFalse) return TriValue(Tri::kFalse);
+      if (a == Tri::kUnknown || b == Tri::kUnknown) return TriValue(Tri::kUnknown);
+      return TriValue(Tri::kTrue);
+    }
+    case OpType::kOr: {
+      Tri a = TriOf(l), b = TriOf(r);
+      if (a == Tri::kTrue || b == Tri::kTrue) return TriValue(Tri::kTrue);
+      if (a == Tri::kUnknown || b == Tri::kUnknown) return TriValue(Tri::kUnknown);
+      return TriValue(Tri::kFalse);
+    }
     default:
       break;
   }
+  // NULL propagates before type checking (documented in expr.h).
   if (l.is_null() || r.is_null()) return Value::Null();
+  const bool has_string =
+      l.type() == ValueType::kString || r.type() == ValueType::kString;
+  const bool both_int =
+      l.type() == ValueType::kInt && r.type() == ValueType::kInt;
   switch (op) {
     case OpType::kEq: return Value(static_cast<int64_t>(l.Compare(r) == 0));
     case OpType::kNe: return Value(static_cast<int64_t>(l.Compare(r) != 0));
@@ -51,19 +96,38 @@ Value ApplyBinary(sql::OpType op, const Value& l, const Value& r) {
     case OpType::kLe: return Value(static_cast<int64_t>(l.Compare(r) <= 0));
     case OpType::kGt: return Value(static_cast<int64_t>(l.Compare(r) > 0));
     case OpType::kGe: return Value(static_cast<int64_t>(l.Compare(r) >= 0));
-    case OpType::kAdd:
-      if (l.type() == ValueType::kInt && r.type() == ValueType::kInt)
-        return Value(l.AsInt() + r.AsInt());
+    case OpType::kAdd: {
+      if (has_string) return ArithTypeError(op, l, r);
+      if (both_int) {
+        int64_t out = 0;
+        if (__builtin_add_overflow(l.AsInt(), r.AsInt(), &out))
+          return OverflowError(op, l, r);
+        return Value(out);
+      }
       return Value(l.AsDouble() + r.AsDouble());
-    case OpType::kSub:
-      if (l.type() == ValueType::kInt && r.type() == ValueType::kInt)
-        return Value(l.AsInt() - r.AsInt());
+    }
+    case OpType::kSub: {
+      if (has_string) return ArithTypeError(op, l, r);
+      if (both_int) {
+        int64_t out = 0;
+        if (__builtin_sub_overflow(l.AsInt(), r.AsInt(), &out))
+          return OverflowError(op, l, r);
+        return Value(out);
+      }
       return Value(l.AsDouble() - r.AsDouble());
-    case OpType::kMul:
-      if (l.type() == ValueType::kInt && r.type() == ValueType::kInt)
-        return Value(l.AsInt() * r.AsInt());
+    }
+    case OpType::kMul: {
+      if (has_string) return ArithTypeError(op, l, r);
+      if (both_int) {
+        int64_t out = 0;
+        if (__builtin_mul_overflow(l.AsInt(), r.AsInt(), &out))
+          return OverflowError(op, l, r);
+        return Value(out);
+      }
       return Value(l.AsDouble() * r.AsDouble());
+    }
     case OpType::kDiv: {
+      if (has_string) return ArithTypeError(op, l, r);
       double d = r.AsDouble();
       if (d == 0.0) return Value::Null();
       return Value(l.AsDouble() / d);
@@ -128,32 +192,59 @@ Result<BoundExpr> BoundExpr::Bind(const sql::Expr& expr,
   return Status::Internal("unreachable expr kind");
 }
 
-Value BoundExpr::Eval(const Tuple& row) const {
+Result<Value> BoundExpr::Eval(const Tuple& row) const {
   switch (kind_) {
     case Kind::kLiteral: return literal_;
     case Kind::kColumn: return row[static_cast<size_t>(column_)];
-    case Kind::kBinary:
-      return ApplyBinary(op_, lhs_->Eval(row), rhs_->Eval(row));
+    case Kind::kBinary: {
+      Value l, r;
+      AIDB_ASSIGN_OR_RETURN(l, lhs_->Eval(row));
+      AIDB_ASSIGN_OR_RETURN(r, rhs_->Eval(row));
+      return ApplyBinary(op_, l, r);
+    }
     case Kind::kUnary: {
-      Value v = lhs_->Eval(row);
+      Value v;
+      AIDB_ASSIGN_OR_RETURN(v, lhs_->Eval(row));
       if (op_ == sql::OpType::kNot) {
-        return Value(static_cast<int64_t>(!ValueIsTrue(v)));
+        // Three-valued logic: NOT NULL is NULL.
+        Tri t = TriOf(v);
+        if (t == Tri::kUnknown) return TriValue(Tri::kUnknown);
+        return TriValue(t == Tri::kTrue ? Tri::kFalse : Tri::kTrue);
       }
       if (v.is_null()) return v;
-      if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+      if (v.type() == ValueType::kString) {
+        return Status::InvalidArgument("cannot negate a STRING value");
+      }
+      if (v.type() == ValueType::kInt) {
+        int64_t out = 0;
+        if (__builtin_sub_overflow(static_cast<int64_t>(0), v.AsInt(), &out)) {
+          return Status::InvalidArgument("INT64 overflow in -(" + v.ToString() +
+                                         ")");
+        }
+        return Value(out);
+      }
       return Value(-v.AsDouble());
     }
     case Kind::kPredict: {
       std::vector<double> features;
       features.reserve(args_.size());
-      for (const auto& a : args_) features.push_back(a.Eval(row).AsFeature());
+      for (const auto& a : args_) {
+        Value v;
+        AIDB_ASSIGN_OR_RETURN(v, a.Eval(row));
+        features.push_back(v.AsFeature());
+      }
       return Value(predict_(features));
     }
   }
   return Value::Null();
 }
 
-bool BoundExpr::EvalBool(const Tuple& row) const { return ValueIsTrue(Eval(row)); }
+Result<bool> BoundExpr::EvalBool(const Tuple& row) const {
+  Value v;
+  AIDB_ASSIGN_OR_RETURN(v, Eval(row));
+  // A NULL predicate is "unknown", which a WHERE/ON/HAVING filter rejects.
+  return !v.is_null() && ValueIsTrue(v);
+}
 
 int BoundExpr::AsColumnIndex() const {
   return kind_ == Kind::kColumn ? column_ : -1;

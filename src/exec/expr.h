@@ -33,8 +33,19 @@ class ModelResolver {
 
 /// \brief Expression compiled against a fixed input schema.
 ///
-/// Column references are resolved to tuple indices at bind time, so Eval is
-/// allocation-free on the hot path and cannot fail on name errors.
+/// Column references are resolved to tuple indices at bind time, so Eval
+/// cannot fail on name errors. Runtime failures (arithmetic on a string
+/// operand, INT64 overflow) surface as a Status instead of terminating the
+/// process; the full dialect semantics are pinned in DESIGN.md §7 and by the
+/// independent reference evaluator in src/testing/reference_eval.h:
+///   - AND/OR/NOT follow SQL three-valued (Kleene) logic; non-NULL operands
+///     coerce to booleans via ValueIsTrue.
+///   - Comparisons with a NULL operand yield NULL.
+///   - Arithmetic propagates NULL *before* type checking, so NULL + 'x' is
+///     NULL while 1 + 'x' is an InvalidArgument error.
+///   - INT64 + - * and unary minus are overflow-checked: overflow is an
+///     InvalidArgument error, never wraparound (no promote-to-double).
+///   - Division always produces DOUBLE; x / 0 and x / 0.0 yield NULL.
 class BoundExpr {
  public:
   /// Binds `expr` against `schema`. Unqualified column names must be
@@ -43,9 +54,9 @@ class BoundExpr {
                                 const std::vector<OutputCol>& schema,
                                 const ModelResolver* models = nullptr);
 
-  Value Eval(const Tuple& row) const;
+  Result<Value> Eval(const Tuple& row) const;
   /// Convenience: evaluates as a boolean predicate (NULL/0 is false).
-  bool EvalBool(const Tuple& row) const;
+  Result<bool> EvalBool(const Tuple& row) const;
 
   /// The column index if this is a bare column reference, else -1.
   int AsColumnIndex() const;

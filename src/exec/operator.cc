@@ -20,6 +20,15 @@ size_t Operator::TotalWork() const {
   return w;
 }
 
+Status Operator::FirstError() const {
+  if (!error_.ok()) return error_;
+  for (const auto& c : children_) {
+    Status s = c->FirstError();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 // ----- SeqScan -----
 
 SeqScanOp::SeqScanOp(const Table* table, std::string effective_name)
@@ -82,7 +91,9 @@ FilterOp::FilterOp(std::unique_ptr<Operator> child, BoundExpr predicate,
 
 bool FilterOp::Next(Tuple* out) {
   while (children_[0]->Next(out)) {
-    if (predicate_.EvalBool(*out)) {
+    Result<bool> keep = predicate_.EvalBool(*out);
+    if (!keep.ok()) return Fail(keep.status());
+    if (keep.ValueOrDie()) {
       ++rows_produced_;
       return true;
     }
@@ -104,7 +115,11 @@ bool ProjectOp::Next(Tuple* out) {
   if (!children_[0]->Next(&in)) return false;
   out->clear();
   out->reserve(exprs_.size());
-  for (const auto& e : exprs_) out->push_back(e.Eval(in));
+  for (const auto& e : exprs_) {
+    Result<Value> v = e.Eval(in);
+    if (!v.ok()) return Fail(v.status());
+    out->push_back(std::move(v).ValueOrDie());
+  }
   ++rows_produced_;
   return true;
 }
@@ -142,7 +157,13 @@ bool NestedLoopJoinOp::Next(Tuple* out) {
       const Tuple& inner = inner_rows_[inner_cursor_++];
       *out = outer_row_;
       out->insert(out->end(), inner.begin(), inner.end());
-      if (!condition_ || condition_->EvalBool(*out)) {
+      bool keep = true;
+      if (condition_) {
+        Result<bool> k = condition_->EvalBool(*out);
+        if (!k.ok()) return Fail(k.status());
+        keep = k.ValueOrDie();
+      }
+      if (keep) {
         ++rows_produced_;
         return true;
       }
@@ -242,7 +263,13 @@ void HashAggregateOp::Open() {
 
   GroupMap groups;
   Tuple row;
-  while (children_[0]->Next(&row)) groups.Accumulate(keys_, aggs_, row);
+  while (children_[0]->Next(&row)) {
+    Status s = groups.Accumulate(keys_, aggs_, row);
+    if (!s.ok()) {
+      Fail(std::move(s));
+      return;  // results_ stays empty; the executor sees FirstError()
+    }
+  }
 
   // No-group aggregate over empty input still yields one row of zero counts.
   if (keys_.empty() && groups.num_groups() == 0) {

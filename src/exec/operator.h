@@ -35,10 +35,22 @@ class Operator {
   /// Total rows produced by this operator and all children (work proxy).
   size_t TotalWork() const;
 
+  /// First runtime error hit by this operator or any child. Next() ends the
+  /// stream (returns false) when evaluation fails, so the executor must check
+  /// this after draining a plan; a non-OK status invalidates the rows seen.
+  Status FirstError() const;
+
  protected:
+  /// Records a runtime error (first one wins) and ends the stream.
+  bool Fail(Status s) {
+    if (error_.ok()) error_ = std::move(s);
+    return false;
+  }
+
   std::vector<OutputCol> output_;
   std::vector<std::unique_ptr<Operator>> children_;
   size_t rows_produced_ = 0;
+  Status error_;
 
   friend class PlanVisitor;
 };

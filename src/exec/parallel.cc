@@ -17,14 +17,22 @@ size_t TableMorselSource::NumMorsels() const {
   return (table_->NumSlots() + morsel_rows_ - 1) / morsel_rows_;
 }
 
-void TableMorselSource::ScanMorsel(size_t m, const TupleFn& fn) const {
+Status TableMorselSource::ScanMorsel(size_t m, const TupleFn& fn) const {
   RowId begin = static_cast<RowId>(m * morsel_rows_);
+  Status err;
   table_->ScanRange(begin, begin + morsel_rows_, [&](RowId, const Tuple& row) {
+    if (!err.ok()) return;  // first failing row in the morsel wins
     for (const auto& f : filters_) {
-      if (!f.EvalBool(row)) return;
+      Result<bool> keep = f.EvalBool(row);
+      if (!keep.ok()) {
+        err = keep.status();
+        return;
+      }
+      if (!keep.ValueOrDie()) return;
     }
     fn(row);
   });
+  return err;
 }
 
 // ----- Gather -----
@@ -67,10 +75,22 @@ void GatherOp::Open() {
   row_cursor_ = 0;
   size_t n = source_->NumMorsels();
   buffers_.assign(n, {});
-  DispatchMorsels(ctx_, n, [this](size_t, size_t m) {
+  // One status slot per morsel: workers write disjoint slots, and the error
+  // of the lowest-numbered failing morsel is reported — the same row order a
+  // serial scan would fail in, whatever the worker interleaving.
+  std::vector<Status> morsel_status(n);
+  DispatchMorsels(ctx_, n, [this, &morsel_status](size_t, size_t m) {
     auto& buf = buffers_[m];
-    source_->ScanMorsel(m, [&buf](const Tuple& row) { buf.push_back(row); });
+    morsel_status[m] =
+        source_->ScanMorsel(m, [&buf](const Tuple& row) { buf.push_back(row); });
   });
+  for (Status& s : morsel_status) {
+    if (!s.ok()) {
+      Fail(std::move(s));
+      buffers_.clear();
+      return;
+    }
+  }
 }
 
 bool GatherOp::Next(Tuple* out) {
@@ -229,12 +249,22 @@ void ParallelHashAggregateOp::Open() {
   size_t n = source_->NumMorsels();
   size_t workers = ctx_.WorkersFor(n);
   std::vector<GroupMap> partials(workers);
-  DispatchMorsels(ctx_, n, [this, &partials](size_t w, size_t m) {
+  std::vector<Status> morsel_status(n);
+  DispatchMorsels(ctx_, n, [this, &partials, &morsel_status](size_t w, size_t m) {
     GroupMap& map = partials[w];
-    source_->ScanMorsel(m, [this, &map](const Tuple& row) {
-      map.Accumulate(keys_, aggs_, row);
+    Status acc_err;
+    Status scan = source_->ScanMorsel(m, [&](const Tuple& row) {
+      if (!acc_err.ok()) return;
+      acc_err = map.Accumulate(keys_, aggs_, row);
     });
+    morsel_status[m] = scan.ok() ? std::move(acc_err) : std::move(scan);
   });
+  for (Status& s : morsel_status) {
+    if (!s.ok()) {
+      Fail(std::move(s));
+      return;  // results_ stays empty; the executor sees FirstError()
+    }
+  }
 
   GroupMap merged = std::move(partials[0]);
   for (size_t w = 1; w < partials.size(); ++w) {

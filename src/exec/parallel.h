@@ -37,14 +37,17 @@ struct ParallelContext {
 ///
 /// NumMorsels() fixes a partition of the row range; ScanMorsel(m, fn) visits
 /// morsel m's qualifying rows. Calls with distinct m are safe from distinct
-/// threads (the source is read-only during execution).
+/// threads (the source is read-only during execution). A non-OK return means
+/// a fused predicate failed to evaluate inside the morsel; consumers report
+/// the error of the lowest-numbered failing morsel so serial and parallel
+/// executions surface the same first error.
 class MorselSource {
  public:
   using TupleFn = std::function<void(const Tuple&)>;
 
   virtual ~MorselSource() = default;
   virtual size_t NumMorsels() const = 0;
-  virtual void ScanMorsel(size_t m, const TupleFn& fn) const = 0;
+  virtual Status ScanMorsel(size_t m, const TupleFn& fn) const = 0;
 };
 
 /// Morsels over a Table's slot range, with filter predicates fused into the
@@ -54,7 +57,7 @@ class TableMorselSource : public MorselSource {
   TableMorselSource(const Table* table, std::vector<BoundExpr> filters,
                     size_t morsel_rows = kMorselRows);
   size_t NumMorsels() const override;
-  void ScanMorsel(size_t m, const TupleFn& fn) const override;
+  Status ScanMorsel(size_t m, const TupleFn& fn) const override;
 
  private:
   const Table* table_;

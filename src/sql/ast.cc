@@ -78,7 +78,10 @@ std::string Expr::ToString() const {
     case Kind::kBinary:
       return "(" + lhs->ToString() + " " + OpName(op) + " " + rhs->ToString() + ")";
     case Kind::kUnary:
-      return std::string(OpName(op)) + "(" + lhs->ToString() + ")";
+      // Outer parens make the rendering re-parse with the same shape even in
+      // operand position: NOT binds looser than comparison in the grammar, so
+      // a bare "NOT(a) < b" would re-parse as NOT(a < b).
+      return "(" + std::string(OpName(op)) + "(" + lhs->ToString() + "))";
     case Kind::kAggregate: {
       const char* name = agg == AggFunc::kCount ? "COUNT"
                          : agg == AggFunc::kSum ? "SUM"

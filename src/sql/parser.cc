@@ -137,7 +137,11 @@ Result<std::unique_ptr<Statement>> Parser::ParseSelect(bool explain) {
     if (Peek().type != TokenType::kInteger) {
       return Status::ParseError("LIMIT expects an integer");
     }
-    stmt->limit = std::stoll(Advance().text);
+    try {
+      stmt->limit = std::stoll(Advance().text);
+    } catch (const std::exception&) {
+      return Status::ParseError("LIMIT value out of range");
+    }
   }
   return std::unique_ptr<Statement>(std::move(stmt));
 }
@@ -150,12 +154,24 @@ Result<Value> Parser::ParseLiteralValue() {
   }
   const Token& t = Advance();
   switch (t.type) {
+    // stoll/stod throw on out-of-range digits; an unparseable literal must be
+    // a ParseError, not an uncaught exception that kills the process.
     case TokenType::kInteger: {
-      int64_t v = std::stoll(t.text);
+      int64_t v = 0;
+      try {
+        v = std::stoll(t.text);
+      } catch (const std::exception&) {
+        return Status::ParseError("integer literal out of range: '" + t.text + "'");
+      }
       return Value(neg ? -v : v);
     }
     case TokenType::kFloat: {
-      double v = std::stod(t.text);
+      double v = 0;
+      try {
+        v = std::stod(t.text);
+      } catch (const std::exception&) {
+        return Status::ParseError("numeric literal out of range: '" + t.text + "'");
+      }
       return Value(neg ? -v : v);
     }
     case TokenType::kString:
@@ -397,6 +413,14 @@ Result<std::unique_ptr<Expr>> Parser::ParseUnary() {
     std::unique_ptr<Expr> child;
     AIDB_ASSIGN_OR_RETURN(child, ParseUnary());
     return Expr::MakeUnary(OpType::kNeg, std::move(child));
+  }
+  // NOT in operand position ("1 + NOT(x)"): ParseNot only sees NOT at the
+  // predicate level, so without this, Expr::ToString output containing a
+  // nested NOT would not round-trip through the parser.
+  if (Match("NOT")) {
+    std::unique_ptr<Expr> child;
+    AIDB_ASSIGN_OR_RETURN(child, ParseUnary());
+    return Expr::MakeUnary(OpType::kNot, std::move(child));
   }
   return ParsePrimary();
 }

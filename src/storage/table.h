@@ -30,6 +30,10 @@ class Table {
   /// Appends a row; validates arity and types (NULL always allowed).
   Result<RowId> Insert(Tuple row);
 
+  /// Arity/type check without inserting. Multi-row INSERT validates every
+  /// row up front so a bad row cannot leave a statement half-applied.
+  Status ValidateRow(const Tuple& row) const;
+
   /// Fetches a live row.
   Result<Tuple> Get(RowId id) const;
   /// True if the slot exists and is not deleted.
@@ -80,8 +84,6 @@ class Table {
   }
 
  private:
-  Status ValidateRow(const Tuple& row) const;
-
   std::string name_;
   Schema schema_;
   std::vector<Tuple> rows_;

@@ -1,0 +1,229 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "sql/parser.h"
+#include "storage/recovery.h"
+
+namespace aidb::testing {
+
+namespace {
+
+std::string RenderRow(const Tuple& row) {
+  std::string out;
+  for (const auto& v : row) {
+    switch (v.type()) {
+      case ValueType::kNull: out += "N"; break;
+      case ValueType::kInt: out += "I:" + v.ToString(); break;
+      case ValueType::kDouble: out += "D:" + v.ToString(); break;
+      case ValueType::kString: out += "S:" + v.ToString(); break;
+    }
+    out += "|";
+  }
+  return out;
+}
+
+/// True when the statement kind appends a WAL transaction on success.
+/// UPDATE/DELETE additionally require affected rows (a no-op DML statement
+/// logs nothing and consumes no transaction id).
+bool KindLogsTxn(sql::StatementKind kind, size_t affected) {
+  switch (kind) {
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDropIndex:
+    case sql::StatementKind::kCreateModel:
+    case sql::StatementKind::kInsert:
+      return true;
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      return affected > 0;
+    default:
+      return false;
+  }
+}
+
+DurabilityOptions DurableOpts(storage::FaultInjector* fault) {
+  DurabilityOptions opts;
+  opts.wal_flush_interval = 1;  // flush per record: maximal injection surface
+  opts.checkpoint_every_n_records = 24;  // exercise snapshot points too
+  opts.sync = false;  // damage is simulated; skip physical fsyncs
+  opts.fault = fault;
+  return opts;
+}
+
+Divergence Mismatch(const std::string& what, size_t index, const std::string& sql,
+                    const std::string& expected, const std::string& actual) {
+  Divergence d;
+  d.diverged = true;
+  d.detail = what + " diverged at statement " + std::to_string(index) + ": " +
+             sql + "\n--- expected ---\n" + expected + "\n--- actual ---\n" +
+             actual;
+  return d;
+}
+
+}  // namespace
+
+std::string DigestResult(const Result<QueryResult>& r) {
+  if (!r.ok()) return "ERROR: " + r.status().ToString();
+  const QueryResult& q = r.ValueOrDie();
+  std::string out = "cols:";
+  for (const auto& c : q.columns) out += c + ",";
+  out += " msg:" + q.message;
+  out += " affected:" + std::to_string(q.affected_rows);
+  std::vector<std::string> rows;
+  rows.reserve(q.rows.size());
+  for (const auto& row : q.rows) rows.push_back(RenderRow(row));
+  std::sort(rows.begin(), rows.end());
+  for (const auto& row : rows) out += "\n" + row;
+  return out;
+}
+
+WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop) {
+  Database db;
+  db.SetDop(dop);
+  WorkloadTrace trace;
+  trace.digests.reserve(workload.size());
+  trace.logs_txn.reserve(workload.size());
+  for (const auto& sql : workload) {
+    Result<QueryResult> r = db.Execute(sql);
+    trace.digests.push_back(DigestResult(r));
+    bool logs = false;
+    if (r.ok()) {
+      auto stmt = sql::Parser::Parse(sql);
+      if (stmt.ok()) {
+        logs = KindLogsTxn(stmt.ValueOrDie()->kind(), r.ValueOrDie().affected_rows);
+      }
+    }
+    trace.logs_txn.push_back(logs);
+  }
+  trace.state_digest = storage::StateDigest(db.catalog(), db.models());
+  return trace;
+}
+
+Divergence CompareTraces(const std::vector<std::string>& workload,
+                         const WorkloadTrace& expected,
+                         const WorkloadTrace& actual, const std::string& what) {
+  size_t n = std::min(expected.digests.size(), actual.digests.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (expected.digests[i] != actual.digests[i]) {
+      return Mismatch(what, i, workload[i], expected.digests[i],
+                      actual.digests[i]);
+    }
+  }
+  if (expected.state_digest != actual.state_digest) {
+    Divergence d;
+    d.diverged = true;
+    d.detail = what + ": final state digests differ";
+    return d;
+  }
+  return {};
+}
+
+Divergence RunCrashRecoveryLeg(const std::vector<std::string>& workload,
+                               const WorkloadTrace& serial,
+                               const std::string& dir,
+                               const CrashLegOptions& opts,
+                               uint64_t* total_points) {
+  std::filesystem::remove_all(dir);
+  storage::FaultInjector fault(opts.fault_seed);
+  if (opts.crash_point > 0) fault.ArmCrash(opts.crash_point, opts.kind);
+
+  bool crashed = false;
+  {
+    auto opened = Database::Open(dir, DurableOpts(&fault));
+    if (!opened.ok()) {
+      Divergence d;
+      d.diverged = true;
+      d.detail = "crash leg: open failed: " + opened.status().ToString();
+      return d;
+    }
+    auto db = std::move(opened).ValueOrDie();
+    for (size_t i = 0; i < workload.size(); ++i) {
+      Result<QueryResult> r = db->Execute(workload[i]);
+      if (db->crashed()) {
+        crashed = true;
+        break;  // the statement that hit the fault digests as a crash error
+      }
+      std::string digest = DigestResult(r);
+      if (digest != serial.digests[i]) {
+        return Mismatch("durable-vs-serial", i, workload[i], serial.digests[i],
+                        digest);
+      }
+    }
+  }
+  if (total_points != nullptr) *total_points = fault.points_seen();
+
+  if (!crashed) {
+    // Uncrashed durable execution reached the end; its state must match the
+    // in-memory engine's (checked per-statement above, and as a whole here).
+    auto reopened = Database::Open(dir, {});
+    if (!reopened.ok()) {
+      Divergence d;
+      d.diverged = true;
+      d.detail = "crash leg: clean reopen failed: " + reopened.status().ToString();
+      return d;
+    }
+    auto db = std::move(reopened).ValueOrDie();
+    if (storage::StateDigest(db->catalog(), db->models()) != serial.state_digest) {
+      Divergence d;
+      d.diverged = true;
+      d.detail = "crash leg: uncrashed durable state differs from serial state";
+      return d;
+    }
+    return {};
+  }
+
+  // Reboot. Recovery reports how many statement-transactions committed;
+  // committed transaction k is the k-th workload statement that logs a txn
+  // (failed statements and no-op DML consume no transaction id).
+  DurabilityOptions ropts;
+  ropts.wal_flush_interval = 1;
+  ropts.sync = false;
+  auto reopened = Database::Open(dir, ropts);
+  if (!reopened.ok()) {
+    Divergence d;
+    d.diverged = true;
+    d.detail = "crash leg: recovery failed: " + reopened.status().ToString();
+    return d;
+  }
+  auto db = std::move(reopened).ValueOrDie();
+  uint64_t committed = db->last_recovery().next_txn_id - 1;
+
+  size_t seen = 0, resume = 0;
+  while (resume < workload.size() && seen < committed) {
+    if (serial.logs_txn[resume]) ++seen;
+    ++resume;
+  }
+  if (seen < committed) {
+    Divergence d;
+    d.diverged = true;
+    d.detail = "crash leg: recovery reports " + std::to_string(committed) +
+               " committed txns but the workload only logs " +
+               std::to_string(seen);
+    return d;
+  }
+
+  // Replay the uncommitted tail: with statement-level atomicity the recovered
+  // state equals the serial state after statement `resume`, so every replayed
+  // statement — including reads and statements that failed mid-evaluation —
+  // must reproduce the serial digest exactly.
+  for (size_t i = resume; i < workload.size(); ++i) {
+    std::string digest = DigestResult(db->Execute(workload[i]));
+    if (digest != serial.digests[i]) {
+      return Mismatch("post-recovery replay", i, workload[i], serial.digests[i],
+                      digest);
+    }
+  }
+  if (storage::StateDigest(db->catalog(), db->models()) != serial.state_digest) {
+    Divergence d;
+    d.diverged = true;
+    d.detail = "crash leg: replayed state differs from serial state (crash at point " +
+               std::to_string(opts.crash_point) + ")";
+    return d;
+  }
+  return {};
+}
+
+}  // namespace aidb::testing

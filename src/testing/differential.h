@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/database.h"
+#include "storage/fault_injector.h"
+
+namespace aidb::testing {
+
+/// \brief Canonical digest of one statement's outcome.
+///
+/// Rows are rendered with a type tag and sorted, so legs that produce the
+/// same multiset in different physical orders (parallel aggregation, hash
+/// joins) digest identically; ordered queries stay comparable because the
+/// workload generator only emits LIMIT under a deterministic ORDER BY. An
+/// error digests as its full status string — serial and parallel execution
+/// are required to fail with the same first error, not just both fail.
+std::string DigestResult(const Result<QueryResult>& r);
+
+/// Everything one execution of a workload produces, plus the bookkeeping the
+/// crash-recovery leg needs to line recovered transactions back up with
+/// workload statement positions.
+struct WorkloadTrace {
+  std::vector<std::string> digests;  ///< one DigestResult per statement
+  /// Statement i appended a WAL transaction when run durably: DDL, CREATE
+  /// MODEL and INSERT always do; UPDATE/DELETE only when rows were affected;
+  /// failed statements and reads never do.
+  std::vector<bool> logs_txn;
+  std::string state_digest;  ///< storage::StateDigest after the last statement
+};
+
+/// Runs the workload on a fresh in-memory database at the given dop.
+WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop);
+
+/// Outcome of one differential comparison; detail names the first mismatch.
+struct Divergence {
+  bool diverged = false;
+  std::string detail;
+  explicit operator bool() const { return diverged; }
+};
+
+/// Statement-by-statement digest comparison of two traces of one workload.
+Divergence CompareTraces(const std::vector<std::string>& workload,
+                         const WorkloadTrace& expected,
+                         const WorkloadTrace& actual, const std::string& what);
+
+struct CrashLegOptions {
+  uint64_t fault_seed = 1;
+  /// 1-based durable-write index to crash at; 0 runs uncrashed (the run then
+  /// checks that durable execution digests match the serial trace and reports
+  /// how many injection points the workload has via *total_points).
+  uint64_t crash_point = 0;
+  storage::FaultKind kind = storage::FaultKind::kTornWrite;
+};
+
+/// \brief The crash-recovery leg of the differential oracle.
+///
+/// Executes the workload on a durable database rooted at `dir` with a fault
+/// armed per `opts`, comparing every pre-crash statement digest against the
+/// serial trace. After the crash it reopens the directory, derives how many
+/// committed transactions recovery preserved, replays exactly the statement
+/// tail those transactions do not cover, and requires (a) every replayed
+/// statement to reproduce the serial digest — recovery must restore a state
+/// indistinguishable from "the crash never happened" — and (b) the final
+/// StateDigest to be byte-equal to the serial one.
+Divergence RunCrashRecoveryLeg(const std::vector<std::string>& workload,
+                               const WorkloadTrace& serial,
+                               const std::string& dir,
+                               const CrashLegOptions& opts,
+                               uint64_t* total_points = nullptr);
+
+}  // namespace aidb::testing

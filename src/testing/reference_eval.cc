@@ -1,0 +1,153 @@
+#include "testing/reference_eval.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace aidb::testing {
+
+namespace {
+
+enum class Truth { kFalse, kTrue, kUnknown };
+
+Truth TruthOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return Truth::kUnknown;
+    case ValueType::kInt: return v.AsInt() != 0 ? Truth::kTrue : Truth::kFalse;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0 ? Truth::kTrue : Truth::kFalse;
+    case ValueType::kString:
+      return !v.AsString().empty() ? Truth::kTrue : Truth::kFalse;
+  }
+  return Truth::kUnknown;
+}
+
+Value FromTruth(Truth t) {
+  if (t == Truth::kUnknown) return Value::Null();
+  return Value(static_cast<int64_t>(t == Truth::kTrue ? 1 : 0));
+}
+
+bool IsString(const Value& v) { return v.type() == ValueType::kString; }
+
+/// Mirrors Value::Compare's documented order without calling it: NULL first,
+/// numbers (as DOUBLE) before strings, strings lexicographic. Callers ensure
+/// neither side is NULL (comparisons NULL-propagate earlier).
+int RefCompare(const Value& l, const Value& r) {
+  if (IsString(l) && IsString(r)) {
+    if (l.AsString() < r.AsString()) return -1;
+    return l.AsString() == r.AsString() ? 0 : 1;
+  }
+  if (IsString(l) != IsString(r)) return IsString(l) ? 1 : -1;
+  double a = l.AsDouble(), b = r.AsDouble();
+  if (a < b) return -1;
+  return a == b ? 0 : 1;
+}
+
+/// Checked INT64 arithmetic through __int128: deliberately a different
+/// mechanism from the engine's __builtin_*_overflow.
+Result<Value> CheckedInt(sql::OpType op, int64_t a, int64_t b) {
+  __int128 wide;
+  switch (op) {
+    case sql::OpType::kAdd: wide = static_cast<__int128>(a) + b; break;
+    case sql::OpType::kSub: wide = static_cast<__int128>(a) - b; break;
+    case sql::OpType::kMul: wide = static_cast<__int128>(a) * b; break;
+    default: return Status::Internal("CheckedInt: not an arithmetic op");
+  }
+  if (wide > std::numeric_limits<int64_t>::max() ||
+      wide < std::numeric_limits<int64_t>::min()) {
+    return Status::InvalidArgument("reference: INT64 overflow");
+  }
+  return Value(static_cast<int64_t>(wide));
+}
+
+Result<Value> EvalBinary(sql::OpType op, const Value& l, const Value& r) {
+  using sql::OpType;
+  if (op == OpType::kAnd) {
+    Truth a = TruthOf(l), b = TruthOf(r);
+    if (a == Truth::kFalse || b == Truth::kFalse) return FromTruth(Truth::kFalse);
+    if (a == Truth::kUnknown || b == Truth::kUnknown)
+      return FromTruth(Truth::kUnknown);
+    return FromTruth(Truth::kTrue);
+  }
+  if (op == OpType::kOr) {
+    Truth a = TruthOf(l), b = TruthOf(r);
+    if (a == Truth::kTrue || b == Truth::kTrue) return FromTruth(Truth::kTrue);
+    if (a == Truth::kUnknown || b == Truth::kUnknown)
+      return FromTruth(Truth::kUnknown);
+    return FromTruth(Truth::kFalse);
+  }
+  if (l.is_null() || r.is_null()) return Value::Null();
+  switch (op) {
+    case OpType::kEq: return Value(static_cast<int64_t>(RefCompare(l, r) == 0));
+    case OpType::kNe: return Value(static_cast<int64_t>(RefCompare(l, r) != 0));
+    case OpType::kLt: return Value(static_cast<int64_t>(RefCompare(l, r) < 0));
+    case OpType::kLe: return Value(static_cast<int64_t>(RefCompare(l, r) <= 0));
+    case OpType::kGt: return Value(static_cast<int64_t>(RefCompare(l, r) > 0));
+    case OpType::kGe: return Value(static_cast<int64_t>(RefCompare(l, r) >= 0));
+    case OpType::kAdd:
+    case OpType::kSub:
+    case OpType::kMul: {
+      if (IsString(l) || IsString(r)) {
+        return Status::InvalidArgument("reference: arithmetic on STRING");
+      }
+      if (l.type() == ValueType::kInt && r.type() == ValueType::kInt) {
+        return CheckedInt(op, l.AsInt(), r.AsInt());
+      }
+      double a = l.AsDouble(), b = r.AsDouble();
+      if (op == OpType::kAdd) return Value(a + b);
+      if (op == OpType::kSub) return Value(a - b);
+      return Value(a * b);
+    }
+    case OpType::kDiv: {
+      if (IsString(l) || IsString(r)) {
+        return Status::InvalidArgument("reference: arithmetic on STRING");
+      }
+      if (r.AsDouble() == 0.0) return Value::Null();
+      return Value(l.AsDouble() / r.AsDouble());
+    }
+    default:
+      return Status::InvalidArgument("reference: unexpected binary op");
+  }
+}
+
+}  // namespace
+
+Result<Value> ReferenceEval(const sql::Expr& expr) {
+  switch (expr.kind) {
+    case sql::Expr::Kind::kLiteral:
+      return expr.literal;
+    case sql::Expr::Kind::kBinary: {
+      Value l, r;
+      AIDB_ASSIGN_OR_RETURN(l, ReferenceEval(*expr.lhs));
+      AIDB_ASSIGN_OR_RETURN(r, ReferenceEval(*expr.rhs));
+      return EvalBinary(expr.op, l, r);
+    }
+    case sql::Expr::Kind::kUnary: {
+      Value v;
+      AIDB_ASSIGN_OR_RETURN(v, ReferenceEval(*expr.lhs));
+      if (expr.op == sql::OpType::kNot) {
+        Truth t = TruthOf(v);
+        if (t == Truth::kUnknown) return FromTruth(Truth::kUnknown);
+        return FromTruth(t == Truth::kTrue ? Truth::kFalse : Truth::kTrue);
+      }
+      if (expr.op != sql::OpType::kNeg) {
+        return Status::InvalidArgument("reference: unexpected unary op");
+      }
+      if (v.is_null()) return v;
+      if (IsString(v)) {
+        return Status::InvalidArgument("reference: negation of STRING");
+      }
+      if (v.type() == ValueType::kInt) {
+        if (v.AsInt() == std::numeric_limits<int64_t>::min()) {
+          return Status::InvalidArgument("reference: INT64 overflow");
+        }
+        return Value(-v.AsInt());
+      }
+      return Value(-v.AsDouble());
+    }
+    default:
+      return Status::InvalidArgument(
+          "reference evaluator only handles constant scalar expressions");
+  }
+}
+
+}  // namespace aidb::testing

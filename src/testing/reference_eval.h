@@ -1,0 +1,33 @@
+#pragma once
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace aidb::testing {
+
+/// \brief Independent constant-expression evaluator: the scalar oracle of the
+/// differential fuzzer.
+///
+/// Implements the engine's documented dialect (exec/expr.h, DESIGN.md §7)
+/// from the spec rather than by sharing code with the engine:
+///
+///  - AND/OR/NOT follow Kleene three-valued logic over SQL truthiness
+///    (NULL is unknown; 0, 0.0 and '' are false; everything else true).
+///  - Every other operator propagates a NULL operand to NULL *before* type
+///    checking, so `NULL + 'x'` is NULL while `1 + 'x'` is an error.
+///  - INT64 `+ - *` and unary minus are overflow-checked; the reference uses
+///    __int128 range tests where the engine uses __builtin_*_overflow, so a
+///    shared arithmetic bug cannot hide.
+///  - `/` always evaluates in DOUBLE; a zero divisor yields NULL.
+///  - Comparisons use the total value order NULL < numbers < strings, with
+///    numeric pairs compared as DOUBLE (mirroring Value::Compare, including
+///    its loss of precision above 2^53).
+///
+/// Only kLiteral / kBinary / kUnary nodes are supported; anything else is an
+/// InvalidArgument (the oracle covers constant scalar expressions). A
+/// divergence between this and the engine's `SELECT <expr>` is a bug in one
+/// of the two.
+Result<Value> ReferenceEval(const sql::Expr& expr);
+
+}  // namespace aidb::testing

@@ -1,0 +1,453 @@
+#include "testing/sql_gen.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace aidb::testing {
+
+using sql::Expr;
+using sql::OpType;
+
+WorkloadGenerator::WorkloadGenerator(uint64_t seed, GenOptions opts)
+    : rng_(seed), opts_(opts) {}
+
+size_t WorkloadGenerator::R(size_t n) { return n == 0 ? 0 : rng_() % n; }
+
+bool WorkloadGenerator::Chance(int percent) {
+  return static_cast<int>(R(100)) < percent;
+}
+
+int64_t WorkloadGenerator::SmallInt() {
+  return static_cast<int64_t>(R(41)) - 20;
+}
+
+int64_t WorkloadGenerator::WildInt() {
+  // INT64_MIN itself is unreachable as a literal (its absolute value does not
+  // parse); -INT64_MAX - 1 style trees reach it through checked negation.
+  static const int64_t pool[] = {
+      std::numeric_limits<int64_t>::max(),
+      -std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::max() / 2,
+      -(std::numeric_limits<int64_t>::max() / 2),
+      1000000007,
+      3037000499,  // ~sqrt(INT64_MAX): squaring it straddles the boundary
+  };
+  return pool[R(sizeof(pool) / sizeof(pool[0]))];
+}
+
+std::string WorkloadGenerator::DoubleLit() {
+  // Exact binary fractions with at most six decimal digits: they survive the
+  // std::to_string(double) → parser round-trip bit-for-bit.
+  static const char* pool[] = {"0.0",   "0.5",   "1.5",    "2.25",  "0.125",
+                               "0.875", "3.0",   "100.0",  "12.625", "0.25"};
+  return pool[R(sizeof(pool) / sizeof(pool[0]))];
+}
+
+std::string WorkloadGenerator::StringLit() {
+  static const char* pool[] = {"", "a", "b", "abc", "zz", "foo", "bar"};
+  return std::string("'") + pool[R(sizeof(pool) / sizeof(pool[0]))] + "'";
+}
+
+std::unique_ptr<Expr> WorkloadGenerator::LitExpr(bool wild_ok) {
+  size_t pick = R(100);
+  if (pick < 15) return Expr::MakeLiteral(Value::Null());
+  if (pick < 55) return Expr::MakeLiteral(Value(SmallInt()));
+  if (pick < 65 && wild_ok) return Expr::MakeLiteral(Value(WildInt()));
+  if (pick < 85) return Expr::MakeLiteral(Value(std::stod(DoubleLit())));
+  std::string s = StringLit();
+  return Expr::MakeLiteral(Value(s.substr(1, s.size() - 2)));
+}
+
+std::unique_ptr<Expr> WorkloadGenerator::ColExpr(const ScopeCol& c) {
+  return Expr::MakeColumn(c.table, c.col.name);
+}
+
+std::unique_ptr<Expr> WorkloadGenerator::NumericExpr(
+    const std::vector<ScopeCol>& scope, size_t depth, bool wild_ok) {
+  if (depth == 0 || Chance(35)) {
+    // Leaf: a column or a literal. String leaves are rare and only with
+    // enable_errors: arithmetic over them must fail identically everywhere.
+    std::vector<ScopeCol> numeric;
+    for (const auto& c : scope) {
+      if (c.col.type != ValueType::kString) numeric.push_back(c);
+      else if (opts_.enable_errors && Chance(20)) numeric.push_back(c);
+    }
+    if (!numeric.empty() && Chance(60)) return ColExpr(numeric[R(numeric.size())]);
+    if (opts_.enable_errors && Chance(6)) {
+      std::string s = StringLit();
+      return Expr::MakeLiteral(Value(s.substr(1, s.size() - 2)));
+    }
+    return LitExpr(wild_ok);
+  }
+  if (Chance(12)) {
+    return Expr::MakeUnary(OpType::kNeg, NumericExpr(scope, depth - 1, wild_ok));
+  }
+  static const OpType arith[] = {OpType::kAdd, OpType::kSub, OpType::kMul,
+                                 OpType::kDiv};
+  OpType op = Chance(15) ? OpType::kDiv : arith[R(3)];
+  return Expr::MakeBinary(op, NumericExpr(scope, depth - 1, wild_ok),
+                          NumericExpr(scope, depth - 1, wild_ok));
+}
+
+std::unique_ptr<Expr> WorkloadGenerator::Predicate(
+    const std::vector<ScopeCol>& scope, size_t depth) {
+  if (depth > 0 && Chance(40)) {
+    if (Chance(25)) {
+      return Expr::MakeUnary(OpType::kNot, Predicate(scope, depth - 1));
+    }
+    OpType op = Chance(50) ? OpType::kAnd : OpType::kOr;
+    return Expr::MakeBinary(op, Predicate(scope, depth - 1),
+                            Predicate(scope, depth - 1));
+  }
+  static const OpType cmps[] = {OpType::kEq, OpType::kNe, OpType::kLt,
+                                OpType::kLe, OpType::kGt, OpType::kGe};
+  OpType cmp = cmps[R(6)];
+  // String comparisons are common enough to matter; otherwise compare two
+  // shallow numeric expressions (which may themselves error — also a
+  // differential surface).
+  std::vector<ScopeCol> strings;
+  for (const auto& c : scope) {
+    if (c.col.type == ValueType::kString) strings.push_back(c);
+  }
+  if (!strings.empty() && Chance(25)) {
+    std::string s = StringLit();
+    return Expr::MakeBinary(
+        cmp, ColExpr(strings[R(strings.size())]),
+        Expr::MakeLiteral(Chance(15) ? Value::Null()
+                                     : Value(s.substr(1, s.size() - 2))));
+  }
+  return Expr::MakeBinary(cmp, NumericExpr(scope, 1, true),
+                          NumericExpr(scope, 1, true));
+}
+
+std::unique_ptr<Expr> WorkloadGenerator::AggSafeExpr(
+    const std::vector<ScopeCol>& scope) {
+  // SUM/AVG arguments: small-int columns and small literals under + - and
+  // * small-literal. Values stay far below 2^53, so double accumulation is
+  // exact and any merge order produces identical bits.
+  std::vector<ScopeCol> safe;
+  for (const auto& c : scope) {
+    if (c.col.agg_safe) safe.push_back(c);
+  }
+  auto leaf = [&]() -> std::unique_ptr<Expr> {
+    if (!safe.empty() && Chance(75)) return ColExpr(safe[R(safe.size())]);
+    return Expr::MakeLiteral(Value(static_cast<int64_t>(R(11)) - 5));
+  };
+  if (Chance(40)) return leaf();
+  if (Chance(30)) {
+    return Expr::MakeBinary(
+        OpType::kMul, leaf(),
+        Expr::MakeLiteral(Value(static_cast<int64_t>(R(7)) - 3)));
+  }
+  return Expr::MakeBinary(Chance(50) ? OpType::kAdd : OpType::kSub, leaf(),
+                          leaf());
+}
+
+std::unique_ptr<Expr> WorkloadGenerator::GenConstExpr(size_t depth) {
+  if (depth == 0 || Chance(30)) return LitExpr(true);
+  size_t pick = R(100);
+  if (pick < 12) {
+    return Expr::MakeUnary(OpType::kNot, GenConstExpr(depth - 1));
+  }
+  if (pick < 24) {
+    return Expr::MakeUnary(OpType::kNeg, GenConstExpr(depth - 1));
+  }
+  static const OpType ops[] = {OpType::kAdd, OpType::kSub, OpType::kMul,
+                               OpType::kDiv, OpType::kEq,  OpType::kNe,
+                               OpType::kLt,  OpType::kLe,  OpType::kGt,
+                               OpType::kGe,  OpType::kAnd, OpType::kOr};
+  OpType op = ops[R(sizeof(ops) / sizeof(ops[0]))];
+  return Expr::MakeBinary(op, GenConstExpr(depth - 1), GenConstExpr(depth - 1));
+}
+
+std::vector<WorkloadGenerator::ScopeCol> WorkloadGenerator::Scope(
+    const TableInfo& t, bool qualified) const {
+  std::vector<ScopeCol> scope;
+  for (const auto& c : t.cols) scope.push_back({qualified ? t.name : "", c});
+  return scope;
+}
+
+std::string WorkloadGenerator::ValueFor(const Column& c, bool allow_bad) {
+  if (allow_bad && opts_.enable_errors && Chance(4)) {
+    // Deliberately mis-typed value: the whole INSERT must be rejected with
+    // no row applied (statement atomicity).
+    return c.type == ValueType::kString ? std::to_string(SmallInt())
+                                        : StringLit();
+  }
+  if (Chance(12)) return "NULL";
+  switch (c.type) {
+    case ValueType::kInt:
+      if (c.name == "k") return std::to_string(R(8));  // overlapping join keys
+      if (c.wild && Chance(25)) return std::to_string(WildInt());
+      return std::to_string(SmallInt());
+    case ValueType::kDouble:
+      return Chance(30) ? std::to_string(SmallInt()) : DoubleLit();
+    case ValueType::kString:
+      return StringLit();
+    default:
+      return "NULL";
+  }
+}
+
+std::string WorkloadGenerator::GenCreateTable(size_t i) {
+  TableInfo t;
+  t.name = "t" + std::to_string(i);
+  t.cols.push_back({"k", ValueType::kInt, true, false});   // join/group key
+  t.cols.push_back({"v", ValueType::kInt, true, false});   // agg-safe payload
+  if (Chance(60)) t.cols.push_back({"w", ValueType::kInt, false, true});
+  if (Chance(75)) t.cols.push_back({"x", ValueType::kDouble, false, false});
+  t.cols.push_back({"s", ValueType::kString, false, false});
+  std::string sql = "CREATE TABLE " + t.name + " (";
+  for (size_t c = 0; c < t.cols.size(); ++c) {
+    if (c) sql += ", ";
+    sql += t.cols[c].name + " ";
+    sql += t.cols[c].type == ValueType::kInt      ? "INT"
+           : t.cols[c].type == ValueType::kDouble ? "DOUBLE"
+                                                  : "STRING";
+  }
+  sql += ")";
+  tables_.push_back(std::move(t));
+  return sql;
+}
+
+std::string WorkloadGenerator::GenInsert(const TableInfo& t, size_t rows,
+                                         bool allow_bad) {
+  std::string sql = "INSERT INTO " + t.name + " VALUES ";
+  for (size_t r = 0; r < rows; ++r) {
+    if (r) sql += ", ";
+    sql += "(";
+    for (size_t c = 0; c < t.cols.size(); ++c) {
+      if (c) sql += ", ";
+      sql += ValueFor(t.cols[c], allow_bad);
+    }
+    sql += ")";
+  }
+  return sql;
+}
+
+std::string WorkloadGenerator::GenSelect() {
+  const TableInfo& t = tables_[R(tables_.size())];
+  std::vector<ScopeCol> scope = Scope(t, false);
+  bool distinct = Chance(15);
+  std::string sql = distinct ? "SELECT DISTINCT " : "SELECT ";
+  size_t items = 1 + R(3);
+  for (size_t i = 0; i < items; ++i) {
+    if (i) sql += ", ";
+    if (distinct || Chance(40)) {
+      sql += t.cols[R(t.cols.size())].name;
+    } else if (has_model_ && t.name == model_table_ && Chance(25)) {
+      sql += "PREDICT(" + model_name_ + ", k, v)";
+    } else {
+      sql += NumericExpr(scope, 1 + R(3), true)->ToString();
+    }
+  }
+  sql += " FROM " + t.name;
+  if (Chance(70)) sql += " WHERE " + Predicate(scope, 1 + R(3))->ToString();
+  return sql;
+}
+
+std::string WorkloadGenerator::GenOrderedSelect() {
+  // LIMIT is only deterministic under a total-enough order: single table,
+  // SELECT * (order keys stay in scope), stable sort over the scan order.
+  const TableInfo& t = tables_[R(tables_.size())];
+  std::vector<ScopeCol> scope = Scope(t, false);
+  std::string sql = "SELECT * FROM " + t.name;
+  if (Chance(60)) sql += " WHERE " + Predicate(scope, 1 + R(2))->ToString();
+  sql += " ORDER BY " + t.cols[R(t.cols.size())].name;
+  if (Chance(40)) sql += " DESC";
+  if (Chance(40)) sql += ", " + t.cols[R(t.cols.size())].name;
+  sql += " LIMIT " + std::to_string(1 + R(10));
+  return sql;
+}
+
+std::string WorkloadGenerator::GenAggregate() {
+  const TableInfo& t = tables_[R(tables_.size())];
+  std::vector<ScopeCol> scope = Scope(t, false);
+  bool grouped = Chance(70);
+  std::string key = Chance(75) ? "k" : "s";
+  std::string sql = "SELECT ";
+  if (grouped) sql += key + ", ";
+  size_t naggs = 1 + R(3);
+  for (size_t i = 0; i < naggs; ++i) {
+    if (i) sql += ", ";
+    switch (R(5)) {
+      case 0: sql += "COUNT(*)"; break;
+      case 1: sql += "SUM(" + AggSafeExpr(scope)->ToString() + ")"; break;
+      case 2: sql += "AVG(" + AggSafeExpr(scope)->ToString() + ")"; break;
+      case 3: sql += "MIN(" + t.cols[R(t.cols.size())].name + ")"; break;
+      default: sql += "MAX(" + t.cols[R(t.cols.size())].name + ")"; break;
+    }
+  }
+  sql += " FROM " + t.name;
+  if (Chance(50)) sql += " WHERE " + Predicate(scope, 1 + R(2))->ToString();
+  if (grouped) {
+    sql += " GROUP BY " + key;
+    if (Chance(30)) sql += " HAVING COUNT(*) >= " + std::to_string(1 + R(3));
+  }
+  return sql;
+}
+
+std::string WorkloadGenerator::GenJoinSelect() {
+  const TableInfo& a = tables_[R(tables_.size())];
+  const TableInfo& b = tables_[R(tables_.size())];
+  if (a.name == b.name) return GenSelect();
+  std::vector<ScopeCol> scope = Scope(a, true);
+  for (const auto& c : Scope(b, true)) scope.push_back(c);
+  std::string sql = "SELECT ";
+  size_t items = 1 + R(3);
+  for (size_t i = 0; i < items; ++i) {
+    if (i) sql += ", ";
+    if (Chance(65)) {
+      const ScopeCol& c = scope[R(scope.size())];
+      sql += c.table + "." + c.col.name;
+    } else {
+      sql += NumericExpr(scope, 1 + R(2), true)->ToString();
+    }
+  }
+  // Join conditions stay pure column equality: comparisons cannot error, so
+  // serial and parallel join strategies surface identical first errors (any
+  // erroring predicate lives in WHERE and is pushed to the scans).
+  if (Chance(50)) {
+    sql += " FROM " + a.name + " JOIN " + b.name + " ON " + a.name + ".k = " +
+           b.name + ".k";
+    if (Chance(50)) sql += " WHERE " + Predicate(scope, 1 + R(2))->ToString();
+  } else {
+    sql += " FROM " + a.name + ", " + b.name + " WHERE " + a.name + ".k = " +
+           b.name + ".k";
+    if (Chance(50)) sql += " AND " + Predicate(scope, 1 + R(2))->ToString();
+  }
+  return sql;
+}
+
+std::string WorkloadGenerator::GenUpdate() {
+  const TableInfo& t = tables_[R(tables_.size())];
+  std::vector<ScopeCol> scope = Scope(t, false);
+  std::string sql = "UPDATE " + t.name + " SET ";
+  size_t nassign = 1 + R(2);
+  std::vector<size_t> cols;
+  for (size_t i = 0; i < t.cols.size(); ++i) cols.push_back(i);
+  for (size_t i = 0; i < nassign && i < cols.size(); ++i) {
+    std::swap(cols[i], cols[i + R(cols.size() - i)]);
+    const Column& c = t.cols[cols[i]];
+    if (i) sql += ", ";
+    sql += c.name + " = ";
+    // Assignments are type-correct for the target column so Table::Update's
+    // validation cannot fire row-dependently; evaluation errors (overflow,
+    // strings in arithmetic via WHERE) still abort the whole statement.
+    switch (c.type) {
+      case ValueType::kInt:
+        if (c.agg_safe) {
+          sql += AggSafeExpr(scope)->ToString();  // keeps SUM columns small
+        } else {
+          // Wild column: int-typed arithmetic, overflow errors welcome.
+          std::vector<ScopeCol> ints;
+          for (const auto& sc : scope) {
+            if (sc.col.type == ValueType::kInt) ints.push_back(sc);
+          }
+          auto leaf = [&]() -> std::unique_ptr<Expr> {
+            if (!ints.empty() && Chance(60)) return ColExpr(ints[R(ints.size())]);
+            return Expr::MakeLiteral(Chance(30) ? Value(WildInt())
+                                                : Value(SmallInt()));
+          };
+          sql += Expr::MakeBinary(Chance(50) ? OpType::kAdd : OpType::kMul,
+                                  leaf(), leaf())
+                     ->ToString();
+        }
+        break;
+      case ValueType::kDouble:
+        sql += NumericExpr(scope, 1 + R(2), false)->ToString();
+        break;
+      default:
+        sql += Chance(60) ? StringLit() : std::string("s");
+        break;
+    }
+  }
+  if (Chance(85)) sql += " WHERE " + Predicate(scope, 1 + R(2))->ToString();
+  return sql;
+}
+
+std::string WorkloadGenerator::GenDelete() {
+  const TableInfo& t = tables_[R(tables_.size())];
+  std::vector<ScopeCol> scope = Scope(t, false);
+  std::string sql = "DELETE FROM " + t.name;
+  if (Chance(92)) sql += " WHERE " + Predicate(scope, 1 + R(2))->ToString();
+  return sql;
+}
+
+std::vector<std::string> WorkloadGenerator::Generate() {
+  std::vector<std::string> out;
+  tables_.clear();
+  has_model_ = false;
+  live_indexes_.clear();
+
+  for (size_t i = 0; i < opts_.num_tables; ++i) out.push_back(GenCreateTable(i));
+  for (const auto& t : tables_) {
+    size_t remaining = opts_.base_rows;
+    while (remaining > 0) {
+      size_t batch = std::min<size_t>(remaining, 4 + R(9));
+      out.push_back(GenInsert(t, batch, false));  // seed rows are well-typed
+      remaining -= batch;
+    }
+  }
+  if (Chance(50)) {
+    std::string idx = "idx" + std::to_string(index_seq_++);
+    out.push_back("CREATE INDEX " + idx + " ON " +
+                  tables_[R(tables_.size())].name + "(k)");
+    live_indexes_.push_back(idx);
+  }
+  if (Chance(35)) {
+    out.push_back("ANALYZE " + tables_[R(tables_.size())].name);
+  }
+  if (opts_.enable_models) {
+    for (const auto& t : tables_) {
+      bool has_x = false;
+      for (const auto& c : t.cols) has_x |= c.name == "x";
+      if (has_x) {
+        model_name_ = "m0";
+        model_table_ = t.name;
+        out.push_back("CREATE MODEL m0 TYPE linear PREDICT x ON " + t.name +
+                      " FEATURES (k, v)");
+        has_model_ = true;
+        break;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < opts_.num_statements; ++i) {
+    size_t pick = R(100);
+    if (pick < 22) {
+      out.push_back(GenSelect());
+    } else if (pick < 32) {
+      out.push_back(GenOrderedSelect());
+    } else if (pick < 46) {
+      out.push_back(GenAggregate());
+    } else if (pick < 56 && tables_.size() > 1) {
+      out.push_back(GenJoinSelect());
+    } else if (pick < 70) {
+      const TableInfo& t = tables_[R(tables_.size())];
+      out.push_back(GenInsert(t, 1 + R(4), true));
+    } else if (pick < 82) {
+      out.push_back(GenUpdate());
+    } else if (pick < 90) {
+      out.push_back(GenDelete());
+    } else if (pick < 94) {
+      out.push_back("ANALYZE " + tables_[R(tables_.size())].name);
+    } else if (pick < 97 && has_model_ && Chance(50)) {
+      // Retrain: deterministic closed-form fit over the current table state.
+      out.push_back("CREATE MODEL m0 TYPE linear PREDICT x ON " + model_table_ +
+                    " FEATURES (k, v)");
+    } else if (!live_indexes_.empty() && Chance(50)) {
+      size_t which = R(live_indexes_.size());
+      out.push_back("DROP INDEX " + live_indexes_[which]);
+      live_indexes_.erase(live_indexes_.begin() + which);
+    } else {
+      std::string idx = "idx" + std::to_string(index_seq_++);
+      out.push_back("CREATE INDEX " + idx + " ON " +
+                    tables_[R(tables_.size())].name + "(v)");
+      live_indexes_.push_back(idx);
+    }
+  }
+  return out;
+}
+
+}  // namespace aidb::testing

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace aidb::testing {
+
+/// Knobs for WorkloadGenerator. Defaults produce a workload of ~35
+/// statements over two tables that exercises every statement kind the
+/// engine supports.
+struct GenOptions {
+  size_t num_tables = 2;
+  size_t base_rows = 24;       ///< initial rows per table
+  size_t num_statements = 26;  ///< random statements after the setup prefix
+  bool enable_models = true;   ///< CREATE MODEL / PREDICT coverage
+  /// Inject type-incorrect expressions (string operands in arithmetic,
+  /// mis-typed INSERT values) so error paths are differentially compared too.
+  bool enable_errors = true;
+};
+
+/// \brief Seeded, wall-clock-free random SQL workload generator.
+///
+/// The same seed always yields the same workload: all randomness flows from
+/// one mt19937_64 and nothing reads the clock, so a failing seed is a
+/// complete reproducer. Workloads are *restricted to the deterministic
+/// fragment* of the dialect so that serial, parallel and post-crash-recovery
+/// execution must agree byte-for-byte (see DESIGN.md §7):
+///
+///  - LIMIT appears only with ORDER BY on a single table (no joins), where
+///    stable sort over the scan order makes the prefix deterministic.
+///  - SUM/AVG arguments only involve small-integer columns and literals, so
+///    double accumulation is exact and merge order cannot change the result.
+///  - UPDATE assignments are type-correct for the target column, keeping
+///    the per-column value invariants (join keys small, aggregation columns
+///    exactly representable) true for the whole workload.
+///
+/// Everything else — NULLs everywhere, INT64 boundary literals, deep nested
+/// predicates, string operands in arithmetic (evaluation errors), DML with
+/// erroring WHERE clauses, CREATE MODEL / PREDICT — is fair game.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(uint64_t seed, GenOptions opts = {});
+
+  /// The full workload: CREATE TABLEs, seed INSERTs, optional index/model
+  /// setup, then a random statement tail.
+  std::vector<std::string> Generate();
+
+  /// A random constant scalar expression (literal leaves only) for the
+  /// reference-evaluator oracle. Depth ≤ 4 keeps double magnitudes finite.
+  std::unique_ptr<sql::Expr> GenConstExpr(size_t depth);
+
+ private:
+  struct Column {
+    std::string name;
+    ValueType type;
+    bool agg_safe;  ///< small ints only: valid SUM/AVG argument
+    bool wild;      ///< may hold INT64 boundary values
+  };
+  struct TableInfo {
+    std::string name;
+    std::vector<Column> cols;
+  };
+  /// A column visible to an expression, optionally table-qualified (joins).
+  struct ScopeCol {
+    std::string table;  ///< empty: unqualified
+    Column col;
+  };
+
+  size_t R(size_t n);       ///< uniform [0, n)
+  bool Chance(int percent);
+  int64_t SmallInt();
+  int64_t WildInt();
+  std::string DoubleLit();
+  std::string StringLit();
+
+  std::unique_ptr<sql::Expr> LitExpr(bool wild_ok);
+  std::unique_ptr<sql::Expr> ColExpr(const ScopeCol& c);
+  std::unique_ptr<sql::Expr> NumericExpr(const std::vector<ScopeCol>& scope,
+                                         size_t depth, bool wild_ok);
+  std::unique_ptr<sql::Expr> Predicate(const std::vector<ScopeCol>& scope,
+                                       size_t depth);
+  std::unique_ptr<sql::Expr> AggSafeExpr(const std::vector<ScopeCol>& scope);
+
+  std::vector<ScopeCol> Scope(const TableInfo& t, bool qualified) const;
+  std::string ValueFor(const Column& c, bool allow_bad);
+
+  std::string GenCreateTable(size_t i);
+  std::string GenInsert(const TableInfo& t, size_t rows, bool allow_bad);
+  std::string GenSelect();
+  std::string GenOrderedSelect();
+  std::string GenAggregate();
+  std::string GenJoinSelect();
+  std::string GenUpdate();
+  std::string GenDelete();
+
+  std::mt19937_64 rng_;
+  GenOptions opts_;
+  std::vector<TableInfo> tables_;
+  bool has_model_ = false;
+  std::string model_name_;
+  std::string model_table_;
+  size_t index_seq_ = 0;
+  std::vector<std::string> live_indexes_;
+};
+
+}  // namespace aidb::testing

@@ -1,8 +1,13 @@
 #include "txn/lock_manager.h"
 
+#include <cassert>
+
 namespace aidb::txn {
 
 bool LockManager::TryLock(TxnId txn, KeyId key, LockMode mode) {
+  // TxnId 0 aliases LockState's "no exclusive holder" encoding; granting it
+  // a lock would make the key look free to every exclusive requester.
+  assert(txn != kInvalidTxnId && "TxnId 0 is the reserved no-txn sentinel");
   LockState& state = table_[key];
   if (mode == LockMode::kShared) {
     if (state.exclusive_holder != 0 && state.exclusive_holder != txn) return false;

@@ -8,7 +8,15 @@ namespace aidb::txn {
 /// storage WAL: every durable COMMIT record is stamped with the TxnId of the
 /// statement-level transaction it closes, so recovery replays whole
 /// transactions or nothing.
+///
+/// TxnId 0 is a reserved sentinel meaning "no transaction": the lock table
+/// encodes "no exclusive holder" as holder == 0, and recovery's
+/// next_txn_id - 1 arithmetic assumes real transactions start at 1. Passing
+/// txn 0 to LockManager::TryLock is a caller bug (asserted in debug builds) —
+/// it would alias the no-holder encoding and grant phantom exclusive locks.
 using TxnId = uint64_t;
+constexpr TxnId kInvalidTxnId = 0;
+
 using KeyId = uint64_t;
 
 enum class LockMode { kShared, kExclusive };

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
@@ -159,6 +163,40 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(64);
   pool.ParallelFor(64, [&](size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Regression: ParallelFor used to wait on the pool-global in_flight_
+// counter, so two concurrent callers blocked on each other's tasks and
+// could return before their own indexes ran. Each call must see exactly
+// its own range completed, independent of the other caller.
+TEST(ThreadPoolTest, ParallelForConcurrentCallers) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 256;
+  std::vector<std::atomic<int>> a(kN), b(kN);
+  std::thread other([&] {
+    pool.ParallelFor(kN, [&](size_t i) { b[i].fetch_add(1); });
+    for (auto& h : b) EXPECT_EQ(h.load(), 1);
+  });
+  pool.ParallelFor(kN, [&](size_t i) { a[i].fetch_add(1); });
+  for (auto& h : a) EXPECT_EQ(h.load(), 1);
+  other.join();
+}
+
+// Regression: a nested ParallelFor from inside a worker task deadlocked —
+// the worker waited for in_flight_ == 0 while being in-flight itself. The
+// caller now participates in its own claim loop, so the nested call makes
+// progress even with every worker busy.
+TEST(ThreadPoolTest, ParallelForNestedFromWorker) {
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 4;
+  constexpr size_t kInner = 32;
+  std::array<std::array<std::atomic<int>, kInner>, kOuter> hits{};
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    pool.ParallelFor(kInner, [&, o](size_t i) { hits[o][i].fetch_add(1); });
+  });
+  for (auto& row : hits) {
+    for (auto& h : row) EXPECT_EQ(h.load(), 1);
+  }
 }
 
 TEST(TimerTest, MeasuresElapsed) {

@@ -67,7 +67,11 @@ std::string OracleDigest(const std::vector<std::string>& script,
 class CrashMatrixTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "aidb_crash_matrix").string();
+    // Per-test directory: a shared one races sibling cases under ctest -j.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("aidb_crash_matrix_") + info->name()))
+               .string();
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

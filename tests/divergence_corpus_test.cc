@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "exec/database.h"
+
+namespace aidb {
+namespace {
+
+/// \brief Minimized divergence corpus.
+///
+/// Each test is a reduced reproducer distilled from a differential-fuzzer
+/// divergence (or a crash the fuzzer's first runs hit): the smallest SQL
+/// that triggered the bug, pinned with the now-correct expected outcome.
+/// Pre-fix builds fail these — string arithmetic aborted with an uncaught
+/// std::bad_variant_access, INT64 arithmetic overflowed with undefined
+/// behavior, AND/OR/NOT treated NULL as FALSE, and out-of-range numeric
+/// literals escaped std::stoll as uncaught exceptions.
+class DivergenceCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE dual (one INT)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO dual VALUES (1)").ok());
+  }
+
+  /// Evaluates a scalar expression through the engine.
+  Result<Value> Val(const std::string& expr) {
+    auto r = db_.Execute("SELECT " + expr + " FROM dual");
+    if (!r.ok()) return r.status();
+    EXPECT_EQ(r.ValueOrDie().rows.size(), 1u) << expr;
+    return r.ValueOrDie().rows[0][0];
+  }
+
+  void ExpectNull(const std::string& expr) {
+    auto v = Val(expr);
+    ASSERT_TRUE(v.ok()) << expr << ": " << v.status().ToString();
+    EXPECT_TRUE(v.ValueOrDie().is_null()) << expr << " = "
+                                          << v.ValueOrDie().ToString();
+  }
+
+  void ExpectInt(const std::string& expr, int64_t want) {
+    auto v = Val(expr);
+    ASSERT_TRUE(v.ok()) << expr << ": " << v.status().ToString();
+    ASSERT_EQ(v.ValueOrDie().type(), ValueType::kInt) << expr;
+    EXPECT_EQ(v.ValueOrDie().AsInt(), want) << expr;
+  }
+
+  void ExpectError(const std::string& expr, StatusCode code) {
+    auto v = Val(expr);
+    ASSERT_FALSE(v.ok()) << expr << " = " << v.ValueOrDie().ToString();
+    EXPECT_EQ(v.status().code(), code) << expr << ": " << v.status().ToString();
+  }
+
+  Database db_;
+};
+
+// --- Satellite: string operands in arithmetic were an uncaught
+// std::bad_variant_access process abort; they are a typed error now. ---------
+
+TEST_F(DivergenceCorpusTest, StringArithmeticIsTypedError) {
+  ExpectError("1 + 'a'", StatusCode::kInvalidArgument);
+  ExpectError("'a' - 1", StatusCode::kInvalidArgument);
+  ExpectError("2.5 * 'abc'", StatusCode::kInvalidArgument);
+  ExpectError("'a' / 'b'", StatusCode::kInvalidArgument);
+  ExpectError("-('a')", StatusCode::kInvalidArgument);
+}
+
+TEST_F(DivergenceCorpusTest, NullPropagatesBeforeTypeCheck) {
+  // The documented evaluation order: NULL wins before operand types are
+  // inspected, so a NULL can mask a string operand...
+  ExpectNull("NULL + 'a'");
+  ExpectNull("'a' * NULL");
+  // ...but a live string operand still errors.
+  ExpectError("1 + 'a'", StatusCode::kInvalidArgument);
+}
+
+// --- Satellite: INT64 + - * and unary minus were signed-overflow UB; they
+// are checked and surface InvalidArgument now. -------------------------------
+
+TEST_F(DivergenceCorpusTest, AddOverflowIsError) {
+  ExpectError("9223372036854775807 + 1", StatusCode::kInvalidArgument);
+  ExpectInt("9223372036854775806 + 1", 9223372036854775807LL);
+}
+
+TEST_F(DivergenceCorpusTest, SubOverflowIsError) {
+  ExpectError("-9223372036854775807 - 2", StatusCode::kInvalidArgument);
+  ExpectInt("-9223372036854775807 - 1", std::numeric_limits<int64_t>::min());
+}
+
+TEST_F(DivergenceCorpusTest, MulOverflowIsError) {
+  ExpectError("3037000500 * 3037000500", StatusCode::kInvalidArgument);
+  ExpectInt("3037000499 * 3037000499", 3037000499LL * 3037000499LL);
+}
+
+TEST_F(DivergenceCorpusTest, NegateInt64MinIsError) {
+  // INT64_MIN is reachable only via arithmetic (the literal does not parse);
+  // negating it has no INT64 representation.
+  ExpectError("-(-9223372036854775807 - 1)", StatusCode::kInvalidArgument);
+}
+
+// --- Satellite: three-valued logic. TRUE AND NULL was FALSE (NULL coerced
+// to false); the Kleene table is pinned here. --------------------------------
+
+TEST_F(DivergenceCorpusTest, ThreeValuedAnd) {
+  ExpectNull("(1 = 1) AND NULL");
+  ExpectNull("NULL AND (1 = 1)");
+  ExpectInt("(1 = 2) AND NULL", 0);  // FALSE decides AND
+  ExpectInt("NULL AND (1 = 2)", 0);
+  ExpectNull("NULL AND NULL");
+}
+
+TEST_F(DivergenceCorpusTest, ThreeValuedOr) {
+  ExpectInt("(1 = 1) OR NULL", 1);  // TRUE decides OR
+  ExpectInt("NULL OR (1 = 1)", 1);
+  ExpectNull("(1 = 2) OR NULL");
+  ExpectNull("NULL OR (1 = 2)");
+  ExpectNull("NULL OR NULL");
+}
+
+TEST_F(DivergenceCorpusTest, ThreeValuedNot) {
+  ExpectNull("NOT (NULL)");
+  ExpectInt("NOT (1 = 2)", 1);
+  ExpectInt("NOT (1 = 1)", 0);
+}
+
+TEST_F(DivergenceCorpusTest, ComparisonWithNullIsNull) {
+  ExpectNull("1 = NULL");
+  ExpectNull("NULL != NULL");
+  ExpectNull("3 < NULL");
+}
+
+TEST_F(DivergenceCorpusTest, WhereTreatsNullAsNotTrue) {
+  // WHERE keeps only TRUE: both NULL and NOT(NULL) drop the row.
+  auto r = db_.Execute("SELECT one FROM dual WHERE NULL");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 0u);
+  r = db_.Execute("SELECT one FROM dual WHERE NOT (NULL)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 0u);
+  r = db_.Execute("SELECT one FROM dual WHERE NOT (1 = 2)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 1u);
+}
+
+// --- Division semantics: always DOUBLE, x/0 (and x/0.0) is NULL. ------------
+
+TEST_F(DivergenceCorpusTest, DivisionIsDoubleAndDivByZeroIsNull) {
+  auto v = Val("7 / 2");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v.ValueOrDie().type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.ValueOrDie().AsDouble(), 3.5);
+  ExpectNull("7 / 0");
+  ExpectNull("7 / 0.0");
+  ExpectNull("0 / 0");
+}
+
+// --- Satellite (found by the fuzzer's literal pool): out-of-range numeric
+// literals escaped std::stoll/std::stod as uncaught exceptions. --------------
+
+TEST_F(DivergenceCorpusTest, HugeIntegerLiteralIsParseError) {
+  auto r = db_.Execute("SELECT 9223372036854775808 FROM dual");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  r = db_.Execute("SELECT -9223372036854775808 FROM dual");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  r = db_.Execute("SELECT one FROM dual LIMIT 99999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+// --- Statement atomicity: a failing row/expression leaves the statement
+// fully unapplied (recovery replays whole statements; a half-applied one
+// would diverge from the WAL). ----------------------------------------------
+
+TEST_F(DivergenceCorpusTest, InsertValidatesAllRowsUpFront) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE a (i INT, s STRING)").ok());
+  auto r = db_.Execute("INSERT INTO a VALUES (1, 'ok'), ('bad', 'row')");
+  ASSERT_FALSE(r.ok());
+  auto count = db_.Execute("SELECT COUNT(*) FROM a");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie().rows[0][0].AsInt(), 0);
+}
+
+TEST_F(DivergenceCorpusTest, UpdateAbortsWholeStatementOnEvalError) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE u (i INT, w INT)").ok());
+  // Row 2's w overflows i + w; row 1 evaluates fine and must NOT stick.
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO u VALUES (1, 1), (1, 9223372036854775807)").ok());
+  auto r = db_.Execute("UPDATE u SET i = i + w");
+  ASSERT_FALSE(r.ok());
+  auto rows = db_.Execute("SELECT SUM(i) FROM u");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ(rows.ValueOrDie().rows[0][0].AsDouble(), 2.0);
+}
+
+TEST_F(DivergenceCorpusTest, DeleteAbortsWholeStatementOnEvalError) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE d (i INT, s STRING)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO d VALUES (1, 'a'), (2, 'b')").ok());
+  // WHERE errors on every row with a live string operand — nothing deleted.
+  auto r = db_.Execute("DELETE FROM d WHERE i + s > 0");
+  ASSERT_FALSE(r.ok());
+  auto count = db_.Execute("SELECT COUNT(*) FROM d");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie().rows[0][0].AsInt(), 2);
+}
+
+// --- A SELECT whose expression errors fails the query instead of returning
+// a silently truncated row set. ----------------------------------------------
+
+TEST_F(DivergenceCorpusTest, SelectSurfacesMidStreamEvalError) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE m (i INT, s STRING)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO m VALUES (1, NULL), (2, 'boom')").ok());
+  // Row 1 masks the string with NULL; row 2 errors. The whole query fails.
+  auto r = db_.Execute("SELECT i + s FROM m");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace aidb

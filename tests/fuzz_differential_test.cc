@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exec/database.h"
+#include "testing/differential.h"
+#include "testing/reference_eval.h"
+#include "testing/sql_gen.h"
+
+namespace aidb {
+namespace {
+
+/// Scales the fixed default workload counts: CI sets AIDB_FUZZ_WORKLOADS to
+/// run more, a developer can set it low for a quick smoke run. The seed
+/// ranges are fixed either way — runs are reproducible, never wall-clock
+/// dependent.
+size_t ScaledCount(size_t dflt) {
+  const char* env = std::getenv("AIDB_FUZZ_WORKLOADS");
+  if (env == nullptr) return dflt;
+  long total = std::atol(env);
+  if (total <= 0) return dflt;
+  // The env var names the total workload budget across the three suites
+  // (default 520 = 300 + 140 + 80); scale each suite proportionally.
+  return std::max<size_t>(1, dflt * static_cast<size_t>(total) / 520);
+}
+
+// ---------------------------------------------------------------------------
+// Leg 4: in-process reference evaluator vs the engine, over random constant
+// scalar expressions. Pins three-valued logic, NULL-before-type-check,
+// checked INT64 arithmetic and DOUBLE division semantics.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDifferential, ScalarExpressionOracle) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE dual (one INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO dual VALUES (1)").ok());
+
+  const size_t kSeeds = ScaledCount(300);
+  size_t errors_seen = 0, values_seen = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    testing::WorkloadGenerator gen(seed);
+    for (int tree = 0; tree < 4; ++tree) {
+      auto expr = gen.GenConstExpr(4);
+      std::string sql = "SELECT " + expr->ToString() + " FROM dual";
+      SCOPED_TRACE("seed " + std::to_string(seed) + ": " + sql);
+
+      Result<Value> expected = testing::ReferenceEval(*expr);
+      Result<QueryResult> got = db.Execute(sql);
+      if (!expected.ok()) {
+        ++errors_seen;
+        EXPECT_FALSE(got.ok())
+            << "engine returned a value where the reference errors with: "
+            << expected.status().ToString();
+        continue;
+      }
+      ++values_seen;
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got.ValueOrDie().rows.size(), 1u);
+      ASSERT_EQ(got.ValueOrDie().rows[0].size(), 1u);
+      const Value& engine = got.ValueOrDie().rows[0][0];
+      const Value& ref = expected.ValueOrDie();
+      EXPECT_EQ(engine.type(), ref.type());
+      EXPECT_EQ(engine.ToString(), ref.ToString());
+    }
+  }
+  // The generator must actually exercise both outcomes, or the oracle is
+  // vacuous.
+  EXPECT_GT(errors_seen, 0u);
+  EXPECT_GT(values_seen, errors_seen);
+}
+
+// ---------------------------------------------------------------------------
+// Legs 1 + 2: every workload executed serially (dop=1) and morsel-parallel
+// (dop=8) must produce byte-identical per-statement digests — including
+// which statements fail and with what error.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDifferential, SerialVsParallelWorkloads) {
+  const size_t kWorkloads = ScaledCount(140);
+  for (uint64_t seed = 1; seed <= kWorkloads; ++seed) {
+    testing::WorkloadGenerator gen(seed * 7919);
+    std::vector<std::string> workload = gen.Generate();
+    testing::WorkloadTrace serial = testing::RunWorkload(workload, 1);
+    testing::WorkloadTrace parallel = testing::RunWorkload(workload, 8);
+    testing::Divergence d = testing::CompareTraces(
+        workload, serial, parallel, "serial-vs-parallel(seed=" +
+                                        std::to_string(seed * 7919) + ")");
+    ASSERT_FALSE(d.diverged) << d.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg 3: the same workloads executed durably, crashed at a seed-chosen WAL /
+// snapshot injection point, recovered, and replayed must converge to the
+// serial trace — recovery may not lose, duplicate or half-apply a statement.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDifferential, CrashRecoveryWorkloads) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "aidb_fuzz_crash").string();
+  const size_t kWorkloads = ScaledCount(80);
+  for (uint64_t seed = 1; seed <= kWorkloads; ++seed) {
+    testing::WorkloadGenerator gen(seed * 104729);
+    std::vector<std::string> workload = gen.Generate();
+    testing::WorkloadTrace serial = testing::RunWorkload(workload, 1);
+
+    // Uncrashed durable pass: checks durable-vs-serial digest equality and
+    // counts the workload's injection points.
+    uint64_t total_points = 0;
+    testing::CrashLegOptions opts;
+    opts.fault_seed = seed;
+    testing::Divergence d = testing::RunCrashRecoveryLeg(
+        workload, serial, dir, opts, &total_points);
+    ASSERT_FALSE(d.diverged) << d.detail;
+    ASSERT_GT(total_points, 0u);
+
+    // Crash pass: a deterministic, seed-chosen point and damage kind.
+    opts.crash_point = 1 + (seed * 2654435761u) % total_points;
+    static const storage::FaultKind kKinds[] = {
+        storage::FaultKind::kTornWrite, storage::FaultKind::kDroppedFsync,
+        storage::FaultKind::kCorruptByte, storage::FaultKind::kCleanCrash};
+    opts.kind = kKinds[seed % 4];
+    opts.fault_seed = seed + 1000;
+    d = testing::RunCrashRecoveryLeg(workload, serial, dir, opts, nullptr);
+    ASSERT_FALSE(d.diverged) << "crash point " << opts.crash_point << "/"
+                             << total_points << " kind "
+                             << storage::FaultKindName(opts.kind) << "\n"
+                             << d.detail;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace aidb

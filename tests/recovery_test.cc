@@ -18,7 +18,12 @@ namespace {
 class RecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "aidb_recovery_test").string();
+    // Per-test directory: ctest schedules discovered cases concurrently, and
+    // a shared directory makes SetUp's remove_all race a sibling's open DB.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("aidb_recovery_test_") + info->name()))
+               .string();
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -43,6 +43,58 @@ TEST(LockManagerTest, ReleaseAllFreesKeys) {
   EXPECT_TRUE(lm.TryLock(2, 1, LockMode::kExclusive));
 }
 
+TEST(LockManagerTest, RefusedUpgradeLeavesSharedStateIntact) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryLock(1, 5, LockMode::kShared));
+  EXPECT_TRUE(lm.TryLock(2, 5, LockMode::kShared));
+  // The refused upgrade must not eject either shared holder or leave a
+  // half-installed exclusive claim behind.
+  EXPECT_FALSE(lm.TryLock(1, 5, LockMode::kExclusive));
+  EXPECT_TRUE(lm.TryLock(3, 5, LockMode::kShared));   // still share-compatible
+  EXPECT_FALSE(lm.TryLock(4, 5, LockMode::kExclusive));
+  // Once the other holders drain, the original txn can upgrade after all.
+  lm.ReleaseAll(2);
+  lm.ReleaseAll(3);
+  EXPECT_TRUE(lm.TryLock(1, 5, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeKeepsHeldBookkeepingConsistent) {
+  LockManager lm;
+  // The S→X upgrade path flips table_ state in place without re-recording
+  // the key in held_; ReleaseAll must still fully free the exclusive lock.
+  EXPECT_TRUE(lm.TryLock(1, 9, LockMode::kShared));
+  EXPECT_TRUE(lm.TryLock(1, 9, LockMode::kShared));  // re-entrant S: no dup
+  EXPECT_TRUE(lm.TryLock(1, 9, LockMode::kExclusive));
+  EXPECT_EQ(lm.NumLockedKeys(), 1u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumLockedKeys(), 0u);
+  EXPECT_TRUE(lm.TryLock(2, 9, LockMode::kExclusive));
+  // Releasing a txn that holds nothing (or again) is a no-op.
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(7);
+  EXPECT_EQ(lm.NumLockedKeys(), 1u);
+}
+
+TEST(LockManagerTest, ReleaseDowngradedSharedHolderFreesKey) {
+  LockManager lm;
+  // An X holder re-requesting S is absorbed ("X implies S"); release must
+  // clear the exclusive claim even though no shared entry was added.
+  EXPECT_TRUE(lm.TryLock(1, 3, LockMode::kExclusive));
+  EXPECT_TRUE(lm.TryLock(1, 3, LockMode::kShared));
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumLockedKeys(), 0u);
+  EXPECT_TRUE(lm.TryLock(2, 3, LockMode::kShared));
+  EXPECT_TRUE(lm.TryLock(3, 3, LockMode::kShared));
+}
+
+TEST(LockManagerTest, TxnIdZeroIsReservedSentinel) {
+  // TxnId 0 aliases the lock table's "no exclusive holder" encoding
+  // (see txn/types.h); acquiring with it asserts in debug builds.
+  LockManager lm;
+  EXPECT_DEBUG_DEATH(lm.TryLock(kInvalidTxnId, 1, LockMode::kExclusive),
+                     "reserved no-txn sentinel");
+}
+
 TEST(LockManagerTest, WouldGrantAll) {
   LockManager lm;
   EXPECT_TRUE(lm.TryLock(1, 7, LockMode::kExclusive));

@@ -193,7 +193,10 @@ TEST(WalCodec, DecodeRejectsTruncatedPayloads) {
 class WalFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "aidb_wal_serde_test";
+    // Per-test directory: a shared one races sibling cases under ctest -j.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("aidb_wal_serde_test_") + info->name());
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     path_ = (dir_ / "wal.log").string();
