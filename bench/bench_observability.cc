@@ -1,0 +1,185 @@
+// E-OBS: cost of engine-wide telemetry.
+//
+// Claim under test (ISSUE 4 / DESIGN.md §9): observability must be close to
+// free when idle. With tracing OFF the only executor-side cost is one
+// predicted branch per operator call plus the per-statement metric/log
+// writes, so Database::Execute should stay within 2% of a bare
+// parse+plan+execute loop with no telemetry at all. The process aborts if
+// the measured median overhead exceeds that bound, and the tracing-on
+// latency distribution (p50/p95/p99) is reported next to tracing-off so the
+// price of EXPLAIN ANALYZE-grade tracing is visible in BENCH_observability.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "exec/database.h"
+#include "sql/parser.h"
+
+namespace {
+
+using aidb::Database;
+using aidb::Rng;
+using aidb::Schema;
+using aidb::Table;
+using aidb::Timer;
+using aidb::Tuple;
+using aidb::Value;
+using aidb::ValueType;
+
+constexpr size_t kRows = 100'000;
+const char* kQuery = "SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp";
+
+Database* GlobalDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    Schema schema({{"id", ValueType::kInt},
+                   {"grp", ValueType::kInt},
+                   {"val", ValueType::kDouble}});
+    Table* t = std::move(d->catalog().CreateTable("t", schema)).ValueOrDie();
+    Rng rng(42);
+    for (size_t i = 0; i < kRows; ++i) {
+      Tuple row;
+      row.push_back(Value(static_cast<int64_t>(i)));
+      row.push_back(Value(rng.UniformInt(0, 63)));
+      row.push_back(Value(rng.UniformDouble(0.0, 1000.0)));
+      (void)t->Insert(std::move(row)).ValueOrDie();
+    }
+    (void)d->Execute("ANALYZE t");
+    return d;
+  }();
+  return db;
+}
+
+/// One statement through the full engine path but with zero telemetry: no
+/// metrics, no query log, no trace branch state — the pre-observability
+/// executive loop this PR's instrumentation is measured against.
+double RunBareOnce(Database* db) {
+  Timer t;
+  auto stmt = aidb::sql::Parser::Parse(kQuery);
+  auto& select =
+      static_cast<aidb::sql::SelectStatement&>(*stmt.ValueOrDie());
+  auto plan = db->PlanQuery(select);
+  auto& p = plan.ValueOrDie();
+  p.root->Open();
+  Tuple row;
+  size_t n = 0;
+  while (p.root->Next(&row)) ++n;
+  p.root->Close();
+  benchmark::DoNotOptimize(n);
+  return t.ElapsedMicros();
+}
+
+double RunExecuteOnce(Database* db) {
+  Timer t;
+  auto r = db->Execute(kQuery);
+  benchmark::DoNotOptimize(r);
+  return t.ElapsedMicros();
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Median-of-trials overhead check: telemetry-on (tracing still off) vs the
+/// bare loop. Runs once at process start so a regression fails the bench job
+/// loudly instead of hiding in a JSON field.
+void AssertTracingOffOverhead() {
+  Database* db = GlobalDb();
+  db->EnableTracing(false);
+  constexpr int kTrials = 9;
+  constexpr int kStatementsPerTrial = 30;
+  // Warm-up: fault in lazily-built state on both paths.
+  for (int i = 0; i < 5; ++i) {
+    RunBareOnce(db);
+    RunExecuteOnce(db);
+  }
+  std::vector<double> bare, execute;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double sum = 0.0;
+    for (int i = 0; i < kStatementsPerTrial; ++i) sum += RunBareOnce(db);
+    bare.push_back(sum);
+    sum = 0.0;
+    for (int i = 0; i < kStatementsPerTrial; ++i) sum += RunExecuteOnce(db);
+    execute.push_back(sum);
+  }
+  double overhead = Median(execute) / Median(bare) - 1.0;
+  std::fprintf(stderr,
+               "telemetry overhead (tracing off): %.3f%% (bare=%.0fus "
+               "execute=%.0fus per %d statements)\n",
+               overhead * 100.0, Median(bare), Median(execute),
+               kStatementsPerTrial);
+  if (overhead >= 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: tracing-off telemetry overhead %.3f%% >= 2%%\n",
+                 overhead * 100.0);
+    std::exit(1);
+  }
+}
+
+/// Latency distribution of Database::Execute, tracing on or off. Percentiles
+/// are computed over the per-iteration latencies and exported as counters so
+/// BENCH_observability.json carries p50/p95/p99 for both modes.
+void BM_Execute(benchmark::State& state, bool tracing) {
+  Database* db = GlobalDb();
+  db->EnableTracing(tracing);
+  std::vector<double> lat;
+  for (auto _ : state) lat.push_back(RunExecuteOnce(db));
+  db->EnableTracing(false);
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&](double p) {
+    return lat[std::min(lat.size() - 1,
+                        static_cast<size_t>(p * static_cast<double>(lat.size())))];
+  };
+  state.counters["p50_us"] = pct(0.50);
+  state.counters["p95_us"] = pct(0.95);
+  state.counters["p99_us"] = pct(0.99);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
+}
+
+void BM_ExecuteTracingOff(benchmark::State& state) { BM_Execute(state, false); }
+void BM_ExecuteTracingOn(benchmark::State& state) { BM_Execute(state, true); }
+BENCHMARK(BM_ExecuteTracingOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExecuteTracingOn)->Unit(benchmark::kMillisecond);
+
+/// EXPLAIN ANALYZE end to end (trace build + render included).
+void BM_ExplainAnalyze(benchmark::State& state) {
+  Database* db = GlobalDb();
+  std::string sql = std::string("EXPLAIN ANALYZE ") + kQuery;
+  for (auto _ : state) {
+    auto r = db->Execute(sql);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExplainAnalyze)->Unit(benchmark::kMillisecond);
+
+/// System-view refresh + scan: the dashboard query of the quickstart.
+void BM_QueryLogView(benchmark::State& state) {
+  Database* db = GlobalDb();
+  for (auto _ : state) {
+    auto r = db->Execute(
+        "SELECT sql, latency_us FROM aidb_query_log "
+        "ORDER BY latency_us DESC LIMIT 5");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_QueryLogView)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AssertTracingOffOverhead();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,9 @@ namespace aidb {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name)) return Status::AlreadyExists("table " + name);
+  if (system_views_.count(name)) {
+    return Status::AlreadyExists("system view " + name);
+  }
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* ptr = table.get();
   tables_[name] = std::move(table);
@@ -14,8 +17,10 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("table " + name);
-  return it->second.get();
+  if (it != tables_.end()) return it->second.get();
+  auto vit = system_views_.find(name);
+  if (vit != system_views_.end()) return vit->second.table.get();
+  return Status::NotFound("table " + name);
 }
 
 Status Catalog::DropTable(const std::string& name) {
@@ -137,6 +142,46 @@ const ColumnStats* Catalog::GetStats(const std::string& table,
                                      const std::string& column) const {
   auto it = stats_.find(table + "." + column);
   return it == stats_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::RegisterSystemView(const std::string& name, Schema schema,
+                                   SystemViewProvider provider) {
+  if (tables_.count(name) || system_views_.count(name)) {
+    return Status::AlreadyExists("table " + name);
+  }
+  SystemView sv;
+  sv.table = std::make_unique<Table>(name, std::move(schema));
+  sv.provider = std::move(provider);
+  system_views_[name] = std::move(sv);
+  return Status::OK();
+}
+
+bool Catalog::IsSystemView(const std::string& name) const {
+  return system_views_.count(name) > 0;
+}
+
+Status Catalog::RefreshSystemView(const std::string& name) {
+  auto it = system_views_.find(name);
+  if (it == system_views_.end()) return Status::NotFound("system view " + name);
+  SystemView& sv = it->second;
+  // Rebuild from scratch: a fresh Table keeps the slot range dense (deleting
+  // rows in place would grow tombstones without bound across refreshes).
+  Schema schema = sv.table->schema();
+  sv.table = std::make_unique<Table>(name, std::move(schema));
+  Status err;
+  sv.provider([&](Tuple row) {
+    if (!err.ok()) return;
+    err = sv.table->Insert(std::move(row)).status();
+  });
+  return err;
+}
+
+std::vector<std::string> Catalog::SystemViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(system_views_.size());
+  for (const auto& [n, v] : system_views_) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 void Catalog::OnInsert(const std::string& table, RowId id, const Tuple& row) {

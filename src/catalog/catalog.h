@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -61,15 +62,50 @@ class Catalog {
   void OnInsert(const std::string& table, RowId id, const Tuple& row);
   void OnDelete(const std::string& table, RowId id, const Tuple& row);
 
+  // --- System views ----------------------------------------------------------
+  //
+  // Read-only virtual tables (aidb_metrics, aidb_query_log, aidb_trace, ...)
+  // served through the normal scan path. They live OUTSIDE tables_ on
+  // purpose: TableNames()/snapshots/state digests never see them, so views
+  // whose contents depend on wall clock or execution history can never leak
+  // into the durability format or the differential oracle's digests.
+
+  /// Emits the view's current rows through `emit` (called on refresh).
+  using SystemViewProvider = std::function<void(const std::function<void(Tuple)>&)>;
+
+  /// Registers a virtual table. The provider is invoked by RefreshSystemView
+  /// to rebuild the backing rows; GetTable() resolves the name like a real
+  /// table (CreateTable rejects names already taken by a view).
+  Status RegisterSystemView(const std::string& name, Schema schema,
+                            SystemViewProvider provider);
+  bool IsSystemView(const std::string& name) const;
+  /// Rebuilds the view's materialized rows from its provider. Call once per
+  /// statement before planning so the backing Table* stays stable while the
+  /// plan executes.
+  Status RefreshSystemView(const std::string& name);
+  /// Registered view names, sorted.
+  std::vector<std::string> SystemViewNames() const;
+
+  /// Estimated-vs-actual scan cardinality feedback (see CardinalityFeedback).
+  CardinalityFeedback& feedback() { return feedback_; }
+  const CardinalityFeedback& feedback() const { return feedback_; }
+
  private:
   static int64_t BtreeKey(const Value& v) {
     return v.type() == ValueType::kInt ? v.AsInt()
                                        : static_cast<int64_t>(v.AsDouble());
   }
 
+  struct SystemView {
+    std::unique_ptr<Table> table;  ///< materialization cache
+    SystemViewProvider provider;
+  };
+
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::unique_ptr<IndexInfo>> indexes_;
   std::unordered_map<std::string, ColumnStats> stats_;  // "table.column"
+  std::unordered_map<std::string, SystemView> system_views_;
+  CardinalityFeedback feedback_;
 };
 
 }  // namespace aidb

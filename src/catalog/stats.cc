@@ -74,4 +74,45 @@ double Histogram::EstimateRange(double lo, double hi) const {
   return std::clamp(p, 0.0, 1.0);
 }
 
+
+void CardinalityFeedback::Record(const std::string& table, double estimated,
+                                 double actual) {
+  if (estimated < 0.0 || actual < 0.0) return;
+  // +1 smoothing keeps empty-table observations finite; the clamp bounds the
+  // damage a single wild misestimate (or a LIMIT-truncated scan) can do.
+  double ratio = std::clamp((actual + 1.0) / (estimated + 1.0), 0.01, 100.0);
+  constexpr double kAlpha = 0.3;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = map_[table];
+  e.correction = e.samples == 0
+                     ? ratio
+                     : (1.0 - kAlpha) * e.correction + kAlpha * ratio;
+  ++e.samples;
+  e.last_est = estimated;
+  e.last_actual = actual;
+}
+
+double CardinalityFeedback::Correction(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(table);
+  return it == map_.end() ? 1.0 : it->second.correction;
+}
+
+std::vector<std::pair<std::string, CardinalityFeedback::Entry>>
+CardinalityFeedback::Entries() const {
+  std::vector<std::pair<std::string, Entry>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(map_.begin(), map_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+size_t CardinalityFeedback::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
 }  // namespace aidb

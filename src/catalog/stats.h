@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "storage/value.h"
@@ -46,6 +49,40 @@ class Histogram {
 struct ColumnStats {
   Histogram histogram;
   size_t num_nulls = 0;
+};
+
+/// \brief Estimated-vs-actual cardinality feedback, keyed by base table.
+///
+/// After every executed SELECT the engine records, per scanned relation, the
+/// planner's estimated output rows against the true rows the scan chain
+/// produced. The correction factor is an EWMA of actual/estimated ratios and
+/// is consumed by the planner when `PlannerOptions::use_card_feedback` is on,
+/// closing the loop the AI4DB monitoring stack observes through
+/// `aidb_query_log`. Thread-safe (recording happens on executor threads).
+class CardinalityFeedback {
+ public:
+  struct Entry {
+    uint64_t samples = 0;
+    double correction = 1.0;  ///< EWMA of (actual+1)/(estimated+1), clamped
+    double last_est = 0.0;
+    double last_actual = 0.0;
+  };
+
+  /// Folds one (estimated, actual) observation into the table's correction.
+  void Record(const std::string& table, double estimated, double actual);
+
+  /// Multiplicative correction for the table's scan estimates (1.0 when no
+  /// feedback has been recorded).
+  double Correction(const std::string& table) const;
+
+  /// All (table, entry) pairs sorted by table name.
+  std::vector<std::pair<std::string, Entry>> Entries() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
 };
 
 }  // namespace aidb

@@ -22,6 +22,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (tasks_metric_) tasks_metric_->Add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
@@ -37,6 +38,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  if (parallel_fors_metric_) parallel_fors_metric_->Add();
   // Completion is tracked per call, never via the pool-global in_flight_
   // counter: waiting on Wait() here would block on unrelated tasks from
   // concurrent callers, and a nested call from a worker thread would wait

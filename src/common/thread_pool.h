@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "monitor/metrics.h"
+
 namespace aidb {
 
 /// \brief Fixed-size worker pool used by parallel model training and
@@ -27,6 +29,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Meters Submit (pool.tasks) and ParallelFor (pool.parallel_fors) into the
+  /// engine registry; null (the default) disables. Pointers are cached, so
+  /// the registry must outlive the pool.
+  void set_metrics(monitor::MetricsRegistry* metrics) {
+    tasks_metric_ = metrics ? metrics->GetCounter("pool.tasks") : nullptr;
+    parallel_fors_metric_ =
+        metrics ? metrics->GetCounter("pool.parallel_fors") : nullptr;
+  }
+
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
   /// Completion is scoped to this call (not the pool-global queue), so
   /// concurrent ParallelFor calls don't block on each other's tasks, and a
@@ -45,6 +56,8 @@ class ThreadPool {
   std::condition_variable done_cv_;
   size_t in_flight_ = 0;
   bool stop_ = false;
+  monitor::Counter* tasks_metric_ = nullptr;
+  monitor::Counter* parallel_fors_metric_ = nullptr;
 };
 
 /// \brief Completion tracking for one batch of tasks on a shared ThreadPool.

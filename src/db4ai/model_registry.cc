@@ -3,6 +3,8 @@
 #include <functional>
 #include <memory>
 
+#include "common/timer.h"
+
 #include "ml/linear.h"
 #include "ml/mlp.h"
 #include "ml/tree.h"
@@ -240,6 +242,7 @@ Result<ml::Dataset> ModelRegistry::ExtractDataset(
 
 Status ModelRegistry::Train(const Catalog& catalog,
                             const sql::CreateModelStatement& stmt) {
+  Timer train_timer;
   ml::Dataset data;
   AIDB_ASSIGN_OR_RETURN(
       data, ExtractDataset(catalog, stmt.table, stmt.target, stmt.features));
@@ -313,6 +316,8 @@ Status ModelRegistry::Train(const Catalog& catalog,
   auto it = models_.find(stmt.model);
   if (it != models_.end()) entry.info.version = it->second.info.version + 1;
   models_[stmt.model] = std::move(entry);
+  if (trained_metric_) trained_metric_->Add();
+  if (train_us_metric_) train_us_metric_->Observe(train_timer.ElapsedMicros());
   return Status::OK();
 }
 

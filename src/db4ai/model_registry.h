@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "exec/expr.h"
 #include "ml/dataset.h"
+#include "monitor/metrics.h"
 #include "sql/ast.h"
 #include "storage/serde.h"
 
@@ -72,6 +73,15 @@ class ModelRegistry : public exec::ModelResolver {
   /// through the same decode path Train() uses.
   Status Restore(const SerializedModel& m);
 
+  /// Meters training (models.trained counter, models.train_us histogram) into
+  /// the engine registry; null (the default) disables. Pointers are cached, so
+  /// the registry must outlive this object.
+  void set_metrics(monitor::MetricsRegistry* metrics) {
+    trained_metric_ = metrics ? metrics->GetCounter("models.trained") : nullptr;
+    train_us_metric_ =
+        metrics ? metrics->GetHistogram("models.train_us") : nullptr;
+  }
+
   /// Extracts a supervised dataset (numeric features + target) from a table.
   static Result<ml::Dataset> ExtractDataset(const Catalog& catalog,
                                             const std::string& table,
@@ -85,6 +95,8 @@ class ModelRegistry : public exec::ModelResolver {
     std::string blob;  ///< serialized parameters; empty for external models
   };
   std::map<std::string, Entry> models_;
+  monitor::Counter* trained_metric_ = nullptr;
+  monitor::LatencyHistogram* train_us_metric_ = nullptr;
 };
 
 }  // namespace aidb::db4ai

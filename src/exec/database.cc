@@ -1,7 +1,9 @@
 #include "exec/database.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <sstream>
 
 #include "common/timer.h"
@@ -9,6 +11,122 @@
 #include "storage/snapshot.h"
 
 namespace aidb {
+
+namespace {
+
+/// Query-log `kind` strings (lowercase statement class).
+std::string StatementKindName(const sql::Statement& stmt) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect: {
+      const auto& s = static_cast<const sql::SelectStatement&>(stmt);
+      if (s.explain_analyze) return "explain_analyze";
+      if (s.explain) return "explain";
+      return "select";
+    }
+    case sql::StatementKind::kCreateTable: return "create_table";
+    case sql::StatementKind::kDropTable: return "drop_table";
+    case sql::StatementKind::kCreateIndex: return "create_index";
+    case sql::StatementKind::kDropIndex: return "drop_index";
+    case sql::StatementKind::kInsert: return "insert";
+    case sql::StatementKind::kUpdate: return "update";
+    case sql::StatementKind::kDelete: return "delete";
+    case sql::StatementKind::kAnalyze: return "analyze";
+    case sql::StatementKind::kCreateModel: return "create_model";
+    case sql::StatementKind::kShowModels: return "show_models";
+  }
+  return "unknown";
+}
+
+std::string HexDigest(uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace
+
+Database::Database() : planner_(&catalog_, &models_) {
+  RegisterSystemViews();
+  models_.set_metrics(&metrics_);
+}
+
+void Database::RegisterSystemViews() {
+  using VF = std::function<void(Tuple)>;
+
+  Schema metrics_schema({{"name", ValueType::kString},
+                         {"kind", ValueType::kString},
+                         {"value", ValueType::kDouble}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_metrics", std::move(metrics_schema), [this](const VF& emit) {
+        for (const auto& m : metrics_.Snapshot()) {
+          emit({Value(m.name), Value(m.kind), Value(m.value)});
+        }
+      });
+
+  Schema log_schema({{"id", ValueType::kInt},
+                     {"sql", ValueType::kString},
+                     {"kind", ValueType::kString},
+                     {"status", ValueType::kString},
+                     {"rows", ValueType::kInt},
+                     {"affected", ValueType::kInt},
+                     {"work", ValueType::kInt},
+                     {"latency_us", ValueType::kInt},
+                     {"operators", ValueType::kInt},
+                     {"joins", ValueType::kInt},
+                     {"plan_digest", ValueType::kString},
+                     {"dop", ValueType::kInt}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_query_log", std::move(log_schema), [this](const VF& emit) {
+        for (const auto& e : query_log_.Entries()) {
+          emit({Value(static_cast<int64_t>(e.id)), Value(e.sql), Value(e.kind),
+                Value(e.ok ? std::string("ok") : e.error),
+                Value(static_cast<int64_t>(e.rows_returned)),
+                Value(static_cast<int64_t>(e.affected_rows)),
+                Value(static_cast<int64_t>(e.work)),
+                Value(static_cast<int64_t>(e.latency_us)),
+                Value(static_cast<int64_t>(e.num_operators)),
+                Value(static_cast<int64_t>(e.num_joins)),
+                Value(HexDigest(e.plan_digest)),
+                Value(static_cast<int64_t>(e.dop))});
+        }
+      });
+
+  Schema trace_schema({{"node", ValueType::kInt},
+                       {"parent", ValueType::kInt},
+                       {"depth", ValueType::kInt},
+                       {"operator", ValueType::kString},
+                       {"est_rows", ValueType::kDouble},
+                       {"rows", ValueType::kInt},
+                       {"batches", ValueType::kInt},
+                       {"time_us", ValueType::kDouble},
+                       {"workers", ValueType::kString}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_trace", std::move(trace_schema), [this](const VF& emit) {
+        if (!has_trace_) return;
+        for (const auto& r : exec::FlattenTrace(last_trace_)) {
+          emit({Value(r.node), Value(r.parent), Value(r.depth), Value(r.op),
+                Value(r.est_rows), Value(r.rows), Value(r.batches),
+                Value(r.time_us), Value(r.workers)});
+        }
+      });
+}
+
+Status Database::RefreshReferencedSystemViews(const sql::Statement& stmt) {
+  if (stmt.kind() != sql::StatementKind::kSelect) return Status::OK();
+  const auto& s = static_cast<const sql::SelectStatement&>(stmt);
+  auto refresh = [this](const std::string& table) -> Status {
+    if (!catalog_.IsSystemView(table)) return Status::OK();
+    return catalog_.RefreshSystemView(table);
+  };
+  for (const auto& ref : s.from) AIDB_RETURN_NOT_OK(refresh(ref.table));
+  for (const auto& j : s.joins) AIDB_RETURN_NOT_OK(refresh(j.table.table));
+  return Status::OK();
+}
+
+std::string Database::LastTraceJson() const {
+  return has_trace_ ? exec::TraceToJson(last_trace_) : std::string();
+}
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::ostringstream os;
@@ -44,6 +162,7 @@ void Database::SetDop(size_t dop) {
   // too (workers beyond dop simply never get tasks).
   if (!exec_pool_ || exec_pool_->num_threads() < dop) {
     exec_pool_ = std::make_unique<ThreadPool>(dop);
+    exec_pool_->set_metrics(&metrics_);
   }
   planner_options_.dop = dop;
   planner_options_.exec_pool = exec_pool_.get();
@@ -62,6 +181,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   wopts.flush_interval = opts.wal_flush_interval;
   wopts.sync = opts.sync;
   wopts.fault = opts.fault;
+  wopts.metrics = &db->metrics_;
   AIDB_ASSIGN_OR_RETURN(db->wal_,
                         storage::WalWriter::Open(dir + "/wal.log",
                                                  db->recovery_stats_.next_lsn, wopts));
@@ -135,7 +255,57 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
   std::unique_ptr<sql::Statement> stmt;
   AIDB_ASSIGN_OR_RETURN(stmt, sql::Parser::Parse(sql));
 
+  last_plan_info_ = {};
+  AIDB_RETURN_NOT_OK(RefreshReferencedSystemViews(*stmt));
+
   QueryResult result;
+  Status status = ExecuteStatement(*stmt, &result);
+  double latency_us = timer.ElapsedMicros();
+  result.elapsed_ms = deterministic_timing_ ? 0.0 : timer.ElapsedMillis();
+
+  // Engine-wide telemetry: every statement is metered and logged, including
+  // failures (the monitors train on error rates too).
+  std::string kind = StatementKindName(*stmt);
+  metrics_.GetCounter("exec.queries")->Add();
+  metrics_.GetCounter("exec.stmt." + kind)->Add();
+  if (!status.ok()) metrics_.GetCounter("exec.errors")->Add();
+  metrics_.GetHistogram("exec.query_latency_us")->Observe(latency_us);
+  if (stmt->kind() == sql::StatementKind::kSelect) {
+    metrics_.GetCounter("exec.select_rows")->Add(result.rows.size());
+  }
+
+  monitor::QueryLogEntry entry;
+  entry.sql = sql;
+  entry.kind = std::move(kind);
+  entry.ok = status.ok();
+  if (!status.ok()) entry.error = status.ToString();
+  entry.rows_returned = result.rows.size();
+  entry.affected_rows = result.affected_rows;
+  entry.work = result.operator_work;
+  entry.latency_us = deterministic_timing_ ? 0.0 : latency_us;
+  entry.ts_us = deterministic_timing_ ? 0.0 : uptime_.ElapsedMicros();
+  entry.plan_digest = last_plan_info_.plan_digest;
+  entry.num_operators = last_plan_info_.num_operators;
+  entry.num_joins = last_plan_info_.num_joins;
+  entry.dop = static_cast<uint32_t>(planner_options_.dop);
+  query_log_.Append(std::move(entry));
+
+  if (!status.ok()) return status;
+  return result;
+}
+
+Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
+                                  QueryResult* result_out) {
+  QueryResult& result = *result_out;
+  const sql::Statement* stmt = &stmt_ref;
+  // System views are read-only projections of engine state: a write (or an
+  // index) against one would be silently wiped by the next refresh.
+  auto reject_system_view = [&](const std::string& table) -> Status {
+    if (catalog_.IsSystemView(table)) {
+      return Status::InvalidArgument("system view " + table + " is read-only");
+    }
+    return Status::OK();
+  };
   switch (stmt->kind()) {
     case sql::StatementKind::kSelect: {
       AIDB_ASSIGN_OR_RETURN(
@@ -160,6 +330,7 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     }
     case sql::StatementKind::kCreateIndex: {
       auto& s = static_cast<const sql::CreateIndexStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(reject_system_view(s.table));
       AIDB_RETURN_NOT_OK(
           catalog_.CreateIndex(s.index, s.table, s.column, s.is_btree).status());
       AIDB_RETURN_NOT_OK(LogTxn(
@@ -178,6 +349,7 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     }
     case sql::StatementKind::kInsert: {
       auto& s = static_cast<const sql::InsertStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(reject_system_view(s.table));
       Table* table = nullptr;
       AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
       // Statement atomicity: validate every row before touching the table so
@@ -203,6 +375,7 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     }
     case sql::StatementKind::kUpdate: {
       auto& s = static_cast<const sql::UpdateStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(reject_system_view(s.table));
       Table* table = nullptr;
       AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
       // Bind against the table schema.
@@ -272,6 +445,7 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     }
     case sql::StatementKind::kDelete: {
       auto& s = static_cast<const sql::DeleteStatement&>(*stmt);
+      AIDB_RETURN_NOT_OK(reject_system_view(s.table));
       Table* table = nullptr;
       AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
       std::vector<exec::OutputCol> schema;
@@ -344,27 +518,51 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       break;
     }
   }
-  result.elapsed_ms = timer.ElapsedMillis();
-  return result;
+  return Status::OK();
 }
 
 Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt) {
   exec::PhysicalPlan plan;
   AIDB_ASSIGN_OR_RETURN(plan, planner_.Plan(stmt, planner_options_));
 
+  last_plan_info_.plan_digest = exec::PlanDigest(*plan.root);
+  last_plan_info_.num_operators = exec::CountOperators(*plan.root);
+  last_plan_info_.num_joins = exec::CountJoins(*plan.root);
+
   QueryResult result;
+  auto join_order_line = [&]() -> std::string {
+    if (!plan.join_plan) return "";
+    return "join order: " + plan.join_plan->ToString(plan.graph) +
+           " (est_cost=" + std::to_string(plan.join_plan->cost) + ")\n";
+  };
+  // EXPLAIN output is real result rows (column "plan", one line per row) so
+  // it composes with the normal result pipeline; `message` keeps carrying the
+  // full text as the back-compat accessor.
+  auto emit_plan_rows = [&](std::string text) {
+    result.columns.assign(1, "plan");
+    result.rows.clear();
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      result.rows.push_back({Value(text.substr(start, end - start))});
+      start = end + 1;
+    }
+    result.message = std::move(text);
+  };
+
+  if (stmt.explain && !stmt.explain_analyze) {
+    emit_plan_rows(plan.root->Describe() + join_order_line());
+    return result;
+  }
+
   for (const auto& col : plan.root->output()) {
     result.columns.push_back(col.table.empty() ? col.name
                                                : col.table + "." + col.name);
   }
-  if (stmt.explain) {
-    result.message = plan.root->Describe();
-    if (plan.join_plan) {
-      result.message += "join order: " + plan.join_plan->ToString(plan.graph) +
-                        " (est_cost=" + std::to_string(plan.join_plan->cost) + ")\n";
-    }
-    return result;
-  }
+
+  bool traced = tracing_ || stmt.explain_analyze;
+  if (traced) plan.root->SetTracing(true);
 
   plan.root->Open();
   Tuple row;
@@ -374,7 +572,31 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt) {
   // overflow); surface it instead of returning a silently truncated result.
   AIDB_RETURN_NOT_OK(plan.root->FirstError());
   result.operator_work = plan.root->TotalWork();
-  total_work_ += result.operator_work;
+  total_work_.fetch_add(result.operator_work, std::memory_order_relaxed);
+
+  // Close the loop: record estimated-vs-true scan cardinalities into the
+  // catalog's feedback store. LIMIT plans are skipped — their early exit
+  // truncates the actual counts.
+  if (stmt.limit < 0) {
+    std::function<void(const exec::Operator&)> record =
+        [&](const exec::Operator& op) {
+          if (!op.feedback_table().empty() && op.est_rows() >= 0) {
+            catalog_.feedback().Record(op.feedback_table(), op.est_rows(),
+                                       static_cast<double>(op.rows_produced()));
+          }
+          for (const auto& c : op.children()) record(*c);
+        };
+    record(*plan.root);
+  }
+
+  if (traced) {
+    last_trace_ = exec::BuildTrace(*plan.root, deterministic_timing_);
+    has_trace_ = true;
+  }
+
+  if (stmt.explain_analyze) {
+    emit_plan_rows(exec::RenderTraceText(last_trace_) + join_order_line());
+  }
   return result;
 }
 

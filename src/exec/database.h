@@ -4,11 +4,17 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "db4ai/model_registry.h"
 #include "exec/planner.h"
+#include "exec/trace.h"
+#include "monitor/metrics.h"
+#include "monitor/query_log.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
 #include "txn/types.h"
@@ -43,9 +49,12 @@ struct DurabilityStats {
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<Tuple> rows;
-  std::string message;       ///< DDL/DML acknowledgment or EXPLAIN text
+  /// DDL/DML acknowledgment. For EXPLAIN / EXPLAIN ANALYZE this additionally
+  /// carries the full plan/trace text (back-compat accessor — the same text
+  /// is returned as proper result rows, one line per row, column "plan").
+  std::string message;
   size_t affected_rows = 0;  ///< INSERT/UPDATE/DELETE
-  double elapsed_ms = 0.0;
+  double elapsed_ms = 0.0;   ///< wall clock; 0 in deterministic-timing mode
   size_t operator_work = 0;  ///< total rows produced across the plan (work proxy)
 
   std::string ToString(size_t max_rows = 20) const;
@@ -57,7 +66,7 @@ struct QueryResult {
 /// components are swapped in through mutable_planner_options().
 class Database {
  public:
-  Database() : planner_(&catalog_, &models_) {}
+  Database();
 
   /// \brief Opens a durable database rooted at directory `dir` (created if
   /// missing): loads the latest valid snapshot, replays committed WAL
@@ -92,7 +101,42 @@ class Database {
 
   /// Cumulative rows produced by all executed plans (cheap work counter the
   /// monitoring stack samples).
-  uint64_t total_work() const { return total_work_; }
+  uint64_t total_work() const {
+    return total_work_.load(std::memory_order_relaxed);
+  }
+
+  // --- Observability surface ------------------------------------------------
+
+  /// Engine-wide metric registry (counters/gauges/latency histograms); also
+  /// served by the `aidb_metrics` system view.
+  monitor::MetricsRegistry& metrics() { return metrics_; }
+  const monitor::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Last-N executed statements; also served by `aidb_query_log`.
+  const monitor::QueryLog& query_log() const { return query_log_; }
+  monitor::QueryLog& mutable_query_log() { return query_log_; }
+
+  /// Per-operator tracing for every statement (EXPLAIN ANALYZE always traces
+  /// its own statement regardless of this switch). Off by default: with
+  /// tracing off the only executor-side cost is one predicted branch per
+  /// operator call.
+  void EnableTracing(bool on) { tracing_ = on; }
+  bool tracing_enabled() const { return tracing_; }
+
+  /// Zeroes every wall-clock observable (QueryResult::elapsed_ms, trace
+  /// time_us, query-log latency/timestamp) so traced runs digest
+  /// byte-identically across executions — the differential oracle runs with
+  /// this on. Deterministic work counters (rows produced) are unaffected.
+  void SetDeterministicTiming(bool on) { deterministic_timing_ = on; }
+  bool deterministic_timing() const { return deterministic_timing_; }
+
+  /// Trace of the most recent traced SELECT (nullptr before any); also
+  /// served by `aidb_trace`.
+  const exec::TraceNode* last_trace() const {
+    return has_trace_ ? &last_trace_ : nullptr;
+  }
+  /// JSON span export of last_trace() ("" before any traced statement).
+  std::string LastTraceJson() const;
 
   /// Executor pool size (0 before any dop > 1). The pool is grow-only: it
   /// never shrinks when dop is lowered (regression-pinned in tests).
@@ -130,7 +174,22 @@ class Database {
   const storage::RecoveryStats& last_recovery() const { return recovery_stats_; }
 
  private:
+  /// Plan/trace facts about the last executed statement, harvested for the
+  /// query log (reset at the top of Execute; Execute is single-statement).
+  struct StmtPlanInfo {
+    uint64_t plan_digest = 0;
+    uint32_t num_operators = 0;
+    uint32_t num_joins = 0;
+  };
+
   Result<QueryResult> ExecuteSelect(const sql::SelectStatement& stmt);
+  /// The statement dispatch switch; Execute wraps it with telemetry so
+  /// failures are metered and logged too.
+  Status ExecuteStatement(const sql::Statement& stmt, QueryResult* result);
+  /// Rebuilds any `aidb_*` system view the statement scans, so the view's
+  /// backing rows are stable for the whole plan/execute cycle.
+  Status RefreshReferencedSystemViews(const sql::Statement& stmt);
+  void RegisterSystemViews();
   /// Appends a statement's WAL records + COMMIT, honoring group commit and
   /// the auto-checkpoint knob. No-op when not durable.
   Status LogTxn(std::vector<std::pair<storage::WalRecordType, std::string>> records);
@@ -140,7 +199,18 @@ class Database {
   exec::Planner planner_;
   exec::PlannerOptions planner_options_;
   std::unique_ptr<ThreadPool> exec_pool_;
-  uint64_t total_work_ = 0;
+  std::atomic<uint64_t> total_work_{0};
+
+  // Observability state. metrics_ precedes wal_ in declaration order so the
+  // WAL's cached metric pointers stay valid through destruction.
+  monitor::MetricsRegistry metrics_;
+  monitor::QueryLog query_log_;
+  bool tracing_ = false;
+  bool deterministic_timing_ = false;
+  exec::TraceNode last_trace_;
+  bool has_trace_ = false;
+  StmtPlanInfo last_plan_info_;
+  Timer uptime_;  ///< arrival timestamps for the query log
 
   // Durability state (null/empty for the in-memory engine).
   std::string dir_;

@@ -6,11 +6,12 @@
 
 namespace aidb::exec {
 
-std::string Operator::Describe(int indent) const {
+std::string Operator::Describe(int indent, bool with_rows) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
   out += Name();
-  out += " [rows=" + std::to_string(rows_produced_) + "]\n";
-  for (const auto& c : children_) out += c->Describe(indent + 1);
+  if (with_rows) out += " [rows=" + std::to_string(rows_produced_) + "]";
+  out += "\n";
+  for (const auto& c : children_) out += c->Describe(indent + 1, with_rows);
   return out;
 }
 
@@ -38,7 +39,7 @@ SeqScanOp::SeqScanOp(const Table* table, std::string effective_name)
   }
 }
 
-bool SeqScanOp::Next(Tuple* out) {
+bool SeqScanOp::NextImpl(Tuple* out) {
   while (cursor_ < table_->NumSlots()) {
     RowId id = cursor_++;
     if (!table_->IsLive(id)) continue;
@@ -59,12 +60,12 @@ IndexScanOp::IndexScanOp(const Table* table, const BTree* index,
   }
 }
 
-void IndexScanOp::Open() {
+void IndexScanOp::OpenImpl() {
   matches_ = index_->RangeScan(lo_, hi_);
   cursor_ = 0;
 }
 
-bool IndexScanOp::Next(Tuple* out) {
+bool IndexScanOp::NextImpl(Tuple* out) {
   while (cursor_ < matches_.size()) {
     RowId id = matches_[cursor_++];
     if (!table_->IsLive(id)) continue;  // lazy-deleted entries skipped here
@@ -89,7 +90,7 @@ FilterOp::FilterOp(std::unique_ptr<Operator> child, BoundExpr predicate,
   children_.push_back(std::move(child));
 }
 
-bool FilterOp::Next(Tuple* out) {
+bool FilterOp::NextImpl(Tuple* out) {
   while (children_[0]->Next(out)) {
     Result<bool> keep = predicate_.EvalBool(*out);
     if (!keep.ok()) return Fail(keep.status());
@@ -110,7 +111,7 @@ ProjectOp::ProjectOp(std::unique_ptr<Operator> child, std::vector<BoundExpr> exp
   children_.push_back(std::move(child));
 }
 
-bool ProjectOp::Next(Tuple* out) {
+bool ProjectOp::NextImpl(Tuple* out) {
   Tuple in;
   if (!children_[0]->Next(&in)) return false;
   out->clear();
@@ -136,7 +137,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(std::unique_ptr<Operator> left,
   children_.push_back(std::move(right));
 }
 
-void NestedLoopJoinOp::Open() {
+void NestedLoopJoinOp::OpenImpl() {
   children_[0]->Open();
   children_[1]->Open();
   inner_rows_.clear();
@@ -146,7 +147,7 @@ void NestedLoopJoinOp::Open() {
   inner_cursor_ = 0;
 }
 
-bool NestedLoopJoinOp::Next(Tuple* out) {
+bool NestedLoopJoinOp::NextImpl(Tuple* out) {
   for (;;) {
     if (!outer_valid_) {
       if (!children_[0]->Next(&outer_row_)) return false;
@@ -172,7 +173,7 @@ bool NestedLoopJoinOp::Next(Tuple* out) {
   }
 }
 
-void NestedLoopJoinOp::Close() {
+void NestedLoopJoinOp::CloseImpl() {
   children_[0]->Close();
   children_[1]->Close();
   inner_rows_.clear();
@@ -198,7 +199,7 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> left,
   children_.push_back(std::move(right));
 }
 
-void HashJoinOp::Open() {
+void HashJoinOp::OpenImpl() {
   children_[0]->Open();
   children_[1]->Open();
   build_.clear();
@@ -212,7 +213,7 @@ void HashJoinOp::Open() {
   match_cursor_ = 0;
 }
 
-bool HashJoinOp::Next(Tuple* out) {
+bool HashJoinOp::NextImpl(Tuple* out) {
   for (;;) {
     if (matches_ != nullptr) {
       while (match_cursor_ < matches_->size()) {
@@ -236,7 +237,7 @@ bool HashJoinOp::Next(Tuple* out) {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   children_[0]->Close();
   children_[1]->Close();
   build_.clear();
@@ -256,7 +257,7 @@ HashAggregateOp::HashAggregateOp(std::unique_ptr<Operator> child,
   children_.push_back(std::move(child));
 }
 
-void HashAggregateOp::Open() {
+void HashAggregateOp::OpenImpl() {
   children_[0]->Open();
   results_.clear();
   cursor_ = 0;
@@ -289,7 +290,7 @@ void HashAggregateOp::Open() {
       [this](const GroupState& g) { results_.push_back(g.Finalize(aggs_)); });
 }
 
-bool HashAggregateOp::Next(Tuple* out) {
+bool HashAggregateOp::NextImpl(Tuple* out) {
   if (cursor_ >= results_.size()) return false;
   *out = results_[cursor_++];
   ++rows_produced_;
@@ -304,7 +305,7 @@ SortOp::SortOp(std::unique_ptr<Operator> child, std::vector<SortKey> keys)
   children_.push_back(std::move(child));
 }
 
-void SortOp::Open() {
+void SortOp::OpenImpl() {
   children_[0]->Open();
   rows_.clear();
   cursor_ = 0;
@@ -319,7 +320,7 @@ void SortOp::Open() {
   });
 }
 
-bool SortOp::Next(Tuple* out) {
+bool SortOp::NextImpl(Tuple* out) {
   if (cursor_ >= rows_.size()) return false;
   *out = rows_[cursor_++];
   ++rows_produced_;
@@ -333,7 +334,7 @@ LimitOp::LimitOp(std::unique_ptr<Operator> child, size_t limit) : limit_(limit) 
   children_.push_back(std::move(child));
 }
 
-bool LimitOp::Next(Tuple* out) {
+bool LimitOp::NextImpl(Tuple* out) {
   if (seen_ >= limit_) return false;
   if (!children_[0]->Next(out)) return false;
   ++seen_;
@@ -348,7 +349,7 @@ DistinctOp::DistinctOp(std::unique_ptr<Operator> child) {
   children_.push_back(std::move(child));
 }
 
-bool DistinctOp::Next(Tuple* out) {
+bool DistinctOp::NextImpl(Tuple* out) {
   while (children_[0]->Next(out)) {
     // Serialized-value key: exact (ToString is injective enough because it
     // quotes strings and tags NULLs).
@@ -372,7 +373,7 @@ ValuesOp::ValuesOp(std::vector<Tuple> rows, std::vector<OutputCol> schema)
   output_ = std::move(schema);
 }
 
-bool ValuesOp::Next(Tuple* out) {
+bool ValuesOp::NextImpl(Tuple* out) {
   if (cursor_ >= rows_.size()) return false;
   *out = rows_[cursor_++];
   ++rows_produced_;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/timer.h"
 #include "exec/expr.h"
 #include "storage/btree.h"
 #include "storage/hash_index.h"
@@ -17,21 +18,85 @@ namespace aidb::exec {
 /// Open -> Next* -> Close. Every operator tracks rows produced so the learned
 /// optimizer and the performance-prediction monitor can harvest true
 /// cardinalities and per-operator work after execution.
+///
+/// The public Open/Next/Close entry points are thin non-virtual wrappers
+/// around the OpenImpl/NextImpl/CloseImpl virtuals: with tracing enabled
+/// (EXPLAIN ANALYZE, or Database::EnableTracing) they additionally accumulate
+/// per-operator wall time and call counts; with tracing off the wrapper is a
+/// single predictable branch, keeping the instrumentation off the hot path.
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual void Open() = 0;
+  void Open() {
+    if (!tracing_) {
+      OpenImpl();
+      return;
+    }
+    Timer t;
+    OpenImpl();
+    elapsed_us_ += t.ElapsedMicros();
+  }
+
   /// Produces the next row into *out. Returns false at end of stream.
-  virtual bool Next(Tuple* out) = 0;
-  virtual void Close() {}
+  bool Next(Tuple* out) {
+    if (!tracing_) return NextImpl(out);
+    Timer t;
+    bool more = NextImpl(out);
+    elapsed_us_ += t.ElapsedMicros();
+    ++next_calls_;
+    return more;
+  }
+
+  void Close() {
+    if (!tracing_) {
+      CloseImpl();
+      return;
+    }
+    Timer t;
+    CloseImpl();
+    elapsed_us_ += t.ElapsedMicros();
+  }
 
   const std::vector<OutputCol>& output() const { return output_; }
+  const std::vector<std::unique_ptr<Operator>>& children() const {
+    return children_;
+  }
   virtual std::string Name() const = 0;
-  /// Multi-line plan rendering for EXPLAIN.
-  std::string Describe(int indent = 0) const;
+  /// Multi-line plan rendering for EXPLAIN. `with_rows` appends the live
+  /// rows_produced counters (the pre-telemetry rendering; plan digests use
+  /// the bare shape).
+  std::string Describe(int indent = 0, bool with_rows = true) const;
+
+  /// Enables/disables per-call timing on this operator and all children.
+  void SetTracing(bool on) {
+    tracing_ = on;
+    for (auto& c : children_) c->SetTracing(on);
+  }
+  bool tracing() const { return tracing_; }
 
   size_t rows_produced() const { return rows_produced_; }
+  /// Next() invocations while traced (volcano batches; morsel counts for the
+  /// exchange operators live in worker_rows()).
+  uint64_t next_calls() const { return next_calls_; }
+  /// Inclusive wall time (this operator and its children) while traced.
+  double elapsed_us() const { return elapsed_us_; }
+
+  /// Planner-estimated output cardinality; negative when unknown.
+  double est_rows() const { return est_rows_; }
+  void set_est_rows(double rows) { est_rows_ = rows; }
+
+  /// Base relation this operator's rows_produced gives true cardinality for
+  /// (set by the planner on the top of each scan chain); empty otherwise.
+  /// The estimated-vs-actual feedback loop reads this after execution.
+  const std::string& feedback_table() const { return feedback_table_; }
+  void set_feedback_table(std::string table) { feedback_table_ = std::move(table); }
+
+  /// Rows handled per worker for exchange operators (empty on serial ones).
+  /// For Gather/ParallelScan this is rows gathered — the per-worker counts sum
+  /// to rows_produced; for ParallelHashAggregate it is input rows folded.
+  const std::vector<uint64_t>& worker_rows() const { return worker_rows_; }
+
   /// Total rows produced by this operator and all children (work proxy).
   size_t TotalWork() const;
 
@@ -41,6 +106,10 @@ class Operator {
   Status FirstError() const;
 
  protected:
+  virtual void OpenImpl() = 0;
+  virtual bool NextImpl(Tuple* out) = 0;
+  virtual void CloseImpl() {}
+
   /// Records a runtime error (first one wins) and ends the stream.
   bool Fail(Status s) {
     if (error_.ok()) error_ = std::move(s);
@@ -51,6 +120,12 @@ class Operator {
   std::vector<std::unique_ptr<Operator>> children_;
   size_t rows_produced_ = 0;
   Status error_;
+  bool tracing_ = false;
+  uint64_t next_calls_ = 0;
+  double elapsed_us_ = 0.0;
+  double est_rows_ = -1.0;
+  std::string feedback_table_;
+  std::vector<uint64_t> worker_rows_;
 
   friend class PlanVisitor;
 };
@@ -59,9 +134,11 @@ class Operator {
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(const Table* table, std::string effective_name);
-  void Open() override { cursor_ = 0; }
-  bool Next(Tuple* out) override;
   std::string Name() const override { return "SeqScan(" + label_ + ")"; }
+
+ protected:
+  void OpenImpl() override { cursor_ = 0; }
+  bool NextImpl(Tuple* out) override;
 
  private:
   const Table* table_;
@@ -74,9 +151,11 @@ class IndexScanOp : public Operator {
  public:
   IndexScanOp(const Table* table, const BTree* index, std::string effective_name,
               int64_t lo, int64_t hi);
-  void Open() override;
-  bool Next(Tuple* out) override;
   std::string Name() const override;
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
 
  private:
   const Table* table_;
@@ -92,10 +171,12 @@ class FilterOp : public Operator {
  public:
   FilterOp(std::unique_ptr<Operator> child, BoundExpr predicate,
            std::string predicate_text);
-  void Open() override { children_[0]->Open(); }
-  bool Next(Tuple* out) override;
-  void Close() override { children_[0]->Close(); }
   std::string Name() const override { return "Filter(" + text_ + ")"; }
+
+ protected:
+  void OpenImpl() override { children_[0]->Open(); }
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override { children_[0]->Close(); }
 
  private:
   BoundExpr predicate_;
@@ -107,10 +188,12 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(std::unique_ptr<Operator> child, std::vector<BoundExpr> exprs,
             std::vector<OutputCol> out_schema);
-  void Open() override { children_[0]->Open(); }
-  bool Next(Tuple* out) override;
-  void Close() override { children_[0]->Close(); }
   std::string Name() const override { return "Project"; }
+
+ protected:
+  void OpenImpl() override { children_[0]->Open(); }
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override { children_[0]->Close(); }
 
  private:
   std::vector<BoundExpr> exprs_;
@@ -122,10 +205,12 @@ class NestedLoopJoinOp : public Operator {
  public:
   NestedLoopJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
                    std::optional<BoundExpr> condition);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   std::string Name() const override { return "NestedLoopJoin"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   std::optional<BoundExpr> condition_;
@@ -144,10 +229,12 @@ class HashJoinOp : public Operator {
  public:
   HashJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
              size_t left_key, size_t right_key);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   std::string Name() const override { return "HashJoin"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   size_t left_key_, right_key_;
@@ -170,9 +257,11 @@ class HashAggregateOp : public Operator {
  public:
   HashAggregateOp(std::unique_ptr<Operator> child, std::vector<BoundExpr> keys,
                   std::vector<OutputCol> key_cols, std::vector<AggSpec> aggs);
-  void Open() override;
-  bool Next(Tuple* out) override;
   std::string Name() const override { return "HashAggregate"; }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
 
  private:
   std::vector<BoundExpr> keys_;
@@ -194,11 +283,13 @@ class SortOp : public Operator {
   /// Single-key convenience.
   SortOp(std::unique_ptr<Operator> child, size_t column, bool desc)
       : SortOp(std::move(child), std::vector<SortKey>{{column, desc}}) {}
-  void Open() override;
-  bool Next(Tuple* out) override;
   std::string Name() const override {
     return "Sort(" + std::to_string(keys_.size()) + " keys)";
   }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
 
  private:
   std::vector<SortKey> keys_;
@@ -210,16 +301,18 @@ class SortOp : public Operator {
 class DistinctOp : public Operator {
  public:
   explicit DistinctOp(std::unique_ptr<Operator> child);
-  void Open() override {
+  std::string Name() const override { return "Distinct"; }
+
+ protected:
+  void OpenImpl() override {
     children_[0]->Open();
     seen_.clear();
   }
-  bool Next(Tuple* out) override;
-  void Close() override {
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override {
     children_[0]->Close();
     seen_.clear();
   }
-  std::string Name() const override { return "Distinct"; }
 
  private:
   std::unordered_set<std::string> seen_;
@@ -229,13 +322,15 @@ class DistinctOp : public Operator {
 class LimitOp : public Operator {
  public:
   LimitOp(std::unique_ptr<Operator> child, size_t limit);
-  void Open() override {
+  std::string Name() const override { return "Limit(" + std::to_string(limit_) + ")"; }
+
+ protected:
+  void OpenImpl() override {
     children_[0]->Open();
     seen_ = 0;
   }
-  bool Next(Tuple* out) override;
-  void Close() override { children_[0]->Close(); }
-  std::string Name() const override { return "Limit(" + std::to_string(limit_) + ")"; }
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override { children_[0]->Close(); }
 
  private:
   size_t limit_;
@@ -246,9 +341,11 @@ class LimitOp : public Operator {
 class ValuesOp : public Operator {
  public:
   ValuesOp(std::vector<Tuple> rows, std::vector<OutputCol> schema);
-  void Open() override { cursor_ = 0; }
-  bool Next(Tuple* out) override;
   std::string Name() const override { return "Values"; }
+
+ protected:
+  void OpenImpl() override { cursor_ = 0; }
+  bool NextImpl(Tuple* out) override;
 
  private:
   std::vector<Tuple> rows_;

@@ -70,19 +70,21 @@ GatherOp::GatherOp(std::unique_ptr<MorselSource> source,
   output_ = std::move(schema);
 }
 
-void GatherOp::Open() {
+void GatherOp::OpenImpl() {
   morsel_cursor_ = 0;
   row_cursor_ = 0;
   size_t n = source_->NumMorsels();
   buffers_.assign(n, {});
+  worker_rows_.assign(ctx_.WorkersFor(n), 0);
   // One status slot per morsel: workers write disjoint slots, and the error
   // of the lowest-numbered failing morsel is reported — the same row order a
   // serial scan would fail in, whatever the worker interleaving.
   std::vector<Status> morsel_status(n);
-  DispatchMorsels(ctx_, n, [this, &morsel_status](size_t, size_t m) {
+  DispatchMorsels(ctx_, n, [this, &morsel_status](size_t w, size_t m) {
     auto& buf = buffers_[m];
     morsel_status[m] =
         source_->ScanMorsel(m, [&buf](const Tuple& row) { buf.push_back(row); });
+    worker_rows_[w] += buf.size();  // distinct w per task: no shared writes
   });
   for (Status& s : morsel_status) {
     if (!s.ok()) {
@@ -93,7 +95,7 @@ void GatherOp::Open() {
   }
 }
 
-bool GatherOp::Next(Tuple* out) {
+bool GatherOp::NextImpl(Tuple* out) {
   while (morsel_cursor_ < buffers_.size()) {
     const auto& buf = buffers_[morsel_cursor_];
     if (row_cursor_ < buf.size()) {
@@ -107,7 +109,7 @@ bool GatherOp::Next(Tuple* out) {
   return false;
 }
 
-void GatherOp::Close() {
+void GatherOp::CloseImpl() {
   buffers_.clear();
   buffers_.shrink_to_fit();
 }
@@ -146,7 +148,7 @@ ParallelHashJoinOp::ParallelHashJoinOp(std::unique_ptr<Operator> left,
   children_.push_back(std::move(right));
 }
 
-void ParallelHashJoinOp::Open() {
+void ParallelHashJoinOp::OpenImpl() {
   children_[0]->Open();
   children_[1]->Open();
   for (auto& p : partitions_) p.clear();
@@ -193,7 +195,7 @@ void ParallelHashJoinOp::Open() {
   match_cursor_ = 0;
 }
 
-bool ParallelHashJoinOp::Next(Tuple* out) {
+bool ParallelHashJoinOp::NextImpl(Tuple* out) {
   for (;;) {
     if (matches_ != nullptr) {
       while (match_cursor_ < matches_->size()) {
@@ -219,7 +221,7 @@ bool ParallelHashJoinOp::Next(Tuple* out) {
   }
 }
 
-void ParallelHashJoinOp::Close() {
+void ParallelHashJoinOp::CloseImpl() {
   children_[0]->Close();
   children_[1]->Close();
   build_rows_.clear();
@@ -242,7 +244,7 @@ ParallelHashAggregateOp::ParallelHashAggregateOp(
   }
 }
 
-void ParallelHashAggregateOp::Open() {
+void ParallelHashAggregateOp::OpenImpl() {
   results_.clear();
   cursor_ = 0;
 
@@ -250,11 +252,13 @@ void ParallelHashAggregateOp::Open() {
   size_t workers = ctx_.WorkersFor(n);
   std::vector<GroupMap> partials(workers);
   std::vector<Status> morsel_status(n);
+  worker_rows_.assign(workers, 0);
   DispatchMorsels(ctx_, n, [this, &partials, &morsel_status](size_t w, size_t m) {
     GroupMap& map = partials[w];
     Status acc_err;
     Status scan = source_->ScanMorsel(m, [&](const Tuple& row) {
       if (!acc_err.ok()) return;
+      ++worker_rows_[w];  // input rows folded by this worker; w is task-unique
       acc_err = map.Accumulate(keys_, aggs_, row);
     });
     morsel_status[m] = scan.ok() ? std::move(acc_err) : std::move(scan);
@@ -289,7 +293,7 @@ void ParallelHashAggregateOp::Open() {
       [this](const GroupState& g) { results_.push_back(g.Finalize(aggs_)); });
 }
 
-bool ParallelHashAggregateOp::Next(Tuple* out) {
+bool ParallelHashAggregateOp::NextImpl(Tuple* out) {
   if (cursor_ >= results_.size()) return false;
   *out = results_[cursor_++];
   ++rows_produced_;

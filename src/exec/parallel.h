@@ -75,9 +75,6 @@ class GatherOp : public Operator {
  public:
   GatherOp(std::unique_ptr<MorselSource> source, std::vector<OutputCol> schema,
            ParallelContext ctx);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   std::string Name() const override {
     return "Gather(dop=" + std::to_string(ctx_.dop) + ")";
   }
@@ -88,6 +85,10 @@ class GatherOp : public Operator {
   std::unique_ptr<MorselSource> TakeSource() { return std::move(source_); }
 
  protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
+
   std::unique_ptr<MorselSource> source_;
   ParallelContext ctx_;
   std::vector<std::vector<Tuple>> buffers_;  ///< one per morsel
@@ -124,12 +125,14 @@ class ParallelHashJoinOp : public Operator {
   ParallelHashJoinOp(std::unique_ptr<Operator> left,
                      std::unique_ptr<Operator> right, size_t left_key,
                      size_t right_key, ParallelContext ctx);
-  void Open() override;
-  bool Next(Tuple* out) override;
-  void Close() override;
   std::string Name() const override {
     return "ParallelHashJoin(dop=" + std::to_string(ctx_.dop) + ")";
   }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
+  void CloseImpl() override;
 
  private:
   size_t left_key_, right_key_;
@@ -154,11 +157,13 @@ class ParallelHashAggregateOp : public Operator {
                           std::vector<BoundExpr> keys,
                           std::vector<OutputCol> key_cols,
                           std::vector<AggSpec> aggs, ParallelContext ctx);
-  void Open() override;
-  bool Next(Tuple* out) override;
   std::string Name() const override {
     return "ParallelHashAggregate(dop=" + std::to_string(ctx_.dop) + ")";
   }
+
+ protected:
+  void OpenImpl() override;
+  bool NextImpl(Tuple* out) override;
 
  private:
   std::unique_ptr<MorselSource> source_;

@@ -16,6 +16,14 @@ bool ParallelEnabled(const PlannerOptions& opts) {
   return opts.dop > 1 && opts.exec_pool != nullptr;
 }
 
+/// Annotates the top of a scan chain: the planner's estimated output rows
+/// (surfaced by EXPLAIN ANALYZE) and the base table whose feedback entry the
+/// operator's true row count updates after execution.
+void AnnotateScanChain(Operator* top, const RelationInfo& rel) {
+  top->set_est_rows(rel.EffectiveRows());
+  top->set_feedback_table(rel.table);
+}
+
 }  // namespace
 
 void SplitConjuncts(const sql::Expr* expr, std::vector<const sql::Expr*>* out) {
@@ -211,8 +219,10 @@ Result<std::unique_ptr<Operator>> Planner::BuildScan(
       filter_texts.push_back(p->ToString());
     }
     ParallelContext ctx{opts.exec_pool, opts.dop};
-    return std::unique_ptr<Operator>(std::make_unique<ParallelScanOp>(
-        table, rel.name, std::move(filters), std::move(filter_texts), ctx));
+    auto pscan = std::make_unique<ParallelScanOp>(
+        table, rel.name, std::move(filters), std::move(filter_texts), ctx);
+    AnnotateScanChain(pscan.get(), rel);
+    return std::unique_ptr<Operator>(std::move(pscan));
   }
 
   std::unique_ptr<Operator> scan;
@@ -230,6 +240,7 @@ Result<std::unique_ptr<Operator>> Planner::BuildScan(
     scan = std::make_unique<FilterOp>(std::move(scan), std::move(bound),
                                       p->ToString());
   }
+  AnnotateScanChain(scan.get(), rel);
   return scan;
 }
 
@@ -291,6 +302,7 @@ Result<std::unique_ptr<Operator>> Planner::BuildJoinTree(
     join = std::make_unique<NestedLoopJoinOp>(std::move(left), std::move(right),
                                               std::nullopt);
   }
+  join->set_est_rows(plan.rows);
 
   // Remaining crossing conditions become filters above the join.
   for (size_t i = 0; i < crossing.size(); ++i) {
@@ -339,6 +351,17 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
   std::vector<const sql::Expr*> residual;
   AIDB_ASSIGN_OR_RETURN(result.graph, BuildGraph(stmt, est, &residual));
 
+  // Execution feedback: scale each relation's estimate by the EWMA
+  // actual/estimated correction learned from prior runs of scans over the
+  // same base table. Applied after BuildGraph so advisors that reason on the
+  // uncorrected graph keep the estimator's raw numbers.
+  if (opts.use_card_feedback) {
+    const CardinalityFeedback& fb = catalog_->feedback();
+    for (auto& rel : result.graph.rels) {
+      rel.local_selectivity *= fb.Correction(rel.table);
+    }
+  }
+
   JoinCostModel cost_model(&result.graph);
   std::unique_ptr<Operator> root;
   if (result.graph.rels.size() == 1) {
@@ -352,6 +375,15 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
     AIDB_ASSIGN_OR_RETURN(root,
                           BuildJoinTree(*result.join_plan, result.graph, opts));
   }
+
+  // Order/projection/limit operators preserve or cap cardinality; propagate
+  // the child estimate so EXPLAIN ANALYZE shows est vs actual at every level
+  // that has a meaningful estimate.
+  auto inherit_est = [](Operator* op) {
+    if (!op->children().empty() && op->children()[0]->est_rows() >= 0) {
+      op->set_est_rows(op->children()[0]->est_rows());
+    }
+  };
 
   // Residual multi-relation predicates.
   for (const sql::Expr* p : residual) {
@@ -401,6 +433,7 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
     }
     if (all_resolved) {
       root = std::make_unique<SortOp>(std::move(root), std::move(keys));
+      inherit_est(root.get());
       sorted_pre_projection = true;
     }
   }
@@ -545,6 +578,7 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
       }
       root = std::make_unique<ProjectOp>(std::move(root), std::move(proj),
                                          std::move(proj_cols));
+      inherit_est(root.get());
     }
   }
 
@@ -564,11 +598,17 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
       keys.push_back({static_cast<size_t>(idx), key.desc});
     }
     root = std::make_unique<SortOp>(std::move(root), std::move(keys));
+    inherit_est(root.get());
   }
 
   if (stmt.limit >= 0) {
     root = std::make_unique<LimitOp>(std::move(root),
                                      static_cast<size_t>(stmt.limit));
+    double child_est = root->children()[0]->est_rows();
+    if (child_est >= 0) {
+      root->set_est_rows(
+          std::min(child_est, static_cast<double>(stmt.limit)));
+    }
   }
 
   result.root = std::move(root);

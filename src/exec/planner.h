@@ -26,6 +26,11 @@ struct PlannerOptions {
   /// Max selectivity at which an index scan is preferred over a seq scan.
   double index_selectivity_threshold = 0.25;
 
+  /// Applies the catalog's estimated-vs-actual scan corrections
+  /// (Catalog::feedback(), fed by executed queries) on top of the estimator.
+  /// Off by default so the classical estimators stay reproducible.
+  bool use_card_feedback = false;
+
   /// Morsel-driven parallelism (the `dop` session knob): with dop > 1 and a
   /// pool, the planner emits ParallelScan / ParallelHashJoin /
   /// ParallelHashAggregate variants — but only where the base-table

@@ -1,0 +1,166 @@
+#include "exec/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aidb::exec {
+
+namespace {
+
+/// Shortest round-trippable-enough rendering for trace numbers: integral
+/// values print without a fraction so deterministic output stays byte-stable.
+std::string FormatDouble(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+std::string JoinWorkerRows(const std::vector<uint64_t>& workers) {
+  std::string out;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    if (i > 0) out += '+';
+    out += std::to_string(workers[i]);
+  }
+  return out;
+}
+
+void JsonEscape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void ToJsonRec(const TraceNode& n, std::string* out) {
+  *out += "{\"op\":\"";
+  JsonEscape(n.op, out);
+  *out += "\",\"est_rows\":" + FormatDouble(n.est_rows);
+  *out += ",\"rows\":" + std::to_string(n.rows);
+  *out += ",\"batches\":" + std::to_string(n.batches);
+  *out += ",\"time_us\":" + FormatDouble(n.time_us);
+  if (!n.worker_rows.empty()) {
+    *out += ",\"worker_rows\":[";
+    for (size_t i = 0; i < n.worker_rows.size(); ++i) {
+      if (i > 0) *out += ',';
+      *out += std::to_string(n.worker_rows[i]);
+    }
+    *out += ']';
+  }
+  *out += ",\"children\":[";
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    if (i > 0) *out += ',';
+    ToJsonRec(n.children[i], out);
+  }
+  *out += "]}";
+}
+
+void FlattenRec(const TraceNode& n, int64_t parent, int64_t depth,
+                std::vector<FlatTraceRow>* out) {
+  FlatTraceRow row;
+  row.node = static_cast<int64_t>(out->size());
+  row.parent = parent;
+  row.depth = depth;
+  row.op = n.op;
+  row.est_rows = n.est_rows;
+  row.rows = static_cast<int64_t>(n.rows);
+  row.batches = static_cast<int64_t>(n.batches);
+  row.time_us = n.time_us;
+  row.workers = JoinWorkerRows(n.worker_rows);
+  int64_t me = row.node;
+  out->push_back(std::move(row));
+  for (const TraceNode& c : n.children) FlattenRec(c, me, depth + 1, out);
+}
+
+void DigestRec(const Operator& op, uint64_t depth, uint64_t* h) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  for (char c : op.Name()) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= kPrime;
+  }
+  *h ^= depth;
+  *h *= kPrime;
+  for (const auto& c : op.children()) DigestRec(*c, depth + 1, h);
+}
+
+}  // namespace
+
+TraceNode BuildTrace(const Operator& root, bool deterministic) {
+  TraceNode n;
+  n.op = root.Name();
+  n.est_rows = root.est_rows();
+  n.rows = root.rows_produced();
+  n.batches = root.next_calls();
+  n.time_us = deterministic ? 0.0 : root.elapsed_us();
+  n.worker_rows = root.worker_rows();
+  n.children.reserve(root.children().size());
+  for (const auto& c : root.children()) {
+    n.children.push_back(BuildTrace(*c, deterministic));
+  }
+  return n;
+}
+
+std::string RenderTraceText(const TraceNode& node, int indent) {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += node.op;
+  out += " (est=";
+  out += node.est_rows < 0 ? "?" : FormatDouble(node.est_rows);
+  out += " rows=" + std::to_string(node.rows);
+  out += " batches=" + std::to_string(node.batches);
+  out += " time=" + FormatDouble(node.time_us) + "us";
+  if (!node.worker_rows.empty()) {
+    out += " workers=" + JoinWorkerRows(node.worker_rows);
+  }
+  out += ")\n";
+  for (const TraceNode& c : node.children) {
+    out += RenderTraceText(c, indent + 1);
+  }
+  return out;
+}
+
+std::string TraceToJson(const TraceNode& node) {
+  std::string out;
+  ToJsonRec(node, &out);
+  return out;
+}
+
+std::vector<FlatTraceRow> FlattenTrace(const TraceNode& root) {
+  std::vector<FlatTraceRow> out;
+  FlattenRec(root, -1, 0, &out);
+  return out;
+}
+
+uint64_t PlanDigest(const Operator& root) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  DigestRec(root, 0, &h);
+  return h;
+}
+
+uint32_t CountOperators(const Operator& root) {
+  uint32_t n = 1;
+  for (const auto& c : root.children()) n += CountOperators(*c);
+  return n;
+}
+
+uint32_t CountJoins(const Operator& root) {
+  std::string name = root.Name();
+  uint32_t n = name.find("Join") != std::string::npos ? 1 : 0;
+  for (const auto& c : root.children()) n += CountJoins(*c);
+  return n;
+}
+
+}  // namespace aidb::exec

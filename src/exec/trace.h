@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace aidb::exec {
+
+/// \brief One operator's execution record, harvested after a traced run.
+///
+/// The tree mirrors the physical plan; rows/batches are always real (they are
+/// plain volcano counters), time_us is wall clock and is zeroed when the
+/// Database runs in deterministic-timing mode so traces never perturb the
+/// differential oracle.
+struct TraceNode {
+  std::string op;             ///< Operator::Name()
+  double est_rows = -1.0;     ///< planner estimate; negative = unknown
+  uint64_t rows = 0;          ///< actual rows produced
+  uint64_t batches = 0;       ///< Next() calls observed while traced
+  double time_us = 0.0;       ///< inclusive wall time (0 in deterministic mode)
+  std::vector<uint64_t> worker_rows;  ///< per-worker split for exchange ops
+  std::vector<TraceNode> children;
+};
+
+/// Harvests a trace tree from an executed (or at least opened) plan.
+/// `deterministic` zeroes every time_us field.
+TraceNode BuildTrace(const Operator& root, bool deterministic);
+
+/// EXPLAIN ANALYZE rendering: one line per operator,
+/// `Name (est=... rows=... batches=... time=...us [workers=a+b+...])`.
+/// Lines end with '\n'; indentation is two spaces per depth level.
+std::string RenderTraceText(const TraceNode& node, int indent = 0);
+
+/// JSON span export: nested objects with op/est_rows/rows/batches/time_us/
+/// worker_rows/children, suitable for external span viewers.
+std::string TraceToJson(const TraceNode& node);
+
+/// Row shape served by the `aidb_trace` system view.
+struct FlatTraceRow {
+  int64_t node = 0;    ///< pre-order index
+  int64_t parent = -1; ///< pre-order index of parent, -1 for the root
+  int64_t depth = 0;
+  std::string op;
+  double est_rows = -1.0;
+  int64_t rows = 0;
+  int64_t batches = 0;
+  double time_us = 0.0;
+  std::string workers;  ///< "a+b+c" per-worker rows, "" for serial operators
+};
+
+/// Pre-order flattening of a trace tree (node ids are pre-order positions).
+std::vector<FlatTraceRow> FlattenTrace(const TraceNode& root);
+
+/// FNV-1a digest over the plan *shape* (operator names + depths, pre-order).
+/// Stable across runs because operator names carry no runtime counters.
+uint64_t PlanDigest(const Operator& root);
+
+/// Operators in the plan tree.
+uint32_t CountOperators(const Operator& root);
+
+/// Join operators (NestedLoop/Hash/ParallelHash) in the plan tree.
+uint32_t CountJoins(const Operator& root);
+
+}  // namespace aidb::exec

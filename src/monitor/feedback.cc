@@ -1,0 +1,80 @@
+#include "monitor/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb::monitor {
+
+namespace {
+
+/// Monotone squash of a non-negative magnitude into [0,1).
+double Squash(double x, double scale) { return x / (x + scale); }
+
+}  // namespace
+
+ConcurrentQuery QueryFromLogEntry(const QueryLogEntry& e) {
+  ConcurrentQuery q;
+  q.demand = {
+      Squash(static_cast<double>(e.work), 1024.0),
+      Squash(static_cast<double>(e.rows_returned), 256.0),
+      Squash(static_cast<double>(e.num_operators), 8.0),
+      Squash(static_cast<double>(e.num_joins) * static_cast<double>(e.dop), 4.0),
+  };
+  // Deterministic runs log latency 0; the work counter is the deterministic
+  // stand-in so the solo cost stays positive and ordered.
+  q.solo_latency = e.latency_us > 0.0
+                       ? e.latency_us
+                       : static_cast<double>(e.work) + 1.0;
+  return q;
+}
+
+std::vector<WorkloadMix> MixesFromQueryLog(
+    const std::vector<QueryLogEntry>& entries, size_t mix_size) {
+  std::vector<WorkloadMix> mixes;
+  if (mix_size == 0) return mixes;
+  std::vector<const QueryLogEntry*> selects;
+  for (const auto& e : entries) {
+    if (e.ok && e.kind == "select") selects.push_back(&e);
+  }
+  if (selects.size() < mix_size) return mixes;
+  for (size_t i = 0; i + mix_size <= selects.size(); ++i) {
+    WorkloadMix mix;
+    for (size_t j = 0; j < mix_size; ++j) {
+      ConcurrentQuery q = QueryFromLogEntry(*selects[i + j]);
+      mix.true_latency += q.solo_latency;
+      mix.queries.push_back(std::move(q));
+    }
+    mixes.push_back(std::move(mix));
+  }
+  return mixes;
+}
+
+size_t FitFromQueryLog(PerfPredictor* predictor,
+                       const std::vector<QueryLogEntry>& entries,
+                       size_t mix_size) {
+  std::vector<WorkloadMix> mixes = MixesFromQueryLog(entries, mix_size);
+  if (mixes.empty()) return 0;
+  predictor->Fit(mixes);
+  return mixes.size();
+}
+
+std::vector<double> ArrivalTraceFromLog(
+    const std::vector<QueryLogEntry>& entries, double bucket_us) {
+  std::vector<double> trace;
+  if (entries.empty() || bucket_us <= 0.0) return trace;
+  double t0 = entries.front().ts_us;
+  double t1 = t0;
+  for (const auto& e : entries) {
+    t0 = std::min(t0, e.ts_us);
+    t1 = std::max(t1, e.ts_us);
+  }
+  size_t buckets = static_cast<size_t>((t1 - t0) / bucket_us) + 1;
+  trace.assign(buckets, 0.0);
+  for (const auto& e : entries) {
+    size_t b = static_cast<size_t>((e.ts_us - t0) / bucket_us);
+    trace[std::min(b, buckets - 1)] += 1.0;
+  }
+  return trace;
+}
+
+}  // namespace aidb::monitor

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/forecast.h"
+#include "monitor/perf_pred.h"
+#include "monitor/query_log.h"
+
+namespace aidb::monitor {
+
+/// \brief Adapters that close the monitoring feedback loop: they turn the
+/// engine's real query log (what actually executed, with work counters and
+/// latencies) into the training inputs the learned monitors consume. The
+/// E10/E12 experiments train those monitors on synthetic generators; these
+/// functions replace the generator with engine telemetry.
+
+/// Maps one logged SELECT to a perf-predictor resource-demand vector
+/// (cpu, io, memory, lock footprint), each squashed into [0,1]:
+///   cpu    <- operator work (rows produced across the plan)
+///   io     <- rows returned
+///   memory <- plan size (operator count; hash/sort state scales with it)
+///   lock   <- join count x dop (fan-out pressure)
+/// The squash is x/(x+scale), so ordering is preserved and outliers saturate.
+ConcurrentQuery QueryFromLogEntry(const QueryLogEntry& e);
+
+/// Folds the log's successful SELECTs, oldest first, into concurrent mixes
+/// of `mix_size` consecutive statements (a sliding workload window). The
+/// mix's true latency is the summed observed latency — in deterministic
+/// mode, where latencies are zeroed, the summed work stands in so training
+/// stays meaningful. Returns an empty vector when fewer than `mix_size`
+/// SELECTs were logged.
+std::vector<WorkloadMix> MixesFromQueryLog(
+    const std::vector<QueryLogEntry>& entries, size_t mix_size = 3);
+
+/// Trains `predictor` on the mixes derived from the log. Returns the number
+/// of training mixes (0 = log too small, predictor untouched).
+size_t FitFromQueryLog(PerfPredictor* predictor,
+                       const std::vector<QueryLogEntry>& entries,
+                       size_t mix_size = 3);
+
+/// Buckets logged arrival timestamps into a per-interval statement-count
+/// trace (the series the arrival-rate forecasters consume). `bucket_us` is
+/// the interval width; the trace spans from the first to the last logged
+/// arrival. Returns an empty trace for an empty log or zero bucket width.
+std::vector<double> ArrivalTraceFromLog(
+    const std::vector<QueryLogEntry>& entries, double bucket_us);
+
+}  // namespace aidb::monitor

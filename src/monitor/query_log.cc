@@ -1,0 +1,33 @@
+#include "monitor/query_log.h"
+
+namespace aidb::monitor {
+
+void QueryLog::Append(QueryLogEntry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  e.id = next_id_++;
+  ring_.push_back(std::move(e));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<QueryLogEntry> QueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t QueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t QueryLog::total_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+void QueryLog::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n == 0 ? 1 : n;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+}  // namespace aidb::monitor

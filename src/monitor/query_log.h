@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aidb::monitor {
+
+/// \brief One executed statement as recorded by the engine's query log.
+///
+/// This is the real-telemetry record the learned monitors train on: both a
+/// wall-clock latency and a deterministic work measure (rows produced across
+/// the plan) are kept, so deterministic runs (latency zeroed) still carry a
+/// usable cost signal.
+struct QueryLogEntry {
+  uint64_t id = 0;          ///< monotonically increasing statement sequence
+  std::string sql;
+  std::string kind;         ///< "select", "insert", ..., "explain"
+  bool ok = true;
+  std::string error;        ///< status string when !ok
+  uint64_t rows_returned = 0;
+  uint64_t affected_rows = 0;
+  uint64_t work = 0;        ///< total operator rows produced (deterministic)
+  double latency_us = 0.0;  ///< wall clock; 0 in deterministic mode
+  double ts_us = 0.0;       ///< arrival time since Database start; 0 in det mode
+  uint64_t plan_digest = 0; ///< FNV-1a over the physical plan shape (SELECT)
+  uint32_t num_operators = 0;
+  uint32_t num_joins = 0;
+  uint32_t dop = 1;
+};
+
+/// \brief Bounded ring of the last-N statements; the `aidb_query_log` system
+/// view and the monitor feedback adapters read from here.
+class QueryLog {
+ public:
+  explicit QueryLog(size_t capacity = 512) : capacity_(capacity) {}
+
+  void Append(QueryLogEntry e);
+  /// Oldest-to-newest copy of the retained entries.
+  std::vector<QueryLogEntry> Entries() const;
+  size_t size() const;
+  uint64_t total_logged() const;
+
+  void set_capacity(size_t n);
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t next_id_ = 1;
+  std::deque<QueryLogEntry> ring_;
+};
+
+}  // namespace aidb::monitor

@@ -102,6 +102,7 @@ struct SelectStatement : Statement {
   std::vector<OrderKey> order_by;
   int64_t limit = -1;                  ///< -1: none
   bool explain = false;                ///< EXPLAIN SELECT ...
+  bool explain_analyze = false;        ///< EXPLAIN ANALYZE: execute + trace
 
   StatementKind kind() const override { return StatementKind::kSelect; }
 };

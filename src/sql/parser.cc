@@ -41,7 +41,15 @@ Status Parser::ExpectIdentifier(std::string* out) {
 }
 
 Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
-  if (Match("EXPLAIN")) return ParseSelect(/*explain=*/true);
+  if (Match("EXPLAIN")) {
+    bool analyze = Match("ANALYZE");
+    Result<std::unique_ptr<Statement>> stmt = ParseSelect(/*explain=*/true);
+    if (stmt.ok() && analyze) {
+      static_cast<SelectStatement*>(stmt.ValueOrDie().get())->explain_analyze =
+          true;
+    }
+    return stmt;
+  }
   if (Peek().IsKeyword("SELECT")) return ParseSelect(false);
   if (Peek().IsKeyword("INSERT")) return ParseInsert();
   if (Peek().IsKeyword("CREATE")) return ParseCreate();

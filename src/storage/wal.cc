@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/timer.h"
 #include "storage/serde.h"
 
 namespace aidb::storage {
@@ -250,6 +251,7 @@ Result<uint64_t> WalWriter::Append(WalRecordType type, std::string payload) {
   buffer_.append(EncodeWalFrame(lsn, type, payload));
   ++buffered_records_;
   ++stats_.records_appended;
+  if (records_metric_) records_metric_->Add();
   if (buffered_records_ >= opts_.flush_interval) AIDB_RETURN_NOT_OK(Flush());
   return lsn;
 }
@@ -317,6 +319,8 @@ Status WalWriter::Flush() {
     FaultKind kind = opts_.fault->Fire(FaultPoint::kWalFlush);
     if (kind != FaultKind::kNone) return SimulateCrash(kind);
   }
+  Timer flush_timer;
+  size_t batch_bytes = buffer_.size();
   AIDB_RETURN_NOT_OK(PhysicalWrite(buffer_.data(), buffer_.size()));
   buffer_.clear();
   buffered_records_ = 0;
@@ -327,6 +331,12 @@ Status WalWriter::Flush() {
       return Status::Internal("wal: fsync: " + std::string(std::strerror(errno)));
   }
   synced_size_ = file_size_;
+  if (flushes_metric_) {
+    flushes_metric_->Add();
+    fsyncs_metric_->Add();
+    bytes_metric_->Add(batch_bytes);
+    flush_us_metric_->Observe(flush_timer.ElapsedMicros());
+  }
   return Status::OK();
 }
 

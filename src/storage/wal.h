@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "monitor/metrics.h"
 #include "storage/fault_injector.h"
 #include "storage/schema.h"
 #include "txn/types.h"
@@ -118,6 +119,10 @@ class WalWriter {
     /// comes from deterministic counters, not disk latency.
     bool sync = true;
     FaultInjector* fault = nullptr;  ///< not owned; nullptr = no injection
+    /// Engine metric registry (wal.records / wal.flushes / wal.fsyncs /
+    /// wal.bytes counters, wal.flush_us histogram). Not owned; must outlive
+    /// the writer. nullptr = unmetered.
+    monitor::MetricsRegistry* metrics = nullptr;
   };
 
   /// Opens (creating if needed) `path` for appending; `next_lsn` continues
@@ -154,7 +159,15 @@ class WalWriter {
 
  private:
   WalWriter(int fd, std::string path, uint64_t next_lsn, const Options& opts)
-      : fd_(fd), path_(std::move(path)), next_lsn_(next_lsn), opts_(opts) {}
+      : fd_(fd), path_(std::move(path)), next_lsn_(next_lsn), opts_(opts) {
+    if (opts_.metrics != nullptr) {
+      records_metric_ = opts_.metrics->GetCounter("wal.records");
+      flushes_metric_ = opts_.metrics->GetCounter("wal.flushes");
+      fsyncs_metric_ = opts_.metrics->GetCounter("wal.fsyncs");
+      bytes_metric_ = opts_.metrics->GetCounter("wal.bytes");
+      flush_us_metric_ = opts_.metrics->GetHistogram("wal.flush_us");
+    }
+  }
 
   Status PhysicalWrite(const char* data, size_t n);
   Status SimulateCrash(FaultKind kind);
@@ -169,6 +182,11 @@ class WalWriter {
   uint64_t file_size_ = 0;
   bool crashed_ = false;
   WalStats stats_;
+  monitor::Counter* records_metric_ = nullptr;
+  monitor::Counter* flushes_metric_ = nullptr;
+  monitor::Counter* fsyncs_metric_ = nullptr;
+  monitor::Counter* bytes_metric_ = nullptr;
+  monitor::LatencyHistogram* flush_us_metric_ = nullptr;
 };
 
 /// Result of scanning a WAL file front to back.

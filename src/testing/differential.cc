@@ -83,6 +83,11 @@ std::string DigestResult(const Result<QueryResult>& r) {
 WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop) {
   Database db;
   db.SetDop(dop);
+  // The oracle runs with per-operator tracing ON and wall-clock observables
+  // zeroed: any tracing-induced nondeterminism (a counter leaking into
+  // results, a trace-driven reorder) becomes a digest divergence.
+  db.EnableTracing(true);
+  db.SetDeterministicTiming(true);
   WorkloadTrace trace;
   trace.digests.reserve(workload.size());
   trace.logs_txn.reserve(workload.size());

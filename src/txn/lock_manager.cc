@@ -5,6 +5,12 @@
 namespace aidb::txn {
 
 bool LockManager::TryLock(TxnId txn, KeyId key, LockMode mode) {
+  bool granted = TryLockImpl(txn, key, mode);
+  if (acquires_metric_) (granted ? acquires_metric_ : denials_metric_)->Add();
+  return granted;
+}
+
+bool LockManager::TryLockImpl(TxnId txn, KeyId key, LockMode mode) {
   // TxnId 0 aliases LockState's "no exclusive holder" encoding; granting it
   // a lock would make the key look free to every exclusive requester.
   assert(txn != kInvalidTxnId && "TxnId 0 is the reserved no-txn sentinel");
@@ -35,6 +41,7 @@ bool LockManager::TryLock(TxnId txn, KeyId key, LockMode mode) {
 void LockManager::ReleaseAll(TxnId txn) {
   auto it = held_.find(txn);
   if (it == held_.end()) return;
+  if (releases_metric_) releases_metric_->Add(it->second.size());
   for (KeyId key : it->second) {
     auto st = table_.find(key);
     if (st == table_.end()) continue;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "monitor/metrics.h"
 #include "txn/types.h"
 
 namespace aidb::txn {
@@ -27,7 +28,18 @@ class LockManager {
 
   size_t NumLockedKeys() const { return table_.size(); }
 
+  /// Meters grants/denials/releases (lock.acquires, lock.denials,
+  /// lock.releases) into the engine registry; null (the default) disables.
+  /// Pointers are cached, so the registry must outlive this object.
+  void set_metrics(monitor::MetricsRegistry* metrics) {
+    acquires_metric_ = metrics ? metrics->GetCounter("lock.acquires") : nullptr;
+    denials_metric_ = metrics ? metrics->GetCounter("lock.denials") : nullptr;
+    releases_metric_ = metrics ? metrics->GetCounter("lock.releases") : nullptr;
+  }
+
  private:
+  bool TryLockImpl(TxnId txn, KeyId key, LockMode mode);
+
   struct LockState {
     TxnId exclusive_holder = 0;  ///< 0: none
     std::unordered_set<TxnId> shared_holders;
@@ -35,6 +47,9 @@ class LockManager {
 
   std::unordered_map<KeyId, LockState> table_;
   std::unordered_map<TxnId, std::vector<KeyId>> held_;
+  monitor::Counter* acquires_metric_ = nullptr;
+  monitor::Counter* denials_metric_ = nullptr;
+  monitor::Counter* releases_metric_ = nullptr;
 };
 
 }  // namespace aidb::txn

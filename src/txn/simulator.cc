@@ -39,6 +39,7 @@ TxnSimResult TxnSimulator::Run(std::vector<TxnSpec> txns, TxnScheduler* schedule
 
   TxnSimResult result;
   LockManager locks;
+  if (opts.metrics != nullptr) locks.set_metrics(opts.metrics);
   double now = 0.0;
   size_t next_arrival = 0;
   std::deque<TxnSpec> queue;

@@ -91,6 +91,9 @@ class TxnSimulator {
     /// transactions save real work.
     size_t max_attempts_per_round = 8;
     size_t max_events = 2000000;  ///< runaway guard
+    /// Meters the run's lock table (lock.acquires / lock.denials /
+    /// lock.releases). Not owned; nullptr = unmetered.
+    monitor::MetricsRegistry* metrics = nullptr;
   };
 
   TxnSimResult Run(std::vector<TxnSpec> txns, TxnScheduler* scheduler) {

@@ -1,0 +1,440 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/database.h"
+#include "monitor/feedback.h"
+
+namespace aidb {
+namespace {
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Run("CREATE TABLE emp (id INT, dept INT, salary DOUBLE, name STRING)");
+    Run("CREATE TABLE dept (id INT, budget DOUBLE)");
+    Run("INSERT INTO emp VALUES (1, 10, 100.0, 'a'), (2, 10, 200.0, 'b'), "
+        "(3, 20, 300.0, 'c'), (4, 20, 400.0, 'd'), (5, 30, 500.0, 'e')");
+    Run("INSERT INTO dept VALUES (10, 1000.0), (20, 2000.0), (30, 3000.0)");
+    Run("ANALYZE emp");
+    Run("ANALYZE dept");
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : QueryResult{};
+  }
+
+  static std::string JoinedRows(const QueryResult& r) {
+    std::string out;
+    for (const auto& row : r.rows) out += row[0].AsString() + "\n";
+    return out;
+  }
+
+  Database db_;
+};
+
+// --- EXPLAIN as result rows (message stays the back-compat accessor) ---------
+
+TEST_F(ObservabilityTest, ExplainReturnsPlanRows) {
+  auto r = Run("EXPLAIN SELECT name FROM emp WHERE salary > 250");
+  ASSERT_EQ(r.columns, std::vector<std::string>{"plan"});
+  ASSERT_FALSE(r.rows.empty());
+  // The same text flows through both channels, one line per row.
+  EXPECT_EQ(JoinedRows(r), r.message);
+  EXPECT_NE(r.message.find("SeqScan"), std::string::npos) << r.message;
+}
+
+TEST_F(ObservabilityTest, ExplainRendersJoinOrder) {
+  auto r = Run(
+      "EXPLAIN SELECT emp.name FROM emp JOIN dept ON emp.dept = dept.id");
+  EXPECT_NE(r.message.find("join order:"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("est_cost="), std::string::npos) << r.message;
+}
+
+TEST_F(ObservabilityTest, ExplainIsStableAcrossRuns) {
+  const std::string q =
+      "EXPLAIN SELECT emp.name FROM emp JOIN dept ON emp.dept = dept.id "
+      "WHERE dept.budget > 1500";
+  auto first = Run(q);
+  auto second = Run(q);
+  EXPECT_EQ(first.message, second.message);
+}
+
+// --- EXPLAIN ANALYZE ---------------------------------------------------------
+
+TEST_F(ObservabilityTest, ExplainAnalyzeReportsEstimatesAndActuals) {
+  auto r = Run(
+      "EXPLAIN ANALYZE SELECT dept, COUNT(*) FROM emp "
+      "JOIN dept ON emp.dept = dept.id GROUP BY dept");
+  ASSERT_EQ(r.columns, std::vector<std::string>{"plan"});
+  EXPECT_EQ(JoinedRows(r), r.message);
+  // Every operator line carries estimated and actual cardinality side by
+  // side, plus call and timing counters.
+  EXPECT_NE(r.message.find("est="), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("rows="), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("time="), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("join order:"), std::string::npos) << r.message;
+
+  // The trace is harvested for last_trace() / aidb_trace too.
+  ASSERT_NE(db_.last_trace(), nullptr);
+  EXPECT_GT(db_.last_trace()->children.size(), 0u);
+  EXPECT_NE(db_.LastTraceJson().find("\"op\":"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ExplainAnalyzeOnEmptyTable) {
+  Run("CREATE TABLE nothing (x INT)");
+  auto r = Run("EXPLAIN ANALYZE SELECT x FROM nothing WHERE x > 0");
+  EXPECT_NE(r.message.find("rows=0"), std::string::npos) << r.message;
+  ASSERT_NE(db_.last_trace(), nullptr);
+  EXPECT_EQ(db_.last_trace()->rows, 0u);
+}
+
+TEST_F(ObservabilityTest, TracingOffByDefault) {
+  EXPECT_EQ(db_.last_trace(), nullptr);
+  EXPECT_EQ(db_.LastTraceJson(), "");
+  Run("SELECT * FROM emp");
+  EXPECT_EQ(db_.last_trace(), nullptr);  // plain SELECT, tracing disabled
+}
+
+TEST_F(ObservabilityTest, DeterministicTimingZeroesClocks) {
+  db_.SetDeterministicTiming(true);
+  db_.EnableTracing(true);
+  auto r = Run("SELECT * FROM emp WHERE salary > 150");
+  EXPECT_EQ(r.elapsed_ms, 0.0);
+  ASSERT_NE(db_.last_trace(), nullptr);
+  EXPECT_EQ(db_.last_trace()->time_us, 0.0);
+  EXPECT_GT(db_.last_trace()->rows, 0u);  // work counters stay live
+  auto entries = db_.query_log().Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.back().latency_us, 0.0);
+  EXPECT_EQ(entries.back().ts_us, 0.0);
+}
+
+// --- System views ------------------------------------------------------------
+
+TEST_F(ObservabilityTest, QueryLogViewComposesWithSqlClauses) {
+  Run("SELECT * FROM emp");
+  Run("SELECT name FROM emp WHERE salary > 250");
+  auto r = Run(
+      "SELECT sql, latency_us FROM aidb_query_log "
+      "ORDER BY latency_us DESC LIMIT 5");
+  ASSERT_EQ(r.columns.size(), 2u);
+  ASSERT_LE(r.rows.size(), 5u);
+  ASSERT_FALSE(r.rows.empty());
+  // Descending latency order.
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i - 1][1].AsDouble(), r.rows[i][1].AsDouble());
+  }
+
+  auto selects = Run("SELECT sql FROM aidb_query_log WHERE kind = 'select'");
+  EXPECT_GE(selects.rows.size(), 2u);
+}
+
+TEST_F(ObservabilityTest, QueryLogRecordsFailures) {
+  EXPECT_FALSE(db_.Execute("SELECT nope FROM emp").ok());
+  auto r = Run("SELECT status FROM aidb_query_log WHERE status <> 'ok'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NE(r.rows[0][0].AsString().find("nope"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, MetricsViewServesCounters) {
+  Run("SELECT * FROM emp");
+  auto r = Run(
+      "SELECT name, value FROM aidb_metrics WHERE name = 'exec.queries'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  // SetUp ran 6 statements, plus the SELECT above; the metrics view is
+  // refreshed before this query executes, so it sees all of them.
+  EXPECT_GE(r.rows[0][1].AsDouble(), 7.0);
+
+  auto hist = Run(
+      "SELECT name FROM aidb_metrics WHERE name = 'exec.query_latency_us.p95'");
+  EXPECT_EQ(hist.rows.size(), 1u);
+}
+
+TEST_F(ObservabilityTest, TraceViewExposesLastTrace) {
+  Run("EXPLAIN ANALYZE SELECT emp.name FROM emp "
+      "JOIN dept ON emp.dept = dept.id");
+  auto r = Run("SELECT node, parent, operator, rows FROM aidb_trace");
+  ASSERT_FALSE(r.rows.empty());
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);    // pre-order root first
+  EXPECT_EQ(r.rows[0][1].AsInt(), -1);   // root has no parent
+  bool saw_join = false;
+  for (const auto& row : r.rows) {
+    saw_join = saw_join || row[2].AsString().find("Join") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+TEST_F(ObservabilityTest, SystemViewsAreReadOnlyAndReserved) {
+  EXPECT_FALSE(db_.Execute("CREATE TABLE aidb_metrics (x INT)").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO aidb_query_log VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("DELETE FROM aidb_metrics").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE aidb_metrics SET value = 0").ok());
+  EXPECT_FALSE(
+      db_.Execute("CREATE INDEX bad ON aidb_query_log (latency_us)").ok());
+  // Catalog enumeration of user tables is unchanged by the views.
+  auto names = db_.catalog().TableNames();
+  EXPECT_EQ(std::count_if(names.begin(), names.end(),
+                          [](const std::string& n) {
+                            return n.rfind("aidb_", 0) == 0;
+                          }),
+            0);
+}
+
+// --- Cardinality feedback loop -----------------------------------------------
+
+TEST_F(ObservabilityTest, FeedbackRecordsEstimatedVsActual) {
+  Run("SELECT name FROM emp WHERE salary > 250");
+  EXPECT_GT(db_.catalog().feedback().size(), 0u);
+  auto entries = db_.catalog().feedback().Entries();
+  bool saw_emp = false;
+  for (const auto& [table, e] : entries) {
+    if (table == "emp") {
+      saw_emp = true;
+      EXPECT_GT(e.samples, 0u);
+      EXPECT_GE(e.correction, 0.01);
+      EXPECT_LE(e.correction, 100.0);
+    }
+  }
+  EXPECT_TRUE(saw_emp);
+}
+
+TEST_F(ObservabilityTest, FeedbackSkipsLimitQueries) {
+  Run("SELECT name FROM emp LIMIT 1");
+  // LIMIT truncates actual counts; recording them would poison corrections.
+  EXPECT_EQ(db_.catalog().feedback().size(), 0u);
+}
+
+TEST_F(ObservabilityTest, FeedbackCorrectionIsOptIn) {
+  // Stale statistics: rows inserted after ANALYZE make the histogram
+  // under-estimate `salary > 900` badly (it saw no such values).
+  std::string sql = "INSERT INTO emp VALUES ";
+  for (int i = 0; i < 20; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "(" + std::to_string(100 + i) + ", 40, 1000.0, 'x')";
+  }
+  Run(sql);
+  for (int i = 0; i < 5; ++i) Run("SELECT name FROM emp WHERE salary > 900");
+  double corr = db_.catalog().feedback().Correction("emp");
+  EXPECT_GT(corr, 1.0);  // actual (20 rows) > stale estimate -> boost
+  // Planning consumes the correction only when the knob is on.
+  db_.mutable_planner_options().use_card_feedback = true;
+  auto r = Run("EXPLAIN SELECT name FROM emp WHERE salary > 900");
+  EXPECT_FALSE(r.message.empty());
+}
+
+// --- Feedback adapters for the learned monitors ------------------------------
+
+TEST_F(ObservabilityTest, PerfPredictorTrainsFromRealQueryLog) {
+  for (int i = 0; i < 12; ++i) {
+    Run("SELECT emp.name FROM emp JOIN dept ON emp.dept = dept.id "
+        "WHERE salary > " + std::to_string(i * 40));
+  }
+  auto entries = db_.query_log().Entries();
+  auto mixes = monitor::MixesFromQueryLog(entries, 3);
+  ASSERT_GE(mixes.size(), 10u);
+  for (const auto& mix : mixes) {
+    EXPECT_EQ(mix.queries.size(), 3u);
+    EXPECT_GT(mix.true_latency, 0.0);
+    for (const auto& q : mix.queries) {
+      ASSERT_EQ(q.demand.size(), 4u);
+      for (double d : q.demand) {
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+      }
+      EXPECT_GT(q.solo_latency, 0.0);
+    }
+  }
+
+  monitor::GraphPerfPredictor::Options opts;
+  opts.mlp.epochs = 30;
+  monitor::GraphPerfPredictor learned(opts);
+  EXPECT_EQ(monitor::FitFromQueryLog(&learned, entries, 3), mixes.size());
+  EXPECT_GT(learned.Predict(mixes.front()), 0.0);
+}
+
+TEST_F(ObservabilityTest, ArrivalTraceFromLogBucketsTimestamps) {
+  for (int i = 0; i < 8; ++i) Run("SELECT * FROM emp");
+  auto entries = db_.query_log().Entries();
+  auto trace = monitor::ArrivalTraceFromLog(entries, 1000.0);
+  ASSERT_FALSE(trace.empty());
+  double total = 0.0;
+  for (double c : trace) total += c;
+  EXPECT_EQ(total, static_cast<double>(entries.size()));
+  EXPECT_TRUE(monitor::ArrivalTraceFromLog({}, 1000.0).empty());
+  EXPECT_TRUE(monitor::ArrivalTraceFromLog(entries, 0.0).empty());
+}
+
+// --- Subsystem instrumentation -----------------------------------------------
+
+TEST_F(ObservabilityTest, ModelTrainingIsMetered) {
+  Run("CREATE MODEL m TYPE linear PREDICT salary ON emp");
+  auto r = Run("SELECT value FROM aidb_metrics WHERE name = 'models.trained'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsDouble(), 1.0);
+}
+
+TEST(ObservabilityWalTest, WalCountersFlowIntoMetrics) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("aidb_obs_wal_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    auto opened = Database::Open(dir.string());
+    ASSERT_TRUE(opened.ok());
+    auto& db = *opened.ValueOrDie();
+    ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2)").ok());
+    ASSERT_TRUE(db.FlushWal().ok());
+    EXPECT_GE(db.metrics().GetCounter("wal.records")->Value(), 3u);
+    EXPECT_GE(db.metrics().GetCounter("wal.flushes")->Value(), 1u);
+    EXPECT_GT(db.metrics().GetCounter("wal.bytes")->Value(), 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- Parallel execution tracing + concurrency (TSan leg: -R Parallel) --------
+
+class ParallelTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE big (id INT, grp INT, v DOUBLE)").ok());
+    for (int batch = 0; batch < 8; ++batch) {
+      std::string sql = "INSERT INTO big VALUES ";
+      for (int i = 0; i < 32; ++i) {
+        int id = batch * 32 + i;
+        if (i > 0) sql += ", ";
+        sql += "(" + std::to_string(id) + ", " + std::to_string(id % 7) +
+               ", " + std::to_string(id) + ".5)";
+      }
+      ASSERT_TRUE(db_.Execute(sql).ok());
+    }
+    ASSERT_TRUE(db_.Execute("ANALYZE big").ok());
+    db_.SetDop(8);
+    db_.mutable_planner_options().parallel_threshold_rows = 1;
+  }
+
+  Database db_;
+};
+
+TEST_F(ParallelTelemetryTest, WorkerRowCountsSumToSerialTotal) {
+  db_.EnableTracing(true);
+  auto r = db_.Execute("SELECT * FROM big WHERE v > 10.0");
+  ASSERT_TRUE(r.ok());
+  size_t parallel_rows = r.ValueOrDie().rows.size();
+
+  ASSERT_NE(db_.last_trace(), nullptr);
+  // Find the gathering node and check its per-worker counts add up.
+  std::function<const exec::TraceNode*(const exec::TraceNode&)> find_workers =
+      [&](const exec::TraceNode& n) -> const exec::TraceNode* {
+    if (!n.worker_rows.empty()) return &n;
+    for (const auto& c : n.children) {
+      if (const exec::TraceNode* hit = find_workers(c)) return hit;
+    }
+    return nullptr;
+  };
+  const exec::TraceNode* gather = find_workers(*db_.last_trace());
+  ASSERT_NE(gather, nullptr) << "no parallel operator in dop=8 plan";
+  uint64_t sum = 0;
+  for (uint64_t w : gather->worker_rows) sum += w;
+  EXPECT_EQ(sum, gather->rows);
+  EXPECT_EQ(sum, parallel_rows);
+
+  // Serial execution returns the same count (trace included).
+  db_.SetDop(1);
+  auto serial = db_.Execute("SELECT * FROM big WHERE v > 10.0");
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial.ValueOrDie().rows.size(), parallel_rows);
+}
+
+TEST_F(ParallelTelemetryTest, ExplainAnalyzeParallelAggregate) {
+  auto r = db_.Execute(
+      "EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM big GROUP BY grp");
+  ASSERT_TRUE(r.ok());
+  const std::string& text = r.ValueOrDie().message;
+  EXPECT_NE(text.find("dop=8"), std::string::npos) << text;
+  EXPECT_NE(text.find("workers="), std::string::npos) << text;
+}
+
+TEST(ParallelTelemetryStressTest, MetricsRegistryConcurrentWriters) {
+  monitor::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      auto* counter = registry.GetCounter("stress.counter");
+      auto* gauge = registry.GetGauge("stress.gauge");
+      auto* hist = registry.GetHistogram("stress.hist");
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter->Add();
+        gauge->Set(t);
+        hist->Observe(static_cast<double>(i % 1000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.GetCounter("stress.counter")->Value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  auto snap = registry.GetHistogram("stress.hist")->Snap();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_GE(snap.Percentile(0.99), snap.Percentile(0.50));
+}
+
+TEST(ParallelTelemetryStressTest, QueryLogConcurrentAppends) {
+  monitor::QueryLog log(256);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        monitor::QueryLogEntry e;
+        e.sql = "SELECT " + std::to_string(t);
+        e.kind = "select";
+        e.work = static_cast<uint64_t>(i);
+        log.Append(std::move(e));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.total_logged(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.size(), 256u);
+  auto entries = log.Entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].id, entries[i].id);  // ids stay monotone
+  }
+}
+
+TEST(ParallelTelemetryStressTest, CardinalityFeedbackConcurrentRecords) {
+  CardinalityFeedback feedback;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&feedback, t] {
+      std::string table = "t" + std::to_string(t % 4);
+      for (int i = 0; i < 2000; ++i) {
+        feedback.Record(table, 100.0, 50.0);
+        (void)feedback.Correction(table);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(feedback.size(), 4u);
+  for (const auto& [table, e] : feedback.Entries()) {
+    EXPECT_GE(e.correction, 0.01);
+    EXPECT_LE(e.correction, 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace aidb
