@@ -2,7 +2,7 @@
 # Runs benchmark binaries and captures machine-readable results as
 # BENCH_<name>.json in the repo root (google-benchmark JSON format, the
 # input EXPERIMENTS.md rows are derived from).
-#   scripts/bench_json.sh                   run the default benches (wal, observability)
+#   scripts/bench_json.sh                   run the default benches (wal, observability, service)
 #   scripts/bench_json.sh wal parallel_exec run the named benches
 #   BUILD_DIR=out scripts/bench_json.sh     use a non-default build tree
 set -euo pipefail
@@ -17,7 +17,7 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
 fi
 
 benches=("$@")
-[[ ${#benches[@]} -eq 0 ]] && benches=(wal observability)
+[[ ${#benches[@]} -eq 0 ]] && benches=(wal observability service)
 
 for name in "${benches[@]}"; do
   bin="$BUILD_DIR/bench/bench_$name"

@@ -38,6 +38,19 @@ size_t CheckpointEveryNFromKnob(double normalized) {
   return static_cast<size_t>(std::llround(16.0 * std::pow(256.0, c)));
 }
 
+size_t ServiceWorkersFromKnob(double normalized, size_t max_workers) {
+  if (max_workers <= 1) return 1;
+  double c = std::clamp(normalized, 0.0, 1.0);
+  return 1 + static_cast<size_t>(
+                 std::lround(c * static_cast<double>(max_workers - 1)));
+}
+
+size_t AdmissionQueueFromKnob(double normalized) {
+  double c = std::clamp(normalized, 0.0, 1.0);
+  // 8 * 64^c: log-scale over [8, 512] queued statements.
+  return static_cast<size_t>(std::llround(8.0 * std::pow(64.0, c)));
+}
+
 WorkloadProfile WorkloadProfile::Oltp() {
   return {0.6, 0.05, 0.9, "oltp"};
 }

@@ -48,6 +48,18 @@ size_t WalFlushIntervalFromKnob(double normalized);
 /// (never 0 — the tuner may not disable checkpointing entirely).
 size_t CheckpointEveryNFromKnob(double normalized);
 
+/// Maps the normalized `parallel_workers` knob to the server::Service worker
+/// count in [1, max_workers] — the bridge between the tuner and the serving
+/// layer's inter-query concurrency (distinct from the intra-query morsel
+/// dop, which kExecDop drives).
+size_t ServiceWorkersFromKnob(double normalized, size_t max_workers = 16);
+
+/// Maps the normalized `max_connections` knob to the server::Service
+/// admission-queue capacity: log-scale over [8, 512] queued statements, so
+/// the tuner trades shed rate against queueing latency the way a real
+/// max_connections knob trades rejects against thrashing.
+size_t AdmissionQueueFromKnob(double normalized);
+
 /// Workload mix the environment responds to.
 struct WorkloadProfile {
   double read_fraction = 0.5;      ///< reads vs writes

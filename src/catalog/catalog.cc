@@ -160,6 +160,13 @@ bool Catalog::IsSystemView(const std::string& name) const {
   return system_views_.count(name) > 0;
 }
 
+Status Catalog::UnregisterSystemView(const std::string& name) {
+  auto it = system_views_.find(name);
+  if (it == system_views_.end()) return Status::NotFound("system view " + name);
+  system_views_.erase(it);
+  return Status::OK();
+}
+
 Status Catalog::RefreshSystemView(const std::string& name) {
   auto it = system_views_.find(name);
   if (it == system_views_.end()) return Status::NotFound("system view " + name);

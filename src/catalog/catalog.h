@@ -83,6 +83,10 @@ class Catalog {
   /// statement before planning so the backing Table* stays stable while the
   /// plan executes.
   Status RefreshSystemView(const std::string& name);
+  /// Removes a registered view (NotFound when absent). Needed by components
+  /// with a narrower lifetime than the catalog, e.g. a server::Service that
+  /// registers aidb_sessions and must tear it down before it is destroyed.
+  Status UnregisterSystemView(const std::string& name);
   /// Registered view names, sorted.
   std::vector<std::string> SystemViewNames() const;
 

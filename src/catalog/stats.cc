@@ -84,12 +84,23 @@ void CardinalityFeedback::Record(const std::string& table, double estimated,
   constexpr double kAlpha = 0.3;
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = map_[table];
-  e.correction = e.samples == 0
-                     ? ratio
-                     : (1.0 - kAlpha) * e.correction + kAlpha * ratio;
+  if (e.samples == 0) {
+    e.correction = ratio;
+    e.correction_at_epoch = ratio;
+  } else {
+    e.correction = (1.0 - kAlpha) * e.correction + kAlpha * ratio;
+  }
   ++e.samples;
   e.last_est = estimated;
   e.last_actual = actual;
+  // Advance the generation only on 2x drift from the last bump point: cached
+  // plans embed the correction that was current when they were built, and the
+  // plan cache invalidates on epoch changes.
+  double drift = e.correction / e.correction_at_epoch;
+  if (drift > 2.0 || drift < 0.5) {
+    e.correction_at_epoch = e.correction;
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
 }
 
 double CardinalityFeedback::Correction(const std::string& table) const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -66,6 +67,7 @@ class CardinalityFeedback {
     double correction = 1.0;  ///< EWMA of (actual+1)/(estimated+1), clamped
     double last_est = 0.0;
     double last_actual = 0.0;
+    double correction_at_epoch = 1.0;  ///< value when epoch_ last advanced
   };
 
   /// Folds one (estimated, actual) observation into the table's correction.
@@ -80,9 +82,18 @@ class CardinalityFeedback {
 
   size_t size() const;
 
+  /// Monotonic generation counter, bumped when any table's correction drifts
+  /// more than 2x away from where it stood at the last bump. Plans cached
+  /// while feedback was on embed corrections; the plan cache compares its
+  /// recorded epoch against this to decide whether a cached plan is stale.
+  /// Small drifts deliberately do NOT bump it — invalidating the cache on
+  /// every EWMA tick would make feedback and caching mutually exclusive.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> map_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace aidb

@@ -15,6 +15,9 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kAborted: return "Aborted";
     case StatusCode::kPermissionDenied: return "PermissionDenied";
     case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kOverloaded: return "Overloaded";
+    case StatusCode::kTimeout: return "Timeout";
   }
   return "Unknown";
 }

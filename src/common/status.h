@@ -18,6 +18,9 @@ enum class StatusCode {
   kAborted,        ///< e.g. transaction aborted by deadlock avoidance
   kPermissionDenied,
   kParseError,
+  kCancelled,   ///< query cancelled at a morsel/row boundary
+  kOverloaded,  ///< shed by admission control (queue full) — retry later
+  kTimeout,     ///< statement deadline exceeded (queue wait + execution)
 };
 
 /// \brief Lightweight status object for fallible operations.
@@ -57,6 +60,15 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

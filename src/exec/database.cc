@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "common/timer.h"
+#include "sql/lexer.h"
+#include "sql/params.h"
 #include "sql/parser.h"
 #include "storage/snapshot.h"
 
@@ -33,8 +35,44 @@ std::string StatementKindName(const sql::Statement& stmt) {
     case sql::StatementKind::kAnalyze: return "analyze";
     case sql::StatementKind::kCreateModel: return "create_model";
     case sql::StatementKind::kShowModels: return "show_models";
+    case sql::StatementKind::kPrepare: return "prepare";
+    case sql::StatementKind::kExecute: return "execute";
+    case sql::StatementKind::kDeallocate: return "deallocate";
   }
   return "unknown";
+}
+
+/// Recursively checks an expression tree for PREDICT calls (whose bound
+/// closures capture model state and therefore must not be plan-cached).
+bool ExprHasPredict(const sql::Expr* e) {
+  if (e == nullptr) return false;
+  if (e->kind == sql::Expr::Kind::kPredict) return true;
+  if (ExprHasPredict(e->lhs.get()) || ExprHasPredict(e->rhs.get())) return true;
+  for (const auto& a : e->args) {
+    if (ExprHasPredict(a.get())) return true;
+  }
+  return false;
+}
+
+/// Plan-cache key: normalized SQL + type-tagged argument values + planner
+/// knob fingerprint. Args are type-tagged because Value::ToString renders 1
+/// and '1' too similarly to trust for keying.
+std::string PlanCacheKey(const std::string& normalized_sql,
+                         const std::vector<Value>& args,
+                         const exec::PlannerOptions& opts) {
+  std::string key = normalized_sql;
+  key += "|a:";
+  for (const Value& v : args) {
+    key += std::to_string(static_cast<int>(v.type()));
+    key += ':';
+    key += v.ToString();
+    key += '\x1f';
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "|k:%016llx",
+                static_cast<unsigned long long>(server::KnobFingerprint(opts)));
+  key += buf;
+  return key;
 }
 
 std::string HexDigest(uint64_t digest) {
@@ -75,7 +113,8 @@ void Database::RegisterSystemViews() {
                      {"operators", ValueType::kInt},
                      {"joins", ValueType::kInt},
                      {"plan_digest", ValueType::kString},
-                     {"dop", ValueType::kInt}});
+                     {"dop", ValueType::kInt},
+                     {"session", ValueType::kInt}});
   (void)catalog_.RegisterSystemView(
       "aidb_query_log", std::move(log_schema), [this](const VF& emit) {
         for (const auto& e : query_log_.Entries()) {
@@ -88,7 +127,8 @@ void Database::RegisterSystemViews() {
                 Value(static_cast<int64_t>(e.num_operators)),
                 Value(static_cast<int64_t>(e.num_joins)),
                 Value(HexDigest(e.plan_digest)),
-                Value(static_cast<int64_t>(e.dop))});
+                Value(static_cast<int64_t>(e.dop)),
+                Value(static_cast<int64_t>(e.session_id))});
         }
       });
 
@@ -152,6 +192,7 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 void Database::SetDop(size_t dop) {
+  std::lock_guard<std::mutex> lock(options_mu_);
   if (dop <= 1) {
     planner_options_.dop = 1;
     planner_options_.exec_pool = nullptr;
@@ -161,11 +202,25 @@ void Database::SetDop(size_t dop) {
   // Grow-only: a pool sized for the largest dop seen serves smaller settings
   // too (workers beyond dop simply never get tasks).
   if (!exec_pool_ || exec_pool_->num_threads() < dop) {
+    // Statements admitted with the old pool (snapshot settings, cached
+    // plans) may still be running on it: retire, never destroy.
+    if (exec_pool_) retired_pools_.push_back(std::move(exec_pool_));
     exec_pool_ = std::make_unique<ThreadPool>(dop);
     exec_pool_->set_metrics(&metrics_);
   }
   planner_options_.dop = dop;
   planner_options_.exec_pool = exec_pool_.get();
+}
+
+uint64_t Database::TableEpoch(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  auto it = table_epochs_.find(table);
+  return it == table_epochs_.end() ? 0 : it->second;
+}
+
+void Database::BumpTableEpoch(const std::string& table) {
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  ++table_epochs_[table];
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
@@ -250,18 +305,38 @@ Status Database::LogTxn(
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
+  return Execute(sql, SnapshotSettings());
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const ExecSettings& settings) {
   Timer timer;
   if (crashed()) return Status::Aborted("database crashed; reopen to recover");
   std::unique_ptr<sql::Statement> stmt;
   AIDB_ASSIGN_OR_RETURN(stmt, sql::Parser::Parse(sql));
 
-  last_plan_info_ = {};
+  StmtPlanInfo plan_info;
   AIDB_RETURN_NOT_OK(RefreshReferencedSystemViews(*stmt));
 
+  // Direct cacheable SELECTs key on the normalized statement text (EXECUTE
+  // builds its key from the template body instead, inside its branch).
+  std::string direct_key;
+  const std::string* direct_key_ptr = nullptr;
+  if (stmt->kind() == sql::StatementKind::kSelect &&
+      CacheableSelect(static_cast<const sql::SelectStatement&>(*stmt))) {
+    Result<std::string> normalized = sql::NormalizeSql(sql);
+    if (normalized.ok()) {
+      direct_key = PlanCacheKey(normalized.ValueOrDie(), {}, settings.planner);
+      direct_key_ptr = &direct_key;
+    }
+  }
+
   QueryResult result;
-  Status status = ExecuteStatement(*stmt, &result);
+  Status status =
+      ExecuteStatement(*stmt, settings, &plan_info, direct_key_ptr, &result);
   double latency_us = timer.ElapsedMicros();
   result.elapsed_ms = deterministic_timing_ ? 0.0 : timer.ElapsedMillis();
+  result.plan_cache_hit = plan_info.plan_cache_hit;
 
   // Engine-wide telemetry: every statement is metered and logged, including
   // failures (the monitors train on error rates too).
@@ -284,17 +359,54 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
   entry.work = result.operator_work;
   entry.latency_us = deterministic_timing_ ? 0.0 : latency_us;
   entry.ts_us = deterministic_timing_ ? 0.0 : uptime_.ElapsedMicros();
-  entry.plan_digest = last_plan_info_.plan_digest;
-  entry.num_operators = last_plan_info_.num_operators;
-  entry.num_joins = last_plan_info_.num_joins;
-  entry.dop = static_cast<uint32_t>(planner_options_.dop);
+  entry.plan_digest = plan_info.plan_digest;
+  entry.num_operators = plan_info.num_operators;
+  entry.num_joins = plan_info.num_joins;
+  entry.dop = static_cast<uint32_t>(settings.planner.dop);
+  entry.session_id = settings.session_id;
   query_log_.Append(std::move(entry));
 
   if (!status.ok()) return status;
   return result;
 }
 
+bool Database::CacheableSelect(const sql::SelectStatement& stmt) const {
+  if (stmt.explain || stmt.explain_analyze) return false;
+  for (const auto& ref : stmt.from) {
+    if (catalog_.IsSystemView(ref.table)) return false;
+  }
+  for (const auto& j : stmt.joins) {
+    if (catalog_.IsSystemView(j.table.table)) return false;
+  }
+  for (const auto& item : stmt.items) {
+    if (ExprHasPredict(item.expr.get())) return false;
+  }
+  for (const auto& j : stmt.joins) {
+    if (ExprHasPredict(j.condition.get())) return false;
+  }
+  if (ExprHasPredict(stmt.where.get())) return false;
+  for (const auto& g : stmt.group_by) {
+    if (ExprHasPredict(g.get())) return false;
+  }
+  if (ExprHasPredict(stmt.having.get())) return false;
+  return true;
+}
+
+bool Database::PlanStillValid(const server::CachedPlan& entry) const {
+  if (entry.used_feedback &&
+      entry.feedback_epoch != catalog_.feedback().epoch()) {
+    return false;
+  }
+  for (const auto& [table, epoch] : entry.deps) {
+    if (TableEpoch(table) != epoch) return false;
+  }
+  return true;
+}
+
 Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
+                                  const ExecSettings& settings,
+                                  StmtPlanInfo* info,
+                                  const std::string* direct_select_key,
                                   QueryResult* result_out) {
   QueryResult& result = *result_out;
   const sql::Statement* stmt = &stmt_ref;
@@ -309,12 +421,14 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
   switch (stmt->kind()) {
     case sql::StatementKind::kSelect: {
       AIDB_ASSIGN_OR_RETURN(
-          result, ExecuteSelect(static_cast<const sql::SelectStatement&>(*stmt)));
+          result, ExecuteSelect(static_cast<const sql::SelectStatement&>(*stmt),
+                                settings, info, direct_select_key));
       break;
     }
     case sql::StatementKind::kCreateTable: {
       auto& s = static_cast<const sql::CreateTableStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(catalog_.CreateTable(s.table, s.schema).status());
+      BumpTableEpoch(s.table);
       AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kCreateTable,
                                   storage::EncodeCreateTable({s.table, s.schema})}}));
       result.message = "CREATE TABLE " + s.table;
@@ -323,6 +437,7 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
     case sql::StatementKind::kDropTable: {
       auto& s = static_cast<const sql::DropTableStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(catalog_.DropTable(s.table));
+      BumpTableEpoch(s.table);
       AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kDropTable,
                                   storage::EncodeDropTable(s.table)}}));
       result.message = "DROP TABLE " + s.table;
@@ -333,6 +448,7 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       AIDB_RETURN_NOT_OK(reject_system_view(s.table));
       AIDB_RETURN_NOT_OK(
           catalog_.CreateIndex(s.index, s.table, s.column, s.is_btree).status());
+      BumpTableEpoch(s.table);
       AIDB_RETURN_NOT_OK(LogTxn(
           {{storage::WalRecordType::kCreateIndex,
             storage::EncodeCreateIndex({s.index, s.table, s.column, s.is_btree})}}));
@@ -341,7 +457,17 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
     }
     case sql::StatementKind::kDropIndex: {
       auto& s = static_cast<const sql::DropIndexStatement&>(*stmt);
+      // Resolve the owning table before the drop: cached plans scanning it
+      // (via this index or not) must be invalidated.
+      std::string owner;
+      for (const IndexInfo* idx : catalog_.AllIndexes()) {
+        if (idx->name == s.index) {
+          owner = idx->table;
+          break;
+        }
+      }
       AIDB_RETURN_NOT_OK(catalog_.DropIndex(s.index));
+      if (!owner.empty()) BumpTableEpoch(owner);
       AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kDropIndex,
                                   storage::EncodeDropIndex(s.index)}}));
       result.message = "DROP INDEX " + s.index;
@@ -490,6 +616,8 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
     case sql::StatementKind::kAnalyze: {
       auto& s = static_cast<const sql::AnalyzeStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(catalog_.Analyze(s.table));
+      // New statistics change plan choice; strand cached plans for the table.
+      BumpTableEpoch(s.table);
       result.message = "ANALYZE " + s.table;
       break;
     }
@@ -517,17 +645,101 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       }
       break;
     }
+    case sql::StatementKind::kPrepare: {
+      auto& s = static_cast<const sql::PrepareStatement&>(*stmt);
+      server::PreparedStore* store =
+          settings.prepared ? settings.prepared : &default_prepared_;
+      std::shared_ptr<const sql::PrepareStatement> tmpl(
+          static_cast<sql::PrepareStatement*>(s.Clone().release()));
+      AIDB_RETURN_NOT_OK(store->Put(std::move(tmpl)));
+      result.message = "PREPARE " + s.name;
+      break;
+    }
+    case sql::StatementKind::kDeallocate: {
+      auto& s = static_cast<const sql::DeallocateStatement&>(*stmt);
+      server::PreparedStore* store =
+          settings.prepared ? settings.prepared : &default_prepared_;
+      AIDB_RETURN_NOT_OK(store->Remove(s.name));
+      result.message = "DEALLOCATE " + s.name;
+      break;
+    }
+    case sql::StatementKind::kExecute: {
+      auto& s = static_cast<const sql::ExecuteStatement&>(*stmt);
+      server::PreparedStore* store =
+          settings.prepared ? settings.prepared : &default_prepared_;
+      std::shared_ptr<const sql::PrepareStatement> tmpl;
+      AIDB_ASSIGN_OR_RETURN(tmpl, store->Get(s.name));
+      if (static_cast<int>(s.args.size()) < tmpl->num_params) {
+        return Status::InvalidArgument(
+            "EXECUTE " + s.name + " needs " + std::to_string(tmpl->num_params) +
+            " argument(s), got " + std::to_string(s.args.size()));
+      }
+      // The EXECUTE statement itself references no tables; the body does.
+      AIDB_RETURN_NOT_OK(RefreshReferencedSystemViews(*tmpl->body));
+      // Instantiate the template: clone (templates are shared and immutable)
+      // and splice the literal args over the $N placeholders.
+      std::unique_ptr<sql::Statement> bound = tmpl->body->Clone();
+      AIDB_RETURN_NOT_OK(sql::BindParams(bound.get(), s.args));
+      if (bound->kind() == sql::StatementKind::kSelect) {
+        const auto& sel = static_cast<const sql::SelectStatement&>(*bound);
+        std::string key;
+        const std::string* key_ptr = nullptr;
+        if (CacheableSelect(sel)) {
+          // body_text is already the canonical token rendering, so hit and
+          // miss paths key identically without re-lexing.
+          key = PlanCacheKey(tmpl->body_text, s.args, settings.planner);
+          key_ptr = &key;
+        }
+        AIDB_ASSIGN_OR_RETURN(result,
+                              ExecuteSelect(sel, settings, info, key_ptr));
+      } else {
+        // Non-SELECT template (INSERT/UPDATE/DELETE/...): dispatch the bound
+        // statement through the normal switch. EXECUTE returns the inner
+        // result unchanged so prepared and direct paths digest identically.
+        AIDB_RETURN_NOT_OK(
+            ExecuteStatement(*bound, settings, info, nullptr, &result));
+      }
+      break;
+    }
   }
   return Status::OK();
 }
 
-Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt) {
-  exec::PhysicalPlan plan;
-  AIDB_ASSIGN_OR_RETURN(plan, planner_.Plan(stmt, planner_options_));
+Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt,
+                                            const ExecSettings& settings,
+                                            StmtPlanInfo* info,
+                                            const std::string* cache_key) {
+  // Fast path: check out a previously built plan. Validity (DDL epochs,
+  // feedback generation) is re-checked at acquire time; a stale entry is
+  // simply dropped — the fresh plan built below re-enters the cache.
+  if (cache_key != nullptr) {
+    std::optional<server::CachedPlan> cached = plan_cache_.Acquire(*cache_key);
+    if (cached.has_value() && PlanStillValid(*cached)) {
+      metrics_.GetCounter("plan_cache.hit")->Add();
+      info->plan_cache_hit = true;
+      info->plan_digest = exec::PlanDigest(*cached->plan.root);
+      info->num_operators = exec::CountOperators(*cached->plan.root);
+      info->num_joins = exec::CountJoins(*cached->plan.root);
+      QueryResult result;
+      Status run = RunSelectPlan(cached->plan, stmt, settings, &result);
+      // Check the plan back in even after a runtime error: Open() resets all
+      // operator state, and evaluation errors are data-dependent, not
+      // plan-dependent. The per-statement cancel pointer must not outlive
+      // the statement, though.
+      cached->plan.root->SetCancel(nullptr);
+      plan_cache_.Release(std::move(*cached));
+      AIDB_RETURN_NOT_OK(run);
+      return result;
+    }
+    metrics_.GetCounter("plan_cache.miss")->Add();
+  }
 
-  last_plan_info_.plan_digest = exec::PlanDigest(*plan.root);
-  last_plan_info_.num_operators = exec::CountOperators(*plan.root);
-  last_plan_info_.num_joins = exec::CountJoins(*plan.root);
+  exec::PhysicalPlan plan;
+  AIDB_ASSIGN_OR_RETURN(plan, planner_.Plan(stmt, settings.planner));
+
+  info->plan_digest = exec::PlanDigest(*plan.root);
+  info->num_operators = exec::CountOperators(*plan.root);
+  info->num_joins = exec::CountJoins(*plan.root);
 
   QueryResult result;
   auto join_order_line = [&]() -> std::string {
@@ -556,23 +768,78 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt) {
     return result;
   }
 
-  for (const auto& col : plan.root->output()) {
-    result.columns.push_back(col.table.empty() ? col.name
-                                               : col.table + "." + col.name);
+  AIDB_RETURN_NOT_OK(RunSelectPlan(plan, stmt, settings, &result));
+
+  if (stmt.explain_analyze) {
+    emit_plan_rows(exec::RenderTraceText(last_trace_) + join_order_line());
   }
 
+  if (cache_key != nullptr) {
+    server::CachedPlan entry;
+    entry.key = *cache_key;
+    // The graph's predicate/condition pointers alias the statement AST,
+    // which dies with this call; scrub them before the plan outlives it.
+    // (Execution never reads them — they are planner-time annotations.)
+    for (auto& rel : plan.graph.rels) rel.local_predicates.clear();
+    for (auto& edge : plan.graph.edges) edge.condition = nullptr;
+    for (const auto& rel : plan.graph.rels) {
+      entry.deps.emplace_back(rel.table, TableEpoch(rel.table));
+    }
+    if (plan.graph.rels.empty()) {
+      // Single-table plans may skip graph construction; fall back to the
+      // statement's table references.
+      for (const auto& ref : stmt.from) {
+        entry.deps.emplace_back(ref.table, TableEpoch(ref.table));
+      }
+      for (const auto& j : stmt.joins) {
+        entry.deps.emplace_back(j.table.table, TableEpoch(j.table.table));
+      }
+    }
+    entry.used_feedback = settings.planner.use_card_feedback;
+    entry.feedback_epoch = catalog_.feedback().epoch();
+    plan.root->SetCancel(nullptr);
+    entry.plan = std::move(plan);
+    plan_cache_.Release(std::move(entry));
+  }
+  return result;
+}
+
+Status Database::RunSelectPlan(exec::PhysicalPlan& plan,
+                               const sql::SelectStatement& stmt,
+                               const ExecSettings& settings,
+                               QueryResult* result) {
+  for (const auto& col : plan.root->output()) {
+    result->columns.push_back(col.table.empty() ? col.name
+                                                : col.table + "." + col.name);
+  }
+
+  // Always set (not just when true): a cached plan carries whatever tracing
+  // flag its previous run left behind.
   bool traced = tracing_ || stmt.explain_analyze;
-  if (traced) plan.root->SetTracing(true);
+  plan.root->SetTracing(traced);
+  plan.root->SetCancel(settings.cancel);
 
   plan.root->Open();
   Tuple row;
-  while (plan.root->Next(&row)) result.rows.push_back(row);
+  Status cancelled = Status::OK();
+  while (plan.root->Next(&row)) {
+    result->rows.push_back(std::move(row));
+    // Operators poll the flag at morsel/scan granularity; this drain-side
+    // check covers plans whose operators finished Open() before the flag
+    // flipped but still have many buffered rows to emit.
+    if ((result->rows.size() & 255) == 0 && settings.cancel != nullptr &&
+        settings.cancel->load(std::memory_order_relaxed)) {
+      cancelled = Status::Cancelled("query cancelled while emitting rows");
+      break;
+    }
+  }
   plan.root->Close();
+  AIDB_RETURN_NOT_OK(cancelled);
   // Next() ends the stream on a runtime evaluation error (type error,
   // overflow); surface it instead of returning a silently truncated result.
   AIDB_RETURN_NOT_OK(plan.root->FirstError());
-  result.operator_work = plan.root->TotalWork();
-  total_work_.fetch_add(result.operator_work, std::memory_order_relaxed);
+  result->operator_work = plan.root->TotalWork();
+  total_work_.fetch_add(result->operator_work, std::memory_order_relaxed);
 
   // Close the loop: record estimated-vs-true scan cardinalities into the
   // catalog's feedback store. LIMIT plans are skipped — their early exit
@@ -593,11 +860,7 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt) {
     last_trace_ = exec::BuildTrace(*plan.root, deterministic_timing_);
     has_trace_ = true;
   }
-
-  if (stmt.explain_analyze) {
-    emit_plan_rows(exec::RenderTraceText(last_trace_) + join_order_line());
-  }
-  return result;
+  return Status::OK();
 }
 
 }  // namespace aidb

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <atomic>
@@ -15,6 +17,8 @@
 #include "exec/trace.h"
 #include "monitor/metrics.h"
 #include "monitor/query_log.h"
+#include "server/plan_cache.h"
+#include "server/prepared.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
 #include "txn/types.h"
@@ -56,8 +60,32 @@ struct QueryResult {
   size_t affected_rows = 0;  ///< INSERT/UPDATE/DELETE
   double elapsed_ms = 0.0;   ///< wall clock; 0 in deterministic-timing mode
   size_t operator_work = 0;  ///< total rows produced across the plan (work proxy)
+  /// The physical plan came from the plan cache (parse+plan were skipped).
+  /// Deliberately NOT part of the differential digest: hit and miss must
+  /// produce byte-identical results.
+  bool plan_cache_hit = false;
 
   std::string ToString(size_t max_rows = 20) const;
+};
+
+/// \brief Per-statement execution settings, snapshotted at admission.
+///
+/// Sessions stopped mutating engine-global state in PR 5: a statement runs
+/// with the planner knobs its session had when the statement was admitted,
+/// whatever any other session changes mid-flight. A default-constructed
+/// Database call path (plain Execute(sql)) snapshots the database-global
+/// options instead.
+struct ExecSettings {
+  exec::PlannerOptions planner;
+  /// Statement cancellation flag (not owned; may be null). Checked at
+  /// morsel/row-batch boundaries; a set flag surfaces Status::Cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Owning session for query-log attribution (0 = no session).
+  uint64_t session_id = 0;
+  /// PREPARE/EXECUTE/DEALLOCATE name scope. Null falls back to the
+  /// database-global store, so bare Databases (tests, fuzzer) support
+  /// prepared statements without a server.
+  server::PreparedStore* prepared = nullptr;
 };
 
 /// \brief The embeddable AIDB engine facade: parse -> plan -> execute.
@@ -78,12 +106,27 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
                                                 const DurabilityOptions& opts = {});
 
-  /// Executes one SQL statement.
+  /// Executes one SQL statement with a snapshot of the database-global
+  /// planner options (the pre-server behavior).
   Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes one SQL statement under explicit per-statement settings. This
+  /// is the server's entry point: the settings carry the session's knob
+  /// snapshot, cancel flag, session id, and prepared-statement scope.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const ExecSettings& settings);
+
+  /// Snapshot of the current database-global execution settings.
+  ExecSettings SnapshotSettings() const {
+    ExecSettings s;
+    std::lock_guard<std::mutex> lock(options_mu_);
+    s.planner = planner_options_;
+    return s;
+  }
 
   /// Plans a SELECT without running it (used by advisors for what-if costing).
   Result<exec::PhysicalPlan> PlanQuery(const sql::SelectStatement& stmt) {
-    return planner_.Plan(stmt, planner_options_);
+    return planner_.Plan(stmt, SnapshotSettings().planner);
   }
 
   Catalog& catalog() { return catalog_; }
@@ -95,9 +138,27 @@ class Database {
 
   /// Session degree-of-parallelism knob (advisor knob `exec_dop`): dop > 1
   /// sizes the executor pool and makes the planner emit morsel-parallel
-  /// operator variants; dop <= 1 restores fully serial execution.
+  /// operator variants; dop <= 1 restores fully serial execution. Statements
+  /// already admitted keep their snapshot — this affects future statements
+  /// only (the pool a running plan uses is retired, never destroyed, until
+  /// the Database itself goes away).
   void SetDop(size_t dop);
-  size_t dop() const { return planner_options_.dop; }
+  size_t dop() const {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    return planner_options_.dop;
+  }
+
+  // --- Plan cache / DDL epochs ---------------------------------------------
+
+  /// Shared plan cache for prepared/cacheable SELECTs (hit/miss also metered
+  /// as plan_cache.hit / plan_cache.miss in aidb_metrics).
+  server::PlanCache& plan_cache() { return plan_cache_; }
+  const server::PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// DDL generation of a table: bumped by CREATE/DROP TABLE, CREATE/DROP
+  /// INDEX on it, and ANALYZE. Cached plans record the epochs of every table
+  /// they touch and are discarded on mismatch.
+  uint64_t TableEpoch(const std::string& table) const;
 
   /// Cumulative rows produced by all executed plans (cheap work counter the
   /// monitoring stack samples).
@@ -174,18 +235,44 @@ class Database {
   const storage::RecoveryStats& last_recovery() const { return recovery_stats_; }
 
  private:
-  /// Plan/trace facts about the last executed statement, harvested for the
-  /// query log (reset at the top of Execute; Execute is single-statement).
+  /// Plan/trace facts about one executed statement, harvested for the query
+  /// log. A local threaded through the execution path (NOT a member): two
+  /// sessions executing concurrently must not clobber each other's plan
+  /// facts.
   struct StmtPlanInfo {
     uint64_t plan_digest = 0;
     uint32_t num_operators = 0;
     uint32_t num_joins = 0;
+    bool plan_cache_hit = false;
   };
 
-  Result<QueryResult> ExecuteSelect(const sql::SelectStatement& stmt);
+  /// Plans (or fetches from the plan cache, when `cache_key` is non-null)
+  /// and executes a SELECT.
+  Result<QueryResult> ExecuteSelect(const sql::SelectStatement& stmt,
+                                    const ExecSettings& settings,
+                                    StmtPlanInfo* info,
+                                    const std::string* cache_key);
+  /// Runs an already-built plan: columns, tracing, cancellation, drain,
+  /// error check, cardinality feedback, trace capture.
+  Status RunSelectPlan(exec::PhysicalPlan& plan,
+                       const sql::SelectStatement& stmt,
+                       const ExecSettings& settings, QueryResult* result);
+  /// True when a SELECT's plan may be cached: no EXPLAIN variant, no system
+  /// views (their backing Table is replaced on refresh), no PREDICT calls
+  /// (model retrains would invalidate the bound closures).
+  bool CacheableSelect(const sql::SelectStatement& stmt) const;
+  /// Validity check for a checked-out cache entry against current DDL and
+  /// feedback epochs.
+  bool PlanStillValid(const server::CachedPlan& entry) const;
+  void BumpTableEpoch(const std::string& table);
   /// The statement dispatch switch; Execute wraps it with telemetry so
-  /// failures are metered and logged too.
-  Status ExecuteStatement(const sql::Statement& stmt, QueryResult* result);
+  /// failures are metered and logged too. `direct_select_key` carries the
+  /// plan-cache key for a directly-executed cacheable SELECT (null
+  /// otherwise; EXECUTE builds its own key from the template body).
+  Status ExecuteStatement(const sql::Statement& stmt,
+                          const ExecSettings& settings, StmtPlanInfo* info,
+                          const std::string* direct_select_key,
+                          QueryResult* result);
   /// Rebuilds any `aidb_*` system view the statement scans, so the view's
   /// backing rows are stable for the whole plan/execute cycle.
   Status RefreshReferencedSystemViews(const sql::Statement& stmt);
@@ -197,9 +284,24 @@ class Database {
   Catalog catalog_;
   db4ai::ModelRegistry models_;
   exec::Planner planner_;
+  /// Database-global defaults, guarded by options_mu_ so SetDop and the
+  /// per-statement snapshot in Execute never race. (mutable_planner_options()
+  /// hands out an unguarded reference for single-threaded setup code —
+  /// concurrent callers must go through a server session instead.)
   exec::PlannerOptions planner_options_;
+  mutable std::mutex options_mu_;
   std::unique_ptr<ThreadPool> exec_pool_;
+  /// Pools replaced by SetDop growth. In-flight statements snapshot the pool
+  /// pointer at admission; destroying a pool under them would be
+  /// use-after-free, so old pools retire here and die with the Database.
+  std::vector<std::unique_ptr<ThreadPool>> retired_pools_;
   std::atomic<uint64_t> total_work_{0};
+
+  // Serving state: plan cache, DDL epochs, database-global prepared store.
+  server::PlanCache plan_cache_;
+  mutable std::mutex epochs_mu_;
+  std::unordered_map<std::string, uint64_t> table_epochs_;
+  server::PreparedStore default_prepared_;
 
   // Observability state. metrics_ precedes wal_ in declaration order so the
   // WAL's cached metric pointers stay valid through destruction.
@@ -209,7 +311,6 @@ class Database {
   bool deterministic_timing_ = false;
   exec::TraceNode last_trace_;
   bool has_trace_ = false;
-  StmtPlanInfo last_plan_info_;
   Timer uptime_;  ///< arrival timestamps for the query log
 
   // Durability state (null/empty for the in-memory engine).

@@ -42,6 +42,12 @@ SeqScanOp::SeqScanOp(const Table* table, std::string effective_name)
 bool SeqScanOp::NextImpl(Tuple* out) {
   while (cursor_ < table_->NumSlots()) {
     RowId id = cursor_++;
+    // Poll the statement's cancel flag at a coarse stride: SeqScan feeds
+    // every serial pipeline, so this bounds cancellation latency without a
+    // per-row atomic load.
+    if ((id & 511) == 0 && IsCancelled()) {
+      return Fail(Status::Cancelled("query cancelled during scan"));
+    }
     if (!table_->IsLive(id)) continue;
     *out = table_->RowAt(id);
     ++rows_produced_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -29,6 +30,14 @@ class Operator {
   virtual ~Operator() = default;
 
   void Open() {
+    // Plans are reused across executions (plan cache, EXECUTE): every run
+    // must start from a clean slate or counters/errors from the previous
+    // execution leak into this one.
+    rows_produced_ = 0;
+    next_calls_ = 0;
+    elapsed_us_ = 0.0;
+    error_ = Status::OK();
+    worker_rows_.clear();
     if (!tracing_) {
       OpenImpl();
       return;
@@ -75,6 +84,16 @@ class Operator {
   }
   bool tracing() const { return tracing_; }
 
+  /// Installs (or clears, with nullptr) a cancellation flag on this operator
+  /// and all children. Injected at execution time — never baked into cached
+  /// plans — so one physical plan can serve many statements, each with its
+  /// own flag. Operators poll it at morsel/row-batch boundaries and end the
+  /// stream with Status::Cancelled.
+  void SetCancel(const std::atomic<bool>* cancel) {
+    cancel_ = cancel;
+    for (auto& c : children_) c->SetCancel(cancel);
+  }
+
   size_t rows_produced() const { return rows_produced_; }
   /// Next() invocations while traced (volcano batches; morsel counts for the
   /// exchange operators live in worker_rows()).
@@ -116,6 +135,11 @@ class Operator {
     return false;
   }
 
+  /// True when the statement's cancellation flag is set.
+  bool IsCancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
   std::vector<OutputCol> output_;
   std::vector<std::unique_ptr<Operator>> children_;
   size_t rows_produced_ = 0;
@@ -126,6 +150,7 @@ class Operator {
   double est_rows_ = -1.0;
   std::string feedback_table_;
   std::vector<uint64_t> worker_rows_;
+  const std::atomic<bool>* cancel_ = nullptr;  ///< not owned; per statement
 
   friend class PlanVisitor;
 };

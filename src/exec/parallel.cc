@@ -42,19 +42,29 @@ namespace {
 /// Runs `work(morsel)` for every morsel in [0, n), spread over `workers`
 /// tasks that claim morsels from a shared atomic counter (the LHS-style
 /// morsel dispatcher). With one worker (or a null pool) everything runs
-/// inline on the calling thread.
+/// inline on the calling thread. A set `cancel` flag stops workers at the
+/// next morsel claim — already-claimed morsels finish, so buffers stay
+/// well-formed and the caller decides whether to surface Cancelled.
 void DispatchMorsels(const ParallelContext& ctx, size_t n,
+                     const std::atomic<bool>* cancel,
                      const std::function<void(size_t worker, size_t morsel)>& work) {
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
   size_t workers = ctx.WorkersFor(n);
   if (workers <= 1) {
-    for (size_t m = 0; m < n; ++m) work(0, m);
+    for (size_t m = 0; m < n; ++m) {
+      if (cancelled()) return;
+      work(0, m);
+    }
     return;
   }
   std::atomic<size_t> next{0};
   TaskGroup group(ctx.pool);
   for (size_t w = 0; w < workers; ++w) {
-    group.Spawn([w, n, &next, &work] {
+    group.Spawn([w, n, &next, &work, &cancelled] {
       for (size_t m = next.fetch_add(1); m < n; m = next.fetch_add(1)) {
+        if (cancelled()) return;
         work(w, m);
       }
     });
@@ -80,12 +90,17 @@ void GatherOp::OpenImpl() {
   // of the lowest-numbered failing morsel is reported — the same row order a
   // serial scan would fail in, whatever the worker interleaving.
   std::vector<Status> morsel_status(n);
-  DispatchMorsels(ctx_, n, [this, &morsel_status](size_t w, size_t m) {
+  DispatchMorsels(ctx_, n, cancel_, [this, &morsel_status](size_t w, size_t m) {
     auto& buf = buffers_[m];
     morsel_status[m] =
         source_->ScanMorsel(m, [&buf](const Tuple& row) { buf.push_back(row); });
     worker_rows_[w] += buf.size();  // distinct w per task: no shared writes
   });
+  if (IsCancelled()) {
+    Fail(Status::Cancelled("query cancelled during parallel scan"));
+    buffers_.clear();
+    return;
+  }
   for (Status& s : morsel_status) {
     if (!s.ok()) {
       Fail(std::move(s));
@@ -171,7 +186,7 @@ void ParallelHashJoinOp::OpenImpl() {
   // Phase 1: workers claim build morsels and bucket (hash, row) refs into
   // per-worker partition lists — no shared writes.
   std::vector<std::array<std::vector<BuildRef>, kPartitions>> local(workers);
-  DispatchMorsels(ctx_, n_morsels, [this, &local](size_t w, size_t m) {
+  DispatchMorsels(ctx_, n_morsels, cancel_, [this, &local](size_t w, size_t m) {
     size_t begin = m * kMorselRows;
     size_t end = std::min(begin + kMorselRows, build_rows_.size());
     for (size_t i = begin; i < end; ++i) {
@@ -182,7 +197,7 @@ void ParallelHashJoinOp::OpenImpl() {
 
   // Phase 2: merge tasks claim whole partitions, so each hash table has
   // exactly one writer.
-  DispatchMorsels(ctx_, kPartitions, [this, &local](size_t, size_t p) {
+  DispatchMorsels(ctx_, kPartitions, cancel_, [this, &local](size_t, size_t p) {
     auto& table = partitions_[p];
     for (const auto& worker_buckets : local) {
       for (const BuildRef& ref : worker_buckets[p]) {
@@ -190,6 +205,11 @@ void ParallelHashJoinOp::OpenImpl() {
       }
     }
   });
+  if (IsCancelled()) {
+    Fail(Status::Cancelled("query cancelled during join build"));
+    build_rows_.clear();
+    for (auto& p : partitions_) p.clear();
+  }
 
   matches_ = nullptr;
   match_cursor_ = 0;
@@ -253,7 +273,7 @@ void ParallelHashAggregateOp::OpenImpl() {
   std::vector<GroupMap> partials(workers);
   std::vector<Status> morsel_status(n);
   worker_rows_.assign(workers, 0);
-  DispatchMorsels(ctx_, n, [this, &partials, &morsel_status](size_t w, size_t m) {
+  DispatchMorsels(ctx_, n, cancel_, [this, &partials, &morsel_status](size_t w, size_t m) {
     GroupMap& map = partials[w];
     Status acc_err;
     Status scan = source_->ScanMorsel(m, [&](const Tuple& row) {
@@ -263,6 +283,10 @@ void ParallelHashAggregateOp::OpenImpl() {
     });
     morsel_status[m] = scan.ok() ? std::move(acc_err) : std::move(scan);
   });
+  if (IsCancelled()) {
+    Fail(Status::Cancelled("query cancelled during parallel aggregation"));
+    return;
+  }
   for (Status& s : morsel_status) {
     if (!s.ok()) {
       Fail(std::move(s));

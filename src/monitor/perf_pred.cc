@@ -106,6 +106,28 @@ void GraphPerfPredictor::Fit(const std::vector<WorkloadMix>& training) {
     for (size_t c = 0; c < f.size(); ++c) data.x.At(i, c) = f[c];
     data.y.push_back(std::log1p(training[i].true_latency));
   }
+  // Standardize each feature column: the embedding mixes [0,1] demands with
+  // raw latencies and latency products, so the column scales span orders of
+  // magnitude and depend on how fast the logging machine was. Without this
+  // the MSE gradients on a slow machine blow the weights up in one batch.
+  f_mean_.assign(f0.size(), 0.0);
+  f_scale_.assign(f0.size(), 1.0);
+  for (size_t c = 0; c < f0.size(); ++c) {
+    double mean = 0.0;
+    for (size_t i = 0; i < training.size(); ++i) mean += data.x.At(i, c);
+    mean /= static_cast<double>(training.size());
+    double var = 0.0;
+    for (size_t i = 0; i < training.size(); ++i) {
+      double d = data.x.At(i, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(training.size());
+    f_mean_[c] = mean;
+    f_scale_[c] = std::sqrt(var) > 1e-12 ? std::sqrt(var) : 1.0;
+    for (size_t i = 0; i < training.size(); ++i) {
+      data.x.At(i, c) = (data.x.At(i, c) - mean) / f_scale_[c];
+    }
+  }
   ml::MlpOptions mopts = opts_.mlp;
   mopts.seed = opts_.seed;
   net_ = std::make_unique<ml::Mlp>(f0.size(), 1, mopts);
@@ -114,7 +136,11 @@ void GraphPerfPredictor::Fit(const std::vector<WorkloadMix>& training) {
 
 double GraphPerfPredictor::Predict(const WorkloadMix& mix) const {
   if (!net_) return AdditivePerfPredictor().Predict(mix);
-  return std::expm1(net_->Predict1(Embed(mix)));
+  std::vector<double> f = Embed(mix);
+  for (size_t c = 0; c < f.size() && c < f_mean_.size(); ++c) {
+    f[c] = (f[c] - f_mean_[c]) / f_scale_[c];
+  }
+  return std::expm1(net_->Predict1(f));
 }
 
 double EvaluatePredictor(const PerfPredictor& p,

@@ -70,6 +70,12 @@ class GraphPerfPredictor : public PerfPredictor {
  private:
   Options opts_;
   std::unique_ptr<ml::Mlp> net_;
+  // Per-feature standardization fitted on the training set. Raw embeddings
+  // carry latency-scale values (and their pairwise products), whose magnitude
+  // depends on the clock of the machine the log came from; feeding them
+  // unscaled makes MLP training diverge on slow machines.
+  std::vector<double> f_mean_;
+  std::vector<double> f_scale_;
 };
 
 /// Mean absolute percentage error of a predictor over mixes.

@@ -29,6 +29,7 @@ struct QueryLogEntry {
   uint32_t num_operators = 0;
   uint32_t num_joins = 0;
   uint32_t dop = 1;
+  uint64_t session_id = 0;  ///< 0: executed outside any server session
 };
 
 /// \brief Bounded ring of the last-N statements; the `aidb_query_log` system

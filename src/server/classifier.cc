@@ -1,0 +1,155 @@
+#include "server/classifier.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "monitor/feedback.h"
+#include "sql/lexer.h"
+
+namespace aidb::server {
+
+namespace {
+
+std::string UpperCopy(const std::string& s) {
+  std::string out(s.size(), '\0');
+  std::transform(s.begin(), s.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+SqlFacts ExtractSqlFacts(const std::string& sql) {
+  SqlFacts f;
+  std::string u = UpperCopy(sql);
+  // Leading keyword, skipping whitespace and a possible EXPLAIN prefix.
+  size_t i = u.find_first_not_of(" \t\r\n");
+  std::string head = i == std::string::npos ? "" : u.substr(i, 16);
+  f.is_select = head.rfind("SELECT", 0) == 0 || head.rfind("EXPLAIN", 0) == 0;
+  f.has_join = Contains(u, " JOIN ");
+  f.has_group_by = Contains(u, "GROUP BY");
+  f.has_order_by = Contains(u, "ORDER BY");
+  f.has_limit = Contains(u, " LIMIT ");
+  f.has_aggregate = Contains(u, "COUNT(") || Contains(u, "SUM(") ||
+                    Contains(u, "AVG(") || Contains(u, "MIN(") ||
+                    Contains(u, "MAX(") || Contains(u, "COUNT (") ||
+                    Contains(u, "SUM (") || Contains(u, "AVG (");
+  return f;
+}
+
+uint64_t SqlShapeDigest(const std::string& sql) {
+  std::string norm = sql;
+  if (auto r = sql::NormalizeSql(sql); r.ok()) norm = r.ValueOrDie();
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : norm) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void QueryClassifier::Record(uint64_t digest, double cost) {
+  if (cost < 0.0) cost = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = ewma_.emplace(digest, cost);
+  if (!inserted) {
+    it->second = opts_.ewma_alpha * cost + (1.0 - opts_.ewma_alpha) * it->second;
+  }
+  total_log_cost_ += std::log1p(cost);
+  ++samples_;
+}
+
+double QueryClassifier::HeavyThresholdLocked() const {
+  if (samples_ == 0) return opts_.min_heavy_cost;
+  // Geometric mean: workload cost distributions are heavy-tailed, and an
+  // arithmetic mean over them is dominated by the heavy queries themselves —
+  // which would reclassify them as "normal". The log-domain mean keeps the
+  // threshold anchored to the typical statement.
+  double geo = std::expm1(total_log_cost_ / static_cast<double>(samples_));
+  return std::max(opts_.min_heavy_cost, opts_.heavy_ratio * geo);
+}
+
+double QueryClassifier::HeavyThreshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HeavyThresholdLocked();
+}
+
+size_t QueryClassifier::known_digests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_.size();
+}
+
+QueryClass QueryClassifier::Classify(uint64_t digest,
+                                     const SqlFacts& facts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ewma_.find(digest);
+  if (it != ewma_.end()) {
+    return it->second > HeavyThresholdLocked() ? QueryClass::kHeavy
+                                               : QueryClass::kCheap;
+  }
+  // Cold start. Writes and DDL are "heavy" by construction: they take the
+  // exclusive engine lock, so keeping them off the cheap lane protects point
+  // lookups from queueing behind them.
+  if (!facts.is_select) return QueryClass::kHeavy;
+  if (predictor_warm_ && warm_latency_scale_ > 0.0) {
+    // Sketch the unseen query's demand vector from syntax alone and ask the
+    // warm-started perf predictor for a solo-latency estimate, on the same
+    // scale as the log it was fitted to.
+    monitor::WorkloadMix probe;
+    monitor::ConcurrentQuery q;
+    q.demand = {facts.has_join ? 0.6 : 0.2,
+                facts.has_order_by || facts.has_group_by ? 0.5 : 0.2,
+                facts.has_aggregate ? 0.5 : 0.1, facts.has_join ? 0.4 : 0.05};
+    q.solo_latency = warm_latency_scale_;
+    probe.queries.push_back(std::move(q));
+    double est = predictor_.Predict(probe);
+    if (est > opts_.heavy_ratio * warm_latency_scale_) return QueryClass::kHeavy;
+  }
+  if (facts.has_join || facts.has_group_by || facts.has_aggregate) {
+    return QueryClass::kHeavy;
+  }
+  return QueryClass::kCheap;
+}
+
+size_t QueryClassifier::WarmFromQueryLog(
+    const std::vector<monitor::QueryLogEntry>& entries) {
+  // Everything under one lock: Classify() reads predictor_ concurrently, and
+  // MLP fitting must not race with prediction.
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t absorbed = 0;
+  double latency_sum = 0.0;
+  size_t latency_n = 0;
+  for (const auto& e : entries) {
+    // Only SELECTs train the threshold: DDL/DML log zero operator work and
+    // would drag the typical-cost estimate toward 0, flagging every real
+    // scan as heavy. (Writes are routed to the heavy lane by kind anyway.)
+    if (!e.ok || e.kind != "select") continue;
+    uint64_t digest = SqlShapeDigest(e.sql);
+    double cost = static_cast<double>(e.work);
+    auto [it, inserted] = ewma_.emplace(digest, cost);
+    if (!inserted) {
+      it->second =
+          opts_.ewma_alpha * cost + (1.0 - opts_.ewma_alpha) * it->second;
+    }
+    total_log_cost_ += std::log1p(cost);
+    ++samples_;
+    ++absorbed;
+    double solo = e.latency_us > 0.0 ? e.latency_us
+                                     : static_cast<double>(e.work) + 1.0;
+    latency_sum += solo;
+    ++latency_n;
+  }
+  monitor::FitFromQueryLog(&predictor_, entries, /*mix_size=*/3);
+  if (latency_n > 0) {
+    warm_latency_scale_ = latency_sum / static_cast<double>(latency_n);
+    predictor_warm_ = true;
+  }
+  return absorbed;
+}
+
+}  // namespace aidb::server

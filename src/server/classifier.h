@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/perf_pred.h"
+#include "monitor/query_log.h"
+
+namespace aidb::server {
+
+/// Admission-time cost class of a statement. Cheap statements go to the
+/// latency-sensitive lane; heavy ones queue behind other heavy work so a
+/// burst of analytics cannot starve point lookups.
+enum class QueryClass { kCheap, kHeavy };
+
+/// Cheap syntactic facts about a statement, extractable from the raw SQL
+/// text without planning it. Used for cold-start classification before any
+/// execution of that statement shape has been observed.
+struct SqlFacts {
+  bool is_select = false;
+  bool has_join = false;
+  bool has_group_by = false;
+  bool has_aggregate = false;
+  bool has_order_by = false;
+  bool has_limit = false;
+};
+
+/// Scans the raw SQL (case-insensitive keyword search) for the facts above.
+SqlFacts ExtractSqlFacts(const std::string& sql);
+
+/// Stable digest of a statement's normalized text; the classifier's key.
+/// Statements differing only in whitespace/case of keywords share a digest.
+uint64_t SqlShapeDigest(const std::string& sql);
+
+/// \brief Learned cheap-vs-heavy classifier for admission scheduling.
+///
+/// Per-digest EWMA of observed execution cost (operator work units) with a
+/// threshold adapted to the global cost distribution. Unknown digests fall
+/// back to a syntactic prior, optionally sharpened by the PR-4 graph perf
+/// predictor warm-started from the engine query log: the predictor maps a
+/// demand sketch derived from the syntactic facts to an expected latency,
+/// which is compared against the observed latency scale of the log.
+class QueryClassifier {
+ public:
+  struct Options {
+    double ewma_alpha = 0.25;   ///< weight of the newest observation
+    /// Heavy if cost > ratio * geometric mean of all observed costs.
+    double heavy_ratio = 4.0;
+    double min_heavy_cost = 64; ///< floor so tiny workloads don't flag heavy
+  };
+
+  QueryClassifier() : QueryClassifier(Options()) {}
+  explicit QueryClassifier(const Options& opts) : opts_(opts) {}
+
+  /// Records the observed cost of one completed statement.
+  void Record(uint64_t digest, double cost);
+
+  /// Classifies a statement: EWMA when the digest has been seen, syntactic
+  /// prior (+ perf-predictor estimate when warmed) otherwise.
+  QueryClass Classify(uint64_t digest, const SqlFacts& facts) const;
+
+  /// Seeds per-digest EWMAs from the query log and fits the graph perf
+  /// predictor on it (monitor::FitFromQueryLog). Returns the number of log
+  /// entries absorbed into EWMAs.
+  size_t WarmFromQueryLog(const std::vector<monitor::QueryLogEntry>& entries);
+
+  /// Current heavy threshold (test/observability hook).
+  double HeavyThreshold() const;
+  size_t known_digests() const;
+
+ private:
+  double HeavyThresholdLocked() const;
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, double> ewma_;
+  double total_log_cost_ = 0.0;  ///< sum of log1p(cost): geometric-mean basis
+  uint64_t samples_ = 0;
+  bool predictor_warm_ = false;
+  double warm_latency_scale_ = 0.0;  ///< mean solo latency seen during warmup
+  monitor::GraphPerfPredictor predictor_;
+};
+
+}  // namespace aidb::server

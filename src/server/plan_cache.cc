@@ -1,0 +1,101 @@
+#include "server/plan_cache.h"
+
+namespace aidb::server {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t KnobFingerprint(const exec::PlannerOptions& opts) {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, opts.use_indexes ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(opts.index_selectivity_threshold * 1e6));
+  h = FnvMix(h, opts.use_card_feedback ? 1 : 0);
+  h = FnvMix(h, opts.dop);
+  h = FnvMix(h, opts.parallel_threshold_rows);
+  // Pointer identity of the pluggable components: a learned estimator or a
+  // different executor pool yields different plans from the same SQL.
+  h = FnvMix(h, reinterpret_cast<uintptr_t>(opts.estimator));
+  h = FnvMix(h, reinterpret_cast<uintptr_t>(opts.enumerator));
+  h = FnvMix(h, reinterpret_cast<uintptr_t>(opts.exec_pool));
+  return h;
+}
+
+PlanCache::PlanCache(size_t capacity, size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      shards_(shards == 0 ? 1 : shards) {
+  per_shard_cap_ = (capacity_ + shards_.size() - 1) / shards_.size();
+  if (per_shard_cap_ == 0) per_shard_cap_ = 1;
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return shards_[FnvString(kFnvOffset, key) % shards_.size()];
+}
+
+std::optional<CachedPlan> PlanCache::Acquire(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  CachedPlan entry = std::move(*it->second);
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+void PlanCache::Release(CachedPlan entry) {
+  Shard& shard = ShardFor(entry.key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // A same-key entry may have been rebuilt and released while this one was
+  // checked out; keep the incumbent (it is at least as fresh).
+  if (shard.index.count(entry.key) > 0) return;
+  shard.lru.push_front(std::move(entry));
+  shard.index[shard.lru.front().key] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_cap_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+}  // namespace aidb::server

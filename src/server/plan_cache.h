@@ -1,0 +1,93 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/planner.h"
+
+namespace aidb::server {
+
+/// \brief One cached physical plan plus everything needed to decide whether
+/// it is still valid.
+///
+/// The plan's operators hold raw Table*/BTree* pointers into the catalog, so
+/// validity is tracked as (table name, DDL epoch) pairs recorded at build
+/// time: any later CREATE/DROP TABLE, CREATE/DROP INDEX or ANALYZE touching
+/// a referenced table bumps that table's epoch and strands the entry. Plans
+/// built with cardinality feedback additionally record the feedback
+/// generation (CardinalityFeedback::epoch()).
+///
+/// The QueryGraph inside `plan` is scrubbed before caching: its
+/// local_predicates / edge conditions point into the statement AST, which
+/// dies with the statement.
+struct CachedPlan {
+  std::string key;
+  exec::PhysicalPlan plan;
+  std::vector<std::pair<std::string, uint64_t>> deps;  ///< (table, ddl epoch)
+  uint64_t feedback_epoch = 0;
+  bool used_feedback = false;
+};
+
+/// \brief Sharded LRU cache of physical plans, keyed by normalized SQL +
+/// bound arguments + planner-knob fingerprint.
+///
+/// Plans are exclusive resources (operators carry execution state), so
+/// lookup is CHECK-OUT semantics: Acquire removes the entry and hands it to
+/// the caller; Release checks it back in at the MRU position after the
+/// statement finishes. Two sessions hitting the same key concurrently cost
+/// one of them a re-plan — correct, and far cheaper than making every
+/// operator tree shareable.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256, size_t shards = 8);
+
+  /// Checks out the plan under `key`, or nullopt on miss. Hit/miss counters
+  /// update here; a checked-out entry does not count against capacity.
+  std::optional<CachedPlan> Acquire(const std::string& key);
+
+  /// Checks a plan in at the MRU position of its shard, evicting from the
+  /// LRU end past capacity. Also the insert path for newly built plans.
+  void Release(CachedPlan entry);
+
+  /// Drops every cached entry (bulk invalidation: DROP of unknown scope,
+  /// model retrain). Checked-out entries are unaffected — their staleness is
+  /// caught by the epoch check on next Acquire because they re-enter through
+  /// Release with their original deps.
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<CachedPlan> lru;  ///< front = MRU
+    std::unordered_map<std::string, std::list<CachedPlan>::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t capacity_;
+  size_t per_shard_cap_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// FNV-1a fingerprint of every planner knob that changes plan shape. Two
+/// sessions with different knobs must never share cache entries, so the
+/// fingerprint is part of the cache key.
+uint64_t KnobFingerprint(const exec::PlannerOptions& opts);
+
+}  // namespace aidb::server

@@ -1,0 +1,52 @@
+#include "server/prepared.h"
+
+#include <algorithm>
+
+namespace aidb::server {
+
+Status PreparedStore::Put(std::shared_ptr<const sql::PrepareStatement> stmt) {
+  if (!stmt || stmt->name.empty()) {
+    return Status::InvalidArgument("prepared statement needs a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(stmt->name, std::move(stmt));
+  if (!inserted) {
+    return Status::AlreadyExists("prepared statement " + it->first +
+                                 " (DEALLOCATE it first)");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const sql::PrepareStatement>> PreparedStore::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end()) return Status::NotFound("prepared statement " + name);
+  return it->second;
+}
+
+Status PreparedStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.erase(name) == 0) {
+    return Status::NotFound("prepared statement " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> PreparedStore::Names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(map_.size());
+    for (const auto& [name, stmt] : map_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t PreparedStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace aidb::server

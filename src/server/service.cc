@@ -1,0 +1,376 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "storage/schema.h"
+
+namespace aidb::server {
+
+namespace {
+
+/// First bare keyword of the statement, uppercased.
+std::string HeadKeyword(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string head;
+  while (i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    head.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[i]))));
+    ++i;
+  }
+  return head;
+}
+
+bool MentionsSystemView(const std::string& sql) {
+  std::string u(sql.size(), '\0');
+  std::transform(sql.begin(), sql.end(), u.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return u.find("aidb_") != std::string::npos;
+}
+
+}  // namespace
+
+Service::Service(Database* db, ServiceOptions opts)
+    : db_(db), opts_(opts) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  opts_.cheap_reserve = std::min(opts_.cheap_reserve, opts_.workers - 1);
+  if (opts_.warm_classifier_from_log) {
+    classifier_.WarmFromQueryLog(db_->query_log().Entries());
+  }
+  RegisterSessionsView();
+  workers_.reserve(opts_.workers);
+  for (size_t i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+Service::~Service() {
+  std::vector<std::shared_ptr<Job>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    for (auto& q : {&cheap_queue_, &heavy_queue_}) {
+      for (auto& job : *q) orphans.push_back(std::move(job));
+      q->clear();
+    }
+  }
+  queue_cv_.notify_all();
+  for (auto& job : orphans) {
+    job->session->queued.fetch_sub(1, std::memory_order_relaxed);
+    job->promise.set_value(Status::Cancelled("service shutting down"));
+  }
+  for (auto& w : workers_) w.join();
+  if (reaper_.joinable()) reaper_.join();
+  if (view_registered_) {
+    Status st = db_->catalog().UnregisterSystemView("aidb_sessions");
+    (void)st;
+  }
+}
+
+void Service::RegisterSessionsView() {
+  Schema schema({{"id", ValueType::kInt},
+                 {"state", ValueType::kString},
+                 {"queued", ValueType::kInt},
+                 {"running", ValueType::kInt},
+                 {"statements", ValueType::kInt},
+                 {"errors", ValueType::kInt},
+                 {"cache_hits", ValueType::kInt},
+                 {"dop", ValueType::kInt},
+                 {"timeout_ms", ValueType::kDouble}});
+  Status st = db_->catalog().RegisterSystemView(
+      "aidb_sessions", std::move(schema),
+      [this](const std::function<void(Tuple)>& emit) {
+        auto all = sessions_.List();
+        std::sort(all.begin(), all.end(),
+                  [](const auto& a, const auto& b) { return a->id() < b->id(); });
+        for (const auto& s : all) {
+          emit({Value(static_cast<int64_t>(s->id())), Value(s->StateName()),
+                Value(static_cast<int64_t>(
+                    s->queued.load(std::memory_order_relaxed))),
+                Value(static_cast<int64_t>(
+                    s->running.load(std::memory_order_relaxed))),
+                Value(static_cast<int64_t>(
+                    s->statements.load(std::memory_order_relaxed))),
+                Value(static_cast<int64_t>(
+                    s->errors.load(std::memory_order_relaxed))),
+                Value(static_cast<int64_t>(
+                    s->cache_hits.load(std::memory_order_relaxed))),
+                Value(static_cast<int64_t>(s->dop())),
+                Value(s->statement_timeout_ms())});
+        }
+      });
+  view_registered_ = st.ok();
+}
+
+std::shared_ptr<Session> Service::OpenSession() {
+  return sessions_.Open(db_->SnapshotSettings());
+}
+
+Status Service::CloseSession(uint64_t session_id) {
+  return sessions_.Close(session_id);
+}
+
+std::future<Result<QueryResult>> Service::Submit(uint64_t session_id,
+                                                 std::string sql) {
+  auto job = std::make_shared<Job>();
+  job->promise = std::promise<Result<QueryResult>>();
+  std::future<Result<QueryResult>> fut = job->promise.get_future();
+
+  job->session = sessions_.Get(session_id);
+  if (!job->session || job->session->closed.load(std::memory_order_relaxed)) {
+    job->promise.set_value(
+        Status::NotFound("session " + std::to_string(session_id)));
+    return fut;
+  }
+
+  job->sql = std::move(sql);
+  job->facts = ExtractSqlFacts(job->sql);
+  job->digest = SqlShapeDigest(job->sql);
+  job->klass = opts_.classify ? classifier_.Classify(job->digest, job->facts)
+                              : QueryClass::kCheap;
+  job->enqueued = Clock::now();
+  double timeout_ms = job->session->statement_timeout_ms();
+  if (timeout_ms <= 0.0) timeout_ms = opts_.default_timeout_ms;
+  if (timeout_ms > 0.0) {
+    job->has_deadline = true;
+    job->deadline = job->enqueued + std::chrono::microseconds(
+                                        static_cast<int64_t>(timeout_ms * 1e3));
+  } else {
+    job->deadline = Clock::time_point::max();
+  }
+  job->cancel = std::make_shared<std::atomic<bool>>(false);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      job->promise.set_value(Status::Cancelled("service shutting down"));
+      return fut;
+    }
+    if (cheap_queue_.size() + heavy_queue_.size() >= opts_.queue_capacity) {
+      shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      db_->metrics().GetCounter("service.shed_overloaded")->Add();
+      job->promise.set_value(Status::Overloaded(
+          "admission queue full (" + std::to_string(opts_.queue_capacity) +
+          " queued); retry later"));
+      return fut;
+    }
+    job->session->queued.fetch_add(1, std::memory_order_relaxed);
+    (job->klass == QueryClass::kHeavy ? heavy_queue_ : cheap_queue_)
+        .push_back(job);
+  }
+  if (job->has_deadline) {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    deadlines_.push_back({job->cancel, job->deadline});
+  }
+  // notify_all, not notify_one: a single notify can land on a cheap-reserved
+  // worker that refuses heavy-lane work; it would swallow the wakeup and the
+  // job would sit queued with every general worker asleep.
+  queue_cv_.notify_all();
+  return fut;
+}
+
+Result<QueryResult> Service::Execute(uint64_t session_id,
+                                     const std::string& sql) {
+  return Submit(session_id, sql).get();
+}
+
+size_t Service::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return cheap_queue_.size() + heavy_queue_.size();
+}
+
+void Service::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drain_cv_.wait(lock, [this] {
+    return cheap_queue_.empty() && heavy_queue_.empty() && running_jobs_ == 0;
+  });
+}
+
+bool Service::SharedEligible(const Job& job) const {
+  // Tracing funnels every statement's trace through one shared buffer.
+  if (db_->tracing_enabled()) return false;
+  // System-view statements rebuild the view's backing table at refresh.
+  if (MentionsSystemView(job.sql)) return false;
+  std::string head = HeadKeyword(job.sql);
+  if (head == "SELECT") return true;
+  if (head == "PREPARE" || head == "DEALLOCATE") return true;  // store-local
+  if (head == "EXECUTE") {
+    // Shared only when the template body is itself a plain SELECT. A missing
+    // template is shared-safe too: it errors without touching engine state.
+    // (Session store only: Submit-path statements never see the DB-global
+    // fallback store.)
+    auto tmpl = job.session->prepared()->Get(
+        [&] {
+          // EXECUTE <name> [...]: second keyword-ish token is the name.
+          size_t i = 0;
+          const std::string& s = job.sql;
+          while (i < s.size() &&
+                 std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+          }
+          while (i < s.size() &&
+                 std::isalpha(static_cast<unsigned char>(s[i]))) {
+            ++i;
+          }
+          while (i < s.size() &&
+                 std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+          }
+          size_t start = i;
+          while (i < s.size() &&
+                 (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                  s[i] == '_')) {
+            ++i;
+          }
+          return s.substr(start, i - start);
+        }());
+    if (!tmpl.ok()) return true;
+    const sql::PrepareStatement& p = *tmpl.ValueOrDie();
+    if (p.body->kind() != sql::StatementKind::kSelect) return false;
+    if (MentionsSystemView(p.body_text)) return false;
+    const auto& sel = static_cast<const sql::SelectStatement&>(*p.body);
+    return !sel.explain && !sel.explain_analyze;
+  }
+  // EXPLAIN ANALYZE writes the shared trace buffer; plain EXPLAIN only
+  // plans, but the two share a head keyword — be conservative for both.
+  return false;
+}
+
+void Service::WorkerLoop(size_t worker_index) {
+  const bool cheap_only = worker_index < opts_.cheap_reserve;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        if (stopping_) return true;
+        if (!cheap_queue_.empty()) return true;
+        return !cheap_only && !heavy_queue_.empty();
+      });
+      if (stopping_ && cheap_queue_.empty() &&
+          (cheap_only || heavy_queue_.empty())) {
+        return;
+      }
+      if (!cheap_queue_.empty() &&
+          (cheap_only || heavy_queue_.empty() ||
+           cheap_queue_.front()->enqueued <= heavy_queue_.front()->enqueued)) {
+        job = std::move(cheap_queue_.front());
+        cheap_queue_.pop_front();
+      } else if (!cheap_only && !heavy_queue_.empty()) {
+        job = std::move(heavy_queue_.front());
+        heavy_queue_.pop_front();
+      } else {
+        continue;
+      }
+      ++running_jobs_;
+    }
+    job->session->queued.fetch_sub(1, std::memory_order_relaxed);
+    job->session->running.fetch_add(1, std::memory_order_relaxed);
+
+    RunJob(*job);
+
+    job->session->running.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --running_jobs_;
+    }
+    drain_cv_.notify_all();
+    // More work may remain; notify_all for the same lane-affinity reason as
+    // in Submit (a lone wakeup may hit a worker that refuses the lane).
+    queue_cv_.notify_all();
+  }
+}
+
+void Service::RunJob(Job& job) {
+  Clock::time_point now = Clock::now();
+  bool deadline_passed = job.has_deadline && now >= job.deadline;
+  bool wait_exceeded =
+      opts_.max_queue_wait_ms > 0.0 &&
+      std::chrono::duration<double, std::milli>(now - job.enqueued).count() >
+          opts_.max_queue_wait_ms;
+  if (deadline_passed || wait_exceeded ||
+      job.cancel->load(std::memory_order_relaxed)) {
+    shed_timeout_.fetch_add(1, std::memory_order_relaxed);
+    db_->metrics().GetCounter("service.shed_timeout")->Add();
+    job.session->errors.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(Status::Timeout(
+        deadline_passed || job.cancel->load(std::memory_order_relaxed)
+            ? "statement deadline exceeded while queued"
+            : "queue wait bound exceeded"));
+    return;
+  }
+
+  ExecSettings settings = job.session->SnapshotSettings();
+  settings.cancel = job.cancel.get();
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (SharedEligible(job)) {
+      std::shared_lock<std::shared_mutex> lock(db_mu_);
+      return db_->Execute(job.sql, settings);
+    }
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    return db_->Execute(job.sql, settings);
+  }();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+
+  // A cancellation caused by the deadline surfaces as Timeout, so callers
+  // can tell "too slow" from "explicitly cancelled".
+  if (!result.ok() && result.status().code() == StatusCode::kCancelled &&
+      job.has_deadline && Clock::now() >= job.deadline) {
+    result = Status::Timeout(
+        "statement deadline exceeded (cancelled at morsel boundary)");
+    shed_timeout_.fetch_add(1, std::memory_order_relaxed);
+    db_->metrics().GetCounter("service.shed_timeout")->Add();
+  }
+
+  job.session->statements.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) {
+    const QueryResult& r = result.ValueOrDie();
+    if (r.plan_cache_hit) {
+      job.session->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Only reads feed the cost model (writes are heavy-lane by kind, and
+    // their zero operator work would skew the typical-cost estimate).
+    if (job.facts.is_select) {
+      classifier_.Record(job.digest, static_cast<double>(r.operator_work));
+    }
+  } else {
+    job.session->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  job.promise.set_value(std::move(result));
+}
+
+void Service::ReaperLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(reaper_mu_);
+      Clock::time_point now = Clock::now();
+      for (auto& entry : deadlines_) {
+        if (now >= entry.deadline) {
+          entry.cancel->store(true, std::memory_order_relaxed);
+        }
+      }
+      // Drop entries nobody else references (job finished) or already fired.
+      deadlines_.erase(
+          std::remove_if(deadlines_.begin(), deadlines_.end(),
+                         [](const DeadlineEntry& e) {
+                           return e.cancel.use_count() == 1 ||
+                                  e.cancel->load(std::memory_order_relaxed);
+                         }),
+          deadlines_.end());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace aidb::server

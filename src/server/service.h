@@ -1,0 +1,151 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/database.h"
+#include "server/classifier.h"
+#include "server/session.h"
+
+namespace aidb::server {
+
+struct ServiceOptions {
+  /// Executor worker threads (the service's concurrency, independent of the
+  /// intra-query morsel pool).
+  size_t workers = 4;
+  /// Bound on queued-but-not-running statements; submissions past it are
+  /// shed immediately with Status::Overloaded.
+  size_t queue_capacity = 64;
+  /// Workers that refuse heavy-lane work, so cheap statements always have
+  /// capacity. Clamped to workers - 1.
+  size_t cheap_reserve = 1;
+  /// Default per-statement deadline applied when the session has none set;
+  /// 0 disables.
+  double default_timeout_ms = 0.0;
+  /// Queue-wait bound: a statement still queued this long past its
+  /// enqueue is shed with Status::Timeout before execution. 0 disables.
+  double max_queue_wait_ms = 0.0;
+  /// Use the cheap/heavy classifier for lane selection (off = everything is
+  /// one FIFO lane).
+  bool classify = true;
+  /// Fit the classifier from the database's query log at startup.
+  bool warm_classifier_from_log = true;
+};
+
+/// \brief Concurrent in-process SQL service: sessions, admission control,
+/// per-statement deadlines and a cheap/heavy scheduler over one Database.
+///
+/// Concurrency model: the Database's read paths (planning + SELECT
+/// execution) are thread-safe against each other but not against writes, so
+/// the service holds a shared lock for plain SELECT / PREPARE / EXECUTE-of-
+/// SELECT / DEALLOCATE and an exclusive lock for everything that mutates
+/// engine state (DML, DDL, ANALYZE, CREATE MODEL), for EXPLAIN ANALYZE and
+/// engine-tracing runs (they write the shared trace buffer), and for any
+/// statement touching an aidb_* system view (refresh replaces the backing
+/// table).
+///
+/// Overload never crashes and never hangs: a full queue sheds with
+/// Status::Overloaded at submit; a statement whose deadline passes while
+/// queued is shed with Status::Timeout; a running statement past its
+/// deadline is cancelled at the next morsel boundary and surfaces
+/// Status::Timeout.
+class Service {
+ public:
+  Service(Database* db, ServiceOptions opts = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Opens a session seeded from the database's current global settings.
+  std::shared_ptr<Session> OpenSession();
+  Status CloseSession(uint64_t session_id);
+  SessionManager& sessions() { return sessions_; }
+
+  /// Enqueues `sql` for the session; the future resolves to the result or a
+  /// typed error (Overloaded / Timeout / Cancelled / statement error). On
+  /// immediate shedding the future is already resolved.
+  std::future<Result<QueryResult>> Submit(uint64_t session_id, std::string sql);
+
+  /// Submit + wait.
+  Result<QueryResult> Execute(uint64_t session_id, const std::string& sql);
+
+  /// Blocks until no statement is queued or running.
+  void Drain();
+
+  const QueryClassifier& classifier() const { return classifier_; }
+  size_t queue_depth() const;
+  uint64_t shed_overloaded() const {
+    return shed_overloaded_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_timeout() const {
+    return shed_timeout_.load(std::memory_order_relaxed);
+  }
+  uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    std::shared_ptr<Session> session;
+    std::string sql;
+    SqlFacts facts;
+    uint64_t digest = 0;
+    QueryClass klass = QueryClass::kCheap;
+    Clock::time_point enqueued{};
+    Clock::time_point deadline{};  ///< time_point::max() = none
+    bool has_deadline = false;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::promise<Result<QueryResult>> promise;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void ReaperLoop();
+  void RunJob(Job& job);
+  /// True when the statement can run under the shared (reader) lock.
+  bool SharedEligible(const Job& job) const;
+  void RegisterSessionsView();
+
+  Database* db_;
+  ServiceOptions opts_;
+  SessionManager sessions_;
+  QueryClassifier classifier_;
+
+  /// Serializes engine writers against readers (see class comment).
+  std::shared_mutex db_mu_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::shared_ptr<Job>> cheap_queue_;
+  std::deque<std::shared_ptr<Job>> heavy_queue_;
+  size_t running_jobs_ = 0;
+  bool stopping_ = false;
+
+  /// Live cancel flags + deadlines for the reaper (queued and running).
+  struct DeadlineEntry {
+    std::shared_ptr<std::atomic<bool>> cancel;
+    Clock::time_point deadline;
+  };
+  std::mutex reaper_mu_;
+  std::vector<DeadlineEntry> deadlines_;
+
+  std::vector<std::thread> workers_;
+  std::thread reaper_;
+
+  std::atomic<uint64_t> shed_overloaded_{0};
+  std::atomic<uint64_t> shed_timeout_{0};
+  std::atomic<uint64_t> executed_{0};
+  bool view_registered_ = false;
+};
+
+}  // namespace aidb::server

@@ -31,6 +31,7 @@ struct Expr {
     kAggregate,  ///< agg(child) or COUNT(*)
     kPredict,    ///< PREDICT(model, arg...) — DB4AI scalar inference
     kStar,       ///< * (only inside COUNT(*))
+    kParam,      ///< $N placeholder, bound by EXECUTE (PREPARE bodies only)
   };
 
   Kind kind;
@@ -40,6 +41,7 @@ struct Expr {
   OpType op = OpType::kEq;             // kBinary / kUnary
   AggFunc agg = AggFunc::kNone;        // kAggregate
   std::string model;                   // kPredict
+  int param = 0;                       // kParam: 1-based placeholder index
   std::unique_ptr<Expr> lhs, rhs;      // children
   std::vector<std::unique_ptr<Expr>> args;  // kPredict arguments
 
@@ -78,11 +80,15 @@ struct JoinClause {
 enum class StatementKind {
   kSelect, kInsert, kCreateTable, kCreateIndex, kDropIndex, kUpdate, kDelete,
   kAnalyze, kCreateModel, kShowModels, kDropTable,
+  kPrepare, kExecute, kDeallocate,
 };
 
 struct Statement {
   virtual ~Statement() = default;
   virtual StatementKind kind() const = 0;
+  /// Deep copy. PREPARE stores statement templates and EXECUTE instantiates
+  /// them per call, so every statement kind must be clonable.
+  virtual std::unique_ptr<Statement> Clone() const = 0;
 };
 
 /// One ORDER BY key: [table.]column plus direction.
@@ -104,23 +110,27 @@ struct SelectStatement : Statement {
   bool explain = false;                ///< EXPLAIN SELECT ...
   bool explain_analyze = false;        ///< EXPLAIN ANALYZE: execute + trace
 
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kSelect; }
 };
 
 struct InsertStatement : Statement {
   std::string table;
   std::vector<std::vector<Value>> rows;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kInsert; }
 };
 
 struct CreateTableStatement : Statement {
   std::string table;
   Schema schema;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kCreateTable; }
 };
 
 struct DropTableStatement : Statement {
   std::string table;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kDropTable; }
 };
 
@@ -129,11 +139,13 @@ struct CreateIndexStatement : Statement {
   std::string table;
   std::string column;
   bool is_btree = true;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kCreateIndex; }
 };
 
 struct DropIndexStatement : Statement {
   std::string index;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kDropIndex; }
 };
 
@@ -141,17 +153,20 @@ struct UpdateStatement : Statement {
   std::string table;
   std::vector<std::pair<std::string, std::unique_ptr<Expr>>> assignments;
   std::unique_ptr<Expr> where;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kUpdate; }
 };
 
 struct DeleteStatement : Statement {
   std::string table;
   std::unique_ptr<Expr> where;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kDelete; }
 };
 
 struct AnalyzeStatement : Statement {
   std::string table;
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kAnalyze; }
 };
 
@@ -163,11 +178,38 @@ struct CreateModelStatement : Statement {
   std::string target;
   std::string table;
   std::vector<std::string> features;  ///< empty: all non-target numeric columns
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kCreateModel; }
 };
 
 struct ShowModelsStatement : Statement {
+  std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kShowModels; }
+};
+
+/// PREPARE name AS <statement with $1..$n placeholders>.
+struct PrepareStatement : Statement {
+  std::string name;
+  std::string body_text;  ///< canonical token rendering of the body (cache key)
+  std::unique_ptr<Statement> body;
+  int num_params = 0;  ///< highest $N referenced in the body
+  std::unique_ptr<Statement> Clone() const override;
+  StatementKind kind() const override { return StatementKind::kPrepare; }
+};
+
+/// EXECUTE name [(v1, v2, ...)].
+struct ExecuteStatement : Statement {
+  std::string name;
+  std::vector<Value> args;
+  std::unique_ptr<Statement> Clone() const override;
+  StatementKind kind() const override { return StatementKind::kExecute; }
+};
+
+/// DEALLOCATE name.
+struct DeallocateStatement : Statement {
+  std::string name;
+  std::unique_ptr<Statement> Clone() const override;
+  StatementKind kind() const override { return StatementKind::kDeallocate; }
 };
 
 }  // namespace aidb::sql

@@ -16,7 +16,7 @@ const std::unordered_set<std::string>& Keywords() {
       "SET",    "DELETE", "ANALYZE", "AS",     "NULL",   "MODEL",  "PREDICT",
       "FEATURES", "TYPE", "DROP",    "COUNT",  "SUM",    "AVG",    "MIN",
       "MAX",    "BETWEEN", "IS",     "DISTINCT", "WITH", "OPTIONS", "SHOW",
-      "MODELS", "EXPLAIN", "HAVING",
+      "MODELS", "EXPLAIN", "HAVING", "PREPARE", "EXECUTE", "DEALLOCATE",
   };
   return kKeywords;
 }
@@ -75,6 +75,17 @@ Result<std::vector<Token>> Lex(const std::string& input) {
       out.push_back({TokenType::kString, body, start});
       continue;
     }
+    if (c == '$') {
+      ++i;
+      size_t digits = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i == digits) {
+        return Status::ParseError("expected parameter number after '$' at offset " +
+                                  std::to_string(start));
+      }
+      out.push_back({TokenType::kParam, input.substr(digits, i - digits), start});
+      continue;
+    }
     // Multi-char operators.
     auto two = input.substr(i, 2);
     if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
@@ -93,6 +104,33 @@ Result<std::vector<Token>> Lex(const std::string& input) {
   }
   out.push_back({TokenType::kEnd, "", n});
   return out;
+}
+
+std::string JoinTokens(const std::vector<Token>& tokens, size_t begin,
+                       size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.type == TokenType::kEnd) break;
+    if (!out.empty()) out += ' ';
+    switch (t.type) {
+      case TokenType::kString: out += "'" + t.text + "'"; break;
+      case TokenType::kParam: out += "$" + t.text; break;
+      default: out += t.text; break;
+    }
+  }
+  return out;
+}
+
+Result<std::string> NormalizeSql(const std::string& input) {
+  std::vector<Token> tokens;
+  AIDB_ASSIGN_OR_RETURN(tokens, Lex(input));
+  size_t end = tokens.size();
+  while (end > 0 && (tokens[end - 1].type == TokenType::kEnd ||
+                     tokens[end - 1].IsSymbol(";"))) {
+    --end;  // "SELECT 1" and "SELECT 1;" must key identically
+  }
+  return JoinTokens(tokens, 0, end);
 }
 
 }  // namespace aidb::sql

@@ -14,6 +14,7 @@ enum class TokenType {
   kFloat,
   kString,      ///< single-quoted literal, quotes stripped
   kSymbol,      ///< punctuation / operators: ( ) , * = != < <= > >= + - / . ;
+  kParam,       ///< $N placeholder (PREPARE/EXECUTE), text is the digits
   kEnd,
 };
 
@@ -34,5 +35,16 @@ struct Token {
 /// normalized to upper case; anything word-like that is not a keyword is an
 /// identifier.
 Result<std::vector<Token>> Lex(const std::string& input);
+
+/// Renders tokens [begin, end) back to canonical SQL text: keywords
+/// uppercased, one space between tokens, strings re-quoted, params as $N.
+/// Two statements normalize identically iff they tokenize identically — the
+/// plan cache and prepared-statement store key on this rendering.
+std::string JoinTokens(const std::vector<Token>& tokens, size_t begin,
+                       size_t end);
+
+/// Lexes and re-renders a whole statement (kEnd excluded). Lex errors
+/// propagate.
+Result<std::string> NormalizeSql(const std::string& input);
 
 }  // namespace aidb::sql

@@ -1,0 +1,63 @@
+#include "sql/params.h"
+
+#include <string>
+
+namespace aidb::sql {
+
+namespace {
+
+/// Rewrites a single expression tree, turning kParam nodes into literals.
+Status BindExpr(Expr* e, const std::vector<Value>& args) {
+  if (e == nullptr) return Status::OK();
+  if (e->kind == Expr::Kind::kParam) {
+    if (e->param < 1 || static_cast<size_t>(e->param) > args.size()) {
+      return Status::InvalidArgument(
+          "EXECUTE supplies " + std::to_string(args.size()) +
+          " argument(s) but statement references $" + std::to_string(e->param));
+    }
+    const Value& v = args[static_cast<size_t>(e->param) - 1];
+    e->kind = Expr::Kind::kLiteral;
+    e->literal = v;
+    e->param = 0;
+    return Status::OK();
+  }
+  AIDB_RETURN_NOT_OK(BindExpr(e->lhs.get(), args));
+  AIDB_RETURN_NOT_OK(BindExpr(e->rhs.get(), args));
+  for (auto& a : e->args) AIDB_RETURN_NOT_OK(BindExpr(a.get(), args));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BindParams(Statement* stmt, const std::vector<Value>& args) {
+  if (stmt == nullptr) return Status::InvalidArgument("null statement");
+  switch (stmt->kind()) {
+    case StatementKind::kSelect: {
+      auto* s = static_cast<SelectStatement*>(stmt);
+      for (auto& item : s->items) AIDB_RETURN_NOT_OK(BindExpr(item.expr.get(), args));
+      for (auto& j : s->joins) AIDB_RETURN_NOT_OK(BindExpr(j.condition.get(), args));
+      AIDB_RETURN_NOT_OK(BindExpr(s->where.get(), args));
+      for (auto& g : s->group_by) AIDB_RETURN_NOT_OK(BindExpr(g.get(), args));
+      return BindExpr(s->having.get(), args);
+    }
+    case StatementKind::kUpdate: {
+      auto* s = static_cast<UpdateStatement*>(stmt);
+      for (auto& [col, expr] : s->assignments) {
+        (void)col;
+        AIDB_RETURN_NOT_OK(BindExpr(expr.get(), args));
+      }
+      return BindExpr(s->where.get(), args);
+    }
+    case StatementKind::kDelete: {
+      auto* s = static_cast<DeleteStatement*>(stmt);
+      return BindExpr(s->where.get(), args);
+    }
+    // The remaining kinds carry no expression slots (INSERT rows are bare
+    // literal values; DDL/ANALYZE/model statements are name-only), so any
+    // $N the parser let through cannot appear here.
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace aidb::sql

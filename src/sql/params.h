@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace aidb::sql {
+
+/// Replaces every $N placeholder in `stmt` with the literal args[N-1],
+/// in place. Errors if a placeholder index exceeds args.size(). Extra
+/// arguments are permitted (Postgres rejects them; we log-and-allow to
+/// keep the fuzzer's EXECUTE paths simple).
+Status BindParams(Statement* stmt, const std::vector<Value>& args);
+
+}  // namespace aidb::sql

@@ -13,6 +13,10 @@ Result<std::unique_ptr<Statement>> Parser::Parse(const std::string& input) {
     return Status::ParseError("trailing input after statement: '" +
                               p.Peek().text + "'");
   }
+  if (p.max_param_ > 0 && stmt->kind() != StatementKind::kPrepare) {
+    return Status::ParseError(
+        "parameter placeholders ($N) are only allowed inside PREPARE bodies");
+  }
   return stmt;
 }
 
@@ -65,7 +69,54 @@ Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
     AIDB_RETURN_NOT_OK(Expect("MODELS"));
     return std::unique_ptr<Statement>(std::make_unique<ShowModelsStatement>());
   }
+  if (Peek().IsKeyword("PREPARE")) return ParsePrepare();
+  if (Peek().IsKeyword("EXECUTE")) return ParseExecute();
+  if (Peek().IsKeyword("DEALLOCATE")) return ParseDeallocate();
   return Status::ParseError("unknown statement start: '" + Peek().text + "'");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParsePrepare() {
+  AIDB_RETURN_NOT_OK(Expect("PREPARE"));
+  auto stmt = std::make_unique<PrepareStatement>();
+  AIDB_RETURN_NOT_OK(ExpectIdentifier(&stmt->name));
+  AIDB_RETURN_NOT_OK(Expect("AS"));
+  size_t body_begin = pos_;
+  AIDB_ASSIGN_OR_RETURN(stmt->body, ParseStatement());
+  switch (stmt->body->kind()) {
+    case StatementKind::kPrepare:
+    case StatementKind::kExecute:
+    case StatementKind::kDeallocate:
+      return Status::ParseError(
+          "PREPARE body must be a plain statement, not PREPARE/EXECUTE/"
+          "DEALLOCATE");
+    default:
+      break;
+  }
+  stmt->body_text = JoinTokens(tokens_, body_begin, pos_);
+  stmt->num_params = max_param_;
+  return std::unique_ptr<Statement>(std::move(stmt));
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseExecute() {
+  AIDB_RETURN_NOT_OK(Expect("EXECUTE"));
+  auto stmt = std::make_unique<ExecuteStatement>();
+  AIDB_RETURN_NOT_OK(ExpectIdentifier(&stmt->name));
+  if (Match("(")) {
+    do {
+      Value v;
+      AIDB_ASSIGN_OR_RETURN(v, ParseLiteralValue());
+      stmt->args.push_back(std::move(v));
+    } while (Match(","));
+    AIDB_RETURN_NOT_OK(Expect(")"));
+  }
+  return std::unique_ptr<Statement>(std::move(stmt));
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseDeallocate() {
+  AIDB_RETURN_NOT_OK(Expect("DEALLOCATE"));
+  auto stmt = std::make_unique<DeallocateStatement>();
+  AIDB_RETURN_NOT_OK(ExpectIdentifier(&stmt->name));
+  return std::unique_ptr<Statement>(std::move(stmt));
 }
 
 Result<std::unique_ptr<Statement>> Parser::ParseSelect(bool explain) {
@@ -495,6 +546,20 @@ Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
       return Expr::MakeColumn(first, second);
     }
     return Expr::MakeColumn("", first);
+  }
+  if (t.type == TokenType::kParam) {
+    int idx = 0;
+    try {
+      idx = std::stoi(Advance().text);
+    } catch (const std::exception&) {
+      return Status::ParseError("parameter number out of range");
+    }
+    if (idx < 1) return Status::ParseError("parameter numbers start at $1");
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kParam;
+    e->param = idx;
+    if (idx > max_param_) max_param_ = idx;
+    return std::unique_ptr<Expr>(std::move(e));
   }
   return Status::ParseError("unexpected token '" + t.text + "' in expression");
 }

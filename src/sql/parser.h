@@ -25,6 +25,9 @@ namespace aidb::sql {
 ///   ANALYZE t
 ///   CREATE MODEL m TYPE mlp PREDICT y ON t [FEATURES (a, b)]
 ///   SHOW MODELS
+///   PREPARE name AS SELECT ... $1 ... $n
+///   EXECUTE name [(v1, ..., vn)]
+///   DEALLOCATE name
 class Parser {
  public:
   /// Parses one statement (a trailing ';' is allowed).
@@ -40,6 +43,9 @@ class Parser {
   Result<std::unique_ptr<Statement>> ParseDrop();
   Result<std::unique_ptr<Statement>> ParseUpdate();
   Result<std::unique_ptr<Statement>> ParseDelete();
+  Result<std::unique_ptr<Statement>> ParsePrepare();
+  Result<std::unique_ptr<Statement>> ParseExecute();
+  Result<std::unique_ptr<Statement>> ParseDeallocate();
 
   /// Expression grammar (precedence climbing):
   ///   or_expr  := and_expr (OR and_expr)*
@@ -69,6 +75,9 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Highest $N placeholder seen so far. Placeholders are only legal inside
+  /// a PREPARE body; Parse() rejects them anywhere else.
+  int max_param_ = 0;
 };
 
 }  // namespace aidb::sql

@@ -107,6 +107,47 @@ WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop) 
   return trace;
 }
 
+WorkloadTrace RunWorkloadPrepared(const std::vector<std::string>& workload,
+                                  size_t dop) {
+  Database db;
+  db.SetDop(dop);
+  db.EnableTracing(true);
+  db.SetDeterministicTiming(true);
+  WorkloadTrace trace;
+  trace.digests.reserve(workload.size());
+  trace.logs_txn.reserve(workload.size());
+  size_t counter = 0;
+  for (const auto& sql : workload) {
+    auto parsed = sql::Parser::Parse(sql);
+    bool route_prepared = false;
+    if (parsed.ok()) {
+      auto kind = parsed.ValueOrDie()->kind();
+      route_prepared = kind != sql::StatementKind::kPrepare &&
+                       kind != sql::StatementKind::kExecute &&
+                       kind != sql::StatementKind::kDeallocate;
+    }
+    Result<QueryResult> r = [&]() -> Result<QueryResult> {
+      if (!route_prepared) return db.Execute(sql);
+      std::string name = "fz" + std::to_string(counter++);
+      Result<QueryResult> prep = db.Execute("PREPARE " + name + " AS " + sql);
+      if (!prep.ok()) return db.Execute(sql);  // conservative fallback
+      Result<QueryResult> exec = db.Execute("EXECUTE " + name);
+      Result<QueryResult> dealloc = db.Execute("DEALLOCATE " + name);
+      (void)dealloc;
+      return exec;
+    }();
+    trace.digests.push_back(DigestResult(r));
+    bool logs = false;
+    if (r.ok() && parsed.ok()) {
+      logs = KindLogsTxn(parsed.ValueOrDie()->kind(),
+                         r.ValueOrDie().affected_rows);
+    }
+    trace.logs_txn.push_back(logs);
+  }
+  trace.state_digest = storage::StateDigest(db.catalog(), db.models());
+  return trace;
+}
+
 Divergence CompareTraces(const std::vector<std::string>& workload,
                          const WorkloadTrace& expected,
                          const WorkloadTrace& actual, const std::string& what) {

@@ -34,6 +34,18 @@ struct WorkloadTrace {
 /// Runs the workload on a fresh in-memory database at the given dop.
 WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop);
 
+/// \brief The prepared-statement leg of the differential oracle.
+///
+/// Routes every parseable statement through `PREPARE fzN AS <stmt>` /
+/// `EXECUTE fzN` / `DEALLOCATE fzN` and records the EXECUTE digest in the
+/// statement's position; statements that fail to parse run directly so their
+/// error digests stay byte-identical to the direct leg's. A digest match
+/// against RunWorkload at the same dop proves the prepared path (template
+/// clone, parameter binding, plan cache) is observationally equivalent to
+/// parse-and-plan-per-call.
+WorkloadTrace RunWorkloadPrepared(const std::vector<std::string>& workload,
+                                  size_t dop);
+
 /// Outcome of one differential comparison; detail names the first mismatch.
 struct Divergence {
   bool diverged = false;

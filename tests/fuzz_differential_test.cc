@@ -22,9 +22,9 @@ size_t ScaledCount(size_t dflt) {
   if (env == nullptr) return dflt;
   long total = std::atol(env);
   if (total <= 0) return dflt;
-  // The env var names the total workload budget across the three suites
-  // (default 520 = 300 + 140 + 80); scale each suite proportionally.
-  return std::max<size_t>(1, dflt * static_cast<size_t>(total) / 520);
+  // The env var names the total workload budget across the four suites
+  // (default 620 = 300 + 140 + 80 + 100); scale each suite proportionally.
+  return std::max<size_t>(1, dflt * static_cast<size_t>(total) / 620);
 }
 
 // ---------------------------------------------------------------------------
@@ -88,6 +88,35 @@ TEST(FuzzDifferential, SerialVsParallelWorkloads) {
     testing::Divergence d = testing::CompareTraces(
         workload, serial, parallel, "serial-vs-parallel(seed=" +
                                         std::to_string(seed * 7919) + ")");
+    ASSERT_FALSE(d.diverged) << d.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg 5: every statement routed through PREPARE/EXECUTE/DEALLOCATE must
+// digest identically to direct execution — the prepared path (template
+// clone, parameter binding, plan cache with check-out semantics) is required
+// to be observationally invisible, at dop 1 and under the parallel executor.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDifferential, PreparedRouteWorkloads) {
+  const size_t kWorkloads = ScaledCount(100);
+  for (uint64_t seed = 1; seed <= kWorkloads; ++seed) {
+    testing::WorkloadGenerator gen(seed * 15485863);
+    std::vector<std::string> workload = gen.Generate();
+    testing::WorkloadTrace direct = testing::RunWorkload(workload, 1);
+    testing::WorkloadTrace prepared = testing::RunWorkloadPrepared(workload, 1);
+    testing::Divergence d = testing::CompareTraces(
+        workload, direct, prepared,
+        "direct-vs-prepared(seed=" + std::to_string(seed * 15485863) + ")");
+    ASSERT_FALSE(d.diverged) << d.detail;
+
+    testing::WorkloadTrace prepared_par =
+        testing::RunWorkloadPrepared(workload, 8);
+    d = testing::CompareTraces(
+        workload, direct, prepared_par,
+        "direct-vs-prepared-dop8(seed=" + std::to_string(seed * 15485863) +
+            ")");
     ASSERT_FALSE(d.diverged) << d.detail;
   }
 }
