@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh BENCH_*.json against committed baselines.
+
+Reads google-benchmark JSON files produced by scripts/bench_json.sh and
+compares each benchmark's p50 real_time against the committed baseline in
+bench/baselines/.  Two gates:
+
+  1. Regression: a benchmark whose p50 grew by more than the threshold
+     (default 15%, override with AIDB_BENCH_REGRESSION_THRESHOLD=0.15 or
+     --threshold) fails the run.  Benchmarks without a baseline entry are
+     reported but do not fail (they are new); baseline entries without a
+     fresh counterpart fail (a benchmark silently disappeared).
+
+  2. Speedup: paired <name>_Volcano / <name>_Vectorized entries in the same
+     file must show the vectorized engine ahead by at least the required
+     ratio (default 5x for the gated pairs, override with
+     AIDB_BENCH_SPEEDUP_MIN or --speedup-min).  Only the acceptance pair
+     (BM_ScanFilterAgg) is gated; other pairs are reported for visibility.
+
+Usage:
+  scripts/bench_compare.py BENCH_vectorized.json BENCH_service.json
+  scripts/bench_compare.py              # all BENCH_*.json in the repo root
+  scripts/bench_compare.py --update     # rewrite baselines from fresh results
+
+Exit status: 0 all gates pass, 1 any gate fails, 2 usage/IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE_DIR = os.path.join(REPO_ROOT, "bench", "baselines")
+
+# Volcano/Vectorized pairs that must meet the speedup gate (ROADMAP item 1:
+# >= 5x on the 1M-row scan+filter+aggregate).  Grouped/join pairs materialize
+# per-row keys in both engines, so they are reported but not gated.
+GATED_SPEEDUP_PAIRS = ("BM_ScanFilterAgg",)
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: p50 real_time} for one google-benchmark JSON.
+
+    Prefers *_median aggregates (present when --benchmark_repetitions is
+    used); otherwise the per-benchmark real_time is the only point estimate
+    available and stands in for the p50.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    medians = {}
+    singles = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        run_type = b.get("run_type", "iteration")
+        time = b.get("real_time")
+        if time is None:
+            continue
+        if run_type == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name.replace("_median", "")] = float(time)
+        else:
+            singles[name] = float(time)
+    merged = dict(singles)
+    merged.update(medians)
+    return merged
+
+
+def base_name(bench_name):
+    """BM_Foo_Volcano/real_time -> (BM_Foo, 'Volcano') or (name, None)."""
+    head = bench_name.split("/")[0]
+    for leg in ("Volcano", "Vectorized"):
+        suffix = "_" + leg
+        if head.endswith(suffix):
+            return head[: -len(suffix)], leg
+    return head, None
+
+
+def check_regressions(fresh, baseline, threshold, label):
+    failures = []
+    for name, base_time in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{label}: {name} present in baseline but missing "
+                            f"from fresh results")
+            continue
+        new_time = fresh[name]
+        if base_time <= 0:
+            continue
+        delta = (new_time - base_time) / base_time
+        status = "FAIL" if delta > threshold else "ok"
+        print(f"  [{status}] {name}: {base_time:.3f} -> {new_time:.3f} "
+              f"({delta * 100:+.1f}%, limit +{threshold * 100:.0f}%)")
+        if delta > threshold:
+            failures.append(f"{label}: {name} regressed {delta * 100:+.1f}% "
+                            f"(limit +{threshold * 100:.0f}%)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  [new ] {name}: {fresh[name]:.3f} (no baseline entry)")
+    return failures
+
+
+def check_speedups(fresh, speedup_min, label):
+    """Pairs <base>_Volcano with <base>_Vectorized and checks gated ratios."""
+    volcano, vectorized = {}, {}
+    for name, time in fresh.items():
+        base, leg = base_name(name)
+        if leg == "Volcano":
+            volcano[base] = time
+        elif leg == "Vectorized":
+            vectorized[base] = time
+    failures = []
+    for base in sorted(set(volcano) & set(vectorized)):
+        if vectorized[base] <= 0:
+            continue
+        ratio = volcano[base] / vectorized[base]
+        gated = base in GATED_SPEEDUP_PAIRS
+        status = "ok"
+        if gated and ratio < speedup_min:
+            status = "FAIL"
+        gate_note = f"gate >= {speedup_min:.1f}x" if gated else "ungated"
+        print(f"  [{status:4}] {base}: volcano/vectorized = {ratio:.2f}x "
+              f"({gate_note})")
+        if status == "FAIL":
+            failures.append(f"{label}: {base} speedup {ratio:.2f}x below the "
+                            f"required {speedup_min:.1f}x")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="fresh BENCH_*.json files (default: repo root glob)")
+    parser.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR)
+    parser.add_argument("--threshold",
+                        type=float,
+                        default=float(os.environ.get(
+                            "AIDB_BENCH_REGRESSION_THRESHOLD", "0.15")),
+                        help="max allowed fractional p50 growth (default 0.15)")
+    parser.add_argument("--speedup-min",
+                        type=float,
+                        default=float(os.environ.get(
+                            "AIDB_BENCH_SPEEDUP_MIN", "5.0")),
+                        help="required volcano/vectorized ratio for gated pairs")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the fresh results and exit")
+    args = parser.parse_args()
+
+    files = args.files or sorted(glob.glob(os.path.join(REPO_ROOT,
+                                                        "BENCH_*.json")))
+    if not files:
+        print("error: no BENCH_*.json files found; run scripts/bench_json.sh "
+              "first", file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in files:
+            load_benchmarks(path)  # validate JSON before committing it
+            dest = os.path.join(args.baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"baseline updated: {dest}")
+        return 0
+
+    failures = []
+    for path in files:
+        label = os.path.basename(path)
+        try:
+            fresh = load_benchmarks(path)
+        except (OSError, ValueError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        print(f"== {label}")
+
+        baseline_path = os.path.join(args.baseline_dir, label)
+        if os.path.exists(baseline_path):
+            baseline = load_benchmarks(baseline_path)
+            failures += check_regressions(fresh, baseline, args.threshold,
+                                          label)
+        else:
+            print(f"  (no baseline at {baseline_path}; regression check "
+                  f"skipped)")
+        failures += check_speedups(fresh, args.speedup_min, label)
+
+    if failures:
+        print("\nbench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,12 @@
 # Runs benchmark binaries and captures machine-readable results as
 # BENCH_<name>.json in the repo root (google-benchmark JSON format, the
 # input EXPERIMENTS.md rows are derived from).
-#   scripts/bench_json.sh                   run the default benches (wal, observability, service)
+#   scripts/bench_json.sh                   run the default benches (wal, observability, service, vectorized)
 #   scripts/bench_json.sh wal parallel_exec run the named benches
 #   BUILD_DIR=out scripts/bench_json.sh     use a non-default build tree
+# pipefail is load-bearing: the bench binary feeds a JSON post-processing
+# pipeline below, and without it a crashed/failed benchmark would be masked
+# by the (successful) downstream stage and produce a plausible-looking file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +20,7 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
 fi
 
 benches=("$@")
-[[ ${#benches[@]} -eq 0 ]] && benches=(wal observability service)
+[[ ${#benches[@]} -eq 0 ]] && benches=(wal observability service vectorized)
 
 for name in "${benches[@]}"; do
   bin="$BUILD_DIR/bench/bench_$name"
@@ -27,7 +30,15 @@ for name in "${benches[@]}"; do
   fi
   out="BENCH_$name.json"
   echo "== bench_$name -> $out"
+  # The console stream pipes into a summarising stage; pipefail (set above)
+  # propagates a nonzero bench exit through it instead of reporting the
+  # pipeline's last command.
   "$bin" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
-         --benchmark_out="$out" --benchmark_out_format=json >/dev/null
+         --benchmark_out="$out" --benchmark_out_format=json \
+    | python3 -c "import json,sys; d=json.load(sys.stdin); print('   %d benchmarks' % len(d.get('benchmarks',[])))"
+  # A bench that died mid-write leaves a truncated file; reject it here
+  # rather than letting a half-written JSON green-wash the comparison step.
+  python3 -m json.tool "$out" >/dev/null \
+    || { echo "error: $out is not valid JSON" >&2; exit 1; }
 done
 echo "done"

@@ -31,6 +31,22 @@ struct GroupState {
     counts.assign(num_aggs, 0);
   }
 
+  /// Folds one already-evaluated (non-NULL) argument into aggregate slot i.
+  /// The vectorized aggregate evaluates arguments column-wise and calls this
+  /// directly; Accumulate routes through it so the fold arithmetic has one
+  /// definition.
+  void FoldOne(size_t i, double v) {
+    if (counts[i] == 0) {
+      mins[i] = v;
+      maxs[i] = v;
+    } else {
+      mins[i] = std::min(mins[i], v);
+      maxs[i] = std::max(maxs[i], v);
+    }
+    sums[i] += v;
+    ++counts[i];
+  }
+
   /// Folds one input row into the running state (NULL arguments skipped, per
   /// SQL aggregate semantics). Fails if an aggregate argument fails to
   /// evaluate; the group state is then unusable.
@@ -43,15 +59,7 @@ struct GroupState {
         if (val.is_null()) continue;
         v = val.AsFeature();
       }
-      if (counts[i] == 0) {
-        mins[i] = v;
-        maxs[i] = v;
-      } else {
-        mins[i] = std::min(mins[i], v);
-        maxs[i] = std::max(maxs[i], v);
-      }
-      sums[i] += v;
-      ++counts[i];
+      FoldOne(i, v);
     }
     return Status::OK();
   }
@@ -141,6 +149,15 @@ class GroupMap {
   }
 
   size_t num_groups() const { return num_groups_; }
+
+  /// Bucket lookup with a precomputed key and hash, for callers that evaluate
+  /// keys themselves (the vectorized aggregate materializes keys column-wise
+  /// and folds rows directly). `h` must be the same FNV-1a fold over the key
+  /// values' Hash() that Accumulate computes, or serial and vectorized
+  /// executions would bucket — and thus order — groups differently.
+  GroupState* GetOrCreate(uint64_t h, Tuple key, size_t num_aggs) {
+    return FindOrCreate(h, std::move(key), num_aggs);
+  }
 
   /// Invokes fn(state) for every group.
   template <typename Fn>

@@ -87,6 +87,7 @@ std::string HexDigest(uint64_t digest) {
 Database::Database() : planner_(&catalog_, &models_) {
   RegisterSystemViews();
   models_.set_metrics(&metrics_);
+  planner_options_.column_cache = &column_cache_;
 }
 
 void Database::RegisterSystemViews() {
@@ -436,6 +437,11 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
     }
     case sql::StatementKind::kDropTable: {
       auto& s = static_cast<const sql::DropTableStatement&>(*stmt);
+      // Release the dropped table's column mirrors (uid keying already makes
+      // stale reuse impossible; this is purely a memory release).
+      if (auto dropped = catalog_.GetTable(s.table); dropped.ok()) {
+        column_cache_.Evict(dropped.ValueOrDie()->uid());
+      }
       AIDB_RETURN_NOT_OK(catalog_.DropTable(s.table));
       BumpTableEpoch(s.table);
       AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kDropTable,

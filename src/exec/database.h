@@ -15,6 +15,7 @@
 #include "db4ai/model_registry.h"
 #include "exec/planner.h"
 #include "exec/trace.h"
+#include "exec/vec/col_cache.h"
 #include "monitor/metrics.h"
 #include "monitor/query_log.h"
 #include "server/plan_cache.h"
@@ -146,6 +147,18 @@ class Database {
   size_t dop() const {
     std::lock_guard<std::mutex> lock(options_mu_);
     return planner_options_.dop;
+  }
+
+  /// Session batch-execution knob: on, the planner emits the vectorized
+  /// operator variants (VecScan/VecFilter/VecProject/VecHashJoin/
+  /// VecHashAggregate). Like SetDop, affects future statements only.
+  void SetVectorized(bool on) {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    planner_options_.vectorized = on;
+  }
+  bool vectorized() const {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    return planner_options_.vectorized;
   }
 
   // --- Plan cache / DDL epochs ---------------------------------------------
@@ -290,6 +303,10 @@ class Database {
   /// concurrent callers must go through a server session instead.)
   exec::PlannerOptions planner_options_;
   mutable std::mutex options_mu_;
+  /// Slot-major column mirrors for vectorized scans; planner_options_ points
+  /// at it so every settings snapshot carries the reference. Declared before
+  /// the pools: in-flight parallel scans may hold mirror shared_ptrs.
+  exec::ColumnCache column_cache_;
   std::unique_ptr<ThreadPool> exec_pool_;
   /// Pools replaced by SetDop growth. In-flight statements snapshot the pool
   /// pointer at admission; destroying a pool under them would be

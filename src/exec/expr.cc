@@ -12,11 +12,9 @@ bool ValueIsTrue(const Value& v) {
   return false;
 }
 
-namespace {
-
-/// Finds the index of [table.]name in the schema; ambiguity is an error.
-Result<int> ResolveColumn(const std::vector<OutputCol>& schema,
-                          const std::string& table, const std::string& name) {
+Result<int> ResolveColumnIndex(const std::vector<OutputCol>& schema,
+                               const std::string& table,
+                               const std::string& name) {
   int found = -1;
   for (size_t i = 0; i < schema.size(); ++i) {
     if (schema[i].name != name) continue;
@@ -32,6 +30,8 @@ Result<int> ResolveColumn(const std::vector<OutputCol>& schema,
   }
   return found;
 }
+
+namespace {
 
 /// Kleene truth value of an operand: NULL is unknown, everything else
 /// coerces through ValueIsTrue.
@@ -63,7 +63,9 @@ Status OverflowError(sql::OpType op, const Value& l, const Value& r) {
                                  r.ToString());
 }
 
-Result<Value> ApplyBinary(sql::OpType op, const Value& l, const Value& r) {
+}  // namespace
+
+Result<Value> ApplyBinaryOp(sql::OpType op, const Value& l, const Value& r) {
   using sql::OpType;
   switch (op) {
     // Three-valued logic: a FALSE (resp. TRUE) operand decides AND (resp. OR)
@@ -136,7 +138,27 @@ Result<Value> ApplyBinary(sql::OpType op, const Value& l, const Value& r) {
   }
 }
 
-}  // namespace
+Result<Value> ApplyUnaryOp(sql::OpType op, const Value& v) {
+  if (op == sql::OpType::kNot) {
+    // Three-valued logic: NOT NULL is NULL.
+    Tri t = TriOf(v);
+    if (t == Tri::kUnknown) return TriValue(Tri::kUnknown);
+    return TriValue(t == Tri::kTrue ? Tri::kFalse : Tri::kTrue);
+  }
+  if (v.is_null()) return v;
+  if (v.type() == ValueType::kString) {
+    return Status::InvalidArgument("cannot negate a STRING value");
+  }
+  if (v.type() == ValueType::kInt) {
+    int64_t out = 0;
+    if (__builtin_sub_overflow(static_cast<int64_t>(0), v.AsInt(), &out)) {
+      return Status::InvalidArgument("INT64 overflow in -(" + v.ToString() +
+                                     ")");
+    }
+    return Value(out);
+  }
+  return Value(-v.AsDouble());
+}
 
 Result<BoundExpr> BoundExpr::Bind(const sql::Expr& expr,
                                   const std::vector<OutputCol>& schema,
@@ -149,7 +171,8 @@ Result<BoundExpr> BoundExpr::Bind(const sql::Expr& expr,
       return b;
     case sql::Expr::Kind::kColumnRef: {
       b.kind_ = Kind::kColumn;
-      AIDB_ASSIGN_OR_RETURN(b.column_, ResolveColumn(schema, expr.table, expr.column));
+      AIDB_ASSIGN_OR_RETURN(b.column_,
+                            ResolveColumnIndex(schema, expr.table, expr.column));
       return b;
     }
     case sql::Expr::Kind::kBinary: {
@@ -200,30 +223,12 @@ Result<Value> BoundExpr::Eval(const Tuple& row) const {
       Value l, r;
       AIDB_ASSIGN_OR_RETURN(l, lhs_->Eval(row));
       AIDB_ASSIGN_OR_RETURN(r, rhs_->Eval(row));
-      return ApplyBinary(op_, l, r);
+      return ApplyBinaryOp(op_, l, r);
     }
     case Kind::kUnary: {
       Value v;
       AIDB_ASSIGN_OR_RETURN(v, lhs_->Eval(row));
-      if (op_ == sql::OpType::kNot) {
-        // Three-valued logic: NOT NULL is NULL.
-        Tri t = TriOf(v);
-        if (t == Tri::kUnknown) return TriValue(Tri::kUnknown);
-        return TriValue(t == Tri::kTrue ? Tri::kFalse : Tri::kTrue);
-      }
-      if (v.is_null()) return v;
-      if (v.type() == ValueType::kString) {
-        return Status::InvalidArgument("cannot negate a STRING value");
-      }
-      if (v.type() == ValueType::kInt) {
-        int64_t out = 0;
-        if (__builtin_sub_overflow(static_cast<int64_t>(0), v.AsInt(), &out)) {
-          return Status::InvalidArgument("INT64 overflow in -(" + v.ToString() +
-                                         ")");
-        }
-        return Value(out);
-      }
-      return Value(-v.AsDouble());
+      return ApplyUnaryOp(op_, v);
     }
     case Kind::kPredict: {
       std::vector<double> features;

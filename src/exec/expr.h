@@ -76,4 +76,21 @@ class BoundExpr {
 /// True when two values compare as SQL booleans would.
 bool ValueIsTrue(const Value& v);
 
+/// Finds the index of [table.]name in `schema`; ambiguity is an error.
+/// Shared by the scalar and vectorized binders so name resolution (and its
+/// error text) cannot drift between the engines.
+Result<int> ResolveColumnIndex(const std::vector<OutputCol>& schema,
+                               const std::string& table,
+                               const std::string& name);
+
+/// The scalar binary-operator kernel: Kleene AND/OR, NULL-before-type-check
+/// propagation, checked INT64 arithmetic, DOUBLE division. The vectorized
+/// engine calls this per row on its generic fallback path and re-derives
+/// error Statuses through it, so both engines share one definition of the
+/// dialect.
+Result<Value> ApplyBinaryOp(sql::OpType op, const Value& l, const Value& r);
+
+/// The scalar unary-operator kernel (NOT / checked unary minus).
+Result<Value> ApplyUnaryOp(sql::OpType op, const Value& v);
+
 }  // namespace aidb::exec

@@ -35,16 +35,8 @@ Status TableMorselSource::ScanMorsel(size_t m, const TupleFn& fn) const {
   return err;
 }
 
-// ----- Gather -----
+// ----- Morsel dispatch -----
 
-namespace {
-
-/// Runs `work(morsel)` for every morsel in [0, n), spread over `workers`
-/// tasks that claim morsels from a shared atomic counter (the LHS-style
-/// morsel dispatcher). With one worker (or a null pool) everything runs
-/// inline on the calling thread. A set `cancel` flag stops workers at the
-/// next morsel claim — already-claimed morsels finish, so buffers stay
-/// well-formed and the caller decides whether to surface Cancelled.
 void DispatchMorsels(const ParallelContext& ctx, size_t n,
                      const std::atomic<bool>* cancel,
                      const std::function<void(size_t worker, size_t morsel)>& work) {
@@ -72,7 +64,7 @@ void DispatchMorsels(const ParallelContext& ctx, size_t n,
   group.Wait();
 }
 
-}  // namespace
+// ----- Gather -----
 
 GatherOp::GatherOp(std::unique_ptr<MorselSource> source,
                    std::vector<OutputCol> schema, ParallelContext ctx)

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -32,6 +33,18 @@ struct ParallelContext {
     return std::min(dop, morsels);
   }
 };
+
+/// Runs `work(worker, morsel)` for every morsel in [0, n), spread over
+/// ctx.WorkersFor(n) tasks that claim morsels from a shared atomic counter
+/// (the LHS-style morsel dispatcher). With one worker (or a null pool)
+/// everything runs inline on the calling thread. A set `cancel` flag stops
+/// workers at the next morsel claim — already-claimed morsels finish, so
+/// per-morsel output stays well-formed and the caller decides whether to
+/// surface Cancelled. Shared by the volcano exchange operators and the
+/// vectorized parallel scan.
+void DispatchMorsels(
+    const ParallelContext& ctx, size_t n, const std::atomic<bool>* cancel,
+    const std::function<void(size_t worker, size_t morsel)>& work);
 
 /// \brief A relation scannable morsel-at-a-time by many threads.
 ///

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <set>
 
 #include "exec/parallel.h"
+#include "exec/vec/vec_ops.h"
 
 namespace aidb::exec {
 
@@ -14,6 +16,27 @@ namespace {
 /// True when the options ask for (and can support) parallel execution.
 bool ParallelEnabled(const PlannerOptions& opts) {
   return opts.dop > 1 && opts.exec_pool != nullptr;
+}
+
+/// Wraps `child` in the engine-appropriate filter. The scalar expression
+/// always binds first so bind-time errors carry the row engine's canonical
+/// text whichever engine runs; the vectorized filter keeps the scalar twin
+/// for exact runtime error Statuses.
+Result<std::unique_ptr<Operator>> MakeFilter(std::unique_ptr<Operator> child,
+                                             const sql::Expr& pred,
+                                             std::string text,
+                                             const ModelResolver* models,
+                                             bool vectorized) {
+  BoundExpr bound;
+  AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(pred, child->output(), models));
+  if (vectorized) {
+    VecExpr vec;
+    AIDB_ASSIGN_OR_RETURN(vec, VecExpr::Bind(pred, child->output(), models));
+    return std::unique_ptr<Operator>(std::make_unique<VecFilterOp>(
+        std::move(child), std::move(vec), std::move(bound), std::move(text)));
+  }
+  return std::unique_ptr<Operator>(std::make_unique<FilterOp>(
+      std::move(child), std::move(bound), std::move(text)));
 }
 
 /// Annotates the top of a scan chain: the planner's estimated output rows
@@ -200,6 +223,43 @@ Result<std::unique_ptr<Operator>> Planner::BuildScan(
     }
   }
 
+  // Vectorized scan: replaces SeqScan+FilterOp (and the row-based gather)
+  // whenever no index was chosen — index scans are already sub-linear, so
+  // they stay row-at-a-time. Local predicates fuse into the scan as paired
+  // vectorized/scalar expressions.
+  if (index == nullptr && opts.vectorized) {
+    std::vector<OutputCol> schema;
+    for (const auto& col : table->schema().columns()) {
+      schema.push_back({rel.name, col.name, col.type});
+    }
+    std::vector<VecExpr> filters;
+    std::vector<BoundExpr> scalar_filters;
+    std::vector<std::string> filter_texts;
+    for (const sql::Expr* p : rel.local_predicates) {
+      BoundExpr bound;
+      AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(*p, schema, models_));
+      VecExpr vec;
+      AIDB_ASSIGN_OR_RETURN(vec, VecExpr::Bind(*p, schema, models_));
+      scalar_filters.push_back(std::move(bound));
+      filters.push_back(std::move(vec));
+      filter_texts.push_back(p->ToString());
+    }
+    std::unique_ptr<Operator> scan;
+    if (ParallelEnabled(opts) &&
+        rel.base_rows >= static_cast<double>(opts.parallel_threshold_rows)) {
+      scan = std::make_unique<VecParallelScanOp>(
+          table, rel.name, std::move(filters), std::move(scalar_filters),
+          std::move(filter_texts), rel.used_columns, opts.column_cache,
+          ParallelContext{opts.exec_pool, opts.dop});
+    } else {
+      scan = std::make_unique<VecScanOp>(
+          table, rel.name, std::move(filters), std::move(scalar_filters),
+          std::move(filter_texts), rel.used_columns, opts.column_cache);
+    }
+    AnnotateScanChain(scan.get(), rel);
+    return scan;
+  }
+
   // Morsel-parallel scan: only without a chosen index (index scans are
   // already sub-linear) and only when the base cardinality — as tracked by
   // the catalog — is large enough that morsel dispatch pays for itself.
@@ -289,7 +349,11 @@ Result<std::unique_ptr<Operator>> Planner::BuildJoinTree(
     if (lk < 0 || rk < 0) {
       return Status::Internal("join key resolution failed");
     }
-    if (ParallelEnabled(opts)) {
+    if (opts.vectorized) {
+      join = std::make_unique<VecHashJoinOp>(std::move(left), std::move(right),
+                                             static_cast<size_t>(lk),
+                                             static_cast<size_t>(rk));
+    } else if (ParallelEnabled(opts)) {
       join = std::make_unique<ParallelHashJoinOp>(
           std::move(left), std::move(right), static_cast<size_t>(lk),
           static_cast<size_t>(rk), ParallelContext{opts.exec_pool, opts.dop});
@@ -307,11 +371,10 @@ Result<std::unique_ptr<Operator>> Planner::BuildJoinTree(
   // Remaining crossing conditions become filters above the join.
   for (size_t i = 0; i < crossing.size(); ++i) {
     if (i == used_edge) continue;
-    BoundExpr bound;
     AIDB_ASSIGN_OR_RETURN(
-        bound, BoundExpr::Bind(*crossing[i]->condition, join->output(), models_));
-    join = std::make_unique<FilterOp>(std::move(join), std::move(bound),
-                                      crossing[i]->condition->ToString());
+        join, MakeFilter(std::move(join), *crossing[i]->condition,
+                         crossing[i]->condition->ToString(), models_,
+                         opts.vectorized));
   }
   return join;
 }
@@ -362,6 +425,56 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
     }
   }
 
+  // Column pruning for vectorized scans: mark, per relation, every column the
+  // statement can possibly read (see RelationInfo::used_columns for the
+  // safety argument). Unqualified names mark every relation that has the
+  // column — over-approximate, never wrong.
+  if (opts.vectorized) {
+    bool star = false;
+    for (const auto& item : stmt.items) star = star || item.is_star;
+    std::vector<const sql::Expr*> roots;
+    for (const auto& item : stmt.items) {
+      if (item.expr) roots.push_back(item.expr.get());
+    }
+    if (stmt.where) roots.push_back(stmt.where.get());
+    for (const auto& j : stmt.joins) {
+      if (j.condition) roots.push_back(j.condition.get());
+    }
+    for (const auto& g : stmt.group_by) roots.push_back(g.get());
+    if (stmt.having) roots.push_back(stmt.having.get());
+    for (auto& rel : result.graph.rels) {
+      const Table* table = nullptr;
+      AIDB_ASSIGN_OR_RETURN(table, catalog_->GetTable(rel.table));
+      const auto& cols = table->schema().columns();
+      rel.used_columns.assign(cols.size(), star ? uint8_t{1} : uint8_t{0});
+      if (star) continue;
+      auto mark = [&](const std::string& tbl, const std::string& col) {
+        if (!tbl.empty() && tbl != rel.name) return;
+        for (size_t c = 0; c < cols.size(); ++c) {
+          if (cols[c].name == col) rel.used_columns[c] = 1;
+        }
+      };
+      std::function<void(const sql::Expr*)> walk = [&](const sql::Expr* e) {
+        if (e == nullptr) return;
+        if (e->kind == sql::Expr::Kind::kColumnRef) mark(e->table, e->column);
+        walk(e->lhs.get());
+        walk(e->rhs.get());
+        for (const auto& a : e->args) walk(a.get());
+      };
+      for (const sql::Expr* e : roots) walk(e);
+      // ORDER BY keys are raw [table.]column names.
+      for (const auto& key : stmt.order_by) {
+        std::string tbl, col = key.column;
+        auto dot = col.find('.');
+        if (dot != std::string::npos) {
+          tbl = col.substr(0, dot);
+          col = col.substr(dot + 1);
+        }
+        mark(tbl, col);
+      }
+    }
+  }
+
   JoinCostModel cost_model(&result.graph);
   std::unique_ptr<Operator> root;
   if (result.graph.rels.size() == 1) {
@@ -387,10 +500,8 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
 
   // Residual multi-relation predicates.
   for (const sql::Expr* p : residual) {
-    BoundExpr bound;
-    AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(*p, root->output(), models_));
-    root = std::make_unique<FilterOp>(std::move(root), std::move(bound),
-                                      p->ToString());
+    AIDB_ASSIGN_OR_RETURN(root, MakeFilter(std::move(root), *p, p->ToString(),
+                                           models_, opts.vectorized));
   }
 
   // Aggregation.
@@ -440,10 +551,16 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
 
   if (has_group) {
     std::vector<BoundExpr> keys;
+    std::vector<VecExpr> vec_keys;  // twins of keys, vectorized engine only
     std::vector<OutputCol> key_cols;
     for (const auto& g : stmt.group_by) {
       BoundExpr bound;
       AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(*g, root->output(), models_));
+      if (opts.vectorized) {
+        VecExpr vec;
+        AIDB_ASSIGN_OR_RETURN(vec, VecExpr::Bind(*g, root->output(), models_));
+        vec_keys.push_back(std::move(vec));
+      }
       std::string name = g->kind == sql::Expr::Kind::kColumnRef ? g->column
                                                                 : g->ToString();
       std::string table = g->kind == sql::Expr::Kind::kColumnRef ? g->table : "";
@@ -451,42 +568,60 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
       key_cols.push_back({table, name, ValueType::kDouble});
     }
     std::vector<AggSpec> specs;
+    std::vector<VecExpr> vec_args;  // slot i twins specs[i].arg (or placeholder)
     for (const sql::Expr* a : aggs) {
       AggSpec spec;
       spec.func = a->agg;
       spec.out_name = a->ToString();
+      VecExpr varg;
       if (a->lhs) {
         BoundExpr bound;
         AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(*a->lhs, root->output(), models_));
         spec.arg = std::move(bound);
+        if (opts.vectorized) {
+          AIDB_ASSIGN_OR_RETURN(varg, VecExpr::Bind(*a->lhs, root->output(), models_));
+        }
       }
       specs.push_back(std::move(spec));
+      vec_args.push_back(std::move(varg));
     }
     // HAVING aggregates must also feed the aggregate operator.
     if (stmt.having) CollectAggregates(stmt.having.get(), &aggs);
-    std::vector<AggSpec> having_specs;
     for (size_t a = specs.size(); a < aggs.size(); ++a) {
       AggSpec spec;
       spec.func = aggs[a]->agg;
       spec.out_name = aggs[a]->ToString();
+      VecExpr varg;
       if (aggs[a]->lhs) {
         BoundExpr bound;
         AIDB_ASSIGN_OR_RETURN(bound,
                               BoundExpr::Bind(*aggs[a]->lhs, root->output(), models_));
         spec.arg = std::move(bound);
+        if (opts.vectorized) {
+          AIDB_ASSIGN_OR_RETURN(varg,
+                                VecExpr::Bind(*aggs[a]->lhs, root->output(), models_));
+        }
       }
       bool duplicate = false;
       for (const auto& existing : specs) {
         if (existing.out_name == spec.out_name) duplicate = true;
       }
-      if (!duplicate) specs.push_back(std::move(spec));
+      if (!duplicate) {
+        specs.push_back(std::move(spec));
+        vec_args.push_back(std::move(varg));
+      }
     }
 
     // When the input is exactly a gather (single parallel-scanned relation),
     // aggregate inside the workers instead: take over the morsel source and
-    // let each worker fold its morsels into a partial group map.
+    // let each worker fold its morsels into a partial group map. A vectorized
+    // plan never hits this — its scans are not GatherOps.
     auto* gather = dynamic_cast<GatherOp*>(root.get());
-    if (gather != nullptr && ParallelEnabled(opts)) {
+    if (opts.vectorized) {
+      root = std::make_unique<VecHashAggregateOp>(
+          std::move(root), std::move(vec_keys), std::move(keys),
+          std::move(key_cols), std::move(specs), std::move(vec_args));
+    } else if (gather != nullptr && ParallelEnabled(opts)) {
       ParallelContext ctx = gather->ctx();
       root = std::make_unique<ParallelHashAggregateOp>(
           gather->TakeSource(), std::move(keys), std::move(key_cols),
@@ -513,15 +648,15 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
     if (stmt.having) {
       std::unique_ptr<sql::Expr> rewritten = stmt.having->Clone();
       replace(rewritten);
-      BoundExpr bound;
-      AIDB_ASSIGN_OR_RETURN(bound,
-                            BoundExpr::Bind(*rewritten, root->output(), models_));
-      root = std::make_unique<FilterOp>(std::move(root), std::move(bound),
-                                        "HAVING " + stmt.having->ToString());
+      AIDB_ASSIGN_OR_RETURN(
+          root, MakeFilter(std::move(root), *rewritten,
+                           "HAVING " + stmt.having->ToString(), models_,
+                           opts.vectorized));
     }
 
     // Rewrite select items over the aggregate output.
     std::vector<BoundExpr> proj;
+    std::vector<VecExpr> vec_proj;
     std::vector<OutputCol> proj_cols;
     for (size_t i = 0; i < stmt.items.size(); ++i) {
       const auto& item = stmt.items[i];
@@ -532,6 +667,11 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
       replace(rewritten);
       BoundExpr bound;
       AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(*rewritten, root->output(), models_));
+      if (opts.vectorized) {
+        VecExpr vec;
+        AIDB_ASSIGN_OR_RETURN(vec, VecExpr::Bind(*rewritten, root->output(), models_));
+        vec_proj.push_back(std::move(vec));
+      }
       proj.push_back(std::move(bound));
       // Bare column refs keep their table qualifier so ORDER BY t.c resolves.
       std::string table = item.alias.empty() &&
@@ -540,13 +680,19 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
                               : "";
       proj_cols.push_back({table, ItemName(item, i), ValueType::kDouble});
     }
-    root = std::make_unique<ProjectOp>(std::move(root), std::move(proj),
-                                       std::move(proj_cols));
+    if (opts.vectorized) {
+      root = std::make_unique<VecProjectOp>(std::move(root), std::move(vec_proj),
+                                            std::move(proj), std::move(proj_cols));
+    } else {
+      root = std::make_unique<ProjectOp>(std::move(root), std::move(proj),
+                                         std::move(proj_cols));
+    }
   } else {
     // Plain projection (skipped entirely for a bare SELECT *).
     bool all_star = stmt.items.size() == 1 && stmt.items[0].is_star;
     if (!all_star) {
       std::vector<BoundExpr> proj;
+      std::vector<VecExpr> vec_proj;
       std::vector<OutputCol> proj_cols;
       for (size_t i = 0; i < stmt.items.size(); ++i) {
         const auto& item = stmt.items[i];
@@ -558,6 +704,11 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
             col.column = root->output()[c].name;
             BoundExpr bound;
             AIDB_ASSIGN_OR_RETURN(bound, BoundExpr::Bind(col, root->output(), models_));
+            if (opts.vectorized) {
+              VecExpr vec;
+              AIDB_ASSIGN_OR_RETURN(vec, VecExpr::Bind(col, root->output(), models_));
+              vec_proj.push_back(std::move(vec));
+            }
             proj.push_back(std::move(bound));
             proj_cols.push_back(root->output()[c]);
           }
@@ -566,6 +717,12 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
         BoundExpr bound;
         AIDB_ASSIGN_OR_RETURN(bound,
                               BoundExpr::Bind(*item.expr, root->output(), models_));
+        if (opts.vectorized) {
+          VecExpr vec;
+          AIDB_ASSIGN_OR_RETURN(vec,
+                                VecExpr::Bind(*item.expr, root->output(), models_));
+          vec_proj.push_back(std::move(vec));
+        }
         ValueType type = ValueType::kDouble;
         std::string table;
         if (item.expr->kind == sql::Expr::Kind::kColumnRef) {
@@ -576,8 +733,15 @@ Result<PhysicalPlan> Planner::Plan(const sql::SelectStatement& stmt,
         proj.push_back(std::move(bound));
         proj_cols.push_back({table, ItemName(item, i), type});
       }
-      root = std::make_unique<ProjectOp>(std::move(root), std::move(proj),
-                                         std::move(proj_cols));
+      if (opts.vectorized) {
+        root = std::make_unique<VecProjectOp>(std::move(root),
+                                              std::move(vec_proj),
+                                              std::move(proj),
+                                              std::move(proj_cols));
+      } else {
+        root = std::make_unique<ProjectOp>(std::move(root), std::move(proj),
+                                           std::move(proj_cols));
+      }
       inherit_est(root.get());
     }
   }

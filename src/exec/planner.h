@@ -16,6 +16,8 @@ class ThreadPool;
 
 namespace aidb::exec {
 
+class ColumnCache;
+
 /// Pluggable optimizer strategy. Null members fall back to the classical
 /// defaults (histogram estimator + Selinger DP). Learned components swap in
 /// here — this is how AI4DB techniques integrate with the engine.
@@ -39,6 +41,21 @@ struct PlannerOptions {
   size_t dop = 1;
   ThreadPool* exec_pool = nullptr;
   size_t parallel_threshold_rows = 8192;
+
+  /// Batch-at-a-time execution (the `vectorized` session knob): scans,
+  /// filters, projections, hash joins and hash aggregations are emitted as
+  /// their Vec* variants, moving ~1K-row column batches instead of tuples.
+  /// Index scans and the order-sensitive operators (Sort, Distinct, Limit,
+  /// nested-loop join) stay row-at-a-time; the batch operators drain into
+  /// them transparently. Off by default so the row engine remains the oracle
+  /// the vectorized engine is differentially tested against.
+  bool vectorized = false;
+
+  /// Slot-major column mirrors for vectorized scans (see ColumnCache).
+  /// Owned by the Database; null disables mirroring, and the scans fall
+  /// back to row-major tuple extraction — semantics are identical either
+  /// way, mirroring is purely a bandwidth optimization.
+  ColumnCache* column_cache = nullptr;
 };
 
 /// Output of planning: the executable tree plus the optimizer artifacts, so

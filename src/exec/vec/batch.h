@@ -1,0 +1,210 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "storage/schema.h"
+
+namespace aidb::exec {
+
+/// Rows per batch: large enough that per-batch overhead (virtual dispatch,
+/// kernel setup) amortizes away, small enough that a batch's columns stay in
+/// L1/L2 across the kernels of one operator.
+inline constexpr size_t kBatchRows = 1024;
+
+/// \brief One typed column of a batch.
+///
+/// The typed kinds (kInt/kDouble/kString) store values in flat arrays a
+/// kernel can stream over; kString is dictionary-encoded (codes into a
+/// per-column dictionary in first-seen order). kNull is an all-NULL column
+/// (e.g. a NULL literal). kGeneric is the correctness fallback — a plain
+/// Value vector — used where static typing does not hold: rows drained from
+/// volcano children, and DOUBLE table columns that physically hold INT values
+/// (Table::ValidateRow permits that mix, and Value::ToString distinguishes
+/// it, so coercing would change results).
+///
+/// `valid` is a byte-per-row validity mask (1 = non-NULL) for the typed
+/// kinds; value slots at invalid rows are zeroed so kernels can operate
+/// branchlessly and mask afterwards. `err` marks rows whose evaluation
+/// failed in the scalar semantics (overflow, arithmetic on a string):
+/// kernels null the row out and set the bit; the consumer finds the lowest
+/// selected errored row and re-evaluates the scalar expression on that one
+/// row to recover the exact Status — so the hot loops never build strings
+/// and the error text is the scalar path's, byte for byte.
+struct VecColumn {
+  enum class Kind { kInt, kDouble, kString, kNull, kGeneric };
+
+  Kind kind = Kind::kNull;
+  size_t rows = 0;
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<int32_t> codes;      ///< kString: index into dict
+  std::vector<std::string> dict;   ///< kString: unique values, first-seen order
+  std::vector<Value> generic;      ///< kGeneric payload
+  std::vector<uint8_t> valid;      ///< typed kinds: 1 = non-NULL
+  std::vector<uint8_t> err;        ///< rows whose scalar evaluation errors
+  bool has_err = false;
+
+  void Clear() {
+    kind = Kind::kNull;
+    rows = 0;
+    ints.clear();
+    doubles.clear();
+    codes.clear();
+    dict.clear();
+    generic.clear();
+    valid.clear();
+    err.clear();
+    has_err = false;
+  }
+
+  bool IsNullAt(size_t i) const {
+    switch (kind) {
+      case Kind::kNull: return true;
+      case Kind::kGeneric: return generic[i].is_null();
+      default: return valid[i] == 0;
+    }
+  }
+
+  /// Materializes row i as a scalar Value (exact, including INT-in-DOUBLE
+  /// rows via the generic fallback).
+  Value ValueAt(size_t i) const {
+    switch (kind) {
+      case Kind::kNull: return Value::Null();
+      case Kind::kGeneric: return generic[i];
+      case Kind::kInt:
+        return valid[i] ? Value(ints[i]) : Value::Null();
+      case Kind::kDouble:
+        return valid[i] ? Value(doubles[i]) : Value::Null();
+      case Kind::kString:
+        return valid[i] ? Value(dict[static_cast<size_t>(codes[i])])
+                        : Value::Null();
+    }
+    return Value::Null();
+  }
+
+  /// Value::AsFeature without boxing for the typed kinds.
+  double FeatureAt(size_t i) const {
+    switch (kind) {
+      case Kind::kNull: return 0.0;
+      case Kind::kGeneric: return generic[i].AsFeature();
+      case Kind::kInt: return valid[i] ? static_cast<double>(ints[i]) : 0.0;
+      case Kind::kDouble: return valid[i] ? doubles[i] : 0.0;
+      case Kind::kString: {
+        if (!valid[i]) return 0.0;
+        size_t h = std::hash<std::string>{}(dict[static_cast<size_t>(codes[i])]);
+        return static_cast<double>(h % 100003) / 100003.0;
+      }
+    }
+    return 0.0;
+  }
+
+  void MarkError(size_t i) {
+    err[i] = 1;
+    has_err = true;
+    // Null the row out so downstream kernels see NULL, never garbage.
+    if (kind != Kind::kGeneric && kind != Kind::kNull) {
+      valid[i] = 0;
+    } else if (kind == Kind::kGeneric) {
+      generic[i] = Value::Null();
+    }
+  }
+
+  // --- construction helpers --------------------------------------------
+
+  /// Sizes the column for n rows of the given kind, zero-filled and all-NULL
+  /// (typed kinds) so kernels can write values + validity positionally.
+  void Resize(Kind k, size_t n) {
+    Clear();
+    kind = k;
+    rows = n;
+    err.assign(n, 0);
+    switch (k) {
+      case Kind::kInt:
+        ints.assign(n, 0);
+        valid.assign(n, 0);
+        break;
+      case Kind::kDouble:
+        doubles.assign(n, 0.0);
+        valid.assign(n, 0);
+        break;
+      case Kind::kString:
+        codes.assign(n, 0);
+        valid.assign(n, 0);
+        break;
+      case Kind::kGeneric:
+        generic.assign(n, Value::Null());
+        break;
+      case Kind::kNull:
+        break;
+    }
+  }
+
+  /// Converts a partially-built typed column to the generic representation
+  /// (used when a DOUBLE table column turns out to hold an INT value
+  /// mid-batch). Only the first `built` rows are carried over.
+  void DemoteToGeneric(size_t built) {
+    std::vector<Value> g;
+    g.reserve(rows);
+    for (size_t i = 0; i < built; ++i) g.push_back(ValueAt(i));
+    for (size_t i = built; i < rows; ++i) g.push_back(Value::Null());
+    ints.clear();
+    doubles.clear();
+    codes.clear();
+    dict.clear();
+    valid.clear();
+    generic = std::move(g);
+    kind = Kind::kGeneric;
+  }
+};
+
+/// \brief A batch of rows in columnar layout, plus an optional selection
+/// vector.
+///
+/// `sel` (when `has_sel`) lists the live row indices in ascending order;
+/// filters refine it in place instead of copying survivors, so a
+/// scan→filter→aggregate pipeline moves no row data at all. Expressions
+/// always evaluate over all physical rows (cheaper than gathering); only
+/// selected rows are ever observed, and per-row errors are only honored on
+/// selected rows — matching the volcano path, where filtered-out rows never
+/// reach later operators.
+struct Batch {
+  std::vector<VecColumn> cols;
+  size_t rows = 0;  ///< physical rows; every column has exactly this many
+  bool has_sel = false;
+  std::vector<uint32_t> sel;
+
+  void Clear() {
+    cols.clear();
+    rows = 0;
+    has_sel = false;
+    sel.clear();
+  }
+
+  /// Clear() that keeps the column objects (and their heap arrays) alive, so
+  /// a reused batch re-fills columns via VecColumn::Resize with zero
+  /// allocations on the steady state of a scan. Column contents are stale
+  /// until rewritten.
+  void ResetForWidth(size_t width) {
+    cols.resize(width);
+    rows = 0;
+    has_sel = false;
+    sel.clear();
+  }
+
+  size_t ActiveCount() const { return has_sel ? sel.size() : rows; }
+  uint32_t ActiveRow(size_t i) const {
+    return has_sel ? sel[i] : static_cast<uint32_t>(i);
+  }
+
+  Tuple MaterializeRow(uint32_t r) const {
+    Tuple t;
+    t.reserve(cols.size());
+    for (const auto& c : cols) t.push_back(c.ValueAt(r));
+    return t;
+  }
+};
+
+}  // namespace aidb::exec

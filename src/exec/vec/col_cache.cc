@@ -1,0 +1,97 @@
+#include "exec/vec/col_cache.h"
+
+#include <cstdlib>
+
+namespace aidb::exec {
+
+size_t ColumnCache::MinSlots() {
+  static const size_t threshold = [] {
+    const char* env = std::getenv("AIDB_COL_CACHE_MIN_SLOTS");
+    return env != nullptr ? static_cast<size_t>(std::strtoull(env, nullptr, 10))
+                          : kMinSlots;
+  }();
+  return threshold;
+}
+
+namespace {
+
+/// One slot-major extraction pass. Returns null if any live value breaks the
+/// column's declared type (the scan's row-major path handles that exactly via
+/// DemoteToGeneric, so the mirror just declines).
+std::shared_ptr<const VecColumn> BuildMirror(const Table& table, size_t c,
+                                             ValueType type) {
+  auto col = std::make_shared<VecColumn>();
+  const size_t slots = table.NumSlots();
+  col->Resize(type == ValueType::kInt ? VecColumn::Kind::kInt
+                                      : VecColumn::Kind::kDouble,
+              slots);
+  for (RowId id = 0; id < slots; ++id) {
+    if (!table.IsLive(id)) continue;  // tombstones stay invalid
+    const Value& v = table.RowAt(id)[c];
+    if (v.is_null()) continue;
+    if (v.type() != type) return nullptr;  // e.g. INT stored in DOUBLE column
+    if (type == ValueType::kInt) {
+      col->ints[id] = v.AsInt();
+    } else {
+      col->doubles[id] = v.AsDouble();
+    }
+    col->valid[id] = 1;
+  }
+  // The gather only reads values + validity; drop the per-row error lane.
+  col->err.clear();
+  col->err.shrink_to_fit();
+  return col;
+}
+
+}  // namespace
+
+std::shared_ptr<const VecColumn> ColumnCache::Get(const Table& table,
+                                                  size_t col) {
+  if (table.NumSlots() < MinSlots()) return nullptr;
+  const ValueType type = table.schema().column(col).type;
+  if (type != ValueType::kInt && type != ValueType::kDouble) return nullptr;
+
+  const uint64_t version = table.data_version();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = entries_[table.uid()];
+    entry.cols.resize(table.schema().NumColumns());
+    ColEntry& ce = entry.cols[col];
+    if (ce.built && ce.version == version) return ce.col;
+  }
+
+  // Build outside the lock: the table cannot change under a running query
+  // (readers hold the service's shared lock, writers its exclusive lock), so
+  // concurrent cold Gets at worst build identical mirrors; last one wins.
+  std::shared_ptr<const VecColumn> mirror = BuildMirror(table, col, type);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = entries_[table.uid()];
+  entry.cols.resize(table.schema().NumColumns());
+  ColEntry& ce = entry.cols[col];
+  ce.built = true;
+  ce.version = version;
+  ce.col = mirror;
+  return mirror;
+}
+
+void ColumnCache::Evict(uint64_t table_uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(table_uid);
+}
+
+size_t ColumnCache::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [uid, entry] : entries_) {
+    for (const auto& ce : entry.cols) {
+      if (!ce.col) continue;
+      bytes += ce.col->ints.capacity() * sizeof(int64_t) +
+               ce.col->doubles.capacity() * sizeof(double) +
+               ce.col->valid.capacity();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace aidb::exec

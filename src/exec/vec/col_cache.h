@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/vec/batch.h"
+#include "storage/table.h"
+
+namespace aidb::exec {
+
+/// \brief Version-invalidated columnar mirror of the row store, feeding the
+/// vectorized scan.
+///
+/// The row store keeps each row as a heap-allocated vector of Values, so
+/// extracting one column for a 1M-row scan is a pointer-chasing pass that
+/// dominates vectorized query time (the hardware prefetcher already hides
+/// most of the latency; re-extraction itself is the cost). The cache holds a
+/// slot-major typed array per (table, column) — same indexing as the slot
+/// space, tombstoned slots simply stay invalid — so a scan gathers its batch
+/// windows from contiguous memory instead of walking tuples.
+///
+/// Consistency: every Table mutation bumps Table::data_version(); Get()
+/// rebuilds when the stamped version differs. Entries are keyed by
+/// Table::uid(), so a DROP/CREATE cycle that reuses a table name (or heap
+/// address) can never alias a stale mirror — the new table has a new uid.
+/// Thread-safety matches the engine's read/write model: concurrent readers
+/// (the service holds a shared lock for SELECTs) may Get() concurrently —
+/// the map is mutex-guarded and a cold column is built outside the lock from
+/// a table that is immutable for the duration of the query, so racing
+/// builders at worst duplicate work and install identical mirrors. Mutations
+/// run under the service's exclusive lock and only bump the version.
+///
+/// Scope: only INT and DOUBLE columns of tables with at least kMinSlots
+/// slots are mirrored. A column that physically holds a value of another
+/// type (legal for DOUBLE columns, which may store INTs) is marked
+/// uncacheable at that version and the scan falls back to row-major
+/// extraction — the path that handles mid-batch demotion exactly.
+class ColumnCache {
+ public:
+  /// Below this slot count the row-major pass is already cheap and DML churn
+  /// would make mirror rebuilds a net loss (4 * kBatchRows).
+  static constexpr size_t kMinSlots = 4096;
+
+  /// Effective threshold: kMinSlots unless AIDB_COL_CACHE_MIN_SLOTS
+  /// overrides it (read once per process). The differential fuzzer's
+  /// vectorized leg sets it to 0 so every table — even the generator's tiny
+  /// ones — exercises the mirror gather path against the volcano oracle.
+  static size_t MinSlots();
+
+  /// Returns the slot-major mirror of `table` column `col`, rebuilding it if
+  /// the table changed since it was stamped; nullptr when the column is not
+  /// mirrored (non-numeric type, small table, or mixed physical types). The
+  /// returned column has NumSlots() rows; slot r is valid iff row r is live
+  /// and non-NULL. The shared_ptr keeps the mirror alive across a concurrent
+  /// invalidation for the duration of a query.
+  std::shared_ptr<const VecColumn> Get(const Table& table, size_t col);
+
+  /// Drops every mirror of the table with this uid (DROP TABLE hook; purely
+  /// a memory release — uid keying already prevents stale reuse).
+  void Evict(uint64_t table_uid);
+
+  /// Resident bytes across all mirrors (observability).
+  size_t ApproxBytes() const;
+
+ private:
+  struct ColEntry {
+    bool built = false;          ///< an attempt was stamped at `version`
+    uint64_t version = 0;
+    std::shared_ptr<const VecColumn> col;  ///< null => uncacheable
+  };
+  struct TableEntry {
+    std::vector<ColEntry> cols;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, TableEntry> entries_;
+};
+
+}  // namespace aidb::exec

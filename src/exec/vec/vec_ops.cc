@@ -1,0 +1,895 @@
+#include "exec/vec/vec_ops.h"
+
+#include <algorithm>
+
+#include "exec/vec/col_cache.h"
+
+namespace aidb::exec {
+
+// The parallel scan builds the same absolute batch windows the serial scan
+// does, just grouped two-per-morsel; this is what makes their row streams —
+// and first errors — identical.
+static_assert(kMorselRows % kBatchRows == 0,
+              "morsels must be a whole number of batches");
+
+namespace {
+
+/// ValueIsTrue over a column row without materializing a Value.
+bool TruthAt(const VecColumn& c, size_t r) {
+  switch (c.kind) {
+    case VecColumn::Kind::kNull:
+      return false;
+    case VecColumn::Kind::kInt:
+      return c.valid[r] && c.ints[r] != 0;
+    case VecColumn::Kind::kDouble:
+      return c.valid[r] && c.doubles[r] != 0.0;
+    case VecColumn::Kind::kString:
+      return c.valid[r] && !c.dict[static_cast<size_t>(c.codes[r])].empty();
+    case VecColumn::Kind::kGeneric:
+      return !c.generic[r].is_null() && ValueIsTrue(c.generic[r]);
+  }
+  return false;
+}
+
+/// Refines b's selection by the predicate column. On the first errored
+/// selected row, records it in *pending and truncates the selection to the
+/// rows before it — rows the scalar engine would have emitted before dying.
+/// *scratch is reusable storage for the survivor list.
+void RefineSelection(const VecColumn& pred, Batch* b, size_t* pending,
+                     std::vector<uint32_t>* scratch) {
+  std::vector<uint32_t>& kept = *scratch;
+  kept.clear();
+  const size_t n = b->ActiveCount();
+  for (size_t s = 0; s < n; ++s) {
+    uint32_t r = b->ActiveRow(s);
+    if (pred.err[r]) {
+      *pending = r;
+      break;
+    }
+    if (TruthAt(pred, r)) kept.push_back(r);
+  }
+  b->sel.swap(kept);
+  b->has_sel = true;
+}
+
+/// One-pass fused path for `column <cmp> numeric-literal` predicates over a
+/// typed numeric column: refines the selection directly — no predicate
+/// column, no allocation, and no error handling needed (comparisons cannot
+/// fail, and scan-built columns carry no upstream errors). Comparison runs
+/// in double space, exactly like Value::Compare and CompareKernel. Returns
+/// false when the shape or runtime column kind does not match.
+bool TryFusedCompare(const VecExpr& f, Batch* b,
+                     std::vector<uint32_t>* scratch) {
+  int col = -1;
+  sql::OpType op = sql::OpType::kEq;
+  Value lit;
+  if (!f.MatchColCmpLit(&col, &op, &lit)) return false;
+  if (lit.type() != ValueType::kInt && lit.type() != ValueType::kDouble) {
+    return false;
+  }
+  const VecColumn& c = b->cols[static_cast<size_t>(col)];
+  const bool is_int = c.kind == VecColumn::Kind::kInt;
+  if (!is_int && c.kind != VecColumn::Kind::kDouble) return false;
+  if (c.has_err) return false;
+
+  const double x = lit.AsDouble();
+  const int64_t* iv = is_int ? c.ints.data() : nullptr;
+  const double* dv = is_int ? nullptr : c.doubles.data();
+  const uint8_t* valid = c.valid.data();
+  std::vector<uint32_t>& kept = *scratch;
+  kept.clear();
+  const size_t n = b->ActiveCount();
+  auto refine = [&](auto cmp) {
+    for (size_t s = 0; s < n; ++s) {
+      uint32_t r = b->ActiveRow(s);
+      double a = is_int ? static_cast<double>(iv[r]) : dv[r];
+      if (valid[r] && cmp(a)) kept.push_back(r);
+    }
+  };
+  switch (op) {
+    case sql::OpType::kEq: refine([x](double a) { return a == x; }); break;
+    case sql::OpType::kNe: refine([x](double a) { return a != x; }); break;
+    case sql::OpType::kLt: refine([x](double a) { return a < x; }); break;
+    case sql::OpType::kLe: refine([x](double a) { return a <= x; }); break;
+    case sql::OpType::kGt: refine([x](double a) { return a > x; }); break;
+    case sql::OpType::kGe: refine([x](double a) { return a >= x; }); break;
+    default: return false;
+  }
+  b->sel.swap(kept);
+  b->has_sel = true;
+  return true;
+}
+
+/// Builds the batch for slot window [begin, begin + kBatchRows), compacting
+/// live rows densely. One row-major pass over the row store: each live tuple
+/// is fetched once and its values fan out to the typed columns. A value that
+/// breaks a column's static typing (legal — e.g. an INT value stored in a
+/// DOUBLE column) demotes that column to exact Value storage mid-pass.
+/// Only the columns listed in `active` are materialized; the rest become
+/// kNull placeholder columns the planner proved unreachable (see
+/// RelationInfo::used_columns). Columns with a slot in `cached` gather from
+/// that slot-major mirror (contiguous arrays, no tuple access); `row_active`
+/// lists the remaining active columns, which take the row-major extraction
+/// pass. `dicts` is per-table-column dictionary-index scratch (string
+/// columns use theirs); `out`'s storage is reused across calls, so the
+/// steady state allocates nothing.
+void BuildScanBatch(
+    const Table& table, RowId begin, Batch* out, std::vector<RowId>* live,
+    std::vector<std::unordered_map<std::string, int32_t>>* dicts,
+    const std::vector<size_t>& active,
+    const std::vector<std::shared_ptr<const VecColumn>>& cached,
+    const std::vector<size_t>& row_active) {
+  const auto& cols = table.schema().columns();
+  const size_t width = cols.size();
+  out->ResetForWidth(width);
+  dicts->resize(width);
+  live->clear();
+  RowId limit = std::min<RowId>(begin + kBatchRows, table.NumSlots());
+  for (RowId id = begin; id < limit; ++id) {
+    if (table.IsLive(id)) live->push_back(id);
+  }
+  const size_t n = live->size();
+  out->rows = n;
+  if (n == 0) return;
+  size_t next_active = 0;  // `active` is ascending: merge against [0, width)
+  for (size_t c = 0; c < width; ++c) {
+    if (next_active >= active.size() || active[next_active] != c) {
+      out->cols[c].Resize(VecColumn::Kind::kNull, n);
+      continue;
+    }
+    ++next_active;
+    const VecColumn* cc = c < cached.size() ? cached[c].get() : nullptr;
+    if (cc != nullptr) {
+      // Gather from the mirror: exactly the values + validity the row-major
+      // pass would extract, read from contiguous arrays.
+      VecColumn& dst = out->cols[c];
+      dst.Resize(cc->kind, n);
+      if (cc->kind == VecColumn::Kind::kInt) {
+        for (size_t i = 0; i < n; ++i) {
+          RowId r = (*live)[i];
+          dst.ints[i] = cc->ints[r];
+          dst.valid[i] = cc->valid[r];
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          RowId r = (*live)[i];
+          dst.doubles[i] = cc->doubles[r];
+          dst.valid[i] = cc->valid[r];
+        }
+      }
+      continue;
+    }
+    switch (cols[c].type) {
+      case ValueType::kInt:
+        out->cols[c].Resize(VecColumn::Kind::kInt, n);
+        break;
+      case ValueType::kDouble:
+        out->cols[c].Resize(VecColumn::Kind::kDouble, n);
+        break;
+      case ValueType::kString:
+        out->cols[c].Resize(VecColumn::Kind::kString, n);
+        (*dicts)[c].clear();
+        break;
+      default:
+        out->cols[c].Resize(VecColumn::Kind::kGeneric, n);
+        break;
+    }
+  }
+  if (row_active.empty()) return;
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& row = table.RowAt((*live)[i]);
+    for (size_t c : row_active) {
+      const Value& v = row[c];
+      if (v.is_null()) continue;  // slots start zeroed/NULL
+      VecColumn& col = out->cols[c];
+      switch (col.kind) {
+        case VecColumn::Kind::kInt:
+          if (v.type() == ValueType::kInt) {
+            col.ints[i] = v.AsInt();
+            col.valid[i] = 1;
+          } else {
+            col.DemoteToGeneric(i);
+            col.generic[i] = v;
+          }
+          break;
+        case VecColumn::Kind::kDouble:
+          if (v.type() == ValueType::kDouble) {
+            col.doubles[i] = v.AsDouble();
+            col.valid[i] = 1;
+          } else {
+            col.DemoteToGeneric(i);
+            col.generic[i] = v;
+          }
+          break;
+        case VecColumn::Kind::kString:
+          if (v.type() == ValueType::kString) {
+            auto [it, inserted] = (*dicts)[c].emplace(
+                v.AsString(), static_cast<int32_t>(col.dict.size()));
+            if (inserted) col.dict.push_back(v.AsString());
+            col.codes[i] = it->second;
+            col.valid[i] = 1;
+          } else {
+            col.DemoteToGeneric(i);
+            col.generic[i] = v;
+          }
+          break;
+        default:
+          col.generic[i] = v;
+          break;
+      }
+    }
+  }
+}
+
+/// Applies the fused filters in sequence, refining b's selection. A non-OK
+/// return is the deferred error: b is already truncated to the rows the
+/// scalar engine would have emitted first, and the Status is recovered by
+/// running the scalar filter chain on the failing row — byte-equal text.
+Status ApplyFusedFilters(const std::vector<VecExpr>& filters,
+                         const std::vector<BoundExpr>& scalar_filters, Batch* b,
+                         std::vector<uint32_t>* sel_scratch) {
+  size_t pending = SIZE_MAX;
+  for (const auto& f : filters) {
+    if (!TryFusedCompare(f, b, sel_scratch)) {
+      VecColumn scratch;
+      const VecColumn& pred = f.EvalRef(*b, &scratch);
+      RefineSelection(pred, b, &pending, sel_scratch);
+    }
+    // No survivors: the scalar engine would never evaluate later filters.
+    if (b->sel.empty()) break;
+  }
+  if (pending == SIZE_MAX) return Status::OK();
+  Tuple row = b->MaterializeRow(static_cast<uint32_t>(pending));
+  for (const auto& f : scalar_filters) {
+    Result<bool> keep = f.EvalBool(row);
+    if (!keep.ok()) return keep.status();
+  }
+  return Status::Internal("vectorized filter error not reproduced by scalar filter");
+}
+
+}  // namespace
+
+// ----- VecOperator -----
+
+bool VecOperator::FetchChildBatch(Operator* child, Batch* out) {
+  if (auto* vec = dynamic_cast<VecOperator*>(child)) {
+    return vec->NextBatch(out);
+  }
+  // Row child: drain up to one batch of rows into generic columns.
+  out->Clear();
+  const size_t width = child->output().size();
+  out->cols.resize(width);
+  for (auto& c : out->cols) c.kind = VecColumn::Kind::kGeneric;
+  size_t n = 0;
+  Tuple row;
+  while (n < kBatchRows && child->Next(&row)) {
+    for (size_t c = 0; c < width; ++c) {
+      out->cols[c].generic.push_back(std::move(row[c]));
+    }
+    ++n;
+  }
+  if (n == 0) return false;
+  for (auto& c : out->cols) {
+    c.rows = n;
+    c.err.assign(n, 0);
+  }
+  out->rows = n;
+  return true;
+}
+
+// ----- VecScan -----
+
+/// Expands a pruning mask into the ascending list of columns to materialize;
+/// an empty (or short) mask means every column.
+static std::vector<size_t> ActiveColumns(const Table& table,
+                                         const std::vector<uint8_t>& used) {
+  const size_t width = table.schema().columns().size();
+  std::vector<size_t> active;
+  active.reserve(width);
+  for (size_t c = 0; c < width; ++c) {
+    if (used.size() != width || used[c]) active.push_back(c);
+  }
+  return active;
+}
+
+/// Resolves the slot-major mirrors for one execution: slot c of `cached` is
+/// set for active columns the cache covers; `row_cols` collects the rest —
+/// the columns the row-major extraction pass must still materialize.
+static void ResolveMirrors(
+    ColumnCache* cache, const Table& table, const std::vector<size_t>& active,
+    std::vector<std::shared_ptr<const VecColumn>>* cached,
+    std::vector<size_t>* row_cols) {
+  cached->assign(table.schema().NumColumns(), nullptr);
+  row_cols->clear();
+  for (size_t c : active) {
+    std::shared_ptr<const VecColumn> cc;
+    if (cache != nullptr) cc = cache->Get(table, c);
+    if (cc != nullptr) {
+      (*cached)[c] = std::move(cc);
+    } else {
+      row_cols->push_back(c);
+    }
+  }
+}
+
+VecScanOp::VecScanOp(const Table* table, std::string effective_name,
+                     std::vector<VecExpr> filters,
+                     std::vector<BoundExpr> scalar_filters,
+                     std::vector<std::string> filter_texts,
+                     std::vector<uint8_t> used_cols, ColumnCache* cache)
+    : table_(table),
+      label_(std::move(effective_name)),
+      filters_(std::move(filters)),
+      scalar_filters_(std::move(scalar_filters)),
+      filter_texts_(std::move(filter_texts)),
+      active_cols_(ActiveColumns(*table, used_cols)),
+      used_cols_(std::move(used_cols)),
+      cache_(cache) {
+  for (const auto& col : table->schema().columns()) {
+    output_.push_back({label_, col.name, col.type});
+  }
+}
+
+std::string VecScanOp::Name() const {
+  std::string name = "VecScan(" + label_;
+  for (const auto& t : filter_texts_) name += ", filter=" + t;
+  return name + ")";
+}
+
+void VecScanOp::VecOpenImpl() {
+  cursor_ = 0;
+  deferred_ = Status::OK();
+  ResolveMirrors(cache_, *table_, active_cols_, &cached_cols_, &row_cols_);
+}
+
+bool VecScanOp::NextBatchImpl(Batch* out) {
+  if (!deferred_.ok()) return Fail(std::move(deferred_));
+  for (;;) {
+    if (cursor_ >= table_->NumSlots()) return false;
+    // Cancellation latency is bounded by one batch, the vectorized analogue
+    // of SeqScan's strided poll.
+    if (IsCancelled()) {
+      return Fail(Status::Cancelled("query cancelled during scan"));
+    }
+    RowId begin = cursor_;
+    cursor_ += kBatchRows;
+    BuildScanBatch(*table_, begin, out, &scratch_live_, &scratch_dicts_,
+                   active_cols_, cached_cols_, row_cols_);
+    if (out->rows == 0) continue;
+    Status s = ApplyFusedFilters(filters_, scalar_filters_, out, &scratch_sel_);
+    size_t active = out->ActiveCount();
+    if (!s.ok()) {
+      if (active == 0) return Fail(std::move(s));
+      deferred_ = std::move(s);
+      rows_produced_ += active;
+      return true;
+    }
+    if (active == 0) continue;
+    rows_produced_ += active;
+    return true;
+  }
+}
+
+// ----- VecParallelScan -----
+
+VecParallelScanOp::VecParallelScanOp(const Table* table,
+                                     std::string effective_name,
+                                     std::vector<VecExpr> filters,
+                                     std::vector<BoundExpr> scalar_filters,
+                                     std::vector<std::string> filter_texts,
+                                     std::vector<uint8_t> used_cols,
+                                     ColumnCache* cache, ParallelContext ctx)
+    : table_(table),
+      label_(std::move(effective_name)),
+      filters_(std::move(filters)),
+      scalar_filters_(std::move(scalar_filters)),
+      filter_texts_(std::move(filter_texts)),
+      active_cols_(ActiveColumns(*table, used_cols)),
+      used_cols_(std::move(used_cols)),
+      cache_(cache),
+      ctx_(ctx) {
+  for (const auto& col : table->schema().columns()) {
+    output_.push_back({label_, col.name, col.type});
+  }
+}
+
+std::string VecParallelScanOp::Name() const {
+  std::string name = "VecParallelScan(" + label_;
+  for (const auto& t : filter_texts_) name += ", filter=" + t;
+  return name + ", dop=" + std::to_string(ctx_.dop) + ")";
+}
+
+void VecParallelScanOp::VecOpenImpl() {
+  morsel_cursor_ = 0;
+  batch_cursor_ = 0;
+  deferred_ = Status::OK();
+  size_t slots = table_->NumSlots();
+  size_t n = (slots + kMorselRows - 1) / kMorselRows;
+  morsels_.assign(n, {});
+  worker_rows_.assign(ctx_.WorkersFor(n), 0);
+  // Resolve mirrors once, before dispatch: workers read the shared vectors
+  // concurrently but never write them.
+  ResolveMirrors(cache_, *table_, active_cols_, &cached_cols_, &row_cols_);
+  // One status slot per morsel; the lowest-numbered failing morsel's error is
+  // the one the serial scan would hit first.
+  std::vector<Status> morsel_status(n);
+  DispatchMorsels(ctx_, n, cancel_,
+                  [this, slots, &morsel_status](size_t w, size_t m) {
+    std::vector<RowId> live;
+    std::vector<std::unordered_map<std::string, int32_t>> dicts;
+    std::vector<uint32_t> sel_scratch;
+    RowId mbegin = static_cast<RowId>(m) * kMorselRows;
+    RowId mend = std::min<RowId>(mbegin + kMorselRows, slots);
+    for (RowId b = mbegin; b < mend; b += kBatchRows) {
+      Batch batch;
+      BuildScanBatch(*table_, b, &batch, &live, &dicts, active_cols_,
+                     cached_cols_, row_cols_);
+      if (batch.rows == 0) continue;
+      Status s = ApplyFusedFilters(filters_, scalar_filters_, &batch, &sel_scratch);
+      size_t active = batch.ActiveCount();
+      worker_rows_[w] += active;  // distinct w per task: no shared writes
+      if (active > 0) morsels_[m].push_back(std::move(batch));
+      if (!s.ok()) {
+        morsel_status[m] = std::move(s);
+        return;  // the rest of this morsel is past the error row
+      }
+    }
+  });
+  if (IsCancelled()) {
+    Fail(Status::Cancelled("query cancelled during parallel scan"));
+    morsels_.clear();
+    return;
+  }
+  for (size_t m = 0; m < n; ++m) {
+    if (!morsel_status[m].ok()) {
+      deferred_ = std::move(morsel_status[m]);
+      // Batches past the failing morsel would never have existed serially;
+      // the failing morsel's own batches are already truncated.
+      morsels_.resize(m + 1);
+      break;
+    }
+  }
+}
+
+bool VecParallelScanOp::NextBatchImpl(Batch* out) {
+  while (morsel_cursor_ < morsels_.size()) {
+    auto& bufs = morsels_[morsel_cursor_];
+    if (batch_cursor_ < bufs.size()) {
+      *out = std::move(bufs[batch_cursor_++]);
+      rows_produced_ += out->ActiveCount();
+      return true;
+    }
+    ++morsel_cursor_;
+    batch_cursor_ = 0;
+  }
+  if (!deferred_.ok()) return Fail(std::move(deferred_));
+  return false;
+}
+
+void VecParallelScanOp::CloseImpl() {
+  morsels_.clear();
+  morsels_.shrink_to_fit();
+}
+
+// ----- VecFilter -----
+
+VecFilterOp::VecFilterOp(std::unique_ptr<Operator> child, VecExpr predicate,
+                         BoundExpr scalar_predicate, std::string predicate_text)
+    : predicate_(std::move(predicate)),
+      scalar_predicate_(std::move(scalar_predicate)),
+      text_(std::move(predicate_text)) {
+  output_ = child->output();
+  children_.push_back(std::move(child));
+}
+
+bool VecFilterOp::NextBatchImpl(Batch* out) {
+  if (!deferred_.ok()) return Fail(std::move(deferred_));
+  for (;;) {
+    if (!FetchChildBatch(children_[0].get(), out)) return false;
+    if (out->rows == 0) continue;
+    size_t pending = SIZE_MAX;
+    if (!TryFusedCompare(predicate_, out, &sel_scratch_)) {
+      const VecColumn& pred = predicate_.EvalRef(*out, &pred_scratch_);
+      RefineSelection(pred, out, &pending, &sel_scratch_);
+    }
+    size_t active = out->ActiveCount();
+    if (pending != SIZE_MAX) {
+      Result<bool> keep = scalar_predicate_.EvalBool(
+          out->MaterializeRow(static_cast<uint32_t>(pending)));
+      Status s = keep.ok() ? Status::Internal(
+                                 "vectorized filter error not reproduced by "
+                                 "scalar filter")
+                           : keep.status();
+      if (active == 0) return Fail(std::move(s));
+      deferred_ = std::move(s);
+      rows_produced_ += active;
+      return true;
+    }
+    if (active == 0) continue;
+    rows_produced_ += active;
+    return true;
+  }
+}
+
+// ----- VecProject -----
+
+VecProjectOp::VecProjectOp(std::unique_ptr<Operator> child,
+                           std::vector<VecExpr> exprs,
+                           std::vector<BoundExpr> scalar_exprs,
+                           std::vector<OutputCol> out_schema)
+    : exprs_(std::move(exprs)), scalar_exprs_(std::move(scalar_exprs)) {
+  output_ = std::move(out_schema);
+  children_.push_back(std::move(child));
+}
+
+bool VecProjectOp::NextBatchImpl(Batch* out) {
+  if (!deferred_.ok()) return Fail(std::move(deferred_));
+  for (;;) {
+    if (!FetchChildBatch(children_[0].get(), &input_)) return false;
+    if (input_.rows == 0) continue;
+    out->Clear();
+    out->rows = input_.rows;
+    out->has_sel = input_.has_sel;
+    out->sel = input_.sel;
+    out->cols.reserve(exprs_.size());
+    for (const auto& e : exprs_) out->cols.push_back(e.Eval(input_));
+
+    // Lowest selected errored row across the output columns: the first row
+    // the scalar ProjectOp would have failed on.
+    size_t err_row = SIZE_MAX;
+    bool any_err = false;
+    for (const auto& c : out->cols) any_err = any_err || c.has_err;
+    if (any_err) {
+      const size_t n = out->ActiveCount();
+      for (size_t s = 0; s < n && err_row == SIZE_MAX; ++s) {
+        uint32_t r = out->ActiveRow(s);
+        for (const auto& c : out->cols) {
+          if (c.err[r]) {
+            err_row = r;
+            break;
+          }
+        }
+      }
+    }
+    if (err_row != SIZE_MAX) {
+      // Expressions re-run scalarly in projection order on the failing row,
+      // so intra-row error order matches volcano.
+      Tuple row = input_.MaterializeRow(static_cast<uint32_t>(err_row));
+      Status s = Status::Internal(
+          "vectorized projection error not reproduced by scalar path");
+      for (const auto& e : scalar_exprs_) {
+        Result<Value> v = e.Eval(row);
+        if (!v.ok()) {
+          s = v.status();
+          break;
+        }
+      }
+      std::vector<uint32_t> kept;
+      const size_t n = out->ActiveCount();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = out->ActiveRow(i);
+        if (r >= err_row) break;
+        kept.push_back(r);
+      }
+      out->sel = std::move(kept);
+      out->has_sel = true;
+      size_t active = out->ActiveCount();
+      if (active == 0) return Fail(std::move(s));
+      deferred_ = std::move(s);
+      rows_produced_ += active;
+      return true;
+    }
+    size_t active = out->ActiveCount();
+    if (active == 0) continue;
+    rows_produced_ += active;
+    return true;
+  }
+}
+
+// ----- VecHashJoin -----
+
+VecHashJoinOp::VecHashJoinOp(std::unique_ptr<Operator> left,
+                             std::unique_ptr<Operator> right, size_t left_key,
+                             size_t right_key)
+    : left_key_(left_key), right_key_(right_key) {
+  output_ = left->output();
+  for (const auto& c : right->output()) output_.push_back(c);
+  children_.push_back(std::move(left));
+  children_.push_back(std::move(right));
+}
+
+void VecHashJoinOp::VecOpenImpl() {
+  children_[0]->Open();
+  children_[1]->Open();
+  build_.clear();
+  build_rows_.clear();
+  probe_valid_ = false;
+  probe_pos_ = 0;
+  matches_ = nullptr;
+  match_cursor_ = 0;
+
+  // Build rows insert in right-stream order, exactly like HashJoinOp, so the
+  // per-hash match order — and thus output row order — is identical.
+  Batch b;
+  while (FetchChildBatch(children_[1].get(), &b)) {
+    const size_t n = b.ActiveCount();
+    for (size_t s = 0; s < n; ++s) {
+      uint32_t r = b.ActiveRow(s);
+      Value key = b.cols[right_key_].ValueAt(r);
+      if (key.is_null()) continue;  // NULL never equi-joins
+      build_[JoinKeyHash(key)].push_back(
+          static_cast<uint32_t>(build_rows_.size()));
+      build_rows_.push_back(b.MaterializeRow(r));
+    }
+  }
+}
+
+bool VecHashJoinOp::NextBatchImpl(Batch* out) {
+  const size_t width = output_.size();
+  const size_t left_width = children_[0]->output().size();
+  out->Clear();
+  out->cols.resize(width);
+  for (auto& c : out->cols) c.kind = VecColumn::Kind::kGeneric;
+  size_t count = 0;
+  auto finalize = [&] {
+    for (auto& c : out->cols) {
+      c.rows = count;
+      c.err.assign(count, 0);
+    }
+    out->rows = count;
+    rows_produced_ += count;
+  };
+  for (;;) {
+    if (matches_ != nullptr) {
+      while (match_cursor_ < matches_->size()) {
+        const Tuple& inner = build_rows_[(*matches_)[match_cursor_++]];
+        // Re-check equality (hash collisions).
+        if (inner[right_key_].Compare(probe_key_) != 0) continue;
+        for (size_t i = 0; i < left_width; ++i) {
+          out->cols[i].generic.push_back(probe_tuple_[i]);
+        }
+        for (size_t j = 0; j < inner.size(); ++j) {
+          out->cols[left_width + j].generic.push_back(inner[j]);
+        }
+        if (++count == kBatchRows) {
+          finalize();
+          return true;
+        }
+      }
+      matches_ = nullptr;
+    }
+    if (!probe_valid_ || probe_pos_ >= probe_.ActiveCount()) {
+      if (!FetchChildBatch(children_[0].get(), &probe_)) {
+        finalize();
+        return count > 0;
+      }
+      probe_valid_ = true;
+      probe_pos_ = 0;
+      continue;
+    }
+    uint32_t r = probe_.ActiveRow(probe_pos_++);
+    Value key = probe_.cols[left_key_].ValueAt(r);
+    if (key.is_null()) continue;
+    auto it = build_.find(JoinKeyHash(key));
+    if (it == build_.end()) continue;
+    probe_tuple_ = probe_.MaterializeRow(r);
+    probe_key_ = std::move(key);
+    matches_ = &it->second;
+    match_cursor_ = 0;
+  }
+}
+
+void VecHashJoinOp::CloseImpl() {
+  children_[0]->Close();
+  children_[1]->Close();
+  build_.clear();
+  build_rows_.clear();
+  probe_.Clear();
+  probe_valid_ = false;
+}
+
+// ----- VecHashAggregate -----
+
+VecHashAggregateOp::VecHashAggregateOp(std::unique_ptr<Operator> child,
+                                       std::vector<VecExpr> keys,
+                                       std::vector<BoundExpr> scalar_keys,
+                                       std::vector<OutputCol> key_cols,
+                                       std::vector<AggSpec> aggs,
+                                       std::vector<VecExpr> args)
+    : keys_(std::move(keys)),
+      scalar_keys_(std::move(scalar_keys)),
+      aggs_(std::move(aggs)),
+      args_(std::move(args)) {
+  output_ = std::move(key_cols);
+  for (const auto& a : aggs_) {
+    output_.push_back({"", a.out_name, ValueType::kDouble});
+  }
+  children_.push_back(std::move(child));
+}
+
+Status VecHashAggregateOp::ScalarErrorAt(const Batch& in, size_t r) const {
+  Tuple row = in.MaterializeRow(static_cast<uint32_t>(r));
+  for (const auto& k : scalar_keys_) {
+    Result<Value> v = k.Eval(row);
+    if (!v.ok()) return v.status();
+  }
+  for (const auto& a : aggs_) {
+    if (!a.arg) continue;
+    Result<Value> v = a.arg->Eval(row);
+    if (!v.ok()) return v.status();
+  }
+  return Status::Internal(
+      "vectorized aggregate error not reproduced by scalar path");
+}
+
+void VecHashAggregateOp::VecOpenImpl() {
+  children_[0]->Open();
+  results_.clear();
+  cursor_ = 0;
+
+  GroupMap groups;
+  // No-key aggregation folds into one state directly — no hashing, no key
+  // tuples. Finalizing a zero-count state yields exactly the empty-input row
+  // (COUNT 0, other aggregates NULL) the serial operator special-cases.
+  GroupState single;
+  const bool no_key = keys_.empty();
+  if (no_key) single.Init({}, aggs_.size());
+
+  Batch in;
+  std::vector<VecColumn> key_scratch(keys_.size());
+  std::vector<VecColumn> arg_scratch(aggs_.size());
+  std::vector<const VecColumn*> key_cols(keys_.size(), nullptr);
+  std::vector<const VecColumn*> arg_cols(aggs_.size(), nullptr);
+  while (FetchChildBatch(children_[0].get(), &in)) {
+    if (in.rows == 0) continue;
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      key_cols[k] = &keys_[k].EvalRef(in, &key_scratch[k]);
+    }
+    bool any_err = false;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (aggs_[i].arg) {
+        arg_cols[i] = &args_[i].EvalRef(in, &arg_scratch[i]);
+        any_err = any_err || arg_cols[i]->has_err;
+      }
+    }
+    for (const auto* kc : key_cols) any_err = any_err || kc->has_err;
+
+    const size_t n = in.ActiveCount();
+
+    // Typed no-key fast path: with one state, no keys and no errored rows,
+    // each aggregate folds in a tight loop over its own column. The loop
+    // visits selected rows in ascending order, so the per-slot fold sequence
+    // — and thus the floating-point sum — is identical to the per-row path.
+    if (no_key && !any_err) {
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (!aggs_[i].arg) {
+          // COUNT(*): n FoldOne(i, 0.0) calls end in exactly this state —
+          // sum stays +0.0, min/max pin to 0.0 on the first fold.
+          if (n > 0) {
+            if (single.counts[i] == 0) {
+              single.mins[i] = 0.0;
+              single.maxs[i] = 0.0;
+            }
+            single.counts[i] += n;
+          }
+          continue;
+        }
+        const VecColumn& c = *arg_cols[i];
+        // Register accumulation: same per-slot fold sequence as FoldOne
+        // (rows ascending, sum += in order, first value pins min/max), so
+        // the floating-point results are bit-identical — the state just
+        // lives in registers for the batch instead of round-tripping
+        // through GroupState memory every row.
+        double sum = single.sums[i], mn = single.mins[i], mx = single.maxs[i];
+        size_t cnt = single.counts[i];
+        auto fold = [&](double v) {
+          if (cnt == 0) {
+            mn = v;
+            mx = v;
+          } else {
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+          }
+          sum += v;
+          ++cnt;
+        };
+        switch (c.kind) {
+          case VecColumn::Kind::kInt:
+            for (size_t s = 0; s < n; ++s) {
+              uint32_t r = in.ActiveRow(s);
+              if (c.valid[r]) fold(static_cast<double>(c.ints[r]));
+            }
+            break;
+          case VecColumn::Kind::kDouble:
+            for (size_t s = 0; s < n; ++s) {
+              uint32_t r = in.ActiveRow(s);
+              if (c.valid[r]) fold(c.doubles[r]);
+            }
+            break;
+          default:
+            for (size_t s = 0; s < n; ++s) {
+              uint32_t r = in.ActiveRow(s);
+              if (!c.IsNullAt(r)) fold(c.FeatureAt(r));
+            }
+            break;
+        }
+        single.sums[i] = sum;
+        single.mins[i] = mn;
+        single.maxs[i] = mx;
+        single.counts[i] = cnt;
+      }
+      continue;
+    }
+
+    for (size_t s = 0; s < n; ++s) {
+      uint32_t r = in.ActiveRow(s);
+      if (any_err) {
+        bool row_err = false;
+        for (const auto* kc : key_cols) row_err = row_err || kc->err[r] != 0;
+        for (size_t i = 0; i < aggs_.size() && !row_err; ++i) {
+          row_err = aggs_[i].arg && arg_cols[i]->err[r] != 0;
+        }
+        if (row_err) {
+          // Rows before r folded already — invisible, since a failed
+          // aggregate produces no results, same as the serial operator.
+          Fail(ScalarErrorAt(in, r));
+          return;
+        }
+      }
+      GroupState* state;
+      if (no_key) {
+        state = &single;
+      } else {
+        Tuple key;
+        key.reserve(key_cols.size());
+        uint64_t h = 1469598103934665603ULL;
+        for (const auto* kc : key_cols) {
+          key.push_back(kc->ValueAt(r));
+          h = (h ^ key.back().Hash()) * 1099511628211ULL;
+        }
+        state = groups.GetOrCreate(h, std::move(key), aggs_.size());
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (aggs_[i].arg) {
+          const VecColumn& c = *arg_cols[i];
+          if (c.IsNullAt(r)) continue;  // NULL arguments skipped
+          state->FoldOne(i, c.FeatureAt(r));
+        } else {
+          state->FoldOne(i, 0.0);  // COUNT(*)
+        }
+      }
+    }
+  }
+
+  if (no_key) {
+    results_.push_back(single.Finalize(aggs_));
+    return;
+  }
+  groups.ForEach(
+      [this](const GroupState& g) { results_.push_back(g.Finalize(aggs_)); });
+}
+
+bool VecHashAggregateOp::NextBatchImpl(Batch* out) {
+  if (cursor_ >= results_.size()) return false;
+  out->Clear();
+  const size_t width = output_.size();
+  out->cols.resize(width);
+  for (auto& c : out->cols) c.kind = VecColumn::Kind::kGeneric;
+  size_t count = 0;
+  while (cursor_ < results_.size() && count < kBatchRows) {
+    const Tuple& row = results_[cursor_++];
+    for (size_t c = 0; c < width; ++c) {
+      out->cols[c].generic.push_back(row[c]);
+    }
+    ++count;
+  }
+  for (auto& c : out->cols) {
+    c.rows = count;
+    c.err.assign(count, 0);
+  }
+  out->rows = count;
+  rows_produced_ += count;
+  return true;
+}
+
+}  // namespace aidb::exec

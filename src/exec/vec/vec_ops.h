@@ -1,0 +1,282 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/agg_state.h"
+#include "exec/parallel.h"
+#include "exec/vec/batch.h"
+#include "exec/vec/vec_expr.h"
+
+namespace aidb::exec {
+
+class ColumnCache;
+
+/// \brief Base of the batch-at-a-time operators.
+///
+/// A VecOperator is still an Operator: it plugs into the same plan trees,
+/// EXPLAIN rendering, tracing, cancellation and FirstError() machinery, and
+/// any row operator (Sort, Distinct, Limit, the executor's drain loop) can
+/// sit on top of one — NextImpl transparently drains batches row by row. The
+/// batch protocol is the public NextBatch(), which vectorized parents call
+/// instead, so a chain of VecOperators moves whole columns and touches no
+/// Tuple until the first row consumer.
+///
+/// Error protocol: a per-row evaluation failure never aborts a kernel
+/// mid-batch. The operator that owns the expressions finds the lowest
+/// *selected* errored row, emits the rows before it (exactly what the scalar
+/// engine would have produced before failing), stores the scalar twin's
+/// Status, and Fails with it on the next NextBatch call. Deferring the Fail
+/// keeps LIMIT semantics identical to volcano: if the consumer stops pulling
+/// before the error row would have been reached, no error surfaces — same as
+/// a volcano pipeline that never evaluates that row.
+class VecOperator : public Operator {
+ public:
+  /// Produces the next batch. Returns false at end of stream (or on error —
+  /// check FirstError()). Mirrors Operator::Next's tracing wrapper;
+  /// next_calls() counts batches for vectorized operators.
+  bool NextBatch(Batch* out) {
+    if (!tracing_) return NextBatchImpl(out);
+    Timer t;
+    bool more = NextBatchImpl(out);
+    elapsed_us_ += t.ElapsedMicros();
+    ++next_calls_;
+    return more;
+  }
+
+ protected:
+  void OpenImpl() final {
+    drain_.Clear();
+    drain_pos_ = 0;
+    drain_valid_ = false;
+    VecOpenImpl();
+  }
+
+  /// Row-at-a-time view for row parents: drains batches internally. Calls
+  /// NextBatchImpl directly (not NextBatch) so traced time is not counted
+  /// twice, and does not bump rows_produced_ — NextBatchImpl already counts
+  /// the batch's rows.
+  bool NextImpl(Tuple* out) final {
+    for (;;) {
+      if (drain_valid_ && drain_pos_ < drain_.ActiveCount()) {
+        *out = drain_.MaterializeRow(drain_.ActiveRow(drain_pos_++));
+        return true;
+      }
+      drain_valid_ = NextBatchImpl(&drain_);
+      drain_pos_ = 0;
+      if (!drain_valid_) return false;
+    }
+  }
+
+  virtual void VecOpenImpl() = 0;
+  virtual bool NextBatchImpl(Batch* out) = 0;
+
+  /// Pulls one batch from `child`, whichever protocol it speaks: vectorized
+  /// children hand over their batch; row children are drained up to
+  /// kBatchRows rows into generic columns. Returns false at end of stream.
+  bool FetchChildBatch(Operator* child, Batch* out);
+
+ private:
+  Batch drain_;
+  size_t drain_pos_ = 0;
+  bool drain_valid_ = false;
+};
+
+/// Sequential scan with every local predicate fused in: builds typed column
+/// batches straight from the table and refines a selection vector per filter,
+/// so no surviving row is ever copied before the consumer.
+class VecScanOp : public VecOperator {
+ public:
+  /// `used_cols` is the planner's column-pruning mask (empty = materialize
+  /// everything): columns with a 0 slot become all-NULL placeholder columns
+  /// the statement provably never reads. `cache` (optional) supplies
+  /// slot-major column mirrors; columns it covers are gathered from
+  /// contiguous arrays instead of extracted tuple by tuple.
+  VecScanOp(const Table* table, std::string effective_name,
+            std::vector<VecExpr> filters, std::vector<BoundExpr> scalar_filters,
+            std::vector<std::string> filter_texts,
+            std::vector<uint8_t> used_cols = {}, ColumnCache* cache = nullptr);
+  std::string Name() const override;
+
+ protected:
+  void VecOpenImpl() override;
+  bool NextBatchImpl(Batch* out) override;
+
+ private:
+  const Table* table_;
+  std::string label_;
+  std::vector<VecExpr> filters_;
+  std::vector<BoundExpr> scalar_filters_;  ///< twins, for exact error Statuses
+  std::vector<std::string> filter_texts_;
+  RowId cursor_ = 0;
+  Status deferred_;  ///< error to surface once the rows before it are emitted
+  /// Indices of the columns to materialize (from the pruning mask).
+  std::vector<size_t> active_cols_;
+  std::vector<uint8_t> used_cols_;
+  ColumnCache* cache_ = nullptr;
+  /// Per table column: the slot-major mirror to gather from (null = extract
+  /// from the row store). Resolved per execution in VecOpenImpl so a
+  /// prepared statement re-executed after DML picks up a fresh mirror.
+  std::vector<std::shared_ptr<const VecColumn>> cached_cols_;
+  /// The active columns without a mirror — the row-major extraction set.
+  std::vector<size_t> row_cols_;
+  std::vector<RowId> scratch_live_;
+  /// One dictionary index per table column (string columns use theirs);
+  /// hoisted so the steady-state scan loop performs no allocations.
+  std::vector<std::unordered_map<std::string, int32_t>> scratch_dicts_;
+  std::vector<uint32_t> scratch_sel_;
+};
+
+/// Morsel-parallel vectorized scan: workers claim kMorselRows-slot morsels
+/// and build the same batch windows the serial VecScanOp would (kMorselRows
+/// is a multiple of kBatchRows), then batches stream in morsel order — so
+/// row order, and the first error surfaced, are identical to the serial scan
+/// at any dop.
+class VecParallelScanOp : public VecOperator {
+ public:
+  VecParallelScanOp(const Table* table, std::string effective_name,
+                    std::vector<VecExpr> filters,
+                    std::vector<BoundExpr> scalar_filters,
+                    std::vector<std::string> filter_texts,
+                    std::vector<uint8_t> used_cols, ColumnCache* cache,
+                    ParallelContext ctx);
+  std::string Name() const override;
+
+ protected:
+  void VecOpenImpl() override;
+  bool NextBatchImpl(Batch* out) override;
+  void CloseImpl() override;
+
+ private:
+  const Table* table_;
+  std::string label_;
+  std::vector<VecExpr> filters_;
+  std::vector<BoundExpr> scalar_filters_;
+  std::vector<std::string> filter_texts_;
+  std::vector<size_t> active_cols_;  ///< columns to materialize (shared, const)
+  std::vector<uint8_t> used_cols_;
+  ColumnCache* cache_ = nullptr;
+  /// Mirrors + row-extraction set, resolved once per execution; workers read
+  /// them concurrently (shared_ptr copies are not needed — the vector lives
+  /// for the whole scan).
+  std::vector<std::shared_ptr<const VecColumn>> cached_cols_;
+  std::vector<size_t> row_cols_;
+  ParallelContext ctx_;
+  std::vector<std::vector<Batch>> morsels_;  ///< buffered batches, per morsel
+  size_t morsel_cursor_ = 0;
+  size_t batch_cursor_ = 0;
+  Status deferred_;
+};
+
+/// Predicate filter over batches: refines the child's selection vector in
+/// place — no row data moves.
+class VecFilterOp : public VecOperator {
+ public:
+  VecFilterOp(std::unique_ptr<Operator> child, VecExpr predicate,
+              BoundExpr scalar_predicate, std::string predicate_text);
+  std::string Name() const override { return "VecFilter(" + text_ + ")"; }
+
+ protected:
+  void VecOpenImpl() override {
+    deferred_ = Status::OK();
+    children_[0]->Open();
+  }
+  bool NextBatchImpl(Batch* out) override;
+  void CloseImpl() override { children_[0]->Close(); }
+
+ private:
+  VecExpr predicate_;
+  BoundExpr scalar_predicate_;
+  std::string text_;
+  Status deferred_;
+  VecColumn pred_scratch_;
+  std::vector<uint32_t> sel_scratch_;
+};
+
+/// Computes output columns from expressions over the child batch; the child's
+/// selection vector carries through.
+class VecProjectOp : public VecOperator {
+ public:
+  VecProjectOp(std::unique_ptr<Operator> child, std::vector<VecExpr> exprs,
+               std::vector<BoundExpr> scalar_exprs,
+               std::vector<OutputCol> out_schema);
+  std::string Name() const override { return "VecProject"; }
+
+ protected:
+  void VecOpenImpl() override {
+    deferred_ = Status::OK();
+    children_[0]->Open();
+  }
+  bool NextBatchImpl(Batch* out) override;
+  void CloseImpl() override { children_[0]->Close(); }
+
+ private:
+  std::vector<VecExpr> exprs_;
+  std::vector<BoundExpr> scalar_exprs_;
+  Status deferred_;
+  Batch input_;
+};
+
+/// Hash join consuming and producing batches; build side is the right child,
+/// inserted in stream order so match order — and thus row order — equals the
+/// volcano HashJoinOp's.
+class VecHashJoinOp : public VecOperator {
+ public:
+  VecHashJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+                size_t left_key, size_t right_key);
+  std::string Name() const override { return "VecHashJoin"; }
+
+ protected:
+  void VecOpenImpl() override;
+  bool NextBatchImpl(Batch* out) override;
+  void CloseImpl() override;
+
+ private:
+  size_t left_key_, right_key_;
+  std::vector<Tuple> build_rows_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> build_;
+  Batch probe_;
+  bool probe_valid_ = false;
+  size_t probe_pos_ = 0;
+  Tuple probe_tuple_;
+  Value probe_key_;
+  const std::vector<uint32_t>* matches_ = nullptr;
+  size_t match_cursor_ = 0;
+};
+
+/// Hash aggregation over batches. Keys and arguments evaluate column-wise;
+/// rows fold in batch order through the same GroupMap the serial operator
+/// uses (same key hashing, same insertion sequence), so group output order is
+/// identical to HashAggregateOp's. A no-key aggregate skips the group map
+/// entirely and folds into one state.
+class VecHashAggregateOp : public VecOperator {
+ public:
+  /// `args` parallels `aggs`: slot i is the vectorized twin of aggs[i].arg
+  /// (a default VecExpr placeholder when aggs[i] is COUNT(*)).
+  VecHashAggregateOp(std::unique_ptr<Operator> child, std::vector<VecExpr> keys,
+                     std::vector<BoundExpr> scalar_keys,
+                     std::vector<OutputCol> key_cols, std::vector<AggSpec> aggs,
+                     std::vector<VecExpr> args);
+  std::string Name() const override { return "VecHashAggregate"; }
+
+ protected:
+  void VecOpenImpl() override;
+  bool NextBatchImpl(Batch* out) override;
+  void CloseImpl() override { children_[0]->Close(); }
+
+ private:
+  /// The scalar Status for the aggregate error at physical row r of `in`
+  /// (keys in order, then arguments in order — the volcano evaluation order).
+  Status ScalarErrorAt(const Batch& in, size_t r) const;
+
+  std::vector<VecExpr> keys_;
+  std::vector<BoundExpr> scalar_keys_;
+  std::vector<AggSpec> aggs_;
+  std::vector<VecExpr> args_;  ///< arg expression per agg (placeholder if none)
+  std::vector<Tuple> results_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace aidb::exec

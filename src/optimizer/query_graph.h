@@ -17,6 +17,17 @@ struct RelationInfo {
   double local_selectivity = 1.0;  ///< combined selectivity of local predicates
   std::vector<const sql::Expr*> local_predicates;
 
+  /// Column-pruning mask for vectorized scans (empty = materialize every
+  /// column). Slot c is 1 iff table column c is referenced anywhere in the
+  /// statement — select items (star marks all), WHERE, GROUP BY, HAVING,
+  /// ORDER BY, join conditions. Unreferenced columns are carried as all-NULL
+  /// placeholder columns, which is safe precisely because nothing downstream
+  /// can read them: every expression, scalar error twin and join key lookup
+  /// resolves to a referenced column, and rows only reach the result through
+  /// those expressions. Over-approximating (marking too much) is always
+  /// safe; the mask is a pure optimization.
+  std::vector<uint8_t> used_columns;
+
   double EffectiveRows() const { return base_rows * local_selectivity; }
 };
 

@@ -32,6 +32,7 @@ uint64_t KnobFingerprint(const exec::PlannerOptions& opts) {
   h = FnvMix(h, opts.use_card_feedback ? 1 : 0);
   h = FnvMix(h, opts.dop);
   h = FnvMix(h, opts.parallel_threshold_rows);
+  h = FnvMix(h, opts.vectorized ? 1 : 0);
   // Pointer identity of the pluggable components: a learned estimator or a
   // different executor pool yields different plans from the same SQL.
   h = FnvMix(h, reinterpret_cast<uintptr_t>(opts.estimator));

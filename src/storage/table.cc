@@ -2,6 +2,11 @@
 
 namespace aidb {
 
+uint64_t Table::NextUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status Table::ValidateRow(const Tuple& row) const {
   if (row.size() != schema_.NumColumns()) {
     return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
@@ -27,6 +32,7 @@ Result<RowId> Table::Insert(Tuple row) {
   rows_.push_back(std::move(row));
   deleted_.push_back(false);
   ++live_count_;
+  BumpDataVersion();
   return static_cast<RowId>(rows_.size() - 1);
 }
 
@@ -39,6 +45,7 @@ Status Table::Delete(RowId id) {
   if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
   deleted_[id] = true;
   --live_count_;
+  BumpDataVersion();
   return Status::OK();
 }
 
@@ -46,6 +53,7 @@ Status Table::Update(RowId id, Tuple row) {
   if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
   AIDB_RETURN_NOT_OK(ValidateRow(row));
   rows_[id] = std::move(row);
+  BumpDataVersion();
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,10 +23,25 @@ class Table {
   static constexpr size_t kRowsPerPage = 64;
 
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)), schema_(std::move(schema)), uid_(NextUid()) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
+
+  /// Process-unique identity, distinct across DROP/CREATE cycles even when a
+  /// new table reuses the name (or the heap address) of a dead one. Caches
+  /// keyed by uid can never alias stale data onto a recreated table.
+  uint64_t uid() const { return uid_; }
+
+  /// Data-change counter: bumped by every successful Insert/Delete/Update and
+  /// by AppendTombstone. Version-stamped derived structures (the vectorized
+  /// engine's column cache) compare it to detect staleness. Atomic so
+  /// concurrent readers may poll it; mutators themselves still require
+  /// external exclusion (the service's writer lock), like every other
+  /// Table mutation.
+  uint64_t data_version() const {
+    return data_version_.load(std::memory_order_acquire);
+  }
 
   /// Appends a row; validates arity and types (NULL always allowed).
   Result<RowId> Insert(Tuple row);
@@ -51,6 +67,7 @@ class Table {
   RowId AppendTombstone() {
     rows_.emplace_back();
     deleted_.push_back(true);
+    BumpDataVersion();
     return rows_.size() - 1;
   }
 
@@ -84,8 +101,15 @@ class Table {
   }
 
  private:
+  static uint64_t NextUid();
+  void BumpDataVersion() {
+    data_version_.fetch_add(1, std::memory_order_release);
+  }
+
   std::string name_;
   Schema schema_;
+  uint64_t uid_;
+  std::atomic<uint64_t> data_version_{0};
   std::vector<Tuple> rows_;
   std::vector<bool> deleted_;
   size_t live_count_ = 0;

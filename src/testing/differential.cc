@@ -1,6 +1,7 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 
 #include "sql/parser.h"
@@ -80,9 +81,19 @@ std::string DigestResult(const Result<QueryResult>& r) {
   return out;
 }
 
-WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop) {
+bool VectorizedFuzzDefault() {
+  static const bool on = [] {
+    const char* env = std::getenv("AIDB_FUZZ_VECTORIZED");
+    return env != nullptr && std::atol(env) != 0;
+  }();
+  return on;
+}
+
+WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
+                          bool vectorized) {
   Database db;
   db.SetDop(dop);
+  db.SetVectorized(vectorized);
   // The oracle runs with per-operator tracing ON and wall-clock observables
   // zeroed: any tracing-induced nondeterminism (a counter leaking into
   // results, a trace-driven reorder) becomes a digest divergence.
@@ -108,9 +119,10 @@ WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop) 
 }
 
 WorkloadTrace RunWorkloadPrepared(const std::vector<std::string>& workload,
-                                  size_t dop) {
+                                  size_t dop, bool vectorized) {
   Database db;
   db.SetDop(dop);
+  db.SetVectorized(vectorized);
   db.EnableTracing(true);
   db.SetDeterministicTiming(true);
   WorkloadTrace trace;

@@ -31,8 +31,17 @@ struct WorkloadTrace {
   std::string state_digest;  ///< storage::StateDigest after the last statement
 };
 
-/// Runs the workload on a fresh in-memory database at the given dop.
-WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop);
+/// True when AIDB_FUZZ_VECTORIZED is set to a non-zero value: the default
+/// engine for the in-memory fuzz legs below becomes the vectorized executor,
+/// so the whole existing suite (serial-vs-parallel, prepared routing, crash
+/// recovery — whose durable leg always runs the row engine) re-runs as a
+/// vectorized-vs-volcano differential without any test changes.
+bool VectorizedFuzzDefault();
+
+/// Runs the workload on a fresh in-memory database at the given dop,
+/// on the vectorized or the row (volcano) engine.
+WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
+                          bool vectorized = VectorizedFuzzDefault());
 
 /// \brief The prepared-statement leg of the differential oracle.
 ///
@@ -44,7 +53,8 @@ WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop);
 /// clone, parameter binding, plan cache) is observationally equivalent to
 /// parse-and-plan-per-call.
 WorkloadTrace RunWorkloadPrepared(const std::vector<std::string>& workload,
-                                  size_t dop);
+                                  size_t dop,
+                                  bool vectorized = VectorizedFuzzDefault());
 
 /// Outcome of one differential comparison; detail names the first mismatch.
 struct Divergence {

@@ -22,9 +22,10 @@ size_t ScaledCount(size_t dflt) {
   if (env == nullptr) return dflt;
   long total = std::atol(env);
   if (total <= 0) return dflt;
-  // The env var names the total workload budget across the four suites
-  // (default 620 = 300 + 140 + 80 + 100); scale each suite proportionally.
-  return std::max<size_t>(1, dflt * static_cast<size_t>(total) / 620);
+  // The env var names the total workload budget across the five suites
+  // (default 740 = 300 + 140 + 80 + 100 + 120); scale each suite
+  // proportionally.
+  return std::max<size_t>(1, dflt * static_cast<size_t>(total) / 740);
 }
 
 // ---------------------------------------------------------------------------
@@ -116,6 +117,39 @@ TEST(FuzzDifferential, PreparedRouteWorkloads) {
     d = testing::CompareTraces(
         workload, direct, prepared_par,
         "direct-vs-prepared-dop8(seed=" + std::to_string(seed * 15485863) +
+            ")");
+    ASSERT_FALSE(d.diverged) << d.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg 6: every workload run on the row (volcano) engine and on the vectorized
+// batch engine — serially and at dop=8 — must produce byte-identical
+// per-statement digests, including which statements fail and with what error
+// text. The volcano leg pins `vectorized=false` explicitly so this comparison
+// stays volcano-vs-vectorized even under AIDB_FUZZ_VECTORIZED=1 (where the
+// other suites' default legs all go vectorized).
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDifferential, VectorizedVsVolcanoWorkloads) {
+  const size_t kWorkloads = ScaledCount(120);
+  for (uint64_t seed = 1; seed <= kWorkloads; ++seed) {
+    testing::WorkloadGenerator gen(seed * 6700417);
+    std::vector<std::string> workload = gen.Generate();
+    testing::WorkloadTrace volcano =
+        testing::RunWorkload(workload, 1, /*vectorized=*/false);
+    testing::WorkloadTrace vec =
+        testing::RunWorkload(workload, 1, /*vectorized=*/true);
+    testing::Divergence d = testing::CompareTraces(
+        workload, volcano, vec,
+        "volcano-vs-vectorized(seed=" + std::to_string(seed * 6700417) + ")");
+    ASSERT_FALSE(d.diverged) << d.detail;
+
+    testing::WorkloadTrace vec_par =
+        testing::RunWorkload(workload, 8, /*vectorized=*/true);
+    d = testing::CompareTraces(
+        workload, volcano, vec_par,
+        "volcano-vs-vectorized-dop8(seed=" + std::to_string(seed * 6700417) +
             ")");
     ASSERT_FALSE(d.diverged) << d.detail;
   }

@@ -1,0 +1,429 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/database.h"
+#include "exec/vec/batch.h"
+#include "exec/vec/col_cache.h"
+#include "exec/vec/vec_ops.h"
+#include "server/plan_cache.h"
+#include "server/service.h"
+
+namespace aidb {
+namespace {
+
+/// Rows rendered as strings, in result order — the vectorized engine must
+/// match the row engine's exact row order, not just the multiset.
+std::vector<std::string> Rendered(const QueryResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.rows.size());
+  for (const auto& row : r.rows) {
+    std::string s;
+    for (const auto& v : row) {
+      s += v.ToString();
+      s += '\x1f';
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+class VectorizedExecTest : public ::testing::Test {
+ protected:
+  /// Seeds `rows` random rows into `name(id INT, grp INT, val DOUBLE,
+  /// tag STRING)`, with NULLs sprinkled into val to exercise three-valued
+  /// logic and aggregate NULL skipping.
+  void SeedTable(const std::string& name, size_t rows, uint64_t seed) {
+    Schema schema({{"id", ValueType::kInt},
+                   {"grp", ValueType::kInt},
+                   {"val", ValueType::kDouble},
+                   {"tag", ValueType::kString}});
+    auto created = db_.catalog().CreateTable(name, schema);
+    ASSERT_TRUE(created.ok());
+    Table* t = std::move(created).ValueOrDie();
+    Rng rng(seed);
+    static const char* kTags[] = {"red", "green", "blue", ""};
+    for (size_t i = 0; i < rows; ++i) {
+      Tuple row;
+      row.push_back(Value(static_cast<int64_t>(i)));
+      row.push_back(Value(rng.UniformInt(0, 31)));
+      row.push_back(rng.Bernoulli(0.05) ? Value::Null()
+                                        : Value(rng.UniformDouble(0.0, 1000.0)));
+      row.push_back(Value(std::string(kTags[rng.UniformInt(0, 3)])));
+      ASSERT_TRUE(t->Insert(std::move(row)).ok());
+    }
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : QueryResult{};
+  }
+
+  /// Executes `sql` on the row engine and the vectorized engine and expects
+  /// identical rows in identical order.
+  void ExpectSameResults(const std::string& sql) {
+    db_.SetVectorized(false);
+    auto volcano = Rendered(Run(sql));
+    db_.SetVectorized(true);
+    auto vec = Rendered(Run(sql));
+    db_.SetVectorized(false);
+    EXPECT_EQ(volcano, vec) << sql;
+  }
+
+  /// Both engines must fail `sql` with byte-identical status text.
+  void ExpectSameError(const std::string& sql) {
+    db_.SetVectorized(false);
+    auto volcano = db_.Execute(sql);
+    db_.SetVectorized(true);
+    auto vec = db_.Execute(sql);
+    db_.SetVectorized(false);
+    ASSERT_FALSE(volcano.ok()) << sql;
+    ASSERT_FALSE(vec.ok()) << sql;
+    EXPECT_EQ(volcano.status().ToString(), vec.status().ToString()) << sql;
+  }
+
+  Database db_;
+};
+
+TEST_F(VectorizedExecTest, PlannerEmitsVecOperatorsUnderKnob) {
+  SeedTable("t", 20000, 1);
+  SeedTable("d", 20000, 2);
+
+  db_.SetVectorized(true);
+  EXPECT_NE(Run("EXPLAIN SELECT * FROM t WHERE val > 10").message.find("VecScan"),
+            std::string::npos);
+  EXPECT_NE(Run("EXPLAIN SELECT grp, COUNT(*) FROM t GROUP BY grp")
+                .message.find("VecHashAggregate"),
+            std::string::npos);
+  EXPECT_NE(Run("EXPLAIN SELECT t.id FROM t JOIN d ON t.grp = d.grp")
+                .message.find("VecHashJoin"),
+            std::string::npos);
+
+  // dop > 1 over a large table upgrades the scan to the morsel-parallel
+  // vectorized variant.
+  db_.SetDop(8);
+  EXPECT_NE(Run("EXPLAIN SELECT * FROM t").message.find("VecParallelScan"),
+            std::string::npos);
+  db_.SetDop(1);
+
+  // Knob off: the row engine is untouched.
+  db_.SetVectorized(false);
+  EXPECT_EQ(Run("EXPLAIN SELECT * FROM t").message.find("Vec"),
+            std::string::npos);
+}
+
+TEST_F(VectorizedExecTest, ScanFilterProjectMatchesRowEngine) {
+  SeedTable("t", 20000, 3);
+  ExpectSameResults("SELECT * FROM t");
+  ExpectSameResults("SELECT id, val FROM t WHERE val > 500 AND grp < 10");
+  ExpectSameResults("SELECT id, val * 2 + grp FROM t WHERE val > 990");
+  ExpectSameResults("SELECT id FROM t WHERE tag = 'red' AND val > 250");
+  ExpectSameResults("SELECT id FROM t WHERE val < 0");  // empty result
+}
+
+TEST_F(VectorizedExecTest, KleeneLogicOnNullsMatchesRowEngine) {
+  SeedTable("t", 20000, 4);
+  // val is NULL ~5% of the time: every Kleene corner (NULL AND FALSE = FALSE,
+  // NULL OR TRUE = TRUE, NOT NULL = NULL) decides row membership somewhere.
+  ExpectSameResults("SELECT id FROM t WHERE val > 500 AND tag = 'red'");
+  ExpectSameResults("SELECT id FROM t WHERE val > 500 OR grp < 4");
+  ExpectSameResults("SELECT id FROM t WHERE NOT (val > 500)");
+  ExpectSameResults("SELECT id FROM t WHERE NOT (val > 500 AND val < 600)");
+  ExpectSameResults(
+      "SELECT id FROM t WHERE (val > 900 OR val < 100) AND NOT (grp = 7)");
+  // NULL-producing projections, not just predicates.
+  ExpectSameResults("SELECT id, val > 500, NOT (val > 500) FROM t");
+}
+
+TEST_F(VectorizedExecTest, AggregationMatchesRowEngine) {
+  SeedTable("t", 20000, 5);
+  ExpectSameResults(
+      "SELECT grp, COUNT(*), SUM(val), AVG(val), MIN(val), MAX(val) "
+      "FROM t GROUP BY grp");
+  ExpectSameResults("SELECT COUNT(*), SUM(val) FROM t");
+  ExpectSameResults("SELECT tag, COUNT(*) FROM t GROUP BY tag");
+  ExpectSameResults(
+      "SELECT grp, SUM(val) FROM t GROUP BY grp HAVING COUNT(*) > 600");
+  // Group keys that are expressions, and aggregates over expressions. (The
+  // dialect does not project expression keys, so only aggregates are
+  // selected here.)
+  ExpectSameResults("SELECT SUM(val + 1) FROM t GROUP BY grp * 2");
+}
+
+TEST_F(VectorizedExecTest, EmptyTableAggregateYieldsZeroCountRow) {
+  Schema schema({{"id", ValueType::kInt}, {"val", ValueType::kDouble}});
+  ASSERT_TRUE(db_.catalog().CreateTable("empty", schema).ok());
+  db_.SetVectorized(true);
+  EXPECT_EQ(Run("SELECT * FROM empty").rows.size(), 0u);
+  auto agg = Run("SELECT COUNT(*), SUM(val), MAX(val) FROM empty");
+  ASSERT_EQ(agg.rows.size(), 1u);
+  EXPECT_EQ(agg.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(agg.rows[0][1].is_null());
+  EXPECT_TRUE(agg.rows[0][2].is_null());
+}
+
+TEST_F(VectorizedExecTest, AllRowsFilteredStillAggregates) {
+  SeedTable("t", 20000, 6);
+  // Every batch survives scan but dies in the filter: the selection vector is
+  // empty for all ~20 batches, and the aggregate above must still produce the
+  // canonical zero-count row.
+  ExpectSameResults("SELECT COUNT(*), SUM(val) FROM t WHERE val < 0");
+  ExpectSameResults("SELECT grp, COUNT(*) FROM t WHERE val < 0 GROUP BY grp");
+}
+
+TEST_F(VectorizedExecTest, JoinMatchesRowEngine) {
+  SeedTable("fact", 20000, 7);
+  SeedTable("dim", 5000, 8);
+  ExpectSameResults(
+      "SELECT fact.id, dim.val FROM fact JOIN dim ON fact.grp = dim.grp "
+      "WHERE dim.id < 64");
+  ExpectSameResults(
+      "SELECT dim.grp, COUNT(*), SUM(fact.val) FROM fact "
+      "JOIN dim ON fact.grp = dim.grp GROUP BY dim.grp ORDER BY dim.grp");
+}
+
+TEST_F(VectorizedExecTest, RowOperatorsDrainBatchesTransparently) {
+  SeedTable("t", 20000, 9);
+  // Sort, DISTINCT and LIMIT stay row operators; they sit on top of the batch
+  // pipeline via the row-drain protocol.
+  ExpectSameResults("SELECT id, val FROM t WHERE val > 900 ORDER BY id DESC");
+  ExpectSameResults("SELECT DISTINCT grp FROM t ORDER BY grp");
+  ExpectSameResults("SELECT id FROM t ORDER BY id LIMIT 37");
+}
+
+TEST_F(VectorizedExecTest, Int64OverflowMidBatchMatchesRowEngineError) {
+  Schema schema({{"id", ValueType::kInt}, {"big", ValueType::kInt}});
+  auto created = db_.catalog().CreateTable("ovf", schema);
+  ASSERT_TRUE(created.ok());
+  Table* t = std::move(created).ValueOrDie();
+  for (int64_t i = 0; i < 4000; ++i) {
+    // Row 1500 — mid second batch — overflows when the query adds 10.
+    int64_t big = i == 1500 ? 9223372036854775800LL : i;
+    ASSERT_TRUE(t->Insert({Value(i), Value(big)}).ok());
+  }
+
+  // The kernel evaluates the whole batch; the statement must still abort with
+  // the row engine's exact per-row error text.
+  ExpectSameError("SELECT big + 10 FROM ovf");
+  ExpectSameError("SELECT id FROM ovf WHERE big + 10 > 0");
+  ExpectSameError("SELECT SUM(big + 10) FROM ovf");
+  ExpectSameError("SELECT -(big * 3) FROM ovf");
+
+  // LIMIT below the error row: the consumer stops pulling before the failing
+  // row, so no error surfaces — identical to the row engine.
+  db_.SetVectorized(true);
+  auto limited = db_.Execute("SELECT big + 10 FROM ovf LIMIT 100");
+  EXPECT_TRUE(limited.ok()) << limited.status().ToString();
+  EXPECT_EQ(limited.ValueOrDie().rows.size(), 100u);
+  db_.SetVectorized(false);
+}
+
+TEST_F(VectorizedExecTest, TypeErrorsMatchRowEngine) {
+  SeedTable("t", 3000, 10);
+  ExpectSameError("SELECT val + tag FROM t");
+  ExpectSameError("SELECT id FROM t WHERE val + tag > 0");
+  ExpectSameError("SELECT -tag FROM t");
+}
+
+TEST_F(VectorizedExecTest, ParallelVectorizedScanMatchesSerial) {
+  SeedTable("t", 50000, 11);
+  db_.SetVectorized(true);
+  db_.SetDop(1);
+  auto serial = Rendered(Run("SELECT id, val FROM t WHERE val > 500"));
+  auto serial_agg =
+      Rendered(Run("SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp"));
+  db_.SetDop(8);
+  EXPECT_EQ(serial, Rendered(Run("SELECT id, val FROM t WHERE val > 500")));
+  EXPECT_EQ(serial_agg,
+            Rendered(Run("SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp")));
+  db_.SetDop(1);
+  db_.SetVectorized(false);
+}
+
+TEST_F(VectorizedExecTest, DeletedRowsAreSkipped) {
+  SeedTable("t", 20000, 12);
+  Run("DELETE FROM t WHERE grp = 5");
+  ExpectSameResults("SELECT grp, COUNT(*) FROM t GROUP BY grp");
+  db_.SetVectorized(true);
+  EXPECT_EQ(Run("SELECT id FROM t WHERE grp = 5").rows.size(), 0u);
+  db_.SetVectorized(false);
+}
+
+TEST_F(VectorizedExecTest, IndexScansStayRowBased) {
+  SeedTable("t", 20000, 13);
+  Run("CREATE INDEX t_id ON t (id)");
+  ASSERT_TRUE(db_.Execute("ANALYZE t").ok());
+  db_.SetVectorized(true);
+  // A selective indexable predicate keeps the row-based index scan; the
+  // projection above it is still vectorized and drains the row child.
+  auto plan = Run("EXPLAIN SELECT id, val FROM t WHERE id = 17");
+  EXPECT_NE(plan.message.find("IndexScan"), std::string::npos) << plan.message;
+  db_.SetVectorized(false);
+  ExpectSameResults("SELECT id, val FROM t WHERE id = 17");
+}
+
+TEST_F(VectorizedExecTest, ExplainAnalyzeTracesBatchOperators) {
+  SeedTable("t", 20000, 14);
+  db_.SetVectorized(true);
+  auto r = Run("EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM t WHERE val > 500 "
+               "GROUP BY grp");
+  // Batch operators surface in the same trace format; rows= counts real rows,
+  // not batches.
+  EXPECT_NE(r.message.find("VecScan"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("VecHashAggregate"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("rows="), std::string::npos) << r.message;
+  db_.SetVectorized(false);
+}
+
+TEST_F(VectorizedExecTest, PlanCacheFingerprintSeparatesEngines) {
+  exec::PlannerOptions row_engine;
+  exec::PlannerOptions vec_engine;
+  vec_engine.vectorized = true;
+  // A cached volcano plan must never be served to a vectorized session (or
+  // vice versa): the knob is part of the plan-cache key.
+  EXPECT_NE(server::KnobFingerprint(row_engine),
+            server::KnobFingerprint(vec_engine));
+}
+
+TEST_F(VectorizedExecTest, SessionKnobIsSessionLocal) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE pts (id INT, val DOUBLE)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO pts VALUES (1, 0.5), (2, 1.5)").ok());
+  server::Service service(&db, {.workers = 2});
+  auto s1 = service.OpenSession();
+  auto s2 = service.OpenSession();
+  s1->set_vectorized(true);
+  EXPECT_TRUE(s1->vectorized());
+  EXPECT_FALSE(s2->vectorized());
+  EXPECT_FALSE(db.vectorized());  // global default untouched
+
+  auto r = service.Execute(s1->id(), "EXPLAIN SELECT val FROM pts WHERE id = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.ValueOrDie().message.find("VecScan"), std::string::npos);
+  r = service.Execute(s2->id(), "EXPLAIN SELECT val FROM pts WHERE id = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().message.find("VecScan"), std::string::npos);
+
+  // The aidb_sessions view reports the knob.
+  r = service.Execute(s2->id(),
+                      "SELECT id, vectorized FROM aidb_sessions ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& rows = r.ValueOrDie().rows;
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].AsInt(), 1);
+  EXPECT_EQ(rows[1][1].AsInt(), 0);
+}
+
+TEST_F(VectorizedExecTest, DeadlineCancelsAtBatchBoundary) {
+  Database db;
+  // ~10^6-row join intermediate: slow enough that a millisecond deadline
+  // fires while batches are in flight.
+  for (const char* name : {"big1", "big2"}) {
+    ASSERT_TRUE(
+        db.Execute(std::string("CREATE TABLE ") + name + " (id INT, k INT)")
+            .ok());
+    std::string ins = std::string("INSERT INTO ") + name + " VALUES ";
+    for (size_t i = 0; i < 3000; ++i) {
+      if (i > 0) ins += ", ";
+      ins += "(" + std::to_string(i) + ", " + std::to_string(i % 3) + ")";
+    }
+    ASSERT_TRUE(db.Execute(ins).ok());
+  }
+  server::Service service(&db, {.workers = 1});
+  auto s = service.OpenSession();
+  s->set_vectorized(true);
+  s->set_statement_timeout_ms(10.0);
+  auto r = service.Execute(
+      s->id(), "SELECT big1.id FROM big1 JOIN big2 ON big1.k = big2.k");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout) << r.status().ToString();
+  // The worker is free again: a cheap vectorized statement still succeeds.
+  s->set_statement_timeout_ms(0.0);
+  EXPECT_TRUE(service.Execute(s->id(), "SELECT id FROM big1 WHERE id = 1").ok());
+}
+
+TEST_F(VectorizedExecTest, ColumnMirrorInvalidatesOnDml) {
+  // Above ColumnCache::kMinSlots, so the vectorized scan gathers from the
+  // slot-major mirrors; every DML class must invalidate them.
+  SeedTable("big", 6000, 99);
+  const std::string q =
+      "SELECT COUNT(*), SUM(val), MIN(id), MAX(id) FROM big WHERE val > 300";
+  ExpectSameResults(q);  // populates the mirrors
+  Run("INSERT INTO big VALUES (6000, 1, 999.5, 'red')");
+  ExpectSameResults(q);
+  Run("UPDATE big SET val = 0.5 WHERE id < 100");
+  ExpectSameResults(q);
+  Run("DELETE FROM big WHERE id >= 5900");
+  ExpectSameResults(q);
+}
+
+TEST_F(VectorizedExecTest, ColumnMirrorSurvivesDropCreateCycle) {
+  // A recreated table with the same name must never see the old table's
+  // mirrors (entries are keyed by Table::uid, not name or address).
+  SeedTable("cyc", 6000, 7);
+  ExpectSameResults("SELECT SUM(val), COUNT(*) FROM cyc WHERE val > 100");
+  Run("DROP TABLE cyc");
+  SeedTable("cyc", 6000, 8);  // same name, different data
+  ExpectSameResults("SELECT SUM(val), COUNT(*) FROM cyc WHERE val > 100");
+}
+
+TEST_F(VectorizedExecTest, MixedTypeDoubleColumnDeclinesMirror) {
+  // A DOUBLE column physically holding INT values (legal) must not be
+  // mirrored: coercing to double would change ToString results. The scan
+  // falls back to row-major extraction with its exact demotion handling.
+  Schema schema({{"id", ValueType::kInt}, {"v", ValueType::kDouble}});
+  auto created = db_.catalog().CreateTable("mixed", schema);
+  ASSERT_TRUE(created.ok());
+  Table* t = std::move(created).ValueOrDie();
+  for (int64_t i = 0; i < 6000; ++i) {
+    Value v = (i % 3 == 0) ? Value(i) : Value(static_cast<double>(i) + 0.25);
+    ASSERT_TRUE(t->Insert({Value(i), v}).ok());
+  }
+  // Twice: the second run exercises the stamped-uncacheable fast path.
+  ExpectSameResults("SELECT v FROM mixed WHERE v > 5990");
+  ExpectSameResults("SELECT COUNT(*), MIN(v), MAX(v) FROM mixed WHERE v > 10");
+}
+
+TEST(ColumnCacheTest, MirrorsTrackVersionAndUid) {
+  Table t("t", Schema({{"a", ValueType::kInt}, {"s", ValueType::kString}}));
+  for (size_t i = 0; i < exec::ColumnCache::kMinSlots; ++i) {
+    ASSERT_TRUE(t.Insert({Value(static_cast<int64_t>(i)), Value("x")}).ok());
+  }
+  exec::ColumnCache cache;
+  auto m1 = cache.Get(t, 0);
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(m1->rows, t.NumSlots());
+  EXPECT_EQ(cache.Get(t, 0), m1);  // warm hit returns the same mirror
+  EXPECT_EQ(cache.Get(t, 1), nullptr);  // string columns are not mirrored
+  ASSERT_TRUE(t.Insert({Value(int64_t{7}), Value("y")}).ok());
+  auto m2 = cache.Get(t, 0);  // data_version changed: fresh mirror
+  ASSERT_NE(m2, nullptr);
+  EXPECT_NE(m2, m1);
+  EXPECT_EQ(m2->rows, t.NumSlots());
+  EXPECT_GT(cache.ApproxBytes(), 0u);
+  cache.Evict(t.uid());
+  EXPECT_EQ(cache.ApproxBytes(), 0u);
+  Table small("s", Schema({{"a", ValueType::kInt}}));
+  ASSERT_TRUE(small.Insert({Value(int64_t{1})}).ok());
+  EXPECT_EQ(cache.Get(small, 0), nullptr);  // below the slot threshold
+  EXPECT_NE(small.uid(), t.uid());
+}
+
+TEST_F(VectorizedExecTest, BatchDrainRespectsSelectionVectors) {
+  // Direct unit check of the row-drain protocol: a VecScanOp with a fused
+  // filter drains only selected rows through the row-at-a-time Next().
+  SeedTable("t", 5000, 15);
+  db_.SetVectorized(true);
+  auto expected = Run("SELECT * FROM t WHERE grp = 3").rows.size();
+  db_.SetVectorized(false);
+  auto via_volcano = Run("SELECT * FROM t WHERE grp = 3").rows.size();
+  EXPECT_EQ(expected, via_volcano);
+  EXPECT_GT(expected, 0u);
+}
+
+}  // namespace
+}  // namespace aidb
