@@ -6,7 +6,10 @@
 //   (2) a closed-loop multi-session workload keeps a high plan-cache hit
 //       rate and bounded tail latency (p50/p95/p99 reported as counters);
 //   (3) an open-loop oversubscribed arrival stream is shed gracefully —
-//       every request resolves as ok / Overloaded / Timeout, never a crash.
+//       every request resolves as ok / Overloaded / Timeout, never a crash;
+//   (4) MVCC snapshot reads do not queue behind writers: reader tail latency
+//       with concurrent write transactions committing stays within a small
+//       factor of the writer-free baseline (gated by bench_compare.py).
 
 #include <benchmark/benchmark.h>
 
@@ -51,6 +54,15 @@ Database* GlobalDb() {
       for (int64_t i = 0; i < 400; ++i) {
         (void)b->Insert({Value(i), Value(i % 4)}).ValueOrDie();
       }
+    }
+    // Write-side table for the mixed read/write benchmark: writers churn
+    // `bank` so the read-side tables above stay byte-stable for the other
+    // benchmarks.
+    Schema bank_schema({{"id", ValueType::kInt}, {"v", ValueType::kInt}});
+    Table* bank =
+        std::move(d->catalog().CreateTable("bank", bank_schema)).ValueOrDie();
+    for (int64_t i = 0; i < 256; ++i) {
+      (void)bank->Insert({Value(i), Value(static_cast<int64_t>(100))}).ValueOrDie();
     }
     (void)std::move(d->Execute("CREATE INDEX idx_pts_id ON pts (id)")).ValueOrDie();
     (void)std::move(d->Execute("ANALYZE pts")).ValueOrDie();
@@ -160,6 +172,89 @@ void BM_ServiceClosedLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceClosedLoop)
     ->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Mixed read/write: Arg(0) writer sessions run explicit two-statement
+/// transfer transactions back-to-back while 2 reader sessions issue prepared
+/// point lookups. Readers run under per-statement MVCC snapshots and take no
+/// engine lock a DML statement holds, so their tail latency must stay within
+/// a small factor of the writer-free run (Arg 0) — bench_compare.py gates
+/// the reader_p95_us ratio. Writer throughput and write-write conflicts are
+/// reported alongside.
+void BM_ServiceMixedReadWrite(benchmark::State& state) {
+  Database* db = GlobalDb();
+  const int writers = static_cast<int>(state.range(0));
+  constexpr int kReaders = 2;
+  constexpr int kReadsPerReader = 400;
+  for (auto _ : state) {
+    server::ServiceOptions opts;
+    opts.workers = static_cast<size_t>(kReaders + std::max(writers, 1) + 1);
+    opts.queue_capacity = 512;
+    server::Service service(db, opts);
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> conflicts{0};
+    std::vector<std::thread> writer_threads;
+    for (int w = 0; w < writers; ++w) {
+      writer_threads.emplace_back([&, w] {
+        auto s = service.OpenSession();
+        Rng rng(static_cast<uint64_t>(1000 + w));
+        while (!stop.load(std::memory_order_acquire)) {
+          int64_t from = rng.UniformInt(0, 255);
+          int64_t to = rng.UniformInt(0, 255);
+          (void)service.Execute(s->id(), "BEGIN");
+          auto r1 = service.Execute(
+              s->id(),
+              "UPDATE bank SET v = v - 1 WHERE id = " + std::to_string(from));
+          auto r2 = r1.ok() ? service.Execute(
+                                  s->id(), "UPDATE bank SET v = v + 1 WHERE "
+                                           "id = " + std::to_string(to))
+                            : std::move(r1);
+          if (r2.ok() && service.Execute(s->id(), "COMMIT").ok()) {
+            commits.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            conflicts.fetch_add(1, std::memory_order_relaxed);
+            (void)service.Execute(s->id(), "ROLLBACK");
+          }
+        }
+      });
+    }
+    std::vector<std::vector<double>> lat(kReaders);
+    std::vector<std::thread> reader_threads;
+    for (int c = 0; c < kReaders; ++c) {
+      reader_threads.emplace_back([&, c] {
+        auto s = service.OpenSession();
+        (void)service.Execute(
+            s->id(), "PREPARE rp AS SELECT val FROM pts WHERE id = $1");
+        auto& samples = lat[static_cast<size_t>(c)];
+        samples.reserve(kReadsPerReader);
+        for (int i = 0; i < kReadsPerReader; ++i) {
+          auto t0 = std::chrono::steady_clock::now();
+          auto r = service.Execute(
+              s->id(), "EXECUTE rp (" + std::to_string((c * 13 + i) % 64) + ")");
+          auto t1 = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(r);
+          samples.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      });
+    }
+    for (auto& t : reader_threads) t.join();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : writer_threads) t.join();
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    state.counters["reader_p50_us"] = Percentile(all, 0.50);
+    state.counters["reader_p95_us"] = Percentile(all, 0.95);
+    state.counters["reader_p99_us"] = Percentile(all, 0.99);
+    state.counters["writer_commits"] = static_cast<double>(commits.load());
+    state.counters["writer_conflicts"] = static_cast<double>(conflicts.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kReaders * kReadsPerReader);
+  state.counters["writers"] = static_cast<double>(writers);
+}
+BENCHMARK(BM_ServiceMixedReadWrite)
+    ->Arg(0)->Arg(2)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// Open loop: requests arrive on a fixed timer regardless of completion, at

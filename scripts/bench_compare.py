@@ -17,6 +17,15 @@ bench/baselines/.  Two gates:
      AIDB_BENCH_SPEEDUP_MIN or --speedup-min).  Only the acceptance pair
      (BM_ScanFilterAgg) is gated; other pairs are reported for visibility.
 
+  3. Reader isolation: in BENCH_service.json, BM_ServiceMixedReadWrite's
+     reader_p95_us with concurrent writers must stay within a bounded factor
+     (default 10x, override with AIDB_BENCH_READER_P95_MULT or
+     --reader-p95-mult) of the writer-free run.  MVCC snapshot reads take no
+     lock any writer holds; a regression to reader-blocking (writers
+     serializing readers behind whole transactions) shows up as an
+     orders-of-magnitude jump, while CPU scheduling noise stays well under
+     the bound.
+
 Usage:
   scripts/bench_compare.py BENCH_vectorized.json BENCH_service.json
   scripts/bench_compare.py              # all BENCH_*.json in the repo root
@@ -127,6 +136,55 @@ def check_speedups(fresh, speedup_min, label):
     return failures
 
 
+def check_reader_isolation(path, mult, label):
+    """Gate 3: reader p95 under concurrent writers vs the writer-free run.
+
+    Reads the raw google-benchmark JSON (the reader_p95_us user counter is
+    not part of load_benchmarks' real_time view).  Quietly returns when the
+    benchmark is absent (non-service files).
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    baseline_p95 = None
+    loaded = {}  # writer count -> p95
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if not name.startswith("BM_ServiceMixedReadWrite/"):
+            continue
+        if b.get("run_type") == "aggregate":
+            continue
+        p95 = b.get("reader_p95_us")
+        writers = b.get("writers")
+        if p95 is None or writers is None:
+            continue
+        if int(writers) == 0:
+            baseline_p95 = float(p95)
+        else:
+            loaded[int(writers)] = float(p95)
+    if baseline_p95 is None and not loaded:
+        return []
+    failures = []
+    if baseline_p95 is None or baseline_p95 <= 0:
+        failures.append(f"{label}: BM_ServiceMixedReadWrite writer-free run "
+                        f"missing or degenerate; cannot gate reader isolation")
+        return failures
+    for writers, p95 in sorted(loaded.items()):
+        ratio = p95 / baseline_p95
+        status = "FAIL" if ratio > mult else "ok"
+        print(f"  [{status:4}] reader p95 with {writers} writers: "
+              f"{baseline_p95:.1f}us -> {p95:.1f}us ({ratio:.2f}x, "
+              f"gate <= {mult:.1f}x)")
+        if ratio > mult:
+            failures.append(f"{label}: reader p95 with {writers} writers grew "
+                            f"{ratio:.2f}x over the writer-free run "
+                            f"(limit {mult:.1f}x) — readers are blocking "
+                            f"behind writers")
+    if not loaded:
+        failures.append(f"{label}: BM_ServiceMixedReadWrite has no "
+                        f"with-writers run to gate")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*",
@@ -142,6 +200,12 @@ def main():
                         default=float(os.environ.get(
                             "AIDB_BENCH_SPEEDUP_MIN", "5.0")),
                         help="required volcano/vectorized ratio for gated pairs")
+    parser.add_argument("--reader-p95-mult",
+                        type=float,
+                        default=float(os.environ.get(
+                            "AIDB_BENCH_READER_P95_MULT", "10.0")),
+                        help="max reader p95 growth factor with writers on "
+                             "(default 10.0)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite baselines from the fresh results and exit")
     args = parser.parse_args()
@@ -181,6 +245,7 @@ def main():
             print(f"  (no baseline at {baseline_path}; regression check "
                   f"skipped)")
         failures += check_speedups(fresh, args.speedup_min, label)
+        failures += check_reader_isolation(path, args.reader_p95_mult, label)
 
     if failures:
         print("\nbench gate FAILED:")

@@ -200,6 +200,7 @@ void Catalog::OnInsert(const std::string& table, RowId id, const Tuple& row) {
     if (col < 0) continue;
     const Value& v = row[static_cast<size_t>(col)];
     if (v.is_null()) continue;
+    std::unique_lock<std::shared_mutex> latch(info->latch);
     if (info->is_btree) {
       info->btree->Insert(BtreeKey(v), id);
     } else {
@@ -217,7 +218,9 @@ void Catalog::OnDelete(const std::string& table, RowId id, const Tuple& row) {
     int col = table_res.ValueOrDie()->schema().IndexOf(info->column);
     if (col < 0) continue;
     const Value& v = row[static_cast<size_t>(col)];
-    if (!v.is_null()) info->hash->Erase(v, id);
+    if (v.is_null()) continue;
+    std::unique_lock<std::shared_mutex> latch(info->latch);
+    info->hash->Erase(v, id);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,12 @@ struct IndexInfo {
   bool is_btree = true;
   std::unique_ptr<BTree> btree;
   std::unique_ptr<HashIndex> hash;
+  /// Content latch: DML statements run concurrently with index scans (the
+  /// service only serializes DDL), and neither BTree nor HashIndex is
+  /// internally synchronized. Writers (OnInsert/OnDelete/IndexUpdate) take
+  /// it exclusive; index probes take it shared. The table's version chains
+  /// need no such latch — only the index structures do.
+  mutable std::shared_mutex latch;
 };
 
 /// \brief System catalog: tables, indexes, and per-column statistics.
@@ -94,11 +101,14 @@ class Catalog {
   CardinalityFeedback& feedback() { return feedback_; }
   const CardinalityFeedback& feedback() const { return feedback_; }
 
- private:
+  /// Key transform every B+-tree index uses (shared with the transactional
+  /// index-maintenance paths in Database).
   static int64_t BtreeKey(const Value& v) {
     return v.type() == ValueType::kInt ? v.AsInt()
                                        : static_cast<int64_t>(v.AsDouble());
   }
+
+ private:
 
   struct SystemView {
     std::unique_ptr<Table> table;  ///< materialization cache

@@ -38,6 +38,9 @@ std::string StatementKindName(const sql::Statement& stmt) {
     case sql::StatementKind::kPrepare: return "prepare";
     case sql::StatementKind::kExecute: return "execute";
     case sql::StatementKind::kDeallocate: return "deallocate";
+    case sql::StatementKind::kBegin: return "begin";
+    case sql::StatementKind::kCommit: return "commit";
+    case sql::StatementKind::kRollback: return "rollback";
   }
   return "unknown";
 }
@@ -87,6 +90,7 @@ std::string HexDigest(uint64_t digest) {
 Database::Database() : planner_(&catalog_, &models_) {
   RegisterSystemViews();
   models_.set_metrics(&metrics_);
+  tm_.set_metrics(&metrics_);
   planner_options_.column_cache = &column_cache_;
 }
 
@@ -149,6 +153,21 @@ void Database::RegisterSystemViews() {
           emit({Value(r.node), Value(r.parent), Value(r.depth), Value(r.op),
                 Value(r.est_rows), Value(r.rows), Value(r.batches),
                 Value(r.time_us), Value(r.workers)});
+        }
+      });
+
+  // Open transactions. A SELECT over this view refreshes it before its own
+  // wrapper transaction begins, so only *other* sessions' transactions (and
+  // the caller's explicit one, if open) are listed.
+  Schema txn_schema({{"id", ValueType::kInt},
+                     {"read_ts", ValueType::kInt},
+                     {"writes", ValueType::kInt}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_transactions", std::move(txn_schema), [this](const VF& emit) {
+        for (const auto& t : tm_.ListActive()) {
+          emit({Value(static_cast<int64_t>(t.id)),
+                Value(static_cast<int64_t>(t.read_ts)),
+                Value(static_cast<int64_t>(t.writes))});
         }
       });
 }
@@ -243,7 +262,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  db->recovery_stats_.next_lsn, wopts));
   db->dir_ = dir;
   db->durability_opts_ = opts;
-  db->next_txn_id_ = db->recovery_stats_.next_txn_id;
+  db->tm_.SeedNextTxnId(db->recovery_stats_.next_txn_id);
   return db;
 }
 
@@ -255,13 +274,22 @@ Status Database::FlushWal() {
 Status Database::Checkpoint() {
   if (!wal_) return Status::InvalidArgument("database is not durable");
   if (wal_->crashed()) return Status::Aborted("database crashed");
+  // Exclusive fence: no statement is appending WAL ops or committing while
+  // the snapshot captures its cut (statements hold the fence shared).
+  std::unique_lock<std::shared_mutex> fence(checkpoint_fence_);
+  std::lock_guard<std::mutex> cp_lock(checkpoint_mu_);
+  // Defer while any transaction holds unstamped writes: the snapshot walks
+  // latest-committed state, so a fuzzy checkpoint taken mid-transaction
+  // would drop the transaction's ops (LSN <= checkpoint) while keeping its
+  // later commit record — replaying the commit as a no-op and losing writes.
+  if (tm_.HasActiveWriters()) return wal_->Flush();
   // Protocol: (1) make the WAL durable, (2) write + rename the snapshot,
   // (3) truncate the WAL. A crash between (2) and (3) is safe because
   // recovery skips WAL records with LSN <= the snapshot's checkpoint LSN.
   AIDB_RETURN_NOT_OK(wal_->Flush());
   storage::SnapshotMeta meta;
   meta.checkpoint_lsn = wal_->last_lsn();
-  meta.next_txn_id = next_txn_id_;
+  meta.next_txn_id = tm_.next_txn_id();
   AIDB_RETURN_NOT_OK(storage::Snapshot::Write(dir_, meta, catalog_, models_,
                                               durability_opts_.fault)
                          .status());
@@ -289,19 +317,34 @@ DurabilityStats Database::durability_stats() const {
 }
 
 Status Database::LogTxn(
+    txn::TxnId stmt_txn,
     std::vector<std::pair<storage::WalRecordType, std::string>> records) {
   if (!wal_) return Status::OK();
-  for (auto& [type, payload] : records)
-    AIDB_RETURN_NOT_OK(wal_->Append(type, std::move(payload)).status());
-  AIDB_RETURN_NOT_OK(
-      wal_->Append(storage::WalRecordType::kCommit,
-                   storage::EncodeCommit(next_txn_id_++))
-          .status());
-  records_since_checkpoint_ += records.size() + 1;
-  if (durability_opts_.checkpoint_every_n_records > 0 &&
-      records_since_checkpoint_ >= durability_opts_.checkpoint_every_n_records) {
-    return Checkpoint();
+  // Each statement logs under one transaction id even on this non-MVCC path
+  // (DDL, model training): per-id grouping keeps recovery replay exact when
+  // records from concurrent sessions interleave. The statement's wrapper
+  // transaction id is reused while it has no MVCC writes of its own — if it
+  // does (DDL inside an explicit transaction after DML), the commit record
+  // appended here must not resolve those still-uncommitted ops, so a fresh
+  // id is allocated instead.
+  const txn::TxnId t =
+      (stmt_txn != txn::kInvalidTxnId && tm_.UndoSize(stmt_txn) == 0)
+          ? stmt_txn
+          : tm_.AllocateTxnId();
+  tm_.PinId(t);  // the id now appears in the WAL; never recycle it
+  for (auto& [type, payload] : records) {
+    AIDB_RETURN_NOT_OK(
+        wal_->Append(storage::WalRecordType::kTxnOp,
+                     storage::EncodeTxnOp({t, type, std::move(payload)}))
+            .status());
   }
+  AIDB_RETURN_NOT_OK(wal_->Append(storage::WalRecordType::kCommit,
+                                  storage::EncodeCommit(t))
+                         .status());
+  records_since_checkpoint_.fetch_add(records.size() + 1,
+                                      std::memory_order_relaxed);
+  // No checkpoint trigger here (the statement holds the checkpoint fence
+  // shared); ExecuteWithTxn checkpoints after releasing it.
   return Status::OK();
 }
 
@@ -334,7 +377,7 @@ Result<QueryResult> Database::Execute(const std::string& sql,
 
   QueryResult result;
   Status status =
-      ExecuteStatement(*stmt, settings, &plan_info, direct_key_ptr, &result);
+      ExecuteWithTxn(*stmt, settings, &plan_info, direct_key_ptr, &result);
   double latency_us = timer.ElapsedMicros();
   result.elapsed_ms = deterministic_timing_ ? 0.0 : timer.ElapsedMillis();
   result.plan_cache_hit = plan_info.plan_cache_hit;
@@ -404,6 +447,267 @@ bool Database::PlanStillValid(const server::CachedPlan& entry) const {
   return true;
 }
 
+Status Database::LogTxnOps(
+    txn::TxnId t,
+    std::vector<std::pair<storage::WalRecordType, std::string>> records) {
+  if (!wal_) return Status::OK();
+  for (auto& [type, payload] : records) {
+    AIDB_RETURN_NOT_OK(
+        wal_->Append(storage::WalRecordType::kTxnOp,
+                     storage::EncodeTxnOp({t, type, std::move(payload)}))
+            .status());
+  }
+  tm_.NoteOpsLogged(t);
+  records_since_checkpoint_.fetch_add(records.size(),
+                                      std::memory_order_relaxed);
+  // No checkpoint trigger here: a checkpoint between a transaction's ops and
+  // its commit record would strand them. FinishCommit checks after closing.
+  return Status::OK();
+}
+
+Status Database::FinishCommit(txn::TxnId t, QueryResult* result) {
+  if (tm_.UndoSize(t) == 0) {
+    // Read-only (or every write already rolled back statement-level): no
+    // commit timestamp, no WAL record.
+    tm_.Forget(t);
+    return Status::OK();
+  }
+  std::function<Status(uint64_t)> hook;
+  if (durable()) {
+    // Runs under the commit lock, so WAL commit order == commit-ts order.
+    hook = [this, t](uint64_t) -> Status {
+      AIDB_RETURN_NOT_OK(wal_->Append(storage::WalRecordType::kCommit,
+                                      storage::EncodeCommit(t))
+                             .status());
+      records_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    };
+  }
+  uint64_t cts = 0;
+  AIDB_ASSIGN_OR_RETURN(cts, tm_.Commit(t, hook));
+  if (result != nullptr) result->commit_ts = cts;
+  MaybeVacuum();
+  // No checkpoint here: the caller still holds the checkpoint fence shared.
+  // ExecuteWithTxn checkpoints after releasing it.
+  return Status::OK();
+}
+
+void Database::AbortTxn(txn::TxnId t) {
+  // Only transactions with unresolved kTxnOp records need an abort record;
+  // ids whose writes never reached the WAL just vanish (and are recycled by
+  // Forget, so failed statements consume no id).
+  const bool logged = durable() && tm_.OpsLogged(t);
+  UnwindWrites(tm_.TakeUndoAll(t));
+  if (logged) {
+    // Best effort: if the abort record cannot be appended, recovery discards
+    // the transaction's unresolved ops anyway (same outcome, later).
+    Status ignored = wal_->Append(storage::WalRecordType::kTxnAbort,
+                                  storage::EncodeTxnAbort(t))
+                         .status();
+    (void)ignored;
+    records_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+  }
+  tm_.NoteAbort();
+  tm_.Forget(t);
+}
+
+void Database::UnwindWrites(std::vector<txn::TxnWrite> writes) {
+  for (const txn::TxnWrite& w : writes) {
+    // Index unwind first, while both versions are still linked.
+    switch (w.kind) {
+      case txn::TxnWrite::Kind::kInsert:
+        // Drop the row's hash entries (OnDelete touches hash indexes only;
+        // the B+-tree entry goes stale and is filtered by visibility).
+        catalog_.OnDelete(w.table_name, w.row, w.version->data);
+        break;
+      case txn::TxnWrite::Kind::kUpdate: {
+        const aidb::Version* older =
+            w.version->older.load(std::memory_order_acquire);
+        if (older != nullptr) {
+          IndexUpdate(w.table_name, w.row, w.version->data, older->data,
+                      /*add_btree=*/false);
+        }
+        break;
+      }
+      case txn::TxnWrite::Kind::kDelete:
+        RestoreHashEntries(w.table_name, w.row, w.version->data);
+        break;
+    }
+    w.table->UndoWrite(w, [this](Version* v) { tm_.Retire(v); });
+  }
+}
+
+void Database::IndexUpdate(const std::string& table, RowId id,
+                           const Tuple& from, const Tuple& to,
+                           bool add_btree) {
+  auto table_res = catalog_.GetTable(table);
+  if (!table_res.ok()) return;
+  const Schema& schema = table_res.ValueOrDie()->schema();
+  for (IndexInfo* idx : catalog_.IndexesOn(table)) {
+    int col = schema.IndexOf(idx->column);
+    if (col < 0) continue;
+    const Value& ov = from[static_cast<size_t>(col)];
+    const Value& nv = to[static_cast<size_t>(col)];
+    if (!ov.is_null() && !nv.is_null() && ov == nv) continue;
+    std::unique_lock<std::shared_mutex> latch(idx->latch);
+    if (idx->is_btree) {
+      if (add_btree && !nv.is_null()) {
+        idx->btree->Insert(Catalog::BtreeKey(nv), id);
+      }
+    } else {
+      if (!ov.is_null()) idx->hash->Erase(ov, id);
+      if (!nv.is_null()) idx->hash->Insert(nv, id);
+    }
+  }
+}
+
+void Database::RestoreHashEntries(const std::string& table, RowId id,
+                                  const Tuple& row) {
+  auto table_res = catalog_.GetTable(table);
+  if (!table_res.ok()) return;
+  const Schema& schema = table_res.ValueOrDie()->schema();
+  for (IndexInfo* idx : catalog_.IndexesOn(table)) {
+    if (idx->is_btree) continue;
+    int col = schema.IndexOf(idx->column);
+    if (col < 0) continue;
+    const Value& v = row[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    std::unique_lock<std::shared_mutex> latch(idx->latch);
+    idx->hash->Insert(v, id);
+  }
+}
+
+void Database::MaybeVacuum() {
+  if (commits_since_vacuum_.fetch_add(1, std::memory_order_relaxed) + 1 <
+      64) {
+    return;
+  }
+  commits_since_vacuum_.store(0, std::memory_order_relaxed);
+  const uint64_t wm = tm_.WatermarkTs();
+  metrics_.GetGauge("mvcc.watermark_ts")->Set(static_cast<int64_t>(wm));
+  for (const std::string& name : catalog_.TableNames()) {
+    auto t = catalog_.GetTable(name);
+    if (!t.ok()) continue;
+    t.ValueOrDie()->Vacuum(wm, [this](Version* v) { tm_.Retire(v); });
+  }
+  tm_.FreeRetired();
+}
+
+Status Database::MaybeAutoCheckpoint() {
+  if (!wal_ || durability_opts_.checkpoint_every_n_records == 0) {
+    return Status::OK();
+  }
+  if (records_since_checkpoint_.load(std::memory_order_relaxed) <
+      durability_opts_.checkpoint_every_n_records) {
+    return Status::OK();
+  }
+  return Checkpoint();
+}
+
+Status Database::ExecuteWithTxn(const sql::Statement& stmt,
+                                const ExecSettings& settings,
+                                StmtPlanInfo* info,
+                                const std::string* direct_select_key,
+                                QueryResult* result) {
+  Status st =
+      ExecuteWithTxnFenced(stmt, settings, info, direct_select_key, result);
+  if (!st.ok()) return st;
+  // Checkpoint outside the fence: the statement above held it shared, and
+  // Checkpoint needs it exclusive (no statement may append ops or commit
+  // while the snapshot captures a consistent cut).
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::ExecuteWithTxnFenced(const sql::Statement& stmt,
+                                      const ExecSettings& settings,
+                                      StmtPlanInfo* info,
+                                      const std::string* direct_select_key,
+                                      QueryResult* result) {
+  // Statements run concurrently (the service serializes only DDL-class
+  // work); the fence gives Checkpoint a point where no statement is mid-way
+  // through its WAL ops or its commit.
+  std::shared_lock<std::shared_mutex> fence(checkpoint_fence_);
+  std::atomic<uint64_t>* slot =
+      settings.txn_slot != nullptr ? settings.txn_slot : &default_txn_;
+  switch (stmt.kind()) {
+    case sql::StatementKind::kBegin: {
+      txn::TxnId open = slot->load(std::memory_order_acquire);
+      if (open != 0 && tm_.IsActive(open)) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      // A leftover id of a transaction doomed by concurrent DDL is replaced.
+      slot->store(tm_.Begin(), std::memory_order_release);
+      result->message = "BEGIN";
+      return Status::OK();
+    }
+    case sql::StatementKind::kCommit: {
+      txn::TxnId open = slot->exchange(0, std::memory_order_acq_rel);
+      if (open == 0) {  // no transaction in progress: a benign no-op
+        result->message = "COMMIT";
+        return Status::OK();
+      }
+      if (!tm_.IsActive(open)) {
+        return Status::Aborted(
+            "current transaction was rolled back by concurrent DDL");
+      }
+      Status st = FinishCommit(open, result);
+      if (!st.ok()) {
+        if (tm_.IsActive(open)) AbortTxn(open);
+        return st;
+      }
+      result->message = "COMMIT";
+      return Status::OK();
+    }
+    case sql::StatementKind::kRollback: {
+      txn::TxnId open = slot->exchange(0, std::memory_order_acq_rel);
+      if (open != 0 && tm_.IsActive(open)) AbortTxn(open);
+      result->message = "ROLLBACK";
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+
+  ExecSettings eff = settings;
+  txn::TxnId open = slot->load(std::memory_order_acquire);
+  bool autocommit = true;
+  if (open != 0) {
+    if (!tm_.IsActive(open)) {
+      slot->store(0, std::memory_order_release);
+      return Status::Aborted(
+          "current transaction was rolled back by concurrent DDL");
+    }
+    eff.txn = open;
+    autocommit = false;
+  } else {
+    // Every statement runs inside a transaction: the registration pins the
+    // snapshot against vacuum for the whole chain-walking window, and DML
+    // commits through the same path as explicit transactions.
+    eff.txn = tm_.Begin();
+  }
+  eff.snapshot = tm_.SnapshotFor(eff.txn);
+  const size_t mark = autocommit ? 0 : tm_.UndoSize(eff.txn);
+
+  Status st = ExecuteStatement(stmt, eff, info, direct_select_key, result);
+
+  if (autocommit) {
+    if (st.ok()) st = FinishCommit(eff.txn, result);
+    if (!st.ok() && tm_.IsActive(eff.txn)) AbortTxn(eff.txn);
+  } else if (!st.ok()) {
+    if (st.code() == StatusCode::kAborted) {
+      // Write-write conflict or a failed WAL append: the transaction cannot
+      // proceed consistently — whole-transaction abort.
+      if (tm_.IsActive(eff.txn)) AbortTxn(eff.txn);
+      slot->store(0, std::memory_order_release);
+    } else {
+      // Statement-level rollback: this statement's writes unwind, the
+      // transaction stays open.
+      UnwindWrites(tm_.TakeUndoFrom(eff.txn, mark));
+    }
+  }
+  return st;
+}
+
 Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
                                   const ExecSettings& settings,
                                   StmtPlanInfo* info,
@@ -430,21 +734,28 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       auto& s = static_cast<const sql::CreateTableStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(catalog_.CreateTable(s.table, s.schema).status());
       BumpTableEpoch(s.table);
-      AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kCreateTable,
+      AIDB_RETURN_NOT_OK(LogTxn(settings.txn, {{storage::WalRecordType::kCreateTable,
                                   storage::EncodeCreateTable({s.table, s.schema})}}));
       result.message = "CREATE TABLE " + s.table;
       break;
     }
     case sql::StatementKind::kDropTable: {
       auto& s = static_cast<const sql::DropTableStatement&>(*stmt);
-      // Release the dropped table's column mirrors (uid keying already makes
-      // stale reuse impossible; this is purely a memory release).
       if (auto dropped = catalog_.GetTable(s.table); dropped.ok()) {
+        // DDL wins over open transactions: writers holding uncommitted
+        // versions in this table are rolled back before the drop frees the
+        // storage their undo entries reference.
+        for (txn::TxnId doomed :
+             tm_.TxnsTouching(dropped.ValueOrDie()->uid())) {
+          AbortTxn(doomed);
+        }
+        // Release the dropped table's column mirrors (uid keying already
+        // makes stale reuse impossible; this is purely a memory release).
         column_cache_.Evict(dropped.ValueOrDie()->uid());
       }
       AIDB_RETURN_NOT_OK(catalog_.DropTable(s.table));
       BumpTableEpoch(s.table);
-      AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kDropTable,
+      AIDB_RETURN_NOT_OK(LogTxn(settings.txn, {{storage::WalRecordType::kDropTable,
                                   storage::EncodeDropTable(s.table)}}));
       result.message = "DROP TABLE " + s.table;
       break;
@@ -452,10 +763,19 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
     case sql::StatementKind::kCreateIndex: {
       auto& s = static_cast<const sql::CreateIndexStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(reject_system_view(s.table));
+      if (auto t = catalog_.GetTable(s.table); t.ok()) {
+        // The backfill walks latest-committed rows; a transaction's
+        // uncommitted writes would be missing from the index after its
+        // commit. DDL wins: such writers are rolled back first.
+        for (txn::TxnId doomed : tm_.TxnsTouching(t.ValueOrDie()->uid())) {
+          AbortTxn(doomed);
+        }
+      }
       AIDB_RETURN_NOT_OK(
           catalog_.CreateIndex(s.index, s.table, s.column, s.is_btree).status());
       BumpTableEpoch(s.table);
       AIDB_RETURN_NOT_OK(LogTxn(
+          settings.txn,
           {{storage::WalRecordType::kCreateIndex,
             storage::EncodeCreateIndex({s.index, s.table, s.column, s.is_btree})}}));
       result.message = "CREATE INDEX " + s.index;
@@ -474,7 +794,7 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       }
       AIDB_RETURN_NOT_OK(catalog_.DropIndex(s.index));
       if (!owner.empty()) BumpTableEpoch(owner);
-      AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kDropIndex,
+      AIDB_RETURN_NOT_OK(LogTxn(settings.txn, {{storage::WalRecordType::kDropIndex,
                                   storage::EncodeDropIndex(s.index)}}));
       result.message = "DROP INDEX " + s.index;
       break;
@@ -485,21 +805,26 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       Table* table = nullptr;
       AIDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(s.table));
       // Statement atomicity: validate every row before touching the table so
-      // a bad later row cannot leave a half-applied INSERT (which recovery
-      // would silently roll back, diverging from the in-memory state).
+      // a bad later row cannot leave a half-applied INSERT (the transaction
+      // wrapper would unwind it, but failing fast keeps the undo log clean).
       for (const auto& row : s.rows) AIDB_RETURN_NOT_OK(table->ValidateRow(row));
       storage::InsertPayload wal_rows;
       for (const auto& row : s.rows) {
+        // Fresh slots need no row lock: no other transaction can see them,
+        // and a concurrent writer cannot target an id it cannot see.
+        txn::TxnWrite undo;
         RowId id = 0;
-        AIDB_ASSIGN_OR_RETURN(id, table->Insert(row));
+        AIDB_ASSIGN_OR_RETURN(id, table->InsertTxn(row, settings.txn, &undo));
+        tm_.RecordWrite(settings.txn, undo);
         catalog_.OnInsert(s.table, id, row);
         if (wal_rows.rows.empty()) wal_rows.first_row_id = id;
         if (durable()) wal_rows.rows.push_back(row);
       }
-      if (durable()) {
+      if (durable() && !s.rows.empty()) {
         wal_rows.table = s.table;
-        AIDB_RETURN_NOT_OK(LogTxn({{storage::WalRecordType::kInsert,
-                                    storage::EncodeInsert(wal_rows)}}));
+        AIDB_RETURN_NOT_OK(
+            LogTxnOps(settings.txn, {{storage::WalRecordType::kInsert,
+                                      storage::EncodeInsert(wal_rows)}}));
       }
       result.affected_rows = s.rows.size();
       result.message = "INSERT " + std::to_string(s.rows.size());
@@ -532,12 +857,18 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
         AIDB_ASSIGN_OR_RETURN(b, exec::BoundExpr::Bind(*e, schema, &models_));
         assigns.push_back({static_cast<size_t>(idx), std::move(b)});
       }
-      size_t updated = 0;
-      std::vector<std::pair<RowId, Tuple>> changes;
+      struct Change {
+        RowId id;
+        Tuple old_row;
+        Tuple new_row;
+      };
+      std::vector<Change> changes;
       // All WHERE/SET expressions evaluate before any row is touched, so an
-      // evaluation error aborts the statement with nothing applied.
+      // evaluation error aborts the statement with nothing applied. The scan
+      // runs under the statement snapshot: it sees this transaction's own
+      // earlier writes and nothing uncommitted from anyone else.
       Status eval_err;
-      table->ForEach([&](RowId id, const Tuple& row) {
+      table->ForEachVisible(settings.snapshot, [&](RowId id, const Tuple& row) {
         if (!eval_err.ok()) return;
         if (where) {
           Result<bool> keep = where->EvalBool(row);
@@ -556,23 +887,39 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
           }
           updated_row[a.column] = std::move(v).ValueOrDie();
         }
-        changes.emplace_back(id, std::move(updated_row));
+        changes.push_back({id, row, std::move(updated_row)});
       });
       AIDB_RETURN_NOT_OK(eval_err);
-      // WAL after-images encoded before the apply loop consumes the tuples.
-      std::string wal_payload;
-      if (durable() && !changes.empty())
-        wal_payload = storage::EncodeUpdate({s.table, changes});
-      for (auto& [id, row] : changes) {
-        AIDB_RETURN_NOT_OK(table->Update(id, std::move(row)));
-        ++updated;
+      for (const Change& c : changes) {
+        // No-wait first-committer-wins gate, then the timestamp-check ground
+        // truth inside UpdateTxn.
+        if (!tm_.TryRowLock(settings.txn,
+                            txn::RowLockKey(table->uid(), c.id))) {
+          tm_.NoteConflict();
+          return Status::Aborted("write-write conflict on " + s.table +
+                                 " row " + std::to_string(c.id) +
+                                 " (row lock held by concurrent transaction)");
+        }
+        txn::TxnWrite undo;
+        Status st = table->UpdateTxn(c.id, c.new_row, settings.snapshot, &undo);
+        if (st.code() == StatusCode::kAborted) tm_.NoteConflict();
+        AIDB_RETURN_NOT_OK(st);
+        tm_.RecordWrite(settings.txn, undo);
+        IndexUpdate(s.table, c.id, c.old_row, c.new_row, /*add_btree=*/true);
       }
-      if (durable() && updated > 0) {
-        AIDB_RETURN_NOT_OK(LogTxn(
-            {{storage::WalRecordType::kUpdate, std::move(wal_payload)}}));
+      if (durable() && !changes.empty()) {
+        std::vector<std::pair<RowId, Tuple>> after_images;
+        after_images.reserve(changes.size());
+        for (Change& c : changes) {
+          after_images.emplace_back(c.id, std::move(c.new_row));
+        }
+        AIDB_RETURN_NOT_OK(LogTxnOps(
+            settings.txn,
+            {{storage::WalRecordType::kUpdate,
+              storage::EncodeUpdate({s.table, after_images})}}));
       }
-      result.affected_rows = updated;
-      result.message = "UPDATE " + std::to_string(updated);
+      result.affected_rows = changes.size();
+      result.message = "UPDATE " + std::to_string(changes.size());
       break;
     }
     case sql::StatementKind::kDelete: {
@@ -591,7 +938,7 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       }
       std::vector<std::pair<RowId, Tuple>> victims;
       Status eval_err;
-      table->ForEach([&](RowId id, const Tuple& row) {
+      table->ForEachVisible(settings.snapshot, [&](RowId id, const Tuple& row) {
         if (!eval_err.ok()) return;
         if (where) {
           Result<bool> keep = where->EvalBool(row);
@@ -605,7 +952,19 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       });
       AIDB_RETURN_NOT_OK(eval_err);
       for (auto& [id, row] : victims) {
-        AIDB_RETURN_NOT_OK(table->Delete(id));
+        if (!tm_.TryRowLock(settings.txn, txn::RowLockKey(table->uid(), id))) {
+          tm_.NoteConflict();
+          return Status::Aborted("write-write conflict on " + s.table +
+                                 " row " + std::to_string(id) +
+                                 " (row lock held by concurrent transaction)");
+        }
+        txn::TxnWrite undo;
+        Status st = table->DeleteTxn(id, settings.snapshot, &undo);
+        if (st.code() == StatusCode::kAborted) tm_.NoteConflict();
+        AIDB_RETURN_NOT_OK(st);
+        tm_.RecordWrite(settings.txn, undo);
+        // Hash entries drop now (queries never consult them through MVCC
+        // reads); rollback restores them from the still-linked version.
         catalog_.OnDelete(s.table, id, row);
       }
       if (durable() && !victims.empty()) {
@@ -613,7 +972,8 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
         p.table = s.table;
         for (const auto& [id, row] : victims) p.rows.push_back(id);
         AIDB_RETURN_NOT_OK(
-            LogTxn({{storage::WalRecordType::kDelete, storage::EncodeDelete(p)}}));
+            LogTxnOps(settings.txn, {{storage::WalRecordType::kDelete,
+                                      storage::EncodeDelete(p)}}));
       }
       result.affected_rows = victims.size();
       result.message = "DELETE " + std::to_string(victims.size());
@@ -631,7 +991,7 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       auto& s = static_cast<const sql::CreateModelStatement&>(*stmt);
       AIDB_RETURN_NOT_OK(models_.Train(catalog_, s));
       AIDB_RETURN_NOT_OK(
-          LogTxn({{storage::WalRecordType::kCreateModel,
+          LogTxn(settings.txn, {{storage::WalRecordType::kCreateModel,
                    storage::EncodeCreateModel(
                        {s.model, s.model_type, s.target, s.table, s.features})}}));
       const db4ai::ModelInfo* info = nullptr;
@@ -707,6 +1067,13 @@ Status Database::ExecuteStatement(const sql::Statement& stmt_ref,
       }
       break;
     }
+    case sql::StatementKind::kBegin:
+    case sql::StatementKind::kCommit:
+    case sql::StatementKind::kRollback:
+      // Handled by ExecuteWithTxn before dispatch (and PREPARE rejects
+      // transaction-control bodies, so EXECUTE cannot reach here either).
+      return Status::Internal(
+          "transaction control reached the statement dispatcher");
   }
   return Status::OK();
 }
@@ -730,9 +1097,10 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt,
       Status run = RunSelectPlan(cached->plan, stmt, settings, &result);
       // Check the plan back in even after a runtime error: Open() resets all
       // operator state, and evaluation errors are data-dependent, not
-      // plan-dependent. The per-statement cancel pointer must not outlive
-      // the statement, though.
+      // plan-dependent. The per-statement cancel pointer and snapshot must
+      // not outlive the statement, though.
       cached->plan.root->SetCancel(nullptr);
+      cached->plan.root->SetSnapshot(txn::Snapshot{});
       plan_cache_.Release(std::move(*cached));
       AIDB_RETURN_NOT_OK(run);
       return result;
@@ -804,6 +1172,7 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt,
     entry.used_feedback = settings.planner.use_card_feedback;
     entry.feedback_epoch = catalog_.feedback().epoch();
     plan.root->SetCancel(nullptr);
+    plan.root->SetSnapshot(txn::Snapshot{});
     entry.plan = std::move(plan);
     plan_cache_.Release(std::move(entry));
   }
@@ -824,6 +1193,7 @@ Status Database::RunSelectPlan(exec::PhysicalPlan& plan,
   bool traced = tracing_ || stmt.explain_analyze;
   plan.root->SetTracing(traced);
   plan.root->SetCancel(settings.cancel);
+  plan.root->SetSnapshot(settings.snapshot);
 
   plan.root->Open();
   Tuple row;

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "server/prepared.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
+#include "txn/transaction_manager.h"
 #include "txn/types.h"
 
 namespace aidb {
@@ -65,6 +67,10 @@ struct QueryResult {
   /// Deliberately NOT part of the differential digest: hit and miss must
   /// produce byte-identical results.
   bool plan_cache_hit = false;
+  /// Commit timestamp of the transaction this statement committed (explicit
+  /// COMMIT or autocommit DML); 0 when nothing committed. The differential
+  /// oracle replays transactions in this order. Not part of the digest.
+  uint64_t commit_ts = 0;
 
   std::string ToString(size_t max_rows = 20) const;
 };
@@ -87,6 +93,15 @@ struct ExecSettings {
   /// database-global store, so bare Databases (tests, fuzzer) support
   /// prepared statements without a server.
   server::PreparedStore* prepared = nullptr;
+  /// The session's open explicit-transaction id (0 = autocommit), written by
+  /// BEGIN/COMMIT/ROLLBACK. Null falls back to a database-global slot so bare
+  /// Databases support explicit transactions without a server.
+  std::atomic<uint64_t>* txn_slot = nullptr;
+  /// Per-statement transaction context, filled by Execute() before dispatch
+  /// (callers leave these defaulted): the transaction the statement runs in
+  /// and the snapshot every read/write uses.
+  txn::TxnId txn = txn::kInvalidTxnId;
+  txn::Snapshot snapshot;
 };
 
 /// \brief The embeddable AIDB engine facade: parse -> plan -> execute.
@@ -132,6 +147,9 @@ class Database {
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
+  /// MVCC transaction manager: timestamps, snapshots, undo, row locks, GC.
+  txn::TransactionManager& txn_manager() { return tm_; }
+  const txn::TransactionManager& txn_manager() const { return tm_; }
   db4ai::ModelRegistry& models() { return models_; }
   const db4ai::ModelRegistry& models() const { return models_; }
   exec::Planner& planner() { return planner_; }
@@ -286,13 +304,60 @@ class Database {
                           const ExecSettings& settings, StmtPlanInfo* info,
                           const std::string* direct_select_key,
                           QueryResult* result);
+  /// Transaction orchestration around ExecuteStatement: handles
+  /// BEGIN/COMMIT/ROLLBACK, wraps every other statement in its session's open
+  /// transaction or a fresh autocommit one, and maps statement failure to
+  /// statement-level rollback (txn stays open) vs. whole-transaction abort
+  /// (write-write conflict / WAL failure).
+  Status ExecuteWithTxn(const sql::Statement& stmt,
+                        const ExecSettings& settings, StmtPlanInfo* info,
+                        const std::string* direct_select_key,
+                        QueryResult* result);
+  /// The body of ExecuteWithTxn, run while holding checkpoint_fence_ shared;
+  /// the wrapper checkpoints after the fence is released.
+  Status ExecuteWithTxnFenced(const sql::Statement& stmt,
+                              const ExecSettings& settings, StmtPlanInfo* info,
+                              const std::string* direct_select_key,
+                              QueryResult* result);
+  /// Commits `t`: read-only transactions are simply forgotten (no commit
+  /// timestamp, no WAL record); writers append kCommit through the commit
+  /// hook. On success stores the commit timestamp into `result`.
+  Status FinishCommit(txn::TxnId t, QueryResult* result);
+  /// Rolls back the whole transaction: unwinds undo (indexes + versions),
+  /// best-effort appends kTxnAbort when ops were logged, forgets `t`.
+  void AbortTxn(txn::TxnId t);
+  /// Unwinds one batch of undo entries (newest first): restores hash-index
+  /// entries and retires superseded versions. B+-tree entries are never
+  /// removed — scans re-check key + visibility against the visible tuple.
+  void UnwindWrites(std::vector<txn::TxnWrite> writes);
+  /// Appends a transaction's statement ops as kTxnOp-wrapped records (the
+  /// commit record comes later, through FinishCommit's hook). No-op when not
+  /// durable.
+  Status LogTxnOps(
+      txn::TxnId t,
+      std::vector<std::pair<storage::WalRecordType, std::string>> records);
+  /// Index maintenance for a row moving `from` -> `to`: hash entries move;
+  /// a new B+-tree entry is added only when `add_btree` (the apply path) and
+  /// the key changed. Old B+-tree entries always stay (lazily filtered).
+  void IndexUpdate(const std::string& table, RowId id, const Tuple& from,
+                   const Tuple& to, bool add_btree);
+  /// Re-adds hash-index entries for a row whose delete is being rolled back.
+  void RestoreHashEntries(const std::string& table, RowId id, const Tuple& row);
+  /// Every ~64 commits: reclaim versions dead below the watermark.
+  void MaybeVacuum();
+  /// Auto-checkpoint trigger (checkpoint_every_n_records knob), deferred
+  /// while any transaction holds unstamped writes.
+  Status MaybeAutoCheckpoint();
   /// Rebuilds any `aidb_*` system view the statement scans, so the view's
   /// backing rows are stable for the whole plan/execute cycle.
   Status RefreshReferencedSystemViews(const sql::Statement& stmt);
   void RegisterSystemViews();
   /// Appends a statement's WAL records + COMMIT, honoring group commit and
-  /// the auto-checkpoint knob. No-op when not durable.
-  Status LogTxn(std::vector<std::pair<storage::WalRecordType, std::string>> records);
+  /// the auto-checkpoint knob. No-op when not durable. `stmt_txn` is the
+  /// calling statement's transaction (its id is reused when it holds no MVCC
+  /// writes; otherwise a fresh id keeps the commit from resolving them).
+  Status LogTxn(txn::TxnId stmt_txn,
+                std::vector<std::pair<storage::WalRecordType, std::string>> records);
 
   Catalog catalog_;
   db4ai::ModelRegistry models_;
@@ -330,13 +395,25 @@ class Database {
   bool has_trace_ = false;
   Timer uptime_;  ///< arrival timestamps for the query log
 
+  /// MVCC transaction state. Declared after metrics_ (cached counter
+  /// pointers) and after catalog_ (undo entries reference Table objects; the
+  /// destructor frees retired version nodes, which are self-contained).
+  txn::TransactionManager tm_;
+  /// Explicit-transaction slot for callers without a session (bare Execute).
+  std::atomic<uint64_t> default_txn_{0};
+  std::atomic<uint64_t> commits_since_vacuum_{0};
+
   // Durability state (null/empty for the in-memory engine).
   std::string dir_;
   DurabilityOptions durability_opts_;
   std::unique_ptr<storage::WalWriter> wal_;
-  txn::TxnId next_txn_id_ = 1;
-  uint64_t records_since_checkpoint_ = 0;
+  std::atomic<uint64_t> records_since_checkpoint_{0};
   uint64_t checkpoints_written_ = 0;
+  std::mutex checkpoint_mu_;  ///< concurrent commits may both trigger one
+  /// Statements hold this shared for their whole fenced body; Checkpoint
+  /// takes it exclusive so its snapshot sees no statement mid-way through
+  /// appending WAL ops or committing (a consistent cut).
+  std::shared_mutex checkpoint_fence_;
   storage::RecoveryStats recovery_stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "exec/operator.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "exec/agg_state.h"
 
@@ -48,8 +49,9 @@ bool SeqScanOp::NextImpl(Tuple* out) {
     if ((id & 511) == 0 && IsCancelled()) {
       return Fail(Status::Cancelled("query cancelled during scan"));
     }
-    if (!table_->IsLive(id)) continue;
-    *out = table_->RowAt(id);
+    const Tuple* row = table_->VisibleAt(id, snap_);
+    if (row == nullptr) continue;
+    *out = *row;
     ++rows_produced_;
     return true;
   }
@@ -59,23 +61,54 @@ bool SeqScanOp::NextImpl(Tuple* out) {
 // ----- IndexScan -----
 
 IndexScanOp::IndexScanOp(const Table* table, const BTree* index,
-                         std::string effective_name, int64_t lo, int64_t hi)
-    : table_(table), index_(index), label_(std::move(effective_name)), lo_(lo), hi_(hi) {
+                         std::shared_mutex* latch, std::string effective_name,
+                         int key_col, int64_t lo, int64_t hi)
+    : table_(table),
+      index_(index),
+      latch_(latch),
+      label_(std::move(effective_name)),
+      key_col_(key_col),
+      lo_(lo),
+      hi_(hi) {
   for (const auto& col : table->schema().columns()) {
     output_.push_back({label_, col.name, col.type});
   }
 }
 
 void IndexScanOp::OpenImpl() {
-  matches_ = index_->RangeScan(lo_, hi_);
+  {
+    std::shared_lock<std::shared_mutex> latch;
+    if (latch_ != nullptr) latch = std::shared_lock<std::shared_mutex>(*latch_);
+    matches_ = index_->RangeScan(lo_, hi_);
+  }
   cursor_ = 0;
+  // Entries are never erased, and an update that moves a row back to a key
+  // it once held re-adds the pair, so one row id can surface twice in one
+  // probe (stale key + current key, or a duplicate pair). Emitting a row
+  // once per id is the operator's contract; dedupe preserving probe order.
+  std::unordered_set<RowId> seen;
+  size_t w = 0;
+  for (RowId id : matches_) {
+    if (seen.insert(id).second) matches_[w++] = id;
+  }
+  matches_.resize(w);
 }
 
 bool IndexScanOp::NextImpl(Tuple* out) {
   while (cursor_ < matches_.size()) {
     RowId id = matches_[cursor_++];
-    if (!table_->IsLive(id)) continue;  // lazy-deleted entries skipped here
-    *out = table_->RowAt(id);
+    const Tuple* row = table_->VisibleAt(id, snap_);
+    if (row == nullptr) continue;  // lazy-deleted / not visible to snapshot
+    // The entry may index a different version's key than the one this
+    // snapshot sees; the range predicate was consumed by the index probe, so
+    // it must hold on the visible tuple.
+    const Value& key = (*row)[static_cast<size_t>(key_col_)];
+    if (key.is_null()) continue;
+    int64_t k = key.type() == ValueType::kInt
+                    ? key.AsInt()
+                    : static_cast<int64_t>(key.AsDouble());
+    if (k < lo_ || k > hi_) continue;
+    *out = *row;
     ++rows_produced_;
     return true;
   }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -94,6 +95,19 @@ class Operator {
     for (auto& c : children_) c->SetCancel(cancel);
   }
 
+  /// Installs the statement's MVCC snapshot on this operator and all
+  /// children. Injected per execution exactly like the cancel flag (and reset
+  /// to the default latest-committed snapshot when a plan is checked back
+  /// into the cache): scans filter version chains through it, so one cached
+  /// physical plan serves statements from any transaction. Virtual because
+  /// the exchange operators own MorselSources that sit outside the child
+  /// list and need the snapshot forwarded.
+  virtual void SetSnapshot(const txn::Snapshot& snap) {
+    snap_ = snap;
+    for (auto& c : children_) c->SetSnapshot(snap);
+  }
+  const txn::Snapshot& snapshot() const { return snap_; }
+
   size_t rows_produced() const { return rows_produced_; }
   /// Next() invocations while traced (volcano batches; morsel counts for the
   /// exchange operators live in worker_rows()).
@@ -151,6 +165,9 @@ class Operator {
   std::string feedback_table_;
   std::vector<uint64_t> worker_rows_;
   const std::atomic<bool>* cancel_ = nullptr;  ///< not owned; per statement
+  /// Statement snapshot; default-constructed = latest committed, which
+  /// reproduces pre-MVCC behavior for plans run outside any transaction.
+  txn::Snapshot snap_;
 
   friend class PlanVisitor;
 };
@@ -171,11 +188,17 @@ class SeqScanOp : public Operator {
   RowId cursor_ = 0;
 };
 
-/// B+tree range scan: key in [lo, hi].
+/// B+tree range scan: key in [lo, hi]. B+tree entries are never removed
+/// eagerly (deletes are lazy, and version chains keep superseded keys
+/// reachable for older snapshots), so the scan re-checks both visibility and
+/// the key range against the tuple its snapshot actually sees — stale
+/// entries degrade to wasted probes, never wrong rows.
 class IndexScanOp : public Operator {
  public:
-  IndexScanOp(const Table* table, const BTree* index, std::string effective_name,
-              int64_t lo, int64_t hi);
+  /// `latch` (nullable) is the owning IndexInfo's content latch: the probe
+  /// takes it shared because DML statements mutate the tree concurrently.
+  IndexScanOp(const Table* table, const BTree* index, std::shared_mutex* latch,
+              std::string effective_name, int key_col, int64_t lo, int64_t hi);
   std::string Name() const override;
 
  protected:
@@ -185,7 +208,9 @@ class IndexScanOp : public Operator {
  private:
   const Table* table_;
   const BTree* index_;
+  std::shared_mutex* latch_;
   std::string label_;
+  int key_col_;
   int64_t lo_, hi_;
   std::vector<RowId> matches_;
   size_t cursor_ = 0;

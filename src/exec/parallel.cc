@@ -20,7 +20,8 @@ size_t TableMorselSource::NumMorsels() const {
 Status TableMorselSource::ScanMorsel(size_t m, const TupleFn& fn) const {
   RowId begin = static_cast<RowId>(m * morsel_rows_);
   Status err;
-  table_->ScanRange(begin, begin + morsel_rows_, [&](RowId, const Tuple& row) {
+  table_->ScanRangeVisible(begin, begin + morsel_rows_, snap_,
+                           [&](RowId, const Tuple& row) {
     if (!err.ok()) return;  // first failing row in the morsel wins
     for (const auto& f : filters_) {
       Result<bool> keep = f.EvalBool(row);

@@ -61,6 +61,10 @@ class MorselSource {
   virtual ~MorselSource() = default;
   virtual size_t NumMorsels() const = 0;
   virtual Status ScanMorsel(size_t m, const TupleFn& fn) const = 0;
+  /// Installs the statement snapshot before dispatch (table sources filter
+  /// version chains through it; derived sources may ignore it). Called from
+  /// the owning operator's SetSnapshot, never concurrently with scans.
+  virtual void SetSnapshot(const txn::Snapshot& snap) { (void)snap; }
 };
 
 /// Morsels over a Table's slot range, with filter predicates fused into the
@@ -71,11 +75,13 @@ class TableMorselSource : public MorselSource {
                     size_t morsel_rows = kMorselRows);
   size_t NumMorsels() const override;
   Status ScanMorsel(size_t m, const TupleFn& fn) const override;
+  void SetSnapshot(const txn::Snapshot& snap) override { snap_ = snap; }
 
  private:
   const Table* table_;
   std::vector<BoundExpr> filters_;
   size_t morsel_rows_;
+  txn::Snapshot snap_;  ///< default = latest committed
 };
 
 /// \brief Exchange endpoint between the parallel and serial plan regions.
@@ -96,6 +102,11 @@ class GatherOp : public Operator {
   /// Transfers the source to a parallel consumer (partitioned aggregation),
   /// which then scans it directly and skips the gather materialization.
   std::unique_ptr<MorselSource> TakeSource() { return std::move(source_); }
+
+  void SetSnapshot(const txn::Snapshot& snap) override {
+    Operator::SetSnapshot(snap);
+    if (source_) source_->SetSnapshot(snap);
+  }
 
  protected:
   void OpenImpl() override;
@@ -172,6 +183,11 @@ class ParallelHashAggregateOp : public Operator {
                           std::vector<AggSpec> aggs, ParallelContext ctx);
   std::string Name() const override {
     return "ParallelHashAggregate(dop=" + std::to_string(ctx_.dop) + ")";
+  }
+
+  void SetSnapshot(const txn::Snapshot& snap) override {
+    Operator::SetSnapshot(snap);
+    if (source_) source_->SetSnapshot(snap);
   }
 
  protected:

@@ -194,6 +194,8 @@ Result<std::unique_ptr<Operator>> Planner::BuildScan(
   // indexed column whose estimated selectivity clears the threshold.
   const sql::Expr* index_pred = nullptr;
   const BTree* index = nullptr;
+  std::shared_mutex* index_latch = nullptr;
+  int index_col = -1;
   int64_t lo = std::numeric_limits<int64_t>::min();
   int64_t hi = std::numeric_limits<int64_t>::max();
   if (opts.use_indexes) {
@@ -217,6 +219,8 @@ Result<std::unique_ptr<Operator>> Planner::BuildScan(
       }
       index_pred = p;
       index = info->btree.get();
+      index_latch = &info->latch;
+      index_col = table->schema().IndexOf(p->lhs->column);
       lo = plo;
       hi = phi;
       break;
@@ -287,7 +291,8 @@ Result<std::unique_ptr<Operator>> Planner::BuildScan(
 
   std::unique_ptr<Operator> scan;
   if (index != nullptr) {
-    scan = std::make_unique<IndexScanOp>(table, index, rel.name, lo, hi);
+    scan = std::make_unique<IndexScanOp>(table, index, index_latch, rel.name,
+                                         index_col, lo, hi);
   } else {
     scan = std::make_unique<SeqScanOp>(table, rel.name);
   }

@@ -60,10 +60,14 @@ std::shared_ptr<const VecColumn> ColumnCache::Get(const Table& table,
     if (ce.built && ce.version == version) return ce.col;
   }
 
-  // Build outside the lock: the table cannot change under a running query
-  // (readers hold the service's shared lock, writers its exclusive lock), so
-  // concurrent cold Gets at worst build identical mirrors; last one wins.
+  // Build outside the lock. MVCC writers may commit concurrently (readers no
+  // longer exclude them), so re-check the data version after the pass: a
+  // commit mid-build could leave the mirror mixing pre- and post-commit
+  // rows. Uncommitted versions are invisible to the latest-committed walk
+  // BuildMirror does and never bump data_version, so only commits (and
+  // rollbacks of inserts, which also bump it) invalidate the pass.
   std::shared_ptr<const VecColumn> mirror = BuildMirror(table, col, type);
+  if (table.data_version() != version) return nullptr;
 
   std::lock_guard<std::mutex> lock(mu_);
   auto& entry = entries_[table.uid()];
@@ -75,6 +79,33 @@ std::shared_ptr<const VecColumn> ColumnCache::Get(const Table& table,
   return mirror;
 }
 
+std::shared_ptr<const std::vector<uint8_t>> ColumnCache::GetLiveness(
+    const Table& table) {
+  if (table.NumSlots() < MinSlots()) return nullptr;
+  const uint64_t version = table.data_version();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = entries_[table.uid()];
+    if (entry.live_built && entry.live_version == version) return entry.live;
+  }
+
+  // Same build-outside-the-lock + version re-check discipline as Get(): the
+  // chain walk per slot happens once per data version here instead of once
+  // per slot per batch in the scan.
+  auto live = std::make_shared<std::vector<uint8_t>>(table.NumSlots());
+  for (RowId id = 0; id < live->size(); ++id) {
+    (*live)[id] = table.IsLive(id) ? 1 : 0;
+  }
+  if (table.data_version() != version) return nullptr;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = entries_[table.uid()];
+  entry.live_built = true;
+  entry.live_version = version;
+  entry.live = live;
+  return live;
+}
+
 void ColumnCache::Evict(uint64_t table_uid) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.erase(table_uid);
@@ -84,6 +115,7 @@ size_t ColumnCache::ApproxBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = 0;
   for (const auto& [uid, entry] : entries_) {
+    if (entry.live) bytes += entry.live->capacity();
     for (const auto& ce : entry.cols) {
       if (!ce.col) continue;
       bytes += ce.col->ints.capacity() * sizeof(int64_t) +

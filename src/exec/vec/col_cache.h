@@ -58,6 +58,16 @@ class ColumnCache {
   /// invalidation for the duration of a query.
   std::shared_ptr<const VecColumn> Get(const Table& table, size_t col);
 
+  /// Returns the slot-major liveness bitmap (one byte per slot, 1 = a
+  /// version is visible to the latest-committed snapshot), rebuilding when
+  /// the table changed since it was stamped; nullptr for small tables. The
+  /// scan uses it in place of the per-slot version-chain walk when the table
+  /// is quiescent for its snapshot and every active column is mirrored —
+  /// under quiescence, latest-committed liveness IS snapshot liveness, and a
+  /// commit landing mid-scan carries a timestamp past the snapshot, so the
+  /// stamped bitmap stays the correct answer for that snapshot.
+  std::shared_ptr<const std::vector<uint8_t>> GetLiveness(const Table& table);
+
   /// Drops every mirror of the table with this uid (DROP TABLE hook; purely
   /// a memory release — uid keying already prevents stale reuse).
   void Evict(uint64_t table_uid);
@@ -73,6 +83,9 @@ class ColumnCache {
   };
   struct TableEntry {
     std::vector<ColEntry> cols;
+    bool live_built = false;  ///< a liveness pass was stamped at live_version
+    uint64_t live_version = 0;
+    std::shared_ptr<const std::vector<uint8_t>> live;
   };
 
   mutable std::mutex mu_;

@@ -113,20 +113,47 @@ bool TryFusedCompare(const VecExpr& f, Batch* b,
 /// pass. `dicts` is per-table-column dictionary-index scratch (string
 /// columns use theirs); `out`'s storage is reused across calls, so the
 /// steady state allocates nothing.
+///
+/// `liveness`, when non-null, is the cached slot-major liveness bitmap for
+/// this snapshot (resolved alongside the mirrors, so only present when the
+/// table is quiescent for `snap`): the liveness pass becomes a byte test per
+/// slot instead of a version-chain walk. It is only honored when
+/// `row_active` is empty — the bitmap path never fetches tuples, and the
+/// row-major pass needs the snapshot-resolved tuple pointer.
 void BuildScanBatch(
-    const Table& table, RowId begin, Batch* out, std::vector<RowId>* live,
+    const Table& table, const txn::Snapshot& snap, RowId begin, Batch* out,
+    std::vector<RowId>* live, std::vector<const Tuple*>* rows,
     std::vector<std::unordered_map<std::string, int32_t>>* dicts,
     const std::vector<size_t>& active,
     const std::vector<std::shared_ptr<const VecColumn>>& cached,
-    const std::vector<size_t>& row_active) {
+    const std::vector<size_t>& row_active,
+    const std::vector<uint8_t>* liveness) {
   const auto& cols = table.schema().columns();
   const size_t width = cols.size();
   out->ResetForWidth(width);
   dicts->resize(width);
   live->clear();
+  rows->clear();
   RowId limit = std::min<RowId>(begin + kBatchRows, table.NumSlots());
-  for (RowId id = begin; id < limit; ++id) {
-    if (table.IsLive(id)) live->push_back(id);
+  if (liveness != nullptr && row_active.empty()) {
+    // Quiescent fast path: slots past the bitmap were appended after it was
+    // stamped, so their versions carry timestamps past the snapshot — the
+    // clamp skips exactly the rows the chain walk would reject.
+    RowId lim = std::min<RowId>(limit, liveness->size());
+    const uint8_t* lv = liveness->data();
+    for (RowId id = begin; id < lim; ++id) {
+      if (lv[id]) live->push_back(id);
+    }
+  } else {
+    for (RowId id = begin; id < limit; ++id) {
+      // One chain walk resolves both the visibility test and the tuple the
+      // row-major pass reads (versions are immutable once published).
+      const Tuple* row = table.VisibleAt(id, snap);
+      if (row != nullptr) {
+        live->push_back(id);
+        rows->push_back(row);
+      }
+    }
   }
   const size_t n = live->size();
   out->rows = n;
@@ -177,7 +204,7 @@ void BuildScanBatch(
   }
   if (row_active.empty()) return;
   for (size_t i = 0; i < n; ++i) {
-    const Tuple& row = table.RowAt((*live)[i]);
+    const Tuple& row = *(*rows)[i];
     for (size_t c : row_active) {
       const Value& v = row[c];
       if (v.is_null()) continue;  // slots start zeroed/NULL
@@ -295,20 +322,34 @@ static std::vector<size_t> ActiveColumns(const Table& table,
 /// Resolves the slot-major mirrors for one execution: slot c of `cached` is
 /// set for active columns the cache covers; `row_cols` collects the rest —
 /// the columns the row-major extraction pass must still materialize.
+/// Mirrors materialize the latest-committed state, so they are only
+/// consulted when the table is quiescent for `snap` — no uncommitted
+/// versions and nothing committed past the snapshot's read timestamp.
+/// Otherwise every column takes the row-major version-chain walk.
 static void ResolveMirrors(
-    ColumnCache* cache, const Table& table, const std::vector<size_t>& active,
+    ColumnCache* cache, const Table& table, const txn::Snapshot& snap,
+    const std::vector<size_t>& active,
     std::vector<std::shared_ptr<const VecColumn>>* cached,
-    std::vector<size_t>* row_cols) {
+    std::vector<size_t>* row_cols,
+    std::shared_ptr<const std::vector<uint8_t>>* liveness) {
   cached->assign(table.schema().NumColumns(), nullptr);
   row_cols->clear();
+  liveness->reset();
+  const bool mirrors_usable = cache != nullptr && table.QuiescentFor(snap);
   for (size_t c : active) {
     std::shared_ptr<const VecColumn> cc;
-    if (cache != nullptr) cc = cache->Get(table, c);
+    if (mirrors_usable) cc = cache->Get(table, c);
     if (cc != nullptr) {
       (*cached)[c] = std::move(cc);
     } else {
       row_cols->push_back(c);
     }
+  }
+  // With every active column mirrored (trivially so for a column-free scan,
+  // e.g. COUNT(*)), no tuple is ever fetched — the cached liveness bitmap
+  // then replaces the per-slot version-chain walk too.
+  if (mirrors_usable && row_cols->empty()) {
+    *liveness = cache->GetLiveness(table);
   }
 }
 
@@ -339,7 +380,8 @@ std::string VecScanOp::Name() const {
 void VecScanOp::VecOpenImpl() {
   cursor_ = 0;
   deferred_ = Status::OK();
-  ResolveMirrors(cache_, *table_, active_cols_, &cached_cols_, &row_cols_);
+  ResolveMirrors(cache_, *table_, snap_, active_cols_, &cached_cols_,
+                 &row_cols_, &liveness_);
 }
 
 bool VecScanOp::NextBatchImpl(Batch* out) {
@@ -353,8 +395,9 @@ bool VecScanOp::NextBatchImpl(Batch* out) {
     }
     RowId begin = cursor_;
     cursor_ += kBatchRows;
-    BuildScanBatch(*table_, begin, out, &scratch_live_, &scratch_dicts_,
-                   active_cols_, cached_cols_, row_cols_);
+    BuildScanBatch(*table_, snap_, begin, out, &scratch_live_, &scratch_rows_,
+                   &scratch_dicts_, active_cols_, cached_cols_, row_cols_,
+                   liveness_.get());
     if (out->rows == 0) continue;
     Status s = ApplyFusedFilters(filters_, scalar_filters_, out, &scratch_sel_);
     size_t active = out->ActiveCount();
@@ -409,21 +452,23 @@ void VecParallelScanOp::VecOpenImpl() {
   worker_rows_.assign(ctx_.WorkersFor(n), 0);
   // Resolve mirrors once, before dispatch: workers read the shared vectors
   // concurrently but never write them.
-  ResolveMirrors(cache_, *table_, active_cols_, &cached_cols_, &row_cols_);
+  ResolveMirrors(cache_, *table_, snap_, active_cols_, &cached_cols_,
+                 &row_cols_, &liveness_);
   // One status slot per morsel; the lowest-numbered failing morsel's error is
   // the one the serial scan would hit first.
   std::vector<Status> morsel_status(n);
   DispatchMorsels(ctx_, n, cancel_,
                   [this, slots, &morsel_status](size_t w, size_t m) {
     std::vector<RowId> live;
+    std::vector<const Tuple*> rows;
     std::vector<std::unordered_map<std::string, int32_t>> dicts;
     std::vector<uint32_t> sel_scratch;
     RowId mbegin = static_cast<RowId>(m) * kMorselRows;
     RowId mend = std::min<RowId>(mbegin + kMorselRows, slots);
     for (RowId b = mbegin; b < mend; b += kBatchRows) {
       Batch batch;
-      BuildScanBatch(*table_, b, &batch, &live, &dicts, active_cols_,
-                     cached_cols_, row_cols_);
+      BuildScanBatch(*table_, snap_, b, &batch, &live, &rows, &dicts,
+                     active_cols_, cached_cols_, row_cols_, liveness_.get());
       if (batch.rows == 0) continue;
       Status s = ApplyFusedFilters(filters_, scalar_filters_, &batch, &sel_scratch);
       size_t active = batch.ActiveCount();

@@ -122,7 +122,11 @@ class VecScanOp : public VecOperator {
   std::vector<std::shared_ptr<const VecColumn>> cached_cols_;
   /// The active columns without a mirror — the row-major extraction set.
   std::vector<size_t> row_cols_;
+  /// Cached slot-major liveness bitmap (null = per-slot chain walk); only
+  /// resolved when the table is quiescent and row_cols_ is empty.
+  std::shared_ptr<const std::vector<uint8_t>> liveness_;
   std::vector<RowId> scratch_live_;
+  std::vector<const Tuple*> scratch_rows_;  ///< visible tuple per live slot
   /// One dictionary index per table column (string columns use theirs);
   /// hoisted so the steady-state scan loop performs no allocations.
   std::vector<std::unordered_map<std::string, int32_t>> scratch_dicts_;
@@ -163,6 +167,7 @@ class VecParallelScanOp : public VecOperator {
   /// for the whole scan).
   std::vector<std::shared_ptr<const VecColumn>> cached_cols_;
   std::vector<size_t> row_cols_;
+  std::shared_ptr<const std::vector<uint8_t>> liveness_;
   ParallelContext ctx_;
   std::vector<std::vector<Batch>> morsels_;  ///< buffered batches, per morsel
   size_t morsel_cursor_ = 0;

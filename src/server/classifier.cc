@@ -92,9 +92,10 @@ QueryClass QueryClassifier::Classify(uint64_t digest,
     return it->second > HeavyThresholdLocked() ? QueryClass::kHeavy
                                                : QueryClass::kCheap;
   }
-  // Cold start. Writes and DDL are "heavy" by construction: they take the
-  // exclusive engine lock, so keeping them off the cheap lane protects point
-  // lookups from queueing behind them.
+  // Cold start. Writes and DDL are "heavy" by construction: writes hold row
+  // locks and append to the WAL, DDL takes the exclusive engine lock —
+  // keeping both off the cheap lane protects point lookups from queueing
+  // behind them.
   if (!facts.is_select) return QueryClass::kHeavy;
   if (predictor_warm_ && warm_latency_scale_ > 0.0) {
     // Sketch the unseen query's demand vector from syntax alone and ask the

@@ -202,6 +202,12 @@ bool Service::SharedEligible(const Job& job) const {
   std::string head = HeadKeyword(job.sql);
   if (head == "SELECT") return true;
   if (head == "PREPARE" || head == "DEALLOCATE") return true;  // store-local
+  // DML and transaction control run concurrently with readers and with each
+  // other: MVCC snapshots isolate readers, per-index latches cover index
+  // maintenance, the WAL is thread-safe, and the engine's checkpoint fence
+  // gives snapshots a consistent cut. Readers never block behind writers.
+  if (head == "INSERT" || head == "UPDATE" || head == "DELETE") return true;
+  if (head == "BEGIN" || head == "COMMIT" || head == "ROLLBACK") return true;
   if (head == "EXECUTE") {
     // Shared only when the template body is itself a plain SELECT. A missing
     // template is shared-safe too: it errors without touching engine state.
@@ -234,10 +240,19 @@ bool Service::SharedEligible(const Job& job) const {
         }());
     if (!tmpl.ok()) return true;
     const sql::PrepareStatement& p = *tmpl.ValueOrDie();
-    if (p.body->kind() != sql::StatementKind::kSelect) return false;
     if (MentionsSystemView(p.body_text)) return false;
-    const auto& sel = static_cast<const sql::SelectStatement&>(*p.body);
-    return !sel.explain && !sel.explain_analyze;
+    switch (p.body->kind()) {
+      case sql::StatementKind::kSelect: {
+        const auto& sel = static_cast<const sql::SelectStatement&>(*p.body);
+        return !sel.explain && !sel.explain_analyze;
+      }
+      case sql::StatementKind::kInsert:
+      case sql::StatementKind::kUpdate:
+      case sql::StatementKind::kDelete:
+        return true;  // same footing as direct DML
+      default:
+        return false;  // DDL-class templates keep the exclusive lane
+    }
   }
   // EXPLAIN ANALYZE writes the shared trace buffer; plain EXPLAIN only
   // plans, but the two share a head keyword — be conservative for both.
@@ -310,6 +325,7 @@ void Service::RunJob(Job& job) {
 
   ExecSettings settings = job.session->SnapshotSettings();
   settings.cancel = job.cancel.get();
+  settings.txn_slot = &job.session->txn;
 
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     if (SharedEligible(job)) {

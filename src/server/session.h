@@ -43,6 +43,11 @@ class Session {
 
   PreparedStore* prepared() { return &prepared_; }
 
+  /// Open transaction id (0 = autocommit). The service threads a pointer to
+  /// this slot into every statement's ExecSettings, so BEGIN/COMMIT/ROLLBACK
+  /// scope transactions to the session that issued them.
+  std::atomic<uint64_t> txn{0};
+
   // --- accounting (written by the service) ----------------------------
   std::atomic<uint64_t> statements{0};
   std::atomic<uint64_t> errors{0};

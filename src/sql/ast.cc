@@ -209,6 +209,18 @@ std::unique_ptr<Statement> ShowModelsStatement::Clone() const {
   return std::make_unique<ShowModelsStatement>();
 }
 
+std::unique_ptr<Statement> BeginStatement::Clone() const {
+  return std::make_unique<BeginStatement>();
+}
+
+std::unique_ptr<Statement> CommitStatement::Clone() const {
+  return std::make_unique<CommitStatement>();
+}
+
+std::unique_ptr<Statement> RollbackStatement::Clone() const {
+  return std::make_unique<RollbackStatement>();
+}
+
 std::unique_ptr<Statement> PrepareStatement::Clone() const {
   auto s = std::make_unique<PrepareStatement>();
   s->name = name;

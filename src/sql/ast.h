@@ -81,6 +81,7 @@ enum class StatementKind {
   kSelect, kInsert, kCreateTable, kCreateIndex, kDropIndex, kUpdate, kDelete,
   kAnalyze, kCreateModel, kShowModels, kDropTable,
   kPrepare, kExecute, kDeallocate,
+  kBegin, kCommit, kRollback,
 };
 
 struct Statement {
@@ -185,6 +186,24 @@ struct CreateModelStatement : Statement {
 struct ShowModelsStatement : Statement {
   std::unique_ptr<Statement> Clone() const override;
   StatementKind kind() const override { return StatementKind::kShowModels; }
+};
+
+/// BEGIN [TRANSACTION]: opens an explicit transaction on the session.
+struct BeginStatement : Statement {
+  std::unique_ptr<Statement> Clone() const override;
+  StatementKind kind() const override { return StatementKind::kBegin; }
+};
+
+/// COMMIT: commits the session's open transaction.
+struct CommitStatement : Statement {
+  std::unique_ptr<Statement> Clone() const override;
+  StatementKind kind() const override { return StatementKind::kCommit; }
+};
+
+/// ROLLBACK: rolls back the session's open transaction.
+struct RollbackStatement : Statement {
+  std::unique_ptr<Statement> Clone() const override;
+  StatementKind kind() const override { return StatementKind::kRollback; }
 };
 
 /// PREPARE name AS <statement with $1..$n placeholders>.

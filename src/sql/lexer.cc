@@ -17,6 +17,7 @@ const std::unordered_set<std::string>& Keywords() {
       "FEATURES", "TYPE", "DROP",    "COUNT",  "SUM",    "AVG",    "MIN",
       "MAX",    "BETWEEN", "IS",     "DISTINCT", "WITH", "OPTIONS", "SHOW",
       "MODELS", "EXPLAIN", "HAVING", "PREPARE", "EXECUTE", "DEALLOCATE",
+      "BEGIN",  "COMMIT",  "ROLLBACK", "TRANSACTION",
   };
   return kKeywords;
 }

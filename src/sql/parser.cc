@@ -72,6 +72,16 @@ Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
   if (Peek().IsKeyword("PREPARE")) return ParsePrepare();
   if (Peek().IsKeyword("EXECUTE")) return ParseExecute();
   if (Peek().IsKeyword("DEALLOCATE")) return ParseDeallocate();
+  if (Match("BEGIN")) {
+    Match("TRANSACTION");  // optional noise word
+    return std::unique_ptr<Statement>(std::make_unique<BeginStatement>());
+  }
+  if (Match("COMMIT")) {
+    return std::unique_ptr<Statement>(std::make_unique<CommitStatement>());
+  }
+  if (Match("ROLLBACK")) {
+    return std::unique_ptr<Statement>(std::make_unique<RollbackStatement>());
+  }
   return Status::ParseError("unknown statement start: '" + Peek().text + "'");
 }
 
@@ -89,6 +99,11 @@ Result<std::unique_ptr<Statement>> Parser::ParsePrepare() {
       return Status::ParseError(
           "PREPARE body must be a plain statement, not PREPARE/EXECUTE/"
           "DEALLOCATE");
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return Status::ParseError(
+          "PREPARE body must be a plain statement, not transaction control");
     default:
       break;
   }

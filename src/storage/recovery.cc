@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 
 #include "common/timer.h"
 #include "sql/ast.h"
@@ -36,12 +37,11 @@ Status ApplyRecord(const WalRecord& rec, Catalog* catalog,
       Table* t = nullptr;
       AIDB_ASSIGN_OR_RETURN(t, catalog->GetTable(p.table));
       for (size_t i = 0; i < p.rows.size(); ++i) {
-        RowId id = 0;
-        AIDB_ASSIGN_OR_RETURN(id, t->Insert(p.rows[i]));
-        if (id != p.first_row_id + i)
-          return Status::Internal("recovery: replayed insert landed in slot " +
-                                  std::to_string(id) + ", WAL says " +
-                                  std::to_string(p.first_row_id + i));
+        // Replay runs in commit order, which may differ from the execution
+        // order that assigned slots when transactions interleaved: place
+        // each row at its recorded slot (later records address rows by id).
+        RowId id = p.first_row_id + i;
+        AIDB_RETURN_NOT_OK(t->InsertAtSlot(id, p.rows[i]));
         catalog->OnInsert(p.table, id, p.rows[i]);
       }
       return Status::OK();
@@ -93,7 +93,9 @@ Status ApplyRecord(const WalRecord& rec, Catalog* catalog,
       return catalog->DropIndex(index);
     }
     case WalRecordType::kCommit:
-      return Status::Internal("recovery: COMMIT reached ApplyRecord");
+    case WalRecordType::kTxnOp:
+    case WalRecordType::kTxnAbort:
+      return Status::Internal("recovery: control record reached ApplyRecord");
   }
   return Status::Internal("recovery: unknown record type");
 }
@@ -121,40 +123,80 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir, Catalog* catalog,
   stats.records_scanned = scan.records.size();
   stats.tail_truncated = scan.tail_torn;
 
-  uint64_t max_lsn = stats.snapshot_lsn;
-  uint64_t applied_bytes_end = 0;  // offset just past the last applied COMMIT
-  std::vector<const WalRecord*> pending;
+  uint64_t applied_bytes_end = 0;  // offset just past the last resolved record
+  uint64_t applied_max_lsn = stats.snapshot_lsn;  // lsn of that record
+  // Records buffered per transaction until a COMMIT/ABORT resolves them.
+  // Key 0 holds legacy bare records (pre-txn-tagging logs), applied at the
+  // next COMMIT whatever its transaction id — those logs are serial.
+  std::map<txn::TxnId, std::vector<WalRecord>> pending;
   uint64_t offset = 0;
   for (const WalRecord& rec : scan.records) {
     // Reconstruct each frame's extent to know where committed data ends.
     uint64_t frame_end = offset + 8 + 9 + rec.payload.size();
     offset = frame_end;
-    max_lsn = std::max(max_lsn, rec.lsn);
     if (rec.lsn <= stats.snapshot_lsn) {
       // Pre-checkpoint leftovers (crash between snapshot rename and WAL
       // reset): already folded into the snapshot, skip but keep on disk.
       applied_bytes_end = frame_end;
+      applied_max_lsn = std::max(applied_max_lsn, rec.lsn);
       continue;
     }
-    if (rec.type != WalRecordType::kCommit) {
-      pending.push_back(&rec);
-      continue;
+    switch (rec.type) {
+      case WalRecordType::kTxnOp: {
+        TxnOpPayload p;
+        AIDB_ASSIGN_OR_RETURN(p, DecodeTxnOp(rec.payload));
+        WalRecord inner;
+        inner.lsn = rec.lsn;
+        inner.type = p.inner_type;
+        inner.payload = std::move(p.inner_payload);
+        pending[p.txn].push_back(std::move(inner));
+        continue;
+      }
+      case WalRecordType::kTxnAbort: {
+        txn::TxnId txn = 0;
+        AIDB_ASSIGN_OR_RETURN(txn, DecodeTxnAbort(rec.payload));
+        auto it = pending.find(txn);
+        if (it != pending.end()) {
+          pending.erase(it);
+        }
+        stats.next_txn_id = std::max(stats.next_txn_id, txn + 1);
+        // The abort resolves everything this transaction logged; keeping the
+        // record (rather than truncating it away) keeps those earlier ops
+        // dead on every future recovery too.
+        applied_bytes_end = frame_end;
+        applied_max_lsn = std::max(applied_max_lsn, rec.lsn);
+        continue;
+      }
+      case WalRecordType::kCommit:
+        break;  // handled below
+      default:
+        pending[txn::kInvalidTxnId].push_back(rec);
+        continue;
     }
     txn::TxnId txn = 0;
     AIDB_ASSIGN_OR_RETURN(txn, DecodeCommit(rec.payload));
-    for (const WalRecord* r : pending) {
-      AIDB_RETURN_NOT_OK(ApplyRecord(*r, catalog, models));
-      ++stats.records_replayed;
+    for (txn::TxnId key : {txn::kInvalidTxnId, txn}) {
+      auto it = pending.find(key);
+      if (it == pending.end()) continue;
+      for (const WalRecord& r : it->second) {
+        AIDB_RETURN_NOT_OK(ApplyRecord(r, catalog, models));
+        ++stats.records_replayed;
+      }
+      pending.erase(it);
     }
-    pending.clear();
     ++stats.commits_applied;
     stats.next_txn_id = std::max(stats.next_txn_id, txn + 1);
     applied_bytes_end = frame_end;
+    applied_max_lsn = std::max(applied_max_lsn, rec.lsn);
   }
 
   // Cut the tail: torn/corrupt bytes and valid-but-uncommitted records alike
   // are dead (their transaction never committed and must not resurrect once
-  // new records are appended after them).
+  // new records are appended after them). Ops of open transactions that are
+  // interleaved BEFORE the last resolved record stay on disk; they re-enter
+  // pending on every scan and die unresolved every time (their transaction
+  // ids are never reused).
+  uint64_t max_lsn = applied_max_lsn;
   if (applied_bytes_end < scan.file_bytes) {
     stats.truncated_bytes = scan.file_bytes - applied_bytes_end;
     stats.tail_truncated = true;
@@ -164,8 +206,9 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir, Catalog* catalog,
       if (ec)
         return Status::Internal("recovery: truncate WAL: " + ec.message());
     }
-    // LSNs of discarded records are recycled by the writer.
-    if (!pending.empty()) max_lsn = pending.front()->lsn - 1;
+    // LSNs of the discarded records are recycled by the writer.
+  } else if (!scan.records.empty()) {
+    max_lsn = std::max(max_lsn, scan.records.back().lsn);
   }
 
   stats.next_lsn = max_lsn + 1;

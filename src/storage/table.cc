@@ -2,9 +2,38 @@
 
 namespace aidb {
 
+namespace {
+
+using txn::IsMarker;
+using txn::kAbortedTs;
+using txn::kBootstrapTs;
+using txn::kInfinityTs;
+using txn::kMaxCommitTs;
+using txn::MarkerFor;
+
+void FreeChain(Version* v) {
+  while (v != nullptr) {
+    Version* next = v->older.load(std::memory_order_relaxed);
+    delete v;
+    v = next;
+  }
+}
+
+}  // namespace
+
 uint64_t Table::NextUid() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Table::~Table() {
+  size_t slots = num_slots_.load(std::memory_order_acquire);
+  for (RowId id = 0; id < slots; ++id) {
+    FreeChain(SlotFor(id)->head.load(std::memory_order_acquire));
+  }
+  for (auto& seg : segments_) {
+    delete[] seg.load(std::memory_order_acquire);
+  }
 }
 
 Status Table::ValidateRow(const Tuple& row) const {
@@ -27,34 +56,383 @@ Status Table::ValidateRow(const Tuple& row) const {
   return Status::OK();
 }
 
+Result<RowId> Table::AllocateSlot(Version* head) {
+  RowId id = num_slots_.load(std::memory_order_relaxed);
+  size_t k = SegmentOf(id);
+  if (k >= kNumSegments) {
+    delete head;
+    return Status::OutOfRange("table " + name_ + " slot space exhausted");
+  }
+  if (segments_[k].load(std::memory_order_relaxed) == nullptr) {
+    segments_[k].store(new Slot[kSegBase << k], std::memory_order_release);
+  }
+  Slot* s = segments_[k].load(std::memory_order_relaxed) + (id - SegmentBase(k));
+  s->head.store(head, std::memory_order_relaxed);
+  // Publication point: the acquire load in NumSlots() makes the segment
+  // pointer and the head store above visible to any reader that sees `id`
+  // in range.
+  num_slots_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+const Version* Table::VisibleVersion(RowId id,
+                                     const txn::Snapshot& snap) const {
+  if (id >= NumSlots()) return nullptr;
+  const Version* v = SlotFor(id)->head.load(std::memory_order_acquire);
+  while (v != nullptr) {
+    uint64_t b = v->begin_ts.load(std::memory_order_acquire);
+    bool begun = b <= snap.read_ts ||
+                 (snap.txn != txn::kInvalidTxnId && b == MarkerFor(snap.txn));
+    if (!begun) {
+      // Not yet committed for this snapshot (another txn's marker, a later
+      // commit, or an aborted leftover): look deeper.
+      v = v->older.load(std::memory_order_acquire);
+      continue;
+    }
+    // First begun version decides: every older version was ended no later
+    // than this one began.
+    uint64_t e = v->end_ts.load(std::memory_order_acquire);
+    bool ended = e <= snap.read_ts ||
+                 (snap.txn != txn::kInvalidTxnId && e == MarkerFor(snap.txn));
+    return ended ? nullptr : v;
+  }
+  return nullptr;
+}
+
+// --- Bootstrap writes -------------------------------------------------------
+
 Result<RowId> Table::Insert(Tuple row) {
   AIDB_RETURN_NOT_OK(ValidateRow(row));
-  rows_.push_back(std::move(row));
-  deleted_.push_back(false);
-  ++live_count_;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  auto* v = new Version(std::move(row), kBootstrapTs, kInfinityTs);
+  Result<RowId> id = AllocateSlot(v);
+  if (!id.ok()) return id;
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  NoteCommitTs(kBootstrapTs);
   BumpDataVersion();
-  return static_cast<RowId>(rows_.size() - 1);
+  return id;
+}
+
+Status Table::InsertAtSlot(RowId id, Tuple row) {
+  AIDB_RETURN_NOT_OK(ValidateRow(row));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  while (NumSlots() < id) {
+    AIDB_RETURN_NOT_OK(AllocateSlot(nullptr).status());
+  }
+  if (NumSlots() == id) {
+    auto* v = new Version(std::move(row), kBootstrapTs, kInfinityTs);
+    AIDB_RETURN_NOT_OK(AllocateSlot(v).status());
+  } else {
+    Slot* s = SlotFor(id);
+    if (s->head.load(std::memory_order_relaxed) != nullptr) {
+      return Status::Internal("insert at slot " + std::to_string(id) + " in " +
+                              name_ + ": slot already occupied");
+    }
+    s->head.store(new Version(std::move(row), kBootstrapTs, kInfinityTs),
+                  std::memory_order_release);
+  }
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  NoteCommitTs(kBootstrapTs);
+  BumpDataVersion();
+  return Status::OK();
+}
+
+RowId Table::AppendTombstone() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Result<RowId> id = AllocateSlot(nullptr);
+  BumpDataVersion();
+  return id.ok() ? id.ValueOrDie() : NumSlots();
 }
 
 Result<Tuple> Table::Get(RowId id) const {
-  if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
-  return rows_[id];
+  const Version* v = VisibleVersion(id, txn::Snapshot{});
+  if (v == nullptr) return Status::NotFound("row " + std::to_string(id));
+  return v->data;
 }
 
 Status Table::Delete(RowId id) {
-  if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
-  deleted_[id] = true;
-  --live_count_;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Version* h = id < NumSlots()
+                   ? SlotFor(id)->head.load(std::memory_order_acquire)
+                   : nullptr;
+  const Version* vis = VisibleVersion(id, txn::Snapshot{});
+  if (vis == nullptr || h == nullptr) {
+    return Status::NotFound("row " + std::to_string(id));
+  }
+  // Bootstrap callers never race transactions; the visible version is the
+  // head (or the head is a newer bootstrap version over it — end the head).
+  h->end_ts.store(kBootstrapTs, std::memory_order_release);
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
   BumpDataVersion();
   return Status::OK();
 }
 
 Status Table::Update(RowId id, Tuple row) {
-  if (!IsLive(id)) return Status::NotFound("row " + std::to_string(id));
   AIDB_RETURN_NOT_OK(ValidateRow(row));
-  rows_[id] = std::move(row);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Version* h = id < NumSlots()
+                   ? SlotFor(id)->head.load(std::memory_order_acquire)
+                   : nullptr;
+  if (h == nullptr || VisibleVersion(id, txn::Snapshot{}) == nullptr) {
+    return Status::NotFound("row " + std::to_string(id));
+  }
+  auto* nv = new Version(std::move(row), kBootstrapTs, kInfinityTs);
+  nv->older.store(h, std::memory_order_relaxed);
+  h->end_ts.store(kBootstrapTs, std::memory_order_release);
+  SlotFor(id)->head.store(nv, std::memory_order_release);
   BumpDataVersion();
   return Status::OK();
+}
+
+// --- Transactional writes ---------------------------------------------------
+
+Result<RowId> Table::InsertTxn(Tuple row, txn::TxnId t, txn::TxnWrite* undo) {
+  AIDB_RETURN_NOT_OK(ValidateRow(row));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  auto* v = new Version(std::move(row), MarkerFor(t), kInfinityTs);
+  Result<RowId> id = AllocateSlot(v);
+  if (!id.ok()) return id;
+  uncommitted_writes_.fetch_add(1, std::memory_order_release);
+  undo->table = this;
+  undo->table_uid = uid_;
+  undo->table_name = name_;
+  undo->row = id.ValueOrDie();
+  undo->kind = txn::TxnWrite::Kind::kInsert;
+  undo->version = v;
+  return id;
+}
+
+namespace {
+
+/// Classifies the head version of a slot for a writer in `snap`. Returns OK
+/// when the write may proceed, kAborted on a first-committer-wins conflict,
+/// kNotFound when the row is not writable-visible (deleted / never existed).
+Status CheckWritable(const Version* h, const txn::Snapshot& snap,
+                     const std::string& table, uint64_t row) {
+  auto not_found = [&] {
+    return Status::NotFound("row " + std::to_string(row) + " in " + table);
+  };
+  auto conflict = [&] {
+    return Status::Aborted("write-write conflict on " + table + " row " +
+                           std::to_string(row) +
+                           " (concurrent transaction wrote it first)");
+  };
+  if (h == nullptr) return not_found();
+  uint64_t my = MarkerFor(snap.txn);
+  uint64_t b = h->begin_ts.load(std::memory_order_acquire);
+  uint64_t e = h->end_ts.load(std::memory_order_acquire);
+  if (b == kAbortedTs) return not_found();  // rolled-back insert leftover
+  if (IsMarker(b) && b != my) {
+    // Another transaction's uncommitted insert/update heads the slot. Its
+    // row was never visible to us, so from our side this is a conflict on
+    // the slot (it holds the row lock anyway — we cannot get here with the
+    // lock held unless hashes collided).
+    return conflict();
+  }
+  if (e == my) return not_found();  // we already deleted it this txn
+  if (IsMarker(e) && e != kInfinityTs) return conflict();  // their delete
+  if (e <= kMaxCommitTs) {
+    // Committed delete: after our snapshot → FCW conflict; before it the
+    // row simply is not there for us.
+    return e > snap.read_ts ? conflict() : not_found();
+  }
+  if (b != my && b > snap.read_ts) {
+    // Committed after we took our snapshot: first committer wins.
+    return conflict();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Table::UpdateTxn(RowId id, Tuple row, const txn::Snapshot& snap,
+                        txn::TxnWrite* undo) {
+  AIDB_RETURN_NOT_OK(ValidateRow(row));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (id >= NumSlots()) return Status::NotFound("row " + std::to_string(id));
+  Slot* s = SlotFor(id);
+  Version* h = s->head.load(std::memory_order_acquire);
+  AIDB_RETURN_NOT_OK(CheckWritable(h, snap, name_, id));
+  auto* nv = new Version(std::move(row), MarkerFor(snap.txn), kInfinityTs);
+  nv->older.store(h, std::memory_order_relaxed);
+  h->end_ts.store(MarkerFor(snap.txn), std::memory_order_release);
+  s->head.store(nv, std::memory_order_release);
+  uncommitted_writes_.fetch_add(1, std::memory_order_release);
+  undo->table = this;
+  undo->table_uid = uid_;
+  undo->table_name = name_;
+  undo->row = id;
+  undo->kind = txn::TxnWrite::Kind::kUpdate;
+  undo->version = nv;
+  return Status::OK();
+}
+
+Status Table::DeleteTxn(RowId id, const txn::Snapshot& snap,
+                        txn::TxnWrite* undo) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (id >= NumSlots()) return Status::NotFound("row " + std::to_string(id));
+  Slot* s = SlotFor(id);
+  Version* h = s->head.load(std::memory_order_acquire);
+  AIDB_RETURN_NOT_OK(CheckWritable(h, snap, name_, id));
+  h->end_ts.store(MarkerFor(snap.txn), std::memory_order_release);
+  uncommitted_writes_.fetch_add(1, std::memory_order_release);
+  undo->table = this;
+  undo->table_uid = uid_;
+  undo->table_name = name_;
+  undo->row = id;
+  undo->kind = txn::TxnWrite::Kind::kDelete;
+  undo->version = h;
+  return Status::OK();
+}
+
+void Table::StampCommit(const txn::TxnWrite& w, uint64_t cts) {
+  switch (w.kind) {
+    case txn::TxnWrite::Kind::kInsert:
+      w.version->begin_ts.store(cts, std::memory_order_release);
+      live_count_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case txn::TxnWrite::Kind::kUpdate: {
+      Version* old = w.version->older.load(std::memory_order_acquire);
+      if (old != nullptr) old->end_ts.store(cts, std::memory_order_release);
+      w.version->begin_ts.store(cts, std::memory_order_release);
+      break;
+    }
+    case txn::TxnWrite::Kind::kDelete:
+      w.version->end_ts.store(cts, std::memory_order_release);
+      live_count_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+  }
+  uncommitted_writes_.fetch_sub(1, std::memory_order_release);
+  NoteCommitTs(cts);
+  BumpDataVersion();
+}
+
+void Table::UndoWrite(const txn::TxnWrite& w,
+                      const std::function<void(Version*)>& retire) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  switch (w.kind) {
+    case txn::TxnWrite::Kind::kInsert: {
+      w.version->begin_ts.store(kAbortedTs, std::memory_order_release);
+      // Best-effort slot reclamation: if the aborted insert sits at the tail
+      // (the common serial case), pop it — and any stacked aborted inserts
+      // under it — so the slot layout matches a history in which the insert
+      // never happened (the crash-recovery oracle replays such a history).
+      while (true) {
+        size_t n = num_slots_.load(std::memory_order_relaxed);
+        if (n == 0) break;
+        Slot* s = SlotFor(n - 1);
+        Version* h = s->head.load(std::memory_order_acquire);
+        if (h == nullptr ||
+            h->begin_ts.load(std::memory_order_acquire) != kAbortedTs ||
+            h->older.load(std::memory_order_acquire) != nullptr) {
+          break;
+        }
+        s->head.store(nullptr, std::memory_order_release);
+        retire(h);
+        num_slots_.store(n - 1, std::memory_order_release);
+      }
+      break;
+    }
+    case txn::TxnWrite::Kind::kUpdate: {
+      Slot* s = SlotFor(w.row);
+      Version* old = w.version->older.load(std::memory_order_acquire);
+      if (old != nullptr) {
+        old->end_ts.store(kInfinityTs, std::memory_order_release);
+      }
+      if (s->head.load(std::memory_order_acquire) == w.version) {
+        s->head.store(old, std::memory_order_release);
+      } else {
+        // Defensive: find and unlink (cannot happen while the undo log is
+        // processed newest-first under the row lock).
+        Version* p = s->head.load(std::memory_order_acquire);
+        while (p != nullptr &&
+               p->older.load(std::memory_order_acquire) != w.version) {
+          p = p->older.load(std::memory_order_acquire);
+        }
+        if (p != nullptr) p->older.store(old, std::memory_order_release);
+      }
+      w.version->begin_ts.store(kAbortedTs, std::memory_order_release);
+      retire(w.version);
+      break;
+    }
+    case txn::TxnWrite::Kind::kDelete:
+      w.version->end_ts.store(kInfinityTs, std::memory_order_release);
+      break;
+  }
+  uncommitted_writes_.fetch_sub(1, std::memory_order_release);
+  BumpDataVersion();
+}
+
+size_t Table::Vacuum(uint64_t watermark,
+                     const std::function<void(Version*)>& retire) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  size_t removed = 0;
+  size_t slots = num_slots_.load(std::memory_order_relaxed);
+  auto retire_chain = [&](Version* v) {
+    while (v != nullptr) {
+      Version* next = v->older.load(std::memory_order_relaxed);
+      retire(v);
+      ++removed;
+      v = next;
+    }
+  };
+  for (RowId id = 0; id < slots; ++id) {
+    Slot* s = SlotFor(id);
+    // Walk to the newest version whose begin committed at or before the
+    // watermark; every active or future snapshot decides at or above it.
+    // Aborted leftovers met on the way are unlinked immediately.
+    Version* prev = nullptr;
+    Version* v = s->head.load(std::memory_order_acquire);
+    while (v != nullptr) {
+      uint64_t b = v->begin_ts.load(std::memory_order_acquire);
+      if (b == kAbortedTs) {
+        Version* next = v->older.load(std::memory_order_acquire);
+        if (prev != nullptr) {
+          prev->older.store(next, std::memory_order_release);
+        } else {
+          s->head.store(next, std::memory_order_release);
+        }
+        retire(v);
+        ++removed;
+        v = next;
+        continue;
+      }
+      if (!IsMarker(b) && b <= watermark) break;
+      prev = v;
+      v = v->older.load(std::memory_order_acquire);
+    }
+    if (v == nullptr) continue;
+    uint64_t e = v->end_ts.load(std::memory_order_acquire);
+    if (!IsMarker(e) && e <= watermark) {
+      // Even the watermark version ended before every live snapshot: the
+      // whole suffix from v down is invisible to everyone.
+      if (prev != nullptr) {
+        prev->older.store(nullptr, std::memory_order_release);
+      } else {
+        s->head.store(nullptr, std::memory_order_release);
+      }
+      retire_chain(v);
+    } else {
+      retire_chain(v->older.exchange(nullptr, std::memory_order_acq_rel));
+    }
+  }
+  // No data_version bump: vacuum only removes versions invisible to every
+  // live snapshot, so the committed-visible contents are unchanged and
+  // column-cache mirrors stay valid.
+  return removed;
+}
+
+size_t Table::CountVersions() const {
+  size_t n = 0;
+  size_t slots = num_slots_.load(std::memory_order_acquire);
+  for (RowId id = 0; id < slots; ++id) {
+    const Version* v = SlotFor(id)->head.load(std::memory_order_acquire);
+    while (v != nullptr) {
+      ++n;
+      v = v->older.load(std::memory_order_acquire);
+    }
+  }
+  return n;
 }
 
 }  // namespace aidb

@@ -1,29 +1,74 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/schema.h"
+#include "txn/types.h"
 
 namespace aidb {
 
-/// \brief Slotted in-memory row store.
+/// \brief One tuple version in a slot's newest-first version chain.
 ///
-/// Rows live in insertion slots; deletes tombstone the slot so RowIds stay
-/// stable for indexes. The table tracks logical "page" counts (rows per page
-/// is fixed) so the optimizer's cost model can charge I/O the way a disk-
-/// based engine would.
+/// `data` is immutable after the version is published; only the timestamp
+/// atomics and the chain link change afterwards (commit stamping, rollback,
+/// GC unlinking). Readers therefore never need a lock: they walk `head ->
+/// older -> ...` through atomic loads and apply txn::Snapshot::Sees to the
+/// stamps they find.
+struct Version {
+  Tuple data;
+  std::atomic<uint64_t> begin_ts;
+  std::atomic<uint64_t> end_ts;
+  std::atomic<Version*> older{nullptr};
+
+  Version(Tuple d, uint64_t b, uint64_t e)
+      : data(std::move(d)), begin_ts(b), end_ts(e) {}
+};
+
+/// \brief Multi-versioned slotted in-memory row store (MVCC).
+///
+/// Rows live in insertion slots; a slot holds a newest-first chain of
+/// `Version` nodes stamped with [begin_ts, end_ts) validity intervals (see
+/// txn/types.h for the timestamp space). RowIds are slot numbers and stay
+/// stable for indexes; a "deleted" row is a version whose end_ts committed,
+/// and a slot that never had a committed version reads as dead.
+///
+/// Concurrency model:
+///  - Readers are lock-free: slot lookup goes through a fixed segment
+///    directory (segments are never reallocated, so no pointer ever moves),
+///    `num_slots_` is release-published after the slot's head version is in
+///    place, and chain walks are acquire loads. Version nodes unlinked by
+///    rollback or GC are handed to a retire callback and must outlive any
+///    concurrent walker (the TransactionManager's serial-fenced retire list).
+///  - Writers (transactional and bootstrap alike) serialize on `write_mu_`.
+///    Commit stamping (StampCommit) intentionally does NOT take `write_mu_`:
+///    it only flips timestamp atomics on versions the committing transaction
+///    owns, and the TransactionManager's commit lock already serializes
+///    commits against each other.
+///
+/// The legacy non-transactional API (Insert/Update/Delete/IsLive/RowAt/
+/// ForEach/ScanRange) is preserved with "latest committed state" semantics:
+/// bootstrap writes stamp txn::kBootstrapTs, so recovery replay, snapshot
+/// restore and direct-API tests behave exactly as the single-version store
+/// did.
 class Table {
  public:
   static constexpr size_t kRowsPerPage = 64;
 
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)), uid_(NextUid()) {}
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -33,30 +78,20 @@ class Table {
   /// keyed by uid can never alias stale data onto a recreated table.
   uint64_t uid() const { return uid_; }
 
-  /// Data-change counter: bumped by every successful Insert/Delete/Update and
-  /// by AppendTombstone. Version-stamped derived structures (the vectorized
-  /// engine's column cache) compare it to detect staleness. Atomic so
-  /// concurrent readers may poll it; mutators themselves still require
-  /// external exclusion (the service's writer lock), like every other
-  /// Table mutation.
+  /// Data-change counter: bumped whenever the committed-visible contents can
+  /// have changed (bootstrap writes, commit stamping, rollback slot
+  /// reclamation). Version-stamped derived structures (the vectorized
+  /// engine's column cache) compare it to detect staleness.
   uint64_t data_version() const {
     return data_version_.load(std::memory_order_acquire);
   }
 
+  // --- Non-transactional (bootstrap) writes --------------------------------
+  // Stamped txn::kBootstrapTs, i.e. committed-for-everyone immediately.
+  // Recovery replay, snapshot restore and tests use these.
+
   /// Appends a row; validates arity and types (NULL always allowed).
   Result<RowId> Insert(Tuple row);
-
-  /// Arity/type check without inserting. Multi-row INSERT validates every
-  /// row up front so a bad row cannot leave a statement half-applied.
-  Status ValidateRow(const Tuple& row) const;
-
-  /// Fetches a live row.
-  Result<Tuple> Get(RowId id) const;
-  /// True if the slot exists and is not deleted.
-  bool IsLive(RowId id) const {
-    return id < rows_.size() && !deleted_[id];
-  }
-
   Status Delete(RowId id);
   Status Update(RowId id, Tuple row);
 
@@ -64,55 +99,201 @@ class Table {
   /// the exact slot layout (RowIds are slot numbers, and WAL records replayed
   /// on top of a snapshot address rows by RowId), without retaining the dead
   /// tuple's bytes.
-  RowId AppendTombstone() {
-    rows_.emplace_back();
-    deleted_.push_back(true);
-    BumpDataVersion();
-    return rows_.size() - 1;
+  RowId AppendTombstone();
+
+  /// Places a committed row at exactly slot `id`, padding any gap below it
+  /// with tombstones. Recovery replays inserts in commit order, which can
+  /// differ from the execution order that assigned the slots when
+  /// transactions interleaved — the recorded id, not append order, is
+  /// authoritative (later update/delete records address it). Gap slots are
+  /// either filled by a not-yet-replayed commit or stay dead, exactly
+  /// mirroring aborted-insert holes in the pre-crash table. Errors if the
+  /// slot is already occupied.
+  Status InsertAtSlot(RowId id, Tuple row);
+
+  /// Arity/type check without inserting. Multi-row INSERT validates every
+  /// row up front so a bad row cannot leave a statement half-applied.
+  Status ValidateRow(const Tuple& row) const;
+
+  // --- Transactional writes ------------------------------------------------
+  // Callers hold the row lock (TransactionManager::TryRowLock) before
+  // Update/Delete; on success `*undo` describes how to commit-stamp or roll
+  // the write back and must be recorded in the transaction's undo log.
+  // A Status::kAborted return is a first-committer-wins write-write conflict:
+  // the whole transaction must roll back.
+
+  Result<RowId> InsertTxn(Tuple row, txn::TxnId t, txn::TxnWrite* undo);
+  Status UpdateTxn(RowId id, Tuple row, const txn::Snapshot& snap,
+                   txn::TxnWrite* undo);
+  Status DeleteTxn(RowId id, const txn::Snapshot& snap, txn::TxnWrite* undo);
+
+  /// Stamps one undo entry's version(s) with commit timestamp `cts`. Called
+  /// under the TransactionManager's commit lock; does not take write_mu_.
+  void StampCommit(const txn::TxnWrite& w, uint64_t cts);
+
+  /// Reverses one undo entry (newest-first order across the transaction's
+  /// log). Unlinked version nodes go to `retire` — the caller must keep them
+  /// alive until no concurrent chain walker can still reference them.
+  void UndoWrite(const txn::TxnWrite& w,
+                 const std::function<void(Version*)>& retire);
+
+  // --- Reads ---------------------------------------------------------------
+
+  /// Fetches the latest committed row.
+  Result<Tuple> Get(RowId id) const;
+
+  /// True if the slot has a version visible to the latest-committed snapshot.
+  bool IsLive(RowId id) const {
+    return VisibleVersion(id, txn::Snapshot{}) != nullptr;
+  }
+  bool IsVisible(RowId id, const txn::Snapshot& snap) const {
+    return VisibleVersion(id, snap) != nullptr;
   }
 
-  /// Number of live rows.
-  size_t NumRows() const { return live_count_; }
+  /// The snapshot-visible tuple of a slot, or nullptr when no version is
+  /// visible. The pointee stays valid for the duration of the reader's
+  /// retire-list registration (or, for non-concurrent callers, until the
+  /// next write to the table).
+  const Tuple* VisibleAt(RowId id, const txn::Snapshot& snap) const {
+    const Version* v = VisibleVersion(id, snap);
+    return v != nullptr ? &v->data : nullptr;
+  }
+
+  /// Direct slot access for scans; caller must check IsLive first (returns
+  /// an empty tuple for dead slots).
+  const Tuple& RowAt(RowId id) const {
+    const Version* v = VisibleVersion(id, txn::Snapshot{});
+    if (v != nullptr) return v->data;
+    static const Tuple kDead;
+    return kDead;
+  }
+
+  /// Number of committed live rows (approximate while transactions are in
+  /// flight; exact when quiescent). Cost modeling / planner input.
+  size_t NumRows() const {
+    int64_t n = live_count_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
   /// Number of slots, including tombstones (scan upper bound).
-  size_t NumSlots() const { return rows_.size(); }
+  size_t NumSlots() const { return num_slots_.load(std::memory_order_acquire); }
   /// Logical pages occupied (for cost modeling).
-  size_t NumPages() const { return (rows_.size() + kRowsPerPage - 1) / kRowsPerPage; }
+  size_t NumPages() const {
+    return (NumSlots() + kRowsPerPage - 1) / kRowsPerPage;
+  }
 
-  /// Direct slot access for scans; caller must check IsLive.
-  const Tuple& RowAt(RowId id) const { return rows_[id]; }
+  /// Invokes fn(id, row) for every row visible to `snap`.
+  template <typename Fn>
+  void ForEachVisible(const txn::Snapshot& snap, Fn&& fn) const {
+    ScanRangeVisible(0, NumSlots(), snap, std::forward<Fn>(fn));
+  }
 
-  /// Invokes fn(id, row) for every live row.
+  /// Invokes fn(id, row) for every latest-committed live row.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (RowId id = 0; id < rows_.size(); ++id) {
-      if (!deleted_[id]) fn(id, rows_[id]);
+    ForEachVisible(txn::Snapshot{}, std::forward<Fn>(fn));
+  }
+
+  /// Invokes fn(id, row) for rows visible to `snap` with id in [begin, end)
+  /// — the morsel primitive of the parallel executor. Concurrent calls over
+  /// any ranges are safe, including against concurrent committers.
+  template <typename Fn>
+  void ScanRangeVisible(RowId begin, RowId end, const txn::Snapshot& snap,
+                        Fn&& fn) const {
+    RowId limit = std::min<RowId>(end, NumSlots());
+    for (RowId id = begin; id < limit; ++id) {
+      const Version* v = VisibleVersion(id, snap);
+      if (v != nullptr) fn(id, v->data);
     }
   }
 
-  /// Invokes fn(id, row) for live rows with id in [begin, end) — the morsel
-  /// primitive of the parallel executor. Concurrent calls over any ranges
-  /// are safe as long as no writer is active (reads only).
+  /// Latest-committed ScanRangeVisible.
   template <typename Fn>
   void ScanRange(RowId begin, RowId end, Fn&& fn) const {
-    RowId limit = std::min<RowId>(end, rows_.size());
-    for (RowId id = begin; id < limit; ++id) {
-      if (!deleted_[id]) fn(id, rows_[id]);
-    }
+    ScanRangeVisible(begin, end, txn::Snapshot{}, std::forward<Fn>(fn));
   }
 
+  // --- MVCC bookkeeping ----------------------------------------------------
+
+  /// Undo entries written but not yet committed or rolled back.
+  uint64_t uncommitted_writes() const {
+    return uncommitted_writes_.load(std::memory_order_acquire);
+  }
+  /// Largest commit timestamp ever stamped into this table.
+  uint64_t max_commit_ts() const {
+    return max_commit_ts_.load(std::memory_order_acquire);
+  }
+  /// True when the latest-committed state *is* the state `snap` sees: no
+  /// in-flight writes and nothing committed after snap.read_ts. Gates the
+  /// column-cache mirror, which always materializes latest-committed data.
+  bool QuiescentFor(const txn::Snapshot& snap) const {
+    return uncommitted_writes() == 0 && max_commit_ts() <= snap.read_ts;
+  }
+
+  /// Unlinks version nodes no snapshot at or after `watermark` can see
+  /// (including aborted leftovers), handing each to `retire`. Returns the
+  /// number of versions unlinked. Safe against concurrent readers; excludes
+  /// writers via write_mu_.
+  size_t Vacuum(uint64_t watermark,
+                const std::function<void(Version*)>& retire);
+
+  /// Total version nodes currently reachable (observability; O(slots)).
+  size_t CountVersions() const;
+
  private:
+  // Fixed segment directory: segment k holds (kSegBase << k) slots, so 22
+  // segments cover ~4.3B rows while slot addresses never move (readers keep
+  // raw Slot pointers across growth).
+  static constexpr size_t kSegBaseLog2 = 10;
+  static constexpr size_t kSegBase = 1ull << kSegBaseLog2;
+  static constexpr size_t kNumSegments = 22;
+
+  struct Slot {
+    std::atomic<Version*> head{nullptr};
+  };
+
   static uint64_t NextUid();
+
+  static size_t SegmentOf(RowId id) {
+    return 63 - static_cast<size_t>(
+                    __builtin_clzll((id >> kSegBaseLog2) + 1));
+  }
+  static RowId SegmentBase(size_t k) {
+    return ((RowId{1} << k) - 1) << kSegBaseLog2;
+  }
+
+  Slot* SlotFor(RowId id) const {
+    size_t k = SegmentOf(id);
+    return segments_[k].load(std::memory_order_acquire) + (id - SegmentBase(k));
+  }
+
+  /// Appends a slot whose head is `head` (may be null for tombstone slots).
+  /// Caller holds write_mu_; publication is the release store of num_slots_.
+  Result<RowId> AllocateSlot(Version* head);
+
+  const Version* VisibleVersion(RowId id, const txn::Snapshot& snap) const;
+
   void BumpDataVersion() {
     data_version_.fetch_add(1, std::memory_order_release);
+  }
+  void NoteCommitTs(uint64_t cts) {
+    uint64_t cur = max_commit_ts_.load(std::memory_order_relaxed);
+    while (cur < cts && !max_commit_ts_.compare_exchange_weak(
+                            cur, cts, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+    }
   }
 
   std::string name_;
   Schema schema_;
   uint64_t uid_;
   std::atomic<uint64_t> data_version_{0};
-  std::vector<Tuple> rows_;
-  std::vector<bool> deleted_;
-  size_t live_count_ = 0;
+
+  mutable std::mutex write_mu_;
+  std::array<std::atomic<Slot*>, kNumSegments> segments_{};
+  std::atomic<size_t> num_slots_{0};
+  std::atomic<int64_t> live_count_{0};
+  std::atomic<uint64_t> uncommitted_writes_{0};
+  std::atomic<uint64_t> max_commit_ts_{0};
 };
 
 }  // namespace aidb

@@ -22,6 +22,8 @@ const char* WalRecordTypeName(WalRecordType t) {
     case WalRecordType::kCommit: return "COMMIT";
     case WalRecordType::kCreateIndex: return "CREATE_INDEX";
     case WalRecordType::kDropIndex: return "DROP_INDEX";
+    case WalRecordType::kTxnOp: return "TXN_OP";
+    case WalRecordType::kTxnAbort: return "TXN_ABORT";
   }
   return "?";
 }
@@ -98,6 +100,20 @@ std::string EncodeCreateIndex(const CreateIndexPayload& p) {
 std::string EncodeDropIndex(const std::string& index) {
   std::string out;
   serde::PutString(&out, index);
+  return out;
+}
+
+std::string EncodeTxnOp(const TxnOpPayload& p) {
+  std::string out;
+  serde::PutU64(&out, p.txn);
+  serde::PutU8(&out, static_cast<uint8_t>(p.inner_type));
+  out.append(p.inner_payload);
+  return out;
+}
+
+std::string EncodeTxnAbort(txn::TxnId txn) {
+  std::string out;
+  serde::PutU64(&out, txn);
   return out;
 }
 
@@ -203,6 +219,30 @@ Result<std::string> DecodeDropIndex(const std::string& payload) {
   return index;
 }
 
+Result<TxnOpPayload> DecodeTxnOp(const std::string& payload) {
+  serde::Reader r(payload);
+  TxnOpPayload p;
+  uint8_t type = 0;
+  if (!r.ReadU64(&p.txn) || !r.ReadU8(&type))
+    return Status::Internal("wal: bad TXN_OP header");
+  p.inner_type = static_cast<WalRecordType>(type);
+  if (p.inner_type == WalRecordType::kTxnOp ||
+      p.inner_type == WalRecordType::kTxnAbort ||
+      p.inner_type == WalRecordType::kCommit) {
+    return Status::Internal("wal: TXN_OP cannot nest control records");
+  }
+  p.inner_payload.assign(payload.data() + r.offset(),
+                         payload.size() - r.offset());
+  return p;
+}
+
+Result<txn::TxnId> DecodeTxnAbort(const std::string& payload) {
+  serde::Reader r(payload);
+  uint64_t txn = 0;
+  if (!r.ReadU64(&txn)) return Status::Internal("wal: bad TXN_ABORT");
+  return txn;
+}
+
 // --- Frame codec -------------------------------------------------------------
 
 std::string EncodeWalFrame(uint64_t lsn, WalRecordType type,
@@ -246,13 +286,16 @@ WalWriter::~WalWriter() {
 }
 
 Result<uint64_t> WalWriter::Append(WalRecordType type, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return Status::Aborted("wal: writer crashed");
   uint64_t lsn = next_lsn_++;
   buffer_.append(EncodeWalFrame(lsn, type, payload));
   ++buffered_records_;
   ++stats_.records_appended;
   if (records_metric_) records_metric_->Add();
-  if (buffered_records_ >= opts_.flush_interval) AIDB_RETURN_NOT_OK(Flush());
+  if (buffered_records_ >= opts_.flush_interval) {
+    AIDB_RETURN_NOT_OK(FlushLocked());
+  }
   return lsn;
 }
 
@@ -313,6 +356,11 @@ Status WalWriter::SimulateCrash(FaultKind kind) {
 }
 
 Status WalWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status WalWriter::FlushLocked() {
   if (crashed_) return Status::Aborted("wal: writer crashed");
   if (buffer_.empty()) return Status::OK();
   if (opts_.fault != nullptr) {
@@ -341,6 +389,7 @@ Status WalWriter::Flush() {
 }
 
 Status WalWriter::ResetAfterCheckpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return Status::Aborted("wal: writer crashed");
   buffer_.clear();
   buffered_records_ = 0;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,15 @@ enum class WalRecordType : uint8_t {
   kCommit = 7,
   kCreateIndex = 8,
   kDropIndex = 9,
+  /// Transaction-tagged operation: payload = u64 txn_id | u8 inner type |
+  /// inner payload. Recovery buffers these per transaction and applies them
+  /// only when the matching kCommit(txn_id) arrives — interleaved
+  /// multi-session transactions replay whole-or-nothing.
+  kTxnOp = 10,
+  /// Explicit rollback: payload = u64 txn_id. Recovery discards the
+  /// transaction's buffered ops (an uncommitted tail is discarded the same
+  /// way, just without the record).
+  kTxnAbort = 11,
 };
 
 const char* WalRecordTypeName(WalRecordType t);
@@ -75,6 +85,13 @@ struct CreateIndexPayload {
   bool is_btree = true;
 };
 
+/// A kTxnOp wrapper: which transaction the inner record belongs to.
+struct TxnOpPayload {
+  txn::TxnId txn = txn::kInvalidTxnId;
+  WalRecordType inner_type = WalRecordType::kCommit;
+  std::string inner_payload;
+};
+
 std::string EncodeCreateTable(const CreateTablePayload& p);
 std::string EncodeDropTable(const std::string& table);
 std::string EncodeInsert(const InsertPayload& p);
@@ -84,6 +101,8 @@ std::string EncodeCreateModel(const CreateModelPayload& p);
 std::string EncodeCommit(txn::TxnId txn);
 std::string EncodeCreateIndex(const CreateIndexPayload& p);
 std::string EncodeDropIndex(const std::string& index);
+std::string EncodeTxnOp(const TxnOpPayload& p);
+std::string EncodeTxnAbort(txn::TxnId txn);
 
 Result<CreateTablePayload> DecodeCreateTable(const std::string& payload);
 Result<std::string> DecodeDropTable(const std::string& payload);
@@ -94,6 +113,8 @@ Result<CreateModelPayload> DecodeCreateModel(const std::string& payload);
 Result<txn::TxnId> DecodeCommit(const std::string& payload);
 Result<CreateIndexPayload> DecodeCreateIndex(const std::string& payload);
 Result<std::string> DecodeDropIndex(const std::string& payload);
+Result<TxnOpPayload> DecodeTxnOp(const std::string& payload);
+Result<txn::TxnId> DecodeTxnAbort(const std::string& payload);
 
 /// Counters the monitoring stack samples (monitor/durability_metrics.h).
 struct WalStats {
@@ -110,6 +131,10 @@ struct WalStats {
 /// synchronous commit; larger intervals trade a bounded durability lag
 /// (`unflushed_records()`) for fewer fsyncs — the exact surface the
 /// `wal_flush_interval` advisor knob tunes.
+///
+/// Thread-safe: concurrent DML statements (MVCC writers run under the
+/// service's shared lock) append through one internal mutex, which also
+/// makes the LSN sequence the single total order of log records.
 class WalWriter {
  public:
   struct Options {
@@ -147,15 +172,36 @@ class WalWriter {
   /// redundant. LSNs keep counting from where they were.
   Status ResetAfterCheckpoint();
 
-  void set_flush_interval(size_t n) { opts_.flush_interval = n == 0 ? 1 : n; }
-  size_t flush_interval() const { return opts_.flush_interval; }
+  void set_flush_interval(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    opts_.flush_interval = n == 0 ? 1 : n;
+  }
+  size_t flush_interval() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return opts_.flush_interval;
+  }
 
-  uint64_t next_lsn() const { return next_lsn_; }
-  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  uint64_t next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_;
+  }
+  uint64_t last_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_ - 1;
+  }
   /// Records buffered but not yet durable — the current durability lag.
-  size_t unflushed_records() const { return buffered_records_; }
-  bool crashed() const { return crashed_; }
-  const WalStats& stats() const { return stats_; }
+  size_t unflushed_records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffered_records_;
+  }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
+  WalStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   WalWriter(int fd, std::string path, uint64_t next_lsn, const Options& opts)
@@ -171,7 +217,9 @@ class WalWriter {
 
   Status PhysicalWrite(const char* data, size_t n);
   Status SimulateCrash(FaultKind kind);
+  Status FlushLocked();
 
+  mutable std::mutex mu_;
   int fd_ = -1;
   std::string path_;
   uint64_t next_lsn_ = 1;

@@ -93,4 +93,33 @@ Divergence RunCrashRecoveryLeg(const std::vector<std::string>& workload,
                                const CrashLegOptions& opts,
                                uint64_t* total_points = nullptr);
 
+/// Summary counters from one RunConcurrentTxnLeg execution.
+struct ConcurrentTxnReport {
+  size_t sessions = 0;
+  size_t committed = 0;  ///< transactions that reached COMMIT with a commit_ts
+  size_t conflicts = 0;  ///< transactions killed by a write-write conflict
+};
+
+/// \brief The concurrent-transaction leg of the differential oracle.
+///
+/// Generates a seeded multi-session transactional workload over the
+/// *interleaving-deterministic* fragment of the dialect: each session owns a
+/// private table only it touches, and the one shared table receives nothing
+/// but blind constant single-row updates — so every statement's digest inside
+/// a committed transaction is a function of its own session's committed
+/// history, never of the interleaving. The sessions then run concurrently
+/// (one thread + one transaction slot each) against a single database, and
+/// the oracle replays exactly the committed transactions, serially, in
+/// commit-timestamp order on a fresh database. Snapshot isolation +
+/// first-committer-wins must make the concurrent execution byte-equal to
+/// that serial commit-order history: every statement digest inside every
+/// committed transaction, and the final StateDigest.
+///
+/// Conflict-aborted transactions are excluded from the replay (their writes
+/// unwound), which is itself part of the check: a half-undone abort diverges
+/// the final state digest.
+Divergence RunConcurrentTxnLeg(uint64_t seed, size_t num_sessions,
+                               ConcurrentTxnReport* report = nullptr,
+                               bool vectorized = VectorizedFuzzDefault());
+
 }  // namespace aidb::testing

@@ -1,0 +1,286 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+
+#include "storage/table.h"
+
+namespace aidb::txn {
+
+void TransactionManager::set_metrics(monitor::MetricsRegistry* metrics) {
+  begins_ = metrics != nullptr ? metrics->GetCounter("txn.begins") : nullptr;
+  commits_ = metrics != nullptr ? metrics->GetCounter("txn.commits") : nullptr;
+  aborts_ = metrics != nullptr ? metrics->GetCounter("txn.aborts") : nullptr;
+  conflicts_ =
+      metrics != nullptr ? metrics->GetCounter("txn.conflicts") : nullptr;
+  versions_retired_ =
+      metrics != nullptr ? metrics->GetCounter("mvcc.versions_retired")
+                         : nullptr;
+  versions_freed_ =
+      metrics != nullptr ? metrics->GetCounter("mvcc.versions_freed") : nullptr;
+  active_gauge_ = metrics != nullptr ? metrics->GetGauge("txn.active") : nullptr;
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  locks_.set_metrics(metrics);
+}
+
+TxnId TransactionManager::Begin() {
+  TxnId t = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ActiveTxn at;
+  // read_ts is fixed under mu_ so it can never trail a vacuum that already
+  // computed a higher watermark (WatermarkTs also holds mu_).
+  at.read_ts = last_commit_ts();
+  at.serial = next_serial_++;
+  active_.emplace(t, std::move(at));
+  if (begins_ != nullptr) begins_->Add();
+  if (active_gauge_ != nullptr) {
+    active_gauge_->Set(static_cast<int64_t>(active_.size()));
+  }
+  return t;
+}
+
+bool TransactionManager::IsActive(TxnId t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.count(t) != 0;
+}
+
+Snapshot TransactionManager::SnapshotFor(TxnId t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(t);
+  if (it == active_.end()) return Snapshot{last_commit_ts(), kInvalidTxnId};
+  return Snapshot{it->second.read_ts, t};
+}
+
+bool TransactionManager::TryRowLock(TxnId t, KeyId key) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  return locks_.TryLock(t, key, LockMode::kExclusive);
+}
+
+void TransactionManager::RecordWrite(TxnId t, TxnWrite w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(t);
+  if (it != active_.end()) it->second.undo.push_back(std::move(w));
+}
+
+size_t TransactionManager::UndoSize(TxnId t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(t);
+  return it != active_.end() ? it->second.undo.size() : 0;
+}
+
+std::vector<TxnWrite> TransactionManager::TakeUndoFrom(TxnId t, size_t mark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnWrite> out;
+  auto it = active_.find(t);
+  if (it == active_.end()) return out;
+  auto& undo = it->second.undo;
+  if (mark >= undo.size()) return out;
+  out.assign(undo.rbegin(), undo.rend() - static_cast<ptrdiff_t>(mark));
+  undo.resize(mark);
+  return out;
+}
+
+std::vector<TxnWrite> TransactionManager::TakeUndoAll(TxnId t) {
+  return TakeUndoFrom(t, 0);
+}
+
+Result<uint64_t> TransactionManager::Commit(
+    TxnId t, const std::function<Status(uint64_t)>& wal_hook) {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  ActiveTxn* at = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(t);
+    if (it == active_.end()) {
+      return Status::NotFound("transaction " + std::to_string(t) +
+                              " is not active");
+    }
+    at = &it->second;  // node-based map: stable across inserts by others
+  }
+  uint64_t cts = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (wal_hook) {
+    // Durability first: if the commit record cannot be appended, nothing has
+    // been stamped and the caller rolls the transaction back intact.
+    AIDB_RETURN_NOT_OK(wal_hook(cts));
+  }
+  for (const TxnWrite& w : at->undo) {
+    w.table->StampCommit(w, cts);
+  }
+  // Publish: snapshots taken from here on see every stamp above.
+  last_commit_ts_.store(cts, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(lock_mu_);
+    locks_.ReleaseAll(t);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(t);
+    if (active_gauge_ != nullptr) {
+      active_gauge_->Set(static_cast<int64_t>(active_.size()));
+    }
+  }
+  if (commits_ != nullptr) commits_->Add();
+  return cts;
+}
+
+void TransactionManager::PinId(TxnId t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(t);
+  if (it != active_.end()) it->second.pinned = true;
+}
+
+void TransactionManager::NoteOpsLogged(TxnId t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(t);
+  if (it != active_.end()) {
+    it->second.pinned = true;
+    it->second.ops_logged = true;
+  }
+}
+
+bool TransactionManager::OpsLogged(TxnId t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(t);
+  return it != active_.end() && it->second.ops_logged;
+}
+
+void TransactionManager::Forget(TxnId t) {
+  {
+    std::lock_guard<std::mutex> lock(lock_mu_);
+    locks_.ReleaseAll(t);
+  }
+  bool recycle = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(t);
+    if (it != active_.end()) {
+      recycle = !it->second.pinned;
+      active_.erase(it);
+    }
+    if (active_gauge_ != nullptr) {
+      active_gauge_->Set(static_cast<int64_t>(active_.size()));
+    }
+  }
+  if (recycle) {
+    // Return the id if nothing was allocated after it. Failure just wastes
+    // one id (safe: nothing references it) — but in serial histories the
+    // exchange always succeeds, so statements that never reached the WAL
+    // leave no gap in the committed id sequence.
+    TxnId expected = t + 1;
+    next_txn_id_.compare_exchange_strong(expected, t,
+                                         std::memory_order_relaxed);
+  }
+}
+
+std::vector<TxnId> TransactionManager::TxnsTouching(uint64_t table_uid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnId> out;
+  for (const auto& [id, at] : active_) {
+    for (const TxnWrite& w : at.undo) {
+      if (w.table_uid == table_uid) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t TransactionManager::BeginRead(uint64_t read_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t serial = next_serial_++;
+  active_reads_.emplace(serial, read_ts);
+  return serial;
+}
+
+uint64_t TransactionManager::BeginLatestRead(uint64_t* read_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t ts = last_commit_ts();
+  if (read_ts != nullptr) *read_ts = ts;
+  uint64_t serial = next_serial_++;
+  active_reads_.emplace(serial, ts);
+  return serial;
+}
+
+void TransactionManager::EndRead(uint64_t serial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_reads_.erase(serial);
+}
+
+uint64_t TransactionManager::WatermarkTs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t wm = last_commit_ts();
+  for (const auto& [id, at] : active_) {
+    wm = std::min(wm, at.read_ts);
+  }
+  for (const auto& [serial, ts] : active_reads_) {
+    wm = std::min(wm, ts);
+  }
+  return wm;
+}
+
+uint64_t TransactionManager::MinActiveSerial() const {
+  uint64_t min_serial = next_serial_;
+  if (!active_reads_.empty()) {
+    min_serial = std::min(min_serial, active_reads_.begin()->first);
+  }
+  for (const auto& [id, at] : active_) {
+    min_serial = std::min(min_serial, at.serial);
+  }
+  return min_serial;
+}
+
+void TransactionManager::Retire(aidb::Version* v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.push_back({v, next_serial_});
+  if (versions_retired_ != nullptr) versions_retired_->Add();
+}
+
+size_t TransactionManager::FreeRetired() {
+  std::vector<aidb::Version*> to_free;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t min_serial = MinActiveSerial();
+    while (!retired_.empty() && retired_.front().fence <= min_serial) {
+      to_free.push_back(retired_.front().v);
+      retired_.pop_front();
+    }
+  }
+  for (aidb::Version* v : to_free) delete v;
+  if (versions_freed_ != nullptr && !to_free.empty()) {
+    versions_freed_->Add(to_free.size());
+  }
+  return to_free.size();
+}
+
+size_t TransactionManager::RetiredCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+size_t TransactionManager::NumActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+bool TransactionManager::HasActiveWriters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, at] : active_) {
+    if (!at.undo.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<TxnInfo> TransactionManager::ListActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnInfo> out;
+  out.reserve(active_.size());
+  for (const auto& [id, at] : active_) {
+    out.push_back({id, at.read_ts, at.undo.size()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TxnInfo& a, const TxnInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace aidb::txn

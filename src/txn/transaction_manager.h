@@ -1,0 +1,239 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "monitor/metrics.h"
+#include "txn/lock_manager.h"
+#include "txn/types.h"
+
+namespace aidb::txn {
+
+/// Hash of (table uid, row id) into the lock-manager key space. A collision
+/// only ever causes a spurious first-committer-wins abort, never a missed
+/// conflict (the timestamp checks in Table::UpdateTxn/DeleteTxn are the
+/// ground truth; the lock is the fast no-wait gate).
+inline KeyId RowLockKey(uint64_t table_uid, uint64_t row) {
+  uint64_t h = table_uid * 0x9e3779b97f4a7c15ull;
+  h ^= row + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// One row of the `aidb_transactions` system view.
+struct TxnInfo {
+  TxnId id = kInvalidTxnId;
+  uint64_t read_ts = 0;
+  size_t writes = 0;
+};
+
+/// \brief MVCC transaction manager: monotonic begin/commit timestamps,
+/// snapshot handout, per-transaction undo logs, first-committer-wins row
+/// locks, and serial-fenced garbage reclamation of unlinked versions.
+///
+/// Timestamp protocol: the commit clock starts at kBootstrapTs; every commit
+/// takes the next tick under commit_mu_, stamps its undo log, appends its
+/// WAL commit record (still under commit_mu_, so WAL commit order equals
+/// commit-timestamp order), and only then release-publishes last_commit_ts_.
+/// A snapshot's read_ts is an acquire load of last_commit_ts_, which
+/// guarantees every version stamp of every commit at or before read_ts is
+/// visible to the snapshot holder.
+///
+/// Reclamation: rollback and vacuum unlink version nodes from chains that
+/// lock-free readers may still be walking. Unlinked nodes are retired with a
+/// fence = the current read-serial counter; they are freed only once every
+/// reader registered before the fence has finished (MinActiveSerial() >
+/// fence). Every statement execution registers a read serial around its
+/// chain-walking window.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+  ~TransactionManager() {
+    for (const Retired& r : retired_) delete r.v;
+  }
+
+  /// Wires txn.* counters/gauges; also forwards to the wrapped LockManager.
+  /// Pointers are cached — the registry must outlive this object.
+  void set_metrics(monitor::MetricsRegistry* metrics);
+
+  // --- Transaction id allocation -------------------------------------------
+  // One allocator for every statement (recovery seeds it): WAL records are
+  // tagged with these ids, and recovery's replay keying depends on them
+  // being unique across the log.
+
+  void SeedNextTxnId(TxnId next) {
+    next_txn_id_.store(next, std::memory_order_relaxed);
+  }
+  TxnId next_txn_id() const {
+    return next_txn_id_.load(std::memory_order_relaxed);
+  }
+  /// Hands out an id without registering an active transaction — for
+  /// statements that log + commit atomically outside the MVCC write path
+  /// (DDL, model training).
+  TxnId AllocateTxnId() {
+    return next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Lifecycle -----------------------------------------------------------
+
+  /// Starts a transaction: allocates its id and fixes its snapshot at the
+  /// current last_commit_ts.
+  TxnId Begin();
+
+  bool IsActive(TxnId t) const;
+  /// The transaction's snapshot; a latest-committed snapshot when `t` is not
+  /// active (kInvalidTxnId included).
+  Snapshot SnapshotFor(TxnId t) const;
+  Snapshot LatestSnapshot() const {
+    return Snapshot{last_commit_ts(), kInvalidTxnId};
+  }
+  uint64_t last_commit_ts() const {
+    return last_commit_ts_.load(std::memory_order_acquire);
+  }
+
+  // --- Writes --------------------------------------------------------------
+
+  /// No-wait exclusive row lock (re-entrant). False → write-write conflict;
+  /// the caller aborts the transaction.
+  bool TryRowLock(TxnId t, KeyId key);
+
+  /// Appends an undo entry to the transaction's log.
+  void RecordWrite(TxnId t, TxnWrite w);
+
+  /// Current undo-log length — the statement-rollback high-water mark.
+  size_t UndoSize(TxnId t) const;
+
+  /// Removes and returns undo entries from `mark` on, newest first
+  /// (statement-level rollback; the transaction stays active).
+  std::vector<TxnWrite> TakeUndoFrom(TxnId t, size_t mark);
+
+  /// Removes and returns the whole undo log, newest first. The transaction
+  /// stays registered until Forget() so its snapshot keeps protecting the
+  /// versions being rolled back.
+  std::vector<TxnWrite> TakeUndoAll(TxnId t);
+
+  // --- Commit / abort ------------------------------------------------------
+
+  /// Commits `t`: allocates the commit timestamp, stamps every undo entry's
+  /// versions, runs `wal_hook(cts)` (nullable) before publishing — all under
+  /// the commit lock — then publishes last_commit_ts, releases row locks and
+  /// forgets the transaction. Returns the commit timestamp.
+  ///
+  /// If `wal_hook` fails nothing has been stamped yet: the error is returned
+  /// and the transaction is left active for the caller to roll back.
+  Result<uint64_t> Commit(TxnId t,
+                          const std::function<Status(uint64_t)>& wal_hook);
+
+  /// Marks `t`'s id as referenced by a durable WAL record (a DDL commit
+  /// logged under it, or an abort record). Forget() then retires the id
+  /// permanently instead of recycling it.
+  void PinId(TxnId t);
+
+  /// Records that kTxnOp records were appended under `t` (also pins the id).
+  /// An abort must then log kTxnAbort so recovery discards those ops.
+  void NoteOpsLogged(TxnId t);
+  bool OpsLogged(TxnId t) const;
+
+  /// Releases row locks and erases transaction state. The caller must have
+  /// undone (or committed) every write first. If no WAL record ever
+  /// referenced the id (not pinned) and it is still the most recently
+  /// allocated one, the id is recycled: statements that neither log nor
+  /// abort durably consume no id, which keeps committed WAL ids dense in
+  /// serial histories (recovery and the crash-recovery oracle count
+  /// committed statements as max-id).
+  void Forget(TxnId t);
+
+  /// Ids of active transactions whose undo log touches `table_uid` (DDL uses
+  /// this to roll back writers of a table it is about to drop/reindex).
+  std::vector<TxnId> TxnsTouching(uint64_t table_uid) const;
+
+  // --- Read registration & garbage collection ------------------------------
+
+  /// Registers a chain-walking window; `read_ts` caps what vacuum may
+  /// reclaim while the window is open. Returns the serial to pass EndRead.
+  /// `read_ts` must already be watermark-protected — i.e. the read_ts of a
+  /// still-active transaction. For latest-committed reads use
+  /// BeginLatestRead, which fixes the timestamp under the registry lock
+  /// (fixing it earlier would race a concurrent commit + vacuum).
+  uint64_t BeginRead(uint64_t read_ts);
+  /// Atomically picks read_ts = last_commit_ts and registers it.
+  uint64_t BeginLatestRead(uint64_t* read_ts);
+  void EndRead(uint64_t serial);
+
+  /// Oldest read_ts any live snapshot (open transaction or registered read)
+  /// may use; last_commit_ts when none are live. Versions dead at or before
+  /// the watermark are unreachable.
+  uint64_t WatermarkTs() const;
+
+  /// Takes ownership of an unlinked version node; it is freed by a later
+  /// FreeRetired() once all possible concurrent walkers have drained.
+  void Retire(aidb::Version* v);
+
+  /// Frees retired nodes whose fence has drained. Returns the number freed.
+  size_t FreeRetired();
+
+  size_t RetiredCount() const;
+  size_t NumActive() const;
+  /// True while any active transaction has undo entries (checkpoints defer:
+  /// a fuzzy snapshot must not split a transaction's ops from its commit).
+  bool HasActiveWriters() const;
+  std::vector<TxnInfo> ListActive() const;
+
+  /// Metric hooks for the abort paths the manager itself cannot see
+  /// (the Database orchestrates rollback because index unwind needs the
+  /// catalog).
+  void NoteConflict() {
+    if (conflicts_ != nullptr) conflicts_->Add();
+  }
+  void NoteAbort() {
+    if (aborts_ != nullptr) aborts_->Add();
+  }
+
+ private:
+  uint64_t MinActiveSerial() const;  // callers hold mu_
+
+  mutable std::mutex mu_;  ///< active txns, read registry, retire list
+  std::mutex commit_mu_;   ///< serializes commit stamping + WAL commit append
+  std::mutex lock_mu_;     ///< LockManager is not internally synchronized
+  LockManager locks_;
+
+  std::atomic<uint64_t> clock_{kBootstrapTs};
+  std::atomic<uint64_t> last_commit_ts_{kBootstrapTs};
+  std::atomic<TxnId> next_txn_id_{1};
+
+  struct ActiveTxn {
+    uint64_t read_ts = 0;
+    uint64_t serial = 0;  ///< read-serial held for the txn's whole lifetime
+    bool pinned = false;      ///< a WAL record references this id; no recycle
+    bool ops_logged = false;  ///< unresolved kTxnOp records exist in the WAL
+    std::vector<TxnWrite> undo;
+  };
+  std::unordered_map<TxnId, ActiveTxn> active_;
+
+  uint64_t next_serial_ = 1;
+  std::map<uint64_t, uint64_t> active_reads_;  ///< serial -> read_ts
+
+  struct Retired {
+    aidb::Version* v;
+    uint64_t fence;
+  };
+  std::deque<Retired> retired_;
+
+  monitor::Counter* begins_ = nullptr;
+  monitor::Counter* commits_ = nullptr;
+  monitor::Counter* aborts_ = nullptr;
+  monitor::Counter* conflicts_ = nullptr;
+  monitor::Counter* versions_retired_ = nullptr;
+  monitor::Counter* versions_freed_ = nullptr;
+  monitor::Gauge* active_gauge_ = nullptr;
+};
+
+}  // namespace aidb::txn

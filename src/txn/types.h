@@ -1,13 +1,18 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+namespace aidb {
+class Table;
+struct Version;
+}  // namespace aidb
 
 namespace aidb::txn {
 
 /// Transaction identity, shared by the lock manager / OLTP simulator and the
 /// storage WAL: every durable COMMIT record is stamped with the TxnId of the
-/// statement-level transaction it closes, so recovery replays whole
-/// transactions or nothing.
+/// transaction it closes, so recovery replays whole transactions or nothing.
 ///
 /// TxnId 0 is a reserved sentinel meaning "no transaction": the lock table
 /// encodes "no exclusive holder" as holder == 0, and recovery's
@@ -20,5 +25,82 @@ constexpr TxnId kInvalidTxnId = 0;
 using KeyId = uint64_t;
 
 enum class LockMode { kShared, kExclusive };
+
+// ---------------------------------------------------------------------------
+// MVCC timestamps.
+//
+// Version begin/end stamps live in one uint64 space split by the top bit:
+//
+//   [0, kMaxCommitTs]          committed timestamps (the monotonic clock)
+//   kTxnMarkerBit | txn_id     "uncommitted, owned by txn_id"
+//   kAbortedTs / kInfinityTs   all-ones: "never begun" / "never ends"
+//
+// Putting markers numerically ABOVE every committed timestamp lets the
+// visibility rule use plain <= comparisons: `ts <= read_ts` is simultaneously
+// "committed" and "within my snapshot", because read_ts never exceeds
+// kMaxCommitTs while markers always do.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kTxnMarkerBit = 1ull << 63;
+/// Largest commit timestamp; also the read_ts of a "latest committed state"
+/// snapshot.
+constexpr uint64_t kMaxCommitTs = kTxnMarkerBit - 1;
+/// begin_ts of a rolled-back version: never begun for anyone. (Equals
+/// MarkerFor(kMaxCommitTs), a txn id the monotonic allocator can never reach.)
+constexpr uint64_t kAbortedTs = ~0ull;
+/// end_ts of a live version: never ended for anyone.
+constexpr uint64_t kInfinityTs = ~0ull;
+/// Commit timestamp of non-transactional writes (recovery replay, snapshot
+/// restore, direct Table-API tests). The transaction-manager clock starts at
+/// kBootstrapTs so real commits always stamp > kBootstrapTs.
+constexpr uint64_t kBootstrapTs = 1;
+
+/// The in-progress stamp a transaction writes into versions it owns.
+inline constexpr uint64_t MarkerFor(TxnId txn) { return kTxnMarkerBit | txn; }
+inline constexpr bool IsMarker(uint64_t ts) {
+  return (ts & kTxnMarkerBit) != 0;
+}
+
+/// \brief A point-in-time read view: everything committed at or before
+/// read_ts, plus (when txn != 0) the transaction's own uncommitted writes.
+///
+/// The default-constructed snapshot reads "latest committed state", which is
+/// exactly the pre-MVCC behaviour — non-transactional callers (recovery,
+/// tests, internal scans) never have to know snapshots exist.
+struct Snapshot {
+  uint64_t read_ts = kMaxCommitTs;
+  TxnId txn = kInvalidTxnId;
+
+  /// Visibility rule: a version [begin_ts, end_ts) is visible iff it has
+  /// begun for this snapshot and has not ended for it. Own-marker stamps
+  /// count as begun/ended (read-your-own-writes / don't-read-your-own
+  /// -deletes).
+  bool Sees(uint64_t begin_ts, uint64_t end_ts) const {
+    bool begun = begin_ts <= read_ts ||
+                 (txn != kInvalidTxnId && begin_ts == MarkerFor(txn));
+    if (!begun) return false;
+    bool ended = end_ts <= read_ts ||
+                 (txn != kInvalidTxnId && end_ts == MarkerFor(txn));
+    return !ended;
+  }
+};
+
+/// \brief One undo-log entry: enough to commit-stamp or roll back a single
+/// version created (or ended) by a transaction.
+///
+/// `version` points at the version the write produced (insert/update) or
+/// ended (delete); Table::StampCommit / Table::UndoWrite interpret it per
+/// kind. `table_name`/`table_uid` let the Database unwind secondary-index
+/// entries and let DDL find transactions touching a dropped table.
+struct TxnWrite {
+  enum class Kind { kInsert, kUpdate, kDelete };
+
+  aidb::Table* table = nullptr;
+  uint64_t table_uid = 0;
+  std::string table_name;
+  uint64_t row = 0;  ///< RowId (slot number)
+  Kind kind = Kind::kInsert;
+  aidb::Version* version = nullptr;
+};
 
 }  // namespace aidb::txn

@@ -166,6 +166,118 @@ TEST_F(CrashMatrixTest, EveryInjectionPointRecoversToOracle) {
   }
 }
 
+/// The transactional workload, as *groups* that each consume exactly one
+/// transaction id: an autocommit statement, an explicit BEGIN..COMMIT block,
+/// or a BEGIN..ROLLBACK block whose DML touches rows (its ops reach the WAL,
+/// so the id stays pinned whether or not the abort record survives). That
+/// invariant is what lets the oracle map "recovery preserved K transactions"
+/// to "the first K groups" — a multi-statement transaction must recover
+/// all-or-nothing, never per-statement.
+std::vector<std::vector<std::string>> TxnCrashScript() {
+  std::vector<std::vector<std::string>> groups;
+  groups.push_back({"CREATE TABLE acct (id INT, bal DOUBLE, tag STRING)"});
+  for (int i = 0; i < 4; ++i) {
+    groups.push_back({"INSERT INTO acct VALUES (" + std::to_string(i) + ", " +
+                      std::to_string(100.0 + i) + ", 'seed'), (" +
+                      std::to_string(100 + i) + ", " +
+                      std::to_string(200.0 + i) + ", NULL)"});
+  }
+  groups.push_back({"CREATE INDEX idx_acct ON acct(id)"});
+  // Explicit multi-statement transfers: a crash between the two UPDATEs'
+  // kTxnOp records must surface neither.
+  for (int i = 0; i < 6; ++i) {
+    groups.push_back(
+        {"BEGIN",
+         "UPDATE acct SET bal = bal - 10.0 WHERE id = " + std::to_string(i),
+         "UPDATE acct SET bal = bal + 10.0 WHERE id = " +
+             std::to_string(100 + i),
+         "INSERT INTO acct VALUES (" + std::to_string(200 + i) +
+             ", 0.0, 'xfer')",
+         "COMMIT"});
+  }
+  // A rolled-back transaction with WAL-logged ops: consumes an id, changes
+  // nothing — before and after recovery.
+  groups.push_back({"BEGIN", "UPDATE acct SET tag = 'doomed' WHERE id <= 2",
+                    "DELETE FROM acct WHERE id = 3", "ROLLBACK"});
+  for (int i = 0; i < 4; ++i) {
+    groups.push_back({"BEGIN",
+                      "DELETE FROM acct WHERE id = " + std::to_string(200 + i),
+                      "UPDATE acct SET tag = 'end' WHERE id = " +
+                          std::to_string(i),
+                      "COMMIT"});
+  }
+  groups.push_back({"INSERT INTO acct VALUES (999, 1.5, 'tail')"});
+  return groups;
+}
+
+/// Oracle for the transactional script: the state an uncrashed in-memory
+/// engine reaches after the first `count` groups.
+std::string TxnOracleDigest(const std::vector<std::vector<std::string>>& groups,
+                            size_t count) {
+  Database db;
+  for (size_t g = 0; g < count; ++g) {
+    for (const auto& sql : groups[g]) {
+      auto r = db.Execute(sql);
+      EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    }
+  }
+  return storage::StateDigest(db.catalog(), db.models());
+}
+
+TEST_F(CrashMatrixTest, TransactionalWorkloadRecoversAtomically) {
+  const auto groups = TxnCrashScript();
+  std::vector<std::string> flat;
+  for (const auto& g : groups) flat.insert(flat.end(), g.begin(), g.end());
+
+  uint64_t total_points = 0;
+  {
+    FaultInjector counter(7);
+    std::filesystem::remove_all(dir_);
+    auto db = Database::Open(dir_, Opts(&counter)).ValueOrDie();
+    ASSERT_EQ(RunUntilCrash(db.get(), flat), flat.size());
+    total_points = counter.points_seen();
+  }
+  ASSERT_GE(total_points, 50u);
+
+  const FaultKind kinds[] = {FaultKind::kTornWrite, FaultKind::kDroppedFsync,
+                             FaultKind::kCorruptByte, FaultKind::kCleanCrash};
+  for (uint64_t point = 1; point <= total_points; ++point) {
+    SCOPED_TRACE("injection point " + std::to_string(point));
+    FaultKind kind = kinds[point % 4];
+    SCOPED_TRACE(storage::FaultKindName(kind));
+
+    std::filesystem::remove_all(dir_);
+    FaultInjector fault(2000 + point);
+    fault.ArmCrash(point, kind);
+    {
+      auto db = Database::Open(dir_, Opts(&fault)).ValueOrDie();
+      RunUntilCrash(db.get(), flat);
+      ASSERT_TRUE(fault.crashed());
+    }
+
+    auto reopened = Database::Open(dir_, {});
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto db = std::move(reopened).ValueOrDie();
+
+    // Recovery preserved some prefix of the transaction groups — and nothing
+    // in between: a transfer is either fully applied or fully absent.
+    uint64_t committed = db->last_recovery().next_txn_id - 1;
+    ASSERT_LE(committed, groups.size());
+    EXPECT_EQ(storage::StateDigest(db->catalog(), db->models()),
+              TxnOracleDigest(groups, committed));
+
+    // The recovered database finishes the workload from the group boundary.
+    for (size_t g = committed; g < groups.size(); ++g) {
+      for (const auto& sql : groups[g]) {
+        auto r = db->Execute(sql);
+        ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+      }
+    }
+    EXPECT_EQ(storage::StateDigest(db->catalog(), db->models()),
+              TxnOracleDigest(groups, groups.size()));
+  }
+}
+
 TEST_F(CrashMatrixTest, DoubleCrashDuringRecoveryWindowStaysConsistent) {
   const std::vector<std::string> script = CrashScript();
   // Crash once mid-workload, reopen, crash again almost immediately on the
