@@ -257,6 +257,49 @@ BENCHMARK(BM_ServiceMixedReadWrite)
     ->Arg(0)->Arg(2)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// The per-statement MVCC tax, isolated: one session, autocommit, the
+/// shortest useful statements — Arg(0) an indexed point SELECT, Arg(1) a
+/// single-row UPDATE against the 256-row bank table. A 16-value literal
+/// working set keeps every plan hot in the shared plan cache after the
+/// warmup lap, so what remains per call is bind + execute + the per-statement
+/// transaction machinery: epoch-slot read pinning for the SELECT (no Begin,
+/// no mutex), and Begin/StampCommit/watermark bookkeeping for the UPDATE.
+/// bench_compare.py gates the p50 at a tightened 10% (TIGHT_THRESHOLDS) and
+/// requires this benchmark to exist in both baseline and fresh results.
+void BM_ServiceShortStatement(benchmark::State& state) {
+  Database* db = GlobalDb();
+  const bool update = state.range(0) != 0;
+  server::ServiceOptions opts;
+  opts.workers = 2;
+  server::Service service(db, opts);
+  auto s = service.OpenSession();
+  auto sql_for = [&](size_t i) {
+    const std::string k = std::to_string(i % 16);
+    return update ? "UPDATE bank SET v = v + 1 WHERE id = " + k
+                  : "SELECT val FROM pts WHERE id = " + k;
+  };
+  for (size_t w = 0; w < 16; ++w) {
+    (void)service.Execute(s->id(), sql_for(w));  // populate the plan cache
+  }
+  std::vector<double> lat;
+  lat.reserve(1 << 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = service.Execute(s->id(), sql_for(i++));
+    auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(r);
+    lat.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  state.counters["p50_us"] = Percentile(lat, 0.50);
+  state.counters["p95_us"] = Percentile(lat, 0.95);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceShortStatement)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
 /// Open loop: requests arrive on a fixed timer regardless of completion, at
 /// a rate 2 workers cannot sustain (15% are heavy joins). The interesting
 /// output is the typed breakdown: ok + overloaded + timeout must account for

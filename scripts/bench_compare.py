@@ -9,7 +9,12 @@ bench/baselines/.  Two gates:
      (default 15%, override with AIDB_BENCH_REGRESSION_THRESHOLD=0.15 or
      --threshold) fails the run.  Benchmarks without a baseline entry are
      reported but do not fail (they are new); baseline entries without a
-     fresh counterpart fail (a benchmark silently disappeared).
+     fresh counterpart fail (a benchmark silently disappeared).  Benchmarks
+     listed in REQUIRED_GATES must additionally be present in BOTH the
+     baseline and the fresh results — a gated benchmark that vanishes from
+     either side is a hard failure with a named report line, never a silent
+     pass.  TIGHT_THRESHOLDS narrows the budget per benchmark (the
+     short-statement p50 gate is 10%).
 
   2. Speedup: paired <name>_Volcano / <name>_Vectorized entries in the same
      file must show the vectorized engine ahead by at least the required
@@ -48,6 +53,27 @@ DEFAULT_BASELINE_DIR = os.path.join(REPO_ROOT, "bench", "baselines")
 # >= 5x on the 1M-row scan+filter+aggregate).  Grouped/join pairs materialize
 # per-row keys in both engines, so they are reported but not gated.
 GATED_SPEEDUP_PAIRS = ("BM_ScanFilterAgg",)
+
+# Benchmarks whose presence is load-bearing: each listed name must appear in
+# BOTH the committed baseline and the fresh results of the named file (any
+# /arg variant counts).  A missing entry is a hard failure with its own
+# report line — a gated benchmark that silently vanishes (renamed, filtered
+# out, crashed before registering) would otherwise pass every gate it was
+# supposed to enforce.
+REQUIRED_GATES = {
+    "BENCH_vectorized.json": ("BM_ScanFilterAgg_Volcano",
+                              "BM_ScanFilterAgg_Vectorized"),
+    "BENCH_service.json": ("BM_ServiceMixedReadWrite",
+                           "BM_ServiceShortStatement"),
+}
+
+# Per-benchmark p50 regression limits tighter than the global threshold,
+# keyed by the name's head (text before the first '/').  The short-statement
+# benchmark exists to bound the per-statement MVCC tax, so it gets a 10%
+# budget instead of the general 15%.
+TIGHT_THRESHOLDS = {
+    "BM_ServiceShortStatement": 0.10,
+}
 
 
 def load_benchmarks(path):
@@ -97,15 +123,36 @@ def check_regressions(fresh, baseline, threshold, label):
         new_time = fresh[name]
         if base_time <= 0:
             continue
+        limit = TIGHT_THRESHOLDS.get(name.split("/")[0], threshold)
         delta = (new_time - base_time) / base_time
-        status = "FAIL" if delta > threshold else "ok"
+        status = "FAIL" if delta > limit else "ok"
         print(f"  [{status}] {name}: {base_time:.3f} -> {new_time:.3f} "
-              f"({delta * 100:+.1f}%, limit +{threshold * 100:.0f}%)")
-        if delta > threshold:
+              f"({delta * 100:+.1f}%, limit +{limit * 100:.0f}%)")
+        if delta > limit:
             failures.append(f"{label}: {name} regressed {delta * 100:+.1f}% "
-                            f"(limit +{threshold * 100:.0f}%)")
+                            f"(limit +{limit * 100:.0f}%)")
     for name in sorted(set(fresh) - set(baseline)):
         print(f"  [new ] {name}: {fresh[name]:.3f} (no baseline entry)")
+    return failures
+
+
+def check_required_gates(fresh, baseline, label):
+    """Hard-fails when a gated benchmark is absent from either side.
+
+    `baseline` is None when no baseline file exists at all — which is itself
+    a failure for a file that carries required gates.
+    """
+    failures = []
+
+    def present(names, req):
+        return any(n == req or n.startswith(req + "/") for n in names)
+
+    for req in REQUIRED_GATES.get(label, ()):
+        for side, names in (("baseline", baseline), ("fresh results", fresh)):
+            if names is None or not present(names, req):
+                print(f"  [FAIL] required gate {req}: missing from {side}")
+                failures.append(f"{label}: required gated benchmark {req} "
+                                f"missing from {side}")
     return failures
 
 
@@ -237,6 +284,7 @@ def main():
         print(f"== {label}")
 
         baseline_path = os.path.join(args.baseline_dir, label)
+        baseline = None
         if os.path.exists(baseline_path):
             baseline = load_benchmarks(baseline_path)
             failures += check_regressions(fresh, baseline, args.threshold,
@@ -244,6 +292,7 @@ def main():
         else:
             print(f"  (no baseline at {baseline_path}; regression check "
                   f"skipped)")
+        failures += check_required_gates(fresh, baseline, label)
         failures += check_speedups(fresh, args.speedup_min, label)
         failures += check_reader_isolation(path, args.reader_p95_mult, label)
 

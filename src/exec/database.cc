@@ -618,6 +618,28 @@ Status Database::ExecuteWithTxn(const sql::Statement& stmt,
   return MaybeAutoCheckpoint();
 }
 
+bool Database::ReadOnlyStatement(const sql::Statement& stmt,
+                                 const ExecSettings& settings) const {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:  // includes EXPLAIN / EXPLAIN ANALYZE
+    case sql::StatementKind::kShowModels:
+      return true;
+    case sql::StatementKind::kExecute: {
+      // Templates can be DML: only an EXECUTE whose bound body is a SELECT is
+      // read-only. A missing template qualifies too — it fails name lookup
+      // before touching any state, on the same code path either way.
+      const auto& s = static_cast<const sql::ExecuteStatement&>(stmt);
+      const server::PreparedStore* store =
+          settings.prepared ? settings.prepared : &default_prepared_;
+      auto tmpl = store->Get(s.name);
+      if (!tmpl.ok()) return true;
+      return tmpl.ValueOrDie()->body->kind() == sql::StatementKind::kSelect;
+    }
+    default:
+      return false;
+  }
+}
+
 Status Database::ExecuteWithTxnFenced(const sql::Statement& stmt,
                                       const ExecSettings& settings,
                                       StmtPlanInfo* info,
@@ -680,8 +702,19 @@ Status Database::ExecuteWithTxnFenced(const sql::Statement& stmt,
     eff.txn = open;
     autocommit = false;
   } else {
-    // Every statement runs inside a transaction: the registration pins the
-    // snapshot against vacuum for the whole chain-walking window, and DML
+    if (ReadOnlyStatement(stmt, settings)) {
+      // Autocommit read: nothing to commit, no undo, no WAL — skip the
+      // Begin/Forget round trips through the transaction registry and pin a
+      // latest-committed snapshot through the lock-free epoch slots instead.
+      // The pin watermark-protects the snapshot and serial-protects the
+      // version-chain walks for exactly the statement's execution window.
+      txn::ReadPin pin(&tm_);
+      eff.txn = txn::kInvalidTxnId;
+      eff.snapshot = pin.snapshot();
+      return ExecuteStatement(stmt, eff, info, direct_select_key, result);
+    }
+    // Every other statement runs inside a transaction: the registration pins
+    // the snapshot against vacuum for the whole chain-walking window, and DML
     // commits through the same path as explicit transactions.
     eff.txn = tm_.Begin();
   }

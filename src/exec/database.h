@@ -319,6 +319,11 @@ class Database {
                               const ExecSettings& settings, StmtPlanInfo* info,
                               const std::string* direct_select_key,
                               QueryResult* result);
+  /// True when the statement cannot write MVCC state, WAL, or catalog —
+  /// eligible for the autocommit pinned-read fast path (no transaction).
+  /// EXECUTE resolves its prepared template's kind through the session store.
+  bool ReadOnlyStatement(const sql::Statement& stmt,
+                         const ExecSettings& settings) const;
   /// Commits `t`: read-only transactions are simply forgotten (no commit
   /// timestamp, no WAL record); writers append kCommit through the commit
   /// hook. On success stores the commit timestamp into `result`.

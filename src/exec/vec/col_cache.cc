@@ -1,5 +1,6 @@
 #include "exec/vec/col_cache.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace aidb::exec {
@@ -15,59 +16,128 @@ size_t ColumnCache::MinSlots() {
 
 namespace {
 
-/// One slot-major extraction pass. Returns null if any live value breaks the
-/// column's declared type (the scan's row-major path handles that exactly via
+constexpr uint64_t kStale = ColumnCache::kStaleStamp;
+
+/// Slot-major extraction with per-morsel stamping. Morsels whose stamp in
+/// `prev` still matches the live morsel version are copied instead of
+/// re-extracted; a morsel that changes mid-pass is stamped kStale so scans
+/// decline exactly it. Returns null if any live value breaks the column's
+/// declared type (the scan's row-major path handles that exactly via
 /// DemoteToGeneric, so the mirror just declines).
-std::shared_ptr<const VecColumn> BuildMirror(const Table& table, size_t c,
-                                             ValueType type) {
-  auto col = std::make_shared<VecColumn>();
+std::shared_ptr<MirrorColumn> BuildMirror(const Table& table, size_t c,
+                                          ValueType type,
+                                          const MirrorColumn* prev) {
+  auto mc = std::make_shared<MirrorColumn>();
   const size_t slots = table.NumSlots();
-  col->Resize(type == ValueType::kInt ? VecColumn::Kind::kInt
-                                      : VecColumn::Kind::kDouble,
-              slots);
-  for (RowId id = 0; id < slots; ++id) {
-    if (!table.IsLive(id)) continue;  // tombstones stay invalid
-    const Value& v = table.RowAt(id)[c];
-    if (v.is_null()) continue;
-    if (v.type() != type) return nullptr;  // e.g. INT stored in DOUBLE column
-    if (type == ValueType::kInt) {
-      col->ints[id] = v.AsInt();
-    } else {
-      col->doubles[id] = v.AsDouble();
+  const size_t morsels = (slots + Table::kMorselRows - 1) / Table::kMorselRows;
+  const bool is_int = type == ValueType::kInt;
+  mc->col.Resize(is_int ? VecColumn::Kind::kInt : VecColumn::Kind::kDouble,
+                 slots);
+  mc->morsel_versions.assign(morsels, kStale);
+  mc->fully_stamped = true;
+  for (size_t m = 0; m < morsels; ++m) {
+    const RowId mb = static_cast<RowId>(m) * Table::kMorselRows;
+    const RowId me = std::min<RowId>(mb + Table::kMorselRows, slots);
+    const uint64_t cur = table.MorselVersion(m);
+    if (prev != nullptr && m < prev->morsel_versions.size() &&
+        prev->morsel_versions[m] == cur && me <= prev->col.valid.size()) {
+      // Unchanged since the previous build: copy. A matching stamp implies
+      // no commit, rollback, or slot allocation touched the morsel, so the
+      // previous arrays cover [mb, me) with the current contents.
+      if (is_int) {
+        std::copy(prev->col.ints.begin() + mb, prev->col.ints.begin() + me,
+                  mc->col.ints.begin() + mb);
+      } else {
+        std::copy(prev->col.doubles.begin() + mb,
+                  prev->col.doubles.begin() + me, mc->col.doubles.begin() + mb);
+      }
+      std::copy(prev->col.valid.begin() + mb, prev->col.valid.begin() + me,
+                mc->col.valid.begin() + mb);
+      mc->morsel_versions[m] = cur;
+      continue;
     }
-    col->valid[id] = 1;
+    for (RowId id = mb; id < me; ++id) {
+      if (!table.IsLive(id)) continue;  // tombstones stay invalid
+      const Value& v = table.RowAt(id)[c];
+      if (v.is_null()) continue;
+      if (v.type() != type) return nullptr;  // e.g. INT stored in DOUBLE col
+      if (is_int) {
+        mc->col.ints[id] = v.AsInt();
+      } else {
+        mc->col.doubles[id] = v.AsDouble();
+      }
+      mc->col.valid[id] = 1;
+    }
+    if (table.MorselVersion(m) == cur) {
+      mc->morsel_versions[m] = cur;
+    } else {
+      mc->fully_stamped = false;  // commit raced the pass: this morsel only
+    }
   }
   // The gather only reads values + validity; drop the per-row error lane.
-  col->err.clear();
-  col->err.shrink_to_fit();
-  return col;
+  mc->col.err.clear();
+  mc->col.err.shrink_to_fit();
+  return mc;
+}
+
+std::shared_ptr<LivenessMap> BuildLiveness(const Table& table,
+                                           const LivenessMap* prev) {
+  auto lm = std::make_shared<LivenessMap>();
+  const size_t slots = table.NumSlots();
+  const size_t morsels = (slots + Table::kMorselRows - 1) / Table::kMorselRows;
+  lm->live.assign(slots, 0);
+  lm->morsel_versions.assign(morsels, kStale);
+  lm->fully_stamped = true;
+  for (size_t m = 0; m < morsels; ++m) {
+    const RowId mb = static_cast<RowId>(m) * Table::kMorselRows;
+    const RowId me = std::min<RowId>(mb + Table::kMorselRows, slots);
+    const uint64_t cur = table.MorselVersion(m);
+    if (prev != nullptr && m < prev->morsel_versions.size() &&
+        prev->morsel_versions[m] == cur && me <= prev->live.size()) {
+      std::copy(prev->live.begin() + mb, prev->live.begin() + me,
+                lm->live.begin() + mb);
+      lm->morsel_versions[m] = cur;
+      continue;
+    }
+    for (RowId id = mb; id < me; ++id) {
+      lm->live[id] = table.IsLive(id) ? 1 : 0;
+    }
+    if (table.MorselVersion(m) == cur) {
+      lm->morsel_versions[m] = cur;
+    } else {
+      lm->fully_stamped = false;
+    }
+  }
+  return lm;
 }
 
 }  // namespace
 
-std::shared_ptr<const VecColumn> ColumnCache::Get(const Table& table,
-                                                  size_t col) {
+std::shared_ptr<const MirrorColumn> ColumnCache::Get(const Table& table,
+                                                     size_t col) {
   if (table.NumSlots() < MinSlots()) return nullptr;
   const ValueType type = table.schema().column(col).type;
   if (type != ValueType::kInt && type != ValueType::kDouble) return nullptr;
 
   const uint64_t version = table.data_version();
+  std::shared_ptr<const MirrorColumn> prev;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto& entry = entries_[table.uid()];
     entry.cols.resize(table.schema().NumColumns());
     ColEntry& ce = entry.cols[col];
     if (ce.built && ce.version == version) return ce.col;
+    prev = ce.col;  // stale mirror: fresh morsels are copied, not re-walked
   }
 
   // Build outside the lock. MVCC writers may commit concurrently (readers no
-  // longer exclude them), so re-check the data version after the pass: a
-  // commit mid-build could leave the mirror mixing pre- and post-commit
-  // rows. Uncommitted versions are invisible to the latest-committed walk
-  // BuildMirror does and never bump data_version, so only commits (and
-  // rollbacks of inserts, which also bump it) invalidate the pass.
-  std::shared_ptr<const VecColumn> mirror = BuildMirror(table, col, type);
-  if (table.data_version() != version) return nullptr;
+  // longer exclude them); the per-morsel stamp re-check inside BuildMirror
+  // marks exactly the raced morsels kStaleStamp, so the pass is never
+  // discarded wholesale. Uncommitted versions are invisible to the
+  // latest-committed walk and bump no morsel version.
+  std::shared_ptr<MirrorColumn> mirror =
+      BuildMirror(table, col, type, prev.get());
+  if (mirror != nullptr) mirror->stamped_at = version;
 
   std::lock_guard<std::mutex> lock(mu_);
   auto& entry = entries_[table.uid()];
@@ -79,24 +149,23 @@ std::shared_ptr<const VecColumn> ColumnCache::Get(const Table& table,
   return mirror;
 }
 
-std::shared_ptr<const std::vector<uint8_t>> ColumnCache::GetLiveness(
+std::shared_ptr<const LivenessMap> ColumnCache::GetLiveness(
     const Table& table) {
   if (table.NumSlots() < MinSlots()) return nullptr;
   const uint64_t version = table.data_version();
+  std::shared_ptr<const LivenessMap> prev;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto& entry = entries_[table.uid()];
     if (entry.live_built && entry.live_version == version) return entry.live;
+    prev = entry.live;
   }
 
-  // Same build-outside-the-lock + version re-check discipline as Get(): the
-  // chain walk per slot happens once per data version here instead of once
+  // Same build-outside-the-lock + per-morsel stamp discipline as Get(): the
+  // chain walk per slot happens once per morsel version here instead of once
   // per slot per batch in the scan.
-  auto live = std::make_shared<std::vector<uint8_t>>(table.NumSlots());
-  for (RowId id = 0; id < live->size(); ++id) {
-    (*live)[id] = table.IsLive(id) ? 1 : 0;
-  }
-  if (table.data_version() != version) return nullptr;
+  std::shared_ptr<LivenessMap> live = BuildLiveness(table, prev.get());
+  live->stamped_at = version;
 
   std::lock_guard<std::mutex> lock(mu_);
   auto& entry = entries_[table.uid()];
@@ -115,12 +184,16 @@ size_t ColumnCache::ApproxBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = 0;
   for (const auto& [uid, entry] : entries_) {
-    if (entry.live) bytes += entry.live->capacity();
+    if (entry.live) {
+      bytes += entry.live->live.capacity() +
+               entry.live->morsel_versions.capacity() * sizeof(uint64_t);
+    }
     for (const auto& ce : entry.cols) {
       if (!ce.col) continue;
-      bytes += ce.col->ints.capacity() * sizeof(int64_t) +
-               ce.col->doubles.capacity() * sizeof(double) +
-               ce.col->valid.capacity();
+      bytes += ce.col->col.ints.capacity() * sizeof(int64_t) +
+               ce.col->col.doubles.capacity() * sizeof(double) +
+               ce.col->col.valid.capacity() +
+               ce.col->morsel_versions.capacity() * sizeof(uint64_t);
     }
   }
   return bytes;

@@ -11,6 +11,28 @@
 
 namespace aidb::exec {
 
+/// A slot-major column mirror plus the per-morsel build stamps that let the
+/// scan use it morsel by morsel on a non-quiescent table: morsel m of the
+/// mirror is trustworthy for a snapshot iff morsel_versions[m] still equals
+/// Table::MorselVersion(m) and the morsel is quiescent for that snapshot.
+struct MirrorColumn {
+  VecColumn col;
+  /// Table::MorselVersion(m) captured at build; kStaleStamp marks a morsel
+  /// that changed mid-build (scans decline it until the next rebuild).
+  std::vector<uint64_t> morsel_versions;
+  uint64_t stamped_at = 0;     ///< Table::data_version() at build start
+  bool fully_stamped = false;  ///< no kStaleStamp entries
+};
+
+/// Slot-major liveness bitmap (1 = visible to the latest-committed snapshot)
+/// with the same per-morsel stamping as MirrorColumn.
+struct LivenessMap {
+  std::vector<uint8_t> live;
+  std::vector<uint64_t> morsel_versions;
+  uint64_t stamped_at = 0;
+  bool fully_stamped = false;
+};
+
 /// \brief Version-invalidated columnar mirror of the row store, feeding the
 /// vectorized scan.
 ///
@@ -22,16 +44,17 @@ namespace aidb::exec {
 /// space, tombstoned slots simply stay invalid — so a scan gathers its batch
 /// windows from contiguous memory instead of walking tuples.
 ///
-/// Consistency: every Table mutation bumps Table::data_version(); Get()
-/// rebuilds when the stamped version differs. Entries are keyed by
-/// Table::uid(), so a DROP/CREATE cycle that reuses a table name (or heap
-/// address) can never alias a stale mirror — the new table has a new uid.
-/// Thread-safety matches the engine's read/write model: concurrent readers
-/// (the service holds a shared lock for SELECTs) may Get() concurrently —
-/// the map is mutex-guarded and a cold column is built outside the lock from
-/// a table that is immutable for the duration of the query, so racing
-/// builders at worst duplicate work and install identical mirrors. Mutations
-/// run under the service's exclusive lock and only bump the version.
+/// Consistency: every Table mutation bumps Table::data_version() and the
+/// touched morsel's Table::MorselVersion(); Get() rebuilds when the stamped
+/// data version differs, copying morsels whose stamp still matches from the
+/// previous mirror and re-extracting only the changed ones. Entries are
+/// keyed by Table::uid(), so a DROP/CREATE cycle that reuses a table name
+/// (or heap address) can never alias a stale mirror — the new table has a
+/// new uid. Thread-safety matches the engine's read/write model: concurrent
+/// readers may Get() concurrently — the map is mutex-guarded and a cold
+/// column is built outside the lock; a commit landing mid-build bumps the
+/// morsel version, so the post-pass stamp check marks exactly the affected
+/// morsels kStaleStamp instead of discarding the whole pass.
 ///
 /// Scope: only INT and DOUBLE columns of tables with at least kMinSlots
 /// slots are mirrored. A column that physically holds a value of another
@@ -44,29 +67,31 @@ class ColumnCache {
   /// would make mirror rebuilds a net loss (4 * kBatchRows).
   static constexpr size_t kMinSlots = 4096;
 
+  /// A morsel stamp that can never equal a real Table::MorselVersion value.
+  static constexpr uint64_t kStaleStamp = ~0ull;
+
   /// Effective threshold: kMinSlots unless AIDB_COL_CACHE_MIN_SLOTS
   /// overrides it (read once per process). The differential fuzzer's
   /// vectorized leg sets it to 0 so every table — even the generator's tiny
   /// ones — exercises the mirror gather path against the volcano oracle.
   static size_t MinSlots();
 
-  /// Returns the slot-major mirror of `table` column `col`, rebuilding it if
-  /// the table changed since it was stamped; nullptr when the column is not
-  /// mirrored (non-numeric type, small table, or mixed physical types). The
-  /// returned column has NumSlots() rows; slot r is valid iff row r is live
-  /// and non-NULL. The shared_ptr keeps the mirror alive across a concurrent
-  /// invalidation for the duration of a query.
-  std::shared_ptr<const VecColumn> Get(const Table& table, size_t col);
+  /// Returns the slot-major mirror of `table` column `col`, rebuilding
+  /// changed morsels if the table moved since it was stamped; nullptr when
+  /// the column is not mirrored (non-numeric type, small table, or mixed
+  /// physical types). The mirror has NumSlots() rows; slot r is valid iff
+  /// row r is live and non-NULL. The shared_ptr keeps the mirror alive
+  /// across a concurrent invalidation for the duration of a query.
+  std::shared_ptr<const MirrorColumn> Get(const Table& table, size_t col);
 
-  /// Returns the slot-major liveness bitmap (one byte per slot, 1 = a
-  /// version is visible to the latest-committed snapshot), rebuilding when
-  /// the table changed since it was stamped; nullptr for small tables. The
-  /// scan uses it in place of the per-slot version-chain walk when the table
-  /// is quiescent for its snapshot and every active column is mirrored —
-  /// under quiescence, latest-committed liveness IS snapshot liveness, and a
-  /// commit landing mid-scan carries a timestamp past the snapshot, so the
-  /// stamped bitmap stays the correct answer for that snapshot.
-  std::shared_ptr<const std::vector<uint8_t>> GetLiveness(const Table& table);
+  /// Returns the stamped slot-major liveness bitmap, incrementally rebuilt
+  /// like Get(); nullptr for small tables. The scan uses it in place of the
+  /// per-slot version-chain walk for each morsel that is quiescent for its
+  /// snapshot with a matching stamp — under morsel quiescence,
+  /// latest-committed liveness IS snapshot liveness, and a commit landing
+  /// mid-scan carries a timestamp past the snapshot, so the stamped bitmap
+  /// stays the correct answer for that snapshot.
+  std::shared_ptr<const LivenessMap> GetLiveness(const Table& table);
 
   /// Drops every mirror of the table with this uid (DROP TABLE hook; purely
   /// a memory release — uid keying already prevents stale reuse).
@@ -77,15 +102,15 @@ class ColumnCache {
 
  private:
   struct ColEntry {
-    bool built = false;          ///< an attempt was stamped at `version`
+    bool built = false;  ///< an attempt was stamped at `version`
     uint64_t version = 0;
-    std::shared_ptr<const VecColumn> col;  ///< null => uncacheable
+    std::shared_ptr<const MirrorColumn> col;  ///< null => uncacheable
   };
   struct TableEntry {
     std::vector<ColEntry> cols;
     bool live_built = false;  ///< a liveness pass was stamped at live_version
     uint64_t live_version = 0;
-    std::shared_ptr<const std::vector<uint8_t>> live;
+    std::shared_ptr<const LivenessMap> live;
   };
 
   mutable std::mutex mu_;

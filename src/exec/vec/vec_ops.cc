@@ -12,7 +12,26 @@ namespace aidb::exec {
 static_assert(kMorselRows % kBatchRows == 0,
               "morsels must be a whole number of batches");
 
+// The per-batch freshness gate identifies batch window [begin, begin +
+// kBatchRows) with table morsel begin / Table::kMorselRows; that only works
+// if the two windows coincide exactly.
+static_assert(kBatchRows == Table::kMorselRows,
+              "a batch window must be exactly one table morsel");
+
 namespace {
+
+/// The resolved inputs of one scan execution, bundled so BuildScanBatch can
+/// decide per batch whether the mirrors are trustworthy. `cached` and
+/// `row_cols` partition the active columns at resolve time; `liveness` is
+/// only set when `row_cols` is empty. `table_quiescent` short-circuits the
+/// per-morsel checks: the table was quiescent for the snapshot and every
+/// source fully stamped at the current data version when the scan opened.
+struct ScanSources {
+  const std::vector<std::shared_ptr<const MirrorColumn>>* cached;
+  const std::vector<size_t>* row_cols;
+  const LivenessMap* liveness;
+  bool table_quiescent;
+};
 
 /// ValueIsTrue over a column row without materializing a Value.
 bool TruthAt(const VecColumn& c, size_t r) {
@@ -114,20 +133,28 @@ bool TryFusedCompare(const VecExpr& f, Batch* b,
 /// columns use theirs); `out`'s storage is reused across calls, so the
 /// steady state allocates nothing.
 ///
-/// `liveness`, when non-null, is the cached slot-major liveness bitmap for
-/// this snapshot (resolved alongside the mirrors, so only present when the
-/// table is quiescent for `snap`): the liveness pass becomes a byte test per
-/// slot instead of a version-chain walk. It is only honored when
-/// `row_active` is empty — the bitmap path never fetches tuples, and the
-/// row-major pass needs the snapshot-resolved tuple pointer.
+/// Mirror trust is decided per batch. The batch window IS one table morsel
+/// (static_assert above), so one freshness check covers it: the morsel must
+/// be quiescent for `snap` (no uncommitted version touches it, nothing in it
+/// committed past the snapshot's read timestamp) and every active mirrored
+/// column's build stamp must still equal the live Table::MorselVersion.
+/// Under those two conditions the mirror's latest-committed bytes ARE the
+/// snapshot's bytes for this morsel. `src.table_quiescent` short-circuits
+/// the check — the whole-table fast path of a quiescent, fully-stamped scan.
+/// A batch that fails the gate falls back to the row-major version-chain
+/// walk for every active column — the path that honors the session's own
+/// uncommitted writes and foreign in-flight commits exactly.
+///
+/// `src.liveness`, when fresh for the morsel (same gate, plus its own
+/// stamp), replaces the per-slot chain walk with a byte test. It is only
+/// honored when no column takes the row-major pass — the bitmap path never
+/// fetches tuples, and the row-major pass needs the snapshot-resolved tuple
+/// pointer.
 void BuildScanBatch(
     const Table& table, const txn::Snapshot& snap, RowId begin, Batch* out,
     std::vector<RowId>* live, std::vector<const Tuple*>* rows,
     std::vector<std::unordered_map<std::string, int32_t>>* dicts,
-    const std::vector<size_t>& active,
-    const std::vector<std::shared_ptr<const VecColumn>>& cached,
-    const std::vector<size_t>& row_active,
-    const std::vector<uint8_t>* liveness) {
+    const std::vector<size_t>& active, const ScanSources& src) {
   const auto& cols = table.schema().columns();
   const size_t width = cols.size();
   out->ResetForWidth(width);
@@ -135,12 +162,39 @@ void BuildScanBatch(
   live->clear();
   rows->clear();
   RowId limit = std::min<RowId>(begin + kBatchRows, table.NumSlots());
-  if (liveness != nullptr && row_active.empty()) {
-    // Quiescent fast path: slots past the bitmap were appended after it was
+
+  // Per-batch freshness gate (see the function comment). `fresh` means the
+  // mirrors resolved at open time are byte-correct for this snapshot over
+  // this batch's morsel.
+  const size_t morsel = static_cast<size_t>(begin) / Table::kMorselRows;
+  bool fresh = src.table_quiescent;
+  if (!fresh && table.MorselQuiescentFor(morsel, snap)) {
+    fresh = true;
+    const uint64_t mv = table.MorselVersion(morsel);
+    for (size_t c : active) {
+      const MirrorColumn* mc =
+          c < src.cached->size() ? (*src.cached)[c].get() : nullptr;
+      if (mc == nullptr) continue;  // row-extracted anyway
+      if (morsel >= mc->morsel_versions.size() ||
+          mc->morsel_versions[morsel] != mv) {
+        fresh = false;
+        break;
+      }
+    }
+  }
+  const std::vector<size_t>& row_active = fresh ? *src.row_cols : active;
+  const bool use_bitmap =
+      fresh && row_active.empty() && src.liveness != nullptr &&
+      (src.table_quiescent ||
+       (morsel < src.liveness->morsel_versions.size() &&
+        src.liveness->morsel_versions[morsel] == table.MorselVersion(morsel)));
+
+  if (use_bitmap) {
+    // Fast liveness: slots past the bitmap were appended after it was
     // stamped, so their versions carry timestamps past the snapshot — the
     // clamp skips exactly the rows the chain walk would reject.
-    RowId lim = std::min<RowId>(limit, liveness->size());
-    const uint8_t* lv = liveness->data();
+    RowId lim = std::min<RowId>(limit, src.liveness->live.size());
+    const uint8_t* lv = src.liveness->live.data();
     for (RowId id = begin; id < lim; ++id) {
       if (lv[id]) live->push_back(id);
     }
@@ -165,7 +219,9 @@ void BuildScanBatch(
       continue;
     }
     ++next_active;
-    const VecColumn* cc = c < cached.size() ? cached[c].get() : nullptr;
+    const MirrorColumn* mc =
+        fresh && c < src.cached->size() ? (*src.cached)[c].get() : nullptr;
+    const VecColumn* cc = mc != nullptr ? &mc->col : nullptr;
     if (cc != nullptr) {
       // Gather from the mirror: exactly the values + validity the row-major
       // pass would extract, read from contiguous arrays.
@@ -322,24 +378,34 @@ static std::vector<size_t> ActiveColumns(const Table& table,
 /// Resolves the slot-major mirrors for one execution: slot c of `cached` is
 /// set for active columns the cache covers; `row_cols` collects the rest —
 /// the columns the row-major extraction pass must still materialize.
-/// Mirrors materialize the latest-committed state, so they are only
-/// consulted when the table is quiescent for `snap` — no uncommitted
-/// versions and nothing committed past the snapshot's read timestamp.
-/// Otherwise every column takes the row-major version-chain walk.
+/// Mirrors are resolved whenever a cache is present — even on a table with
+/// in-flight writers — because trust is decided per batch against the
+/// per-morsel stamps (see BuildScanBatch). `table_quiescent` reports the
+/// whole-table fast path: the table is quiescent for `snap` AND every
+/// resolved source is fully stamped at the current data version, in which
+/// case every batch may skip the per-morsel checks — exactly the pre-stamp
+/// behavior of a quiescent-table scan.
 static void ResolveMirrors(
     ColumnCache* cache, const Table& table, const txn::Snapshot& snap,
     const std::vector<size_t>& active,
-    std::vector<std::shared_ptr<const VecColumn>>* cached,
+    std::vector<std::shared_ptr<const MirrorColumn>>* cached,
     std::vector<size_t>* row_cols,
-    std::shared_ptr<const std::vector<uint8_t>>* liveness) {
+    std::shared_ptr<const LivenessMap>* liveness, bool* table_quiescent) {
   cached->assign(table.schema().NumColumns(), nullptr);
   row_cols->clear();
   liveness->reset();
-  const bool mirrors_usable = cache != nullptr && table.QuiescentFor(snap);
+  *table_quiescent = false;
+  if (cache == nullptr) {
+    *row_cols = active;
+    return;
+  }
+  bool all_fresh = true;
   for (size_t c : active) {
-    std::shared_ptr<const VecColumn> cc;
-    if (mirrors_usable) cc = cache->Get(table, c);
+    std::shared_ptr<const MirrorColumn> cc = cache->Get(table, c);
     if (cc != nullptr) {
+      if (!cc->fully_stamped || cc->stamped_at != table.data_version()) {
+        all_fresh = false;  // per-morsel stamps still salvage fresh morsels
+      }
       (*cached)[c] = std::move(cc);
     } else {
       row_cols->push_back(c);
@@ -348,9 +414,15 @@ static void ResolveMirrors(
   // With every active column mirrored (trivially so for a column-free scan,
   // e.g. COUNT(*)), no tuple is ever fetched — the cached liveness bitmap
   // then replaces the per-slot version-chain walk too.
-  if (mirrors_usable && row_cols->empty()) {
+  if (row_cols->empty()) {
     *liveness = cache->GetLiveness(table);
+    if (*liveness != nullptr && (!(*liveness)->fully_stamped ||
+                                 (*liveness)->stamped_at !=
+                                     table.data_version())) {
+      all_fresh = false;
+    }
   }
+  *table_quiescent = all_fresh && table.QuiescentFor(snap);
 }
 
 VecScanOp::VecScanOp(const Table* table, std::string effective_name,
@@ -381,7 +453,7 @@ void VecScanOp::VecOpenImpl() {
   cursor_ = 0;
   deferred_ = Status::OK();
   ResolveMirrors(cache_, *table_, snap_, active_cols_, &cached_cols_,
-                 &row_cols_, &liveness_);
+                 &row_cols_, &liveness_, &table_quiescent_);
 }
 
 bool VecScanOp::NextBatchImpl(Batch* out) {
@@ -395,9 +467,10 @@ bool VecScanOp::NextBatchImpl(Batch* out) {
     }
     RowId begin = cursor_;
     cursor_ += kBatchRows;
+    ScanSources src{&cached_cols_, &row_cols_, liveness_.get(),
+                    table_quiescent_};
     BuildScanBatch(*table_, snap_, begin, out, &scratch_live_, &scratch_rows_,
-                   &scratch_dicts_, active_cols_, cached_cols_, row_cols_,
-                   liveness_.get());
+                   &scratch_dicts_, active_cols_, src);
     if (out->rows == 0) continue;
     Status s = ApplyFusedFilters(filters_, scalar_filters_, out, &scratch_sel_);
     size_t active = out->ActiveCount();
@@ -453,7 +526,7 @@ void VecParallelScanOp::VecOpenImpl() {
   // Resolve mirrors once, before dispatch: workers read the shared vectors
   // concurrently but never write them.
   ResolveMirrors(cache_, *table_, snap_, active_cols_, &cached_cols_,
-                 &row_cols_, &liveness_);
+                 &row_cols_, &liveness_, &table_quiescent_);
   // One status slot per morsel; the lowest-numbered failing morsel's error is
   // the one the serial scan would hit first.
   std::vector<Status> morsel_status(n);
@@ -465,10 +538,12 @@ void VecParallelScanOp::VecOpenImpl() {
     std::vector<uint32_t> sel_scratch;
     RowId mbegin = static_cast<RowId>(m) * kMorselRows;
     RowId mend = std::min<RowId>(mbegin + kMorselRows, slots);
+    ScanSources src{&cached_cols_, &row_cols_, liveness_.get(),
+                    table_quiescent_};
     for (RowId b = mbegin; b < mend; b += kBatchRows) {
       Batch batch;
       BuildScanBatch(*table_, snap_, b, &batch, &live, &rows, &dicts,
-                     active_cols_, cached_cols_, row_cols_, liveness_.get());
+                     active_cols_, src);
       if (batch.rows == 0) continue;
       Status s = ApplyFusedFilters(filters_, scalar_filters_, &batch, &sel_scratch);
       size_t active = batch.ActiveCount();

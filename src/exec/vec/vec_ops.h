@@ -13,6 +13,8 @@
 namespace aidb::exec {
 
 class ColumnCache;
+struct MirrorColumn;
+struct LivenessMap;
 
 /// \brief Base of the batch-at-a-time operators.
 ///
@@ -119,12 +121,17 @@ class VecScanOp : public VecOperator {
   /// Per table column: the slot-major mirror to gather from (null = extract
   /// from the row store). Resolved per execution in VecOpenImpl so a
   /// prepared statement re-executed after DML picks up a fresh mirror.
-  std::vector<std::shared_ptr<const VecColumn>> cached_cols_;
+  std::vector<std::shared_ptr<const MirrorColumn>> cached_cols_;
   /// The active columns without a mirror — the row-major extraction set.
   std::vector<size_t> row_cols_;
   /// Cached slot-major liveness bitmap (null = per-slot chain walk); only
-  /// resolved when the table is quiescent and row_cols_ is empty.
-  std::shared_ptr<const std::vector<uint8_t>> liveness_;
+  /// resolved when row_cols_ is empty, and honored per batch — for morsels
+  /// whose stamp is fresh and which are quiescent for the snapshot.
+  std::shared_ptr<const LivenessMap> liveness_;
+  /// Whole-table fast path: the table is quiescent for the snapshot and every
+  /// resolved source is fully stamped at the current data version, so every
+  /// batch may use the mirrors without per-morsel checks.
+  bool table_quiescent_ = false;
   std::vector<RowId> scratch_live_;
   std::vector<const Tuple*> scratch_rows_;  ///< visible tuple per live slot
   /// One dictionary index per table column (string columns use theirs);
@@ -165,9 +172,10 @@ class VecParallelScanOp : public VecOperator {
   /// Mirrors + row-extraction set, resolved once per execution; workers read
   /// them concurrently (shared_ptr copies are not needed — the vector lives
   /// for the whole scan).
-  std::vector<std::shared_ptr<const VecColumn>> cached_cols_;
+  std::vector<std::shared_ptr<const MirrorColumn>> cached_cols_;
   std::vector<size_t> row_cols_;
-  std::shared_ptr<const std::vector<uint8_t>> liveness_;
+  std::shared_ptr<const LivenessMap> liveness_;
+  bool table_quiescent_ = false;
   ParallelContext ctx_;
   std::vector<std::vector<Batch>> morsels_;  ///< buffered batches, per morsel
   size_t morsel_cursor_ = 0;

@@ -9,20 +9,30 @@ namespace aidb::server {
 
 namespace {
 
-/// First bare keyword of the statement, uppercased.
-std::string HeadKeyword(const std::string& sql) {
+/// The n-th bare keyword of the statement (0-based), uppercased; empty when
+/// the statement runs out of leading keywords first.
+std::string KeywordAt(const std::string& sql, size_t n) {
   size_t i = 0;
-  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
-    ++i;
+  std::string word;
+  for (size_t k = 0; k <= n; ++k) {
+    word.clear();
+    while (i < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+    while (i < sql.size() &&
+           std::isalpha(static_cast<unsigned char>(sql[i]))) {
+      word.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(sql[i]))));
+      ++i;
+    }
+    if (word.empty()) return word;
   }
-  std::string head;
-  while (i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]))) {
-    head.push_back(static_cast<char>(
-        std::toupper(static_cast<unsigned char>(sql[i]))));
-    ++i;
-  }
-  return head;
+  return word;
 }
+
+/// First bare keyword of the statement, uppercased.
+std::string HeadKeyword(const std::string& sql) { return KeywordAt(sql, 0); }
 
 bool MentionsSystemView(const std::string& sql) {
   std::string u(sql.size(), '\0');
@@ -254,8 +264,14 @@ bool Service::SharedEligible(const Job& job) const {
         return false;  // DDL-class templates keep the exclusive lane
     }
   }
-  // EXPLAIN ANALYZE writes the shared trace buffer; plain EXPLAIN only
-  // plans, but the two share a head keyword — be conservative for both.
+  if (head == "EXPLAIN") {
+    // EXPLAIN ANALYZE executes the statement under tracing and funnels
+    // per-operator timings through the shared trace buffer — exclusive
+    // lane. Plain EXPLAIN returns the rendered plan before execution ever
+    // starts (no trace writes, no engine state), so it is as shared-safe
+    // as the SELECT it wraps; the second keyword tells them apart.
+    return KeywordAt(job.sql, 1) != "ANALYZE";
+  }
   return false;
 }
 

@@ -11,7 +11,33 @@ using txn::kInfinityTs;
 using txn::kMaxCommitTs;
 using txn::MarkerFor;
 
+// Frozen-slot tag, kept in bit 0 of Slot::head (Version is over-aligned well
+// past 2 bytes). A tagged head marks a slot whose single version is committed
+// at or below a past vacuum watermark with an open end_ts: visible to every
+// snapshot, so readers return it from one load without touching the
+// timestamps. Invariant: any mutation of such a slot first stores the
+// untagged head (under write_mu_), so a tagged pointer always denotes the
+// frozen state.
+constexpr uintptr_t kFrozenBit = 1;
+
+bool IsFrozen(const Version* v) {
+  return (reinterpret_cast<uintptr_t>(v) & kFrozenBit) != 0;
+}
+Version* Untag(Version* v) {
+  return reinterpret_cast<Version*>(reinterpret_cast<uintptr_t>(v) &
+                                    ~kFrozenBit);
+}
+const Version* Untag(const Version* v) {
+  return reinterpret_cast<const Version*>(reinterpret_cast<uintptr_t>(v) &
+                                          ~kFrozenBit);
+}
+Version* Tag(Version* v) {
+  return reinterpret_cast<Version*>(reinterpret_cast<uintptr_t>(v) |
+                                    kFrozenBit);
+}
+
 void FreeChain(Version* v) {
+  v = Untag(v);
   while (v != nullptr) {
     Version* next = v->older.load(std::memory_order_relaxed);
     delete v;
@@ -33,6 +59,9 @@ Table::~Table() {
   }
   for (auto& seg : segments_) {
     delete[] seg.load(std::memory_order_acquire);
+  }
+  for (auto& mm : morsel_meta_) {
+    delete[] mm.load(std::memory_order_acquire);
   }
 }
 
@@ -60,14 +89,21 @@ Result<RowId> Table::AllocateSlot(Version* head) {
   RowId id = num_slots_.load(std::memory_order_relaxed);
   size_t k = SegmentOf(id);
   if (k >= kNumSegments) {
-    delete head;
+    delete Untag(head);
     return Status::OutOfRange("table " + name_ + " slot space exhausted");
   }
   if (segments_[k].load(std::memory_order_relaxed) == nullptr) {
+    // Morsel metadata first: it must be reachable before any slot of the
+    // segment is published (readers check morsel stamps for published slots).
+    morsel_meta_[k].store(new MorselMeta[size_t{1} << k],
+                          std::memory_order_release);
     segments_[k].store(new Slot[kSegBase << k], std::memory_order_release);
   }
   Slot* s = segments_[k].load(std::memory_order_relaxed) + (id - SegmentBase(k));
   s->head.store(head, std::memory_order_relaxed);
+  // Slot layout of the morsel changed (append or tombstone): any cached
+  // mirror/liveness of this morsel is stale.
+  BumpMorselVersion(id);
   // Publication point: the acquire load in NumSlots() makes the segment
   // pointer and the head store above visible to any reader that sees `id`
   // in range.
@@ -75,10 +111,26 @@ Result<RowId> Table::AllocateSlot(Version* head) {
   return id;
 }
 
+Version* Table::LoadHeadForWrite(Slot* s) {
+  Version* h = s->head.load(std::memory_order_acquire);
+  if (IsFrozen(h)) {
+    // Clear the freeze before any timestamp mutation: readers must never
+    // take the single-load path on a slot whose head is being rewritten.
+    h = Untag(h);
+    s->head.store(h, std::memory_order_release);
+  }
+  return h;
+}
+
 const Version* Table::VisibleVersion(RowId id,
                                      const txn::Snapshot& snap) const {
   if (id >= NumSlots()) return nullptr;
   const Version* v = SlotFor(id)->head.load(std::memory_order_acquire);
+  if (IsFrozen(v)) {
+    // Single committed version, begun at or below a past watermark (hence at
+    // or below every live read_ts), never ended: visible, one load.
+    return Untag(v);
+  }
   while (v != nullptr) {
     uint64_t b = v->begin_ts.load(std::memory_order_acquire);
     bool begun = b <= snap.read_ts ||
@@ -105,10 +157,14 @@ Result<RowId> Table::Insert(Tuple row) {
   AIDB_RETURN_NOT_OK(ValidateRow(row));
   std::lock_guard<std::mutex> lock(write_mu_);
   auto* v = new Version(std::move(row), kBootstrapTs, kInfinityTs);
-  Result<RowId> id = AllocateSlot(v);
+  // Born frozen: begin_ts = kBootstrapTs is at or below every possible
+  // read_ts and the version is the slot's only one, so bulk-loaded and
+  // recovered tables take the single-load read path immediately.
+  Result<RowId> id = AllocateSlot(Tag(v));
   if (!id.ok()) return id;
   live_count_.fetch_add(1, std::memory_order_relaxed);
   NoteCommitTs(kBootstrapTs);
+  NoteMorselCommitTs(id.ValueOrDie(), kBootstrapTs);
   BumpDataVersion();
   return id;
 }
@@ -121,18 +177,20 @@ Status Table::InsertAtSlot(RowId id, Tuple row) {
   }
   if (NumSlots() == id) {
     auto* v = new Version(std::move(row), kBootstrapTs, kInfinityTs);
-    AIDB_RETURN_NOT_OK(AllocateSlot(v).status());
+    AIDB_RETURN_NOT_OK(AllocateSlot(Tag(v)).status());
   } else {
     Slot* s = SlotFor(id);
     if (s->head.load(std::memory_order_relaxed) != nullptr) {
       return Status::Internal("insert at slot " + std::to_string(id) + " in " +
                               name_ + ": slot already occupied");
     }
-    s->head.store(new Version(std::move(row), kBootstrapTs, kInfinityTs),
+    s->head.store(Tag(new Version(std::move(row), kBootstrapTs, kInfinityTs)),
                   std::memory_order_release);
+    BumpMorselVersion(id);
   }
   live_count_.fetch_add(1, std::memory_order_relaxed);
   NoteCommitTs(kBootstrapTs);
+  NoteMorselCommitTs(id, kBootstrapTs);
   BumpDataVersion();
   return Status::OK();
 }
@@ -152,17 +210,17 @@ Result<Tuple> Table::Get(RowId id) const {
 
 Status Table::Delete(RowId id) {
   std::lock_guard<std::mutex> lock(write_mu_);
-  Version* h = id < NumSlots()
-                   ? SlotFor(id)->head.load(std::memory_order_acquire)
-                   : nullptr;
-  const Version* vis = VisibleVersion(id, txn::Snapshot{});
-  if (vis == nullptr || h == nullptr) {
+  if (id >= NumSlots() || VisibleVersion(id, txn::Snapshot{}) == nullptr) {
     return Status::NotFound("row " + std::to_string(id));
   }
+  Version* h = LoadHeadForWrite(SlotFor(id));
+  if (h == nullptr) return Status::NotFound("row " + std::to_string(id));
   // Bootstrap callers never race transactions; the visible version is the
   // head (or the head is a newer bootstrap version over it — end the head).
   h->end_ts.store(kBootstrapTs, std::memory_order_release);
   live_count_.fetch_sub(1, std::memory_order_relaxed);
+  BumpMorselVersion(id);
+  NoteMorselCommitTs(id, kBootstrapTs);
   BumpDataVersion();
   return Status::OK();
 }
@@ -170,16 +228,18 @@ Status Table::Delete(RowId id) {
 Status Table::Update(RowId id, Tuple row) {
   AIDB_RETURN_NOT_OK(ValidateRow(row));
   std::lock_guard<std::mutex> lock(write_mu_);
-  Version* h = id < NumSlots()
-                   ? SlotFor(id)->head.load(std::memory_order_acquire)
-                   : nullptr;
-  if (h == nullptr || VisibleVersion(id, txn::Snapshot{}) == nullptr) {
+  if (id >= NumSlots() || VisibleVersion(id, txn::Snapshot{}) == nullptr) {
     return Status::NotFound("row " + std::to_string(id));
   }
+  Slot* s = SlotFor(id);
+  Version* h = LoadHeadForWrite(s);
+  if (h == nullptr) return Status::NotFound("row " + std::to_string(id));
   auto* nv = new Version(std::move(row), kBootstrapTs, kInfinityTs);
   nv->older.store(h, std::memory_order_relaxed);
   h->end_ts.store(kBootstrapTs, std::memory_order_release);
-  SlotFor(id)->head.store(nv, std::memory_order_release);
+  s->head.store(nv, std::memory_order_release);
+  BumpMorselVersion(id);
+  NoteMorselCommitTs(id, kBootstrapTs);
   BumpDataVersion();
   return Status::OK();
 }
@@ -193,6 +253,8 @@ Result<RowId> Table::InsertTxn(Tuple row, txn::TxnId t, txn::TxnWrite* undo) {
   Result<RowId> id = AllocateSlot(v);
   if (!id.ok()) return id;
   uncommitted_writes_.fetch_add(1, std::memory_order_release);
+  MorselFor(id.ValueOrDie())->uncommitted.fetch_add(1,
+                                                    std::memory_order_release);
   undo->table = this;
   undo->table_uid = uid_;
   undo->table_name = name_;
@@ -251,13 +313,14 @@ Status Table::UpdateTxn(RowId id, Tuple row, const txn::Snapshot& snap,
   std::lock_guard<std::mutex> lock(write_mu_);
   if (id >= NumSlots()) return Status::NotFound("row " + std::to_string(id));
   Slot* s = SlotFor(id);
-  Version* h = s->head.load(std::memory_order_acquire);
+  Version* h = LoadHeadForWrite(s);
   AIDB_RETURN_NOT_OK(CheckWritable(h, snap, name_, id));
   auto* nv = new Version(std::move(row), MarkerFor(snap.txn), kInfinityTs);
   nv->older.store(h, std::memory_order_relaxed);
   h->end_ts.store(MarkerFor(snap.txn), std::memory_order_release);
   s->head.store(nv, std::memory_order_release);
   uncommitted_writes_.fetch_add(1, std::memory_order_release);
+  MorselFor(id)->uncommitted.fetch_add(1, std::memory_order_release);
   undo->table = this;
   undo->table_uid = uid_;
   undo->table_name = name_;
@@ -272,10 +335,14 @@ Status Table::DeleteTxn(RowId id, const txn::Snapshot& snap,
   std::lock_guard<std::mutex> lock(write_mu_);
   if (id >= NumSlots()) return Status::NotFound("row " + std::to_string(id));
   Slot* s = SlotFor(id);
-  Version* h = s->head.load(std::memory_order_acquire);
+  // No new head is pushed for a delete, so clearing the freeze here is what
+  // keeps the owner's own reads (and everyone after commit) walking the
+  // chain and honoring the end marker.
+  Version* h = LoadHeadForWrite(s);
   AIDB_RETURN_NOT_OK(CheckWritable(h, snap, name_, id));
   h->end_ts.store(MarkerFor(snap.txn), std::memory_order_release);
   uncommitted_writes_.fetch_add(1, std::memory_order_release);
+  MorselFor(id)->uncommitted.fetch_add(1, std::memory_order_release);
   undo->table = this;
   undo->table_uid = uid_;
   undo->table_name = name_;
@@ -303,7 +370,10 @@ void Table::StampCommit(const txn::TxnWrite& w, uint64_t cts) {
       break;
   }
   uncommitted_writes_.fetch_sub(1, std::memory_order_release);
+  MorselFor(w.row)->uncommitted.fetch_sub(1, std::memory_order_release);
   NoteCommitTs(cts);
+  NoteMorselCommitTs(w.row, cts);
+  BumpMorselVersion(w.row);
   BumpDataVersion();
 }
 
@@ -321,7 +391,9 @@ void Table::UndoWrite(const txn::TxnWrite& w,
         size_t n = num_slots_.load(std::memory_order_relaxed);
         if (n == 0) break;
         Slot* s = SlotFor(n - 1);
-        Version* h = s->head.load(std::memory_order_acquire);
+        // The tail slot may be some other, frozen row — untag for the
+        // inspection loads (a frozen head is never aborted, so we break).
+        Version* h = Untag(s->head.load(std::memory_order_acquire));
         if (h == nullptr ||
             h->begin_ts.load(std::memory_order_acquire) != kAbortedTs ||
             h->older.load(std::memory_order_acquire) != nullptr) {
@@ -330,6 +402,7 @@ void Table::UndoWrite(const txn::TxnWrite& w,
         s->head.store(nullptr, std::memory_order_release);
         retire(h);
         num_slots_.store(n - 1, std::memory_order_release);
+        BumpMorselVersion(n - 1);
       }
       break;
     }
@@ -343,8 +416,10 @@ void Table::UndoWrite(const txn::TxnWrite& w,
         s->head.store(old, std::memory_order_release);
       } else {
         // Defensive: find and unlink (cannot happen while the undo log is
-        // processed newest-first under the row lock).
+        // processed newest-first under the row lock). An uncommitted update
+        // heads its slot with an untagged marker version, so no Untag here.
         Version* p = s->head.load(std::memory_order_acquire);
+        p = Untag(p);
         while (p != nullptr &&
                p->older.load(std::memory_order_acquire) != w.version) {
           p = p->older.load(std::memory_order_acquire);
@@ -360,6 +435,8 @@ void Table::UndoWrite(const txn::TxnWrite& w,
       break;
   }
   uncommitted_writes_.fetch_sub(1, std::memory_order_release);
+  MorselFor(w.row)->uncommitted.fetch_sub(1, std::memory_order_release);
+  BumpMorselVersion(w.row);
   BumpDataVersion();
 }
 
@@ -378,11 +455,15 @@ size_t Table::Vacuum(uint64_t watermark,
   };
   for (RowId id = 0; id < slots; ++id) {
     Slot* s = SlotFor(id);
+    Version* head = s->head.load(std::memory_order_acquire);
+    // Frozen slots are already in their terminal single-version state:
+    // nothing to reclaim (writers would have cleared the tag first).
+    if (IsFrozen(head)) continue;
     // Walk to the newest version whose begin committed at or before the
     // watermark; every active or future snapshot decides at or above it.
     // Aborted leftovers met on the way are unlinked immediately.
     Version* prev = nullptr;
-    Version* v = s->head.load(std::memory_order_acquire);
+    Version* v = head;
     while (v != nullptr) {
       uint64_t b = v->begin_ts.load(std::memory_order_acquire);
       if (b == kAbortedTs) {
@@ -401,24 +482,39 @@ size_t Table::Vacuum(uint64_t watermark,
       prev = v;
       v = v->older.load(std::memory_order_acquire);
     }
-    if (v == nullptr) continue;
-    uint64_t e = v->end_ts.load(std::memory_order_acquire);
-    if (!IsMarker(e) && e <= watermark) {
-      // Even the watermark version ended before every live snapshot: the
-      // whole suffix from v down is invisible to everyone.
-      if (prev != nullptr) {
-        prev->older.store(nullptr, std::memory_order_release);
+    if (v != nullptr) {
+      uint64_t e = v->end_ts.load(std::memory_order_acquire);
+      if (!IsMarker(e) && e <= watermark) {
+        // Even the watermark version ended before every live snapshot: the
+        // whole suffix from v down is invisible to everyone.
+        if (prev != nullptr) {
+          prev->older.store(nullptr, std::memory_order_release);
+        } else {
+          s->head.store(nullptr, std::memory_order_release);
+        }
+        retire_chain(v);
       } else {
-        s->head.store(nullptr, std::memory_order_release);
+        retire_chain(v->older.exchange(nullptr, std::memory_order_acq_rel));
       }
-      retire_chain(v);
-    } else {
-      retire_chain(v->older.exchange(nullptr, std::memory_order_acq_rel));
+    }
+    // Freeze: a slot left with exactly one committed open version at or
+    // below the watermark serves every snapshot with a single load from now
+    // on. Safe against concurrent commit stamping: markers are only placed
+    // under write_mu_ (held here), so a version mid-commit still shows a
+    // marker in begin_ts or end_ts and is skipped.
+    Version* h = s->head.load(std::memory_order_relaxed);
+    if (h != nullptr && h->older.load(std::memory_order_relaxed) == nullptr) {
+      uint64_t b = h->begin_ts.load(std::memory_order_acquire);
+      uint64_t e = h->end_ts.load(std::memory_order_acquire);
+      if (!IsMarker(b) && b != kAbortedTs && b <= watermark &&
+          e == kInfinityTs) {
+        s->head.store(Tag(h), std::memory_order_release);
+      }
     }
   }
-  // No data_version bump: vacuum only removes versions invisible to every
-  // live snapshot, so the committed-visible contents are unchanged and
-  // column-cache mirrors stay valid.
+  // No data_version (or morsel version) bump: vacuum only removes versions
+  // invisible to every live snapshot, so the committed-visible contents are
+  // unchanged and column-cache mirrors stay valid.
   return removed;
 }
 
@@ -426,7 +522,7 @@ size_t Table::CountVersions() const {
   size_t n = 0;
   size_t slots = num_slots_.load(std::memory_order_acquire);
   for (RowId id = 0; id < slots; ++id) {
-    const Version* v = SlotFor(id)->head.load(std::memory_order_acquire);
+    const Version* v = Untag(SlotFor(id)->head.load(std::memory_order_acquire));
     while (v != nullptr) {
       ++n;
       v = v->older.load(std::memory_order_acquire);

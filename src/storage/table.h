@@ -62,6 +62,11 @@ struct Version {
 class Table {
  public:
   static constexpr size_t kRowsPerPage = 64;
+  /// Granularity of the per-morsel write metadata: equals one segment-
+  /// directory base unit (so segment k holds exactly 1<<k morsels) and the
+  /// vectorized engine's batch size (vec_ops.cc statically asserts the
+  /// match, and the column cache stamps its mirrors per morsel).
+  static constexpr size_t kMorselRows = 1024;
 
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)), uid_(NextUid()) {}
@@ -229,6 +234,29 @@ class Table {
     return uncommitted_writes() == 0 && max_commit_ts() <= snap.read_ts;
   }
 
+  // --- Per-morsel write metadata -------------------------------------------
+  // kMorselRows-slot morsels carry their own change counter, max commit
+  // timestamp, and in-flight write count, so the vectorized scan can keep
+  // using cached mirrors for the untouched morsels of a non-quiescent table
+  // and fall back to chain walks only where writes actually landed.
+
+  size_t NumMorsels() const {
+    return (NumSlots() + kMorselRows - 1) / kMorselRows;
+  }
+  /// Change counter of morsel `m`: bumped whenever the morsel's committed-
+  /// visible contents or slot layout can have changed (slot allocation,
+  /// bootstrap writes, commit stamping, rollback). Vacuum never bumps it.
+  uint64_t MorselVersion(size_t m) const {
+    return MorselAt(m)->version.load(std::memory_order_acquire);
+  }
+  /// QuiescentFor at morsel granularity: no in-flight write touches morsel
+  /// `m` and nothing committed into it after snap.read_ts.
+  bool MorselQuiescentFor(size_t m, const txn::Snapshot& snap) const {
+    const MorselMeta* mm = MorselAt(m);
+    return mm->uncommitted.load(std::memory_order_acquire) == 0 &&
+           mm->max_commit_ts.load(std::memory_order_acquire) <= snap.read_ts;
+  }
+
   /// Unlinks version nodes no snapshot at or after `watermark` can see
   /// (including aborted leftovers), handing each to `retire`. Returns the
   /// number of versions unlinked. Safe against concurrent readers; excludes
@@ -246,9 +274,22 @@ class Table {
   static constexpr size_t kSegBaseLog2 = 10;
   static constexpr size_t kSegBase = 1ull << kSegBaseLog2;
   static constexpr size_t kNumSegments = 22;
+  static_assert(kMorselRows == kSegBase,
+                "morsels must tile segments exactly (1<<k morsels each)");
 
+  /// `head` carries a low-bit "frozen" tag (see table.cc): a tagged head is
+  /// a slot whose sole version is committed at or below a past vacuum
+  /// watermark with an open end_ts — visible to every snapshot with a single
+  /// load, no chain walk. Writers clear the tag (under write_mu_) before any
+  /// timestamp mutation.
   struct Slot {
     std::atomic<Version*> head{nullptr};
+  };
+
+  struct MorselMeta {
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> max_commit_ts{0};
+    std::atomic<uint64_t> uncommitted{0};
   };
 
   static uint64_t NextUid();
@@ -266,9 +307,35 @@ class Table {
     return segments_[k].load(std::memory_order_acquire) + (id - SegmentBase(k));
   }
 
-  /// Appends a slot whose head is `head` (may be null for tombstone slots).
-  /// Caller holds write_mu_; publication is the release store of num_slots_.
+  /// Metadata of morsel `m` (allocated with its segment; segment k's array
+  /// holds its 1<<k morsels).
+  MorselMeta* MorselAt(size_t m) const {
+    RowId first = static_cast<RowId>(m) * kMorselRows;
+    size_t k = SegmentOf(first);
+    return morsel_meta_[k].load(std::memory_order_acquire) +
+           (m - (SegmentBase(k) >> kSegBaseLog2));
+  }
+  MorselMeta* MorselFor(RowId id) const { return MorselAt(id >> kSegBaseLog2); }
+  void BumpMorselVersion(RowId id) {
+    MorselFor(id)->version.fetch_add(1, std::memory_order_release);
+  }
+  void NoteMorselCommitTs(RowId id, uint64_t cts) {
+    std::atomic<uint64_t>& mc = MorselFor(id)->max_commit_ts;
+    uint64_t cur = mc.load(std::memory_order_relaxed);
+    while (cur < cts &&
+           !mc.compare_exchange_weak(cur, cts, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Appends a slot whose head is `head` (may be null for tombstone slots,
+  /// or frozen-tagged for born-frozen bootstrap rows). Caller holds
+  /// write_mu_; publication is the release store of num_slots_.
   Result<RowId> AllocateSlot(Version* head);
+
+  /// Loads a slot head for a writer, clearing the frozen tag first (under
+  /// write_mu_) so no timestamp mutation ever happens behind a tagged head.
+  Version* LoadHeadForWrite(Slot* s);
 
   const Version* VisibleVersion(RowId id, const txn::Snapshot& snap) const;
 
@@ -290,6 +357,7 @@ class Table {
 
   mutable std::mutex write_mu_;
   std::array<std::atomic<Slot*>, kNumSegments> segments_{};
+  std::array<std::atomic<MorselMeta*>, kNumSegments> morsel_meta_{};
   std::atomic<size_t> num_slots_{0};
   std::atomic<int64_t> live_count_{0};
   std::atomic<uint64_t> uncommitted_writes_{0};

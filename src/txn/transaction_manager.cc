@@ -17,6 +17,11 @@ void TransactionManager::set_metrics(monitor::MetricsRegistry* metrics) {
                          : nullptr;
   versions_freed_ =
       metrics != nullptr ? metrics->GetCounter("mvcc.versions_freed") : nullptr;
+  read_pins_ =
+      metrics != nullptr ? metrics->GetCounter("mvcc.read_pins") : nullptr;
+  read_pin_overflows_ =
+      metrics != nullptr ? metrics->GetCounter("mvcc.read_pin_overflows")
+                         : nullptr;
   active_gauge_ = metrics != nullptr ? metrics->GetGauge("txn.active") : nullptr;
   std::lock_guard<std::mutex> lock(lock_mu_);
   locks_.set_metrics(metrics);
@@ -27,9 +32,11 @@ TxnId TransactionManager::Begin() {
   std::lock_guard<std::mutex> lock(mu_);
   ActiveTxn at;
   // read_ts is fixed under mu_ so it can never trail a vacuum that already
-  // computed a higher watermark (WatermarkTs also holds mu_).
+  // computed a higher watermark (WatermarkTs also holds mu_ for active_).
   at.read_ts = last_commit_ts();
-  at.serial = next_serial_++;
+  // seq_cst RMW: continues the release sequence on next_serial_, so a serial
+  // drawn at or after a Retire fence implies visibility of that unlink.
+  at.serial = next_serial_.fetch_add(1, std::memory_order_seq_cst);
   active_.emplace(t, std::move(at));
   if (begins_ != nullptr) begins_->Add();
   if (active_gauge_ != nullptr) {
@@ -105,8 +112,10 @@ Result<uint64_t> TransactionManager::Commit(
   for (const TxnWrite& w : at->undo) {
     w.table->StampCommit(w, cts);
   }
-  // Publish: snapshots taken from here on see every stamp above.
-  last_commit_ts_.store(cts, std::memory_order_release);
+  // Publish: snapshots taken from here on see every stamp above. seq_cst, not
+  // just release: the epoch-pin validate loop and WatermarkTs reason about a
+  // single total order over this clock's stores and loads.
+  last_commit_ts_.store(cts, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(lock_mu_);
     locks_.ReleaseAll(t);
@@ -186,43 +195,107 @@ std::vector<TxnId> TransactionManager::TxnsTouching(uint64_t table_uid) const {
   return out;
 }
 
-uint64_t TransactionManager::BeginRead(uint64_t read_ts) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t serial = next_serial_++;
-  active_reads_.emplace(serial, read_ts);
-  return serial;
+namespace {
+
+/// Each thread probes from its own shard so unrelated pinners touch disjoint
+/// cache lines; shards are assigned round-robin at first pin per thread.
+size_t PinProbeStart() {
+  static std::atomic<size_t> next_shard{0};
+  thread_local size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed);
+  constexpr size_t kShards = TransactionManager::kReadSlots /
+                             TransactionManager::kReadSlotsPerShard;
+  return (shard % kShards) * TransactionManager::kReadSlotsPerShard;
 }
 
-uint64_t TransactionManager::BeginLatestRead(uint64_t* read_ts) {
+}  // namespace
+
+TransactionManager::PinnedRead TransactionManager::PinLatestRead() {
+  PinnedRead pin;
+  const size_t start = PinProbeStart();
+  for (size_t probe = 0; probe < kReadSlots; ++probe) {
+    const size_t idx = (start + probe) % kReadSlots;
+    ReadSlot& s = read_slots_[idx];
+    uint64_t expect = kSlotFree;
+    if (!s.serial.compare_exchange_strong(expect, kSlotClaiming,
+                                          std::memory_order_seq_cst)) {
+      continue;  // taken; probe the next slot
+    }
+    // Slot claimed. kSlotClaiming blocks FreeRetired until the real serial
+    // lands, so the fence scan can never miss this pinner's serial.
+    pin.slot = static_cast<int32_t>(idx);
+    pin.serial = next_serial_.fetch_add(1, std::memory_order_seq_cst);
+    s.serial.store(pin.serial, std::memory_order_seq_cst);
+    // Hazard-pointer publish of the read_ts: store a candidate, re-check the
+    // commit clock, repeat until they agree. WatermarkTs loads the clock
+    // before scanning slots, so once a candidate survives the re-check, any
+    // vacuum that could compute a higher watermark has already seen it.
+    uint64_t ts = last_commit_ts_.load(std::memory_order_seq_cst);
+    for (;;) {
+      s.ts.store(ts, std::memory_order_seq_cst);
+      uint64_t now = last_commit_ts_.load(std::memory_order_seq_cst);
+      if (now == ts) break;
+      ts = now;
+    }
+    pin.read_ts = ts;
+    if (read_pins_ != nullptr) read_pins_->Add();
+    return pin;
+  }
+  // Every slot taken (more than kReadSlots concurrent pinners): fall back to
+  // the mutex-guarded overflow map — correctness never depends on a free slot.
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t ts = last_commit_ts();
-  if (read_ts != nullptr) *read_ts = ts;
-  uint64_t serial = next_serial_++;
-  active_reads_.emplace(serial, ts);
-  return serial;
+  pin.slot = -1;
+  pin.read_ts = last_commit_ts();
+  pin.serial = next_serial_.fetch_add(1, std::memory_order_seq_cst);
+  overflow_reads_.emplace(pin.serial, pin.read_ts);
+  if (read_pins_ != nullptr) read_pins_->Add();
+  if (read_pin_overflows_ != nullptr) read_pin_overflows_->Add();
+  return pin;
 }
 
-void TransactionManager::EndRead(uint64_t serial) {
+void TransactionManager::Unpin(const PinnedRead& pin) {
+  if (pin.slot >= 0) {
+    ReadSlot& s = read_slots_[static_cast<size_t>(pin.slot)];
+    s.ts.store(kSlotFree, std::memory_order_seq_cst);
+    // serial is the claim token: releasing it LAST keeps the ts reset above
+    // ordered before any re-claim of this slot.
+    s.serial.store(kSlotFree, std::memory_order_seq_cst);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  active_reads_.erase(serial);
+  overflow_reads_.erase(pin.serial);
 }
 
 uint64_t TransactionManager::WatermarkTs() const {
+  // Clock FIRST, then the slot scan (all seq_cst). If a pinner validated a
+  // read_ts R below the value loaded here, its slot store of R precedes this
+  // scan in the seq_cst order, so the scan sees R; otherwise the pinner's
+  // validated read_ts is at or above the loaded value. Either way the result
+  // never exceeds any pinned read_ts.
+  uint64_t wm = last_commit_ts_.load(std::memory_order_seq_cst);
+  for (const ReadSlot& s : read_slots_) {
+    wm = std::min(wm, s.ts.load(std::memory_order_seq_cst));  // free = ~0
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t wm = last_commit_ts();
   for (const auto& [id, at] : active_) {
     wm = std::min(wm, at.read_ts);
   }
-  for (const auto& [serial, ts] : active_reads_) {
+  for (const auto& [serial, ts] : overflow_reads_) {
     wm = std::min(wm, ts);
   }
   return wm;
 }
 
-uint64_t TransactionManager::MinActiveSerial() const {
-  uint64_t min_serial = next_serial_;
-  if (!active_reads_.empty()) {
-    min_serial = std::min(min_serial, active_reads_.begin()->first);
+uint64_t TransactionManager::MinActiveSerialLocked() const {
+  uint64_t min_serial = next_serial_.load(std::memory_order_seq_cst);
+  for (const ReadSlot& s : read_slots_) {
+    // kSlotClaiming (0) undercuts every fence, deferring all frees to a later
+    // round; the claim window is a handful of instructions, so this never
+    // starves reclamation. kSlotFree (~0) is a no-op in the min.
+    min_serial = std::min(min_serial, s.serial.load(std::memory_order_seq_cst));
+  }
+  if (!overflow_reads_.empty()) {
+    min_serial = std::min(min_serial, overflow_reads_.begin()->first);
   }
   for (const auto& [id, at] : active_) {
     min_serial = std::min(min_serial, at.serial);
@@ -231,8 +304,14 @@ uint64_t TransactionManager::MinActiveSerial() const {
 }
 
 void TransactionManager::Retire(aidb::Version* v) {
+  // fetch_add(0): an RMW, not a plain load, so it heads a release sequence on
+  // next_serial_ — any reader whose serial RMW comes later in that sequence
+  // synchronizes with it and therefore sees the unlink stores the retiring
+  // thread performed just before this call. Readers with serials below the
+  // fence are instead held in FreeRetired by their slot/txn registration.
+  uint64_t fence = next_serial_.fetch_add(0, std::memory_order_seq_cst);
   std::lock_guard<std::mutex> lock(mu_);
-  retired_.push_back({v, next_serial_});
+  retired_.push_back({v, fence});
   if (versions_retired_ != nullptr) versions_retired_->Add();
 }
 
@@ -240,7 +319,7 @@ size_t TransactionManager::FreeRetired() {
   std::vector<aidb::Version*> to_free;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    uint64_t min_serial = MinActiveSerial();
+    uint64_t min_serial = MinActiveSerialLocked();
     while (!retired_.empty() && retired_.front().fence <= min_serial) {
       to_free.push_back(retired_.front().v);
       retired_.pop_front();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -42,19 +43,54 @@ struct TxnInfo {
 /// Timestamp protocol: the commit clock starts at kBootstrapTs; every commit
 /// takes the next tick under commit_mu_, stamps its undo log, appends its
 /// WAL commit record (still under commit_mu_, so WAL commit order equals
-/// commit-timestamp order), and only then release-publishes last_commit_ts_.
-/// A snapshot's read_ts is an acquire load of last_commit_ts_, which
-/// guarantees every version stamp of every commit at or before read_ts is
-/// visible to the snapshot holder.
+/// commit-timestamp order), and only then publishes last_commit_ts_ (a
+/// seq_cst store — the epoch-slot watermark proof below needs the clock's
+/// loads and stores in the single total order). A snapshot's read_ts is a
+/// load of last_commit_ts_, which guarantees every version stamp of every
+/// commit at or before read_ts is visible to the snapshot holder.
+///
+/// Read registration: autocommit readers pin a latest-committed snapshot
+/// through a fixed array of cache-line-sized epoch slots — claim one slot
+/// with a single CAS, publish the read_ts with a hazard-pointer validate
+/// loop against the commit clock, release with two plain stores. No mutex
+/// is taken anywhere on that path. WatermarkTs() loads the clock FIRST and
+/// then scans the slots (all seq_cst): if a reader validated a read_ts R
+/// below the loaded clock value, its slot store of R is already ordered
+/// before the scan, so the scan sees it; otherwise the reader's validated
+/// read_ts is at or above the loaded clock — either way the watermark never
+/// exceeds a pinned reader's read_ts. A full ring (more than kReadSlots
+/// concurrent pinners) falls back to the mutex-guarded overflow map, which
+/// is the pre-epoch registration path.
 ///
 /// Reclamation: rollback and vacuum unlink version nodes from chains that
 /// lock-free readers may still be walking. Unlinked nodes are retired with a
-/// fence = the current read-serial counter; they are freed only once every
-/// reader registered before the fence has finished (MinActiveSerial() >
-/// fence). Every statement execution registers a read serial around its
-/// chain-walking window.
+/// fence drawn from next_serial_ by a seq_cst RMW; they are freed only once
+/// every reader registered before the fence has finished. A reader whose
+/// serial is at or above the fence performed its serial RMW after the
+/// fence's RMW in the release sequence on next_serial_, so the unlink stores
+/// (sequenced before Retire) are visible to its chain walk — it can never
+/// reach a retired node. A reader below the fence is still published in its
+/// slot (the slot is claimed, with serial 0 as a claim-in-progress sentinel
+/// that conservatively blocks all frees, before the serial is drawn), so
+/// FreeRetired's slot scan blocks the free.
 class TransactionManager {
  public:
+  /// Epoch-slot capacity: pinners beyond this fall back to the mutex path.
+  static constexpr size_t kReadSlots = 64;
+  /// Slots per shard: a pinner probes its shard first, then the whole ring,
+  /// so unrelated threads rarely contend on one cache line.
+  static constexpr size_t kReadSlotsPerShard = 4;
+  static constexpr uint64_t kSlotFree = ~0ull;     ///< min-scans skip it
+  static constexpr uint64_t kSlotClaiming = 0;     ///< blocks every free
+
+  /// A registered latest-committed read window (see PinLatestRead). POD so
+  /// the RAII wrapper below stays trivially movable.
+  struct PinnedRead {
+    uint64_t read_ts = 0;
+    uint64_t serial = 0;
+    int32_t slot = -1;  ///< epoch slot index; -1 = overflow map entry
+  };
+
   TransactionManager() = default;
   ~TransactionManager() {
     for (const Retired& r : retired_) delete r.v;
@@ -90,11 +126,10 @@ class TransactionManager {
 
   bool IsActive(TxnId t) const;
   /// The transaction's snapshot; a latest-committed snapshot when `t` is not
-  /// active (kInvalidTxnId included).
+  /// active (kInvalidTxnId included). Note an inactive-txn fallback snapshot
+  /// is NOT watermark-registered — executor read paths must instead pin one
+  /// via PinLatestRead/ReadPin, or run inside an active transaction.
   Snapshot SnapshotFor(TxnId t) const;
-  Snapshot LatestSnapshot() const {
-    return Snapshot{last_commit_ts(), kInvalidTxnId};
-  }
   uint64_t last_commit_ts() const {
     return last_commit_ts_.load(std::memory_order_acquire);
   }
@@ -157,24 +192,23 @@ class TransactionManager {
 
   // --- Read registration & garbage collection ------------------------------
 
-  /// Registers a chain-walking window; `read_ts` caps what vacuum may
-  /// reclaim while the window is open. Returns the serial to pass EndRead.
-  /// `read_ts` must already be watermark-protected — i.e. the read_ts of a
-  /// still-active transaction. For latest-committed reads use
-  /// BeginLatestRead, which fixes the timestamp under the registry lock
-  /// (fixing it earlier would race a concurrent commit + vacuum).
-  uint64_t BeginRead(uint64_t read_ts);
-  /// Atomically picks read_ts = last_commit_ts and registers it.
-  uint64_t BeginLatestRead(uint64_t* read_ts);
-  void EndRead(uint64_t serial);
+  /// Registers a latest-committed read window without taking any mutex
+  /// (epoch slot claim + hazard-pointer read_ts publish; mutex overflow only
+  /// when all kReadSlots are taken). The returned pin's read_ts caps what
+  /// vacuum may reclaim, and its serial blocks FreeRetired, until Unpin.
+  /// Prefer the ReadPin RAII wrapper.
+  PinnedRead PinLatestRead();
+  void Unpin(const PinnedRead& pin);
 
-  /// Oldest read_ts any live snapshot (open transaction or registered read)
-  /// may use; last_commit_ts when none are live. Versions dead at or before
-  /// the watermark are unreachable.
+  /// Oldest read_ts any live snapshot (open transaction or pinned read) may
+  /// use; last_commit_ts when none are live. Versions dead at or before the
+  /// watermark are unreachable.
   uint64_t WatermarkTs() const;
 
   /// Takes ownership of an unlinked version node; it is freed by a later
-  /// FreeRetired() once all possible concurrent walkers have drained.
+  /// FreeRetired() once all possible concurrent walkers have drained. Must
+  /// be called by the unlinking thread (the fence RMW is what publishes the
+  /// unlink stores to later-registered readers).
   void Retire(aidb::Version* v);
 
   /// Frees retired nodes whose fence has drained. Returns the number freed.
@@ -198,9 +232,19 @@ class TransactionManager {
   }
 
  private:
-  uint64_t MinActiveSerial() const;  // callers hold mu_
+  uint64_t MinActiveSerialLocked() const;  // callers hold mu_
 
-  mutable std::mutex mu_;  ///< active txns, read registry, retire list
+  /// One epoch read slot. `serial` doubles as the claim token: kSlotFree =
+  /// unclaimed, kSlotClaiming = claimed but serial not yet drawn (blocks all
+  /// frees), else the pinner's read serial. `ts` is the published read_ts
+  /// (kSlotFree until the validate loop lands). One cache line per slot so
+  /// concurrent pinners never false-share.
+  struct alignas(64) ReadSlot {
+    std::atomic<uint64_t> serial{kSlotFree};
+    std::atomic<uint64_t> ts{kSlotFree};
+  };
+
+  mutable std::mutex mu_;  ///< active txns, overflow reads, retire list
   std::mutex commit_mu_;   ///< serializes commit stamping + WAL commit append
   std::mutex lock_mu_;     ///< LockManager is not internally synchronized
   LockManager locks_;
@@ -218,8 +262,12 @@ class TransactionManager {
   };
   std::unordered_map<TxnId, ActiveTxn> active_;
 
-  uint64_t next_serial_ = 1;
-  std::map<uint64_t, uint64_t> active_reads_;  ///< serial -> read_ts
+  /// Read-serial allocator. Atomic (not mu_-guarded) because epoch pinners
+  /// draw serials lock-free; Retire's fence RMW on the same atomic is what
+  /// gives later pinners visibility of the unlinks (see class comment).
+  std::atomic<uint64_t> next_serial_{1};
+  std::array<ReadSlot, kReadSlots> read_slots_;
+  std::map<uint64_t, uint64_t> overflow_reads_;  ///< serial -> read_ts
 
   struct Retired {
     aidb::Version* v;
@@ -233,7 +281,43 @@ class TransactionManager {
   monitor::Counter* conflicts_ = nullptr;
   monitor::Counter* versions_retired_ = nullptr;
   monitor::Counter* versions_freed_ = nullptr;
+  monitor::Counter* read_pins_ = nullptr;
+  monitor::Counter* read_pin_overflows_ = nullptr;
   monitor::Gauge* active_gauge_ = nullptr;
+};
+
+/// RAII wrapper over PinLatestRead/Unpin: pins a registered latest-committed
+/// snapshot for exactly the scope's lifetime. This is the ONLY sanctioned way
+/// to obtain a latest-committed snapshot for executor read paths — a
+/// fabricated Snapshot{last_commit_ts(), kInvalidTxnId} is not watermark-
+/// registered, so a concurrent vacuum could reclaim versions mid-walk.
+class ReadPin {
+ public:
+  ReadPin() = default;
+  explicit ReadPin(TransactionManager* tm)
+      : tm_(tm), pin_(tm->PinLatestRead()) {}
+  ~ReadPin() {
+    if (tm_ != nullptr) tm_->Unpin(pin_);
+  }
+  ReadPin(const ReadPin&) = delete;
+  ReadPin& operator=(const ReadPin&) = delete;
+  ReadPin(ReadPin&& o) noexcept : tm_(o.tm_), pin_(o.pin_) { o.tm_ = nullptr; }
+  ReadPin& operator=(ReadPin&& o) noexcept {
+    if (this != &o) {
+      if (tm_ != nullptr) tm_->Unpin(pin_);
+      tm_ = o.tm_;
+      pin_ = o.pin_;
+      o.tm_ = nullptr;
+    }
+    return *this;
+  }
+
+  uint64_t read_ts() const { return pin_.read_ts; }
+  Snapshot snapshot() const { return Snapshot{pin_.read_ts, kInvalidTxnId}; }
+
+ private:
+  TransactionManager* tm_ = nullptr;
+  TransactionManager::PinnedRead pin_;
 };
 
 }  // namespace aidb::txn

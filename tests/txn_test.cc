@@ -479,5 +479,93 @@ TEST(ParallelMvccTest, RolledBackWritesNeverVisible) {
   EXPECT_EQ(check.Int("SELECT COUNT(*) FROM t"), 0);
 }
 
+// Regression (ASan leg): autocommit SELECTs used to run under a fabricated
+// Snapshot{last_commit_ts, kInvalidTxnId} that no vacuum accounting knew
+// about, so an aggressive vacuum could reclaim a version while the reader
+// was still walking its chain — a use-after-free only ASan reliably sees.
+// Reads now pin a registered epoch slot for the statement's whole window.
+// One hot row takes hundreds of committed overwrites (the every-64-commits
+// vacuum fires many times) while readers hammer autocommit point SELECTs
+// against its growing-and-shrinking version chain.
+TEST(ParallelMvccTest, AutocommitReadsSurviveAggressiveVacuum) {
+  Database db;
+  {
+    MvccSession setup(&db);
+    setup.Ok("CREATE TABLE hot (id INT, v INT)");
+    setup.Ok("INSERT INTO hot VALUES (1, 0)");
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_reads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      MvccSession s(&db);
+      while (!stop.load(std::memory_order_acquire)) {
+        // Autocommit: each SELECT pins its own latest-committed snapshot.
+        auto res = s("SELECT v FROM hot WHERE id = 1");
+        if (!res.ok() || res.ValueOrDie().rows.size() != 1 ||
+            res.ValueOrDie().rows[0][0].AsInt() < 0) {
+          bad_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  {
+    MvccSession w(&db);
+    for (int i = 1; i <= 600; ++i) {  // ~9 vacuum cycles
+      w.Ok("UPDATE hot SET v = " + std::to_string(i) + " WHERE id = 1");
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad_reads.load(), 0);
+  MvccSession check(&db);
+  EXPECT_EQ(check.Int("SELECT v FROM hot WHERE id = 1"), 600);
+  EXPECT_GT(db.metrics().GetCounter("mvcc.read_pins")->Value(), 0u);
+}
+
+// The exact vacuum watermark boundary: a reader pinned at read_ts == R when
+// the watermark computes to exactly R. Versions whose end_ts <= R are
+// reclaimable (the pinned snapshot reads past them: visibility requires
+// read_ts < end_ts), and the version straddling R (begin_ts <= R < end_ts)
+// must survive. Driven at the storage level so the boundary is deterministic
+// rather than dependent on the engine's 64-commit vacuum cadence.
+TEST(ParallelMvccTest, ReaderPinnedExactlyAtWatermarkKeepsItsVersion) {
+  Database db;
+  MvccSession s(&db);
+  s.Ok("CREATE TABLE t (id INT, v INT)");
+  s.Ok("INSERT INTO t VALUES (1, 0)");
+  // Build a 41-version chain (INSERT + 40 overwrites), staying under the
+  // 64-commit automatic vacuum so the chain is intact when we pin.
+  for (int i = 1; i <= 40; ++i) {
+    s.Ok("UPDATE t SET v = " + std::to_string(i) + " WHERE id = 1");
+  }
+  auto& tm = db.txn_manager();
+  Table* t = db.catalog().GetTable("t").ValueOrDie();
+  ASSERT_GT(t->CountVersions(), 40u);
+
+  {
+    txn::ReadPin pin(&tm);
+    // No other snapshot is live, so the pin IS the watermark — the boundary
+    // case where the reader's read_ts equals what vacuum reclaims up to.
+    const uint64_t wm = tm.WatermarkTs();
+    ASSERT_EQ(wm, pin.read_ts());
+    size_t unlinked = t->Vacuum(wm, [&](Version* v) { tm.Retire(v); });
+    EXPECT_GE(unlinked, 39u);  // every version dead at or before wm
+    tm.FreeRetired();
+    // The straddling version (begin_ts == wm, end_ts == infinity) survived
+    // and the pinned snapshot still resolves through it.
+    const Tuple* row = t->VisibleAt(0, pin.snapshot());
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ((*row)[1].AsInt(), 40);
+  }
+  // Pin released: the reader no longer holds the watermark down, and the
+  // suriving single-version chain is unchanged for new readers.
+  EXPECT_EQ(s.Int("SELECT v FROM t WHERE id = 1"), 40);
+  EXPECT_EQ(t->CountVersions(), 1u);
+}
+
 }  // namespace
 }  // namespace aidb

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -396,14 +397,16 @@ TEST(ColumnCacheTest, MirrorsTrackVersionAndUid) {
   exec::ColumnCache cache;
   auto m1 = cache.Get(t, 0);
   ASSERT_NE(m1, nullptr);
-  EXPECT_EQ(m1->rows, t.NumSlots());
+  EXPECT_EQ(m1->col.rows, t.NumSlots());
+  EXPECT_TRUE(m1->fully_stamped);
+  EXPECT_EQ(m1->stamped_at, t.data_version());
   EXPECT_EQ(cache.Get(t, 0), m1);  // warm hit returns the same mirror
   EXPECT_EQ(cache.Get(t, 1), nullptr);  // string columns are not mirrored
   ASSERT_TRUE(t.Insert({Value(int64_t{7}), Value("y")}).ok());
   auto m2 = cache.Get(t, 0);  // data_version changed: fresh mirror
   ASSERT_NE(m2, nullptr);
   EXPECT_NE(m2, m1);
-  EXPECT_EQ(m2->rows, t.NumSlots());
+  EXPECT_EQ(m2->col.rows, t.NumSlots());
   EXPECT_GT(cache.ApproxBytes(), 0u);
   cache.Evict(t.uid());
   EXPECT_EQ(cache.ApproxBytes(), 0u);
@@ -411,6 +414,58 @@ TEST(ColumnCacheTest, MirrorsTrackVersionAndUid) {
   ASSERT_TRUE(small.Insert({Value(int64_t{1})}).ok());
   EXPECT_EQ(cache.Get(small, 0), nullptr);  // below the slot threshold
   EXPECT_NE(small.uid(), t.uid());
+}
+
+TEST_F(VectorizedExecTest, ReadYourWritesThroughMirroredScan) {
+  // Regression: the mirror/liveness fast path materializes latest-committed
+  // state, so it must be declined for morsels a session's own open
+  // transaction has uncommitted writes in — otherwise the writer's scan
+  // misses its own updates (and everyone else's scan is gated per morsel,
+  // not per table). 6000 rows keeps the table above ColumnCache::kMinSlots
+  // so the vectorized scan actually resolves mirrors.
+  SeedTable("ryw", 6000, 21);
+  db_.SetVectorized(true);
+  Run("SELECT SUM(grp), COUNT(*) FROM ryw");  // primes mirrors + liveness
+
+  std::atomic<uint64_t> slot_a{0}, slot_b{0};
+  ExecSettings sa = db_.SnapshotSettings();
+  sa.txn_slot = &slot_a;
+  ExecSettings sb = db_.SnapshotSettings();
+  sb.txn_slot = &slot_b;
+  auto run_in = [&](const ExecSettings& s, const std::string& sql) {
+    auto r = db_.Execute(sql, s);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : QueryResult{};
+  };
+  auto count_in = [&](const ExecSettings& s, const std::string& sql) {
+    auto r = run_in(s, sql);
+    return r.rows.empty() ? int64_t{-1} : r.rows[0][0].AsInt();
+  };
+
+  run_in(sa, "BEGIN");
+  run_in(sa, "UPDATE ryw SET grp = 999 WHERE id = 5");
+  run_in(sa, "DELETE FROM ryw WHERE id = 7");
+  // The writing session sees its own uncommitted update and delete through
+  // the vectorized scan (its morsel declines the fast path)...
+  EXPECT_EQ(count_in(sa, "SELECT COUNT(*) FROM ryw WHERE grp = 999"), 1);
+  EXPECT_EQ(count_in(sa, "SELECT COUNT(*) FROM ryw WHERE id = 7"), 0);
+  EXPECT_EQ(count_in(sa, "SELECT COUNT(*) FROM ryw"), 5999);
+  // ...and matches the row engine on the same snapshot exactly.
+  db_.SetVectorized(false);
+  EXPECT_EQ(count_in(sa, "SELECT COUNT(*) FROM ryw WHERE grp = 999"), 1);
+  EXPECT_EQ(count_in(sa, "SELECT COUNT(*) FROM ryw"), 5999);
+  db_.SetVectorized(true);
+  // Another session still reads the committed state (same mirrors, same
+  // per-morsel gate, different snapshot).
+  EXPECT_EQ(count_in(sb, "SELECT COUNT(*) FROM ryw WHERE grp = 999"), 0);
+  EXPECT_EQ(count_in(sb, "SELECT COUNT(*) FROM ryw WHERE id = 7"), 1);
+  EXPECT_EQ(count_in(sb, "SELECT COUNT(*) FROM ryw"), 6000);
+
+  run_in(sa, "COMMIT");
+  EXPECT_EQ(count_in(sb, "SELECT COUNT(*) FROM ryw WHERE grp = 999"), 1);
+  EXPECT_EQ(count_in(sb, "SELECT COUNT(*) FROM ryw WHERE id = 7"), 0);
+  EXPECT_EQ(count_in(sb, "SELECT COUNT(*) FROM ryw"), 5999);
+  db_.SetVectorized(false);
 }
 
 TEST_F(VectorizedExecTest, BatchDrainRespectsSelectionVectors) {
