@@ -17,7 +17,7 @@ namespace {
 using namespace aidb::monitor;
 
 void PrintExperimentTable() {
-  std::printf("exp,leaf,config,metric,baseline,learned,ratio\n");
+  std::fprintf(stderr, "exp,leaf,config,metric,baseline,learned,ratio\n");
 
   // --- Workload forecasting (QueryBot-style). ---
   {
@@ -32,11 +32,11 @@ void PrintExperimentTable() {
     double e_ma = EvaluateForecaster(&ma, trace, 1400);
     double e_lin = EvaluateForecaster(&linear, trace, 1400);
     double e_mlp = EvaluateForecaster(&mlp, trace, 1400);
-    std::printf("E12,forecast,last_value_vs_linear_ar,mape,%.3f,%.3f,%.2f\n",
+    std::fprintf(stderr, "E12,forecast,last_value_vs_linear_ar,mape,%.3f,%.3f,%.2f\n",
                 e_last, e_lin, e_last / e_lin);
-    std::printf("E12,forecast,moving_avg_vs_linear_ar,mape,%.3f,%.3f,%.2f\n", e_ma,
+    std::fprintf(stderr, "E12,forecast,moving_avg_vs_linear_ar,mape,%.3f,%.3f,%.2f\n", e_ma,
                 e_lin, e_ma / e_lin);
-    std::printf("E12,forecast,moving_avg_vs_mlp_ar,mape,%.3f,%.3f,%.2f\n", e_ma,
+    std::fprintf(stderr, "E12,forecast,moving_avg_vs_mlp_ar,mape,%.3f,%.3f,%.2f\n", e_ma,
                 e_mlp, e_ma / e_mlp);
   }
 
@@ -49,10 +49,10 @@ void PrintExperimentTable() {
     ClusterDiagnoser learned(copts);
     learned.Fit(train);
     RuleDiagnoser rules;
-    std::printf("E12,diagnose,noise=%.1f,accuracy,%.3f,%.3f,%.2f\n", noise,
+    std::fprintf(stderr, "E12,diagnose,noise=%.1f,accuracy,%.3f,%.3f,%.2f\n", noise,
                 rules.Accuracy(test), learned.Accuracy(test),
                 learned.Accuracy(test) / rules.Accuracy(test));
-    std::printf("E12,diagnose,noise=%.1f,dba_labels_needed,%zu,%zu,%.3f\n", noise,
+    std::fprintf(stderr, "E12,diagnose,noise=%.1f,dba_labels_needed,%zu,%zu,%.3f\n", noise,
                 train.size(), learned.dba_labels_used(),
                 static_cast<double>(learned.dba_labels_used()) / train.size());
   }
@@ -67,10 +67,10 @@ void PrintExperimentTable() {
     auto r_rnd = RunActivityMonitor(aopts, &rnd);
     auto r_rr = RunActivityMonitor(aopts, &rr);
     auto r_bandit = RunActivityMonitor(aopts, &bandit);
-    std::printf("E12,activity,random_vs_bandit,risk_capture,%.3f,%.3f,%.2f\n",
+    std::fprintf(stderr, "E12,activity,random_vs_bandit,risk_capture,%.3f,%.3f,%.2f\n",
                 r_rnd.CaptureRate(), r_bandit.CaptureRate(),
                 r_bandit.CaptureRate() / r_rnd.CaptureRate());
-    std::printf("E12,activity,round_robin_vs_bandit,risk_capture,%.3f,%.3f,%.2f\n",
+    std::fprintf(stderr, "E12,activity,round_robin_vs_bandit,risk_capture,%.3f,%.3f,%.2f\n",
                 r_rr.CaptureRate(), r_bandit.CaptureRate(),
                 r_bandit.CaptureRate() / r_rr.CaptureRate());
   }
@@ -85,7 +85,7 @@ void PrintExperimentTable() {
     graph.Fit(train);
     double e_add = EvaluatePredictor(additive, test);
     double e_graph = EvaluatePredictor(graph, test);
-    std::printf("E12,perf_pred,additive_vs_graph,mape,%.3f,%.3f,%.2f\n", e_add,
+    std::fprintf(stderr, "E12,perf_pred,additive_vs_graph,mape,%.3f,%.3f,%.2f\n", e_add,
                 e_graph, e_add / e_graph);
   }
 }

@@ -76,4 +76,13 @@ void ApplyDurabilityKnobs(Database* db, const KnobConfig& config) {
   db->SetCheckpointEveryN(CheckpointEveryNFromKnob(config[kCheckpointInterval]));
 }
 
+void ApplyMonitorKnobs(Database* db, const KnobConfig& config) {
+  if (db == nullptr) return;
+  db->SetQueryLogCapacity(QueryLogCapacityFromKnob(config[kBufferPool]));
+  if (db->kpi_sampler_running()) {
+    db->StopKpiSampler();
+    db->StartKpiSampler(KpiSampleIntervalMsFromKnob(config[kVacuumAggressiveness]));
+  }
+}
+
 }  // namespace aidb::advisor

@@ -73,4 +73,10 @@ class DurabilityKnobEnvironment : public KnobEnvironment {
 /// SetCheckpointEveryN. No-op on a non-durable database.
 void ApplyDurabilityKnobs(Database* db, const KnobConfig& config);
 
+/// Pushes the tuner-chosen self-monitoring knobs into a live database:
+/// `buffer_pool` -> SetQueryLogCapacity (the log rides the buffer budget)
+/// and, when the KPI sampler is running, `vacuum` -> its sample interval
+/// (the sampler restarts at the new cadence).
+void ApplyMonitorKnobs(Database* db, const KnobConfig& config);
+
 }  // namespace aidb::advisor

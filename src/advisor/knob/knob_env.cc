@@ -51,6 +51,18 @@ size_t AdmissionQueueFromKnob(double normalized) {
   return static_cast<size_t>(std::llround(8.0 * std::pow(64.0, c)));
 }
 
+size_t QueryLogCapacityFromKnob(double normalized) {
+  double c = std::clamp(normalized, 0.0, 1.0);
+  // 64 * 128^c: log-scale over [64, 8192] entries.
+  return static_cast<size_t>(std::llround(64.0 * std::pow(128.0, c)));
+}
+
+double KpiSampleIntervalMsFromKnob(double normalized) {
+  double c = std::clamp(normalized, 0.0, 1.0);
+  // 1000 / 100^c: log-scale over [1000ms, 10ms]; aggressive -> frequent.
+  return 1000.0 / std::pow(100.0, c);
+}
+
 WorkloadProfile WorkloadProfile::Oltp() {
   return {0.6, 0.05, 0.9, "oltp"};
 }

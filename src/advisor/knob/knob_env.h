@@ -60,6 +60,17 @@ size_t ServiceWorkersFromKnob(double normalized, size_t max_workers = 16);
 /// max_connections knob trades rejects against thrashing.
 size_t AdmissionQueueFromKnob(double normalized);
 
+/// Maps the normalized `buffer_pool` knob to the engine query-log ring
+/// capacity: log-scale over [64, 8192] entries. The log is the memory the
+/// self-monitoring layer charges against the shared buffer budget, so a
+/// bigger pool buys deeper diagnosis history.
+size_t QueryLogCapacityFromKnob(double normalized);
+
+/// Maps the normalized `vacuum` (background-maintenance aggressiveness) knob
+/// to the KPI sampler interval: log-scale over [10ms, 1000ms], with 1.0 (most
+/// aggressive housekeeping) -> 10ms and 0.0 -> 1s.
+double KpiSampleIntervalMsFromKnob(double normalized);
+
 /// Workload mix the environment responds to.
 struct WorkloadProfile {
   double read_fraction = 0.5;      ///< reads vs writes

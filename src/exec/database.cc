@@ -85,13 +85,106 @@ std::string HexDigest(uint64_t digest) {
   return buf;
 }
 
+/// Mirrors a harvested trace tree into the span ring (`op:<Name>` spans under
+/// the current trace context), so traced statements carry operator-level
+/// spans in their request tree.
+void RecordOperatorSpans(monitor::SpanCollector* spans,
+                         const exec::TraceNode& node, uint64_t parent) {
+  monitor::SpanCollector::Context ctx = monitor::SpanCollector::GetContext();
+  monitor::Span s;
+  s.trace_id = ctx.trace_id;
+  s.session_id = ctx.session_id;
+  s.parent_id = parent;
+  s.span_id = spans->NextId();
+  s.name = "op:" + node.op;
+  s.dur_us = node.time_us;
+  s.value = static_cast<double>(node.rows);
+  const uint64_t id = s.span_id;
+  spans->Record(std::move(s));
+  for (const auto& c : node.children) RecordOperatorSpans(spans, c, id);
+}
+
 }  // namespace
 
-Database::Database() : planner_(&catalog_, &models_) {
+Database::Database()
+    : planner_(&catalog_, &models_),
+      kpi_sampler_(&kpi_history_, [this] { return ProbeKpis(); }) {
   RegisterSystemViews();
   models_.set_metrics(&metrics_);
   tm_.set_metrics(&metrics_);
   planner_options_.column_cache = &column_cache_;
+  spans_.set_metrics(&metrics_);
+  query_log_.set_drop_counter(metrics_.GetCounter("query_log.dropped"));
+  // Every sample flows through the incident pipeline: anomalies are detected
+  // and diagnosed on the spot, incidents land in the aidb_incidents ring.
+  kpi_sampler_.set_on_sample([this](const monitor::KpiSample& s) {
+    monitor::LiveIncident inc;
+    if (incidents_.Observe(s, &inc)) {
+      metrics_.GetCounter("monitor.incidents")->Add();
+      metrics_.GetCounter(std::string("monitor.cause.") +
+                          monitor::RootCauseName(inc.cause))
+          ->Add();
+    }
+  });
+}
+
+Database::~Database() { kpi_sampler_.Stop(); }
+
+void Database::StartKpiSampler(double interval_ms) {
+  kpi_sampler_.Start(interval_ms);
+}
+
+void Database::StopKpiSampler() { kpi_sampler_.Stop(); }
+
+monitor::KpiSample Database::ProbeKpis() {
+  monitor::KpiSample s;
+  s.seq = ++kpi_seq_;
+  s.ts_us = deterministic_timing_ ? 0.0 : kpi_epoch_.ElapsedMicros();
+
+  KpiBaseline now;
+  now.work = total_work_.load(std::memory_order_relaxed);
+  now.conflicts = metrics_.GetCounter("txn.conflicts")->Value();
+  now.denials = metrics_.GetCounter("lock.denials")->Value();
+  now.stall_us = metrics_.GetCounter("wal.stall_us")->Value();
+  now.fsyncs = metrics_.GetCounter("wal.fsyncs")->Value();
+  now.select_rows = metrics_.GetCounter("exec.select_rows")->Value();
+  now.queries = metrics_.GetCounter("exec.queries")->Value();
+  const auto lat = metrics_.GetHistogram("exec.query_latency_us")->Snap();
+  now.lat_count = lat.count;
+  now.lat_sum_us = lat.sum_us;
+
+  s.kpis[monitor::kKpiCpu] = static_cast<double>(now.work - kpi_prev_.work);
+  s.kpis[monitor::kKpiLockWait] =
+      static_cast<double>((now.conflicts - kpi_prev_.conflicts) +
+                          (now.denials - kpi_prev_.denials));
+  s.kpis[monitor::kKpiIoWait] =
+      static_cast<double>((now.stall_us - kpi_prev_.stall_us) +
+                          (now.fsyncs - kpi_prev_.fsyncs));
+  uint64_t slots = 0;
+  for (const std::string& name : catalog_.TableNames()) {
+    auto t = catalog_.GetTable(name);
+    if (t.ok()) slots += t.ValueOrDie()->NumSlots();
+  }
+  s.kpis[monitor::kKpiMem] = static_cast<double>(slots);
+  s.kpis[monitor::kKpiScanRows] =
+      static_cast<double>(now.select_rows - kpi_prev_.select_rows);
+  // Mean statement latency this interval. Deterministic runs substitute the
+  // deterministic equivalent (mean operator work per statement) so the KPI
+  // stream — and every incident derived from it — replays identically.
+  const uint64_t dq = now.queries - kpi_prev_.queries;
+  if (deterministic_timing_) {
+    s.kpis[monitor::kKpiLatency] =
+        dq == 0 ? 0.0
+                : static_cast<double>(now.work - kpi_prev_.work) /
+                      static_cast<double>(dq);
+  } else {
+    const uint64_t dc = now.lat_count - kpi_prev_.lat_count;
+    s.kpis[monitor::kKpiLatency] =
+        dc == 0 ? 0.0 : (now.lat_sum_us - kpi_prev_.lat_sum_us) /
+                            static_cast<double>(dc);
+  }
+  kpi_prev_ = now;
+  return s;
 }
 
 void Database::RegisterSystemViews() {
@@ -170,6 +263,81 @@ void Database::RegisterSystemViews() {
                 Value(static_cast<int64_t>(t.writes))});
         }
       });
+
+  // KPI time-series: one row per retained sampler tick, the six-KPI vector
+  // derived from real counters (per-interval deltas; mem is a level).
+  Schema history_schema({{"seq", ValueType::kInt},
+                         {"ts_us", ValueType::kDouble},
+                         {"cpu", ValueType::kDouble},
+                         {"lock_wait", ValueType::kDouble},
+                         {"io_wait", ValueType::kDouble},
+                         {"mem", ValueType::kDouble},
+                         {"scan_rows", ValueType::kDouble},
+                         {"latency", ValueType::kDouble}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_metrics_history", std::move(history_schema), [this](const VF& emit) {
+        for (const auto& s : kpi_history_.Snapshot()) {
+          emit({Value(static_cast<int64_t>(s.seq)), Value(s.ts_us),
+                Value(s.kpis[monitor::kKpiCpu]),
+                Value(s.kpis[monitor::kKpiLockWait]),
+                Value(s.kpis[monitor::kKpiIoWait]),
+                Value(s.kpis[monitor::kKpiMem]),
+                Value(s.kpis[monitor::kKpiScanRows]),
+                Value(s.kpis[monitor::kKpiLatency])});
+        }
+      });
+
+  // End-to-end request spans (service admission → executor → commit → WAL
+  // flush), one coherent parent/child tree per trace_id.
+  Schema spans_schema({{"trace_id", ValueType::kInt},
+                       {"span_id", ValueType::kInt},
+                       {"parent_id", ValueType::kInt},
+                       {"name", ValueType::kString},
+                       {"session", ValueType::kInt},
+                       {"start_us", ValueType::kDouble},
+                       {"dur_us", ValueType::kDouble},
+                       {"value", ValueType::kDouble},
+                       {"detail", ValueType::kString}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_spans", std::move(spans_schema), [this](const VF& emit) {
+        for (const auto& s : spans_.Snapshot()) {
+          emit({Value(static_cast<int64_t>(s.trace_id)),
+                Value(static_cast<int64_t>(s.span_id)),
+                Value(static_cast<int64_t>(s.parent_id)), Value(s.name),
+                Value(static_cast<int64_t>(s.session_id)), Value(s.start_us),
+                Value(s.dur_us), Value(s.value), Value(s.detail)});
+        }
+      });
+
+  // Live anomaly → root-cause diagnoses from the incident pipeline. KPI
+  // columns carry the squashed robust z-scores the diagnoser saw.
+  Schema incidents_schema({{"seq", ValueType::kInt},
+                           {"ts_us", ValueType::kDouble},
+                           {"cause", ValueType::kString},
+                           {"diagnoser", ValueType::kString},
+                           {"trigger_kpi", ValueType::kString},
+                           {"trigger_z", ValueType::kDouble},
+                           {"cpu", ValueType::kDouble},
+                           {"lock_wait", ValueType::kDouble},
+                           {"io_wait", ValueType::kDouble},
+                           {"mem", ValueType::kDouble},
+                           {"scan_rows", ValueType::kDouble},
+                           {"latency", ValueType::kDouble}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_incidents", std::move(incidents_schema), [this](const VF& emit) {
+        for (const auto& i : incidents_.Snapshot()) {
+          emit({Value(static_cast<int64_t>(i.sample_seq)), Value(i.ts_us),
+                Value(std::string(monitor::RootCauseName(i.cause))),
+                Value(i.diagnoser),
+                Value(std::string(monitor::KpiName(i.trigger_kpi))),
+                Value(i.trigger_z), Value(i.kpis[monitor::kKpiCpu]),
+                Value(i.kpis[monitor::kKpiLockWait]),
+                Value(i.kpis[monitor::kKpiIoWait]),
+                Value(i.kpis[monitor::kKpiMem]),
+                Value(i.kpis[monitor::kKpiScanRows]),
+                Value(i.kpis[monitor::kKpiLatency])});
+        }
+      });
 }
 
 Status Database::RefreshReferencedSystemViews(const sql::Statement& stmt) {
@@ -186,6 +354,15 @@ Status Database::RefreshReferencedSystemViews(const sql::Statement& stmt) {
 
 std::string Database::LastTraceJson() const {
   return has_trace_ ? exec::TraceToJson(last_trace_) : std::string();
+}
+
+std::string Database::SpansJson() const {
+  std::string out;
+  for (const auto& s : spans_.Snapshot()) {
+    out += monitor::SpanToJson(s);
+    out += '\n';
+  }
+  return out;
 }
 
 std::string QueryResult::ToString(size_t max_rows) const {
@@ -257,6 +434,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   wopts.sync = opts.sync;
   wopts.fault = opts.fault;
   wopts.metrics = &db->metrics_;
+  wopts.spans = &db->spans_;
   AIDB_ASSIGN_OR_RETURN(db->wal_,
                         storage::WalWriter::Open(dir + "/wal.log",
                                                  db->recovery_stats_.next_lsn, wopts));
@@ -356,8 +534,36 @@ Result<QueryResult> Database::Execute(const std::string& sql,
                                       const ExecSettings& settings) {
   Timer timer;
   if (crashed()) return Status::Aborted("database crashed; reopen to recover");
+
+  // Trace identity for the end-to-end spans: adopt the service-minted id
+  // from the settings, or — for a bare Execute outside any request — mint a
+  // fresh trace so standalone statements still yield a coherent tree. The
+  // guard restores the thread's previous context on every return path.
+  struct TraceCtxGuard {
+    monitor::SpanCollector::Context saved = monitor::SpanCollector::GetContext();
+    ~TraceCtxGuard() { monitor::SpanCollector::SetContext(saved); }
+  } trace_guard;
+  if (spans_.enabled()) {
+    monitor::SpanCollector::Context ctx = trace_guard.saved;
+    if (settings.trace_id != 0) {
+      ctx.trace_id = settings.trace_id;
+      ctx.parent_span = settings.parent_span;
+      ctx.session_id = settings.session_id;
+    } else if (ctx.trace_id == 0) {
+      ctx.trace_id = spans_.NextId();
+      ctx.parent_span = 0;
+      ctx.session_id = settings.session_id;
+    }
+    monitor::SpanCollector::SetContext(ctx);
+  }
+  monitor::SpanScope exec_span(&spans_, "execute");
+
   std::unique_ptr<sql::Statement> stmt;
-  AIDB_ASSIGN_OR_RETURN(stmt, sql::Parser::Parse(sql));
+  {
+    monitor::SpanScope parse_span(&spans_, "parse");
+    AIDB_ASSIGN_OR_RETURN(stmt, sql::Parser::Parse(sql));
+  }
+  if (exec_span.active()) exec_span.set_detail(StatementKindName(*stmt));
 
   StmtPlanInfo plan_info;
   AIDB_RETURN_NOT_OK(RefreshReferencedSystemViews(*stmt));
@@ -410,6 +616,9 @@ Result<QueryResult> Database::Execute(const std::string& sql,
   entry.session_id = settings.session_id;
   query_log_.Append(std::move(entry));
 
+  if (exec_span.active()) {
+    exec_span.set_value(static_cast<double>(result.operator_work));
+  }
   if (!status.ok()) return status;
   return result;
 }
@@ -466,6 +675,10 @@ Status Database::LogTxnOps(
 }
 
 Status Database::FinishCommit(txn::TxnId t, QueryResult* result) {
+  monitor::SpanScope commit_span(&spans_, "commit");
+  if (commit_span.active()) {
+    commit_span.set_value(static_cast<double>(tm_.UndoSize(t)));
+  }
   if (tm_.UndoSize(t) == 0) {
     // Read-only (or every write already rolled back statement-level): no
     // commit timestamp, no WAL record.
@@ -1121,6 +1334,10 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt,
   if (cache_key != nullptr) {
     std::optional<server::CachedPlan> cached = plan_cache_.Acquire(*cache_key);
     if (cached.has_value() && PlanStillValid(*cached)) {
+      {
+        monitor::SpanScope plan_span(&spans_, "plan");
+        plan_span.set_detail("cache_hit");
+      }
       metrics_.GetCounter("plan_cache.hit")->Add();
       info->plan_cache_hit = true;
       info->plan_digest = exec::PlanDigest(*cached->plan.root);
@@ -1142,7 +1359,13 @@ Result<QueryResult> Database::ExecuteSelect(const sql::SelectStatement& stmt,
   }
 
   exec::PhysicalPlan plan;
-  AIDB_ASSIGN_OR_RETURN(plan, planner_.Plan(stmt, settings.planner));
+  {
+    monitor::SpanScope plan_span(&spans_, "plan");
+    if (plan_span.active() && cache_key != nullptr) {
+      plan_span.set_detail("cache_miss");
+    }
+    AIDB_ASSIGN_OR_RETURN(plan, planner_.Plan(stmt, settings.planner));
+  }
 
   info->plan_digest = exec::PlanDigest(*plan.root);
   info->num_operators = exec::CountOperators(*plan.root);
@@ -1268,6 +1491,11 @@ Status Database::RunSelectPlan(exec::PhysicalPlan& plan,
   if (traced) {
     last_trace_ = exec::BuildTrace(*plan.root, deterministic_timing_);
     has_trace_ = true;
+    if (spans_.enabled() &&
+        monitor::SpanCollector::GetContext().trace_id != 0) {
+      RecordOperatorSpans(&spans_, last_trace_,
+                          monitor::SpanCollector::GetContext().parent_span);
+    }
   }
   return Status::OK();
 }

@@ -17,8 +17,11 @@
 #include "exec/planner.h"
 #include "exec/trace.h"
 #include "exec/vec/col_cache.h"
+#include "monitor/history.h"
+#include "monitor/incident.h"
 #include "monitor/metrics.h"
 #include "monitor/query_log.h"
+#include "monitor/span.h"
 #include "server/plan_cache.h"
 #include "server/prepared.h"
 #include "storage/recovery.h"
@@ -102,6 +105,12 @@ struct ExecSettings {
   /// and the snapshot every read/write uses.
   txn::TxnId txn = txn::kInvalidTxnId;
   txn::Snapshot snapshot;
+  /// End-to-end trace identity, minted by the service at admission (0 when
+  /// the statement arrived outside a request, e.g. bare Execute with spans
+  /// off). `parent_span` is the admission-time root span every engine-side
+  /// span hangs under.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 /// \brief The embeddable AIDB engine facade: parse -> plan -> execute.
@@ -111,6 +120,8 @@ struct ExecSettings {
 class Database {
  public:
   Database();
+  /// Stops the background KPI sampler before any member it probes dies.
+  ~Database();
 
   /// \brief Opens a durable database rooted at directory `dir` (created if
   /// missing): loads the latest valid snapshot, replays committed WAL
@@ -208,6 +219,38 @@ class Database {
   const monitor::QueryLog& query_log() const { return query_log_; }
   monitor::QueryLog& mutable_query_log() { return query_log_; }
 
+  /// Query-log ring size (advisor knob `query_log_capacity`); overwritten
+  /// entries are counted in the `query_log.dropped` metric.
+  void SetQueryLogCapacity(size_t n) { query_log_.set_capacity(n); }
+
+  // --- Self-monitoring pipeline ---------------------------------------------
+
+  /// End-to-end request spans (service admission → executor → txn commit →
+  /// WAL flush); also served by `aidb_spans`. Off by default: with spans off
+  /// every record site is one relaxed load + branch.
+  monitor::SpanCollector& spans() { return spans_; }
+  const monitor::SpanCollector& spans() const { return spans_; }
+  void EnableSpans(bool on) { spans_.set_enabled(on); }
+  bool spans_enabled() const { return spans_.enabled(); }
+  /// JSON export of the retained spans, one object per line (the trace.*
+  /// flavor LastTraceJson uses).
+  std::string SpansJson() const;
+
+  /// KPI time-series ring behind `aidb_metrics_history`.
+  const monitor::TimeSeriesStore& kpi_history() const { return kpi_history_; }
+  /// Live anomaly → root-cause pipeline behind `aidb_incidents`.
+  monitor::IncidentPipeline& incidents() { return incidents_; }
+  const monitor::IncidentPipeline& incidents() const { return incidents_; }
+
+  /// Starts/stops the background sampler (knob-mapped interval). Running it
+  /// costs one six-counter probe per interval, entirely off the query path.
+  void StartKpiSampler(double interval_ms);
+  void StopKpiSampler();
+  bool kpi_sampler_running() const { return kpi_sampler_.running(); }
+  /// Takes one KPI sample synchronously — the deterministic-test drive path;
+  /// safe to call while the background sampler runs (shared sample mutex).
+  monitor::KpiSample SampleKpisNow() { return kpi_sampler_.SampleOnce(); }
+
   /// Per-operator tracing for every statement (EXPLAIN ANALYZE always traces
   /// its own statement regardless of this switch). Off by default: with
   /// tracing off the only executor-side cost is one predicted branch per
@@ -216,10 +259,14 @@ class Database {
   bool tracing_enabled() const { return tracing_; }
 
   /// Zeroes every wall-clock observable (QueryResult::elapsed_ms, trace
-  /// time_us, query-log latency/timestamp) so traced runs digest
-  /// byte-identically across executions — the differential oracle runs with
-  /// this on. Deterministic work counters (rows produced) are unaffected.
-  void SetDeterministicTiming(bool on) { deterministic_timing_ = on; }
+  /// time_us, span start/duration, query-log latency/timestamp) so traced
+  /// runs digest byte-identically across executions — the differential
+  /// oracle runs with this on. Deterministic work counters (rows produced)
+  /// are unaffected.
+  void SetDeterministicTiming(bool on) {
+    deterministic_timing_ = on;
+    spans_.set_deterministic(on);
+  }
   bool deterministic_timing() const { return deterministic_timing_; }
 
   /// Trace of the most recent traced SELECT (nullptr before any); also
@@ -400,6 +447,31 @@ class Database {
   bool has_trace_ = false;
   Timer uptime_;  ///< arrival timestamps for the query log
 
+  // Self-monitoring state. spans_ precedes wal_ (the WAL records wal_flush
+  // spans) and the sampler is the LAST member of the class, so its thread is
+  // joined before anything it probes is torn down.
+  monitor::SpanCollector spans_;
+  monitor::TimeSeriesStore kpi_history_;
+  monitor::IncidentPipeline incidents_;
+  /// Counter readings at the previous KPI sample, for per-interval deltas.
+  /// Touched only by ProbeKpis, which the sampler's sample mutex serializes.
+  struct KpiBaseline {
+    uint64_t work = 0;
+    uint64_t conflicts = 0;
+    uint64_t denials = 0;
+    uint64_t stall_us = 0;
+    uint64_t fsyncs = 0;
+    uint64_t select_rows = 0;
+    uint64_t queries = 0;
+    uint64_t lat_count = 0;
+    double lat_sum_us = 0.0;
+  } kpi_prev_;
+  uint64_t kpi_seq_ = 0;
+  Timer kpi_epoch_;
+  /// Derives the six-KPI vector from MetricsRegistry deltas (the sampler's
+  /// probe).
+  monitor::KpiSample ProbeKpis();
+
   /// MVCC transaction state. Declared after metrics_ (cached counter
   /// pointers) and after catalog_ (undo entries reference Table objects; the
   /// destructor frees retired version nodes, which are self-contained).
@@ -420,6 +492,10 @@ class Database {
   /// appending WAL ops or committing (a consistent cut).
   std::shared_mutex checkpoint_fence_;
   storage::RecoveryStats recovery_stats_;
+
+  /// Last member: destroyed (thread joined) before everything ProbeKpis and
+  /// the incident hook touch.
+  monitor::KpiSampler kpi_sampler_;
 };
 
 }  // namespace aidb

@@ -1,0 +1,129 @@
+#include "monitor/history.h"
+
+#include <chrono>
+
+namespace aidb::monitor {
+
+const char* KpiName(size_t k) {
+  switch (k) {
+    case kKpiCpu:
+      return "cpu";
+    case kKpiLockWait:
+      return "lock_wait";
+    case kKpiIoWait:
+      return "io_wait";
+    case kKpiMem:
+      return "mem";
+    case kKpiScanRows:
+      return "scan_rows";
+    case kKpiLatency:
+      return "latency";
+    default:
+      return "?";
+  }
+}
+
+TimeSeriesStore::TimeSeriesStore(size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeriesStore::Append(const KpiSample& s) {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[n % slots_.size()];
+  const uint64_t v = slot.ver.load(std::memory_order_relaxed);
+  slot.ver.store(v + 1, std::memory_order_release);  // odd: write in progress
+  slot.seq.store(s.seq, std::memory_order_relaxed);
+  slot.ts_us.store(s.ts_us, std::memory_order_relaxed);
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    slot.kpis[k].store(s.kpis[k], std::memory_order_relaxed);
+  }
+  slot.ver.store(v + 2, std::memory_order_release);  // even: stable
+  count_.store(n + 1, std::memory_order_release);
+}
+
+std::vector<KpiSample> TimeSeriesStore::Snapshot() const {
+  const uint64_t n = count_.load(std::memory_order_acquire);
+  const size_t cap = slots_.size();
+  const uint64_t live = n < cap ? n : cap;
+  const uint64_t first = n - live;  // oldest retained sample index
+  std::vector<KpiSample> out;
+  out.reserve(live);
+  for (uint64_t i = first; i < n; ++i) {
+    const Slot& slot = slots_[i % cap];
+    KpiSample s;
+    bool ok = false;
+    for (int attempt = 0; attempt < 8 && !ok; ++attempt) {
+      const uint64_t v0 = slot.ver.load(std::memory_order_acquire);
+      if (v0 & 1) continue;  // write in progress
+      s.seq = slot.seq.load(std::memory_order_relaxed);
+      s.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        s.kpis[k] = slot.kpis[k].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      ok = slot.ver.load(std::memory_order_relaxed) == v0;
+    }
+    // A slot that keeps changing under us is being lapped by the writer; the
+    // sample it held is older than anything else we return, so skip it.
+    if (ok) out.push_back(s);
+  }
+  return out;
+}
+
+size_t TimeSeriesStore::size() const {
+  const uint64_t n = count_.load(std::memory_order_acquire);
+  return n < slots_.size() ? static_cast<size_t>(n) : slots_.size();
+}
+
+KpiSampler::KpiSampler(TimeSeriesStore* store, Probe probe)
+    : store_(store), probe_(std::move(probe)) {}
+
+KpiSampler::~KpiSampler() { Stop(); }
+
+void KpiSampler::Start(double interval_ms) {
+  std::lock_guard<std::mutex> lk(thread_mu_);
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> slk(stop_mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this, interval_ms] { Loop(interval_ms); });
+}
+
+void KpiSampler::Stop() {
+  std::lock_guard<std::mutex> lk(thread_mu_);
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> slk(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+KpiSample KpiSampler::SampleOnce() {
+  std::lock_guard<std::mutex> lk(sample_mu_);
+  KpiSample s = probe_();
+  store_->Append(s);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  if (on_sample_) on_sample_(s);
+  return s;
+}
+
+void KpiSampler::Loop(double interval_ms) {
+  const auto interval =
+      std::chrono::microseconds(static_cast<int64_t>(interval_ms * 1000.0));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(stop_mu_);
+      if (stop_cv_.wait_for(lk, interval,
+                            [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    SampleOnce();
+  }
+}
+
+}  // namespace aidb::monitor

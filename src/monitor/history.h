@@ -1,0 +1,128 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "monitor/diagnose.h"
+
+namespace aidb::monitor {
+
+/// Index of each KPI inside KpiSample::kpis — the six-dimensional vector
+/// diagnose.h's Incident already defines (cpu, lock_wait, io_wait, mem,
+/// scan_rows, latency), now derived from the engine's real counters instead
+/// of GenerateIncidents().
+enum KpiIndex : size_t {
+  kKpiCpu = 0,       ///< operator rows produced this interval (work proxy)
+  kKpiLockWait = 1,  ///< write-write conflicts + lock denials this interval
+  kKpiIoWait = 2,    ///< WAL stall us + fsyncs this interval
+  kKpiMem = 3,       ///< total table slots (live storage footprint)
+  kKpiScanRows = 4,  ///< SELECT rows returned this interval
+  kKpiLatency = 5,   ///< mean statement latency us (work/stmt in det mode)
+};
+const char* KpiName(size_t k);
+
+/// One periodic snapshot of the engine's KPI vector. `seq` is the 1-based
+/// sample number; `ts_us` is wall time since sampler start (0 when the
+/// database runs in deterministic-timing mode).
+struct KpiSample {
+  uint64_t seq = 0;
+  double ts_us = 0.0;
+  std::array<double, kNumKpis> kpis{};
+};
+
+/// \brief Fixed-capacity KPI ring with a lock-free read path.
+///
+/// Single writer (the sampler), many readers (the `aidb_metrics_history`
+/// system view, the incident detector, tests). Each slot is a seqlock over
+/// atomic fields: the writer bumps the slot version to odd, stores the
+/// payload, then publishes an even version; readers copy the payload and
+/// retry on a version change, so a snapshot never observes a half-written
+/// sample and never takes a lock the writer could hold.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(size_t capacity = 512);
+
+  /// Appends one sample (single-writer; the owning sampler serializes calls).
+  void Append(const KpiSample& s);
+
+  /// Oldest-to-newest copy of the retained samples. Lock-free; each returned
+  /// sample is internally consistent (slot seqlock), and slots overwritten
+  /// mid-read are skipped rather than returned torn.
+  std::vector<KpiSample> Snapshot() const;
+
+  uint64_t total_appended() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> ver{0};  ///< seqlock: odd = write in progress
+    std::atomic<uint64_t> seq{0};
+    std::atomic<double> ts_us{0.0};
+    std::array<std::atomic<double>, kNumKpis> kpis{};
+  };
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> count_{0};  ///< samples ever appended
+};
+
+/// \brief Background KPI sampler: probes the engine at a fixed interval and
+/// appends the derived sample to a TimeSeriesStore.
+///
+/// The probe is a caller-supplied closure (the Database wires one that
+/// derives the six-KPI vector from MetricsRegistry deltas), so this class
+/// carries no engine dependency. `on_sample` runs after each append — the
+/// incident detector hangs off it. Start() spawns the thread; Stop() joins
+/// it (also called from the destructor). SampleOnce() drives the identical
+/// path synchronously for deterministic tests and shares the same mutex, so
+/// a manual sample never interleaves with the background thread's.
+class KpiSampler {
+ public:
+  using Probe = std::function<KpiSample()>;
+  using SampleHook = std::function<void(const KpiSample&)>;
+
+  KpiSampler(TimeSeriesStore* store, Probe probe);
+  ~KpiSampler();
+
+  KpiSampler(const KpiSampler&) = delete;
+  KpiSampler& operator=(const KpiSampler&) = delete;
+
+  void set_on_sample(SampleHook hook) { on_sample_ = std::move(hook); }
+
+  /// Starts the background thread (no-op if already running).
+  void Start(double interval_ms);
+  /// Stops and joins the background thread (no-op if not running).
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Probes + appends + fires the hook once, synchronously.
+  KpiSample SampleOnce();
+
+  uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop(double interval_ms);
+
+  TimeSeriesStore* store_;
+  Probe probe_;
+  SampleHook on_sample_;
+  std::mutex sample_mu_;  ///< serializes SampleOnce vs the background loop
+  std::mutex thread_mu_;  ///< guards thread start/stop
+  std::thread thread_;
+  std::condition_variable stop_cv_;
+  std::mutex stop_mu_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> samples_{0};
+};
+
+}  // namespace aidb::monitor

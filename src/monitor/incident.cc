@@ -1,0 +1,160 @@
+#include "monitor/incident.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidb::monitor {
+namespace {
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(), v.begin() + mid - 1, v.begin() + mid);
+    m = 0.5 * (m + v[mid - 1]);
+  }
+  return m;
+}
+
+/// Robust sigma from the median absolute deviation, floored so a perfectly
+/// flat baseline (common in deterministic tests) still admits a finite z.
+double RobustSigma(const std::deque<double>& window, double median) {
+  std::vector<double> dev;
+  dev.reserve(window.size());
+  for (double x : window) dev.push_back(std::fabs(x - median));
+  const double mad = Median(std::move(dev));
+  const double sigma = 1.4826 * mad;
+  const double floor = std::max(0.01 * std::fabs(median), 1.0);
+  return std::max(sigma, floor);
+}
+
+}  // namespace
+
+IncidentDetector::IncidentDetector(const Options& opts) : opts_(opts) {
+  if (opts_.window < 2) opts_.window = 2;
+  if (opts_.min_baseline < 2) opts_.min_baseline = 2;
+  if (opts_.min_baseline > opts_.window) opts_.min_baseline = opts_.window;
+}
+
+void IncidentDetector::Reset() {
+  for (auto& w : window_) w.clear();
+  cooldown_left_ = 0;
+}
+
+bool IncidentDetector::Observe(const KpiSample& s, LiveIncident* out) {
+  const bool warm = window_[0].size() >= opts_.min_baseline;
+  bool anomalous = false;
+  double best_z = 0.0;
+  size_t best_k = 0;
+  std::array<double, kNumKpis> z{};
+  if (warm && cooldown_left_ == 0) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      std::vector<double> recent(window_[k].begin(), window_[k].end());
+      const double med = Median(recent);
+      const double sigma = RobustSigma(window_[k], med);
+      const double zk = std::fabs(s.kpis[k] - med) / sigma;
+      const double forecast = forecaster_.Predict(recent);
+      const double residual = std::fabs(s.kpis[k] - forecast);
+      z[k] = zk;
+      if (zk > best_z) {
+        best_z = zk;
+        best_k = k;
+      }
+      if (zk >= opts_.z_threshold && residual >= opts_.residual_mult * sigma) {
+        anomalous = true;
+      }
+    }
+  }
+
+  if (anomalous) {
+    cooldown_left_ = opts_.cooldown;
+    if (out != nullptr) {
+      out->sample_seq = s.seq;
+      out->ts_us = s.ts_us;
+      out->kpis.resize(kNumKpis);
+      out->raw_delta.assign(s.kpis.begin(), s.kpis.end());
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        out->kpis[k] = z[k] / (z[k] + opts_.squash_scale);
+      }
+      out->trigger_kpi = best_k;
+      out->trigger_z = best_z;
+    }
+    // The anomalous sample stays out of the baseline: a sustained fault must
+    // not normalize itself.
+    return true;
+  }
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return false;
+  }
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    window_[k].push_back(s.kpis[k]);
+    if (window_[k].size() > opts_.window) window_[k].pop_front();
+  }
+  return false;
+}
+
+IncidentPipeline::IncidentPipeline(const Options& opts)
+    : opts_(opts), detector_(opts.detector) {
+  ClusterDiagnoser::Options copts;
+  copts.clusters = opts_.clusters;
+  copts.seed = opts_.seed;
+  cluster_ = ClusterDiagnoser(copts);
+}
+
+bool IncidentPipeline::Observe(const KpiSample& s, LiveIncident* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  LiveIncident inc;
+  if (!detector_.Observe(s, &inc)) return false;
+  if (fitted_) {
+    inc.cause = cluster_.Diagnose(inc.kpis);
+    inc.diagnoser = "cluster";
+  } else {
+    inc.cause = rule_.Diagnose(inc.kpis);
+    inc.diagnoser = "rule";
+  }
+  ++detected_;
+  if (ring_.size() >= opts_.ring_capacity) ring_.pop_front();
+  ring_.push_back(inc);
+  if (out != nullptr) *out = std::move(inc);
+  return true;
+}
+
+void IncidentPipeline::FitDiagnoser(const std::vector<Incident>& labeled) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cluster_.Fit(labeled);
+  fitted_ = true;
+}
+
+bool IncidentPipeline::fitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fitted_;
+}
+
+RootCause IncidentPipeline::Diagnose(
+    const std::vector<double>& squashed_kpis) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fitted_ ? cluster_.Diagnose(squashed_kpis)
+                 : rule_.Diagnose(squashed_kpis);
+}
+
+std::vector<LiveIncident> IncidentPipeline::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<LiveIncident>(ring_.begin(), ring_.end());
+}
+
+uint64_t IncidentPipeline::total_detected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return detected_;
+}
+
+void IncidentPipeline::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  detector_.Reset();
+  ring_.clear();
+}
+
+}  // namespace aidb::monitor

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "monitor/diagnose.h"
+#include "monitor/forecast.h"
+#include "monitor/history.h"
+
+namespace aidb::monitor {
+
+/// One anomaly detected on the live KPI stream, diagnosed to a root cause.
+/// `kpis` holds the squashed robust z-scores in [0,1) — the same scale the
+/// synthetic GenerateIncidents() signatures use, so ClusterDiagnoser and
+/// RuleDiagnoser work unchanged on live data.
+struct LiveIncident {
+  uint64_t sample_seq = 0;  ///< KpiSample::seq that triggered detection
+  double ts_us = 0.0;
+  std::vector<double> kpis;       ///< squashed z per KPI, in [0,1)
+  std::vector<double> raw_delta;  ///< raw KPI values at detection
+  size_t trigger_kpi = 0;         ///< KPI with the largest deviation
+  double trigger_z = 0.0;         ///< its robust z-score
+  RootCause cause = RootCause::kSlowQueryPlan;
+  std::string diagnoser;  ///< "cluster" or "rule"
+};
+
+/// \brief Anomaly detector over the live KPI stream.
+///
+/// Two detectors vote per KPI, both computed against a rolling baseline
+/// window of recent samples:
+///  - robust sigma: |x - median| / MAD-sigma exceeds `z_threshold`;
+///  - forecast residual: |x - moving-average forecast| exceeds
+///    `residual_mult` × the window's robust sigma.
+/// A sample is anomalous when any KPI trips BOTH detectors (the forecast
+/// residual filters median-crossing noise; the MAD z filters forecast drift).
+/// Detection is followed by `cooldown` quiet samples so one sustained fault
+/// yields one incident, and the baseline window freezes during an anomaly so
+/// the fault does not poison its own baseline.
+class IncidentDetector {
+ public:
+  struct Options {
+    size_t window = 16;          ///< rolling baseline samples
+    size_t min_baseline = 8;     ///< samples required before detecting
+    double z_threshold = 6.0;    ///< robust z trip point
+    double residual_mult = 4.0;  ///< forecast residual trip, in sigmas
+    double squash_scale = 8.0;   ///< z → [0,1): z / (z + scale)
+    size_t cooldown = 2;         ///< quiet samples after a detection
+  };
+
+  IncidentDetector() : IncidentDetector(Options()) {}
+  explicit IncidentDetector(const Options& opts);
+
+  /// Feeds one sample; returns true and fills `out` when it is anomalous.
+  bool Observe(const KpiSample& s, LiveIncident* out);
+
+  /// Drops the learned baseline (e.g. after a workload-phase change).
+  void Reset();
+
+ private:
+  Options opts_;
+  std::array<std::deque<double>, kNumKpis> window_;
+  MovingAverageForecaster forecaster_;
+  size_t cooldown_left_ = 0;
+};
+
+/// \brief Detector + diagnoser + bounded incident ring: the closed loop
+/// behind the `aidb_incidents` system view.
+///
+/// Starts on the RuleDiagnoser runbook; FitDiagnoser() upgrades to the
+/// iSQUAD-style ClusterDiagnoser once labeled incidents exist (the induced
+/// fault tests label them with ground truth). Thread-safe: Observe may be
+/// called from the sampler hook while views snapshot the ring.
+class IncidentPipeline {
+ public:
+  struct Options {
+    IncidentDetector::Options detector;
+    size_t ring_capacity = 256;
+    size_t clusters = 8;
+    uint64_t seed = 42;
+  };
+
+  IncidentPipeline() : IncidentPipeline(Options()) {}
+  explicit IncidentPipeline(const Options& opts);
+
+  /// Feeds one sample through detection + diagnosis. Returns true when an
+  /// incident was recorded (and copies it to `out` if non-null).
+  bool Observe(const KpiSample& s, LiveIncident* out = nullptr);
+
+  /// Trains the cluster diagnoser on labeled incidents; subsequent
+  /// detections are diagnosed by nearest cluster instead of the rule table.
+  void FitDiagnoser(const std::vector<Incident>& labeled);
+  bool fitted() const;
+
+  /// Re-diagnoses a KPI vector with the current diagnoser (for tests).
+  RootCause Diagnose(const std::vector<double>& squashed_kpis) const;
+
+  std::vector<LiveIncident> Snapshot() const;
+  uint64_t total_detected() const;
+  void Reset();
+
+ private:
+  Options opts_;
+  mutable std::mutex mu_;
+  IncidentDetector detector_;
+  ClusterDiagnoser cluster_;
+  RuleDiagnoser rule_;
+  bool fitted_ = false;
+  std::deque<LiveIncident> ring_;
+  uint64_t detected_ = 0;
+};
+
+}  // namespace aidb::monitor

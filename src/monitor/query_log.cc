@@ -6,7 +6,11 @@ void QueryLog::Append(QueryLogEntry e) {
   std::lock_guard<std::mutex> lock(mu_);
   e.id = next_id_++;
   ring_.push_back(std::move(e));
-  while (ring_.size() > capacity_) ring_.pop_front();
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+    if (drop_counter_) drop_counter_->Add(1);
+  }
 }
 
 std::vector<QueryLogEntry> QueryLog::Entries() const {
@@ -24,10 +28,24 @@ uint64_t QueryLog::total_logged() const {
   return next_id_ - 1;
 }
 
+uint64_t QueryLog::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void QueryLog::set_capacity(size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = n == 0 ? 1 : n;
-  while (ring_.size() > capacity_) ring_.pop_front();
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+    if (drop_counter_) drop_counter_->Add(1);
+  }
+}
+
+void QueryLog::set_drop_counter(Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_counter_ = c;
 }
 
 }  // namespace aidb::monitor

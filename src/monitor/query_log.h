@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "monitor/metrics.h"
+
 namespace aidb::monitor {
 
 /// \brief One executed statement as recorded by the engine's query log.
@@ -43,15 +45,24 @@ class QueryLog {
   std::vector<QueryLogEntry> Entries() const;
   size_t size() const;
   uint64_t total_logged() const;
+  /// Entries overwritten by ring truncation (capacity shrink or append past
+  /// capacity) — the invisible tail of the log.
+  uint64_t total_dropped() const;
 
   void set_capacity(size_t n);
   size_t capacity() const { return capacity_; }
+
+  /// Mirrors every drop into `query_log.dropped` so truncation is visible in
+  /// `aidb_metrics` (not owned; nullptr = unmirrored).
+  void set_drop_counter(Counter* c);
 
  private:
   mutable std::mutex mu_;
   size_t capacity_;
   uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
   std::deque<QueryLogEntry> ring_;
+  Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace aidb::monitor

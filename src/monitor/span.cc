@@ -1,0 +1,122 @@
+#include "monitor/span.h"
+
+#include <sstream>
+
+namespace aidb::monitor {
+namespace {
+
+thread_local SpanCollector::Context g_trace_ctx;
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string SpanToJson(const Span& s) {
+  std::ostringstream os;
+  os << "{\"trace_id\":" << s.trace_id << ",\"span_id\":" << s.span_id
+     << ",\"parent_id\":" << s.parent_id << ",\"name\":";
+  AppendJsonString(os, s.name);
+  os << ",\"session_id\":" << s.session_id << ",\"start_us\":" << s.start_us
+     << ",\"dur_us\":" << s.dur_us << ",\"value\":" << s.value << ",\"detail\":";
+  AppendJsonString(os, s.detail);
+  os << "}";
+  return os.str();
+}
+
+SpanCollector::SpanCollector(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpanCollector::set_metrics(MetricsRegistry* m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  dropped_counter_ = m ? m->GetCounter("spans.dropped") : nullptr;
+}
+
+void SpanCollector::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t SpanCollector::capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return capacity_;
+}
+
+double SpanCollector::NowUs() const {
+  if (deterministic()) return 0.0;
+  return epoch_.ElapsedMicros();
+}
+
+void SpanCollector::Record(Span s) {
+  if (!enabled()) return;
+  if (deterministic()) {
+    s.start_us = 0.0;
+    s.dur_us = 0.0;
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_counter_) dropped_counter_->Add(1);
+  }
+  ring_.push_back(std::move(s));
+}
+
+std::vector<Span> SpanCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<Span>(ring_.begin(), ring_.end());
+}
+
+void SpanCollector::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+}
+
+SpanCollector::Context SpanCollector::GetContext() { return g_trace_ctx; }
+void SpanCollector::SetContext(const Context& ctx) { g_trace_ctx = ctx; }
+void SpanCollector::ClearContext() { g_trace_ctx = Context{}; }
+
+SpanScope::SpanScope(SpanCollector* collector, std::string name) {
+  if (collector == nullptr || !collector->enabled()) return;
+  saved_ = SpanCollector::GetContext();
+  if (saved_.trace_id == 0) return;  // no request trace in flight
+  collector_ = collector;
+  active_ = true;
+  span_.trace_id = saved_.trace_id;
+  span_.parent_id = saved_.parent_span;
+  span_.session_id = saved_.session_id;
+  span_.span_id = collector->NextId();
+  span_.name = std::move(name);
+  span_.start_us = collector->NowUs();
+  SpanCollector::Context nested = saved_;
+  nested.parent_span = span_.span_id;
+  SpanCollector::SetContext(nested);
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) return;
+  SpanCollector::SetContext(saved_);
+  span_.dur_us = collector_->NowUs() - span_.start_us;
+  collector_->Record(std::move(span_));
+}
+
+}  // namespace aidb::monitor

@@ -71,7 +71,13 @@ double QueryClassifier::HeavyThresholdLocked() const {
   // which would reclassify them as "normal". The log-domain mean keeps the
   // threshold anchored to the typical statement.
   double geo = std::expm1(total_log_cost_ / static_cast<double>(samples_));
-  return std::max(opts_.min_heavy_cost, opts_.heavy_ratio * geo);
+  // Under cheap-lane SLO pressure the ratio halves: statements near the
+  // boundary stop competing with the latency-sensitive lane until its p95
+  // recovers.
+  const double ratio = cheap_pressure_.load(std::memory_order_relaxed)
+                           ? opts_.heavy_ratio * 0.5
+                           : opts_.heavy_ratio;
+  return std::max(opts_.min_heavy_cost, ratio * geo);
 }
 
 double QueryClassifier::HeavyThreshold() const {

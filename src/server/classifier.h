@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -71,9 +72,21 @@ class QueryClassifier {
   double HeavyThreshold() const;
   size_t known_digests() const;
 
+  /// Live SLO signal from the service's per-lane p95 tracker: while the
+  /// cheap lane misses its latency target, the heavy threshold halves so
+  /// borderline statements divert to the heavy lane instead of crowding
+  /// latency-sensitive work.
+  void SetCheapLanePressure(bool on) {
+    cheap_pressure_.store(on, std::memory_order_relaxed);
+  }
+  bool cheap_lane_pressure() const {
+    return cheap_pressure_.load(std::memory_order_relaxed);
+  }
+
  private:
   double HeavyThresholdLocked() const;
 
+  std::atomic<bool> cheap_pressure_{false};
   Options opts_;
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, double> ewma_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <vector>
 
+#include "monitor/span.h"
 #include "storage/schema.h"
 
 namespace aidb::server {
@@ -157,6 +159,14 @@ std::future<Result<QueryResult>> Service::Submit(uint64_t session_id,
     job->deadline = Clock::time_point::max();
   }
   job->cancel = std::make_shared<std::atomic<bool>>(false);
+  if (db_->spans_enabled()) {
+    // Admission mints the request's trace identity; every engine-side span
+    // of this statement (parse/plan/operators/commit/wal_flush) hangs off
+    // the root span recorded when the request finishes.
+    job->trace_id = db_->spans().NextId();
+    job->root_span = db_->spans().NextId();
+    job->admitted_us = db_->spans().NowUs();
+  }
 
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -167,6 +177,7 @@ std::future<Result<QueryResult>> Service::Submit(uint64_t session_id,
     if (cheap_queue_.size() + heavy_queue_.size() >= opts_.queue_capacity) {
       shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
       db_->metrics().GetCounter("service.shed_overloaded")->Add();
+      RecordRequestSpan(*job, "shed_overloaded");
       job->promise.set_value(Status::Overloaded(
           "admission queue full (" + std::to_string(opts_.queue_capacity) +
           " queued); retry later"));
@@ -332,6 +343,7 @@ void Service::RunJob(Job& job) {
     shed_timeout_.fetch_add(1, std::memory_order_relaxed);
     db_->metrics().GetCounter("service.shed_timeout")->Add();
     job.session->errors.fetch_add(1, std::memory_order_relaxed);
+    RecordRequestSpan(job, "shed_timeout");
     job.promise.set_value(Status::Timeout(
         deadline_passed || job.cancel->load(std::memory_order_relaxed)
             ? "statement deadline exceeded while queued"
@@ -339,9 +351,23 @@ void Service::RunJob(Job& job) {
     return;
   }
 
+  if (job.trace_id != 0) {
+    monitor::Span qs;
+    qs.trace_id = job.trace_id;
+    qs.span_id = db_->spans().NextId();
+    qs.parent_id = job.root_span;
+    qs.name = "queue_wait";
+    qs.session_id = job.session->id();
+    qs.start_us = job.admitted_us;
+    qs.dur_us = db_->spans().NowUs() - job.admitted_us;
+    db_->spans().Record(std::move(qs));
+  }
+
   ExecSettings settings = job.session->SnapshotSettings();
   settings.cancel = job.cancel.get();
   settings.txn_slot = &job.session->txn;
+  settings.trace_id = job.trace_id;
+  settings.parent_span = job.root_span;
 
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     if (SharedEligible(job)) {
@@ -377,7 +403,75 @@ void Service::RunJob(Job& job) {
   } else {
     job.session->errors.fetch_add(1, std::memory_order_relaxed);
   }
+  RecordLaneLatency(job.klass, std::chrono::duration<double, std::milli>(
+                                   Clock::now() - job.enqueued)
+                                   .count());
+  RecordRequestSpan(job, result.ok() ? "ok" : "error");
   job.promise.set_value(std::move(result));
+}
+
+void Service::RecordRequestSpan(const Job& job, const char* outcome) {
+  if (job.trace_id == 0) return;
+  monitor::Span s;
+  s.trace_id = job.trace_id;
+  s.span_id = job.root_span;
+  s.parent_id = 0;
+  s.name = "request";
+  s.session_id = job.session ? job.session->id() : 0;
+  s.start_us = job.admitted_us;
+  s.dur_us = db_->spans().NowUs() - job.admitted_us;
+  s.detail = std::string(job.klass == QueryClass::kHeavy ? "heavy" : "cheap") +
+             ":" + outcome;
+  db_->spans().Record(std::move(s));
+}
+
+void Service::RecordLaneLatency(QueryClass k, double ms) {
+  const double target_ms = k == QueryClass::kHeavy ? opts_.heavy_p95_target_ms
+                                                   : opts_.cheap_p95_target_ms;
+  if (target_ms <= 0.0) return;  // lane untracked
+  LaneSlo& lane = slo_[k == QueryClass::kHeavy ? 1 : 0];
+  double p95_ms = 0.0;
+  bool breaching = false;
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.window_ms.push_back(ms);
+    while (lane.window_ms.size() > opts_.slo_window) lane.window_ms.pop_front();
+    ++lane.records;
+    // The p95 recompute is amortized (every 8th record after warm-up) so the
+    // cheap lane's fast path doesn't pay an O(window) selection per
+    // statement; the gauges lag by at most 8 statements.
+    if (lane.records <= 8 || lane.records % 8 == 0) {
+      std::vector<double> v(lane.window_ms.begin(), lane.window_ms.end());
+      size_t idx = (v.size() * 95) / 100;
+      if (idx >= v.size()) idx = v.size() - 1;
+      std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx),
+                       v.end());
+      lane.p95_ms = v[idx];
+      lane.breaching = lane.p95_ms > target_ms;
+    }
+    p95_ms = lane.p95_ms;
+    breaching = lane.breaching;
+  }
+  const char* name = k == QueryClass::kHeavy ? "heavy" : "cheap";
+  auto& m = db_->metrics();
+  m.GetGauge(std::string("slo.") + name + ".p95_us")
+      ->Set(static_cast<int64_t>(p95_ms * 1e3));
+  m.GetGauge(std::string("slo.") + name + ".target_us")
+      ->Set(static_cast<int64_t>(target_ms * 1e3));
+  m.GetGauge(std::string("slo.") + name + ".breach")->Set(breaching ? 1 : 0);
+  if (k == QueryClass::kCheap) classifier_.SetCheapLanePressure(breaching);
+}
+
+double Service::LaneP95Ms(QueryClass k) const {
+  const LaneSlo& lane = slo_[k == QueryClass::kHeavy ? 1 : 0];
+  std::lock_guard<std::mutex> lock(lane.mu);
+  return lane.p95_ms;
+}
+
+bool Service::LaneBreaching(QueryClass k) const {
+  const LaneSlo& lane = slo_[k == QueryClass::kHeavy ? 1 : 0];
+  std::lock_guard<std::mutex> lock(lane.mu);
+  return lane.breaching;
 }
 
 void Service::ReaperLoop() {

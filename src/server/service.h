@@ -39,6 +39,14 @@ struct ServiceOptions {
   bool classify = true;
   /// Fit the classifier from the database's query log at startup.
   bool warm_classifier_from_log = true;
+  /// Per-lane end-to-end p95 latency targets for the SLO tracker (0 = lane
+  /// untracked). A cheap lane in breach feeds live pressure back into the
+  /// admission classifier (SetCheapLanePressure), and both lanes publish
+  /// slo.<lane>.p95_us / target_us / breach gauges.
+  double cheap_p95_target_ms = 0.0;
+  double heavy_p95_target_ms = 0.0;
+  /// Rolling statements per lane the p95 is computed over.
+  size_t slo_window = 256;
 };
 
 /// \brief Concurrent in-process SQL service: sessions, admission control,
@@ -92,6 +100,11 @@ class Service {
   }
   uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
 
+  /// Rolling end-to-end p95 of a lane (0 before any completion), and whether
+  /// the lane currently misses its target. SLO-tracker observability hooks.
+  double LaneP95Ms(QueryClass k) const;
+  bool LaneBreaching(QueryClass k) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -106,6 +119,10 @@ class Service {
     bool has_deadline = false;
     std::shared_ptr<std::atomic<bool>> cancel;
     std::promise<Result<QueryResult>> promise;
+    /// End-to-end trace identity, minted at admission when spans are on.
+    uint64_t trace_id = 0;
+    uint64_t root_span = 0;
+    double admitted_us = 0.0;  ///< collector clock at admission
   };
 
   void WorkerLoop(size_t worker_index);
@@ -114,6 +131,11 @@ class Service {
   /// True when the statement can run under the shared (reader) lock.
   bool SharedEligible(const Job& job) const;
   void RegisterSessionsView();
+  /// Records one completed statement's end-to-end latency into its lane's
+  /// SLO window; refreshes the p95 gauges and the classifier pressure.
+  void RecordLaneLatency(QueryClass k, double ms);
+  /// Records the root `request` span of a finished (or shed) job.
+  void RecordRequestSpan(const Job& job, const char* outcome);
 
   Database* db_;
   ServiceOptions opts_;
@@ -146,6 +168,17 @@ class Service {
   std::atomic<uint64_t> shed_timeout_{0};
   std::atomic<uint64_t> executed_{0};
   bool view_registered_ = false;
+
+  /// Per-lane rolling latency window for the SLO tracker ([0]=cheap,
+  /// [1]=heavy).
+  struct LaneSlo {
+    mutable std::mutex mu;
+    std::deque<double> window_ms;
+    double p95_ms = 0.0;
+    uint64_t records = 0;
+    bool breaching = false;
+  };
+  LaneSlo slo_[2];
 };
 
 }  // namespace aidb::server

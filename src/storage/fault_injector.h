@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -70,6 +71,38 @@ class FaultInjector {
   bool crashed() const { return crashed_; }
   uint64_t points_seen() const { return points_seen_; }
 
+  /// \name Non-crashing delay injection
+  /// Arms a deterministic stall at `point`: consumers report `us` of wait at
+  /// every pass through that point until DisarmStall(). Unlike ArmCrash this
+  /// never kills the writer — it models a slow device (fsync latency spikes,
+  /// saturated disk) for the live-monitoring pipeline, which needs a real,
+  /// sustained io_wait signal with exact ground truth. The injected delay is
+  /// *accounted* (the consumer adds it to its stall counters) rather than
+  /// slept by default, keeping fault tests wall-clock free; `real_sleep`
+  /// additionally burns the wall time for end-to-end latency tests. Atomics
+  /// throughout: tests arm/disarm while engine threads consult the point.
+  /// @{
+  void ArmStall(FaultPoint point, uint64_t us, bool real_sleep = false) {
+    stall_point_.store(static_cast<uint8_t>(point), std::memory_order_relaxed);
+    stall_real_sleep_.store(real_sleep, std::memory_order_relaxed);
+    stall_us_.store(us, std::memory_order_release);
+  }
+  void DisarmStall() { stall_us_.store(0, std::memory_order_release); }
+  /// Armed stall for `point` in microseconds (0 = none).
+  uint64_t StallUs(FaultPoint point) const {
+    const uint64_t us = stall_us_.load(std::memory_order_acquire);
+    if (us == 0) return 0;
+    if (stall_point_.load(std::memory_order_relaxed) !=
+        static_cast<uint8_t>(point)) {
+      return 0;
+    }
+    return us;
+  }
+  bool stall_real_sleep() const {
+    return stall_real_sleep_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
   /// Deterministic randomness for damage placement (torn-write length,
   /// corrupt-byte offset).
   Rng& rng() { return rng_; }
@@ -81,6 +114,9 @@ class FaultInjector {
   FaultKind kind_ = FaultKind::kNone;
   FaultPoint last_point_ = FaultPoint::kWalFlush;
   bool crashed_ = false;
+  std::atomic<uint64_t> stall_us_{0};
+  std::atomic<uint8_t> stall_point_{0};
+  std::atomic<bool> stall_real_sleep_{false};
 };
 
 }  // namespace aidb::storage

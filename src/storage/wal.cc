@@ -4,7 +4,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/timer.h"
 #include "storage/serde.h"
@@ -367,6 +369,20 @@ Status WalWriter::FlushLocked() {
     FaultKind kind = opts_.fault->Fire(FaultPoint::kWalFlush);
     if (kind != FaultKind::kNone) return SimulateCrash(kind);
   }
+  // Injected device stall: account the configured delay on every flush (the
+  // live monitors' io_wait ground truth) and only burn the wall time when the
+  // test asked for a real sleep.
+  uint64_t stall_us = 0;
+  if (opts_.fault != nullptr) {
+    stall_us = opts_.fault->StallUs(FaultPoint::kWalFlush);
+    if (stall_us > 0) {
+      if (stall_us_metric_) stall_us_metric_->Add(stall_us);
+      if (opts_.fault->stall_real_sleep()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      }
+    }
+  }
+  monitor::SpanScope flush_span(opts_.spans, "wal_flush");
   Timer flush_timer;
   size_t batch_bytes = buffer_.size();
   AIDB_RETURN_NOT_OK(PhysicalWrite(buffer_.data(), buffer_.size()));
@@ -385,6 +401,7 @@ Status WalWriter::FlushLocked() {
     bytes_metric_->Add(batch_bytes);
     flush_us_metric_->Observe(flush_timer.ElapsedMicros());
   }
+  if (flush_span.active()) flush_span.set_value(static_cast<double>(batch_bytes));
   return Status::OK();
 }
 

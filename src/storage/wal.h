@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "monitor/metrics.h"
+#include "monitor/span.h"
 #include "storage/fault_injector.h"
 #include "storage/schema.h"
 #include "txn/types.h"
@@ -145,9 +146,15 @@ class WalWriter {
     bool sync = true;
     FaultInjector* fault = nullptr;  ///< not owned; nullptr = no injection
     /// Engine metric registry (wal.records / wal.flushes / wal.fsyncs /
-    /// wal.bytes counters, wal.flush_us histogram). Not owned; must outlive
-    /// the writer. nullptr = unmetered.
+    /// wal.bytes counters, wal.stall_us for injected device stalls,
+    /// wal.flush_us histogram). Not owned; must outlive the writer.
+    /// nullptr = unmetered.
     monitor::MetricsRegistry* metrics = nullptr;
+    /// Span collector for the end-to-end request traces: each group-commit
+    /// flush records a `wal_flush` span attributed to the request that
+    /// triggered it (the flushing thread's trace context — piggybacking
+    /// commits record no span of their own). Not owned; nullptr = no spans.
+    monitor::SpanCollector* spans = nullptr;
   };
 
   /// Opens (creating if needed) `path` for appending; `next_lsn` continues
@@ -212,6 +219,7 @@ class WalWriter {
       fsyncs_metric_ = opts_.metrics->GetCounter("wal.fsyncs");
       bytes_metric_ = opts_.metrics->GetCounter("wal.bytes");
       flush_us_metric_ = opts_.metrics->GetHistogram("wal.flush_us");
+      stall_us_metric_ = opts_.metrics->GetCounter("wal.stall_us");
     }
   }
 
@@ -235,6 +243,7 @@ class WalWriter {
   monitor::Counter* fsyncs_metric_ = nullptr;
   monitor::Counter* bytes_metric_ = nullptr;
   monitor::LatencyHistogram* flush_us_metric_ = nullptr;
+  monitor::Counter* stall_us_metric_ = nullptr;
 };
 
 /// Result of scanning a WAL file front to back.

@@ -92,6 +92,14 @@ bool VectorizedFuzzDefault() {
   return on;
 }
 
+bool SpansFuzzDefault() {
+  static const bool on = [] {
+    const char* env = std::getenv("AIDB_FUZZ_SPANS");
+    return env != nullptr && std::atol(env) != 0;
+  }();
+  return on;
+}
+
 WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
                           bool vectorized) {
   Database db;
@@ -102,6 +110,7 @@ WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
   // results, a trace-driven reorder) becomes a digest divergence.
   db.EnableTracing(true);
   db.SetDeterministicTiming(true);
+  db.EnableSpans(SpansFuzzDefault());
   WorkloadTrace trace;
   trace.digests.reserve(workload.size());
   trace.logs_txn.reserve(workload.size());
@@ -128,6 +137,7 @@ WorkloadTrace RunWorkloadPrepared(const std::vector<std::string>& workload,
   db.SetVectorized(vectorized);
   db.EnableTracing(true);
   db.SetDeterministicTiming(true);
+  db.EnableSpans(SpansFuzzDefault());
   WorkloadTrace trace;
   trace.digests.reserve(workload.size());
   trace.logs_txn.reserve(workload.size());

@@ -38,6 +38,13 @@ struct WorkloadTrace {
 /// vectorized-vs-volcano differential without any test changes.
 bool VectorizedFuzzDefault();
 
+/// True when AIDB_FUZZ_SPANS is set to a non-zero value: the in-memory fuzz
+/// legs run with the end-to-end span collector enabled, so any span-induced
+/// nondeterminism (an id leaking into results, span recording perturbing
+/// execution) becomes a digest divergence. Under deterministic timing spans
+/// carry zeroed clocks, so digests must stay byte-equal with spans on.
+bool SpansFuzzDefault();
+
 /// Runs the workload on a fresh in-memory database at the given dop,
 /// on the vectorized or the row (volcano) engine.
 WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
