@@ -77,6 +77,10 @@ REQUIRED_GATES = {
                                  "BM_SelfMonitorOverhead"),
     "BENCH_monitoring.json": ("BM_ForecastPredict",
                               "BM_Diagnose"),
+    "BENCH_storage.json": ("BM_LsmFlushThroughput",
+                           "BM_LsmColdPointReads",
+                           "BM_LsmCompactionPolicy",
+                           "BM_LsmTunerMeasured"),
 }
 
 # Per-benchmark p50 regression limits tighter than the global threshold,

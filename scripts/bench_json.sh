@@ -2,7 +2,7 @@
 # Runs benchmark binaries and captures machine-readable results as
 # BENCH_<name>.json in the repo root (google-benchmark JSON format, the
 # input EXPERIMENTS.md rows are derived from).
-#   scripts/bench_json.sh                   run the default benches (wal, observability, service, vectorized, monitoring)
+#   scripts/bench_json.sh                   run the default benches (wal, observability, service, vectorized, monitoring, storage)
 #   scripts/bench_json.sh wal parallel_exec run the named benches
 #   BUILD_DIR=out scripts/bench_json.sh     use a non-default build tree
 # pipefail is load-bearing: the bench binary feeds a JSON post-processing
@@ -20,7 +20,7 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
 fi
 
 benches=("$@")
-[[ ${#benches[@]} -eq 0 ]] && benches=(wal observability service vectorized monitoring)
+[[ ${#benches[@]} -eq 0 ]] && benches=(wal observability service vectorized monitoring storage)
 
 for name in "${benches[@]}"; do
   bin="$BUILD_DIR/bench/bench_$name"

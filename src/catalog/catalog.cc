@@ -12,6 +12,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* ptr = table.get();
   tables_[name] = std::move(table);
+  if (on_create_table_) on_create_table_(name, ptr);
   return ptr;
 }
 
@@ -24,7 +25,12 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  if (!tables_.erase(name)) return Status::NotFound("table " + name);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  // Hook fires while the Table* is still alive so the storage engine can
+  // detach its cold tier before the version chains are freed.
+  if (on_drop_table_) on_drop_table_(name, it->second.get());
+  tables_.erase(it);
   // Drop dependent indexes.
   for (auto it = indexes_.begin(); it != indexes_.end();) {
     if (it->second->table == name) {

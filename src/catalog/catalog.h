@@ -43,6 +43,16 @@ class Catalog {
   Status DropTable(const std::string& name);
   std::vector<std::string> TableNames() const;
 
+  /// Storage-engine attach/detach hooks: `on_create` fires after a real user
+  /// table is inserted into the catalog, `on_drop` just before one is erased
+  /// (its Table* is still valid during the call). System views never fire
+  /// them — they live outside tables_ and outside the storage engine.
+  using TableHook = std::function<void(const std::string&, Table*)>;
+  void SetTableHooks(TableHook on_create, TableHook on_drop) {
+    on_create_table_ = std::move(on_create);
+    on_drop_table_ = std::move(on_drop);
+  }
+
   /// Builds a secondary index over an existing INT or DOUBLE column and
   /// backfills it from current rows. DOUBLEs are keyed by their integer cast
   /// in the B+tree (documented engine restriction).
@@ -120,6 +130,8 @@ class Catalog {
   std::unordered_map<std::string, ColumnStats> stats_;  // "table.column"
   std::unordered_map<std::string, SystemView> system_views_;
   CardinalityFeedback feedback_;
+  TableHook on_create_table_;
+  TableHook on_drop_table_;
 };
 
 }  // namespace aidb

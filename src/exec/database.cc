@@ -10,6 +10,7 @@
 #include "sql/lexer.h"
 #include "sql/params.h"
 #include "sql/parser.h"
+#include "storage/engine/lsm_engine.h"
 #include "storage/snapshot.h"
 
 namespace aidb {
@@ -128,7 +129,16 @@ Database::Database()
   });
 }
 
-Database::~Database() { kpi_sampler_.Stop(); }
+Database::~Database() {
+  kpi_sampler_.Stop();
+  // Drain every pool before members die: a queued storage-maintenance task
+  // touches lsm_engine_ and checkpoint_fence_, both destroyed before the
+  // pools join their workers.
+  if (lsm_engine_) {
+    if (exec_pool_) exec_pool_->Wait();
+    for (auto& pool : retired_pools_) pool->Wait();
+  }
+}
 
 void Database::StartKpiSampler(double interval_ms) {
   kpi_sampler_.Start(interval_ms);
@@ -261,6 +271,28 @@ void Database::RegisterSystemViews() {
           emit({Value(static_cast<int64_t>(t.id)),
                 Value(static_cast<int64_t>(t.read_ts)),
                 Value(static_cast<int64_t>(t.writes))});
+        }
+      });
+
+  // Storage-engine state: one row per attached table (empty view when the
+  // database runs on the plain row store).
+  Schema storage_schema({{"table", ValueType::kString},
+                         {"runs", ValueType::kInt},
+                         {"max_level", ValueType::kInt},
+                         {"entries", ValueType::kInt},
+                         {"file_bytes", ValueType::kInt},
+                         {"paged_slots", ValueType::kInt},
+                         {"frozen_slots", ValueType::kInt}});
+  (void)catalog_.RegisterSystemView(
+      "aidb_storage", std::move(storage_schema), [this](const VF& emit) {
+        if (!lsm_engine_) return;
+        for (const auto& info : lsm_engine_->TableInfos()) {
+          emit({Value(info.table), Value(static_cast<int64_t>(info.runs)),
+                Value(static_cast<int64_t>(info.max_level)),
+                Value(static_cast<int64_t>(info.entries)),
+                Value(static_cast<int64_t>(info.file_bytes)),
+                Value(static_cast<int64_t>(info.paged_slots)),
+                Value(static_cast<int64_t>(info.frozen_slots))});
         }
       });
 
@@ -441,7 +473,87 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   db->dir_ = dir;
   db->durability_opts_ = opts;
   db->tm_.SeedNextTxnId(db->recovery_stats_.next_txn_id);
+  if (opts.lsm) AIDB_RETURN_NOT_OK(db->EnableLsmStorage());
   return db;
+}
+
+Status Database::EnableLsmStorage() {
+  lsm_engine_ = std::make_unique<storage::LsmEngine>(
+      dir_ + "/lsm", durability_opts_.lsm_design, &tm_,
+      durability_opts_.fault, &metrics_);
+  catalog_.SetTableHooks(
+      [this](const std::string& name, Table* t) {
+        lsm_engine_->AttachTable(name, t);
+      },
+      [this](const std::string& name, Table* t) {
+        lsm_engine_->DetachTable(name, t);
+      });
+  // Recovery already rebuilt the catalog (hooks were not set yet). Adoption
+  // only considers *frozen* slots, and freezing happens at vacuum — so run
+  // one pass now (no transactions are open, the watermark covers every
+  // recovered row) before attaching, or the manifest's runs could never
+  // byte-match anything.
+  const uint64_t wm = tm_.WatermarkTs();
+  for (const std::string& name : catalog_.TableNames()) {
+    auto t = catalog_.GetTable(name);
+    if (t.ok()) t.ValueOrDie()->Vacuum(wm, [this](Version* v) { tm_.Retire(v); });
+  }
+  // Attach every table, re-adopting the manifest's runs where they
+  // byte-match the recovered frozen rows, then drop whatever no table
+  // references.
+  for (const std::string& name : catalog_.TableNames()) {
+    auto t = catalog_.GetTable(name);
+    if (t.ok()) lsm_engine_->AttachTable(name, t.ValueOrDie());
+  }
+  return lsm_engine_->GarbageCollect();
+}
+
+void Database::MaybeMaintainStorage() {
+  if (!lsm_engine_ || !lsm_engine_->NeedsMaintenance()) return;
+  // Inline when crash injection is armed (the matrix counts fault points in
+  // statement order, so flush/compaction points must fire deterministically)
+  // or when no executor pool exists. The caller already holds the
+  // checkpoint fence shared — do NOT re-acquire it here.
+  if (durability_opts_.fault != nullptr || !exec_pool_) {
+    // Post-commit path: a simulated crash sets the injector's crashed flag,
+    // which gates every later statement; the status itself has no addressee.
+    Status ignored = lsm_engine_->Maintain();
+    (void)ignored;
+    return;
+  }
+  bool expected = false;
+  if (!storage_maint_inflight_.compare_exchange_strong(expected, true)) return;
+  exec_pool_->Submit([this] {
+    // Off the commit path: take the fence shared so a checkpoint never
+    // captures its cut while runs and manifest move underneath it.
+    std::shared_lock<std::shared_mutex> fence(checkpoint_fence_);
+    Status ignored = lsm_engine_->Maintain();
+    (void)ignored;
+    storage_maint_inflight_.store(false, std::memory_order_release);
+  });
+}
+
+Status Database::FlushColdStorage(bool force) {
+  if (!lsm_engine_) {
+    return Status::InvalidArgument("database has no LSM storage engine");
+  }
+  if (crashed()) return Status::Aborted("database crashed (simulated fault)");
+  // Shared fence: a checkpoint must not capture its cut while runs and the
+  // manifest move underneath it (same protocol as the pooled maintenance
+  // task).
+  std::shared_lock<std::shared_mutex> fence(checkpoint_fence_);
+  const uint64_t wm = tm_.WatermarkTs();
+  for (const std::string& name : catalog_.TableNames()) {
+    auto t = catalog_.GetTable(name);
+    if (!t.ok()) continue;
+    t.ValueOrDie()->Vacuum(wm, [this](Version* v) { tm_.Retire(v); });
+  }
+  tm_.FreeRetired();
+  if (!force) return lsm_engine_->Maintain();
+  for (const auto& info : lsm_engine_->TableInfos()) {
+    AIDB_RETURN_NOT_OK(lsm_engine_->FlushTable(info.table));
+  }
+  return Status::OK();
 }
 
 Status Database::FlushWal() {
@@ -804,6 +916,9 @@ void Database::MaybeVacuum() {
     t.ValueOrDie()->Vacuum(wm, [this](Version* v) { tm_.Retire(v); });
   }
   tm_.FreeRetired();
+  // Same cadence for the storage engine: vacuum just froze slots, which is
+  // what makes them flushable.
+  MaybeMaintainStorage();
 }
 
 Status Database::MaybeAutoCheckpoint() {

@@ -24,12 +24,17 @@
 #include "monitor/span.h"
 #include "server/plan_cache.h"
 #include "server/prepared.h"
+#include "storage/lsm.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
 #include "txn/transaction_manager.h"
 #include "txn/types.h"
 
 namespace aidb {
+
+namespace storage {
+class LsmEngine;
+}
 
 /// Configuration of the durability subsystem (Database::Open).
 struct DurabilityOptions {
@@ -45,6 +50,14 @@ struct DurabilityOptions {
   bool sync = true;
   /// Crash-injection hook for the recovery test harness; not owned.
   storage::FaultInjector* fault = nullptr;
+  /// Attach the LSM storage engine beneath every user table: frozen slots
+  /// are flushed to block-based SSTs in `<dir>/lsm/` and read back through
+  /// the cold-tier hooks. Off (the default) keeps the pure in-memory row
+  /// store — the oracle the differential harness compares against.
+  bool lsm = false;
+  /// LSM design knobs (memtable capacity, size ratio, bloom bits,
+  /// leveling/tiering) — the axes the learned design tuner searches.
+  LsmOptions lsm_design;
 };
 
 /// Cumulative durability counters for one Database (monitor/ samples these).
@@ -312,6 +325,22 @@ class Database {
   DurabilityStats durability_stats() const;
   const storage::RecoveryStats& last_recovery() const { return recovery_stats_; }
 
+  // --- Storage engine --------------------------------------------------------
+
+  /// The attached LSM storage engine, or nullptr when the database runs on
+  /// the default in-memory row store (DurabilityOptions::lsm).
+  storage::LsmEngine* lsm_engine() { return lsm_engine_.get(); }
+  const storage::LsmEngine* lsm_engine() const { return lsm_engine_.get(); }
+
+  /// Freezes everything freezable (a vacuum pass at the current watermark)
+  /// and flushes frozen slots through the LSM engine, inline, then compacts.
+  /// Deterministic — the differential/crash harnesses and benches use it to
+  /// page data out without waiting for the vacuum cadence. With
+  /// `force = false` the engine's memtable-capacity threshold still gates
+  /// each table's flush (what the measured tuning environment replays
+  /// against). Error on a non-LSM database.
+  Status FlushColdStorage(bool force = true);
+
  private:
   /// Plan/trace facts about one executed statement, harvested for the query
   /// log. A local threaded through the execution path (NOT a member): two
@@ -397,6 +426,14 @@ class Database {
   void RestoreHashEntries(const std::string& table, RowId id, const Tuple& row);
   /// Every ~64 commits: reclaim versions dead below the watermark.
   void MaybeVacuum();
+  /// Creates the LSM engine, hooks the catalog, attaches every recovered
+  /// table (re-adopting manifest runs) and garbage-collects orphan SSTs.
+  /// Called from Open when DurabilityOptions::lsm is set.
+  Status EnableLsmStorage();
+  /// Storage-engine maintenance trigger, piggybacked on the vacuum cadence:
+  /// inline (deterministic) when crash injection is armed or no executor
+  /// pool exists, otherwise a single-flight task on the executor pool.
+  void MaybeMaintainStorage();
   /// Auto-checkpoint trigger (checkpoint_every_n_records knob), deferred
   /// while any transaction holds unstamped writes.
   Status MaybeAutoCheckpoint();
@@ -492,6 +529,12 @@ class Database {
   /// appending WAL ops or committing (a consistent cut).
   std::shared_mutex checkpoint_fence_;
   storage::RecoveryStats recovery_stats_;
+  /// Pluggable storage engine (null = row store). Declared after tm_ so it
+  /// is destroyed first: its destructor detaches cold tiers while the
+  /// transaction manager (and catalog) are still alive.
+  std::unique_ptr<storage::LsmEngine> lsm_engine_;
+  /// Single-flight gate for the async maintenance task on the executor pool.
+  std::atomic<bool> storage_maint_inflight_{false};
 
   /// Last member: destroyed (thread joined) before everything ProbeKpis and
   /// the incident hook touch.

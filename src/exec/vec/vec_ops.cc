@@ -330,6 +330,55 @@ Status ApplyFusedFilters(const std::vector<VecExpr>& filters,
   return Status::Internal("vectorized filter error not reproduced by scalar filter");
 }
 
+/// Cold-tier zone-map gate for one batch window [begin, begin+kBatchRows):
+/// when every slot of the window is dead or paged out to the LSM cold tier,
+/// the per-block zone maps can refute a fused `col <cmp> lit` filter for the
+/// whole window without decoding a single block — the batch is skipped.
+///
+/// Parity argument: paged slots are frozen (visible to every snapshot) and
+/// dead slots emit nothing, so the cold tier fully describes the window's
+/// visible rows. Filters are walked in serial order; pruning is only allowed
+/// through a prefix of provably error-free comparisons (numeric schema
+/// column vs numeric literal — the fused kernel shapes), so a skipped window
+/// can never swallow an error an earlier filter would have raised. kNe is
+/// never refutable by min/max bounds and just passes through.
+bool ZoneMapPruned(const Table& table, const std::vector<VecExpr>& filters,
+                   RowId begin) {
+  ColdTier* cold = table.cold_tier();
+  if (cold == nullptr || filters.empty()) return false;
+  const size_t m = begin / Table::kMorselRows;
+  if (table.MorselPagedCount(m) == 0) return false;
+  const RowId end = std::min<RowId>(begin + kBatchRows, table.NumSlots());
+  if (!table.RangeAllColdOrDead(begin, end)) return false;
+  for (const VecExpr& f : filters) {
+    int col = -1;
+    sql::OpType op = sql::OpType::kEq;
+    Value lit;
+    // Any filter outside the error-free comparison shape ends the prefix:
+    // it could error on a row, so later refutations must not skip it.
+    if (!f.MatchColCmpLit(&col, &op, &lit)) return false;
+    if (lit.type() != ValueType::kInt && lit.type() != ValueType::kDouble) {
+      return false;
+    }
+    ValueType ct = table.schema().column(static_cast<size_t>(col)).type;
+    if (ct != ValueType::kInt && ct != ValueType::kDouble) return false;
+    ColdTier::Cmp cmp;
+    switch (op) {
+      case sql::OpType::kEq: cmp = ColdTier::Cmp::kEq; break;
+      case sql::OpType::kLt: cmp = ColdTier::Cmp::kLt; break;
+      case sql::OpType::kLe: cmp = ColdTier::Cmp::kLe; break;
+      case sql::OpType::kGt: cmp = ColdTier::Cmp::kGt; break;
+      case sql::OpType::kGe: cmp = ColdTier::Cmp::kGe; break;
+      default: continue;  // kNe: error-free but min/max can never refute it
+    }
+    if (!cold->ColdRangeMayMatch(begin, end, static_cast<size_t>(col), cmp,
+                                 lit.AsDouble())) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 // ----- VecOperator -----
@@ -467,6 +516,7 @@ bool VecScanOp::NextBatchImpl(Batch* out) {
     }
     RowId begin = cursor_;
     cursor_ += kBatchRows;
+    if (ZoneMapPruned(*table_, filters_, begin)) continue;
     ScanSources src{&cached_cols_, &row_cols_, liveness_.get(),
                     table_quiescent_};
     BuildScanBatch(*table_, snap_, begin, out, &scratch_live_, &scratch_rows_,
@@ -541,6 +591,7 @@ void VecParallelScanOp::VecOpenImpl() {
     ScanSources src{&cached_cols_, &row_cols_, liveness_.get(),
                     table_quiescent_};
     for (RowId b = mbegin; b < mend; b += kBatchRows) {
+      if (ZoneMapPruned(*table_, filters_, b)) continue;
       Batch batch;
       BuildScanBatch(*table_, snap_, b, &batch, &live, &rows, &dicts,
                      active_cols_, src);

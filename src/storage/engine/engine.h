@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace aidb {
+class Table;
+}
+
+namespace aidb::storage {
+
+/// \brief Pluggable storage-engine seam beneath the MVCC tables.
+///
+/// The Database owns at most one engine and routes catalog lifecycle events
+/// (CREATE/DROP TABLE, recovery attach) plus periodic maintenance to it. The
+/// default engine is the pure in-memory row store — a no-op implementation,
+/// kept as the correctness oracle the differential harness compares the LSM
+/// backend against. Engines hook per-table state in through
+/// Table::SetColdTier; the Table's slot/version contract (MVCC visibility,
+/// vectorized BuildScanBatch) is unchanged either way.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called after `t` enters the catalog (CREATE TABLE or recovery attach).
+  virtual void AttachTable(const std::string& name, Table* t) = 0;
+  /// Called just before `t` leaves the catalog; `t` is still valid.
+  virtual void DetachTable(const std::string& name, Table* t) = 0;
+
+  /// Cheap gate: would Maintain() plausibly do work right now?
+  virtual bool NeedsMaintenance() const = 0;
+  /// One maintenance pass over every attached table (flush, compaction).
+  /// Returns Aborted after a simulated crash, like every durable writer.
+  virtual Status Maintain() = 0;
+};
+
+/// The default engine: rows live in the in-memory MVCC store only, exactly
+/// the pre-engine behaviour. Doubles as the differential oracle.
+class RowStoreEngine final : public StorageEngine {
+ public:
+  const char* name() const override { return "rowstore"; }
+  void AttachTable(const std::string&, Table*) override {}
+  void DetachTable(const std::string&, Table*) override {}
+  bool NeedsMaintenance() const override { return false; }
+  Status Maintain() override { return Status::OK(); }
+};
+
+}  // namespace aidb::storage

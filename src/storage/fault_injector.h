@@ -34,6 +34,10 @@ enum class FaultPoint : uint8_t {
   kWalFlush = 0,      ///< WalWriter::Flush, before the buffer hits the file
   kSnapshotWrite,     ///< mid snapshot temp-file write
   kPostSnapshotRename,///< snapshot durable, WAL not yet reset
+  kSstBlockWrite,     ///< mid SST data-block write (LSM flush/compaction)
+  kSstFooter,         ///< SST footer write / final fsync
+  kManifestUpdate,    ///< LSM manifest temp-write/rename
+  kCompactionWrite,   ///< mid-compaction output write
 };
 
 /// \brief Deterministic crash scheduler for the durability layer.

@@ -18,13 +18,28 @@ struct LsmOptions {
 };
 
 /// I/O counters used by both the measured benchmark and the tuner's analytic
-/// cost model validation.
+/// cost model validation. Shared between the toy in-memory LsmTree and the
+/// real disk backend (storage/engine/lsm_engine): both account
+/// entries_written per ingested entry and entries_compacted per entry
+/// rewritten by flush *and* compaction, so their amplification figures are
+/// directly comparable to the analytic model's predictions.
 struct LsmStats {
-  uint64_t entries_written = 0;       ///< user puts
+  uint64_t entries_written = 0;       ///< user puts / paged-out slots
   uint64_t entries_compacted = 0;     ///< entries rewritten by flush/compaction
   uint64_t runs_probed = 0;           ///< sorted runs touched by gets
   uint64_t bloom_negatives = 0;       ///< probes skipped by bloom filters
   uint64_t gets = 0;
+
+  // Real-backend extras (stay zero for the toy tree).
+  uint64_t flushes = 0;               ///< immutable-run flushes
+  uint64_t compactions = 0;           ///< merge passes
+  uint64_t blocks_written = 0;        ///< SST data blocks persisted
+  uint64_t bytes_written = 0;         ///< SST bytes persisted (incl. rewrite)
+  uint64_t bloom_probes = 0;          ///< bloom filter consultations
+  uint64_t zone_checks = 0;           ///< zone-map range interrogations
+  uint64_t zone_prunes = 0;           ///< ranges refuted by zone maps
+  uint64_t materialized = 0;          ///< cold slots pulled warm for writers
+  uint64_t adopted = 0;               ///< persisted entries re-adopted at recovery
 
   /// Write amplification: total entries rewritten per entry ingested.
   double WriteAmplification() const {

@@ -36,7 +36,18 @@ Version* Tag(Version* v) {
                                     kFrozenBit);
 }
 
+// Paged-slot sentinel (bit 1, untagged): the slot's sole frozen version has
+// been flushed to the cold tier and its warm copy retired. Readers resolve
+// the slot through ColdTier::ColdVersion; writers materialize a warm copy
+// back over the sentinel (LoadHeadForWrite). Only a frozen head ever becomes
+// the sentinel (flush CASes Tag(v) -> sentinel), and only under write_mu_
+// does a sentinel become a plain head again — so plain -> sentinel never
+// happens and writer-side CASes can distinguish every transition.
+Version* PagedSentinel() { return reinterpret_cast<Version*>(uintptr_t{2}); }
+bool IsPagedHead(const Version* v) { return v == PagedSentinel(); }
+
 void FreeChain(Version* v) {
+  if (IsPagedHead(v)) return;  // cold tier owns the bytes
   v = Untag(v);
   while (v != nullptr) {
     Version* next = v->older.load(std::memory_order_relaxed);
@@ -111,21 +122,61 @@ Result<RowId> Table::AllocateSlot(Version* head) {
   return id;
 }
 
-Version* Table::LoadHeadForWrite(Slot* s) {
-  Version* h = s->head.load(std::memory_order_acquire);
-  if (IsFrozen(h)) {
+Version* Table::LoadHeadForWrite(Slot* s, RowId id) {
+  while (true) {
+    Version* h = s->head.load(std::memory_order_acquire);
+    if (IsPagedHead(h)) {
+      // Paged slot: re-home it as a warm version before the writer touches
+      // any timestamp. A nullptr materialize is transient (a concurrent
+      // compaction republishing its run set) — retry.
+      ColdTier* cold = cold_.load(std::memory_order_acquire);
+      Version* v = cold != nullptr ? cold->MaterializeCold(id) : nullptr;
+      if (v == nullptr) {
+        if (cold == nullptr) return nullptr;  // tier detached under us
+        continue;
+      }
+      if (s->head.compare_exchange_strong(h, v, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        paged_count_.fetch_sub(1, std::memory_order_relaxed);
+        MorselFor(id)->paged.fetch_sub(1, std::memory_order_release);
+        cold->NoteMaterialized(id);
+        return v;
+      }
+      delete v;  // head changed under us (cannot happen under write_mu_)
+      continue;
+    }
+    if (!IsFrozen(h)) return h;
     // Clear the freeze before any timestamp mutation: readers must never
     // take the single-load path on a slot whose head is being rewritten.
-    h = Untag(h);
-    s->head.store(h, std::memory_order_release);
+    // CAS, not a plain store: a concurrent flush may CAS this same tagged
+    // head to the paged sentinel — exactly one transition wins, and a plain
+    // store here would overwrite the sentinel and resurrect the retired
+    // warm version.
+    Version* expect = h;
+    if (s->head.compare_exchange_strong(expect, Untag(h),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      return Untag(h);
+    }
   }
-  return h;
 }
 
 const Version* Table::VisibleVersion(RowId id,
                                      const txn::Snapshot& snap) const {
   if (id >= NumSlots()) return nullptr;
   const Version* v = SlotFor(id)->head.load(std::memory_order_acquire);
+  while (IsPagedHead(v)) {
+    // Paged slot: the persisted version is frozen (committed at or below a
+    // past watermark, open end), hence visible to every snapshot. A cold-tier
+    // miss is transient — a concurrent materialize+compact cycle raced this
+    // load — and the re-loaded head resolves it (sentinel observed implies
+    // the entry is present in any run set loaded afterwards).
+    ColdTier* cold = cold_.load(std::memory_order_acquire);
+    if (cold == nullptr) return nullptr;  // tier detached: contract violation
+    const Version* cv = cold->ColdVersion(id);
+    if (cv != nullptr) return cv;
+    v = SlotFor(id)->head.load(std::memory_order_acquire);
+  }
   if (IsFrozen(v)) {
     // Single committed version, begun at or below a past watermark (hence at
     // or below every live read_ts), never ended: visible, one load.
@@ -213,7 +264,7 @@ Status Table::Delete(RowId id) {
   if (id >= NumSlots() || VisibleVersion(id, txn::Snapshot{}) == nullptr) {
     return Status::NotFound("row " + std::to_string(id));
   }
-  Version* h = LoadHeadForWrite(SlotFor(id));
+  Version* h = LoadHeadForWrite(SlotFor(id), id);
   if (h == nullptr) return Status::NotFound("row " + std::to_string(id));
   // Bootstrap callers never race transactions; the visible version is the
   // head (or the head is a newer bootstrap version over it — end the head).
@@ -232,7 +283,7 @@ Status Table::Update(RowId id, Tuple row) {
     return Status::NotFound("row " + std::to_string(id));
   }
   Slot* s = SlotFor(id);
-  Version* h = LoadHeadForWrite(s);
+  Version* h = LoadHeadForWrite(s, id);
   if (h == nullptr) return Status::NotFound("row " + std::to_string(id));
   auto* nv = new Version(std::move(row), kBootstrapTs, kInfinityTs);
   nv->older.store(h, std::memory_order_relaxed);
@@ -313,7 +364,7 @@ Status Table::UpdateTxn(RowId id, Tuple row, const txn::Snapshot& snap,
   std::lock_guard<std::mutex> lock(write_mu_);
   if (id >= NumSlots()) return Status::NotFound("row " + std::to_string(id));
   Slot* s = SlotFor(id);
-  Version* h = LoadHeadForWrite(s);
+  Version* h = LoadHeadForWrite(s, id);
   AIDB_RETURN_NOT_OK(CheckWritable(h, snap, name_, id));
   auto* nv = new Version(std::move(row), MarkerFor(snap.txn), kInfinityTs);
   nv->older.store(h, std::memory_order_relaxed);
@@ -338,7 +389,7 @@ Status Table::DeleteTxn(RowId id, const txn::Snapshot& snap,
   // No new head is pushed for a delete, so clearing the freeze here is what
   // keeps the owner's own reads (and everyone after commit) walking the
   // chain and honoring the end marker.
-  Version* h = LoadHeadForWrite(s);
+  Version* h = LoadHeadForWrite(s, id);
   AIDB_RETURN_NOT_OK(CheckWritable(h, snap, name_, id));
   h->end_ts.store(MarkerFor(snap.txn), std::memory_order_release);
   uncommitted_writes_.fetch_add(1, std::memory_order_release);
@@ -393,7 +444,10 @@ void Table::UndoWrite(const txn::TxnWrite& w,
         Slot* s = SlotFor(n - 1);
         // The tail slot may be some other, frozen row — untag for the
         // inspection loads (a frozen head is never aborted, so we break).
-        Version* h = Untag(s->head.load(std::memory_order_acquire));
+        // A paged tail is likewise someone else's live frozen row.
+        Version* raw = s->head.load(std::memory_order_acquire);
+        if (IsPagedHead(raw)) break;
+        Version* h = Untag(raw);
         if (h == nullptr ||
             h->begin_ts.load(std::memory_order_acquire) != kAbortedTs ||
             h->older.load(std::memory_order_acquire) != nullptr) {
@@ -457,8 +511,9 @@ size_t Table::Vacuum(uint64_t watermark,
     Slot* s = SlotFor(id);
     Version* head = s->head.load(std::memory_order_acquire);
     // Frozen slots are already in their terminal single-version state:
-    // nothing to reclaim (writers would have cleared the tag first).
-    if (IsFrozen(head)) continue;
+    // nothing to reclaim (writers would have cleared the tag first). Paged
+    // slots have no warm versions at all.
+    if (IsFrozen(head) || IsPagedHead(head)) continue;
     // Walk to the newest version whose begin committed at or before the
     // watermark; every active or future snapshot decides at or above it.
     // Aborted leftovers met on the way are unlinked immediately.
@@ -522,13 +577,63 @@ size_t Table::CountVersions() const {
   size_t n = 0;
   size_t slots = num_slots_.load(std::memory_order_acquire);
   for (RowId id = 0; id < slots; ++id) {
-    const Version* v = Untag(SlotFor(id)->head.load(std::memory_order_acquire));
+    const Version* raw = SlotFor(id)->head.load(std::memory_order_acquire);
+    if (IsPagedHead(raw)) continue;  // warm version count: cold entries excluded
+    const Version* v = Untag(raw);
     while (v != nullptr) {
       ++n;
       v = v->older.load(std::memory_order_acquire);
     }
   }
   return n;
+}
+
+// --- Cold tier --------------------------------------------------------------
+
+bool Table::IsPaged(RowId id) const {
+  if (id >= NumSlots()) return false;
+  return IsPagedHead(SlotFor(id)->head.load(std::memory_order_acquire));
+}
+
+bool Table::RangeAllColdOrDead(RowId begin, RowId end) const {
+  RowId limit = std::min<RowId>(end, NumSlots());
+  for (RowId id = begin; id < limit; ++id) {
+    const Version* h = SlotFor(id)->head.load(std::memory_order_acquire);
+    if (h != nullptr && !IsPagedHead(h)) return false;
+  }
+  return true;
+}
+
+void Table::CollectFrozen(std::vector<std::pair<RowId, Version*>>* out) const {
+  size_t slots = num_slots_.load(std::memory_order_acquire);
+  for (RowId id = 0; id < slots; ++id) {
+    Version* h = SlotFor(id)->head.load(std::memory_order_acquire);
+    // Paged heads are not frozen-tagged, so they are skipped here (already
+    // flushed); multi-version and in-flight slots are simply not yet cold.
+    if (IsFrozen(h)) out->emplace_back(id, Untag(h));
+  }
+}
+
+bool Table::PageOutIfFrozen(RowId id, Version* v,
+                            const std::function<void(Version*)>& retire) {
+  Slot* s = SlotFor(id);
+  Version* expect = Tag(v);
+  // CAS against the exact tagged head seen at CollectFrozen: any writer that
+  // touched the slot since (clearing the tag under write_mu_) makes this
+  // fail and the slot stays warm — its stale persisted entry shadows nothing
+  // because readers only consult the cold tier behind a sentinel head.
+  if (!s->head.compare_exchange_strong(expect, PagedSentinel(),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return false;
+  }
+  paged_count_.fetch_add(1, std::memory_order_relaxed);
+  MorselFor(id)->paged.fetch_add(1, std::memory_order_release);
+  // No morsel/data version bump: the visible contents are unchanged (readers
+  // now resolve the same tuple through the cold tier), so column-cache
+  // mirrors stay valid.
+  retire(v);
+  return true;
 }
 
 }  // namespace aidb

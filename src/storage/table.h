@@ -33,6 +33,44 @@ struct Version {
       : data(std::move(d)), begin_ts(b), end_ts(e) {}
 };
 
+/// \brief Read-side contract of a disk-resident cold tier attached beneath a
+/// table (the LSM storage engine's per-table state implements it).
+///
+/// A paged slot's head holds a sentinel instead of a version chain; readers
+/// resolve the slot through ColdVersion and writers re-home it through
+/// MaterializeCold. Pointers returned by ColdVersion stay valid for as long
+/// as the caller's read registration (pin or active transaction): the
+/// backing decoded runs are disposed through the TransactionManager's
+/// serial-fenced retire list, exactly like unlinked warm versions.
+class ColdTier {
+ public:
+  /// Comparison shapes the zone maps can refute (the fused vectorized
+  /// filters; they never error, so pruning preserves first-error parity).
+  enum class Cmp { kEq, kLt, kLe, kGt, kGe };
+
+  virtual ~ColdTier() = default;
+
+  /// Newest persisted version of a paged slot (nullptr only transiently,
+  /// while a concurrent materialize+compact cycle races the caller — re-load
+  /// the slot head and retry).
+  virtual const Version* ColdVersion(RowId id) = 0;
+
+  /// Fresh heap copy of the paged slot's version for a writer about to
+  /// mutate the slot; ownership passes to the caller. nullptr under the same
+  /// transient race as ColdVersion.
+  virtual Version* MaterializeCold(RowId id) = 0;
+
+  /// Bookkeeping after a successful materialize CAS (the persisted entry is
+  /// now shadowed; the next compaction drops it).
+  virtual void NoteMaterialized(RowId id) = 0;
+
+  /// Zone-map check: may any paged row with slot in [begin, end) satisfy
+  /// `column <cmp> lit`? Conservative — returns true whenever a block's
+  /// bounds cannot refute the predicate (or the column is non-numeric).
+  virtual bool ColdRangeMayMatch(RowId begin, RowId end, size_t col, Cmp op,
+                                 double lit) = 0;
+};
+
 /// \brief Multi-versioned slotted in-memory row store (MVCC).
 ///
 /// Rows live in insertion slots; a slot holds a newest-first chain of
@@ -267,6 +305,48 @@ class Table {
   /// Total version nodes currently reachable (observability; O(slots)).
   size_t CountVersions() const;
 
+  // --- Cold tier (pluggable storage engine) --------------------------------
+  // A storage engine attaches per-table cold-tier state here; frozen slots
+  // are then paged out (head -> sentinel) and read back through the
+  // ColdTier. With no tier attached every method below is a cheap no-op
+  // path and the table behaves exactly as the pure in-memory row store.
+
+  /// Installs (or, with nullptr, removes) the cold tier. The caller owns the
+  /// tier object and must keep it alive while any reader can observe a
+  /// paged slot.
+  void SetColdTier(ColdTier* cold) {
+    cold_.store(cold, std::memory_order_release);
+  }
+  ColdTier* cold_tier() const { return cold_.load(std::memory_order_acquire); }
+
+  /// True when the slot's head is the paged sentinel.
+  bool IsPaged(RowId id) const;
+
+  /// Slots currently paged out (approximate under concurrency).
+  size_t PagedCount() const {
+    int64_t n = paged_count_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
+  /// Paged slots inside morsel `m` — the quick gate for zone-map pruning.
+  uint32_t MorselPagedCount(size_t m) const {
+    return MorselAt(m)->paged.load(std::memory_order_acquire);
+  }
+
+  /// Every slot in [begin, end) is dead or paged — no warm version exists,
+  /// so the cold tier's zone maps fully describe the range's visible rows.
+  bool RangeAllColdOrDead(RowId begin, RowId end) const;
+
+  /// Appends every frozen slot (id, untagged head) to `out` — the flush
+  /// candidates. Lock-free snapshot; PageOutIfFrozen revalidates per slot.
+  void CollectFrozen(std::vector<std::pair<RowId, Version*>>* out) const;
+
+  /// Pages slot `id` out: CASes the frozen head Tag(v) to the sentinel and
+  /// hands `v` to `retire` (concurrent readers may still hold it). False
+  /// when the head changed since CollectFrozen — the slot is skipped and its
+  /// persisted entry simply shadows nothing.
+  bool PageOutIfFrozen(RowId id, Version* v,
+                       const std::function<void(Version*)>& retire);
+
  private:
   // Fixed segment directory: segment k holds (kSegBase << k) slots, so 22
   // segments cover ~4.3B rows while slot addresses never move (readers keep
@@ -290,6 +370,7 @@ class Table {
     std::atomic<uint64_t> version{0};
     std::atomic<uint64_t> max_commit_ts{0};
     std::atomic<uint64_t> uncommitted{0};
+    std::atomic<uint32_t> paged{0};  ///< slots of this morsel in the cold tier
   };
 
   static uint64_t NextUid();
@@ -335,7 +416,9 @@ class Table {
 
   /// Loads a slot head for a writer, clearing the frozen tag first (under
   /// write_mu_) so no timestamp mutation ever happens behind a tagged head.
-  Version* LoadHeadForWrite(Slot* s);
+  /// A paged slot is materialized from the cold tier back into a warm
+  /// version before the writer proceeds.
+  Version* LoadHeadForWrite(Slot* s, RowId id);
 
   const Version* VisibleVersion(RowId id, const txn::Snapshot& snap) const;
 
@@ -362,6 +445,8 @@ class Table {
   std::atomic<int64_t> live_count_{0};
   std::atomic<uint64_t> uncommitted_writes_{0};
   std::atomic<uint64_t> max_commit_ts_{0};
+  std::atomic<ColdTier*> cold_{nullptr};
+  std::atomic<int64_t> paged_count_{0};
 };
 
 }  // namespace aidb

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <random>
 #include <thread>
 
@@ -54,8 +56,19 @@ DurabilityOptions DurableOpts(storage::FaultInjector* fault) {
   opts.checkpoint_every_n_records = 24;  // exercise snapshot points too
   opts.sync = false;  // damage is simulated; skip physical fsyncs
   opts.fault = fault;
+  if (LsmFuzzDefault()) {
+    // Every durable leg runs LSM-backed: rows page out beneath the workload
+    // and the fault surface extends over SST/manifest/compaction writes.
+    opts.lsm = true;
+    opts.lsm_design.memtable_capacity = 8;
+  }
   return opts;
 }
+
+/// Cadence at which the LSM legs force a freeze-flush-compact cycle. Prime,
+/// so it drifts against the WAL/checkpoint cadences instead of locking to
+/// them.
+constexpr size_t kLsmFlushEvery = 5;
 
 Divergence Mismatch(const std::string& what, size_t index, const std::string& sql,
                     const std::string& expected, const std::string& actual) {
@@ -100,6 +113,14 @@ bool SpansFuzzDefault() {
   return on;
 }
 
+bool LsmFuzzDefault() {
+  static const bool on = [] {
+    const char* env = std::getenv("AIDB_FUZZ_LSM");
+    return env != nullptr && std::atol(env) != 0;
+  }();
+  return on;
+}
+
 WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
                           bool vectorized) {
   Database db;
@@ -127,6 +148,55 @@ WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
     trace.logs_txn.push_back(logs);
   }
   trace.state_digest = storage::StateDigest(db.catalog(), db.models());
+  return trace;
+}
+
+WorkloadTrace RunWorkloadLsm(const std::vector<std::string>& workload,
+                             size_t dop, const std::string& dir,
+                             bool vectorized) {
+  std::filesystem::remove_all(dir);
+  WorkloadTrace trace;
+  DurabilityOptions opts;
+  opts.sync = false;
+  opts.wal_flush_interval = 16;
+  opts.checkpoint_every_n_records = 0;
+  opts.lsm = true;
+  opts.lsm_design.memtable_capacity = 8;
+  auto opened = Database::Open(dir, opts);
+  if (!opened.ok()) {
+    // Surfaces as a guaranteed divergence at statement 0.
+    trace.digests.assign(workload.size(),
+                         "ERROR: lsm leg open failed: " +
+                             opened.status().ToString());
+    trace.logs_txn.assign(workload.size(), false);
+    return trace;
+  }
+  auto db = std::move(opened).ValueOrDie();
+  db->SetDop(dop);
+  db->SetVectorized(vectorized);
+  db->EnableTracing(true);
+  db->SetDeterministicTiming(true);
+  db->EnableSpans(SpansFuzzDefault());
+  trace.digests.reserve(workload.size());
+  trace.logs_txn.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const std::string& sql = workload[i];
+    Result<QueryResult> r = db->Execute(sql);
+    trace.digests.push_back(DigestResult(r));
+    bool logs = false;
+    if (r.ok()) {
+      auto stmt = sql::Parser::Parse(sql);
+      if (stmt.ok()) {
+        logs = KindLogsTxn(stmt.ValueOrDie()->kind(),
+                           r.ValueOrDie().affected_rows);
+      }
+    }
+    trace.logs_txn.push_back(logs);
+    if ((i + 1) % kLsmFlushEvery == 0) (void)db->FlushColdStorage();
+  }
+  trace.state_digest = storage::StateDigest(db->catalog(), db->models());
+  db.reset();
+  std::filesystem::remove_all(dir);
   return trace;
 }
 
@@ -222,6 +292,15 @@ Divergence RunCrashRecoveryLeg(const std::vector<std::string>& workload,
         return Mismatch("durable-vs-serial", i, workload[i], serial.digests[i],
                         digest);
       }
+      if (LsmFuzzDefault() && (i + 1) % kLsmFlushEvery == 0) {
+        // Page out mid-workload so the armed fault can land inside an SST
+        // block, footer, manifest or compaction write, not just the WAL.
+        (void)db->FlushColdStorage();
+        if (db->crashed()) {
+          crashed = true;
+          break;
+        }
+      }
     }
   }
   if (total_points != nullptr) *total_points = fault.points_seen();
@@ -229,7 +308,14 @@ Divergence RunCrashRecoveryLeg(const std::vector<std::string>& workload,
   if (!crashed) {
     // Uncrashed durable execution reached the end; its state must match the
     // in-memory engine's (checked per-statement above, and as a whole here).
-    auto reopened = Database::Open(dir, {});
+    // Reopening in LSM mode re-adopts the persisted runs, so the digest also
+    // checks adoption did not resurrect or lose anything.
+    DurabilityOptions copts;
+    if (LsmFuzzDefault()) {
+      copts.lsm = true;
+      copts.lsm_design.memtable_capacity = 8;
+    }
+    auto reopened = Database::Open(dir, copts);
     if (!reopened.ok()) {
       Divergence d;
       d.diverged = true;
@@ -252,6 +338,13 @@ Divergence RunCrashRecoveryLeg(const std::vector<std::string>& workload,
   DurabilityOptions ropts;
   ropts.wal_flush_interval = 1;
   ropts.sync = false;
+  if (LsmFuzzDefault()) {
+    // Recover in LSM mode too: adoption must cope with whatever the crash
+    // left behind (half-written runs are rejected, orphans re-adopted), and
+    // the replayed tail then reads through the cold tier.
+    ropts.lsm = true;
+    ropts.lsm_design.memtable_capacity = 8;
+  }
   auto reopened = Database::Open(dir, ropts);
   if (!reopened.ok()) {
     Divergence d;
@@ -388,7 +481,44 @@ Divergence RunConcurrentTxnLeg(uint64_t seed, size_t num_sessions,
                                ConcurrentTxnReport* report, bool vectorized) {
   const auto scripts = GenTxnScripts(seed, num_sessions);
 
-  Database db;
+  // Under AIDB_FUZZ_LSM the concurrent run happens on a durable LSM-backed
+  // database while a background thread forces freeze-flush-compact cycles —
+  // sessions race page-out and materialization, and snapshot isolation must
+  // still replay byte-equal against the in-memory commit-order oracle.
+  std::unique_ptr<Database> durable;
+  std::string lsm_dir;
+  if (LsmFuzzDefault()) {
+    lsm_dir = (std::filesystem::temp_directory_path() /
+               ("aidb_fuzz_lsm_txn_" + std::to_string(seed)))
+                  .string();
+    std::filesystem::remove_all(lsm_dir);
+    DurabilityOptions opts;
+    opts.sync = false;
+    opts.wal_flush_interval = 16;
+    opts.checkpoint_every_n_records = 0;
+    opts.lsm = true;
+    opts.lsm_design.memtable_capacity = 8;
+    auto opened = Database::Open(lsm_dir, opts);
+    if (!opened.ok()) {
+      Divergence d;
+      d.diverged = true;
+      d.detail = "concurrent leg: lsm open failed: " + opened.status().ToString();
+      return d;
+    }
+    durable = std::move(opened).ValueOrDie();
+  }
+  struct LsmCleanup {
+    std::unique_ptr<Database>* db;
+    std::string dir;
+    ~LsmCleanup() {
+      if (dir.empty()) return;
+      db->reset();
+      std::filesystem::remove_all(dir);
+    }
+  } lsm_cleanup{&durable, lsm_dir};
+
+  Database mem;
+  Database& db = durable != nullptr ? *durable : mem;
   db.SetVectorized(vectorized);
   db.EnableTracing(true);
   db.SetDeterministicTiming(true);
@@ -435,7 +565,22 @@ Divergence RunConcurrentTxnLeg(uint64_t seed, size_t num_sessions,
       }
     });
   }
+  std::atomic<bool> sessions_done{false};
+  std::thread flusher;
+  if (durable != nullptr) {
+    flusher = std::thread([&] {
+      while (!sessions_done.load(std::memory_order_acquire)) {
+        (void)db.FlushColdStorage();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
   for (auto& t : threads) t.join();
+  sessions_done.store(true, std::memory_order_release);
+  if (flusher.joinable()) flusher.join();
+  // One last full cycle with the sessions quiesced, so the final StateDigest
+  // comparison reads a maximally paged-out state.
+  if (durable != nullptr) (void)db.FlushColdStorage();
 
   // The oracle history: committed transactions, serially, in commit order.
   std::vector<const CommittedTxn*> order;

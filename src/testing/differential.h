@@ -45,10 +45,31 @@ bool VectorizedFuzzDefault();
 /// carry zeroed clocks, so digests must stay byte-equal with spans on.
 bool SpansFuzzDefault();
 
+/// True when AIDB_FUZZ_LSM is set to a non-zero value: the durable fuzz legs
+/// (crash recovery, concurrent transactions) run with the LSM storage engine
+/// attached and a tiny memtable, plus a periodic forced flush — so every
+/// existing leg re-runs with rows paging out to SSTs underneath it, and the
+/// crash leg's injection points extend over SST block/footer, manifest and
+/// compaction writes without any test changes.
+bool LsmFuzzDefault();
+
 /// Runs the workload on a fresh in-memory database at the given dop,
 /// on the vectorized or the row (volcano) engine.
 WorkloadTrace RunWorkload(const std::vector<std::string>& workload, size_t dop,
                           bool vectorized = VectorizedFuzzDefault());
+
+/// \brief The LSM-engine leg of the differential oracle.
+///
+/// Runs the workload on a durable database rooted at `dir` with the LSM
+/// storage engine attached (tiny memtable so page-out is constant), forcing a
+/// full freeze-flush-compact cycle every few statements. Paging is required
+/// to be observationally invisible: the returned trace must digest byte-equal
+/// to RunWorkload's in-memory row-store trace, statement by statement and in
+/// the final StateDigest. The directory is recreated on entry and removed on
+/// exit.
+WorkloadTrace RunWorkloadLsm(const std::vector<std::string>& workload,
+                             size_t dop, const std::string& dir,
+                             bool vectorized = VectorizedFuzzDefault());
 
 /// \brief The prepared-statement leg of the differential oracle.
 ///

@@ -311,23 +311,38 @@ void TransactionManager::Retire(aidb::Version* v) {
   // fence are instead held in FreeRetired by their slot/txn registration.
   uint64_t fence = next_serial_.fetch_add(0, std::memory_order_seq_cst);
   std::lock_guard<std::mutex> lock(mu_);
-  retired_.push_back({v, fence});
+  retired_.push_back({v, fence, {}});
   if (versions_retired_ != nullptr) versions_retired_->Add();
 }
 
+void TransactionManager::RetireDisposal(std::function<void()> dispose) {
+  // Same fence protocol as Retire: the RMW publishes whatever unlink/unmap
+  // stores preceded this call to every later-registered reader.
+  uint64_t fence = next_serial_.fetch_add(0, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.push_back({nullptr, fence, std::move(dispose)});
+}
+
 size_t TransactionManager::FreeRetired() {
-  std::vector<aidb::Version*> to_free;
+  std::vector<Retired> to_free;
   {
     std::lock_guard<std::mutex> lock(mu_);
     uint64_t min_serial = MinActiveSerialLocked();
     while (!retired_.empty() && retired_.front().fence <= min_serial) {
-      to_free.push_back(retired_.front().v);
+      to_free.push_back(std::move(retired_.front()));
       retired_.pop_front();
     }
   }
-  for (aidb::Version* v : to_free) delete v;
-  if (versions_freed_ != nullptr && !to_free.empty()) {
-    versions_freed_->Add(to_free.size());
+  size_t versions = 0;
+  for (Retired& r : to_free) {
+    if (r.dispose) r.dispose();
+    if (r.v != nullptr) {
+      delete r.v;
+      ++versions;
+    }
+  }
+  if (versions_freed_ != nullptr && versions != 0) {
+    versions_freed_->Add(versions);
   }
   return to_free.size();
 }

@@ -93,7 +93,10 @@ class TransactionManager {
 
   TransactionManager() = default;
   ~TransactionManager() {
-    for (const Retired& r : retired_) delete r.v;
+    for (const Retired& r : retired_) {
+      if (r.dispose) r.dispose();
+      delete r.v;
+    }
   }
 
   /// Wires txn.* counters/gauges; also forwards to the wrapped LockManager.
@@ -211,6 +214,12 @@ class TransactionManager {
   /// unlink stores to later-registered readers).
   void Retire(aidb::Version* v);
 
+  /// Defers an arbitrary disposal until every reader registered before the
+  /// fence has drained — the same guarantee Retire() gives version nodes.
+  /// The storage engine uses this to drop decoded cold-tier runs that
+  /// lock-free readers may still hold ColdVersion pointers into.
+  void RetireDisposal(std::function<void()> dispose);
+
   /// Frees retired nodes whose fence has drained. Returns the number freed.
   size_t FreeRetired();
 
@@ -270,8 +279,9 @@ class TransactionManager {
   std::map<uint64_t, uint64_t> overflow_reads_;  ///< serial -> read_ts
 
   struct Retired {
-    aidb::Version* v;
+    aidb::Version* v;  ///< nullptr for pure-disposal entries
     uint64_t fence;
+    std::function<void()> dispose;  ///< runs (once) when the fence drains
   };
   std::deque<Retired> retired_;
 

@@ -278,6 +278,101 @@ TEST_F(CrashMatrixTest, TransactionalWorkloadRecoversAtomically) {
   }
 }
 
+/// --- LSM storage-engine leg ----------------------------------------------
+///
+/// The same scripted workload on an LSM-backed database, with a forced
+/// vacuum+flush+compaction after every other statement: the counting pass
+/// then walks through kSstBlockWrite, kSstFooter, kManifestUpdate and
+/// kCompactionWrite points interleaved with the WAL/snapshot points, and the
+/// matrix arms each of them with each damage kind. The oracle is unchanged —
+/// SSTs are a rebuildable cache, so recovery must land on exactly the state
+/// the committed WAL prefix describes, never on a half-flushed run.
+
+DurabilityOptions LsmMatrixOpts(DurabilityOptions opts) {
+  opts.lsm = true;
+  opts.lsm_design.memtable_capacity = 4;  // flush eagerly: maximal SST points
+  return opts;
+}
+
+/// Runs the script, forcing a cold-storage flush after every other
+/// statement. Returns the number of statements that fully succeeded; a fault
+/// firing inside flush/compaction/manifest stops the run just like one
+/// firing inside a statement.
+size_t RunLsmUntilCrash(Database* db, const std::vector<std::string>& script) {
+  size_t ok = 0;
+  for (const auto& sql : script) {
+    if (!db->Execute(sql).ok()) break;
+    ++ok;
+    if (ok % 2 == 0 && !db->FlushColdStorage().ok()) break;
+  }
+  return ok;
+}
+
+TEST_F(CrashMatrixTest, LsmBackedWorkloadRecoversAtEveryPoint) {
+  const std::vector<std::string> script = CrashScript();
+
+  // Counting pass: SST/manifest/compaction points now sit between the WAL's.
+  uint64_t total_points = 0;
+  uint64_t baseline_points = 0;
+  {
+    FaultInjector counter(7);
+    std::filesystem::remove_all(dir_);
+    auto db = Database::Open(dir_, LsmMatrixOpts(Opts(&counter))).ValueOrDie();
+    ASSERT_EQ(RunLsmUntilCrash(db.get(), script), script.size());
+    total_points = counter.points_seen();
+  }
+  {
+    FaultInjector counter(7);
+    std::filesystem::remove_all(dir_);
+    auto db = Database::Open(dir_, Opts(&counter)).ValueOrDie();
+    ASSERT_EQ(RunUntilCrash(db.get(), script), script.size());
+    baseline_points = counter.points_seen();
+  }
+  // The LSM path contributes a real point population of its own.
+  ASSERT_GT(total_points, baseline_points + 30);
+
+  const FaultKind kinds[] = {FaultKind::kTornWrite, FaultKind::kDroppedFsync,
+                             FaultKind::kCorruptByte, FaultKind::kCleanCrash};
+  for (uint64_t point = 1; point <= total_points; ++point) {
+    SCOPED_TRACE("injection point " + std::to_string(point));
+    FaultKind kind = kinds[point % 4];
+    SCOPED_TRACE(storage::FaultKindName(kind));
+
+    std::filesystem::remove_all(dir_);
+    FaultInjector fault(3000 + point);
+    fault.ArmCrash(point, kind);
+    {
+      auto db = Database::Open(dir_, LsmMatrixOpts(Opts(&fault))).ValueOrDie();
+      size_t ran = RunLsmUntilCrash(db.get(), script);
+      ASSERT_TRUE(fault.crashed());
+      ASSERT_LE(ran, script.size());
+      EXPECT_FALSE(db->Execute("INSERT INTO audit VALUES (999, 'no')").ok());
+    }
+
+    // Reboot LSM-backed: recovery + run re-adoption must reproduce exactly
+    // the committed prefix — a damaged or half-flushed SST is dropped, never
+    // surfaced.
+    auto reopened = Database::Open(dir_, LsmMatrixOpts({}));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto db = std::move(reopened).ValueOrDie();
+
+    uint64_t committed = db->last_recovery().next_txn_id - 1;
+    ASSERT_LE(committed, script.size());
+    EXPECT_EQ(storage::StateDigest(db->catalog(), db->models()),
+              OracleDigest(script, committed));
+
+    // The recovered database is live — it finishes the script (cold tier
+    // engaged) and lands on the full oracle state.
+    for (size_t i = committed; i < script.size(); ++i) {
+      auto r = db->Execute(script[i]);
+      ASSERT_TRUE(r.ok()) << script[i] << ": " << r.status().ToString();
+    }
+    ASSERT_TRUE(db->FlushColdStorage().ok());
+    EXPECT_EQ(storage::StateDigest(db->catalog(), db->models()),
+              OracleDigest(script, script.size()));
+  }
+}
+
 TEST_F(CrashMatrixTest, DoubleCrashDuringRecoveryWindowStaysConsistent) {
   const std::vector<std::string> script = CrashScript();
   // Crash once mid-workload, reopen, crash again almost immediately on the
